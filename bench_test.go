@@ -1,0 +1,226 @@
+// Benchmarks regenerating the paper's tables and figures via testing.B,
+// plus native micro-benchmarks of the substrates.
+//
+// The paper-experiment benchmarks run the same harness as cmd/benchmocha
+// but at 2% time scale with one trial per point, so `go test -bench=.`
+// finishes in minutes; run `go run ./cmd/benchmocha -all` for full-scale,
+// paper-comparable numbers (EXPERIMENTS.md records those).
+package mocha_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"mocha"
+	"mocha/internal/bench"
+	"mocha/internal/marshal"
+	"mocha/internal/netsim"
+	"mocha/internal/wire"
+)
+
+// benchCfg is the scaled-down configuration for testing.B runs.
+func benchCfg() bench.Config {
+	return bench.Config{Scale: 0.02, Trials: 1, MaxSites: 3}
+}
+
+// runExperiment benchmarks one harness experiment end to end.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := bench.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(benchCfg()); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+// BenchmarkTable1LockAcquire regenerates Table 1 (lock acquisition, LAN
+// and WAN).
+func BenchmarkTable1LockAcquire(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkFig8Marshal regenerates Figure 8 (marshal time vs size).
+func BenchmarkFig8Marshal(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9Lan1K regenerates Figure 9 (LAN, 1K dissemination).
+func BenchmarkFig9Lan1K(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10Wan1K regenerates Figure 10 (WAN, 1K dissemination).
+func BenchmarkFig10Wan1K(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11Lan4K regenerates Figure 11 (LAN, 4K dissemination).
+func BenchmarkFig11Lan4K(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12Wan4K regenerates Figure 12 (WAN, 4K dissemination).
+func BenchmarkFig12Wan4K(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13Lan256K regenerates Figure 13 (LAN, 256K dissemination).
+func BenchmarkFig13Lan256K(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14Wan256K regenerates Figure 14 (WAN, 256K dissemination).
+func BenchmarkFig14Wan256K(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkAppConsistency regenerates the Section 5.1 application cost
+// breakdown.
+func BenchmarkAppConsistency(b *testing.B) { runExperiment(b, "app") }
+
+// BenchmarkSmallMessage regenerates the MNet-vs-TCP small-message
+// comparison.
+func BenchmarkSmallMessage(b *testing.B) { runExperiment(b, "smallmsg") }
+
+// BenchmarkURSweep regenerates the availability-cost sweep.
+func BenchmarkURSweep(b *testing.B) { runExperiment(b, "ur") }
+
+// BenchmarkAblationMarshal regenerates the marshaling-library ablation.
+func BenchmarkAblationMarshal(b *testing.B) { runExperiment(b, "ablate-marshal") }
+
+// BenchmarkAblationAdaptive regenerates the adaptive-protocol ablation.
+func BenchmarkAblationAdaptive(b *testing.B) { runExperiment(b, "ablate-adaptive") }
+
+// BenchmarkAblationReuse regenerates the connection-reuse ablation.
+func BenchmarkAblationReuse(b *testing.B) { runExperiment(b, "ablate-reuse") }
+
+// BenchmarkCableModem regenerates the cable-modem home environment
+// comparison from the paper's conclusion.
+func BenchmarkCableModem(b *testing.B) { runExperiment(b, "cablemodem") }
+
+// --- Native micro-benchmarks (no cost model, no simulated delays) ------
+
+// BenchmarkMarshalJavaStyle4K measures the real byte-at-a-time codec.
+func BenchmarkMarshalJavaStyle4K(b *testing.B) {
+	codec := marshal.NewJavaStyle(netsim.Native())
+	content := marshal.Bytes(make([]byte, 4096))
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Marshal(content); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMarshalFast4K measures the bulk custom codec.
+func BenchmarkMarshalFast4K(b *testing.B) {
+	codec := marshal.NewFast(netsim.Native())
+	content := marshal.Bytes(make([]byte, 4096))
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Marshal(content); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireGrantRoundTrip measures protocol message codec throughput.
+func BenchmarkWireGrantRoundTrip(b *testing.B) {
+	g := &wire.Grant{Lock: 7, Thread: 99, Version: 42, Flag: wire.NeedNewVersion, Sharers: wire.NewSiteSet(1, 2, 3, 4, 5, 6)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Unmarshal(wire.Marshal(g)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLockCycleNative measures a full distributed lock/unlock cycle
+// with no synthetic costs: pure protocol overhead on the in-process
+// network.
+func BenchmarkLockCycleNative(b *testing.B) {
+	cluster, err := mocha.NewSimCluster(2, mocha.WithEnvironment(mocha.Perfect()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = cluster.Close() }()
+	ctx := context.Background()
+
+	bag := cluster.Home().Bag("bench")
+	r, err := bag.CreateReplica("x", mocha.Ints([]int32{0}), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rl := bag.ReplicaLock(1)
+	if err := rl.Associate(ctx, r); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rl.Lock(ctx); err != nil {
+			b.Fatal(err)
+		}
+		r.Content().IntsData()[0]++
+		if err := rl.Unlock(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpawnNative measures spawn/result round trips with no synthetic
+// costs.
+func BenchmarkSpawnNative(b *testing.B) {
+	cluster, err := mocha.NewSimCluster(2, mocha.WithEnvironment(mocha.Perfect()), mocha.WithMaxServers(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = cluster.Close() }()
+	cluster.MustRegister("Nop", func() mocha.Task {
+		return mocha.TaskFunc(func(m *mocha.Mocha) { m.ReturnResults() })
+	})
+	ctx := context.Background()
+	bag := cluster.Home().Bag("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rh, err := bag.Spawn(ctx, 2, "Nop", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rh.Wait(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDisseminationNative measures a UR=3 release cycle with no
+// synthetic costs.
+func BenchmarkDisseminationNative(b *testing.B) {
+	cluster, err := mocha.NewSimCluster(4, mocha.WithEnvironment(mocha.Perfect()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = cluster.Close() }()
+	ctx := context.Background()
+
+	bag := cluster.Home().Bag("bench")
+	r, err := bag.CreateReplica("x", mocha.Ints(make([]int32, 256)), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rl := bag.ReplicaLock(1)
+	if err := rl.Associate(ctx, r); err != nil {
+		b.Fatal(err)
+	}
+	for _, site := range []mocha.SiteID{2, 3, 4} {
+		other := cluster.Site(site).Bag(fmt.Sprintf("s%d", site))
+		ro, err := other.AttachReplica("x", mocha.Ints(nil))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := other.ReplicaLock(1).Associate(ctx, ro); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rl.SetUpdateReplicas(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rl.Lock(ctx); err != nil {
+			b.Fatal(err)
+		}
+		r.Content().IntsData()[0]++
+		if err := rl.Unlock(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package mocha
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"mocha/internal/core"
+	"mocha/internal/eventlog"
+	"mocha/internal/mnet"
+	"mocha/internal/netsim"
+	"mocha/internal/runtime"
+	"mocha/internal/session"
+	"mocha/internal/trace"
+	"mocha/internal/transport"
+	"mocha/internal/wire"
+)
+
+// Cluster is an in-process deployment of n Mocha sites over a simulated
+// network — the form tests, examples, and the benchmark harness use. All
+// sites share one task registry and code repository, since they live in
+// one binary.
+type Cluster struct {
+	sim      *transport.SimNetwork
+	registry *runtime.Registry
+	repo     *runtime.CodeRepository
+	sites    map[SiteID]*Site
+	order    []SiteID
+	opts     options
+}
+
+// NewSimCluster starts n simulated sites; site 1 is the home site.
+func NewSimCluster(n int, opts ...Option) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mocha: cluster needs at least one site")
+	}
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	profile := o.profile.Scaled(o.scale)
+	cost := o.cost.Scaled(o.scale)
+
+	sim := transport.NewSimNetwork(netsim.Config{Profile: profile, Seed: o.seed})
+	c := &Cluster{
+		sim:      sim,
+		registry: runtime.NewRegistry(),
+		repo:     runtime.NewCodeRepository(),
+		sites:    make(map[SiteID]*Site, n),
+		opts:     o,
+	}
+
+	directory := make(map[SiteID]string, n)
+	stacks := make(map[SiteID]*transport.SimStack, n)
+	for i := 1; i <= n; i++ {
+		site := SiteID(i)
+		stack, err := sim.NewStack(netsim.NodeID(i))
+		if err != nil {
+			_ = sim.Close()
+			return nil, fmt.Errorf("mocha: site %d: %w", i, err)
+		}
+		stacks[site] = stack
+		directory[site] = stack.Datagram().LocalAddr()
+	}
+
+	for i := 1; i <= n; i++ {
+		site := SiteID(i)
+		s, err := newSite(siteConfig{
+			id:        site,
+			stack:     stacks[site],
+			directory: directory,
+			isHome:    site == HomeSite,
+			registry:  c.registry,
+			repo:      c.repo,
+			opts:      o,
+			cost:      cost,
+		})
+		if err != nil {
+			_ = c.Close()
+			return nil, fmt.Errorf("mocha: site %d: %w", i, err)
+		}
+		c.sites[site] = s
+		c.order = append(c.order, site)
+	}
+	return c, nil
+}
+
+// Register binds a task class name to a factory, and stores a synthetic
+// class image in the home repository so spawns exercise the code-shipping
+// path.
+func (c *Cluster) Register(name string, f Factory) error {
+	if err := c.registry.Register(name, f); err != nil {
+		return err
+	}
+	c.repo.Add(name, []byte("mocha class image: "+name))
+	return nil
+}
+
+// MustRegister panics on registration error (for main-program setup).
+func (c *Cluster) MustRegister(name string, f Factory) {
+	if err := c.Register(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// AddCode stores a demand-pullable class image in the home repository.
+func (c *Cluster) AddCode(name string, code []byte) {
+	c.repo.Add(name, code)
+}
+
+// Home returns the home site.
+func (c *Cluster) Home() *Site { return c.sites[HomeSite] }
+
+// Site returns a site by ID (nil if absent).
+func (c *Cluster) Site(id SiteID) *Site { return c.sites[id] }
+
+// Sites returns all sites in ID order.
+func (c *Cluster) Sites() []*Site {
+	out := make([]*Site, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.sites[id])
+	}
+	return out
+}
+
+// Kill fail-stops a site: its node closes and the simulated network
+// silences it, exactly like a remote machine reboot.
+func (c *Cluster) Kill(id SiteID) {
+	if s, ok := c.sites[id]; ok {
+		_ = s.Close()
+	}
+	c.sim.Kill(netsim.NodeID(id))
+}
+
+// Partition cuts or heals both directions between two sites.
+func (c *Cluster) Partition(a, b SiteID, cut bool) {
+	c.sim.Underlying().Partition(netsim.NodeID(a), netsim.NodeID(b), cut)
+}
+
+// NetStats returns simulated-network packet counters.
+func (c *Cluster) NetStats() netsim.Stats { return c.sim.Underlying().Stats() }
+
+// Timeline merges every site's event log into one time-ordered trace for
+// the visualization tooling (cmd/mochaviz and trace.Render).
+func (c *Cluster) Timeline() *trace.Timeline {
+	perSite := make(map[wire.SiteID][]eventlog.Event, len(c.sites))
+	for id, s := range c.sites {
+		perSite[wire.SiteID(id)] = s.node.Log().Events()
+	}
+	return trace.Merge(perSite)
+}
+
+// Close shuts every site and the network down.
+func (c *Cluster) Close() error {
+	for _, s := range c.sites {
+		_ = s.Close()
+	}
+	return c.sim.Close()
+}
+
+// Site is one Mocha site: its shared-object node plus its wide-area
+// runtime.
+type Site struct {
+	node *core.Node
+	rt   *runtime.Runtime
+
+	sessOnce sync.Once
+	sess     *session.Store
+	sessErr  error
+	resolver session.Resolver
+}
+
+// siteConfig gathers what newSite needs.
+type siteConfig struct {
+	id        SiteID
+	stack     transport.Stack
+	directory map[SiteID]string
+	isHome    bool
+	registry  *runtime.Registry
+	repo      *runtime.CodeRepository
+	opts      options
+	cost      CostModel
+}
+
+// newSite wires one site together.
+func newSite(sc siteConfig) (*Site, error) {
+	mnetCfg := mnet.Config{
+		Cost: sc.cost,
+		Key:  sc.opts.key,
+	}
+	if sc.opts.scale < 1 {
+		// Scaled environments have tiny latencies; keep retransmission
+		// timers proportionate so loss tests converge quickly.
+		mnetCfg.RTO = 50 * time.Millisecond
+	}
+	ep := mnet.NewEndpoint(sc.stack.Datagram(), mnetCfg)
+
+	logger := eventlog.New(1 << 14)
+	node, err := core.NewNode(core.Config{
+		Site:            wire.SiteID(sc.id),
+		Endpoint:        ep,
+		Stack:           sc.stack,
+		Directory:       sc.directory,
+		IsHome:          sc.isHome,
+		Codec:           sc.opts.codec(),
+		Cost:            sc.cost,
+		Mode:            sc.opts.mode,
+		StreamReuse:     sc.opts.streamReuse,
+		RequestTimeout:  sc.opts.reqTimeout,
+		TransferTimeout: sc.opts.xferTimeout,
+		DefaultLease:    sc.opts.lease,
+		LeaseSweep:      sc.opts.leaseSweep,
+		Log:             logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	perms := runtime.AllPermissions()
+	if sc.opts.perms != nil {
+		perms = *sc.opts.perms
+	}
+	var out io.Writer
+	if sc.opts.output != nil {
+		out = sc.opts.output
+	}
+	rt, err := runtime.New(node, runtime.Config{
+		Registry:        sc.registry,
+		Repo:            sc.repo,
+		MaxServers:      sc.opts.maxServers,
+		Output:          out,
+		TaskPermissions: perms,
+	})
+	if err != nil {
+		_ = node.Close()
+		return nil, err
+	}
+	return &Site{node: node, rt: rt, resolver: sc.opts.resolver}, nil
+}
+
+// ID returns the site's identifier.
+func (s *Site) ID() SiteID { return s.node.Site() }
+
+// Bag builds a travel bag for a local application thread, giving main
+// programs the same API as spawned tasks.
+func (s *Site) Bag(name string) *Mocha { return s.rt.LocalBag(name) }
+
+// Node exposes the shared-object layer (advanced use: surrogate failover,
+// cached replicas, event log).
+func (s *Site) Node() *core.Node { return s.node }
+
+// Runtime exposes the wide-area runtime layer.
+func (s *Site) Runtime() *runtime.Runtime { return s.rt }
+
+// Snapshot captures the synchronization thread's durable state; only
+// meaningful on the site currently running it.
+func (s *Site) Snapshot() (SyncState, error) {
+	sy := s.node.Sync()
+	if sy == nil {
+		return SyncState{}, fmt.Errorf("mocha: site %d runs no synchronization thread", s.ID())
+	}
+	return sy.Snapshot(), nil
+}
+
+// Sessions returns the site's non-synchronization-based object store,
+// starting it on first use. Objects written here replicate optimistically
+// with conflict resolution instead of locks — the mode the paper's
+// conclusion announces as ongoing work.
+func (s *Site) Sessions() (*session.Store, error) {
+	s.sessOnce.Do(func() {
+		s.sess, s.sessErr = session.New(session.Config{
+			Site:      s.node.Site(),
+			Endpoint:  s.node.Endpoint(),
+			Directory: s.node.Directory(),
+			Resolve:   s.resolver,
+			Log:       s.node.Log(),
+		})
+	})
+	return s.sess, s.sessErr
+}
+
+// Close shuts the site down.
+func (s *Site) Close() error {
+	if s.sess != nil {
+		s.sess.Close()
+	}
+	return s.node.Close()
+}

@@ -1,0 +1,225 @@
+// Command mochad runs one Mocha site as a real process over UDP/TCP — the
+// site-manager daemon of the paper's deployment model. Every site runs the
+// same binary; the host file assigns identities and addresses.
+//
+// Start a three-site cluster on one machine:
+//
+//	mochahosts -n 3 -o cluster.hosts
+//	mochad -hostfile cluster.hosts -site 2 &
+//	mochad -hostfile cluster.hosts -site 3 &
+//	mochad -hostfile cluster.hosts -site 1 -demo
+//
+// Remote sites serve spawned tasks until interrupted. The home site with
+// -demo runs a demonstration workload: it spawns Myhello tasks at every
+// remote site (remote evaluation with parameters and results), then drives
+// a shared counter replica under a ReplicaLock from all sites, verifying
+// entry-consistent state sharing over the real network.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mocha"
+	"mocha/internal/hostfile"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		hostPath = flag.String("hostfile", "", "path to the cluster host file (required)")
+		siteID   = flag.Uint("site", 0, "this process's site id from the host file (required)")
+		demo     = flag.Bool("demo", false, "home site only: run the demonstration workload and exit")
+		key      = flag.String("key", "", "optional shared cluster key enabling HMAC authentication")
+		hybrid   = flag.Bool("hybrid", false, "use the hybrid MNet+TCP transfer protocol")
+	)
+	flag.Parse()
+	if *hostPath == "" || *siteID == 0 {
+		fmt.Fprintln(os.Stderr, "mochad: -hostfile and -site are required")
+		flag.Usage()
+		return 2
+	}
+
+	hf, err := hostfile.Load(*hostPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mochad: %v\n", err)
+		return 1
+	}
+
+	registry := mocha.NewRegistry()
+	registerDemoTasks(registry)
+
+	opts := []mocha.Option{mocha.WithOutput(os.Stdout)}
+	if *key != "" {
+		opts = append(opts, mocha.WithClusterKey([]byte(*key)))
+	}
+	if *hybrid {
+		opts = append(opts, mocha.WithTransferMode(mocha.ModeHybrid))
+	}
+	site, err := mocha.JoinCluster(*hostPath, mocha.SiteID(*siteID), registry, opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mochad: %v\n", err)
+		return 1
+	}
+	defer func() { _ = site.Close() }()
+	entry, _ := hf.Lookup(mocha.SiteID(*siteID))
+	fmt.Printf("mochad: site %d (%s) up at %s\n", site.ID(), entry.Name, entry.Addr)
+
+	if *demo {
+		if site.ID() != mocha.HomeSite {
+			fmt.Fprintln(os.Stderr, "mochad: -demo runs on the home site (site 1)")
+			return 2
+		}
+		if err := runDemo(site, hf); err != nil {
+			fmt.Fprintf(os.Stderr, "mochad: demo failed: %v\n", err)
+			return 1
+		}
+		fmt.Println("mochad: demo completed successfully")
+		return 0
+	}
+
+	// Serve until interrupted.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("mochad: shutting down")
+	return 0
+}
+
+// registerDemoTasks installs the classes every mochad binary can link.
+func registerDemoTasks(reg *mocha.Registry) {
+	reg.MustRegister("Myhello", func() mocha.Task {
+		return mocha.TaskFunc(func(m *mocha.Mocha) {
+			start, err := m.Parameter.GetDouble("start")
+			if err != nil {
+				m.MochaPrintStackTrace(err)
+				m.Fail(err)
+				return
+			}
+			sum := start + 1
+			m.MochaPrintf("Returning as a return value %v", sum)
+			m.Result.AddDouble("returnvalue", sum)
+			m.ReturnResults()
+		})
+	})
+	reg.MustRegister("CounterWorker", func() mocha.Task {
+		return mocha.TaskFunc(func(m *mocha.Mocha) {
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			r, err := m.AttachReplica("counter", mocha.Ints(nil))
+			if err != nil {
+				m.Fail(err)
+				return
+			}
+			rl := m.ReplicaLock(1)
+			if err := rl.Associate(ctx, r); err != nil {
+				m.Fail(err)
+				return
+			}
+			n, _ := m.Parameter.GetInt("increments")
+			for i := int64(0); i < n; i++ {
+				if err := rl.Lock(ctx); err != nil {
+					m.Fail(err)
+					return
+				}
+				r.Content().IntsData()[0]++
+				if err := rl.Unlock(ctx); err != nil {
+					m.Fail(err)
+					return
+				}
+			}
+			m.Result.AddBool("done", true)
+			m.ReturnResults()
+		})
+	})
+}
+
+// runDemo exercises remote evaluation and robust state sharing across the
+// real cluster.
+func runDemo(site *mocha.Site, hf *hostfile.HostFile) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	bag := site.Bag("demo-main")
+
+	// Phase 1: remote evaluation with parameters and results (Figure 1).
+	fmt.Println("mochad: phase 1 — spawning Myhello at every remote site")
+	for _, remote := range hf.Sites() {
+		if remote == mocha.HomeSite {
+			continue
+		}
+		p := mocha.NewParams()
+		p.AddDouble("start", float64(remote)*10)
+		rh, err := bag.Spawn(ctx, remote, "Myhello", p)
+		if err != nil {
+			return fmt.Errorf("spawn at site %d: %w", remote, err)
+		}
+		res, err := rh.Wait(ctx)
+		if err != nil {
+			return fmt.Errorf("result from site %d: %w", remote, err)
+		}
+		v, _ := res.GetDouble("returnvalue")
+		fmt.Printf("mochad: site %d returned %v\n", remote, v)
+	}
+
+	// Phase 2: shared counter under a ReplicaLock across all sites.
+	fmt.Println("mochad: phase 2 — shared counter replica across the cluster")
+	const increments = 5
+	counter, err := bag.CreateReplica("counter", mocha.Ints([]int32{0}), len(hf.Entries))
+	if err != nil {
+		return err
+	}
+	rl := bag.ReplicaLock(1)
+	if err := rl.Associate(ctx, counter); err != nil {
+		return err
+	}
+
+	var handles []*mocha.ResultHandle
+	workers := 0
+	for _, remote := range hf.Sites() {
+		if remote == mocha.HomeSite {
+			continue
+		}
+		p := mocha.NewParams()
+		p.AddInt("increments", increments)
+		rh, err := bag.Spawn(ctx, remote, "CounterWorker", p)
+		if err != nil {
+			return fmt.Errorf("spawn worker at site %d: %w", remote, err)
+		}
+		handles = append(handles, rh)
+		workers++
+	}
+	for i := 0; i < increments; i++ {
+		if err := rl.Lock(ctx); err != nil {
+			return err
+		}
+		counter.Content().IntsData()[0]++
+		if err := rl.Unlock(ctx); err != nil {
+			return err
+		}
+	}
+	for _, rh := range handles {
+		if _, err := rh.Wait(ctx); err != nil {
+			return err
+		}
+	}
+
+	if err := rl.Lock(ctx); err != nil {
+		return err
+	}
+	defer func() { _ = rl.Unlock(ctx) }()
+	got := counter.Content().IntsData()[0]
+	want := int32((workers + 1) * increments)
+	fmt.Printf("mochad: counter = %d (want %d)\n", got, want)
+	if got != want {
+		return fmt.Errorf("counter = %d, want %d: state sharing broken", got, want)
+	}
+	return nil
+}

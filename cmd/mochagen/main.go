@@ -1,0 +1,57 @@
+// Command mochagen is the MochaGen tool: it generates a Replica wrapper
+// with explicit serialization code for a Go struct, so complex objects can
+// be shared "in a manner very similar to Mocha's standard Replica object".
+//
+//	mochagen -src app.go -type TableSetting                 # to stdout
+//	mochagen -src app.go -type TableSetting -o setting_replica.go
+//
+// The generated type implements marshal.Serializable with field-by-field
+// encoding — the optimized alternative to the reflection-based
+// mocha.TypedReplica.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mocha/internal/gen"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		src      = flag.String("src", "", "Go source file declaring the struct")
+		typeName = flag.String("type", "", "struct type to generate a Replica wrapper for")
+		out      = flag.String("o", "", "output path (default stdout)")
+	)
+	flag.Parse()
+	if *src == "" || *typeName == "" {
+		fmt.Fprintln(os.Stderr, "mochagen: -src and -type are required")
+		flag.Usage()
+		return 2
+	}
+
+	source, err := os.ReadFile(*src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mochagen: %v\n", err)
+		return 1
+	}
+	code, err := gen.Generate(source, *typeName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mochagen: %v\n", err)
+		return 1
+	}
+	if *out == "" {
+		_, _ = os.Stdout.Write(code)
+		return 0
+	}
+	if err := os.WriteFile(*out, code, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "mochagen: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,53 @@
+// Command mochahosts generates a Mocha host file — "The Mocha system
+// provides a tool to generate this host file."
+//
+//	mochahosts -n 4                          # 4 sites on 127.0.0.1:9000..9003
+//	mochahosts -n 3 -host 10.0.0.7 -port 7000
+//	mochahosts -n 4 -o cluster.hosts
+//
+// Site 1 is the home site. Each line is "<site-id> <name> <udp-address>";
+// feed the file to cmd/mochad's -hostfile flag.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mocha/internal/hostfile"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		n    = flag.Int("n", 2, "number of sites")
+		host = flag.String("host", "127.0.0.1", "host/IP for every site")
+		port = flag.Int("port", 9000, "base UDP port (site i uses port+i-1)")
+		out  = flag.String("o", "", "output path (default stdout)")
+	)
+	flag.Parse()
+	if *n < 1 {
+		fmt.Fprintln(os.Stderr, "mochahosts: -n must be at least 1")
+		return 2
+	}
+
+	hf := hostfile.Generate(*n, *host, *port)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mochahosts: %v\n", err)
+			return 1
+		}
+		defer func() { _ = f.Close() }()
+		w = f
+	}
+	if _, err := hf.WriteTo(w); err != nil {
+		fmt.Fprintf(os.Stderr, "mochahosts: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,142 @@
+package mocha_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mocha"
+)
+
+// ExampleNewSimCluster spawns the paper's Myhello task (Figures 1-2) on a
+// simulated three-site cluster.
+func ExampleNewSimCluster() {
+	cluster, err := mocha.NewSimCluster(3, mocha.WithEnvironment(mocha.Perfect()))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer func() { _ = cluster.Close() }()
+
+	cluster.MustRegister("Myhello", func() mocha.Task {
+		return mocha.TaskFunc(func(m *mocha.Mocha) {
+			start, _ := m.Parameter.GetDouble("start")
+			m.Result.AddDouble("returnvalue", start+1)
+			m.ReturnResults()
+		})
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	bag := cluster.Home().Bag("main")
+	p := mocha.NewParams()
+	p.AddDouble("start", 41)
+	rh, err := bag.Spawn(ctx, 2, "Myhello", p)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := rh.Wait(ctx)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	v, _ := res.GetDouble("returnvalue")
+	fmt.Println(v)
+	// Output: 42
+}
+
+// ExampleReplicaLock shares an index replica between two sites with entry
+// consistency (the Figure 3 pattern).
+func ExampleReplicaLock() {
+	cluster, err := mocha.NewSimCluster(2, mocha.WithEnvironment(mocha.Perfect()))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer func() { _ = cluster.Close() }()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	home := cluster.Home().Bag("home")
+	idx, err := home.CreateReplica("flatwareIndex", mocha.Ints([]int32{0}), 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	homeLock := home.ReplicaLock(1)
+	if err := homeLock.Associate(ctx, idx); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	remote := cluster.Site(2).Bag("associate")
+	ridx, err := remote.AttachReplica("flatwareIndex", mocha.Ints(nil))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	remoteLock := remote.ReplicaLock(1)
+	if err := remoteLock.Associate(ctx, ridx); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	// Home updates under the lock.
+	if err := homeLock.Lock(ctx); err != nil {
+		fmt.Println(err)
+		return
+	}
+	idx.Content().IntsData()[0] = 7
+	if err := homeLock.Unlock(ctx); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	// The remote site acquires: its replica is now consistent.
+	if err := remoteLock.Lock(ctx); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(ridx.Content().IntsData()[0])
+	_ = remoteLock.Unlock(ctx)
+	// Output: 7
+}
+
+// ExampleSession shows the optimistic, lock-free sharing mode with
+// read-your-writes across replicas.
+func ExampleSession() {
+	cluster, err := mocha.NewSimCluster(2, mocha.WithEnvironment(mocha.Perfect()))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer func() { _ = cluster.Close() }()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	st1, err := cluster.Site(1).Sessions()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	st2, err := cluster.Site(2).Sessions()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	se := mocha.NewSession()
+	if err := se.Write(ctx, st1, "brief", []byte("blue palette")); err != nil {
+		fmt.Println(err)
+		return
+	}
+	// Reading at the other replica waits until the write has propagated.
+	data, err := se.Read(ctx, st2, "brief")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(string(data))
+	// Output: blue palette
+}

@@ -1,0 +1,215 @@
+// Gridsum: a PVM-style metacomputing workload — the kind of parallel
+// application Mocha's spawn/share primitives were "fashioned after
+// constructs for popular local area distributed computing environments
+// such as PVM" to support.
+//
+// The home site numerically integrates f(x) = 4/(1+x^2) over [0,1] (which
+// equals pi) by partitioning the interval across worker tasks spawned at
+// every site. Workers return their partial sums through Result objects
+// AND accumulate into a shared replica under a ReplicaLock, so the run
+// checks both cooperation styles against each other. A shared progress
+// replica with UR equal to the cluster size keeps every site's progress
+// view current via push dissemination.
+//
+//	go run ./examples/gridsum
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"mocha"
+)
+
+const (
+	workers   = 6
+	intervals = 1_200_000
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "gridsum: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	cluster, err := mocha.NewSimCluster(4,
+		mocha.WithEnvironment(mocha.LAN()),
+		mocha.WithOutput(os.Stdout),
+		mocha.WithMaxServers(2),
+	)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = cluster.Close() }()
+
+	cluster.MustRegister("PiWorker", func() mocha.Task {
+		return mocha.TaskFunc(piWorker)
+	})
+
+	bag := cluster.Home().Bag("gridsum-main")
+
+	// The shared accumulator, guarded by a ReplicaLock.
+	acc, err := bag.CreateReplica("acc", mocha.Floats([]float64{0}), 4)
+	if err != nil {
+		return err
+	}
+	accLock := bag.ReplicaLock(1)
+	if err := accLock.Associate(ctx, acc); err != nil {
+		return err
+	}
+
+	// A progress counter disseminated to every site on each release.
+	progress, err := bag.CreateReplica("progress", mocha.Ints([]int32{0}), 4)
+	if err != nil {
+		return err
+	}
+	progressLock := bag.ReplicaLock(2)
+	if err := progressLock.Associate(ctx, progress); err != nil {
+		return err
+	}
+	progressLock.SetUpdateReplicas(4)
+
+	fmt.Printf("gridsum: integrating 4/(1+x^2) over [0,1] with %d intervals across %d workers\n",
+		intervals, workers)
+	start := time.Now()
+	var handles []*mocha.ResultHandle
+	for w := 0; w < workers; w++ {
+		p := mocha.NewParams()
+		p.AddInt("worker", int64(w))
+		p.AddInt("workers", workers)
+		p.AddInt("intervals", intervals)
+		rh, err := bag.SpawnAny(ctx, "PiWorker", p)
+		if err != nil {
+			return fmt.Errorf("spawn worker %d: %w", w, err)
+		}
+		fmt.Printf("gridsum: worker %d placed at site %d\n", w, rh.Site())
+		handles = append(handles, rh)
+	}
+
+	// Gather partial sums from Result objects.
+	var fromResults float64
+	for w, rh := range handles {
+		res, err := rh.Wait(ctx)
+		if err != nil {
+			return fmt.Errorf("worker %d: %w", w, err)
+		}
+		part, err := res.GetDouble("partial")
+		if err != nil {
+			return err
+		}
+		fromResults += part
+	}
+	elapsed := time.Since(start)
+
+	// Read the shared accumulator consistently.
+	if err := accLock.Lock(ctx); err != nil {
+		return err
+	}
+	fromReplica := acc.Content().FloatsData()[0]
+	if err := accLock.Unlock(ctx); err != nil {
+		return err
+	}
+	if err := progressLock.Lock(ctx); err != nil {
+		return err
+	}
+	completed := progress.Content().IntsData()[0]
+	if err := progressLock.Unlock(ctx); err != nil {
+		return err
+	}
+
+	fmt.Printf("gridsum: result via Result objects  = %.12f\n", fromResults)
+	fmt.Printf("gridsum: result via shared replica  = %.12f\n", fromReplica)
+	fmt.Printf("gridsum: pi                         = %.12f\n", math.Pi)
+	fmt.Printf("gridsum: progress replica counted %d/%d workers, wall clock %v\n",
+		completed, workers, elapsed.Round(time.Millisecond))
+
+	if math.Abs(fromResults-math.Pi) > 1e-9 {
+		return fmt.Errorf("result %v too far from pi", fromResults)
+	}
+	if math.Abs(fromReplica-fromResults) > 1e-9 {
+		return fmt.Errorf("replica accumulator %v disagrees with results %v", fromReplica, fromResults)
+	}
+	if completed != workers {
+		return fmt.Errorf("progress = %d, want %d", completed, workers)
+	}
+	return nil
+}
+
+// piWorker computes one stripe of the integral, adds it to the shared
+// accumulator under the lock, bumps the disseminated progress counter, and
+// returns the partial through its Result object.
+func piWorker(m *mocha.Mocha) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	worker, _ := m.Parameter.GetInt("worker")
+	total, _ := m.Parameter.GetInt("workers")
+	n, err := m.Parameter.GetInt("intervals")
+	if err != nil || total == 0 {
+		m.Fail(fmt.Errorf("bad parameters: %v", err))
+		return
+	}
+
+	h := 1.0 / float64(n)
+	var sum float64
+	for i := worker; i < n; i += total {
+		x := h * (float64(i) + 0.5)
+		sum += 4.0 / (1.0 + x*x)
+	}
+	partial := sum * h
+
+	// Entry-consistent accumulation into the shared replica.
+	acc, err := m.AttachReplica("acc", mocha.Floats(nil))
+	if err != nil {
+		m.Fail(err)
+		return
+	}
+	accLock := m.ReplicaLock(1)
+	if err := accLock.Associate(ctx, acc); err != nil {
+		m.Fail(err)
+		return
+	}
+	if err := accLock.Lock(ctx); err != nil {
+		m.Fail(err)
+		return
+	}
+	acc.Content().FloatsData()[0] += partial
+	if err := accLock.Unlock(ctx); err != nil {
+		m.Fail(err)
+		return
+	}
+
+	// Progress, pushed to every site at release time.
+	progress, err := m.AttachReplica("progress", mocha.Ints(nil))
+	if err != nil {
+		m.Fail(err)
+		return
+	}
+	progressLock := m.ReplicaLock(2)
+	if err := progressLock.Associate(ctx, progress); err != nil {
+		m.Fail(err)
+		return
+	}
+	progressLock.SetUpdateReplicas(4)
+	if err := progressLock.Lock(ctx); err != nil {
+		m.Fail(err)
+		return
+	}
+	progress.Content().IntsData()[0]++
+	if err := progressLock.Unlock(ctx); err != nil {
+		m.Fail(err)
+		return
+	}
+
+	m.MochaPrintf("worker %d done: partial %.12f", worker, partial)
+	m.Result.AddDouble("partial", partial)
+	m.ReturnResults()
+}

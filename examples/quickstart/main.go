@@ -1,0 +1,91 @@
+// Quickstart: the paper's Figures 1 and 2 as a runnable program.
+//
+// A Mocha application spawns the Myhello class at remote sites with a
+// Parameter object, and each remotely evaluated task prints through the
+// home console, computes, and returns a Result object.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"mocha"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// Three simulated sites on the LAN profile; site 1 is home.
+	cluster, err := mocha.NewSimCluster(3,
+		mocha.WithEnvironment(mocha.LAN()),
+		mocha.WithOutput(os.Stdout),
+	)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = cluster.Close() }()
+
+	// The Myhello class of Figure 2: read the "start" parameter, add one,
+	// report home.
+	cluster.MustRegister("Myhello", func() mocha.Task {
+		return mocha.TaskFunc(func(m *mocha.Mocha) {
+			start, err := m.Parameter.GetDouble("start")
+			if err != nil {
+				// The Figure 2 error path: remote stack dumps.
+				m.MochaPrintStackTrace(err)
+				m.Fail(err)
+				return
+			}
+			sum := start + 1
+			m.MochaPrintf("Returning as a return value %v", sum)
+			m.Result.AddDouble("returnvalue", sum)
+			m.ReturnResults()
+		})
+	})
+
+	// The TestMocha main of Figure 1: build parameters and spawn.
+	bag := cluster.Home().Bag("TestMocha")
+	for _, site := range []mocha.SiteID{2, 3} {
+		p := mocha.NewParams()
+		p.AddDouble("start", float64(site)*100)
+
+		rh, err := bag.Spawn(ctx, site, "Myhello", p)
+		if err != nil {
+			return fmt.Errorf("spawn at site %d: %w", site, err)
+		}
+		res, err := rh.Wait(ctx)
+		if err != nil {
+			return fmt.Errorf("await site %d: %w", site, err)
+		}
+		v, err := res.GetDouble("returnvalue")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("quickstart: site %d returned %v\n", site, v)
+	}
+
+	// And the error path: a spawn with missing parameters produces a
+	// remote stack dump on the home console.
+	rh, err := bag.Spawn(ctx, 2, "Myhello", mocha.NewParams())
+	if err != nil {
+		return err
+	}
+	if _, err := rh.Wait(ctx); err != nil {
+		fmt.Printf("quickstart: expected failure reported: %v\n", err)
+	}
+	// Give the remote stack dump a moment to reach the console.
+	time.Sleep(200 * time.Millisecond)
+	return nil
+}

@@ -1,0 +1,314 @@
+// Table-setting coordinator: the home service application of Sections 2
+// and 5.1, headless.
+//
+// A consumer at home, a sales associate at the retail outlet, and a friend
+// at another home each run a coordinator "GUI" that shows one flatware,
+// plate, and glassware combination. Pressing next/previous buttons updates
+// shared index replicas guarded by one ReplicaLock; a comment string is
+// shared the same way; and the catalog images are replicas deliberately
+// NOT associated with any lock — they are cached at each host without
+// consistency maintenance, exactly as in the paper. A polling thread in
+// each GUI redraws when the shared indices change.
+//
+// The run ends by measuring the Section 5.1 consistency cost of the shared
+// replicas in the wide-area environment (paper: marshal 3 ms + lock 19 ms
+// + transfer 44 ms = 66 ms).
+//
+//	go run ./examples/tablesetting
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"mocha"
+)
+
+// catalog is the retailer's item list; images are synthetic blobs.
+var (
+	flatware  = []string{"Baroque Silver", "Modern Steel", "Rustic Pewter"}
+	plates    = []string{"White Bone China", "Blue Stoneware", "Floral Porcelain"}
+	glassware = []string{"Cut Crystal", "Simple Flute", "Amber Goblet"}
+)
+
+// participants drive the scripted session in turn order.
+var participants = []struct {
+	site   mocha.SiteID
+	name   string
+	action string // which index the participant advances
+	remark string
+}{
+	{site: 1, name: "home consumer", action: "flatware", remark: "How about these?"},
+	{site: 2, name: "sales associate", action: "plate", remark: "The blue stoneware is on sale."},
+	{site: 3, name: "friend", action: "glassware", remark: "Crystal is too formal — try the flutes!"},
+	{site: 1, name: "home consumer", action: "glassware", remark: "Good Choice"},
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "tablesetting: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// The wide-area environment of Section 5.1 with the 1997 platform
+	// cost model, so the measured consistency costs land near the paper's.
+	cluster, err := mocha.NewSimCluster(3,
+		mocha.WithEnvironment(mocha.WAN()),
+		mocha.WithCostModel(mocha.JDK1Cost()),
+		mocha.WithJavaCodec(),
+		mocha.WithOutput(os.Stdout),
+	)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = cluster.Close() }()
+
+	fmt.Println("tablesetting: distributing catalog images as cached replicas (no consistency maintenance)")
+	if err := distributeImages(ctx, cluster); err != nil {
+		return err
+	}
+
+	// The home consumer's shared state (Figure 3): three index replicas
+	// and a comment string under one ReplicaLock.
+	home := cluster.Home().Bag("home-gui")
+	rlock := home.ReplicaLock(1)
+	indices := map[string]*mocha.Replica{}
+	for _, name := range []string{"flatwareIndex", "plateIndex", "glasswareIndex", "turn"} {
+		r, err := home.CreateReplica(name, mocha.Ints([]int32{0}), 3)
+		if err != nil {
+			return err
+		}
+		if err := rlock.Associate(ctx, r); err != nil {
+			return err
+		}
+		indices[name] = r
+	}
+	comment := mocha.NewStringValue("Hello World")
+	text, err := home.CreateReplica("text", mocha.Object(comment), 3)
+	if err != nil {
+		return err
+	}
+	if err := rlock.Associate(ctx, text); err != nil {
+		return err
+	}
+
+	// Ship the GUI to the remote sites.
+	cluster.MustRegister("CoordinatorGUI", func() mocha.Task {
+		return mocha.TaskFunc(runRemoteGUI)
+	})
+	var guis []*mocha.ResultHandle
+	for _, site := range []mocha.SiteID{2, 3} {
+		rh, err := home.Spawn(ctx, site, "CoordinatorGUI", nil)
+		if err != nil {
+			return err
+		}
+		guis = append(guis, rh)
+	}
+
+	// The home consumer takes part in the same scripted session.
+	if err := driveSession(ctx, "home consumer", 1, rlock, indices, comment); err != nil {
+		return err
+	}
+	for _, rh := range guis {
+		if _, err := rh.Wait(ctx); err != nil {
+			return err
+		}
+	}
+
+	// Final state, read consistently.
+	if err := rlock.Lock(ctx); err != nil {
+		return err
+	}
+	fmt.Printf("tablesetting: final selection — %s\n", renderSetting(
+		indices["flatwareIndex"].Content().IntsData()[0],
+		indices["plateIndex"].Content().IntsData()[0],
+		indices["glasswareIndex"].Content().IntsData()[0],
+		comment.Get()))
+	if err := rlock.Unlock(ctx); err != nil {
+		return err
+	}
+
+	return measureConsistencyCost(ctx, cluster)
+}
+
+// distributeImages publishes the catalog's images to every site as cached
+// replicas.
+func distributeImages(ctx context.Context, cluster *mocha.Cluster) error {
+	names := append(append(append([]string{}, flatware...), plates...), glassware...)
+	for _, item := range names {
+		img := []byte("JPEG-bytes-of-" + item)
+		// Subscribers register the cached replica before the publisher
+		// pushes it.
+		for _, site := range []mocha.SiteID{2, 3} {
+			r, err := cluster.Site(site).Node().AttachReplica("img:"+item, mocha.Bytes(nil))
+			if err != nil {
+				return err
+			}
+			if err := cluster.Site(site).Node().RegisterCached(r); err != nil {
+				return err
+			}
+		}
+		pub, err := cluster.Home().Node().CreateReplica("img:"+item, mocha.Bytes(img), 3)
+		if err != nil {
+			return err
+		}
+		if err := cluster.Home().Node().PublishCached(ctx, pub, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runRemoteGUI is the shipped coordinator task: attach the shared state,
+// then alternate between polling the display and taking scripted turns.
+func runRemoteGUI(m *mocha.Mocha) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	rlock := m.ReplicaLock(1)
+	indices := map[string]*mocha.Replica{}
+	for _, name := range []string{"flatwareIndex", "plateIndex", "glasswareIndex", "turn"} {
+		r, err := m.AttachReplica(name, mocha.Ints(nil))
+		if err != nil {
+			m.Fail(err)
+			return
+		}
+		if err := rlock.Associate(ctx, r); err != nil {
+			m.Fail(err)
+			return
+		}
+		indices[name] = r
+	}
+	comment := mocha.NewStringValue("")
+	text, err := m.AttachReplica("text", mocha.Object(comment))
+	if err != nil {
+		m.Fail(err)
+		return
+	}
+	if err := rlock.Associate(ctx, text); err != nil {
+		m.Fail(err)
+		return
+	}
+
+	name := "sales associate"
+	if m.Site() == 3 {
+		name = "friend"
+	}
+	if err := driveSession(ctx, name, m.Site(), rlock, indices, comment); err != nil {
+		m.Fail(err)
+		return
+	}
+	m.ReturnResults()
+}
+
+// driveSession plays one participant's part: poll the shared indices (the
+// paper's periodic polling thread), redraw on change, and when it is this
+// participant's turn, press the "next" button and leave a comment.
+func driveSession(ctx context.Context, name string, site mocha.SiteID, rlock *mocha.ReplicaLock, indices map[string]*mocha.Replica, comment *mocha.StringValue) error {
+	lastShown := int32(-1)
+	for {
+		if err := rlock.Lock(ctx); err != nil {
+			return err
+		}
+		t := indices["turn"].Content().IntsData()[0]
+		f := indices["flatwareIndex"].Content().IntsData()[0]
+		p := indices["plateIndex"].Content().IntsData()[0]
+		g := indices["glasswareIndex"].Content().IntsData()[0]
+		c := comment.Get()
+
+		if t != lastShown {
+			fmt.Printf("  [%s display] %s\n", name, renderSetting(f, p, g, c))
+			lastShown = t
+		}
+		if int(t) >= len(participants) {
+			// Session over.
+			return rlock.Unlock(ctx)
+		}
+		if actor := participants[t]; actor.site == site {
+			// Our button press: advance the chosen index, update the
+			// comment, bump the turn — all under one lock hold, so the
+			// update is atomic and consistent.
+			key := actor.action + "Index"
+			data := indices[key].Content().IntsData()
+			data[0] = (data[0] + 1) % 3
+			comment.Set(actor.remark)
+			indices["turn"].Content().IntsData()[0] = t + 1
+			fmt.Printf("  [%s] presses next-%s: %q\n", name, actor.action, actor.remark)
+			if err := rlock.Unlock(ctx); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := rlock.Unlock(ctx); err != nil {
+			return err
+		}
+		// Poll again shortly, as the paper's GUI thread does.
+		select {
+		case <-time.After(30 * time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// renderSetting formats the current table setting.
+func renderSetting(f, p, g int32, comment string) string {
+	return fmt.Sprintf("flatware=%q plate=%q glassware=%q comment=%q",
+		flatware[f%3], plates[p%3], glassware[g%3], comment)
+}
+
+// measureConsistencyCost reproduces the Section 5.1 measurement on the
+// live application state.
+func measureConsistencyCost(ctx context.Context, cluster *mocha.Cluster) error {
+	bag := cluster.Site(2).Bag("measure")
+	rlock := bag.ReplicaLock(1)
+
+	// Lock acquisition when up to date (VERSIONOK).
+	if err := rlock.Lock(ctx); err != nil {
+		return err
+	}
+	if err := rlock.Unlock(ctx); err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := rlock.Lock(ctx); err != nil {
+		return err
+	}
+	lockCost := time.Since(start)
+	if err := rlock.Unlock(ctx); err != nil {
+		return err
+	}
+
+	// Lock acquisition with a pending remote update (includes transfer).
+	homeLock := cluster.Home().Bag("measure-home").ReplicaLock(1)
+	if err := homeLock.Lock(ctx); err != nil {
+		return err
+	}
+	if err := homeLock.Unlock(ctx); err != nil {
+		return err
+	}
+	start = time.Now()
+	if err := rlock.Lock(ctx); err != nil {
+		return err
+	}
+	withTransfer := time.Since(start)
+	if err := rlock.Unlock(ctx); err != nil {
+		return err
+	}
+
+	transfer := withTransfer - lockCost
+	if transfer < 0 {
+		transfer = 0
+	}
+	fmt.Printf("tablesetting: consistency cost (WAN): lock %.0f ms + transfer %.0f ms = %.0f ms"+
+		" (paper: lock 19 + transfer 44 + marshal 3 = 66 ms)\n",
+		float64(lockCost)/1e6, float64(transfer)/1e6, float64(withTransfer)/1e6)
+	return nil
+}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyCfg runs experiments fast: 2% scale, one trial, three-site fan-out.
+func tinyCfg() Config {
+	return Config{Scale: 0.02, Trials: 1, MaxSites: 3}
+}
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	want := []string{
+		"table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"app", "smallmsg", "ur", "cablemodem",
+		"ablate-marshal", "ablate-adaptive", "ablate-reuse",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("got %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("experiment %d = %s, want %s", i, all[i].ID, id)
+		}
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("Lookup(%q) failed", id)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup of unknown id succeeded")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	res, err := Table1(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Table, "LAN") || !strings.Contains(res.Table, "WAN") {
+		t.Fatalf("table:\n%s", res.Table)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	res, err := Fig8(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Table, "256K") {
+		t.Fatalf("table:\n%s", res.Table)
+	}
+}
+
+func TestFig9SmallScale(t *testing.T) {
+	// 1K: the basic protocol must win at the full fan-out.
+	res, err := figure(9)(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(res.Table), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasSuffix(strings.TrimSpace(last), "basic") {
+		t.Fatalf("1K LAN winner at max sites should be basic:\n%s", res.Table)
+	}
+}
+
+func TestFig13SmallScale(t *testing.T) {
+	// 256K: the hybrid protocol must win at the full fan-out.
+	cfg := tinyCfg()
+	cfg.MaxSites = 2
+	res, err := figure(13)(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(res.Table), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasSuffix(strings.TrimSpace(last), "hybrid") {
+		t.Fatalf("256K LAN winner should be hybrid:\n%s", res.Table)
+	}
+}
+
+func TestAppBreakdownShape(t *testing.T) {
+	res, err := AppBreakdown(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, comp := range []string{"marshaling", "lock acquisition", "transfer", "total"} {
+		if !strings.Contains(res.Table, comp) {
+			t.Fatalf("missing %q:\n%s", comp, res.Table)
+		}
+	}
+}
+
+func TestSmallMessagesShape(t *testing.T) {
+	res, err := SmallMessages(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Table, "256") {
+		t.Fatalf("table:\n%s", res.Table)
+	}
+}
+
+func TestURSweepShape(t *testing.T) {
+	res, err := URSweep(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Table, "UR") {
+		t.Fatalf("table:\n%s", res.Table)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if _, err := AblateMarshal(tinyCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AblateAdaptive(tinyCfg()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := AblateReuse(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Table, "hybrid+reuse") {
+		t.Fatalf("table:\n%s", res.Table)
+	}
+}
+
+func TestCableModemEnv(t *testing.T) {
+	res, err := CableModemEnv(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Table, "cable modem") {
+		t.Fatalf("table:\n%s", res.Table)
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"mocha/internal/mnet"
+	"mocha/internal/wire"
+)
+
+// client owns the node's client port: it sends application-thread requests
+// to the synchronization thread and routes grants, nacks, and
+// dissemination acks back to the waiting threads.
+type client struct {
+	node *Node
+	port *mnet.Port
+
+	mu       sync.Mutex
+	grants   map[grantKey]chan grantOrNack
+	pushAcks map[pushKey]chan wire.SiteID
+}
+
+type grantKey struct {
+	lock   wire.LockID
+	thread wire.ThreadID
+}
+
+type pushKey struct {
+	lock    wire.LockID
+	version uint64
+}
+
+// grantOrNack is the client port's delivery to a waiting Lock call.
+type grantOrNack struct {
+	grant *wire.Grant
+	nack  *wire.LockNack
+}
+
+func newClient(n *Node) (*client, error) {
+	port, err := n.ep.OpenPort(PortClient)
+	if err != nil {
+		return nil, err
+	}
+	c := &client{
+		node:     n,
+		port:     port,
+		grants:   make(map[grantKey]chan grantOrNack),
+		pushAcks: make(map[pushKey]chan wire.SiteID),
+	}
+	port.SetHandler(c.handle)
+	return c, nil
+}
+
+// handle routes one message arriving on the client port.
+func (c *client) handle(m mnet.Message) {
+	p, err := wire.Unmarshal(m.Data)
+	if err != nil {
+		c.node.log.Logf("client", "bad message: %v", err)
+		return
+	}
+	switch msg := p.(type) {
+	case *wire.Grant:
+		c.mu.Lock()
+		ch := c.grants[grantKey{msg.Lock, msg.Thread}]
+		c.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- grantOrNack{grant: msg}:
+			default:
+				c.node.log.Logf("client", "grant channel full for lock %d", msg.Lock)
+			}
+			return
+		}
+		// No thread is waiting for this grant. Either it is a late
+		// revision of an acquisition that already completed (the thread
+		// currently holds the lock locally — ignore it), or the requester
+		// abandoned the acquisition and the lock must be handed back so
+		// it is not stuck with a phantom holder.
+		st := c.node.getLockLocal(msg.Lock)
+		st.mu.Lock()
+		holding := st.holder == msg.Thread
+		st.mu.Unlock()
+		if holding {
+			return
+		}
+		c.node.log.Logf("client", "returning unwanted grant of lock %d for thread %d", msg.Lock, msg.Thread)
+		go c.autoRelease(msg)
+	case *wire.LockNack:
+		c.mu.Lock()
+		ch := c.grants[grantKey{msg.Lock, msg.Thread}]
+		c.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- grantOrNack{nack: msg}:
+			default:
+			}
+		}
+	case *wire.PushAck:
+		c.mu.Lock()
+		ch := c.pushAcks[pushKey{msg.Lock, msg.Version}]
+		c.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- msg.Site:
+			default:
+			}
+		}
+	default:
+		c.node.log.Logf("client", "unhandled %s on client port", p.Kind())
+	}
+}
+
+// expectGrant registers interest in grants for (lock, thread). The channel
+// is buffered to absorb revised grants.
+func (c *client) expectGrant(lock wire.LockID, thread wire.ThreadID) chan grantOrNack {
+	ch := make(chan grantOrNack, 4)
+	c.mu.Lock()
+	c.grants[grantKey{lock, thread}] = ch
+	c.mu.Unlock()
+	return ch
+}
+
+// dropGrant unregisters interest.
+func (c *client) dropGrant(lock wire.LockID, thread wire.ThreadID) {
+	c.mu.Lock()
+	delete(c.grants, grantKey{lock, thread})
+	c.mu.Unlock()
+}
+
+// expectPushAcks registers a collector for dissemination acknowledgments.
+func (c *client) expectPushAcks(lock wire.LockID, version uint64) chan wire.SiteID {
+	ch := make(chan wire.SiteID, 64)
+	c.mu.Lock()
+	c.pushAcks[pushKey{lock, version}] = ch
+	c.mu.Unlock()
+	return ch
+}
+
+// dropPushAcks unregisters a collector.
+func (c *client) dropPushAcks(lock wire.LockID, version uint64) {
+	c.mu.Lock()
+	delete(c.pushAcks, pushKey{lock, version})
+	c.mu.Unlock()
+}
+
+// autoRelease hands back a grant nobody is waiting for.
+func (c *client) autoRelease(g *wire.Grant) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.node.cfg.RequestTimeout)
+	defer cancel()
+	rel := &wire.ReleaseLock{
+		Lock:       g.Lock,
+		Releaser:   c.node.cfg.Site,
+		Thread:     g.Thread,
+		NewVersion: g.Version,
+		Shared:     g.Shared,
+		Aborted:    true,
+	}
+	if err := c.sendToSync(ctx, rel); err != nil {
+		c.node.log.Logf("client", "auto-release of lock %d failed: %v", g.Lock, err)
+	}
+}
+
+// sendToSync delivers a control message to the synchronization thread,
+// retrying once against a refreshed address if the current one is
+// unreachable — "application threads which time out attempting to contact
+// the failed synchronization thread can query the local daemon thread to
+// obtain the location of the newly created surrogate".
+func (c *client) sendToSync(ctx context.Context, p wire.Payload) error {
+	blob := wire.Marshal(p)
+	addr := c.node.currentSyncAddr()
+
+	sendCtx, cancel := context.WithTimeout(ctx, c.node.cfg.RequestTimeout)
+	err := c.port.Send(sendCtx, addr, blob)
+	cancel()
+	if err == nil {
+		return nil
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+
+	refreshed := c.node.currentSyncAddr()
+	if refreshed == addr {
+		return fmt.Errorf("%w: %v", ErrNoSync, err)
+	}
+	c.node.log.Logf("client", "retrying %s against surrogate at %s", p.Kind(), refreshed)
+	sendCtx, cancel = context.WithTimeout(ctx, c.node.cfg.RequestTimeout)
+	defer cancel()
+	if err := c.port.Send(sendCtx, refreshed, blob); err != nil {
+		return fmt.Errorf("%w: %v", ErrNoSync, err)
+	}
+	return nil
+}

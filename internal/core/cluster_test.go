@@ -1,0 +1,150 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mocha/internal/eventlog"
+	"mocha/internal/marshal"
+	"mocha/internal/mnet"
+	"mocha/internal/netsim"
+	"mocha/internal/transport"
+	"mocha/internal/wire"
+)
+
+// testCluster is an in-process multi-site deployment over the simulated
+// network, with fast timeouts suitable for failure-injection tests.
+type testCluster struct {
+	sn    *transport.SimNetwork
+	nodes map[wire.SiteID]*Node
+}
+
+type clusterOpts struct {
+	mode    TransferMode
+	profile netsim.Profile
+	lease   time.Duration
+	sweep   time.Duration
+	reqTO   time.Duration
+	mnetCfg mnet.Config
+	reuse   bool
+	xferTO  time.Duration
+	// wrapStack lets fault tests interpose on a site's transport stack.
+	wrapStack func(site wire.SiteID, s transport.Stack) transport.Stack
+}
+
+func defaultOpts() clusterOpts {
+	return clusterOpts{
+		mode:    ModeMNet,
+		profile: netsim.Perfect(),
+		lease:   30 * time.Second,
+		sweep:   50 * time.Millisecond,
+		reqTO:   2 * time.Second,
+		mnetCfg: mnet.Config{RTO: 25 * time.Millisecond, MaxRetries: 4},
+	}
+}
+
+// newTestCluster starts n sites; site 1 is home.
+func newTestCluster(t *testing.T, n int, opts clusterOpts) *testCluster {
+	t.Helper()
+	sn := transport.NewSimNetwork(netsim.Config{Profile: opts.profile, Seed: 17})
+	tc := &testCluster{sn: sn, nodes: make(map[wire.SiteID]*Node)}
+
+	directory := make(map[wire.SiteID]string, n)
+	stacks := make(map[wire.SiteID]*transport.SimStack, n)
+	for i := 1; i <= n; i++ {
+		site := wire.SiteID(i)
+		stack, err := sn.NewStack(netsim.NodeID(i))
+		if err != nil {
+			t.Fatalf("stack %d: %v", i, err)
+		}
+		stacks[site] = stack
+		directory[site] = stack.Datagram().LocalAddr()
+	}
+	for i := 1; i <= n; i++ {
+		site := wire.SiteID(i)
+		ep := mnet.NewEndpoint(stacks[site].Datagram(), opts.mnetCfg)
+		var stack transport.Stack = stacks[site]
+		if opts.wrapStack != nil {
+			stack = opts.wrapStack(site, stack)
+		}
+		xferTO := opts.xferTO
+		if xferTO == 0 {
+			xferTO = 10 * time.Second
+		}
+		node, err := NewNode(Config{
+			Site:            site,
+			Endpoint:        ep,
+			Stack:           stack,
+			Directory:       directory,
+			IsHome:          site == wire.HomeSite,
+			Mode:            opts.mode,
+			StreamReuse:     opts.reuse,
+			RequestTimeout:  opts.reqTO,
+			TransferTimeout: xferTO,
+			DefaultLease:    opts.lease,
+			LeaseSweep:      opts.sweep,
+			Log:             eventlog.New(1 << 14),
+		})
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		tc.nodes[site] = node
+	}
+	t.Cleanup(func() {
+		for _, node := range tc.nodes {
+			_ = node.Close()
+		}
+		_ = sn.Close()
+	})
+	return tc
+}
+
+// node returns the node for a site.
+func (tc *testCluster) node(site wire.SiteID) *Node { return tc.nodes[site] }
+
+// kill fail-stops a site: its node closes and the network silences it.
+func (tc *testCluster) kill(site wire.SiteID) {
+	_ = tc.nodes[site].Close()
+	tc.sn.Kill(netsim.NodeID(site))
+}
+
+// tctx returns a generous test context.
+func tctx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// mustCreate creates and associates an int replica under a fresh lock for
+// a handle, returning the lock and replica.
+func mustCreate(t *testing.T, h *Handle, lockID wire.LockID, name string, data []int32, copies int) (*ReplicaLock, *Replica) {
+	t.Helper()
+	r, err := h.Node().CreateReplica(name, marshal.Ints(data), copies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := h.ReplicaLock(lockID)
+	if err := rl.Associate(tctx(t), r); err != nil {
+		t.Fatal(err)
+	}
+	return rl, r
+}
+
+// mustAttach attaches to an existing replica at another site.
+func mustAttach(t *testing.T, h *Handle, lockID wire.LockID, name string) (*ReplicaLock, *Replica) {
+	t.Helper()
+	r, err := h.Node().AttachReplica(name, marshal.Ints(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := h.ReplicaLock(lockID)
+	if err := rl.Associate(tctx(t), r); err != nil {
+		t.Fatal(err)
+	}
+	return rl, r
+}
+
+// settle gives asynchronous registrations time to reach the home site.
+func settle() { time.Sleep(30 * time.Millisecond) }

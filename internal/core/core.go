@@ -1,0 +1,437 @@
+// Package core implements Mocha's robust shared-object model — the paper's
+// primary contribution. It provides Replica and ReplicaLock objects with
+// entry-consistency semantics (Section 2.1), the basic consistency
+// algorithm of Section 3 (application threads, a daemon thread per site,
+// and a synchronization thread at the home site), and the fault-tolerance
+// refinements of Section 4 (push-based update dissemination with a
+// configurable number of up-to-date replicas, failure detection through
+// message timeouts and lock leases, lock breaking, banning of failed
+// threads, and recovery to the most recent surviving version).
+//
+// A Node is one site's view of the shared-object system. Nodes exchange
+// control messages over the mnet library and replica data over either mnet
+// (the paper's first prototype) or the hybrid MNet+TCP protocol (the
+// second prototype), selected by Config.Mode.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mocha/internal/eventlog"
+	"mocha/internal/marshal"
+	"mocha/internal/mnet"
+	"mocha/internal/netsim"
+	"mocha/internal/transport"
+	"mocha/internal/wire"
+)
+
+// Well-known logical ports on every site's endpoint.
+const (
+	// PortSync is where the synchronization thread listens (home site).
+	PortSync uint16 = 1
+	// PortDaemon is the daemon thread's mailbox.
+	PortDaemon uint16 = 2
+	// PortClient receives grants and acks addressed to application
+	// threads.
+	PortClient uint16 = 3
+	// PortSyncAux is the synchronization thread's outbound probe port
+	// (heartbeats, polls, transfer directives during failure handling),
+	// kept separate so probe replies never deadlock the main handler.
+	PortSyncAux uint16 = 5
+	// PortXfer carries hybrid-protocol control traffic and push updates.
+	PortXfer uint16 = 6
+	// PortRuntime is used by the wide-area runtime (package runtime).
+	PortRuntime uint16 = 7
+)
+
+// TransferMode selects how replica data moves between daemons.
+type TransferMode int
+
+// Transfer modes: the paper's two prototypes plus an adaptive policy its
+// results directly suggest (use the stream only above the size where it
+// wins).
+const (
+	// ModeMNet sends replica data as MNet messages (first prototype).
+	ModeMNet TransferMode = iota + 1
+	// ModeHybrid propagates a stream address over MNet and sends replica
+	// data over the TCP-style stream (second prototype).
+	ModeHybrid
+	// ModeAdaptive uses MNet below AdaptiveThreshold bytes and the hybrid
+	// path above it.
+	ModeAdaptive
+)
+
+// String names the mode as the paper does.
+func (m TransferMode) String() string {
+	switch m {
+	case ModeMNet:
+		return "mocha-basic"
+	case ModeHybrid:
+		return "hybrid"
+	case ModeAdaptive:
+		return "adaptive"
+	default:
+		return fmt.Sprintf("TransferMode(%d)", int(m))
+	}
+}
+
+// Config parameterizes a Node.
+type Config struct {
+	// Site is this node's identity; the home site is wire.HomeSite.
+	Site wire.SiteID
+	// Endpoint is the node's MNet endpoint. The node owns it and closes
+	// it on Close.
+	Endpoint *mnet.Endpoint
+	// Stack provides stream listeners/dialers for the hybrid protocol.
+	// Required for ModeHybrid and ModeAdaptive.
+	Stack transport.Stack
+	// Directory maps every site to its endpoint address, as read from the
+	// host file.
+	Directory map[wire.SiteID]string
+	// IsHome starts the synchronization thread on this node.
+	IsHome bool
+	// Codec marshals replica content; all sites must agree.
+	Codec marshal.Codec
+	// Cost is the execution-cost model for stream operations (MNet costs
+	// are charged inside the endpoint's own model).
+	Cost netsim.CostModel
+	// Mode selects the replica transfer protocol.
+	Mode TransferMode
+	// AdaptiveThreshold is the ModeAdaptive cutover size in bytes
+	// (default 2048).
+	AdaptiveThreshold int
+	// StreamReuse caches hybrid-protocol connections per destination
+	// instead of setting up and tearing down per transfer — the obvious
+	// extension to the paper's second prototype, whose per-transfer
+	// "connection and tear-down overheads" cost it the small-message
+	// races.
+	StreamReuse bool
+	// RequestTimeout bounds control-message sends (default 5s).
+	RequestTimeout time.Duration
+	// TransferTimeout bounds replica data transfers (default 60s).
+	TransferTimeout time.Duration
+	// DefaultLease is the lock lease used when a handle does not declare
+	// one (default 30s).
+	DefaultLease time.Duration
+	// LeaseSweep is how often the synchronization thread scans for
+	// expired leases (default 500ms).
+	LeaseSweep time.Duration
+	// Log receives protocol events; nil means a no-op logger.
+	Log *eventlog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Codec == nil {
+		c.Codec = marshal.NewFast(netsim.Native())
+	}
+	if c.Mode == 0 {
+		c.Mode = ModeMNet
+	}
+	if c.AdaptiveThreshold <= 0 {
+		c.AdaptiveThreshold = 2048
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.TransferTimeout <= 0 {
+		c.TransferTimeout = 60 * time.Second
+	}
+	if c.DefaultLease <= 0 {
+		c.DefaultLease = 30 * time.Second
+	}
+	if c.LeaseSweep <= 0 {
+		c.LeaseSweep = 500 * time.Millisecond
+	}
+	if c.Log == nil {
+		c.Log = eventlog.Nop()
+	}
+	return c
+}
+
+// Core errors.
+var (
+	// ErrNotHeld reports Unlock by a thread that does not hold the lock.
+	ErrNotHeld = errors.New("core: lock not held by this thread")
+	// ErrBanned reports that the synchronization thread refused the
+	// request because the thread was banned after a detected failure.
+	ErrBanned = errors.New("core: thread banned by synchronization thread")
+	// ErrClosed reports use of a closed node.
+	ErrClosed = errors.New("core: node closed")
+	// ErrNoSync reports that the synchronization thread is unreachable.
+	ErrNoSync = errors.New("core: synchronization thread unreachable")
+)
+
+// Node is one site's shared-object runtime: its daemon thread, client-side
+// lock machinery, transfer service, and (on the home site) the
+// synchronization thread.
+type Node struct {
+	cfg Config
+	ep  *mnet.Endpoint
+	log *eventlog.Logger
+
+	daemon *daemon
+	client *client
+	xfer   *transferService
+	sync   *syncThread // nil unless home or surrogate
+
+	done chan struct{}
+
+	mu         sync.Mutex
+	closed     bool
+	syncAddr   string
+	syncEpoch  uint32
+	nextThread uint32
+	lockLocals map[wire.LockID]*lockLocal
+	cached     map[string]*Replica
+}
+
+// NewNode builds and starts a site.
+func NewNode(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Endpoint == nil {
+		return nil, errors.New("core: config needs an endpoint")
+	}
+	if cfg.Site == 0 {
+		return nil, errors.New("core: config needs a site id")
+	}
+	if len(cfg.Directory) == 0 {
+		return nil, errors.New("core: config needs a site directory")
+	}
+	home, ok := cfg.Directory[wire.HomeSite]
+	if !ok {
+		return nil, errors.New("core: directory has no home site")
+	}
+	if (cfg.Mode == ModeHybrid || cfg.Mode == ModeAdaptive) && cfg.Stack == nil {
+		return nil, errors.New("core: hybrid transfer needs a transport stack")
+	}
+
+	n := &Node{
+		cfg:        cfg,
+		done:       make(chan struct{}),
+		ep:         cfg.Endpoint,
+		log:        cfg.Log,
+		syncAddr:   mnet.JoinAddr(home, PortSync),
+		syncEpoch:  1,
+		lockLocals: make(map[wire.LockID]*lockLocal),
+		cached:     make(map[string]*Replica),
+	}
+
+	var err error
+	if n.daemon, err = newDaemon(n); err != nil {
+		return nil, fmt.Errorf("core: start daemon: %w", err)
+	}
+	if n.client, err = newClient(n); err != nil {
+		return nil, fmt.Errorf("core: start client: %w", err)
+	}
+	if n.xfer, err = newTransferService(n); err != nil {
+		return nil, fmt.Errorf("core: start transfer service: %w", err)
+	}
+	if cfg.IsHome {
+		if n.sync, err = newSyncThread(n, nil); err != nil {
+			return nil, fmt.Errorf("core: start synchronization thread: %w", err)
+		}
+	}
+	return n, nil
+}
+
+// Site returns this node's site ID.
+func (n *Node) Site() wire.SiteID { return n.cfg.Site }
+
+// Endpoint returns the node's MNet endpoint (for stats and runtime use).
+func (n *Node) Endpoint() *mnet.Endpoint { return n.ep }
+
+// Log returns the node's event logger.
+func (n *Node) Log() *eventlog.Logger { return n.log }
+
+// Mode returns the replica transfer mode.
+func (n *Node) Mode() TransferMode { return n.cfg.Mode }
+
+// Sync returns the local synchronization thread, or nil if this node is
+// not (currently) the home.
+func (n *Node) Sync() *syncThread {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sync
+}
+
+// Close shuts the node down. In-flight operations fail with ErrClosed.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	close(n.done)
+	s := n.sync
+	n.mu.Unlock()
+	if s != nil {
+		s.stop()
+	}
+	return n.ep.Close()
+}
+
+// isClosed reports whether Close has run.
+func (n *Node) isClosed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.closed
+}
+
+// currentSyncAddr returns the synchronization thread's address, which can
+// change when a surrogate takes over.
+func (n *Node) currentSyncAddr() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.syncAddr
+}
+
+// SyncAddr exposes the current synchronization-thread address.
+func (n *Node) SyncAddr() string { return n.currentSyncAddr() }
+
+// SyncEpoch exposes the current synchronization-thread epoch.
+func (n *Node) SyncEpoch() uint32 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.syncEpoch
+}
+
+// Done is closed when the node shuts down.
+func (n *Node) Done() <-chan struct{} { return n.done }
+
+// setSyncAddr installs a new synchronization-thread location (SyncMoved).
+// Stale epochs are ignored.
+func (n *Node) setSyncAddr(addr string, epoch uint32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if epoch < n.syncEpoch {
+		return
+	}
+	n.syncAddr = addr
+	n.syncEpoch = epoch
+	n.log.Logf("sync", "synchronization thread moved to %s (epoch %d)", addr, epoch)
+}
+
+// endpointAddr resolves a site's endpoint address from the directory.
+func (n *Node) endpointAddr(site wire.SiteID) (string, error) {
+	addr, ok := n.cfg.Directory[site]
+	if !ok {
+		return "", fmt.Errorf("core: site %d not in directory", site)
+	}
+	return addr, nil
+}
+
+// daemonAddr resolves a site's daemon port address.
+func (n *Node) daemonAddr(site wire.SiteID) (string, error) {
+	ep, err := n.endpointAddr(site)
+	if err != nil {
+		return "", err
+	}
+	return mnet.JoinAddr(ep, PortDaemon), nil
+}
+
+// clientAddr resolves a site's client port address.
+func (n *Node) clientAddr(site wire.SiteID) (string, error) {
+	ep, err := n.endpointAddr(site)
+	if err != nil {
+		return "", err
+	}
+	return mnet.JoinAddr(ep, PortClient), nil
+}
+
+// xferAddr resolves a site's transfer-control port address.
+func (n *Node) xferAddr(site wire.SiteID) (string, error) {
+	ep, err := n.endpointAddr(site)
+	if err != nil {
+		return "", err
+	}
+	return mnet.JoinAddr(ep, PortXfer), nil
+}
+
+// RuntimeAddr resolves a site's runtime port address (used by package
+// runtime).
+func (n *Node) RuntimeAddr(site wire.SiteID) (string, error) {
+	ep, err := n.endpointAddr(site)
+	if err != nil {
+		return "", err
+	}
+	return mnet.JoinAddr(ep, PortRuntime), nil
+}
+
+// RequestTimeout exposes the configured control-message timeout.
+func (n *Node) RequestTimeout() time.Duration { return n.cfg.RequestTimeout }
+
+// Directory returns a copy of the site directory.
+func (n *Node) Directory() map[wire.SiteID]string {
+	out := make(map[wire.SiteID]string, len(n.cfg.Directory))
+	for k, v := range n.cfg.Directory {
+		out[k] = v
+	}
+	return out
+}
+
+// Sites lists every site in the directory in ascending order.
+func (n *Node) Sites() []wire.SiteID {
+	out := make([]wire.SiteID, 0, len(n.cfg.Directory))
+	for site := range n.cfg.Directory {
+		out = append(out, site)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Handle identifies one application thread to the shared-object system.
+// The travel-bag Mocha object of the runtime layer wraps a Handle, so
+// every remotely evaluated task gets its own.
+type Handle struct {
+	node  *Node
+	id    wire.ThreadID
+	name  string
+	lease time.Duration
+}
+
+// NewHandle registers an application thread.
+func (n *Node) NewHandle(name string) *Handle {
+	n.mu.Lock()
+	n.nextThread++
+	local := n.nextThread
+	n.mu.Unlock()
+	return &Handle{
+		node:  n,
+		id:    wire.MakeThreadID(n.cfg.Site, local),
+		name:  name,
+		lease: n.cfg.DefaultLease,
+	}
+}
+
+// ID returns the cluster-unique thread ID.
+func (h *Handle) ID() wire.ThreadID { return h.id }
+
+// Node returns the handle's site node.
+func (h *Handle) Node() *Node { return h.node }
+
+// SetLease declares how long this thread expects to hold locks — the
+// paper's "threads indicate approximately how long they need to hold a
+// lock", which drives lock-breaking failure detection.
+func (h *Handle) SetLease(d time.Duration) {
+	if d > 0 {
+		h.lease = d
+	}
+}
+
+// getLockLocal returns (creating if needed) the per-site shared state for
+// a lock ID.
+func (n *Node) getLockLocal(id wire.LockID) *lockLocal {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st, ok := n.lockLocals[id]
+	if !ok {
+		st = newLockLocal(id)
+		n.lockLocals[id] = st
+	}
+	return st
+}

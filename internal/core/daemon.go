@@ -1,0 +1,221 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"mocha/internal/marshal"
+	"mocha/internal/mnet"
+	"mocha/internal/wire"
+)
+
+// daemon is the Go form of the paper's daemon thread (Figure 6): a single
+// dispatcher that owns access to the site's shared replicas, transfers
+// them to remote sites on request, and applies arriving updates. It runs
+// as the handler of the daemon port, so its work is serialized exactly
+// like the maximum-priority Java thread in the prototype.
+type daemon struct {
+	node *Node
+	port *mnet.Port
+}
+
+func newDaemon(n *Node) (*daemon, error) {
+	port, err := n.ep.OpenPort(PortDaemon)
+	if err != nil {
+		return nil, err
+	}
+	d := &daemon{node: n, port: port}
+	port.SetHandler(d.handle)
+	return d, nil
+}
+
+// handle processes one daemon-port message.
+func (d *daemon) handle(m mnet.Message) {
+	p, err := wire.Unmarshal(m.Data)
+	if err != nil {
+		d.node.log.Logf("daemon", "bad message: %v", err)
+		return
+	}
+	switch msg := p.(type) {
+	case *wire.TransferReplica:
+		// "when a daemon thread receives a request for its copy of
+		// replicas, the thread identifies the replicas associated with
+		// the lock identifier it receives, marshals those replicas and
+		// sends them to the mandated destination."
+		if err := d.node.xfer.sendReplicas(msg); err != nil {
+			d.node.log.Logf("daemon", "transfer of lock %d to site %d failed: %v", msg.Lock, msg.Dest, err)
+		}
+	case *wire.ReplicaData:
+		d.node.applyReplicaData(msg)
+	case *wire.PushUpdate:
+		d.node.applyPush(msg)
+		ack := &wire.PushAck{Lock: msg.Lock, Site: d.node.cfg.Site, Version: msg.Version}
+		d.replyTo(m.From, ack)
+	case *wire.PollVersion:
+		st := d.node.getLockLocal(msg.Lock)
+		st.mu.Lock()
+		version := st.version
+		st.mu.Unlock()
+		reply := &wire.PollVersionReply{
+			Lock:    msg.Lock,
+			Site:    d.node.cfg.Site,
+			Nonce:   msg.Nonce,
+			Version: version,
+			HasData: version > 0,
+		}
+		d.replyTo(m.From, reply)
+	case *wire.Heartbeat:
+		d.replyTo(m.From, &wire.HeartbeatAck{Nonce: msg.Nonce, Site: d.node.cfg.Site})
+	case *wire.SyncMoved:
+		d.node.setSyncAddr(msg.Addr, msg.Epoch)
+	default:
+		d.node.log.Logf("daemon", "unhandled %s on daemon port", p.Kind())
+	}
+}
+
+// replyTo sends a response back to the message's origin port.
+func (d *daemon) replyTo(to string, p wire.Payload) {
+	ctx, cancel := context.WithTimeout(context.Background(), d.node.cfg.RequestTimeout)
+	defer cancel()
+	if err := d.port.Send(ctx, to, wire.Marshal(p)); err != nil {
+		d.node.log.Logf("daemon", "reply %s to %s failed: %v", p.Kind(), to, err)
+	}
+}
+
+// applyReplicaData installs a transferred replica version, waking any
+// thread blocked in lock() waiting for it. Stale versions are ignored, so
+// duplicate deliveries and overtaken pushes are harmless.
+func (n *Node) applyReplicaData(rd *wire.ReplicaData) {
+	n.applyPayloads(rd.Lock, rd.Version, rd.Replicas, "transfer", rd.From)
+}
+
+// applyPush installs a disseminated update. Lock 0 is the cached-replica
+// namespace: unguarded replicas updated best-effort without consistency
+// maintenance, like the image replicas of the table-setting application.
+func (n *Node) applyPush(pu *wire.PushUpdate) {
+	if pu.Lock == CachedLock {
+		n.applyCached(pu)
+		return
+	}
+	n.applyPayloads(pu.Lock, pu.Version, pu.Replicas, "push", pu.From)
+}
+
+// applyPayloads is the shared update-application path.
+func (n *Node) applyPayloads(lock wire.LockID, version uint64, payloads []wire.ReplicaPayload, how string, from wire.SiteID) {
+	st := n.getLockLocal(lock)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if version <= st.version {
+		n.log.Logf("daemon", "stale %s of lock %d v%d from site %d (have v%d)", how, lock, version, from, st.version)
+		return
+	}
+	for _, p := range payloads {
+		r, ok := st.byName[p.Name]
+		if !ok {
+			// Replica not associated here yet: hold the payload until it
+			// is.
+			st.pending[p.Name] = pendingPayload{version: version, data: p.Data}
+			continue
+		}
+		if err := n.cfg.Codec.Unmarshal(p.Data, r.content); err != nil {
+			n.log.Logf("daemon", "unmarshal %q v%d: %v", p.Name, version, err)
+			return
+		}
+	}
+	st.version = version
+	st.notifyVersionLocked()
+	n.log.Logf("daemon", "applied %s of lock %d v%d from site %d (%d replicas)", how, lock, version, from, len(payloads))
+}
+
+// CachedLock is the reserved lock ID for unguarded cached replicas:
+// shared objects deliberately not associated with any ReplicaLock, "cached
+// at each host without any consistency maintenance being performed on
+// them".
+const CachedLock wire.LockID = 0
+
+// RegisterCached installs a local unguarded replica that receives
+// best-effort push updates by name.
+func (n *Node) RegisterCached(r *Replica) error {
+	if r == nil {
+		return fmt.Errorf("core: nil cached replica")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return ErrClosed
+	}
+	n.cached[r.name] = r
+	return nil
+}
+
+// CachedReplica looks up a registered cached replica.
+func (n *Node) CachedReplica(name string) (*Replica, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r, ok := n.cached[name]
+	return r, ok
+}
+
+// applyCached applies a cached-namespace push: last writer wins, no
+// version discipline — the non-synchronization-based sharing mode.
+func (n *Node) applyCached(pu *wire.PushUpdate) {
+	for _, p := range pu.Replicas {
+		n.mu.Lock()
+		r, ok := n.cached[p.Name]
+		n.mu.Unlock()
+		if !ok {
+			n.log.Logf("daemon", "cached push for unregistered %q ignored", p.Name)
+			continue
+		}
+		r.cachedMu.Lock()
+		err := n.cfg.Codec.Unmarshal(p.Data, r.content)
+		r.cachedMu.Unlock()
+		if err != nil {
+			n.log.Logf("daemon", "cached unmarshal %q: %v", p.Name, err)
+		}
+	}
+}
+
+// PublishCached pushes a cached replica's current content to the listed
+// sites (all directory sites when targets is nil), best-effort: failures
+// are logged and skipped, and no ordering is enforced.
+func (n *Node) PublishCached(ctx context.Context, r *Replica, targets []wire.SiteID) error {
+	r.cachedMu.Lock()
+	blob, err := n.cfg.Codec.Marshal(r.content)
+	r.cachedMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("core: marshal cached %q: %w", r.name, err)
+	}
+	if targets == nil {
+		for site := range n.cfg.Directory {
+			if site != n.cfg.Site {
+				targets = append(targets, site)
+			}
+		}
+	}
+	pu := &wire.PushUpdate{
+		Lock:     CachedLock,
+		From:     n.cfg.Site,
+		Version:  1,
+		Replicas: []wire.ReplicaPayload{{Name: r.name, Data: blob}},
+	}
+	msg := wire.Marshal(pu)
+	for _, site := range targets {
+		addr, err := n.daemonAddr(site)
+		if err != nil {
+			n.log.Logf("daemon", "cached publish: %v", err)
+			continue
+		}
+		sendCtx, cancel := context.WithTimeout(ctx, n.cfg.RequestTimeout)
+		if err := n.xfer.port.Send(sendCtx, addr, msg); err != nil {
+			n.log.Logf("daemon", "cached publish of %q to site %d failed: %v", r.name, site, err)
+		}
+		cancel()
+	}
+	return nil
+}
+
+// Marshal content helper used by the runtime layer.
+func (n *Node) marshalContent(c *marshal.Content) ([]byte, error) {
+	return n.cfg.Codec.Marshal(c)
+}

@@ -1,0 +1,472 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"mocha/internal/marshal"
+	"mocha/internal/wire"
+)
+
+// Replica is one named shared object at one site. "All objects that are
+// desired to be shared in the Mocha system must be of type Replica or
+// subclass from it"; here the typed payload lives in marshal.Content and
+// typed wrappers in the public API play the role of generated subclasses.
+type Replica struct {
+	node    *Node
+	name    string
+	content *marshal.Content
+	copies  int
+	created bool
+
+	// cachedMu guards content for replicas registered as cached
+	// (unguarded) objects, which the daemon updates outside any lock.
+	cachedMu sync.Mutex
+}
+
+// ReadCached runs f with exclusive access to a cached replica's content.
+// Replicas guarded by a ReplicaLock do not need this: entry consistency
+// already serializes access. Cached replicas have no lock, so concurrent
+// push application and reading must synchronize here.
+func (r *Replica) ReadCached(f func(*marshal.Content)) {
+	r.cachedMu.Lock()
+	defer r.cachedMu.Unlock()
+	f(r.content)
+}
+
+// CreateReplica creates a shared object with initial data at this site —
+// the paper's Replica constructor that takes the data and the desired
+// number of copies.
+func (n *Node) CreateReplica(name string, content *marshal.Content, copies int) (*Replica, error) {
+	if name == "" {
+		return nil, fmt.Errorf("core: replica needs a name")
+	}
+	if content == nil {
+		return nil, fmt.Errorf("core: replica %q needs content", name)
+	}
+	if copies < 1 {
+		copies = 1
+	}
+	return &Replica{node: n, name: name, content: content, copies: copies, created: true}, nil
+}
+
+// AttachReplica obtains a local copy of an existing shared object — the
+// paper's second constructor form, `new Replica("flatwareIndex", mocha)`.
+// The content's kind declares the expected type; its data is replaced when
+// the first consistent version arrives.
+func (n *Node) AttachReplica(name string, content *marshal.Content) (*Replica, error) {
+	if name == "" {
+		return nil, fmt.Errorf("core: replica needs a name")
+	}
+	if content == nil {
+		return nil, fmt.Errorf("core: replica %q needs content", name)
+	}
+	return &Replica{node: n, name: name, content: content}, nil
+}
+
+// Name returns the replica's cluster-wide identifier.
+func (r *Replica) Name() string { return r.name }
+
+// Content returns the replica's typed payload. Access it only between
+// Lock and Unlock of the associated ReplicaLock (entry consistency).
+func (r *Replica) Content() *marshal.Content { return r.content }
+
+// Copies returns the requested replication factor (the paper's numcopies).
+func (r *Replica) Copies() int { return r.copies }
+
+// lockLocal is the per-site state shared by every ReplicaLock object with
+// the same ID: the local serialization gate, the associated replicas, and
+// the local data version.
+type lockLocal struct {
+	id wire.LockID
+	// gate serializes local threads: "if another local thread currently
+	// has this lock or waiting for it: wait()".
+	gate chan struct{}
+
+	mu       sync.Mutex
+	replicas []*Replica
+	byName   map[string]*Replica
+	version  uint64
+	// pending buffers payloads for names not yet associated locally.
+	pending map[string]pendingPayload
+	ur      int
+	// holder is the local thread currently holding the global lock.
+	holder     wire.ThreadID
+	heldGrant  *wire.Grant
+	heldShared bool
+	// waiters are version watchers (threads waiting for transferred data).
+	waiters []*versionWaiter
+}
+
+type pendingPayload struct {
+	version uint64
+	data    []byte
+}
+
+type versionWaiter struct {
+	min uint64
+	ch  chan struct{}
+}
+
+func newLockLocal(id wire.LockID) *lockLocal {
+	return &lockLocal{
+		id:      id,
+		gate:    make(chan struct{}, 1),
+		byName:  make(map[string]*Replica),
+		pending: make(map[string]pendingPayload),
+		ur:      1,
+	}
+}
+
+// versionReached reports whether local data is at least min, registering a
+// waiter otherwise.
+func (st *lockLocal) versionReached(min uint64) (bool, *versionWaiter) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.version >= min {
+		return true, nil
+	}
+	w := &versionWaiter{min: min, ch: make(chan struct{}, 1)}
+	st.waiters = append(st.waiters, w)
+	return false, w
+}
+
+// notifyVersionLocked wakes waiters satisfied by the current version.
+// Caller holds st.mu.
+func (st *lockLocal) notifyVersionLocked() {
+	kept := st.waiters[:0]
+	for _, w := range st.waiters {
+		if st.version >= w.min {
+			select {
+			case w.ch <- struct{}{}:
+			default:
+			}
+			continue
+		}
+		kept = append(kept, w)
+	}
+	st.waiters = kept
+}
+
+// dropWaiter removes a registered waiter.
+func (st *lockLocal) dropWaiter(w *versionWaiter) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for i, x := range st.waiters {
+		if x == w {
+			st.waiters = append(st.waiters[:i], st.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// ReplicaLock is the application-facing synchronization object. Each
+// thread constructs its own ReplicaLock for a given ID (as in
+// `new ReplicaLock(1, mocha)`); all ReplicaLocks with one ID at one site
+// share local state.
+type ReplicaLock struct {
+	h    *Handle
+	node *Node
+	id   wire.LockID
+	st   *lockLocal
+}
+
+// ReplicaLock builds this thread's view of the lock with the given ID.
+func (h *Handle) ReplicaLock(id wire.LockID) *ReplicaLock {
+	return &ReplicaLock{h: h, node: h.node, id: id, st: h.node.getLockLocal(id)}
+}
+
+// ID returns the lock's cluster-wide identifier.
+func (rl *ReplicaLock) ID() wire.LockID { return rl.id }
+
+// Associate binds a replica to this lock, making it part of the state the
+// lock keeps consistent, and registers the site's interest with the
+// synchronization thread.
+func (rl *ReplicaLock) Associate(ctx context.Context, r *Replica) error {
+	if r == nil {
+		return fmt.Errorf("core: cannot associate nil replica")
+	}
+	rl.st.mu.Lock()
+	if existing, dup := rl.st.byName[r.name]; dup {
+		// Another local thread already associated this name (each thread
+		// constructs its own Replica object, as in `new Replica("acc",
+		// mocha)`). All local Replica objects for one name share the
+		// site's single copy of the data.
+		if existing.content.Kind() != r.content.Kind() {
+			rl.st.mu.Unlock()
+			return fmt.Errorf("core: replica %q is %s here, not %s",
+				r.name, existing.content.Kind(), r.content.Kind())
+		}
+		r.content = existing.content
+	} else {
+		rl.st.replicas = append(rl.st.replicas, r)
+		rl.st.byName[r.name] = r
+		if r.created && rl.st.version == 0 {
+			// Creating a shared object seeds version 1 locally; the
+			// registration below seeds it at the synchronization thread.
+			rl.st.version = 1
+		}
+		// Apply any payload that arrived before the association.
+		if p, ok := rl.st.pending[r.name]; ok {
+			delete(rl.st.pending, r.name)
+			if err := rl.node.cfg.Codec.Unmarshal(p.data, r.content); err != nil {
+				rl.node.log.Logf("daemon", "apply pending payload for %q: %v", r.name, err)
+			}
+		}
+	}
+	rl.st.mu.Unlock()
+
+	reg := &wire.RegisterReplica{
+		Lock:    rl.id,
+		Site:    rl.node.cfg.Site,
+		Names:   []string{r.name},
+		Creator: r.created,
+	}
+	if err := rl.node.client.sendToSync(ctx, reg); err != nil {
+		return fmt.Errorf("core: register replica %q: %w", r.name, err)
+	}
+	return nil
+}
+
+// SetUpdateReplicas configures UR, the number of sites that receive the
+// new object state at every release. UR = 1 disables dissemination; UR = k
+// pushes the value to k-1 additional registered daemons "even when it is
+// not required by the consistency protocols", buying availability with
+// bandwidth (Section 4).
+func (rl *ReplicaLock) SetUpdateReplicas(k int) {
+	if k < 1 {
+		k = 1
+	}
+	rl.st.mu.Lock()
+	defer rl.st.mu.Unlock()
+	rl.st.ur = k
+}
+
+// UpdateReplicas returns the current UR setting.
+func (rl *ReplicaLock) UpdateReplicas() int {
+	rl.st.mu.Lock()
+	defer rl.st.mu.Unlock()
+	return rl.st.ur
+}
+
+// Version returns the version of the locally held replica data.
+func (rl *ReplicaLock) Version() uint64 {
+	rl.st.mu.Lock()
+	defer rl.st.mu.Unlock()
+	return rl.st.version
+}
+
+// Lock acquires the lock exclusively. When it returns nil, the associated
+// replicas are consistent with the most recent update and may be accessed
+// and modified until Unlock.
+func (rl *ReplicaLock) Lock(ctx context.Context) error { return rl.lock(ctx, false) }
+
+// LockShared acquires the lock in read-only mode; multiple readers may
+// hold it concurrently, and a release does not produce a new version.
+func (rl *ReplicaLock) LockShared(ctx context.Context) error { return rl.lock(ctx, true) }
+
+// lock implements Figure 5's lock() method plus the wide-area failure
+// handling: request, await grant, and if NEEDNEWVERSION await the replica
+// transfer (accepting revised grants when failure handling downgraded the
+// available version).
+func (rl *ReplicaLock) lock(ctx context.Context, shared bool) error {
+	if rl.node.isClosed() {
+		return ErrClosed
+	}
+	// Local serialization ("wait()" in the pseudocode).
+	select {
+	case rl.st.gate <- struct{}{}:
+	case <-rl.node.done:
+		return ErrClosed
+	case <-ctx.Done():
+		return fmt.Errorf("core: lock %d: %w", rl.id, ctx.Err())
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			<-rl.st.gate
+		}
+	}()
+
+	grantCh := rl.node.client.expectGrant(rl.id, rl.h.id)
+	defer rl.node.client.dropGrant(rl.id, rl.h.id)
+
+	req := &wire.AcquireLock{
+		Lock:        rl.id,
+		Requester:   rl.node.cfg.Site,
+		Thread:      rl.h.id,
+		Shared:      shared,
+		LeaseMillis: uint32(rl.h.lease / time.Millisecond),
+	}
+	if err := rl.node.client.sendToSync(ctx, req); err != nil {
+		return fmt.Errorf("core: lock %d request: %w", rl.id, err)
+	}
+
+	// Await the GRANT.
+	var grant *wire.Grant
+	select {
+	case g := <-grantCh:
+		if g.nack != nil {
+			return fmt.Errorf("core: lock %d: %w: %s", rl.id, ErrBanned, g.nack.Reason)
+		}
+		grant = g.grant
+	case <-rl.node.done:
+		return ErrClosed
+	case <-ctx.Done():
+		return fmt.Errorf("core: lock %d awaiting grant: %w", rl.id, ctx.Err())
+	}
+
+	// Await the data if a new version is in flight. The thread never
+	// assumes replicas will arrive; it examines the flag.
+	for grant.Flag == wire.NeedNewVersion {
+		reached, waiter := rl.st.versionReached(grant.Version)
+		if reached {
+			break
+		}
+		select {
+		case <-waiter.ch:
+		case <-rl.node.done:
+			rl.st.dropWaiter(waiter)
+			return ErrClosed
+		case g := <-grantCh:
+			// A revised grant supersedes the original: the promised
+			// version is lost and an older one must be accepted.
+			rl.st.dropWaiter(waiter)
+			if g.nack != nil {
+				return fmt.Errorf("core: lock %d: %w: %s", rl.id, ErrBanned, g.nack.Reason)
+			}
+			if g.grant.Revised {
+				grant = g.grant
+			}
+		case <-ctx.Done():
+			rl.st.dropWaiter(waiter)
+			// We own the lock but never saw the data: abort the hold so
+			// the system does not deadlock on us.
+			rl.releaseAborted(grant, shared)
+			return fmt.Errorf("core: lock %d awaiting transfer: %w", rl.id, ctx.Err())
+		}
+	}
+
+	rl.st.mu.Lock()
+	rl.st.holder = rl.h.id
+	rl.st.heldGrant = grant
+	rl.st.heldShared = shared
+	if grant.Version > rl.st.version && grant.Flag == wire.VersionOK {
+		// VERSIONOK with a newer version means the synchronization thread
+		// believes our copy is current (we are in the up-to-date set from
+		// an earlier push); trust the bookkeeping.
+		rl.st.version = grant.Version
+	}
+	rl.st.mu.Unlock()
+	ok = true
+	return nil
+}
+
+// Unlock releases the lock per Figure 5's unlock(): disseminate the new
+// value to UR-1 registered daemons, then send the synchronization thread
+// the release with the new version number and the up-to-date set.
+func (rl *ReplicaLock) Unlock(ctx context.Context) error {
+	rl.st.mu.Lock()
+	if rl.st.holder != rl.h.id {
+		rl.st.mu.Unlock()
+		return ErrNotHeld
+	}
+	grant := rl.st.heldGrant
+	shared := rl.st.heldShared
+	ur := rl.st.ur
+	rl.st.mu.Unlock()
+
+	newVersion := grant.Version
+	upToDate := wire.NewSiteSet(rl.node.cfg.Site)
+	if !shared {
+		newVersion = grant.Version + 1
+		rl.st.mu.Lock()
+		rl.st.version = newVersion
+		rl.st.notifyVersionLocked()
+		var payloads []wire.ReplicaPayload
+		var err error
+		if ur > 1 {
+			// Marshal only when disseminating: with UR = 1 the new value
+			// stays here until another site's acquisition pulls it.
+			payloads, err = rl.marshalReplicasLocked()
+		}
+		rl.st.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("core: unlock %d: %w", rl.id, err)
+		}
+		if ur > 1 {
+			acked := rl.node.xfer.disseminate(ctx, rl.id, newVersion, payloads, grant.Sharers, ur-1)
+			for _, site := range acked {
+				upToDate.Add(site)
+			}
+		}
+	}
+
+	rel := &wire.ReleaseLock{
+		Lock:       rl.id,
+		Releaser:   rl.node.cfg.Site,
+		Thread:     rl.h.id,
+		NewVersion: newVersion,
+		UpToDate:   upToDate,
+		Shared:     shared,
+	}
+	err := rl.node.client.sendToSync(ctx, rel)
+
+	rl.st.mu.Lock()
+	rl.st.holder = 0
+	rl.st.heldGrant = nil
+	rl.st.mu.Unlock()
+	// "a local transfer is not permitted to insure lock acquisition
+	// proceeds in a manner that guarantees fairness": local waiters go
+	// through the home-site queue like everyone else.
+	<-rl.st.gate
+
+	if err != nil {
+		return fmt.Errorf("core: unlock %d release: %w", rl.id, err)
+	}
+	return nil
+}
+
+// releaseAborted tells the synchronization thread we gave up without ever
+// observing the granted version.
+func (rl *ReplicaLock) releaseAborted(grant *wire.Grant, shared bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), rl.node.cfg.RequestTimeout)
+	defer cancel()
+	rel := &wire.ReleaseLock{
+		Lock:       rl.id,
+		Releaser:   rl.node.cfg.Site,
+		Thread:     rl.h.id,
+		NewVersion: grant.Version,
+		UpToDate:   wire.SiteSet{},
+		Shared:     shared,
+		Aborted:    true,
+	}
+	if err := rl.node.client.sendToSync(ctx, rel); err != nil {
+		rl.node.log.Logf("lock", "abort release of lock %d failed: %v", rl.id, err)
+	}
+}
+
+// marshalReplicasLocked packs the lock's replicas — Figure 6's
+// packReplicas(). Caller holds st.mu.
+func (rl *ReplicaLock) marshalReplicasLocked() ([]wire.ReplicaPayload, error) {
+	payloads := make([]wire.ReplicaPayload, 0, len(rl.st.replicas))
+	for _, r := range rl.st.replicas {
+		blob, err := rl.node.cfg.Codec.Marshal(r.content)
+		if err != nil {
+			return nil, fmt.Errorf("marshal replica %q: %w", r.name, err)
+		}
+		payloads = append(payloads, wire.ReplicaPayload{Name: r.name, Data: blob})
+	}
+	return payloads, nil
+}
+
+// Replicas returns the replicas associated with this lock at this site.
+func (rl *ReplicaLock) Replicas() []*Replica {
+	rl.st.mu.Lock()
+	defer rl.st.mu.Unlock()
+	out := make([]*Replica, len(rl.st.replicas))
+	copy(out, rl.st.replicas)
+	return out
+}

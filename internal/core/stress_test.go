@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mocha/internal/marshal"
+	"mocha/internal/wire"
+)
+
+// TestStressManyLocksManySites drives several independent locks from every
+// site concurrently, mixing exclusive increments with shared reads, and
+// verifies no update is lost and no reader observes a torn value.
+func TestStressManyLocksManySites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const (
+		sites      = 4
+		locks      = 3
+		increments = 6
+	)
+	tc := newTestCluster(t, sites, defaultOpts())
+	ctx := tctx(t)
+
+	// Home creates every counter; counters carry (value, value*2) so a
+	// torn read is detectable.
+	h1 := tc.node(1).NewHandle("creator")
+	creatorLocks := make([]*ReplicaLock, locks)
+	for l := 0; l < locks; l++ {
+		rl, _ := mustCreate(t, h1, wire.LockID(20+l), fmt.Sprintf("ctr%d", l), []int32{0, 0}, sites)
+		creatorLocks[l] = rl
+	}
+	settle()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, sites*locks)
+	for s := 1; s <= sites; s++ {
+		site := wire.SiteID(s)
+		for l := 0; l < locks; l++ {
+			l := l
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				h := tc.node(site).NewHandle(fmt.Sprintf("w%d-%d", site, l))
+				r, err := tc.node(site).AttachReplica(fmt.Sprintf("ctr%d", l), marshal.Ints(nil))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				rl := h.ReplicaLock(wire.LockID(20 + l))
+				if err := rl.Associate(ctx, r); err != nil {
+					errCh <- err
+					return
+				}
+				for i := 0; i < increments; i++ {
+					// Exclusive increment.
+					if err := rl.Lock(ctx); err != nil {
+						errCh <- fmt.Errorf("site %d lock %d: %w", site, l, err)
+						return
+					}
+					data := r.Content().IntsData()
+					data[0]++
+					data[1] = data[0] * 2
+					if err := rl.Unlock(ctx); err != nil {
+						errCh <- err
+						return
+					}
+					// Shared read: the invariant must hold.
+					if err := rl.LockShared(ctx); err != nil {
+						errCh <- err
+						return
+					}
+					d := r.Content().IntsData()
+					if d[1] != d[0]*2 {
+						errCh <- fmt.Errorf("torn read at site %d lock %d: %v", site, l, d)
+						_ = rl.Unlock(ctx)
+						return
+					}
+					if err := rl.Unlock(ctx); err != nil {
+						errCh <- err
+						return
+					}
+				}
+				errCh <- nil
+			}()
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for l, rl := range creatorLocks {
+		if err := rl.Lock(ctx); err != nil {
+			t.Fatal(err)
+		}
+		replicas := rl.Replicas()
+		got := replicas[0].Content().IntsData()
+		want := int32(sites * increments)
+		if got[0] != want || got[1] != want*2 {
+			t.Fatalf("lock %d: final = %v, want [%d %d]", l, got, want, want*2)
+		}
+		if err := rl.Unlock(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStressDisseminationUnderContention mixes UR>1 releases with
+// concurrent acquisitions from pushed sites.
+func TestStressDisseminationUnderContention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const sites = 4
+	tc := newTestCluster(t, sites, defaultOpts())
+	ctx := tctx(t)
+
+	h1 := tc.node(1).NewHandle("creator")
+	rl1, _ := mustCreate(t, h1, 30, "pushy", []int32{0}, sites)
+	_ = rl1
+	settle()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, sites)
+	for s := 1; s <= sites; s++ {
+		site := wire.SiteID(s)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := tc.node(site).NewHandle(fmt.Sprintf("p%d", site))
+			var r *Replica
+			var err error
+			if site == 1 {
+				r = rl1.Replicas()[0]
+			} else {
+				r, err = tc.node(site).AttachReplica("pushy", marshal.Ints(nil))
+				if err != nil {
+					errCh <- err
+					return
+				}
+			}
+			rl := h.ReplicaLock(30)
+			if site != 1 {
+				if err := rl.Associate(ctx, r); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			rl.SetUpdateReplicas(sites) // full dissemination on every release
+			for i := 0; i < 4; i++ {
+				if err := rl.Lock(ctx); err != nil {
+					errCh <- fmt.Errorf("site %d: %w", site, err)
+					return
+				}
+				r.Content().IntsData()[0]++
+				if err := rl.Unlock(ctx); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			errCh <- nil
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := rl1.Lock(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = rl1.Unlock(ctx) }()
+	if got := rl1.Replicas()[0].Content().IntsData()[0]; got != sites*4 {
+		t.Fatalf("final counter = %d, want %d", got, sites*4)
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"mocha/internal/mnet"
+	"mocha/internal/wire"
+)
+
+// This file implements the synchronization-thread recovery the paper
+// sketches at the end of Section 4: "Failure detection and handling of the
+// synchronization thread could be handled by logging its state and
+// employing a recovery protocol whereby a new synchronization thread is
+// spawned which informs the daemon threads of its existence."
+//
+// The state log is a snapshot of the durable lock bookkeeping (versions,
+// last owners, up-to-date sets, sharer sets, bans). Transient state —
+// in-flight holds and queued requests — is deliberately not recovered:
+// threads waiting on the dead manager time out, query their local daemon
+// for the surrogate's address (which the SyncMoved broadcast installed),
+// and re-issue their requests.
+
+// SyncState is a serializable snapshot of the synchronization thread.
+type SyncState struct {
+	Epoch  uint32
+	Locks  map[wire.LockID]LockSnapshot
+	Banned map[wire.ThreadID]string
+}
+
+// LockSnapshot is one lock's durable record.
+type LockSnapshot struct {
+	Version   uint64
+	LastOwner wire.SiteID
+	UpToDate  wire.SiteSet
+	Sharers   wire.SiteSet
+	Names     []string
+}
+
+// Snapshot captures the manager's durable state — the "logging its state"
+// half of the recovery protocol.
+func (s *syncThread) Snapshot() SyncState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := SyncState{
+		Epoch:  s.epoch,
+		Locks:  make(map[wire.LockID]LockSnapshot, len(s.locks)),
+		Banned: make(map[wire.ThreadID]string, len(s.banned)),
+	}
+	for id, l := range s.locks {
+		names := make([]string, 0, len(l.names))
+		for n := range l.names {
+			names = append(names, n)
+		}
+		out.Locks[id] = LockSnapshot{
+			Version:   l.version,
+			LastOwner: l.lastOwner,
+			UpToDate:  l.upToDate.Clone(),
+			Sharers:   l.sharers.Clone(),
+			Names:     names,
+		}
+	}
+	for t, reason := range s.banned {
+		out.Banned[t] = reason
+	}
+	return out
+}
+
+// restore loads a snapshot into a fresh manager with a bumped epoch.
+func (s *syncThread) restore(st *SyncState) {
+	s.epoch = st.Epoch + 1
+	for id, snap := range st.Locks {
+		l := s.getLock(id)
+		l.version = snap.Version
+		l.lastOwner = snap.LastOwner
+		l.upToDate = snap.UpToDate.Clone()
+		l.sharers = snap.Sharers.Clone()
+		for _, n := range snap.Names {
+			l.names[n] = true
+		}
+	}
+	for t, reason := range st.Banned {
+		s.banned[t] = reason
+	}
+}
+
+// StartSurrogate spawns a surrogate synchronization thread on this node
+// from a logged snapshot and informs every daemon in the directory of its
+// existence. The node becomes the new home for lock management.
+func (n *Node) StartSurrogate(ctx context.Context, state SyncState) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	if n.sync != nil {
+		n.mu.Unlock()
+		return fmt.Errorf("core: site %d already runs a synchronization thread", n.cfg.Site)
+	}
+	n.mu.Unlock()
+
+	s, err := newSyncThread(n, &state)
+	if err != nil {
+		return fmt.Errorf("core: start surrogate: %w", err)
+	}
+	newAddr := mnet.JoinAddr(n.ep.Addr(), PortSync)
+
+	n.mu.Lock()
+	n.sync = s
+	n.syncAddr = newAddr
+	n.syncEpoch = s.epoch
+	n.mu.Unlock()
+	n.log.Logf("sync", "surrogate synchronization thread started (epoch %d)", s.epoch)
+
+	// Inform the daemon threads of its existence.
+	moved := wire.Marshal(&wire.SyncMoved{Addr: newAddr, Epoch: s.epoch})
+	for site := range n.cfg.Directory {
+		if site == n.cfg.Site {
+			continue
+		}
+		addr, err := n.daemonAddr(site)
+		if err != nil {
+			continue
+		}
+		sendCtx, cancel := context.WithTimeout(ctx, n.cfg.RequestTimeout)
+		if err := s.aux.Send(sendCtx, addr, moved); err != nil {
+			n.log.Logf("sync", "SyncMoved to site %d failed: %v", site, err)
+		}
+		cancel()
+	}
+	return nil
+}

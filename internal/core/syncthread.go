@@ -1,0 +1,521 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mocha/internal/mnet"
+	"mocha/internal/wire"
+)
+
+// syncThread is the synchronization thread of Figure 7: the home-site
+// manager "responsible for granting locks, queuing requests, and deducing
+// whether a new version of replicas must be sent to an application
+// thread", extended with the Section 4 refinements: up-to-date set
+// tracking from push dissemination, transfer-failure recovery by polling
+// daemons, lock leases with heartbeat-confirmed breaking, and banning of
+// failed threads.
+type syncThread struct {
+	node  *Node
+	port  *mnet.Port // main handler: ACQUIRELOCK / RELEASELOCK / REGISTERREPLICA
+	aux   *mnet.Port // outbound probes: transfer directives, polls, heartbeats
+	epoch uint32
+
+	mu     sync.Mutex
+	locks  map[wire.LockID]*syncLock
+	banned map[wire.ThreadID]string
+
+	pollMu      sync.Mutex
+	pollWaiters map[uint64]chan *wire.PollVersionReply
+	nextNonce   atomic.Uint64
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	sweepWG  sync.WaitGroup
+}
+
+// syncLock is the per-lock record ("Lock object") at the home site.
+type syncLock struct {
+	id        wire.LockID
+	version   uint64
+	lastOwner wire.SiteID
+	upToDate  wire.SiteSet
+	sharers   wire.SiteSet
+	names     map[string]bool
+
+	holder  *holderInfo
+	readers map[wire.ThreadID]*holderInfo
+	queue   []*lockRequest
+}
+
+type holderInfo struct {
+	site      wire.SiteID
+	thread    wire.ThreadID
+	grantedAt time.Time
+	lease     time.Duration
+	shared    bool
+}
+
+type lockRequest struct {
+	site   wire.SiteID
+	thread wire.ThreadID
+	shared bool
+	lease  time.Duration
+}
+
+// newSyncThread starts the manager, optionally restoring surrogate state.
+func newSyncThread(n *Node, restore *SyncState) (*syncThread, error) {
+	port, err := n.ep.OpenPort(PortSync)
+	if err != nil {
+		return nil, err
+	}
+	aux, err := n.ep.OpenPort(PortSyncAux)
+	if err != nil {
+		return nil, err
+	}
+	s := &syncThread{
+		node:        n,
+		port:        port,
+		aux:         aux,
+		epoch:       1,
+		locks:       make(map[wire.LockID]*syncLock),
+		banned:      make(map[wire.ThreadID]string),
+		pollWaiters: make(map[uint64]chan *wire.PollVersionReply),
+		stopCh:      make(chan struct{}),
+	}
+	if restore != nil {
+		s.restore(restore)
+	}
+	port.SetHandler(s.handle)
+	aux.SetHandler(s.handleAux)
+	s.sweepWG.Add(1)
+	go s.leaseSweep()
+	return s, nil
+}
+
+// stop terminates the sweep goroutine.
+func (s *syncThread) stop() {
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.sweepWG.Wait()
+}
+
+// Epoch returns the manager's incarnation number.
+func (s *syncThread) Epoch() uint32 { return s.epoch }
+
+// getLock returns (creating if needed) a lock record — "determines if the
+// lock exists and creates a Lock object if necessary".
+func (s *syncThread) getLock(id wire.LockID) *syncLock {
+	l, ok := s.locks[id]
+	if !ok {
+		l = &syncLock{
+			id:      id,
+			names:   make(map[string]bool),
+			readers: make(map[wire.ThreadID]*holderInfo),
+		}
+		s.locks[id] = l
+	}
+	return l
+}
+
+// handle is the main dispatcher loop body of Figure 7.
+func (s *syncThread) handle(m mnet.Message) {
+	p, err := wire.Unmarshal(m.Data)
+	if err != nil {
+		s.node.log.Logf("sync", "bad message: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch msg := p.(type) {
+	case *wire.AcquireLock:
+		s.onAcquire(msg)
+	case *wire.ReleaseLock:
+		s.onRelease(msg)
+	case *wire.RegisterReplica:
+		s.onRegister(msg)
+	default:
+		s.node.log.Logf("sync", "unhandled %s on sync port", p.Kind())
+	}
+}
+
+// handleAux routes probe replies.
+func (s *syncThread) handleAux(m mnet.Message) {
+	p, err := wire.Unmarshal(m.Data)
+	if err != nil {
+		return
+	}
+	switch msg := p.(type) {
+	case *wire.PollVersionReply:
+		s.pollMu.Lock()
+		ch := s.pollWaiters[msg.Nonce]
+		s.pollMu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- msg:
+			default:
+			}
+		}
+	case *wire.HeartbeatAck:
+		// Liveness is established by the probe send being acknowledged at
+		// the MNet level; the explicit ack needs no routing.
+	default:
+	}
+}
+
+// onAcquire implements the ACQUIRELOCK arm of Figure 7.
+func (s *syncThread) onAcquire(msg *wire.AcquireLock) {
+	if reason, isBanned := s.banned[msg.Thread]; isBanned {
+		// "an application thread that fails in this manner is prevented
+		// from making future requests."
+		s.node.log.Logf("sync", "refusing banned thread %d: %s", msg.Thread, reason)
+		nack := &wire.LockNack{Lock: msg.Lock, Thread: msg.Thread, Reason: reason}
+		s.sendToClient(msg.Requester, nack)
+		return
+	}
+	l := s.getLock(msg.Lock)
+	lease := s.node.cfg.DefaultLease
+	if msg.LeaseMillis > 0 {
+		lease = time.Duration(msg.LeaseMillis) * time.Millisecond
+	}
+	l.queue = append(l.queue, &lockRequest{
+		site:   msg.Requester,
+		thread: msg.Thread,
+		shared: msg.Shared,
+		lease:  lease,
+	})
+	s.tryGrant(l)
+}
+
+// onRelease implements the RELEASELOCK arm of Figure 7, with the Section 4
+// refinement that the release carries the set of daemons holding the new
+// version from push dissemination.
+func (s *syncThread) onRelease(msg *wire.ReleaseLock) {
+	l, ok := s.locks[msg.Lock]
+	if !ok {
+		return
+	}
+	switch {
+	case l.holder != nil && l.holder.thread == msg.Thread:
+		l.holder = nil
+	case l.readers[msg.Thread] != nil:
+		delete(l.readers, msg.Thread)
+	default:
+		// A stale release: the lock was broken while this thread held it.
+		s.node.log.Logf("sync", "ignoring stale release of lock %d by thread %d", msg.Lock, msg.Thread)
+		return
+	}
+
+	if !msg.Aborted && !msg.Shared {
+		l.version = msg.NewVersion
+		l.lastOwner = msg.Releaser
+		up := msg.UpToDate.Clone()
+		up.Add(msg.Releaser)
+		l.upToDate = up
+		s.node.log.Logf("sync", "lock %d released at v%d by site %d, up-to-date %s",
+			msg.Lock, l.version, msg.Releaser, l.upToDate)
+	}
+	s.tryGrant(l)
+}
+
+// onRegister implements REGISTERREPLICA: startup and initialization.
+func (s *syncThread) onRegister(msg *wire.RegisterReplica) {
+	l := s.getLock(msg.Lock)
+	l.sharers.Add(msg.Site)
+	for _, name := range msg.Names {
+		l.names[name] = true
+	}
+	if msg.Creator && l.version == 0 {
+		l.version = 1
+		l.lastOwner = msg.Site
+		l.upToDate = wire.NewSiteSet(msg.Site)
+		s.node.log.Logf("sync", "lock %d seeded at v1 by creator site %d", msg.Lock, msg.Site)
+	}
+}
+
+// tryGrant hands the lock to the next compatible queued requests.
+func (s *syncThread) tryGrant(l *syncLock) {
+	for len(l.queue) > 0 {
+		if l.holder != nil {
+			return
+		}
+		head := l.queue[0]
+		if head.shared {
+			l.queue = l.queue[1:]
+			if s.grantOne(l, head) {
+				l.readers[head.thread] = &holderInfo{
+					site: head.site, thread: head.thread,
+					grantedAt: time.Now(), lease: head.lease, shared: true,
+				}
+			}
+			continue
+		}
+		if len(l.readers) > 0 {
+			return
+		}
+		l.queue = l.queue[1:]
+		if s.grantOne(l, head) {
+			l.holder = &holderInfo{
+				site: head.site, thread: head.thread,
+				grantedAt: time.Now(), lease: head.lease,
+			}
+			return
+		}
+		// Grant undeliverable (requester died): fall through to the next
+		// queued request.
+	}
+}
+
+// grantOne sends a GRANT and, when needed, directs the transfer of the
+// newest replicas to the grantee. It reports whether the grant was
+// delivered.
+func (s *syncThread) grantOne(l *syncLock, req *lockRequest) bool {
+	flag := wire.VersionOK
+	if l.version > 0 && !l.upToDate.Contains(req.site) {
+		// "The synchronization thread relies on the method
+		// lastLockOwner() to determine the value of the flag" — here
+		// generalized to the up-to-date set, which always contains the
+		// last owner.
+		flag = wire.NeedNewVersion
+	}
+	g := &wire.Grant{
+		Lock:    l.id,
+		Thread:  req.thread,
+		Version: l.version,
+		Flag:    flag,
+		Shared:  req.shared,
+		Epoch:   s.epoch,
+		Sharers: l.sharers.Clone(),
+	}
+	if !s.sendToClient(req.site, g) {
+		s.node.log.Logf("fault", "grant of lock %d undeliverable to site %d; skipping requester", l.id, req.site)
+		return false
+	}
+	s.node.log.Logf("sync", "granted lock %d v%d to thread %d at site %d (%s)",
+		l.id, l.version, req.thread, req.site, flag)
+
+	if flag == wire.NeedNewVersion {
+		s.directTransfer(l, req)
+	}
+	return true
+}
+
+// directTransfer orders the daemon holding the newest replicas to send a
+// copy to the grantee's site; on failure it runs the Section 4 recovery:
+// poll the remaining daemons for "the most recent version of the replicas
+// available" and, if only an older version survives, downgrade the grant.
+func (s *syncThread) directTransfer(l *syncLock, req *lockRequest) {
+	src := l.lastOwner
+	if err := s.sendDirective(l, src, req.site); err == nil {
+		return
+	}
+	s.node.log.Logf("fault", "transfer directive for lock %d to daemon %d timed out; polling daemons", l.id, src)
+	s.recoverTransfer(l, req, src)
+}
+
+// sendDirective sends one TRANSFERREPLICA to a daemon.
+func (s *syncThread) sendDirective(l *syncLock, src wire.SiteID, dest wire.SiteID) error {
+	addr, err := s.node.daemonAddr(src)
+	if err != nil {
+		return err
+	}
+	dir := &wire.TransferReplica{
+		Lock:      l.id,
+		Dest:      dest,
+		Version:   l.version,
+		RequestID: s.nextNonce.Add(1),
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.node.cfg.RequestTimeout)
+	defer cancel()
+	return s.aux.Send(ctx, addr, wire.Marshal(dir))
+}
+
+// recoverTransfer handles a dead transfer source.
+func (s *syncThread) recoverTransfer(l *syncLock, req *lockRequest, deadSrc wire.SiteID) {
+	best, found := s.pollDaemons(l, deadSrc)
+	if !found {
+		// No surviving copy anywhere: tell the grantee to proceed with
+		// whatever it has.
+		s.node.log.Logf("fault", "no surviving copy of lock %d replicas; weakening to local state at site %d", l.id, req.site)
+		l.lastOwner = req.site
+		l.upToDate = wire.NewSiteSet(req.site)
+		s.sendRevisedGrant(l, req, l.version, wire.VersionOK)
+		return
+	}
+
+	if best.Version < l.version {
+		s.node.log.Logf("fault", "newest copy of lock %d lost; falling back to v%d at site %d (weakened consistency)",
+			l.id, best.Version, best.Site)
+	}
+	l.version = best.Version
+	l.lastOwner = best.Site
+	l.upToDate = wire.NewSiteSet(best.Site)
+
+	if best.Site == req.site {
+		// The grantee itself holds the best surviving copy.
+		s.sendRevisedGrant(l, req, best.Version, wire.VersionOK)
+		return
+	}
+	s.sendRevisedGrant(l, req, best.Version, wire.NeedNewVersion)
+	if err := s.sendDirective(l, best.Site, req.site); err != nil {
+		// The fallback daemon died too; recurse on the remaining set.
+		s.node.log.Logf("fault", "fallback transfer source %d for lock %d also failed", best.Site, l.id)
+		s.recoverTransfer(l, req, best.Site)
+	}
+}
+
+// sendRevisedGrant supersedes an earlier grant after failure recovery.
+func (s *syncThread) sendRevisedGrant(l *syncLock, req *lockRequest, version uint64, flag wire.VersionFlag) {
+	g := &wire.Grant{
+		Lock:    l.id,
+		Thread:  req.thread,
+		Version: version,
+		Flag:    flag,
+		Shared:  req.shared,
+		Epoch:   s.epoch,
+		Sharers: l.sharers.Clone(),
+		Revised: true,
+	}
+	s.sendToClient(req.site, g)
+}
+
+// pollDaemons queries every registered daemon except the known-dead one
+// for its local version, returning the best reply.
+func (s *syncThread) pollDaemons(l *syncLock, exclude wire.SiteID) (*wire.PollVersionReply, bool) {
+	nonce := s.nextNonce.Add(1)
+	ch := make(chan *wire.PollVersionReply, 64)
+	s.pollMu.Lock()
+	s.pollWaiters[nonce] = ch
+	s.pollMu.Unlock()
+	defer func() {
+		s.pollMu.Lock()
+		delete(s.pollWaiters, nonce)
+		s.pollMu.Unlock()
+	}()
+
+	poll := wire.Marshal(&wire.PollVersion{Lock: l.id, Nonce: nonce})
+	asked := 0
+	for _, site := range l.sharers.Sites() {
+		if site == exclude {
+			continue
+		}
+		addr, err := s.node.daemonAddr(site)
+		if err != nil {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), s.node.cfg.RequestTimeout)
+		err = s.aux.Send(ctx, addr, poll)
+		cancel()
+		if err != nil {
+			s.node.log.Logf("fault", "poll of daemon %d failed: %v", site, err)
+			continue
+		}
+		asked++
+	}
+
+	var best *wire.PollVersionReply
+	deadline := time.After(s.node.cfg.RequestTimeout)
+	for got := 0; got < asked; {
+		select {
+		case r := <-ch:
+			got++
+			if r.HasData && (best == nil || r.Version > best.Version) {
+				best = r
+			}
+		case <-deadline:
+			got = asked
+		}
+	}
+	return best, best != nil
+}
+
+// sendToClient delivers a message to a site's client port, reporting
+// success. A failed send is the failure-detection signal for requesters.
+func (s *syncThread) sendToClient(site wire.SiteID, p wire.Payload) bool {
+	addr, err := s.node.clientAddr(site)
+	if err != nil {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.node.cfg.RequestTimeout)
+	defer cancel()
+	if err := s.port.Send(ctx, addr, wire.Marshal(p)); err != nil {
+		return false
+	}
+	return true
+}
+
+// leaseSweep periodically scans held locks for expired leases: "The
+// synchronization thread can periodically peruse its list of held locks to
+// determine if any threads are holding locks for an extraordinary amount
+// of time and therefore a candidate for being a failed thread."
+func (s *syncThread) leaseSweep() {
+	defer s.sweepWG.Done()
+	t := time.NewTicker(s.node.cfg.LeaseSweep)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.sweepOnce()
+		case <-s.stopCh:
+			return
+		}
+	}
+}
+
+// sweepOnce checks every held lock once.
+func (s *syncThread) sweepOnce() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	for _, l := range s.locks {
+		if h := l.holder; h != nil && now.Sub(h.grantedAt) > h.lease {
+			s.checkHolder(l, h, false)
+		}
+		for _, h := range l.readers {
+			if now.Sub(h.grantedAt) > h.lease {
+				s.checkHolder(l, h, true)
+			}
+		}
+	}
+}
+
+// checkHolder confirms a lease-expiry suspicion with a heartbeat and
+// breaks the lock if the holder is dead.
+func (s *syncThread) checkHolder(l *syncLock, h *holderInfo, shared bool) {
+	addr, err := s.node.daemonAddr(h.site)
+	if err != nil {
+		return
+	}
+	hb := wire.Marshal(&wire.Heartbeat{Nonce: s.nextNonce.Add(1)})
+	ctx, cancel := context.WithTimeout(context.Background(), s.node.cfg.RequestTimeout)
+	err = s.aux.Send(ctx, addr, hb)
+	cancel()
+	if err == nil {
+		// Alive but slow: extend one more lease rather than break a
+		// healthy hold.
+		h.grantedAt = time.Now()
+		s.node.log.Logf("sync", "lock %d holder %d over lease but alive; extended", l.id, h.thread)
+		return
+	}
+	// "the synchronization thread can assume the application thread has
+	// failed ... the synchronization thread can simply break the lock and
+	// give it to the next application thread that desires it."
+	s.banned[h.thread] = fmt.Sprintf("lease expired on lock %d and heartbeat to site %d failed", l.id, h.site)
+	if shared {
+		delete(l.readers, h.thread)
+	} else {
+		l.holder = nil
+	}
+	s.node.log.Logf("fault", "broke lock %d held by dead thread %d at site %d", l.id, h.thread, h.site)
+	s.tryGrant(l)
+}
+
+// Banned reports whether a thread has been banned (for tests and tools).
+func (s *syncThread) Banned(t wire.ThreadID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.banned[t]
+	return ok
+}

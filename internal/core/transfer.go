@@ -1,0 +1,492 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mocha/internal/mnet"
+	"mocha/internal/netsim"
+	"mocha/internal/transport"
+	"mocha/internal/wire"
+)
+
+// transferService moves replica data between daemons using the paper's two
+// protocols. "In the first system, all communication is performed using
+// Mocha's network object library. ... For the second prototype, small
+// 'control' messages used for lock acquisition and directing data
+// transfers are sent using Mocha's network object library. For the actual
+// transfer of replica data ... Mocha's network communication is used for
+// establishing a TCP connection (i.e., propagating TCP port numbers) and
+// the actual transfer of replica data is done using TCP."
+type transferService struct {
+	node *Node
+	port *mnet.Port
+
+	nextReq atomic.Uint64
+	// established counts stream connection setups, exposed for tests and
+	// the connection-reuse ablation.
+	established atomic.Int64
+
+	mu      sync.Mutex
+	streams map[uint64]chan string // RequestID -> remote stream address
+	// conns caches established streams per destination when the
+	// connection-reuse extension is enabled.
+	conns map[wire.SiteID]*cachedStream
+}
+
+// cachedStream serializes frames over one reused connection.
+type cachedStream struct {
+	mu   sync.Mutex
+	conn transport.Conn
+}
+
+func newTransferService(n *Node) (*transferService, error) {
+	port, err := n.ep.OpenPort(PortXfer)
+	if err != nil {
+		return nil, err
+	}
+	t := &transferService{
+		node:    n,
+		port:    port,
+		streams: make(map[uint64]chan string),
+		conns:   make(map[wire.SiteID]*cachedStream),
+	}
+	port.SetHandler(t.handle)
+	return t, nil
+}
+
+// handle processes transfer-control traffic.
+func (t *transferService) handle(m mnet.Message) {
+	p, err := wire.Unmarshal(m.Data)
+	if err != nil {
+		t.node.log.Logf("xfer", "bad message: %v", err)
+		return
+	}
+	switch msg := p.(type) {
+	case *wire.OpenStreamRequest:
+		t.acceptStream(m.From, msg)
+	case *wire.OpenStreamReply:
+		t.mu.Lock()
+		ch := t.streams[msg.RequestID]
+		t.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- msg.Addr:
+			default:
+			}
+		}
+	case *wire.PushUpdate:
+		// Push updates may arrive here when sent over the transfer port;
+		// apply and acknowledge exactly as the daemon does.
+		t.node.applyPush(msg)
+		if msg.Lock != CachedLock {
+			ack := &wire.PushAck{Lock: msg.Lock, Site: t.node.cfg.Site, Version: msg.Version}
+			ctx, cancel := context.WithTimeout(context.Background(), t.node.cfg.RequestTimeout)
+			if err := t.port.Send(ctx, m.From, wire.Marshal(ack)); err != nil {
+				t.node.log.Logf("xfer", "push ack to %s failed: %v", m.From, err)
+			}
+			cancel()
+		}
+	case *wire.PushAck:
+		t.node.client.handle(m)
+	default:
+		t.node.log.Logf("xfer", "unhandled %s on transfer port", p.Kind())
+	}
+}
+
+// useStream decides per transfer whether the hybrid stream path applies.
+func (t *transferService) useStream(size int) bool {
+	switch t.node.cfg.Mode {
+	case ModeHybrid:
+		return true
+	case ModeAdaptive:
+		return size > t.node.cfg.AdaptiveThreshold
+	default:
+		return false
+	}
+}
+
+// sendReplicas executes a TransferReplica directive from the
+// synchronization thread: marshal the lock's local replicas and move them
+// to the destination daemon. It runs inside the daemon dispatcher, so its
+// marshaling and sending costs serialize with the site's other daemon
+// work, as in the prototype.
+func (t *transferService) sendReplicas(dir *wire.TransferReplica) error {
+	st := t.node.getLockLocal(dir.Lock)
+	st.mu.Lock()
+	version := st.version
+	payloads := make([]wire.ReplicaPayload, 0, len(st.replicas))
+	var marshalErr error
+	for _, r := range st.replicas {
+		blob, err := t.node.cfg.Codec.Marshal(r.content)
+		if err != nil {
+			marshalErr = fmt.Errorf("marshal %q: %w", r.name, err)
+			break
+		}
+		payloads = append(payloads, wire.ReplicaPayload{Name: r.name, Data: blob})
+	}
+	st.mu.Unlock()
+	if marshalErr != nil {
+		return marshalErr
+	}
+
+	rd := &wire.ReplicaData{
+		Lock:      dir.Lock,
+		From:      t.node.cfg.Site,
+		Version:   version,
+		RequestID: dir.RequestID,
+		Replicas:  payloads,
+	}
+	blob := wire.Marshal(rd)
+	ctx, cancel := context.WithTimeout(context.Background(), t.node.cfg.TransferTimeout)
+	defer cancel()
+
+	if t.useStream(len(blob)) {
+		err := t.sendOverStream(ctx, dir.Dest, blob)
+		if err == nil {
+			t.node.log.Logf("xfer", "hybrid transfer of lock %d v%d to site %d (%d bytes)", dir.Lock, version, dir.Dest, len(blob))
+			return nil
+		}
+		// The stream path failed (listener unreachable, broken
+		// connection); fall back to the basic protocol rather than strand
+		// the waiting acquirer.
+		t.node.log.Logf("fault", "hybrid transfer of lock %d to site %d failed (%v); falling back to mnet", dir.Lock, dir.Dest, err)
+	}
+
+	addr, err := t.node.daemonAddr(dir.Dest)
+	if err != nil {
+		return err
+	}
+	if err := t.node.daemon.port.Send(ctx, addr, blob); err != nil {
+		return fmt.Errorf("mnet transfer to site %d: %w", dir.Dest, err)
+	}
+	t.node.log.Logf("xfer", "mnet transfer of lock %d v%d to site %d (%d bytes)", dir.Lock, version, dir.Dest, len(blob))
+	return nil
+}
+
+// sendOverStream performs the hybrid protocol's bulk move: propagate a
+// stream address over MNet, dial, write one length-prefixed frame, await
+// the receiver's application acknowledgment, and tear the connection down.
+// With the connection-reuse extension enabled, established connections are
+// cached per destination and the per-transfer setup/teardown the paper
+// identifies as the hybrid protocol's weakness disappears after the first
+// transfer. Execution costs for the stream path are charged from the cost
+// model's kernel-speed parameters.
+func (t *transferService) sendOverStream(ctx context.Context, dest wire.SiteID, frame []byte) error {
+	if t.node.cfg.Stack == nil {
+		return fmt.Errorf("no stream stack configured")
+	}
+	if !t.node.cfg.StreamReuse {
+		conn, err := t.establishStream(ctx, dest)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			netsim.Charge(t.node.cfg.Cost.StreamTeardown)
+			_ = conn.Close()
+		}()
+		return t.writeFrame(ctx, conn, frame)
+	}
+
+	// Connection-reuse path: one cached stream per destination.
+	cs := t.cached(dest)
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	for attempt := 0; attempt < 2; attempt++ {
+		if cs.conn == nil {
+			conn, err := t.establishStream(ctx, dest)
+			if err != nil {
+				return err
+			}
+			cs.conn = conn
+		}
+		if err := t.writeFrame(ctx, cs.conn, frame); err != nil {
+			// The cached connection broke; drop it and retry once with a
+			// fresh one.
+			netsim.Charge(t.node.cfg.Cost.StreamTeardown)
+			_ = cs.conn.Close()
+			cs.conn = nil
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("stream to site %d failed after reconnect", dest)
+}
+
+// cached returns the destination's stream cache slot.
+func (t *transferService) cached(dest wire.SiteID) *cachedStream {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cs, ok := t.conns[dest]
+	if !ok {
+		cs = &cachedStream{}
+		t.conns[dest] = cs
+	}
+	return cs
+}
+
+// establishStream performs the hybrid handshake: propagate a listener
+// address over MNet, dial it, and charge the modelled socket-setup cost.
+func (t *transferService) establishStream(ctx context.Context, dest wire.SiteID) (transport.Conn, error) {
+	reqID := t.nextReq.Add(1)
+	ch := make(chan string, 1)
+	t.mu.Lock()
+	t.streams[reqID] = ch
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.streams, reqID)
+		t.mu.Unlock()
+	}()
+
+	xferAddr, err := t.node.xferAddr(dest)
+	if err != nil {
+		return nil, err
+	}
+	req := &wire.OpenStreamRequest{RequestID: reqID, From: t.node.cfg.Site}
+	if err := t.port.Send(ctx, xferAddr, wire.Marshal(req)); err != nil {
+		return nil, fmt.Errorf("propagate stream address: %w", err)
+	}
+
+	var streamAddr string
+	select {
+	case streamAddr = <-ch:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("await stream address: %w", ctx.Err())
+	}
+
+	conn, err := t.node.cfg.Stack.DialStream(streamAddr)
+	if err != nil {
+		return nil, fmt.Errorf("dial stream: %w", err)
+	}
+	t.established.Add(1)
+	netsim.Charge(t.node.cfg.Cost.StreamSetup)
+	return conn, nil
+}
+
+// StreamsEstablished reports how many stream connections this node has set
+// up as a sender.
+func (n *Node) StreamsEstablished() int64 { return n.xfer.established.Load() }
+
+// writeFrame sends one length-prefixed frame and awaits the receiver's
+// one-byte application ack, so the measured transfer includes remote
+// processing, matching the MNet path's semantics.
+func (t *transferService) writeFrame(ctx context.Context, conn transport.Conn, frame []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	netsim.Charge(t.node.cfg.Cost.StreamWriteCost(len(frame) + 4))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return fmt.Errorf("write frame header: %w", err)
+	}
+	if _, err := conn.Write(frame); err != nil {
+		return fmt.Errorf("write frame: %w", err)
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetReadDeadline(deadline)
+	} else {
+		_ = transport.SetReadDeadlineConn(conn, t.node.cfg.TransferTimeout)
+	}
+	var ack [1]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil {
+		return fmt.Errorf("await stream ack: %w", err)
+	}
+	return nil
+}
+
+// acceptStream services an OpenStreamRequest: open a fresh listener,
+// start a goroutine that receives one frame on it, and propagate the
+// listener address back over MNet.
+func (t *transferService) acceptStream(replyTo string, req *wire.OpenStreamRequest) {
+	if t.node.cfg.Stack == nil {
+		t.node.log.Logf("xfer", "stream request from site %d but no stack configured", req.From)
+		return
+	}
+	ln, err := t.node.cfg.Stack.ListenStream()
+	if err != nil {
+		t.node.log.Logf("xfer", "listen for site %d: %v", req.From, err)
+		return
+	}
+	go t.receiveStream(ln)
+
+	reply := &wire.OpenStreamReply{RequestID: req.RequestID, Addr: ln.Addr()}
+	ctx, cancel := context.WithTimeout(context.Background(), t.node.cfg.RequestTimeout)
+	defer cancel()
+	if err := t.port.Send(ctx, replyTo, wire.Marshal(reply)); err != nil {
+		t.node.log.Logf("xfer", "stream reply to %s failed: %v", replyTo, err)
+		_ = ln.Close()
+	}
+}
+
+// receiveStream accepts one connection and serves frames on it until the
+// peer closes (one frame for the per-transfer protocol, many when the
+// sender reuses connections), applying and acknowledging each.
+func (t *transferService) receiveStream(ln transport.Listener) {
+	// Bound how long an abandoned listener lingers.
+	timer := time.AfterFunc(t.node.cfg.TransferTimeout, func() { _ = ln.Close() })
+	conn, err := ln.Accept()
+	timer.Stop()
+	_ = ln.Close()
+	if err != nil {
+		return
+	}
+	defer func() { _ = conn.Close() }()
+
+	for {
+		if !t.serveFrame(conn) {
+			return
+		}
+	}
+}
+
+// serveFrame reads, applies, and acknowledges one frame, reporting whether
+// the connection is still usable.
+func (t *transferService) serveFrame(conn transport.Conn) bool {
+	// Reused connections may idle between transfers indefinitely; bound
+	// each frame read generously rather than the connection lifetime.
+	idle := 10 * t.node.cfg.TransferTimeout
+	_ = transport.SetReadDeadlineConn(conn, idle)
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return false
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	const maxFrame = 64 << 20
+	if size > maxFrame {
+		t.node.log.Logf("xfer", "stream frame of %d bytes rejected", size)
+		return false
+	}
+	frame := make([]byte, size)
+	if _, err := io.ReadFull(conn, frame); err != nil {
+		t.node.log.Logf("xfer", "stream frame read: %v", err)
+		return false
+	}
+
+	p, err := wire.Unmarshal(frame)
+	if err != nil {
+		t.node.log.Logf("xfer", "stream frame decode: %v", err)
+		return false
+	}
+	switch msg := p.(type) {
+	case *wire.ReplicaData:
+		t.node.applyReplicaData(msg)
+	case *wire.PushUpdate:
+		t.node.applyPush(msg)
+	default:
+		t.node.log.Logf("xfer", "unexpected %s over stream", p.Kind())
+		return false
+	}
+	// One-byte application ack: data received and applied.
+	if _, err := conn.Write([]byte{1}); err != nil {
+		return false
+	}
+	return true
+}
+
+// PreparePush advances the lock's local version and marshals its replicas,
+// returning the new version and payloads. It is the marshaling half of a
+// push-based dissemination, split out so the benchmark harness can time
+// marshaling (Figure 8) separately from transfer (Figures 9-14), as the
+// paper's evaluation does.
+func (n *Node) PreparePush(lock wire.LockID) (uint64, []wire.ReplicaPayload, error) {
+	st := n.getLockLocal(lock)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.version++
+	version := st.version
+	payloads := make([]wire.ReplicaPayload, 0, len(st.replicas))
+	for _, r := range st.replicas {
+		blob, err := n.cfg.Codec.Marshal(r.content)
+		if err != nil {
+			return 0, nil, fmt.Errorf("core: marshal %q: %w", r.name, err)
+		}
+		payloads = append(payloads, wire.ReplicaPayload{Name: r.name, Data: blob})
+	}
+	st.notifyVersionLocked()
+	return version, payloads, nil
+}
+
+// PushPayloads disseminates prepared payloads to the target sites
+// sequentially over the configured transfer protocol, returning the sites
+// that confirmed application. This is the transfer operation the paper's
+// Figures 9-14 measure.
+func (n *Node) PushPayloads(ctx context.Context, lock wire.LockID, version uint64, payloads []wire.ReplicaPayload, targets []wire.SiteID) ([]wire.SiteID, error) {
+	var acked []wire.SiteID
+	for _, site := range targets {
+		if err := n.xfer.pushTo(ctx, site, lock, version, payloads); err != nil {
+			return acked, fmt.Errorf("core: push to site %d: %w", site, err)
+		}
+		acked = append(acked, site)
+	}
+	return acked, nil
+}
+
+// disseminate implements the push-based update scheme of Section 4: send
+// the new version to `want` additional registered daemons, working through
+// the candidate set so that "the failure ... can be handled by choosing
+// another daemon thread at another site to receive a copy of the new
+// version of replicas". It returns the sites that confirmed application.
+func (t *transferService) disseminate(ctx context.Context, lock wire.LockID, version uint64, payloads []wire.ReplicaPayload, sharers wire.SiteSet, want int) []wire.SiteID {
+	if want <= 0 {
+		return nil
+	}
+	var candidates []wire.SiteID
+	for _, site := range sharers.Sites() {
+		if site != t.node.cfg.Site {
+			candidates = append(candidates, site)
+		}
+	}
+	var acked []wire.SiteID
+	for _, site := range candidates {
+		if len(acked) >= want {
+			break
+		}
+		if err := t.pushTo(ctx, site, lock, version, payloads); err != nil {
+			t.node.log.Logf("fault", "dissemination of lock %d v%d to site %d failed: %v", lock, version, site, err)
+			continue
+		}
+		acked = append(acked, site)
+	}
+	if len(acked) < want {
+		t.node.log.Logf("fault", "dissemination of lock %d v%d reached %d of %d sites", lock, version, len(acked), want)
+	}
+	return acked
+}
+
+// pushTo sends one push update to one site and waits for its application
+// acknowledgment, over whichever protocol the mode selects.
+func (t *transferService) pushTo(ctx context.Context, site wire.SiteID, lock wire.LockID, version uint64, payloads []wire.ReplicaPayload) error {
+	pu := &wire.PushUpdate{Lock: lock, From: t.node.cfg.Site, Version: version, Replicas: payloads}
+	blob := wire.Marshal(pu)
+
+	sendCtx, cancel := context.WithTimeout(ctx, t.node.cfg.TransferTimeout)
+	defer cancel()
+
+	if t.useStream(len(blob)) {
+		return t.sendOverStream(sendCtx, site, blob)
+	}
+
+	addr, err := t.node.xferAddr(site)
+	if err != nil {
+		return err
+	}
+	ackCh := t.node.client.expectPushAcks(lock, version)
+	defer t.node.client.dropPushAcks(lock, version)
+	if err := t.port.Send(sendCtx, addr, blob); err != nil {
+		return err
+	}
+	for {
+		select {
+		case acker := <-ackCh:
+			if acker == site {
+				return nil
+			}
+		case <-sendCtx.Done():
+			return fmt.Errorf("await push ack from site %d: %w", site, sendCtx.Err())
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package eventlog provides Mocha's "basic debugging and event logging
+// facilities that provide insight into execution of code at remote
+// locations": a structured, timestamped per-site event log whose records
+// can be inspected locally, streamed to a writer, or shipped to the home
+// site's collector as wire.Event messages.
+package eventlog
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one log record.
+type Event struct {
+	Seq      uint64
+	Time     time.Time
+	Category string
+	Text     string
+}
+
+// String renders the event for human consumption.
+func (e Event) String() string {
+	return fmt.Sprintf("%s #%d [%s] %s", e.Time.Format("15:04:05.000"), e.Seq, e.Category, e.Text)
+}
+
+// Sink receives events as they are logged, e.g. to forward them to the
+// home site. Sinks must not block for long.
+type Sink func(Event)
+
+// Logger is a bounded in-memory event log. The zero value is unusable;
+// construct with New. All methods are safe for concurrent use.
+type Logger struct {
+	mu     sync.Mutex
+	seq    uint64
+	ring   []Event
+	max    int
+	sink   Sink
+	writer io.Writer
+	filter map[string]bool // nil means all categories enabled
+}
+
+// New creates a logger retaining at most max events (default 4096 when
+// max <= 0).
+func New(max int) *Logger {
+	if max <= 0 {
+		max = 4096
+	}
+	return &Logger{max: max}
+}
+
+// SetSink installs a forwarding sink (nil disables forwarding).
+func (l *Logger) SetSink(s Sink) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sink = s
+}
+
+// SetWriter also writes each event as text to w (nil disables).
+func (l *Logger) SetWriter(w io.Writer) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.writer = w
+}
+
+// EnableOnly restricts logging to the listed categories. An empty call
+// re-enables everything.
+func (l *Logger) EnableOnly(categories ...string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(categories) == 0 {
+		l.filter = nil
+		return
+	}
+	l.filter = make(map[string]bool, len(categories))
+	for _, c := range categories {
+		l.filter[c] = true
+	}
+}
+
+// Logf records one event.
+func (l *Logger) Logf(category, format string, args ...any) {
+	l.mu.Lock()
+	if l.filter != nil && !l.filter[category] {
+		l.mu.Unlock()
+		return
+	}
+	l.seq++
+	e := Event{Seq: l.seq, Time: time.Now(), Category: category, Text: fmt.Sprintf(format, args...)}
+	l.ring = append(l.ring, e)
+	if len(l.ring) > l.max {
+		l.ring = l.ring[len(l.ring)-l.max:]
+	}
+	sink := l.sink
+	w := l.writer
+	l.mu.Unlock()
+
+	if w != nil {
+		fmt.Fprintln(w, e)
+	}
+	if sink != nil {
+		sink(e)
+	}
+}
+
+// Events returns a copy of the retained events in order.
+func (l *Logger) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.ring))
+	copy(out, l.ring)
+	return out
+}
+
+// CountCategory returns how many retained events have the category —
+// convenient for tests asserting that a protocol path was exercised.
+func (l *Logger) CountCategory(category string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, e := range l.ring {
+		if e.Category == category {
+			n++
+		}
+	}
+	return n
+}
+
+// Nop returns a logger that retains one event (effectively discarding),
+// useful as a default.
+func Nop() *Logger { return New(1) }

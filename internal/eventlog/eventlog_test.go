@@ -1,0 +1,91 @@
+package eventlog
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLogAndRetrieve(t *testing.T) {
+	l := New(10)
+	l.Logf("lock", "grant %d", 7)
+	l.Logf("xfer", "sent %d bytes", 1024)
+	events := l.Events()
+	if len(events) != 2 {
+		t.Fatalf("got %d events", len(events))
+	}
+	if events[0].Category != "lock" || events[0].Text != "grant 7" {
+		t.Fatalf("event 0 = %+v", events[0])
+	}
+	if events[0].Seq != 1 || events[1].Seq != 2 {
+		t.Fatal("sequence numbers wrong")
+	}
+	if l.CountCategory("xfer") != 1 {
+		t.Fatal("CountCategory wrong")
+	}
+}
+
+func TestRingBounded(t *testing.T) {
+	l := New(5)
+	for i := 0; i < 20; i++ {
+		l.Logf("c", "e%d", i)
+	}
+	events := l.Events()
+	if len(events) != 5 {
+		t.Fatalf("ring holds %d", len(events))
+	}
+	if events[0].Text != "e15" || events[4].Text != "e19" {
+		t.Fatalf("wrong retained window: %v..%v", events[0].Text, events[4].Text)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	l := New(10)
+	l.EnableOnly("lock")
+	l.Logf("lock", "kept")
+	l.Logf("xfer", "dropped")
+	if got := len(l.Events()); got != 1 {
+		t.Fatalf("got %d events", got)
+	}
+	l.EnableOnly()
+	l.Logf("xfer", "kept now")
+	if got := len(l.Events()); got != 2 {
+		t.Fatalf("got %d events after unfilter", got)
+	}
+}
+
+func TestSinkAndWriter(t *testing.T) {
+	l := New(10)
+	var got []Event
+	var mu sync.Mutex
+	l.SetSink(func(e Event) { mu.Lock(); got = append(got, e); mu.Unlock() })
+	var sb strings.Builder
+	l.SetWriter(&sb)
+	l.Logf("fault", "lock broken")
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0].Category != "fault" {
+		t.Fatalf("sink got %v", got)
+	}
+	if !strings.Contains(sb.String(), "lock broken") {
+		t.Fatalf("writer got %q", sb.String())
+	}
+}
+
+func TestConcurrentLogging(t *testing.T) {
+	l := New(1000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Logf("c", "x")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(l.Events()); got != 800 {
+		t.Fatalf("got %d events, want 800", got)
+	}
+}

@@ -1,0 +1,72 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `
+package demo
+
+// TableSetting is the home-service app's shared state.
+type TableSetting struct {
+	Flatware int
+	Plate    int32
+	Glass    int64
+	Price    float64
+	Comment  string
+	Thumb    []byte
+	History  []int32
+	Weights  []float64
+	Final    bool
+}
+
+type NotAStruct int
+`
+
+func TestGenerate(t *testing.T) {
+	out, err := Generate([]byte(sample), "TableSetting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := string(out)
+	for _, want := range []string{
+		"package demo",
+		"type TableSettingReplica struct",
+		"func NewTableSettingReplica(v TableSetting)",
+		"func (g *TableSettingReplica) MarshalMocha()",
+		"func (g *TableSettingReplica) UnmarshalMocha(data []byte)",
+		"w.String16(v.Comment)",
+		"w.Bytes32(v.Thumb)",
+		"v.Final = r.Bool()",
+	} {
+		if !strings.Contains(code, want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+	if strings.Contains(code, "<unsupported>") {
+		t.Error("generated code contains unsupported markers")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		src    string
+		target string
+	}{
+		{name: "missing struct", src: sample, target: "Ghost"},
+		{name: "not a struct", src: sample, target: "NotAStruct"},
+		{name: "unexported field", src: "package p\ntype S struct{ x int }", target: "S"},
+		{name: "unsupported type", src: "package p\ntype S struct{ M map[string]int }", target: "S"},
+		{name: "empty struct", src: "package p\ntype S struct{}", target: "S"},
+		{name: "syntax error", src: "package p\nfunc {", target: "S"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Generate([]byte(tt.src), tt.target); err == nil {
+				t.Fatal("Generate succeeded")
+			}
+		})
+	}
+}

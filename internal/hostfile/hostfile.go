@@ -1,0 +1,165 @@
+// Package hostfile reads and writes Mocha host files. "When a new
+// instance of the Mocha object is created, a hostfile is read which
+// provides a list of potential sites at which remote threads may be
+// spawned. The Mocha system provides a tool to generate this host file"
+// (cmd/mochahosts here).
+//
+// The format is line-oriented:
+//
+//	# comment
+//	<site-id> <name> <endpoint-address>
+//
+// Site 1 is always the home site. Endpoint addresses are transport
+// addresses: "host:port" for real UDP deployments, bare node numbers for
+// the in-process simulated network.
+package hostfile
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mocha/internal/wire"
+)
+
+// Entry is one site line.
+type Entry struct {
+	Site wire.SiteID
+	Name string
+	Addr string
+}
+
+// HostFile is a parsed host file.
+type HostFile struct {
+	Entries []Entry
+}
+
+// ErrNoHome reports a host file without site 1.
+var ErrNoHome = errors.New("hostfile: no home site (site 1)")
+
+// Parse reads host file text.
+func Parse(r io.Reader) (*HostFile, error) {
+	hf := &HostFile{}
+	seen := make(map[wire.SiteID]bool)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("hostfile: line %d: want \"site name address\", got %q", lineNo, line)
+		}
+		id, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil || id == 0 {
+			return nil, fmt.Errorf("hostfile: line %d: bad site id %q", lineNo, fields[0])
+		}
+		site := wire.SiteID(id)
+		if seen[site] {
+			return nil, fmt.Errorf("hostfile: line %d: duplicate site %d", lineNo, site)
+		}
+		seen[site] = true
+		hf.Entries = append(hf.Entries, Entry{Site: site, Name: fields[1], Addr: fields[2]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("hostfile: read: %w", err)
+	}
+	if !seen[wire.HomeSite] {
+		return nil, ErrNoHome
+	}
+	sort.Slice(hf.Entries, func(i, j int) bool { return hf.Entries[i].Site < hf.Entries[j].Site })
+	return hf, nil
+}
+
+// Load reads a host file from disk.
+func Load(path string) (*HostFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("hostfile: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	return Parse(f)
+}
+
+// Directory converts the host file to the site directory Config wants.
+func (hf *HostFile) Directory() map[wire.SiteID]string {
+	dir := make(map[wire.SiteID]string, len(hf.Entries))
+	for _, e := range hf.Entries {
+		dir[e.Site] = e.Addr
+	}
+	return dir
+}
+
+// Home returns the home entry.
+func (hf *HostFile) Home() Entry {
+	for _, e := range hf.Entries {
+		if e.Site == wire.HomeSite {
+			return e
+		}
+	}
+	return Entry{}
+}
+
+// Lookup finds an entry by site.
+func (hf *HostFile) Lookup(site wire.SiteID) (Entry, bool) {
+	for _, e := range hf.Entries {
+		if e.Site == site {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Sites lists all site IDs in order.
+func (hf *HostFile) Sites() []wire.SiteID {
+	out := make([]wire.SiteID, 0, len(hf.Entries))
+	for _, e := range hf.Entries {
+		out = append(out, e.Site)
+	}
+	return out
+}
+
+// WriteTo renders the host file. It implements io.WriterTo.
+func (hf *HostFile) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	n, err := fmt.Fprintf(w, "# Mocha host file: site 1 is the home site\n")
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, e := range hf.Entries {
+		n, err := fmt.Fprintf(w, "%d %s %s\n", e.Site, e.Name, e.Addr)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Generate builds a host file for n local sites with UDP ports starting at
+// basePort — what the mochahosts tool emits for single-machine multi-
+// process runs.
+func Generate(n int, host string, basePort int) *HostFile {
+	hf := &HostFile{}
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("site%d", i)
+		if i == 1 {
+			name = "home"
+		}
+		hf.Entries = append(hf.Entries, Entry{
+			Site: wire.SiteID(i),
+			Name: name,
+			Addr: fmt.Sprintf("%s:%d", host, basePort+i-1),
+		})
+	}
+	return hf
+}

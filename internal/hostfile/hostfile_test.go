@@ -1,0 +1,91 @@
+package hostfile
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseAndWrite(t *testing.T) {
+	in := `
+# test cluster
+2 ultra2 10.0.0.2:9000
+1 home 10.0.0.1:9000
+
+3 sparc20 10.0.0.3:9000
+`
+	hf, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hf.Entries) != 3 {
+		t.Fatalf("entries = %d", len(hf.Entries))
+	}
+	// Sorted by site.
+	if hf.Entries[0].Site != 1 || hf.Entries[0].Name != "home" {
+		t.Fatalf("first entry %+v", hf.Entries[0])
+	}
+	if hf.Home().Addr != "10.0.0.1:9000" {
+		t.Fatalf("home = %+v", hf.Home())
+	}
+	if e, ok := hf.Lookup(3); !ok || e.Name != "sparc20" {
+		t.Fatalf("lookup(3) = %+v %v", e, ok)
+	}
+	if _, ok := hf.Lookup(9); ok {
+		t.Fatal("lookup(9) found phantom site")
+	}
+	dir := hf.Directory()
+	if dir[2] != "10.0.0.2:9000" {
+		t.Fatalf("directory = %v", dir)
+	}
+	if got := hf.Sites(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("sites = %v", got)
+	}
+
+	var sb strings.Builder
+	if _, err := hf.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	hf2, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if len(hf2.Entries) != 3 || hf2.Entries[2].Addr != "10.0.0.3:9000" {
+		t.Fatalf("round trip lost data: %+v", hf2.Entries)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{name: "missing fields", in: "1 home\n"},
+		{name: "bad site id", in: "zero home addr\n"},
+		{name: "site zero", in: "0 home addr\n"},
+		{name: "duplicate", in: "1 a x\n1 b y\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(tt.in)); err == nil {
+				t.Fatalf("Parse(%q) succeeded", tt.in)
+			}
+		})
+	}
+	if _, err := Parse(strings.NewReader("2 a x\n")); !errors.Is(err, ErrNoHome) {
+		t.Fatalf("no-home error = %v", err)
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	hf := Generate(4, "127.0.0.1", 9000)
+	if len(hf.Entries) != 4 {
+		t.Fatalf("entries = %d", len(hf.Entries))
+	}
+	if hf.Entries[0].Name != "home" || hf.Entries[0].Addr != "127.0.0.1:9000" {
+		t.Fatalf("home = %+v", hf.Entries[0])
+	}
+	if hf.Entries[3].Addr != "127.0.0.1:9003" {
+		t.Fatalf("site4 = %+v", hf.Entries[3])
+	}
+}

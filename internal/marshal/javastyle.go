@@ -1,0 +1,206 @@
+package marshal
+
+import (
+	"fmt"
+
+	"mocha/internal/netsim"
+)
+
+// JavaStyleCodec reproduces the JDK 1.1 marshaling path the paper's
+// prototype used: a growth-doubling dynamic byte buffer written one byte
+// at a time (java.io.ByteArrayOutputStream under a DataOutputStream), plus
+// the calibrated interpreted-JVM cost charge. This is the codec behind
+// Figure 8's "somewhat expensive for large replicas".
+type JavaStyleCodec struct {
+	cost netsim.CostModel
+}
+
+var _ Codec = (*JavaStyleCodec)(nil)
+
+// NewJavaStyle builds the codec with the given cost model.
+func NewJavaStyle(cost netsim.CostModel) *JavaStyleCodec {
+	return &JavaStyleCodec{cost: cost}
+}
+
+// Name implements Codec.
+func (j *JavaStyleCodec) Name() string { return "jdk1-generic" }
+
+// dynBuffer mimics ByteArrayOutputStream: it starts tiny and doubles,
+// copying on every growth, and is only ever appended to byte-by-byte.
+type dynBuffer struct {
+	buf []byte
+	n   int
+}
+
+func newDynBuffer() *dynBuffer { return &dynBuffer{buf: make([]byte, 32)} }
+
+// writeByte appends one byte, doubling the backing array when full.
+func (d *dynBuffer) writeByte(b byte) {
+	if d.n == len(d.buf) {
+		grown := make([]byte, 2*len(d.buf))
+		copy(grown, d.buf)
+		d.buf = grown
+	}
+	d.buf[d.n] = b
+	d.n++
+}
+
+func (d *dynBuffer) bytes() []byte { return d.buf[:d.n] }
+
+// writeU32 emits a big-endian uint32 a byte at a time.
+func (d *dynBuffer) writeU32(v uint32) {
+	d.writeByte(byte(v >> 24))
+	d.writeByte(byte(v >> 16))
+	d.writeByte(byte(v >> 8))
+	d.writeByte(byte(v))
+}
+
+// writeU64 emits a big-endian uint64 a byte at a time.
+func (d *dynBuffer) writeU64(v uint64) {
+	d.writeU32(uint32(v >> 32))
+	d.writeU32(uint32(v))
+}
+
+// Marshal implements Codec.
+func (j *JavaStyleCodec) Marshal(c *Content) ([]byte, error) {
+	d := newDynBuffer()
+	d.writeByte(byte(c.kind))
+	switch c.kind {
+	case KindBytes:
+		d.writeU32(uint32(len(c.bytes)))
+		for _, b := range c.bytes {
+			d.writeByte(b)
+		}
+	case KindInts:
+		d.writeU32(uint32(len(c.ints)))
+		for _, v := range c.ints {
+			d.writeU32(uint32(v))
+		}
+	case KindFloats:
+		d.writeU32(uint32(len(c.floats)))
+		for _, v := range c.floats {
+			d.writeU64(floatBits(v))
+		}
+	case KindObject:
+		blob, err := c.obj.MarshalMocha()
+		if err != nil {
+			return nil, fmt.Errorf("marshal: serialize object: %w", err)
+		}
+		d.writeU32(uint32(len(blob)))
+		for _, b := range blob {
+			d.writeByte(b)
+		}
+	default:
+		return nil, fmt.Errorf("%w: kind %d", ErrCorrupt, c.kind)
+	}
+	out := d.bytes()
+	netsim.Charge(j.cost.MarshalCost(len(out)))
+	return out, nil
+}
+
+// Unmarshal implements Codec.
+func (j *JavaStyleCodec) Unmarshal(b []byte, c *Content) error {
+	netsim.Charge(j.cost.UnmarshalCost(len(b)))
+	r := &byteReader{buf: b}
+	kind, err := r.readByte()
+	if err != nil {
+		return err
+	}
+	if Kind(kind) != c.kind {
+		return fmt.Errorf("%w: data is %s, content is %s", ErrKindMismatch, Kind(kind), c.kind)
+	}
+	count, err := r.readU32()
+	if err != nil {
+		return err
+	}
+	switch c.kind {
+	case KindBytes:
+		out := make([]byte, 0, count)
+		for i := uint32(0); i < count; i++ {
+			v, err := r.readByte()
+			if err != nil {
+				return err
+			}
+			out = append(out, v)
+		}
+		c.bytes = out
+	case KindInts:
+		out := make([]int32, 0, count)
+		for i := uint32(0); i < count; i++ {
+			v, err := r.readU32()
+			if err != nil {
+				return err
+			}
+			out = append(out, int32(v))
+		}
+		c.ints = out
+	case KindFloats:
+		out := make([]float64, 0, count)
+		for i := uint32(0); i < count; i++ {
+			v, err := r.readU64()
+			if err != nil {
+				return err
+			}
+			out = append(out, floatFromBits(v))
+		}
+		c.floats = out
+	case KindObject:
+		blob := make([]byte, 0, count)
+		for i := uint32(0); i < count; i++ {
+			v, err := r.readByte()
+			if err != nil {
+				return err
+			}
+			blob = append(blob, v)
+		}
+		if err := c.obj.UnmarshalMocha(blob); err != nil {
+			return fmt.Errorf("marshal: unserialize object: %w", err)
+		}
+	default:
+		return fmt.Errorf("%w: kind %d", ErrCorrupt, c.kind)
+	}
+	if r.off != len(b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b)-r.off)
+	}
+	return nil
+}
+
+// byteReader consumes a buffer one byte at a time, like the stream reads
+// of the JDK 1.1 path.
+type byteReader struct {
+	buf []byte
+	off int
+}
+
+func (r *byteReader) readByte() (byte, error) {
+	if r.off >= len(r.buf) {
+		return 0, ErrCorrupt
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *byteReader) readU32() (uint32, error) {
+	var v uint32
+	for i := 0; i < 4; i++ {
+		b, err := r.readByte()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<8 | uint32(b)
+	}
+	return v, nil
+}
+
+func (r *byteReader) readU64() (uint64, error) {
+	hi, err := r.readU32()
+	if err != nil {
+		return 0, err
+	}
+	lo, err := r.readU32()
+	if err != nil {
+		return 0, err
+	}
+	return uint64(hi)<<32 | uint64(lo), nil
+}

@@ -1,0 +1,183 @@
+// Package marshal converts shared-object state to and from byte arrays for
+// network transfer, reproducing both of the paper's marshaling regimes.
+//
+// Mocha's Replica objects hold "homogeneous arrays of primitive data types
+// as well as bona fide Java objects which are serializable". The paper's
+// prototype relied on "the generic data marshaling constructs provided by
+// Java JDK 1.1", which "utilize dynamic arrays and marshal a single byte
+// at a time" — making marshaling "a relatively costly operation" for large
+// replicas (Figure 8) — and planned "a custom marshaling library that is
+// more efficient" as future work. JavaStyleCodec reproduces the former
+// faithfully (growth-doubling dynamic buffer, byte-at-a-time element
+// copies, plus the calibrated JDK1 cost charge); FastCodec is the planned
+// custom library (single-allocation bulk encoding). Both produce the same
+// wire format, so they interoperate.
+package marshal
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind identifies what a replica's content holds.
+type Kind uint8
+
+// Replica content kinds: the three homogeneous primitive arrays the paper
+// names (byte, int, double) plus serialized complex objects.
+const (
+	KindBytes Kind = iota + 1
+	KindInts
+	KindFloats
+	KindObject
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindBytes:
+		return "bytes"
+	case KindInts:
+		return "ints"
+	case KindFloats:
+		return "floats"
+	case KindObject:
+		return "object"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Serializable is the hook complex shared objects implement, standing in
+// for Java object serialization: the Replica subclasses that MochaGen
+// generates override serialize()/unserialize(), and the runtime calls them
+// "automatically ... when it needs to marshal or unmarshal these shared
+// objects".
+type Serializable interface {
+	// MarshalMocha serializes the object's state.
+	MarshalMocha() ([]byte, error)
+	// UnmarshalMocha replaces the object's state from serialized form.
+	UnmarshalMocha(data []byte) error
+}
+
+// Content is the typed payload of one replica.
+type Content struct {
+	kind   Kind
+	bytes  []byte
+	ints   []int32
+	floats []float64
+	obj    Serializable
+}
+
+// Bytes creates byte-array content. The content aliases b so application
+// writes between lock and unlock are visible to the runtime.
+func Bytes(b []byte) *Content { return &Content{kind: KindBytes, bytes: b} }
+
+// Ints creates int-array content.
+func Ints(v []int32) *Content { return &Content{kind: KindInts, ints: v} }
+
+// Floats creates double-array content.
+func Floats(v []float64) *Content { return &Content{kind: KindFloats, floats: v} }
+
+// Object creates complex-object content around a Serializable.
+func Object(s Serializable) *Content { return &Content{kind: KindObject, obj: s} }
+
+// Kind reports the content kind.
+func (c *Content) Kind() Kind { return c.kind }
+
+// Count reports the element count (bytes of serialized state for objects):
+// the paper's "signature methods that enable the application to determine
+// the type and amount of data the Replica represents".
+func (c *Content) Count() int {
+	switch c.kind {
+	case KindBytes:
+		return len(c.bytes)
+	case KindInts:
+		return len(c.ints)
+	case KindFloats:
+		return len(c.floats)
+	case KindObject:
+		b, err := c.obj.MarshalMocha()
+		if err != nil {
+			return 0
+		}
+		return len(b)
+	default:
+		return 0
+	}
+}
+
+// SizeBytes reports the approximate marshaled size, used for cost
+// accounting and statistics.
+func (c *Content) SizeBytes() int {
+	switch c.kind {
+	case KindBytes:
+		return len(c.bytes)
+	case KindInts:
+		return 4 * len(c.ints)
+	case KindFloats:
+		return 8 * len(c.floats)
+	case KindObject:
+		return c.Count()
+	default:
+		return 0
+	}
+}
+
+// BytesData returns the byte array (nil for other kinds). Mutations are
+// visible to the runtime, as with a Java array reference.
+func (c *Content) BytesData() []byte { return c.bytes }
+
+// IntsData returns the int array (nil for other kinds).
+func (c *Content) IntsData() []int32 { return c.ints }
+
+// FloatsData returns the float array (nil for other kinds).
+func (c *Content) FloatsData() []float64 { return c.floats }
+
+// ObjectData returns the complex object (nil for other kinds).
+func (c *Content) ObjectData() Serializable { return c.obj }
+
+// SetBytes replaces byte-array content; replicas "are not required to
+// represent a fixed size of data".
+func (c *Content) SetBytes(b []byte) error {
+	if c.kind != KindBytes {
+		return fmt.Errorf("marshal: content is %s, not bytes", c.kind)
+	}
+	c.bytes = b
+	return nil
+}
+
+// SetInts replaces int-array content.
+func (c *Content) SetInts(v []int32) error {
+	if c.kind != KindInts {
+		return fmt.Errorf("marshal: content is %s, not ints", c.kind)
+	}
+	c.ints = v
+	return nil
+}
+
+// SetFloats replaces float-array content.
+func (c *Content) SetFloats(v []float64) error {
+	if c.kind != KindFloats {
+		return fmt.Errorf("marshal: content is %s, not floats", c.kind)
+	}
+	c.floats = v
+	return nil
+}
+
+// Codec marshals replica content to and from byte arrays.
+type Codec interface {
+	// Name labels the codec in benchmark output.
+	Name() string
+	// Marshal serializes content.
+	Marshal(c *Content) ([]byte, error)
+	// Unmarshal replaces content state from serialized form. The content
+	// must have the same kind as the serialized data (replicas never
+	// change kind after creation).
+	Unmarshal(b []byte, c *Content) error
+}
+
+// ErrCorrupt reports undecodable serialized content.
+var ErrCorrupt = errors.New("marshal: corrupt data")
+
+// ErrKindMismatch reports unmarshaling into content of a different kind.
+var ErrKindMismatch = errors.New("marshal: kind mismatch")

@@ -1,0 +1,299 @@
+package marshal
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mocha/internal/netsim"
+)
+
+// codecs under test; both must produce interoperable output.
+func testCodecs() []Codec {
+	return []Codec{
+		NewJavaStyle(netsim.Native()),
+		NewFast(netsim.Native()),
+	}
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	contents := []struct {
+		name string
+		make func() *Content
+		get  func(c *Content) any
+	}{
+		{
+			name: "bytes",
+			make: func() *Content { return Bytes([]byte{0, 1, 2, 255, 128}) },
+			get:  func(c *Content) any { return c.BytesData() },
+		},
+		{
+			name: "ints",
+			make: func() *Content { return Ints([]int32{0, -1, math.MaxInt32, math.MinInt32, 42}) },
+			get:  func(c *Content) any { return c.IntsData() },
+		},
+		{
+			name: "floats",
+			make: func() *Content { return Floats([]float64{0, -1.5, math.Pi, math.Inf(1), math.SmallestNonzeroFloat64}) },
+			get:  func(c *Content) any { return c.FloatsData() },
+		},
+		{
+			name: "object",
+			make: func() *Content { return Object(NewStringValue("Good Choice")) },
+			get:  func(c *Content) any { return c.ObjectData().(*StringValue).Get() },
+		},
+	}
+	for _, codec := range testCodecs() {
+		for _, tc := range contents {
+			t.Run(codec.Name()+"/"+tc.name, func(t *testing.T) {
+				src := tc.make()
+				blob, err := codec.Marshal(src)
+				if err != nil {
+					t.Fatalf("Marshal: %v", err)
+				}
+				dst := tc.make()
+				zero(dst)
+				if err := codec.Unmarshal(blob, dst); err != nil {
+					t.Fatalf("Unmarshal: %v", err)
+				}
+				if !reflect.DeepEqual(tc.get(tc.make()), tc.get(dst)) {
+					t.Fatalf("round trip mismatch: %v vs %v", tc.get(tc.make()), tc.get(dst))
+				}
+			})
+		}
+	}
+}
+
+// zero clears content state so the round trip must reconstruct it.
+func zero(c *Content) {
+	switch c.kind {
+	case KindBytes:
+		c.bytes = nil
+	case KindInts:
+		c.ints = nil
+	case KindFloats:
+		c.floats = nil
+	case KindObject:
+		if s, ok := c.obj.(*StringValue); ok {
+			s.Set("")
+		}
+	}
+}
+
+func TestCodecInterop(t *testing.T) {
+	// JavaStyle output must unmarshal with Fast and vice versa.
+	java := NewJavaStyle(netsim.Native())
+	fast := NewFast(netsim.Native())
+	src := Ints([]int32{7, -9, 11})
+
+	blob, err := java.Marshal(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := Ints(nil)
+	if err := fast.Unmarshal(blob, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dst.IntsData(), src.IntsData()) {
+		t.Fatalf("java->fast mismatch: %v", dst.IntsData())
+	}
+
+	blob2, err := fast.Marshal(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob2) != string(blob) {
+		t.Fatal("codecs produce different wire formats")
+	}
+	dst2 := Ints(nil)
+	if err := java.Unmarshal(blob2, dst2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dst2.IntsData(), src.IntsData()) {
+		t.Fatalf("fast->java mismatch: %v", dst2.IntsData())
+	}
+}
+
+func TestKindMismatch(t *testing.T) {
+	for _, codec := range testCodecs() {
+		blob, err := codec.Marshal(Bytes([]byte{1}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := codec.Unmarshal(blob, Ints(nil)); !errors.Is(err, ErrKindMismatch) {
+			t.Fatalf("%s: err = %v, want ErrKindMismatch", codec.Name(), err)
+		}
+	}
+}
+
+func TestCorruptData(t *testing.T) {
+	for _, codec := range testCodecs() {
+		tests := [][]byte{
+			nil,
+			{byte(KindInts)},                    // missing count
+			{byte(KindInts), 0, 0, 0, 5, 1, 2},  // truncated elements
+			{99, 0, 0, 0, 0},                    // unknown kind
+			{byte(KindBytes), 0, 0, 0, 1, 7, 7}, // trailing bytes
+		}
+		for i, blob := range tests {
+			c := Ints(nil)
+			if i >= 3 {
+				c = Bytes(nil)
+			}
+			if i == 3 {
+				c = &Content{kind: Kind(99)}
+			}
+			if err := codec.Unmarshal(blob, c); err == nil {
+				t.Errorf("%s: corrupt case %d decoded", codec.Name(), i)
+			}
+		}
+	}
+}
+
+func TestGrowShrink(t *testing.T) {
+	// "the amount of shared data contained in a Replica may grow and
+	// shrink as the needs of the Replica vary".
+	codec := NewFast(netsim.Native())
+	c := Ints([]int32{1, 2, 3})
+	if err := c.SetInts([]int32{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := codec.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := Ints(nil)
+	if err := codec.Unmarshal(blob, dst); err != nil {
+		t.Fatal(err)
+	}
+	if len(dst.IntsData()) != 8 {
+		t.Fatalf("grown replica has %d elements", len(dst.IntsData()))
+	}
+	if err := c.SetBytes(nil); err == nil {
+		t.Fatal("kind change allowed")
+	}
+}
+
+func TestSignatureMethods(t *testing.T) {
+	tests := []struct {
+		c     *Content
+		kind  Kind
+		count int
+		size  int
+	}{
+		{c: Bytes(make([]byte, 10)), kind: KindBytes, count: 10, size: 10},
+		{c: Ints(make([]int32, 10)), kind: KindInts, count: 10, size: 40},
+		{c: Floats(make([]float64, 10)), kind: KindFloats, count: 10, size: 80},
+		{c: Object(NewStringValue("abcd")), kind: KindObject, count: 4, size: 4},
+	}
+	for _, tt := range tests {
+		if tt.c.Kind() != tt.kind {
+			t.Errorf("Kind = %v, want %v", tt.c.Kind(), tt.kind)
+		}
+		if tt.c.Count() != tt.count {
+			t.Errorf("%v: Count = %d, want %d", tt.kind, tt.c.Count(), tt.count)
+		}
+		if tt.c.SizeBytes() != tt.size {
+			t.Errorf("%v: SizeBytes = %d, want %d", tt.kind, tt.c.SizeBytes(), tt.size)
+		}
+	}
+}
+
+func TestGobValue(t *testing.T) {
+	type setting struct {
+		Flatware, Plate, Glass int
+		Comment                string
+	}
+	v := NewGobValue(setting{Flatware: 1, Comment: "first"})
+	blob, err := v.MarshalMocha()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewGobValue(setting{})
+	if err := w.UnmarshalMocha(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Get(); got.Flatware != 1 || got.Comment != "first" {
+		t.Fatalf("got %+v", got)
+	}
+	w.Update(func(s *setting) { s.Plate = 9 })
+	if w.Get().Plate != 9 {
+		t.Fatal("Update lost")
+	}
+}
+
+func TestQuickRoundTripInts(t *testing.T) {
+	java := NewJavaStyle(netsim.Native())
+	fast := NewFast(netsim.Native())
+	f := func(v []int32) bool {
+		src := Ints(v)
+		jb, err := java.Marshal(src)
+		if err != nil {
+			return false
+		}
+		fb, err := fast.Marshal(src)
+		if err != nil {
+			return false
+		}
+		if string(jb) != string(fb) {
+			return false
+		}
+		dst := Ints(nil)
+		if err := fast.Unmarshal(jb, dst); err != nil {
+			return false
+		}
+		if len(v) == 0 {
+			return len(dst.IntsData()) == 0
+		}
+		return reflect.DeepEqual(dst.IntsData(), v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRoundTripFloats(t *testing.T) {
+	fast := NewFast(netsim.Native())
+	f := func(v []float64) bool {
+		blob, err := fast.Marshal(Floats(v))
+		if err != nil {
+			return false
+		}
+		dst := Floats(nil)
+		if err := fast.Unmarshal(blob, dst); err != nil {
+			return false
+		}
+		got := dst.FloatsData()
+		if len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			// NaN-safe comparison via bit patterns.
+			if math.Float64bits(got[i]) != math.Float64bits(v[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJavaStyleCostCharged(t *testing.T) {
+	// With a synthetic cost model, marshaling must take at least the
+	// modelled time.
+	cost := netsim.CostModel{MarshalPerObject: 30 * time.Millisecond}
+	codec := NewJavaStyle(cost)
+	start := time.Now()
+	if _, err := codec.Marshal(Bytes(make([]byte, 16))); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("marshal took %v, want >= 25ms of modelled cost", elapsed)
+	}
+}

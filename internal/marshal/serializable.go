@@ -1,0 +1,110 @@
+package marshal
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+)
+
+// StringValue shares a string the way the paper's generated StringReplica
+// shares a java.lang.String: the whole value is (re)serialized on every
+// transfer. Access is guarded by a mutex because the application mutates
+// it between lock and unlock while daemon threads marshal it for pushes.
+type StringValue struct {
+	mu sync.Mutex
+	s  string
+}
+
+var _ Serializable = (*StringValue)(nil)
+
+// NewStringValue builds a shareable string.
+func NewStringValue(s string) *StringValue { return &StringValue{s: s} }
+
+// Get returns the current string.
+func (v *StringValue) Get() string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.s
+}
+
+// Set replaces the string; the new value propagates at the next unlock.
+func (v *StringValue) Set(s string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.s = s
+}
+
+// MarshalMocha implements Serializable.
+func (v *StringValue) MarshalMocha() ([]byte, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return []byte(v.s), nil
+}
+
+// UnmarshalMocha implements Serializable.
+func (v *StringValue) UnmarshalMocha(data []byte) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.s = string(data)
+	return nil
+}
+
+// GobValue wraps any gob-encodable Go value as a Serializable, the
+// generic-reflection equivalent of Java object serialization: convenient,
+// works for everything, slower than generated code. For the optimized
+// path, cmd/mochagen generates explicit MarshalMocha/UnmarshalMocha
+// methods instead, mirroring how "more experienced Java users are
+// permitted to replace the code that the MochaGen tool generates ... with
+// more optimized code".
+type GobValue[T any] struct {
+	mu sync.Mutex
+	v  T
+}
+
+// NewGobValue wraps an initial value.
+func NewGobValue[T any](v T) *GobValue[T] { return &GobValue[T]{v: v} }
+
+// Get returns the current value.
+func (g *GobValue[T]) Get() T {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Set replaces the value.
+func (g *GobValue[T]) Set(v T) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.v = v
+}
+
+// Update applies a mutation function atomically.
+func (g *GobValue[T]) Update(f func(*T)) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	f(&g.v)
+}
+
+// MarshalMocha implements Serializable.
+func (g *GobValue[T]) MarshalMocha() ([]byte, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&g.v); err != nil {
+		return nil, fmt.Errorf("marshal: gob encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalMocha implements Serializable.
+func (g *GobValue[T]) UnmarshalMocha(data []byte) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var v T
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&v); err != nil {
+		return fmt.Errorf("marshal: gob decode: %w", err)
+	}
+	g.v = v
+	return nil
+}

@@ -1,0 +1,680 @@
+package mnet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mocha/internal/netsim"
+	"mocha/internal/transport"
+)
+
+// pairConfig builds two endpoints on a simulated network.
+func pairConfig(t *testing.T, profile netsim.Profile, cfg Config) (*Endpoint, *Endpoint, *transport.SimNetwork) {
+	t.Helper()
+	sn := transport.NewSimNetwork(netsim.Config{Profile: profile, Seed: 3})
+	s1, err := sn.NewStack(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := sn.NewStack(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := NewEndpoint(s1.Datagram(), cfg)
+	e2 := NewEndpoint(s2.Datagram(), cfg)
+	t.Cleanup(func() {
+		_ = e1.Close()
+		_ = e2.Close()
+		_ = sn.Close()
+	})
+	return e1, e2, sn
+}
+
+func pair(t *testing.T) (*Endpoint, *Endpoint, *transport.SimNetwork) {
+	return pairConfig(t, netsim.Perfect(), Config{})
+}
+
+// collect opens a port that forwards messages to a channel.
+func collect(t *testing.T, e *Endpoint, portNum uint16) (<-chan Message, *Port) {
+	t.Helper()
+	p, err := e.OpenPort(portNum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan Message, 256)
+	p.SetHandler(func(m Message) { ch <- m })
+	return ch, p
+}
+
+func sendOK(t *testing.T, p *Port, to string, data []byte) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := p.Send(ctx, to, data); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	e1, e2, _ := pair(t)
+	ch, _ := collect(t, e2, 5)
+	sender, err := e1.OpenPort(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendOK(t, sender, e2.PortAddr(5), []byte("hello mocha"))
+	select {
+	case m := <-ch:
+		if string(m.Data) != "hello mocha" {
+			t.Fatalf("data %q", m.Data)
+		}
+		if m.From != e1.PortAddr(9) {
+			t.Fatalf("from %q, want %q", m.From, e1.PortAddr(9))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery")
+	}
+}
+
+func TestReplyUsingFromAddress(t *testing.T) {
+	e1, e2, _ := pair(t)
+	replies, client := collect(t, e1, 4)
+	_, server := collect(t, e2, 5)
+	server.SetHandler(func(m Message) {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := server.Send(ctx, m.From, append([]byte("re: "), m.Data...)); err != nil {
+			t.Errorf("reply: %v", err)
+		}
+	})
+	sendOK(t, client, e2.PortAddr(5), []byte("ping"))
+	select {
+	case m := <-replies:
+		if string(m.Data) != "re: ping" {
+			t.Fatalf("reply %q", m.Data)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no reply")
+	}
+}
+
+func TestLargeMessageFragmentation(t *testing.T) {
+	e1, e2, _ := pair(t)
+	ch, _ := collect(t, e2, 5)
+	sender, _ := e1.OpenPort(9)
+
+	payload := make([]byte, 300*1024)
+	rand.New(rand.NewSource(4)).Read(payload)
+	sendOK(t, sender, e2.PortAddr(5), payload)
+	select {
+	case m := <-ch:
+		if !bytes.Equal(m.Data, payload) {
+			t.Fatalf("corrupted: got %d bytes", len(m.Data))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no delivery")
+	}
+	st := e1.Stats()
+	if st.FragmentsSent < 200 {
+		t.Fatalf("FragmentsSent = %d, expected >200 for 300KiB", st.FragmentsSent)
+	}
+}
+
+func TestEmptyMessage(t *testing.T) {
+	e1, e2, _ := pair(t)
+	ch, _ := collect(t, e2, 5)
+	sender, _ := e1.OpenPort(9)
+	sendOK(t, sender, e2.PortAddr(5), nil)
+	select {
+	case m := <-ch:
+		if len(m.Data) != 0 {
+			t.Fatalf("data %q", m.Data)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery")
+	}
+}
+
+func TestLossRecovery(t *testing.T) {
+	cfg := Config{RTO: 30 * time.Millisecond, MaxRetries: 50}
+	e1, e2, _ := pairConfig(t, netsim.Perfect().Lossy(0.3), cfg)
+	ch, _ := collect(t, e2, 5)
+	sender, _ := e1.OpenPort(9)
+
+	payload := make([]byte, 40*1024)
+	rand.New(rand.NewSource(5)).Read(payload)
+	sendOK(t, sender, e2.PortAddr(5), payload)
+	select {
+	case m := <-ch:
+		if !bytes.Equal(m.Data, payload) {
+			t.Fatal("corrupted under loss")
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("never recovered from loss")
+	}
+	if st := e1.Stats(); st.Retransmits == 0 {
+		t.Fatal("expected retransmissions under 30% loss")
+	}
+}
+
+func TestSequencedDelivery(t *testing.T) {
+	// Jitter reorders packets; per-port delivery order must match send
+	// order regardless.
+	cfg := Config{}
+	e1, e2, _ := pairConfig(t, netsim.Profile{PropDelay: time.Millisecond, Jitter: 4 * time.Millisecond}, cfg)
+	ch, _ := collect(t, e2, 5)
+	sender, _ := e1.OpenPort(9)
+
+	const n = 60
+	var wg sync.WaitGroup
+	// Sends happen from one goroutine (sequence numbers are assigned at
+	// send time), but completion acks interleave arbitrarily.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			sendOK(t, sender, e2.PortAddr(5), []byte{byte(i)})
+		}
+	}()
+	for i := 0; i < n; i++ {
+		select {
+		case m := <-ch:
+			if int(m.Data[0]) != i {
+				t.Fatalf("out of order: got %d at position %d", m.Data[0], i)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("missing message %d", i)
+		}
+	}
+	wg.Wait()
+}
+
+func TestSendToDeadPeerFails(t *testing.T) {
+	cfg := Config{RTO: 20 * time.Millisecond, MaxRetries: 3}
+	e1, _, sn := pairConfig(t, netsim.Perfect(), cfg)
+	sn.Kill(2)
+	sender, _ := e1.OpenPort(9)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := sender.Send(ctx, "2/5", []byte("are you there"))
+	if !errors.Is(err, ErrSendFailed) {
+		t.Fatalf("Send to dead peer = %v, want ErrSendFailed", err)
+	}
+	if st := e1.Stats(); st.SendFailures == 0 {
+		t.Fatal("SendFailures not counted")
+	}
+}
+
+func TestSendContextTimeout(t *testing.T) {
+	cfg := Config{RTO: time.Hour} // retransmission never fires
+	e1, _, sn := pairConfig(t, netsim.Perfect(), cfg)
+	sn.Kill(2)
+	sender, _ := e1.OpenPort(9)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := sender.Send(ctx, "2/5", []byte("x"))
+	if err == nil {
+		t.Fatal("send to dead peer succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("context timeout not honored promptly")
+	}
+}
+
+func TestGapRelease(t *testing.T) {
+	// A message abandoned mid-delivery (partition + exhausted retries)
+	// must not stall later messages forever.
+	cfg := Config{RTO: 15 * time.Millisecond, MaxRetries: 2, GapTimeout: 150 * time.Millisecond}
+	e1, e2, sn := pairConfig(t, netsim.Perfect(), cfg)
+	ch, _ := collect(t, e2, 5)
+	sender, _ := e1.OpenPort(9)
+
+	sn.Underlying().Partition(1, 2, true)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := sender.Send(ctx, e2.PortAddr(5), []byte("lost")); err == nil {
+		t.Fatal("send across partition succeeded")
+	}
+	sn.Underlying().Partition(1, 2, false)
+
+	sendOK(t, sender, e2.PortAddr(5), []byte("after-heal"))
+	select {
+	case m := <-ch:
+		if string(m.Data) != "after-heal" {
+			t.Fatalf("data %q", m.Data)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("gap was never released")
+	}
+}
+
+func TestHMACRejectsForeignTraffic(t *testing.T) {
+	sn := transport.NewSimNetwork(netsim.Config{Profile: netsim.Perfect(), Seed: 3})
+	t.Cleanup(func() { _ = sn.Close() })
+	s1, _ := sn.NewStack(1)
+	s2, _ := sn.NewStack(2)
+	cfgGood := Config{Key: []byte("cluster-secret"), RTO: 20 * time.Millisecond, MaxRetries: 2}
+	cfgEvil := Config{Key: []byte("wrong-key"), RTO: 20 * time.Millisecond, MaxRetries: 2}
+	good := NewEndpoint(s2.Datagram(), cfgGood)
+	evil := NewEndpoint(s1.Datagram(), cfgEvil)
+	t.Cleanup(func() { _ = good.Close(); _ = evil.Close() })
+
+	ch, _ := collect(t, good, 5)
+	sender, _ := evil.OpenPort(9)
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if err := sender.Send(ctx, good.PortAddr(5), []byte("spoof")); err == nil {
+		t.Fatal("unauthenticated send was acknowledged")
+	}
+	select {
+	case <-ch:
+		t.Fatal("unauthenticated message delivered")
+	case <-time.After(100 * time.Millisecond):
+	}
+	if st := good.Stats(); st.BadPackets == 0 {
+		t.Fatal("bad packets not counted")
+	}
+}
+
+func TestHMACMatchedKeysDeliver(t *testing.T) {
+	cfg := Config{Key: []byte("cluster-secret")}
+	e1, e2, _ := pairConfig(t, netsim.Perfect(), cfg)
+	ch, _ := collect(t, e2, 5)
+	sender, _ := e1.OpenPort(9)
+	sendOK(t, sender, e2.PortAddr(5), []byte("authentic"))
+	select {
+	case m := <-ch:
+		if string(m.Data) != "authentic" {
+			t.Fatalf("data %q", m.Data)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("authenticated message not delivered")
+	}
+}
+
+func TestUpwardMultiplexing(t *testing.T) {
+	// Many logical ports share one endpoint — the library's scalability
+	// claim. Each port must receive exactly its own traffic.
+	e1, e2, _ := pair(t)
+	const ports = 16
+	chans := make([]<-chan Message, ports)
+	for i := 0; i < ports; i++ {
+		chans[i], _ = collect(t, e2, uint16(10+i))
+	}
+	sender, _ := e1.OpenPort(9)
+	for i := 0; i < ports; i++ {
+		sendOK(t, sender, e2.PortAddr(uint16(10+i)), []byte{byte(i)})
+	}
+	for i := 0; i < ports; i++ {
+		select {
+		case m := <-chans[i]:
+			if int(m.Data[0]) != i {
+				t.Fatalf("port %d received %d", 10+i, m.Data[0])
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("port %d received nothing", 10+i)
+		}
+	}
+}
+
+func TestWindowDoesNotDeadlock(t *testing.T) {
+	cfg := Config{Window: 4}
+	e1, e2, _ := pairConfig(t, netsim.Perfect(), cfg)
+	ch, _ := collect(t, e2, 5)
+	sender, _ := e1.OpenPort(9)
+	payload := make([]byte, 100*1400) // 100 fragments through a window of 4
+	sendOK(t, sender, e2.PortAddr(5), payload)
+	select {
+	case m := <-ch:
+		if len(m.Data) != len(payload) {
+			t.Fatalf("got %d bytes", len(m.Data))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("windowed send never completed")
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	e1, e2, _ := pair(t)
+	ch, _ := collect(t, e2, 5)
+	sender, _ := e1.OpenPort(9)
+
+	const goroutines = 8
+	const perG = 20
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				err := sender.Send(ctx, e2.PortAddr(5), []byte(fmt.Sprintf("%d-%d", g, i)))
+				cancel()
+				if err != nil {
+					t.Errorf("send %d-%d: %v", g, i, err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	got := 0
+	deadline := time.After(10 * time.Second)
+	for got < goroutines*perG {
+		select {
+		case <-ch:
+			got++
+		case <-deadline:
+			t.Fatalf("received %d of %d", got, goroutines*perG)
+		}
+	}
+}
+
+func TestDuplicatePortRejected(t *testing.T) {
+	e1, _, _ := pair(t)
+	if _, err := e1.OpenPort(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.OpenPort(5); !errors.Is(err, ErrPortInUse) {
+		t.Fatalf("err = %v, want ErrPortInUse", err)
+	}
+}
+
+func TestClosedEndpoint(t *testing.T) {
+	e1, e2, _ := pair(t)
+	sender, _ := e1.OpenPort(9)
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := sender.Send(ctx, e2.PortAddr(5), []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close = %v, want ErrClosed", err)
+	}
+	if _, err := e1.OpenPort(6); !errors.Is(err, ErrClosed) {
+		t.Fatalf("OpenPort after close = %v, want ErrClosed", err)
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatalf("double close = %v", err)
+	}
+}
+
+func TestAddrParsing(t *testing.T) {
+	tests := []struct {
+		addr     string
+		endpoint string
+		port     uint16
+		wantErr  bool
+	}{
+		{addr: "7/2", endpoint: "7", port: 2},
+		{addr: "127.0.0.1:9000/65535", endpoint: "127.0.0.1:9000", port: 65535},
+		{addr: "no-port", wantErr: true},
+		{addr: "x/notanumber", wantErr: true},
+		{addr: "x/70000", wantErr: true},
+	}
+	for _, tt := range tests {
+		ep, port, err := SplitAddr(tt.addr)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("SplitAddr(%q) succeeded", tt.addr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("SplitAddr(%q): %v", tt.addr, err)
+			continue
+		}
+		if ep != tt.endpoint || port != tt.port {
+			t.Errorf("SplitAddr(%q) = (%q,%d)", tt.addr, ep, port)
+		}
+		if got := JoinAddr(ep, port); got != tt.addr {
+			t.Errorf("JoinAddr round trip = %q, want %q", got, tt.addr)
+		}
+	}
+}
+
+func TestQuickSplitReassembles(t *testing.T) {
+	f := func(data []byte, mssRaw uint16) bool {
+		mss := int(mssRaw%2000) + 1
+		chunks := split(data, mss)
+		if len(chunks) == 0 {
+			return false
+		}
+		var total []byte
+		for _, c := range chunks {
+			if len(c) > mss {
+				return false
+			}
+			total = append(total, c...)
+		}
+		return bytes.Equal(total, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(6))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPacketCodecRoundTrip(t *testing.T) {
+	keys := [][]byte{nil, []byte("k")}
+	for _, key := range keys {
+		p := dataPacket{srcPort: 3, dstPort: 9, msgID: 77, seq: 5, fragIdx: 2, fragCount: 4, payload: []byte("abc")}
+		got, err := decodeData(encodeData(p, key), key)
+		if err != nil {
+			t.Fatalf("key=%q decode: %v", key, err)
+		}
+		if got.srcPort != 3 || got.dstPort != 9 || got.msgID != 77 || got.seq != 5 || got.fragIdx != 2 || got.fragCount != 4 || string(got.payload) != "abc" {
+			t.Fatalf("key=%q round trip mismatch: %+v", key, got)
+		}
+		id, idx, err := decodeAck(encodeAck(42, 7, key), key)
+		if err != nil || id != 42 || idx != 7 {
+			t.Fatalf("key=%q ack round trip: id=%d idx=%d err=%v", key, id, idx, err)
+		}
+	}
+	// Tampered packet with MAC must be rejected.
+	pkt := encodeData(dataPacket{fragCount: 1, payload: []byte("x")}, []byte("k"))
+	pkt[len(pkt)-1] ^= 0xFF
+	if _, err := decodeData(pkt, []byte("k")); err == nil {
+		t.Fatal("tampered packet accepted")
+	}
+	// Invalid fragment metadata rejected.
+	if _, err := decodeData(encodeData(dataPacket{fragCount: 0}, nil), nil); err == nil {
+		t.Fatal("fragCount=0 accepted")
+	}
+}
+
+func TestCostModelCharged(t *testing.T) {
+	// With a synthetic per-fragment cost, a multi-fragment send must take
+	// at least the modelled time on both sides.
+	cost := netsim.CostModel{FragmentPerPacket: 5 * time.Millisecond, ReassemblePerPacket: 5 * time.Millisecond}
+	cfg := Config{Cost: cost}
+	e1, e2, _ := pairConfig(t, netsim.Perfect(), cfg)
+	ch, _ := collect(t, e2, 5)
+	sender, _ := e1.OpenPort(9)
+	payload := make([]byte, 4*1400) // at least 4 fragments
+	start := time.Now()
+	sendOK(t, sender, e2.PortAddr(5), payload)
+	select {
+	case <-ch:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no delivery")
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("elapsed %v, want >= 40ms of modelled cost", elapsed)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	e1, e2, _ := pair(t)
+	ch, _ := collect(t, e2, 5)
+	sender, _ := e1.OpenPort(9)
+	payload := make([]byte, 3000) // 3 fragments
+	sendOK(t, sender, e2.PortAddr(5), payload)
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery")
+	}
+	s1 := e1.Stats()
+	if s1.MessagesSent != 1 {
+		t.Errorf("MessagesSent = %d", s1.MessagesSent)
+	}
+	if s1.FragmentsSent != 3 {
+		t.Errorf("FragmentsSent = %d", s1.FragmentsSent)
+	}
+	s2 := e2.Stats()
+	if s2.FragmentsRecv != 3 {
+		t.Errorf("FragmentsRecv = %d", s2.FragmentsRecv)
+	}
+	if s2.MessagesDelivered != 1 {
+		t.Errorf("MessagesDelivered = %d", s2.MessagesDelivered)
+	}
+}
+
+func TestDuplicateSuppression(t *testing.T) {
+	// Force retransmissions by delaying acks behind a high-latency return
+	// path: the receiver must deliver the message exactly once.
+	sn := transport.NewSimNetwork(netsim.Config{Profile: netsim.Perfect(), Seed: 3})
+	t.Cleanup(func() { _ = sn.Close() })
+	s1, _ := sn.NewStack(1)
+	s2, _ := sn.NewStack(2)
+	// Acks (2 -> 1) crawl; data (1 -> 2) flies, so the sender retransmits
+	// data the receiver already has.
+	sn.Underlying().SetLinkProfile(2, 1, netsim.Profile{PropDelay: 120 * time.Millisecond})
+	cfg := Config{RTO: 30 * time.Millisecond, MaxRetries: 20}
+	e1 := NewEndpoint(s1.Datagram(), cfg)
+	e2 := NewEndpoint(s2.Datagram(), cfg)
+	t.Cleanup(func() { _ = e1.Close(); _ = e2.Close() })
+
+	ch, _ := collect(t, e2, 5)
+	sender, _ := e1.OpenPort(9)
+	sendOK(t, sender, e2.PortAddr(5), []byte("once"))
+
+	delivered := 0
+	timeout := time.After(500 * time.Millisecond)
+	for done := false; !done; {
+		select {
+		case <-ch:
+			delivered++
+		case <-timeout:
+			done = true
+		}
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered %d times, want exactly 1", delivered)
+	}
+	if st := e1.Stats(); st.Retransmits == 0 {
+		t.Fatal("expected retransmissions under slow acks")
+	}
+	if st := e2.Stats(); st.Duplicates == 0 {
+		t.Fatal("expected duplicate suppression to trigger")
+	}
+}
+
+func TestInterleavedLargeAndSmall(t *testing.T) {
+	// A large transfer in progress must not corrupt or starve small
+	// messages multiplexed onto the same endpoint (a different port).
+	e1, e2, _ := pair(t)
+	bigCh, _ := collect(t, e2, 5)
+	smallCh, _ := collect(t, e2, 6)
+	bigSender, _ := e1.OpenPort(9)
+	smallSender, _ := e1.OpenPort(10)
+
+	big := make([]byte, 500*1024)
+	rand.New(rand.NewSource(7)).Read(big)
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		done <- bigSender.Send(ctx, e2.PortAddr(5), big)
+	}()
+	for i := 0; i < 20; i++ {
+		sendOK(t, smallSender, e2.PortAddr(6), []byte{byte(i)})
+	}
+	for i := 0; i < 20; i++ {
+		select {
+		case m := <-smallCh:
+			if int(m.Data[0]) != i {
+				t.Fatalf("small message order broken: %d at %d", m.Data[0], i)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("small messages starved by bulk transfer")
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("bulk send: %v", err)
+	}
+	select {
+	case m := <-bigCh:
+		if !bytes.Equal(m.Data, big) {
+			t.Fatal("bulk payload corrupted")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("bulk payload never delivered")
+	}
+}
+
+func TestLossyBidirectionalStress(t *testing.T) {
+	cfg := Config{RTO: 20 * time.Millisecond, MaxRetries: 60}
+	e1, e2, _ := pairConfig(t, netsim.Perfect().Lossy(0.2), cfg)
+	ch1, p1 := collect(t, e1, 5)
+	ch2, p2 := collect(t, e2, 5)
+
+	const n = 40
+	errs := make(chan error, 2)
+	go func() {
+		for i := 0; i < n; i++ {
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+			err := p1.Send(ctx, e2.PortAddr(5), []byte{byte(i)})
+			cancel()
+			if err != nil {
+				errs <- err
+				return
+			}
+		}
+		errs <- nil
+	}()
+	go func() {
+		for i := 0; i < n; i++ {
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+			err := p2.Send(ctx, e1.PortAddr(5), []byte{byte(i)})
+			cancel()
+			if err != nil {
+				errs <- err
+				return
+			}
+		}
+		errs <- nil
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case m := <-ch1:
+			if int(m.Data[0]) != i {
+				t.Fatalf("e1 order: got %d at %d", m.Data[0], i)
+			}
+		case <-time.After(20 * time.Second):
+			t.Fatalf("e1 missing message %d", i)
+		}
+		select {
+		case m := <-ch2:
+			if int(m.Data[0]) != i {
+				t.Fatalf("e2 order: got %d at %d", m.Data[0], i)
+			}
+		case <-time.After(20 * time.Second):
+			t.Fatalf("e2 missing message %d", i)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package mnet
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Packet types on the datagram substrate.
+const (
+	ptData byte = iota + 1
+	ptAck
+)
+
+// Header layout for data packets (big-endian):
+//
+//	off 0  type      u8
+//	off 1  flags     u8
+//	off 2  srcPort   u16
+//	off 4  dstPort   u16
+//	off 6  msgID     u64   unique per sending endpoint; acks match on it
+//	off 14 seq       u64   per (destination, dstPort) delivery sequence
+//	off 22 fragIdx   u32
+//	off 26 fragCount u32
+//	off 30 payload...
+//
+// Ack packets:
+//
+//	off 0  type    u8
+//	off 1  flags   u8
+//	off 2  msgID   u64
+//	off 10 fragIdx u32
+//
+// When the endpoint is configured with an authentication key, every packet
+// carries a truncated HMAC-SHA256 trailer.
+const (
+	dataHeaderLen = 30
+	ackLen        = 14
+	macLen        = 8
+)
+
+// errBadPacket reports an unparseable or unauthenticated packet; such
+// packets are silently counted and dropped, as a datagram service must.
+var errBadPacket = errors.New("mnet: bad packet")
+
+type dataPacket struct {
+	srcPort   uint16
+	dstPort   uint16
+	msgID     uint64
+	seq       uint64
+	fragIdx   uint32
+	fragCount uint32
+	payload   []byte
+}
+
+// encodeData builds a data packet, appending the MAC trailer if key is set.
+func encodeData(p dataPacket, key []byte) []byte {
+	buf := make([]byte, dataHeaderLen+len(p.payload), dataHeaderLen+len(p.payload)+macLen)
+	buf[0] = ptData
+	binary.BigEndian.PutUint16(buf[2:4], p.srcPort)
+	binary.BigEndian.PutUint16(buf[4:6], p.dstPort)
+	binary.BigEndian.PutUint64(buf[6:14], p.msgID)
+	binary.BigEndian.PutUint64(buf[14:22], p.seq)
+	binary.BigEndian.PutUint32(buf[22:26], p.fragIdx)
+	binary.BigEndian.PutUint32(buf[26:30], p.fragCount)
+	copy(buf[dataHeaderLen:], p.payload)
+	return appendMAC(buf, key)
+}
+
+// decodeData parses and authenticates a data packet.
+func decodeData(b []byte, key []byte) (dataPacket, error) {
+	body, err := verifyMAC(b, key)
+	if err != nil {
+		return dataPacket{}, err
+	}
+	if len(body) < dataHeaderLen || body[0] != ptData {
+		return dataPacket{}, errBadPacket
+	}
+	p := dataPacket{
+		srcPort:   binary.BigEndian.Uint16(body[2:4]),
+		dstPort:   binary.BigEndian.Uint16(body[4:6]),
+		msgID:     binary.BigEndian.Uint64(body[6:14]),
+		seq:       binary.BigEndian.Uint64(body[14:22]),
+		fragIdx:   binary.BigEndian.Uint32(body[22:26]),
+		fragCount: binary.BigEndian.Uint32(body[26:30]),
+	}
+	if p.fragCount == 0 || p.fragIdx >= p.fragCount {
+		return dataPacket{}, fmt.Errorf("%w: fragment %d/%d", errBadPacket, p.fragIdx, p.fragCount)
+	}
+	p.payload = make([]byte, len(body)-dataHeaderLen)
+	copy(p.payload, body[dataHeaderLen:])
+	return p, nil
+}
+
+// encodeAck builds an ack packet for one received fragment.
+func encodeAck(msgID uint64, fragIdx uint32, key []byte) []byte {
+	buf := make([]byte, ackLen, ackLen+macLen)
+	buf[0] = ptAck
+	binary.BigEndian.PutUint64(buf[2:10], msgID)
+	binary.BigEndian.PutUint32(buf[10:14], fragIdx)
+	return appendMAC(buf, key)
+}
+
+// decodeAck parses and authenticates an ack packet.
+func decodeAck(b []byte, key []byte) (msgID uint64, fragIdx uint32, err error) {
+	body, err := verifyMAC(b, key)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(body) < ackLen || body[0] != ptAck {
+		return 0, 0, errBadPacket
+	}
+	return binary.BigEndian.Uint64(body[2:10]), binary.BigEndian.Uint32(body[10:14]), nil
+}
+
+// appendMAC appends a truncated HMAC-SHA256 trailer when key is non-empty.
+func appendMAC(b, key []byte) []byte {
+	if len(key) == 0 {
+		return b
+	}
+	m := hmac.New(sha256.New, key)
+	m.Write(b)
+	return append(b, m.Sum(nil)[:macLen]...)
+}
+
+// verifyMAC checks and strips the trailer, returning the packet body.
+func verifyMAC(b, key []byte) ([]byte, error) {
+	if len(key) == 0 {
+		return b, nil
+	}
+	if len(b) < macLen {
+		return nil, fmt.Errorf("%w: short packet", errBadPacket)
+	}
+	body, tag := b[:len(b)-macLen], b[len(b)-macLen:]
+	m := hmac.New(sha256.New, key)
+	m.Write(body)
+	if !hmac.Equal(tag, m.Sum(nil)[:macLen]) {
+		return nil, fmt.Errorf("%w: bad MAC", errBadPacket)
+	}
+	return body, nil
+}

@@ -1,0 +1,219 @@
+package mnet
+
+import (
+	"time"
+)
+
+// deliveredRingCap bounds the per-peer duplicate-suppression memory.
+const deliveredRingCap = 4096
+
+// reasmExpiry bounds how long a partial message waits for its missing
+// fragments before being discarded (its sender died or gave up).
+const reasmExpiry = 30 * time.Second
+
+// receive is the datagram handler: it classifies raw packets.
+func (e *Endpoint) receive(from string, pkt []byte) {
+	if len(pkt) == 0 {
+		return
+	}
+	switch pkt[0] {
+	case ptData:
+		e.handleData(from, pkt)
+	case ptAck:
+		e.handleAck(pkt)
+	default:
+		e.mu.Lock()
+		e.stats.BadPackets++
+		e.mu.Unlock()
+	}
+}
+
+// handleData processes one arriving data fragment: acknowledge,
+// reassemble, deduplicate, restore order, and queue for dispatch.
+func (e *Endpoint) handleData(from string, pkt []byte) {
+	p, err := decodeData(pkt, e.cfg.Key)
+	if err != nil {
+		e.mu.Lock()
+		e.stats.BadPackets++
+		e.mu.Unlock()
+		return
+	}
+	// Always acknowledge, even duplicates: the sender may have missed the
+	// previous ack.
+	_ = e.dg.Send(from, encodeAck(p.msgID, p.fragIdx, e.cfg.Key))
+
+	e.mu.Lock()
+	e.stats.FragmentsRecv++
+	e.mu.Unlock()
+
+	pr := e.getPeer(from)
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+
+	if _, dup := pr.delivered[p.msgID]; dup {
+		e.countDuplicate()
+		return
+	}
+	r, ok := pr.reasm[p.msgID]
+	if !ok {
+		r = &reassembly{
+			frags:   make([][]byte, p.fragCount),
+			total:   int(p.fragCount),
+			srcPort: p.srcPort,
+			dstPort: p.dstPort,
+			seq:     p.seq,
+			started: time.Now(),
+		}
+		pr.reasm[p.msgID] = r
+	}
+	if int(p.fragCount) != r.total || int(p.fragIdx) >= r.total {
+		// Inconsistent fragmentation metadata; drop the fragment.
+		e.mu.Lock()
+		e.stats.BadPackets++
+		e.mu.Unlock()
+		return
+	}
+	if r.frags[p.fragIdx] != nil {
+		e.countDuplicate()
+		return
+	}
+	r.frags[p.fragIdx] = p.payload
+	r.have++
+	r.bytes += len(p.payload)
+	if r.have < r.total {
+		return
+	}
+
+	// Message complete.
+	delete(pr.reasm, p.msgID)
+	pr.markDelivered(p.msgID)
+	data := make([]byte, 0, r.bytes)
+	for _, f := range r.frags {
+		data = append(data, f...)
+	}
+	q := queued{from: from, srcPort: r.srcPort, data: data, frags: r.total}
+	e.deliverInOrder(pr, r.dstPort, r.seq, q)
+}
+
+// countDuplicate increments the duplicate counter.
+func (e *Endpoint) countDuplicate() {
+	e.mu.Lock()
+	e.stats.Duplicates++
+	e.mu.Unlock()
+}
+
+// markDelivered records a completed msgID, evicting the oldest once the
+// ring is full. Caller holds pr.mu.
+func (pr *peer) markDelivered(msgID uint64) {
+	pr.delivered[msgID] = struct{}{}
+	pr.deliveredRing = append(pr.deliveredRing, msgID)
+	if len(pr.deliveredRing) > deliveredRingCap {
+		evict := pr.deliveredRing[0]
+		pr.deliveredRing = pr.deliveredRing[1:]
+		delete(pr.delivered, evict)
+	}
+}
+
+// deliverInOrder implements the library's "sequenced delivery": messages
+// from one sender to one port are handed up in send order. Caller holds
+// pr.mu.
+func (e *Endpoint) deliverInOrder(pr *peer, dstPort uint16, seq uint64, q queued) {
+	ord, ok := pr.order[dstPort]
+	if !ok {
+		ord = &ordering{pending: make(map[uint64]pendingMsg)}
+		pr.order[dstPort] = ord
+	}
+	if seq < ord.next {
+		// Sequence already delivered: a late duplicate.
+		e.countDuplicate()
+		return
+	}
+	ord.pending[seq] = pendingMsg{msg: q, arrived: time.Now()}
+	e.drainOrdering(ord, dstPort)
+}
+
+// drainOrdering hands consecutive pending messages to the port queue.
+// Caller holds pr.mu.
+func (e *Endpoint) drainOrdering(ord *ordering, dstPort uint16) {
+	for {
+		pm, ok := ord.pending[ord.next]
+		if !ok {
+			return
+		}
+		delete(ord.pending, ord.next)
+		ord.next++
+		e.enqueue(dstPort, pm.msg)
+	}
+}
+
+// enqueue places a complete in-order message on its port queue, dropping
+// (and counting) if the port is missing or its queue is full — exactly the
+// overload behaviour of a bounded daemon mailbox.
+func (e *Endpoint) enqueue(dstPort uint16, q queued) {
+	e.mu.Lock()
+	port := e.ports[dstPort]
+	if port == nil {
+		e.stats.QueueDrops++
+		e.mu.Unlock()
+		return
+	}
+	e.mu.Unlock()
+	select {
+	case port.queue <- q:
+	default:
+		e.mu.Lock()
+		e.stats.QueueDrops++
+		e.mu.Unlock()
+	}
+}
+
+// releaseGaps skips sequence numbers whose messages will never arrive (the
+// sender failed or abandoned the send) and expires stale partial
+// reassemblies. Without this, one lost message from a dead sender would
+// stall the port forever.
+func (e *Endpoint) releaseGaps() {
+	e.mu.Lock()
+	peers := make([]*peer, 0, len(e.peers))
+	for _, pr := range e.peers {
+		peers = append(peers, pr)
+	}
+	gap := e.cfg.GapTimeout
+	e.mu.Unlock()
+
+	now := time.Now()
+	for _, pr := range peers {
+		pr.mu.Lock()
+		for dstPort, ord := range pr.order {
+			if len(ord.pending) == 0 {
+				continue
+			}
+			if _, ok := ord.pending[ord.next]; ok {
+				// Head of line present; drain may simply not have run.
+				e.drainOrdering(ord, dstPort)
+				continue
+			}
+			var oldest time.Time
+			minSeq := uint64(0)
+			first := true
+			for seq, pm := range ord.pending {
+				if first || seq < minSeq {
+					minSeq = seq
+				}
+				if first || pm.arrived.Before(oldest) {
+					oldest = pm.arrived
+				}
+				first = false
+			}
+			if now.Sub(oldest) >= gap {
+				ord.next = minSeq
+				e.drainOrdering(ord, dstPort)
+			}
+		}
+		for id, r := range pr.reasm {
+			if now.Sub(r.started) >= reasmExpiry {
+				delete(pr.reasm, id)
+			}
+		}
+		pr.mu.Unlock()
+	}
+}

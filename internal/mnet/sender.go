@@ -1,0 +1,281 @@
+package mnet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"mocha/internal/netsim"
+)
+
+// outMsg tracks one in-flight reliable message.
+type outMsg struct {
+	id       uint64
+	peerAddr string
+	peer     *peer
+
+	mu     sync.Mutex
+	frags  map[uint32]*outFrag // sent but unacknowledged
+	total  int
+	acked  int
+	failed bool
+	done   chan error // buffered(1); receives nil on full ack or the failure
+}
+
+type outFrag struct {
+	pkt      []byte
+	lastSent time.Time
+	retries  int
+}
+
+// ackFrag records an acknowledgment. It reports whether the message is now
+// fully acknowledged.
+func (m *outMsg) ackFrag(idx uint32) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.failed {
+		return false
+	}
+	if _, ok := m.frags[idx]; !ok {
+		return false
+	}
+	delete(m.frags, idx)
+	m.releaseTokenLocked()
+	m.acked++
+	if m.acked == m.total {
+		m.done <- nil
+		return true
+	}
+	return false
+}
+
+// fail marks the message failed, releases its window tokens, and signals
+// the waiting sender. Idempotent.
+func (m *outMsg) fail(err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.failed || m.acked == m.total {
+		return
+	}
+	m.failed = true
+	for range m.frags {
+		m.releaseTokenLocked()
+	}
+	m.frags = map[uint32]*outFrag{}
+	m.done <- err
+}
+
+// releaseTokenLocked frees one window slot.
+func (m *outMsg) releaseTokenLocked() {
+	select {
+	case <-m.peer.window:
+	default:
+	}
+}
+
+// Send transmits one message reliably to a full MNet address
+// ("endpoint/port"). It fragments the message, charges the modelled
+// user-level fragmentation cost, transmits under the per-peer window, and
+// blocks until every fragment is acknowledged, the context expires, or
+// retransmissions are exhausted. A returned error therefore means the peer
+// did not confirm the message — the failure-detection signal Section 4 of
+// the paper builds on.
+func (p *Port) Send(ctx context.Context, to string, data []byte) error {
+	e := p.ep
+	peerAddr, dstPort, err := SplitAddr(to)
+	if err != nil {
+		return err
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.nextMsg++
+	id := e.nextMsg
+	e.stats.MessagesSent++
+	e.mu.Unlock()
+
+	pr := e.getPeer(peerAddr)
+	pr.mu.Lock()
+	seq := pr.nextSeq[dstPort]
+	pr.nextSeq[dstPort] = seq + 1
+	pr.mu.Unlock()
+
+	mss := e.dg.MTU() - dataHeaderLen
+	if len(e.cfg.Key) > 0 {
+		mss -= macLen
+	}
+	chunks := split(data, mss)
+
+	m := &outMsg{
+		id:       id,
+		peerAddr: peerAddr,
+		peer:     pr,
+		frags:    make(map[uint32]*outFrag, len(chunks)),
+		total:    len(chunks),
+		done:     make(chan error, 1),
+	}
+	e.mu.Lock()
+	e.outMsgs[id] = m
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.outMsgs, id)
+		e.mu.Unlock()
+	}()
+
+	for i, chunk := range chunks {
+		// The paper's library fragments "at user level running as
+		// interpreted byte code"; the cost model makes that visible.
+		netsim.Charge(e.cfg.Cost.FragmentCost(len(chunk)))
+
+		select {
+		case pr.window <- struct{}{}:
+		case <-ctx.Done():
+			m.fail(ctx.Err())
+			return fmt.Errorf("mnet: send to %s: %w", to, ctx.Err())
+		case <-e.done:
+			m.fail(ErrClosed)
+			return ErrClosed
+		}
+
+		pkt := encodeData(dataPacket{
+			srcPort:   p.num,
+			dstPort:   dstPort,
+			msgID:     id,
+			seq:       seq,
+			fragIdx:   uint32(i),
+			fragCount: uint32(len(chunks)),
+			payload:   chunk,
+		}, e.cfg.Key)
+
+		m.mu.Lock()
+		if m.failed {
+			m.mu.Unlock()
+			select {
+			case <-m.peer.window:
+			default:
+			}
+			break
+		}
+		m.frags[uint32(i)] = &outFrag{pkt: pkt, lastSent: time.Now()}
+		m.mu.Unlock()
+
+		if err := e.dg.Send(peerAddr, pkt); err != nil {
+			// An address the transport rejects outright will never be
+			// acknowledged; fail fast instead of waiting out retries.
+			m.fail(fmt.Errorf("mnet: transmit: %w", err))
+			break
+		}
+		e.mu.Lock()
+		e.stats.FragmentsSent++
+		e.mu.Unlock()
+	}
+
+	select {
+	case err := <-m.done:
+		if err != nil {
+			e.mu.Lock()
+			e.stats.SendFailures++
+			e.mu.Unlock()
+			return fmt.Errorf("mnet: send to %s: %w", to, err)
+		}
+		return nil
+	case <-ctx.Done():
+		m.fail(ctx.Err())
+		e.mu.Lock()
+		e.stats.SendFailures++
+		e.mu.Unlock()
+		return fmt.Errorf("mnet: send to %s: %w", to, ctx.Err())
+	case <-e.done:
+		return ErrClosed
+	}
+}
+
+// split cuts data into MSS-sized chunks, always returning at least one
+// chunk so empty messages work.
+func split(data []byte, mss int) [][]byte {
+	if len(data) == 0 {
+		return [][]byte{nil}
+	}
+	chunks := make([][]byte, 0, (len(data)+mss-1)/mss)
+	for len(data) > 0 {
+		n := len(data)
+		if n > mss {
+			n = mss
+		}
+		chunks = append(chunks, data[:n])
+		data = data[n:]
+	}
+	return chunks
+}
+
+// retransmit resends overdue fragments and fails messages that exhausted
+// their retries.
+func (e *Endpoint) retransmit() {
+	e.mu.Lock()
+	msgs := make([]*outMsg, 0, len(e.outMsgs))
+	for _, m := range e.outMsgs {
+		msgs = append(msgs, m)
+	}
+	rto := e.cfg.RTO
+	maxRetries := e.cfg.MaxRetries
+	e.mu.Unlock()
+
+	now := time.Now()
+	for _, m := range msgs {
+		m.mu.Lock()
+		var resend [][]byte
+		gaveUp := false
+		for _, f := range m.frags {
+			if now.Sub(f.lastSent) < rto {
+				continue
+			}
+			if f.retries >= maxRetries {
+				gaveUp = true
+				break
+			}
+			f.retries++
+			f.lastSent = now
+			resend = append(resend, f.pkt)
+		}
+		m.mu.Unlock()
+
+		if gaveUp {
+			m.fail(ErrSendFailed)
+			e.mu.Lock()
+			delete(e.outMsgs, m.id)
+			e.mu.Unlock()
+			continue
+		}
+		for _, pkt := range resend {
+			_ = e.dg.Send(m.peerAddr, pkt)
+		}
+		if len(resend) > 0 {
+			e.mu.Lock()
+			e.stats.Retransmits += int64(len(resend))
+			e.mu.Unlock()
+		}
+	}
+}
+
+// handleAck processes an acknowledgment packet.
+func (e *Endpoint) handleAck(pkt []byte) {
+	msgID, fragIdx, err := decodeAck(pkt, e.cfg.Key)
+	if err != nil {
+		e.mu.Lock()
+		e.stats.BadPackets++
+		e.mu.Unlock()
+		return
+	}
+	e.mu.Lock()
+	m := e.outMsgs[msgID]
+	e.mu.Unlock()
+	if m == nil {
+		return
+	}
+	m.ackFrag(fragIdx)
+}

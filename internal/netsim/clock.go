@@ -1,0 +1,29 @@
+package netsim
+
+import (
+	"runtime"
+	"time"
+)
+
+// spinTail is how much of a wait is busy-polled rather than slept. The
+// host kernel rounds time.Sleep up to roughly a millisecond, which would
+// swamp the sub-millisecond costs this package models (a 950 microsecond
+// fragmentation charge, a 150 microsecond LAN propagation delay), so
+// waits sleep until only spinTail remains and poll the clock for the rest.
+const spinTail = 1500 * time.Microsecond
+
+// SleepPrecise waits for d with microsecond-level accuracy.
+func SleepPrecise(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(d)
+	if d > spinTail {
+		time.Sleep(d - spinTail)
+	}
+	for i := 0; time.Now().Before(deadline); i++ {
+		if i%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+}

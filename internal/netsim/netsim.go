@@ -1,0 +1,269 @@
+// Package netsim simulates the network environments of the paper's
+// evaluation — Fast Ethernet LAN, 1997 wide-area Internet, and a cable-
+// modem home link — and models the execution costs of the 1997 JVM the
+// paper's prototype ran on. Together these let the reproduction run
+// multi-site experiments on one machine while preserving the structural
+// properties the paper's results depend on: propagation delay, sender
+// uplink serialization (so disseminating to k sites scales with k), packet
+// loss, and the interpreted-versus-kernel cost asymmetry between Mocha's
+// network library and TCP.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// NodeID identifies a simulated host. The transport layer maps Mocha site
+// IDs onto node IDs one-to-one.
+type NodeID uint32
+
+// Receiver consumes packets delivered to a node.
+type Receiver func(from NodeID, pkt []byte)
+
+// Config parameterizes a simulated network.
+type Config struct {
+	// Profile is the default link profile between every pair of nodes.
+	Profile Profile
+	// Seed makes loss and jitter deterministic. Each node derives its own
+	// RNG from the seed, so one sender's drop sequence does not depend on
+	// scheduling of others.
+	Seed int64
+}
+
+// Stats counts network-wide packet outcomes.
+type Stats struct {
+	Sent      int64
+	Delivered int64
+	Dropped   int64 // random loss
+	Blackhole int64 // partitioned, killed, or unknown destination
+	Bytes     int64
+}
+
+// Network is a simulated set of hosts with point-to-point links.
+type Network struct {
+	cfg Config
+
+	mu        sync.Mutex
+	nodes     map[NodeID]*Node
+	overrides map[linkKey]Profile
+	cut       map[linkKey]bool
+	stats     Stats
+	closed    bool
+}
+
+type linkKey struct{ from, to NodeID }
+
+// New creates a simulated network.
+func New(cfg Config) *Network {
+	return &Network{
+		cfg:       cfg,
+		nodes:     make(map[NodeID]*Node),
+		overrides: make(map[linkKey]Profile),
+		cut:       make(map[linkKey]bool),
+	}
+}
+
+// Profile returns the network's default link profile.
+func (n *Network) Profile() Profile { return n.cfg.Profile }
+
+// ErrNodeExists is returned when adding a duplicate node ID.
+var ErrNodeExists = errors.New("netsim: node already exists")
+
+// AddNode registers a host. Packets are discarded until SetReceiver is
+// called on the returned node.
+func (n *Network) AddNode(id NodeID) (*Node, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[id]; ok {
+		return nil, fmt.Errorf("%w: %d", ErrNodeExists, id)
+	}
+	node := &Node{
+		id:  id,
+		net: n,
+		rng: rand.New(rand.NewSource(n.cfg.Seed ^ int64(uint64(id)*0x9E3779B97F4A7C15>>1))),
+	}
+	n.nodes[id] = node
+	return node, nil
+}
+
+// Node looks up a host by ID, returning nil if absent.
+func (n *Network) Node(id NodeID) *Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.nodes[id]
+}
+
+// SetLinkProfile overrides the profile for packets from one node to
+// another (one direction), enabling heterogeneous topologies such as a
+// cable-modem home site in an otherwise LAN cluster.
+func (n *Network) SetLinkProfile(from, to NodeID, p Profile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.overrides[linkKey{from, to}] = p
+}
+
+// Partition cuts or restores both directions between two nodes. Packets on
+// a cut link vanish, exactly like a wide-area routing failure.
+func (n *Network) Partition(a, b NodeID, cut bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut[linkKey{a, b}] = cut
+	n.cut[linkKey{b, a}] = cut
+}
+
+// Stats returns a snapshot of packet counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Close tears the network down; in-flight packets are discarded when their
+// timers fire.
+func (n *Network) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+}
+
+// route decides a packet's fate and timing under the lock, returning the
+// destination node (nil if the packet vanishes) and the total delay.
+func (n *Network) route(from, to NodeID, size int, sendJitter time.Duration, lossRoll float64) (*Node, time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	n.stats.Sent++
+	n.stats.Bytes += int64(size)
+	if n.closed {
+		n.stats.Blackhole++
+		return nil, 0
+	}
+	dst, ok := n.nodes[to]
+	if !ok || dst.isDead() || n.cut[linkKey{from, to}] {
+		n.stats.Blackhole++
+		return nil, 0
+	}
+	p := n.cfg.Profile
+	if o, ok := n.overrides[linkKey{from, to}]; ok {
+		p = o
+	}
+	if p.Loss > 0 && lossRoll < p.Loss {
+		n.stats.Dropped++
+		return nil, 0
+	}
+
+	src := n.nodes[from]
+	now := time.Now()
+	depart := now
+	if src != nil {
+		// Uplink queueing: a node's packets serialize on its own link, so
+		// a burst to k destinations takes k serialization times, which is
+		// what makes dissemination cost scale with the number of sites.
+		if src.uplinkFree.After(now) {
+			depart = src.uplinkFree
+		}
+		src.uplinkFree = depart.Add(p.serialize(size))
+	}
+	arrive := depart.Add(p.serialize(size)).Add(p.PropDelay).Add(sendJitter)
+	return dst, arrive.Sub(now)
+}
+
+// deliver hands the packet to the destination's receiver.
+func (n *Network) deliver(dst *Node, from NodeID, pkt []byte, size int) {
+	dst.mu.Lock()
+	recv := dst.recv
+	dead := dst.dead
+	dst.mu.Unlock()
+	if dead || recv == nil {
+		return
+	}
+	n.mu.Lock()
+	n.stats.Delivered++
+	n.mu.Unlock()
+	_ = size
+	recv(from, pkt)
+}
+
+// Node is one simulated host.
+type Node struct {
+	id  NodeID
+	net *Network
+
+	mu   sync.Mutex
+	recv Receiver
+	dead bool
+	// rng drives this node's loss and jitter decisions.
+	rng *rand.Rand
+	// uplinkFree is when this node's uplink finishes clocking out the last
+	// queued packet. Guarded by net.mu, not node.mu, because routing reads
+	// and writes it while holding the network lock.
+	uplinkFree time.Time
+}
+
+// ID returns the node's identifier.
+func (nd *Node) ID() NodeID { return nd.id }
+
+// SetReceiver installs the packet handler. The handler runs on delivery
+// timer goroutines and must not block for long.
+func (nd *Node) SetReceiver(r Receiver) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	nd.recv = r
+}
+
+// Kill silences the node permanently: everything addressed to it
+// disappears, modelling the fail-stop site failures of Section 4 (a
+// remote machine reboot or an owner terminating the site manager).
+func (nd *Node) Kill() {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	nd.dead = true
+}
+
+// Alive reports whether the node has not been killed.
+func (nd *Node) Alive() bool { return !nd.isDead() }
+
+func (nd *Node) isDead() bool {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.dead
+}
+
+// Send transmits a packet. The call returns immediately; delivery happens
+// after the simulated serialization, propagation, and jitter delays, or
+// never if the packet is lost, the link is cut, or the destination is
+// dead — the sender cannot tell, exactly as with UDP.
+func (nd *Node) Send(to NodeID, pkt []byte) {
+	if nd.isDead() {
+		return
+	}
+	nd.mu.Lock()
+	var jitter time.Duration
+	p := nd.net.cfg.Profile
+	if p.Jitter > 0 {
+		jitter = time.Duration(nd.rng.Int63n(int64(p.Jitter)))
+	}
+	roll := nd.rng.Float64()
+	nd.mu.Unlock()
+
+	// Copy the payload so the caller may reuse its buffer.
+	cp := make([]byte, len(pkt))
+	copy(cp, pkt)
+
+	dst, delay := nd.net.route(nd.id, to, len(cp), jitter, roll)
+	if dst == nil {
+		return
+	}
+	if delay <= 0 {
+		nd.net.deliver(dst, nd.id, cp, len(cp))
+		return
+	}
+	go func() {
+		SleepPrecise(delay)
+		nd.net.deliver(dst, nd.id, cp, len(cp))
+	}()
+}

@@ -1,0 +1,108 @@
+package netsim
+
+import "time"
+
+// Profile describes one network environment: the link characteristics a
+// packet experiences between any two sites. The paper evaluates Mocha on
+// two SUN ULTRA 1 machines on Fast Ethernet (LAN) and on an ULTRA 1 /
+// SPARCstation 20 pair about six miles apart on the 1997 Internet (WAN);
+// the standard profiles below are calibrated so the simulated environments
+// reproduce the paper's Table 1 lock latencies and the figure shapes.
+type Profile struct {
+	// Name labels the environment in benchmark output.
+	Name string
+	// PropDelay is the one-way propagation delay.
+	PropDelay time.Duration
+	// Jitter is the maximum additional uniformly-distributed one-way delay.
+	Jitter time.Duration
+	// BytesPerSecond is the link bandwidth used for serialization delay.
+	// Zero means infinite bandwidth.
+	BytesPerSecond int64
+	// Loss is the independent per-packet drop probability in [0,1).
+	Loss float64
+	// HeaderBytes is the per-packet wire overhead (UDP/IP framing) added
+	// to the payload when computing serialization delay.
+	HeaderBytes int
+}
+
+// serialize returns the time the link needs to clock out n payload bytes.
+func (p Profile) serialize(n int) time.Duration {
+	if p.BytesPerSecond <= 0 {
+		return 0
+	}
+	total := int64(n + p.HeaderBytes)
+	return time.Duration(total * int64(time.Second) / p.BytesPerSecond)
+}
+
+// Scaled returns a copy of the profile with every delay multiplied by f and
+// the bandwidth divided by f. Tests and testing.B benchmarks run scaled
+// profiles (f << 1) so suites finish quickly; cmd/benchmocha runs f = 1.
+func (p Profile) Scaled(f float64) Profile {
+	if f == 1 {
+		return p
+	}
+	q := p
+	q.PropDelay = time.Duration(float64(p.PropDelay) * f)
+	q.Jitter = time.Duration(float64(p.Jitter) * f)
+	if p.BytesPerSecond > 0 {
+		q.BytesPerSecond = int64(float64(p.BytesPerSecond) / f)
+	}
+	return q
+}
+
+// LANFastEthernet models the paper's local testbed: two workstations on
+// switched Fast Ethernet. Propagation is near-zero; the 5 ms LAN lock
+// latency of Table 1 comes almost entirely from the JDK1 execution-cost
+// model, as it did on the real 1997 JVM.
+func LANFastEthernet() Profile {
+	return Profile{
+		Name:           "lan-fast-ethernet",
+		PropDelay:      150 * time.Microsecond,
+		Jitter:         50 * time.Microsecond,
+		BytesPerSecond: 100_000_000 / 8, // 100 Mbit/s
+		HeaderBytes:    28,
+	}
+}
+
+// WANInternet97 models the paper's wide-area path: two campuses six miles
+// apart on the 1997 Internet. The one-way delay and modest bandwidth are
+// calibrated to Table 1's 19 ms lock acquisition and to the serialization-
+// dominated large-replica transfers of Figures 12 and 14.
+func WANInternet97() Profile {
+	return Profile{
+		Name:           "wan-internet-1997",
+		PropDelay:      7100 * time.Microsecond,
+		Jitter:         400 * time.Microsecond,
+		BytesPerSecond: 4_000_000 / 8, // 4 Mbit/s
+		HeaderBytes:    28,
+	}
+}
+
+// CableModem models the home-service deployment the paper's conclusion
+// describes: a Windows 95 PC on a cable modem talking to a campus
+// workstation. Asymmetric bandwidth is approximated by its slower
+// direction.
+func CableModem() Profile {
+	return Profile{
+		Name:           "cable-modem-home",
+		PropDelay:      12 * time.Millisecond,
+		Jitter:         3 * time.Millisecond,
+		BytesPerSecond: 1_500_000 / 8, // 1.5 Mbit/s downstream class
+		HeaderBytes:    28,
+	}
+}
+
+// Perfect is an idealized instantaneous, lossless network for unit tests
+// that exercise protocol logic rather than timing.
+func Perfect() Profile {
+	return Profile{Name: "perfect"}
+}
+
+// Lossy returns a copy of the profile with the given packet-loss rate, for
+// fault-injection tests.
+func (p Profile) Lossy(rate float64) Profile {
+	q := p
+	q.Loss = rate
+	q.Name = p.Name + "-lossy"
+	return q
+}

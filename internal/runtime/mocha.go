@@ -1,0 +1,233 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	rt "runtime"
+	"sync/atomic"
+	"time"
+
+	"mocha/internal/core"
+	"mocha/internal/marshal"
+	"mocha/internal/wire"
+)
+
+// Mocha is the travel bag: "the Mocha runtime is able to provide the
+// application thread with a Mocha object that is essentially a 'travel
+// bag'." It carries the initial Parameter object, a Result object, remote
+// printing and stack dumps, replica support, and recursive spawning — all
+// gated by the hosting site's permissions.
+type Mocha struct {
+	rt      *Runtime
+	handle  *core.Handle
+	spawnID uint64
+	home    wire.SiteID
+	class   string
+
+	// Parameter holds the initial execution parameters from the spawn.
+	Parameter *Params
+	// Result collects values for returnResults().
+	Result *Params
+
+	perms    Permissions
+	returned atomic.Bool
+}
+
+// Class names the task class this bag belongs to.
+func (m *Mocha) Class() string { return m.class }
+
+// Site reports the hosting site.
+func (m *Mocha) Site() wire.SiteID { return m.rt.node.Site() }
+
+// Home reports the site the task reports back to.
+func (m *Mocha) Home() wire.SiteID { return m.home }
+
+// Handle exposes the task's application-thread handle for advanced use.
+func (m *Mocha) Handle() *core.Handle { return m.handle }
+
+// Node exposes the site's shared-object node.
+func (m *Mocha) Node() *core.Node { return m.rt.node }
+
+// SetLease declares the task's expected lock hold time (Section 4's
+// "threads indicate approximately how long they need to hold a lock").
+func (m *Mocha) SetLease(d time.Duration) { m.handle.SetLease(d) }
+
+// homeAddr resolves the home runtime port.
+func (m *Mocha) homeAddr() (string, error) {
+	return m.rt.node.RuntimeAddr(m.home)
+}
+
+// sendHome transmits a runtime message to the home site.
+func (m *Mocha) sendHome(p wire.Payload) error {
+	addr, err := m.homeAddr()
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), m.rt.node.RequestTimeout())
+	defer cancel()
+	return m.rt.port.Send(ctx, addr, wire.Marshal(p))
+}
+
+// MochaPrintln routes a line to the home site's console — remote printing.
+func (m *Mocha) MochaPrintln(text string) {
+	if m.home == m.rt.node.Site() {
+		fmt.Fprintf(m.rt.cfg.Output, "[site%d #%d] %s\n", m.Site(), m.spawnID, text)
+		return
+	}
+	msg := &wire.Print{SpawnID: m.spawnID, Site: m.rt.node.Site(), Text: text}
+	if err := m.sendHome(msg); err != nil {
+		m.rt.node.Log().Logf("runtime", "remote print failed: %v", err)
+	}
+}
+
+// MochaPrintf is MochaPrintln with formatting.
+func (m *Mocha) MochaPrintf(format string, args ...any) {
+	m.MochaPrintln(fmt.Sprintf(format, args...))
+}
+
+// MochaPrintStackTrace ships the current goroutine stack and the error to
+// the home site — the paper's remote stack dumps for debugging code at
+// remote locations.
+func (m *Mocha) MochaPrintStackTrace(cause error) {
+	buf := make([]byte, 16*1024)
+	n := rt.Stack(buf, false)
+	reason := "stack dump"
+	if cause != nil {
+		reason = cause.Error()
+	}
+	if m.home == m.rt.node.Site() {
+		fmt.Fprintf(m.rt.cfg.Output, "[site%d #%d] stack dump (%s):\n%s\n", m.Site(), m.spawnID, reason, buf[:n])
+		return
+	}
+	msg := &wire.StackDump{SpawnID: m.spawnID, Site: m.rt.node.Site(), Reason: reason, Stack: buf[:n]}
+	if err := m.sendHome(msg); err != nil {
+		m.rt.node.Log().Logf("runtime", "remote stack dump failed: %v", err)
+	}
+}
+
+// ReturnResults sends the Result object to the home site, fulfilling
+// mocha.returnResults(). Later calls are no-ops.
+func (m *Mocha) ReturnResults() {
+	m.finish("")
+}
+
+// finish reports the terminal result exactly once.
+func (m *Mocha) finish(errText string) {
+	if !m.returned.CompareAndSwap(false, true) {
+		return
+	}
+	if m.spawnID == 0 && m.home == m.rt.node.Site() {
+		// The initiating local bag has no remote waiter.
+		return
+	}
+	msg := &wire.TaskResult{
+		SpawnID: m.spawnID,
+		Site:    m.rt.node.Site(),
+		Result:  m.Result.Encode(),
+		Err:     errText,
+	}
+	if err := m.sendHome(msg); err != nil {
+		m.rt.node.Log().Logf("runtime", "result return failed: %v", err)
+	}
+}
+
+// Fail reports a terminal error for the task.
+func (m *Mocha) Fail(err error) {
+	text := "task failed"
+	if err != nil {
+		text = err.Error()
+	}
+	m.finish(text)
+}
+
+// Spawn recursively spawns another wide-area thread, when permitted.
+func (m *Mocha) Spawn(ctx context.Context, site wire.SiteID, class string, params *Params) (*ResultHandle, error) {
+	if !m.perms.AllowSpawn {
+		return nil, fmt.Errorf("%w: spawn", ErrPermission)
+	}
+	return m.rt.Spawn(ctx, site, class, params)
+}
+
+// SpawnAny recursively spawns on any available site.
+func (m *Mocha) SpawnAny(ctx context.Context, class string, params *Params) (*ResultHandle, error) {
+	if !m.perms.AllowSpawn {
+		return nil, fmt.Errorf("%w: spawn", ErrPermission)
+	}
+	return m.rt.SpawnAny(ctx, class, params)
+}
+
+// CreateReplica creates a shared object, when permitted.
+func (m *Mocha) CreateReplica(name string, content *marshal.Content, copies int) (*core.Replica, error) {
+	if !m.perms.AllowReplicas {
+		return nil, fmt.Errorf("%w: create replica", ErrPermission)
+	}
+	return m.rt.node.CreateReplica(name, content, copies)
+}
+
+// AttachReplica obtains a copy of an existing shared object, when
+// permitted.
+func (m *Mocha) AttachReplica(name string, content *marshal.Content) (*core.Replica, error) {
+	if !m.perms.AllowReplicas {
+		return nil, fmt.Errorf("%w: attach replica", ErrPermission)
+	}
+	return m.rt.node.AttachReplica(name, content)
+}
+
+// ReplicaLock builds this task's view of a lock.
+func (m *Mocha) ReplicaLock(id wire.LockID) *core.ReplicaLock {
+	return m.handle.ReplicaLock(id)
+}
+
+// LoadClass demand-pulls a class image from the home repository, caching
+// it at this server: "demand pulling of new application code object
+// classes as they are encountered during execution".
+func (m *Mocha) LoadClass(ctx context.Context, name string) ([]byte, error) {
+	if !m.perms.AllowCodeLoad {
+		return nil, fmt.Errorf("%w: load class", ErrPermission)
+	}
+	m.rt.mu.Lock()
+	if img, ok := m.rt.cache[name]; ok {
+		m.rt.mu.Unlock()
+		m.rt.node.Log().Logf("runtime", "class %q served from cache", name)
+		return img.Code, nil
+	}
+	m.rt.mu.Unlock()
+
+	// Local repository first (we may be the home).
+	if img, ok := m.rt.cfg.Repo.Get(name); ok {
+		m.rt.mu.Lock()
+		m.rt.cache[name] = img
+		m.rt.mu.Unlock()
+		return img.Code, nil
+	}
+
+	reqID := m.rt.nextSpawn.Add(1)
+	ch := make(chan *wire.CodeReply, 1)
+	m.rt.mu.Lock()
+	m.rt.codeReplies[reqID] = ch
+	m.rt.mu.Unlock()
+	defer func() {
+		m.rt.mu.Lock()
+		delete(m.rt.codeReplies, reqID)
+		m.rt.mu.Unlock()
+	}()
+
+	req := &wire.CodeRequest{SpawnID: reqID, Site: m.rt.node.Site(), ClassName: name}
+	if err := m.sendHome(req); err != nil {
+		return nil, fmt.Errorf("runtime: request class %q: %w", name, err)
+	}
+	select {
+	case reply := <-ch:
+		if !reply.Found {
+			return nil, fmt.Errorf("%w: %q not in home repository", ErrUnknownClass, name)
+		}
+		img := NewClassImage(name, reply.Image)
+		m.rt.mu.Lock()
+		m.rt.cache[name] = img
+		m.rt.mu.Unlock()
+		m.rt.node.Log().Logf("runtime", "class %q demand-pulled (%d bytes)", name, len(reply.Image))
+		return reply.Image, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("runtime: awaiting class %q: %w", name, ctx.Err())
+	}
+}

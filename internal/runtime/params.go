@@ -1,0 +1,233 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mocha/internal/wire"
+)
+
+// Params is the Parameter/Result object of the travel bag: a typed
+// key-value bag "for organizing the parameters that will eventually be
+// sent to a remotely spawned thread" and for carrying results back. It is
+// safe for concurrent use.
+type Params struct {
+	mu sync.Mutex
+	m  map[string]paramValue
+}
+
+type paramKind uint8
+
+const (
+	kindInt paramKind = iota + 1
+	kindDouble
+	kindString
+	kindBytes
+	kindBool
+)
+
+type paramValue struct {
+	kind paramKind
+	i    int64
+	f    float64
+	s    string
+	b    []byte
+}
+
+// NewParams creates an empty parameter bag.
+func NewParams() *Params {
+	return &Params{m: make(map[string]paramValue)}
+}
+
+// ErrNoParam reports a missing key.
+type ErrNoParam struct {
+	Key string
+}
+
+// Error implements error.
+func (e *ErrNoParam) Error() string { return fmt.Sprintf("runtime: no parameter %q", e.Key) }
+
+// ErrParamType reports a key accessed with the wrong type, the analogue of
+// the paper's MochaParameterException.
+type ErrParamType struct {
+	Key  string
+	Want string
+}
+
+// Error implements error.
+func (e *ErrParamType) Error() string {
+	return fmt.Sprintf("runtime: parameter %q is not a %s", e.Key, e.Want)
+}
+
+// AddInt stores an integer (the paper's p.add("param1", 5)).
+func (p *Params) AddInt(key string, v int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.m[key] = paramValue{kind: kindInt, i: v}
+}
+
+// AddDouble stores a float64.
+func (p *Params) AddDouble(key string, v float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.m[key] = paramValue{kind: kindDouble, f: v}
+}
+
+// AddString stores a string.
+func (p *Params) AddString(key, v string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.m[key] = paramValue{kind: kindString, s: v}
+}
+
+// AddBytes stores a byte slice (copied).
+func (p *Params) AddBytes(key string, v []byte) {
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.m[key] = paramValue{kind: kindBytes, b: cp}
+}
+
+// AddBool stores a bool.
+func (p *Params) AddBool(key string, v bool) {
+	var i int64
+	if v {
+		i = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.m[key] = paramValue{kind: kindBool, i: i}
+}
+
+func (p *Params) get(key string, want paramKind, wantName string) (paramValue, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, ok := p.m[key]
+	if !ok {
+		return paramValue{}, &ErrNoParam{Key: key}
+	}
+	if v.kind != want {
+		return paramValue{}, &ErrParamType{Key: key, Want: wantName}
+	}
+	return v, nil
+}
+
+// GetInt retrieves an integer.
+func (p *Params) GetInt(key string) (int64, error) {
+	v, err := p.get(key, kindInt, "int")
+	return v.i, err
+}
+
+// GetDouble retrieves a float64 (the paper's getdouble).
+func (p *Params) GetDouble(key string) (float64, error) {
+	v, err := p.get(key, kindDouble, "double")
+	return v.f, err
+}
+
+// GetString retrieves a string.
+func (p *Params) GetString(key string) (string, error) {
+	v, err := p.get(key, kindString, "string")
+	return v.s, err
+}
+
+// GetBytes retrieves a byte slice (caller owns the copy).
+func (p *Params) GetBytes(key string) ([]byte, error) {
+	v, err := p.get(key, kindBytes, "bytes")
+	if err != nil {
+		return nil, err
+	}
+	cp := make([]byte, len(v.b))
+	copy(cp, v.b)
+	return cp, nil
+}
+
+// GetBool retrieves a bool.
+func (p *Params) GetBool(key string) (bool, error) {
+	v, err := p.get(key, kindBool, "bool")
+	return v.i != 0, err
+}
+
+// Keys lists stored keys in sorted order.
+func (p *Params) Keys() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.m))
+	for k := range p.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of stored entries.
+func (p *Params) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.m)
+}
+
+// Encode serializes the bag for the wire.
+func (p *Params) Encode() []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	keys := make([]string, 0, len(p.m))
+	for k := range p.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	w := wire.NewWriter(64)
+	w.U16(uint16(len(keys)))
+	for _, k := range keys {
+		v := p.m[k]
+		w.String16(k)
+		w.U8(uint8(v.kind))
+		switch v.kind {
+		case kindInt, kindBool:
+			w.U64(uint64(v.i))
+		case kindDouble:
+			w.F64(v.f)
+		case kindString:
+			w.String16(v.s)
+		case kindBytes:
+			w.Bytes32(v.b)
+		}
+	}
+	return w.Bytes()
+}
+
+// DecodeParams parses a bag encoded by Encode. A nil or empty buffer yields
+// an empty bag.
+func DecodeParams(b []byte) (*Params, error) {
+	p := NewParams()
+	if len(b) == 0 {
+		return p, nil
+	}
+	r := wire.NewReader(b)
+	n := int(r.U16())
+	for i := 0; i < n; i++ {
+		key := r.String16()
+		kind := paramKind(r.U8())
+		var v paramValue
+		v.kind = kind
+		switch kind {
+		case kindInt, kindBool:
+			v.i = int64(r.U64())
+		case kindDouble:
+			v.f = r.F64()
+		case kindString:
+			v.s = r.String16()
+		case kindBytes:
+			v.b = r.Bytes32()
+		default:
+			return nil, fmt.Errorf("runtime: bad parameter kind %d for %q", kind, key)
+		}
+		p.m[key] = v
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("runtime: decode params: %w", err)
+	}
+	return p, nil
+}

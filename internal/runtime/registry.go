@@ -1,0 +1,199 @@
+package runtime
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+)
+
+// Task is the MochaTask interface: "Mocha threads may be derived from any
+// Java class that implements the MochaTask interface." The runtime invokes
+// MochaStart with the travel bag on a fresh goroutine at the remote site.
+type Task interface {
+	MochaStart(m *Mocha)
+}
+
+// TaskFunc adapts a function to the Task interface.
+type TaskFunc func(m *Mocha)
+
+// MochaStart implements Task.
+func (f TaskFunc) MochaStart(m *Mocha) { f(m) }
+
+// Factory instantiates a task.
+type Factory func() Task
+
+// Registry maps class names to task factories.
+//
+// Substitution note (see DESIGN.md §3): Java Mocha ships bytecode and
+// links it dynamically; Go cannot load shipped machine code, so the
+// executable behaviour of a class must be registered in the binary. The
+// shipping protocol — the initial push of the spawned class image and the
+// demand pulls of further classes — still runs in full over the wire, with
+// class images as named blobs carried by Spawn/CodeRequest/CodeReply and a
+// per-server cache.
+type Registry struct {
+	mu sync.Mutex
+	m  map[string]Factory
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]Factory)}
+}
+
+// Register binds a class name to a factory.
+func (r *Registry) Register(name string, f Factory) error {
+	if name == "" || f == nil {
+		return fmt.Errorf("runtime: register needs a name and factory")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.m[name]; dup {
+		return fmt.Errorf("runtime: class %q already registered", name)
+	}
+	r.m[name] = f
+	return nil
+}
+
+// MustRegister panics on error; for use in example main set-up code.
+func (r *Registry) MustRegister(name string, f Factory) {
+	if err := r.Register(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// New instantiates a registered class.
+func (r *Registry) New(name string) (Task, bool) {
+	r.mu.Lock()
+	f, ok := r.m[name]
+	r.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return f(), true
+}
+
+// Names lists registered classes.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.m))
+	for n := range r.m {
+		out = append(out, n)
+	}
+	return out
+}
+
+// ClassImage is a shippable unit of application code: a named blob plus
+// its digest, playing the role of a Java class file.
+type ClassImage struct {
+	Name   string
+	Code   []byte
+	Digest [sha256.Size]byte
+}
+
+// NewClassImage builds an image over the given code bytes.
+func NewClassImage(name string, code []byte) ClassImage {
+	return ClassImage{Name: name, Code: code, Digest: sha256.Sum256(code)}
+}
+
+// CodeRepository is the home site's store of shippable class images, the
+// source for the initial push at spawn time and for demand pulls during
+// execution.
+type CodeRepository struct {
+	mu sync.Mutex
+	m  map[string]ClassImage
+}
+
+// NewCodeRepository creates an empty repository.
+func NewCodeRepository() *CodeRepository {
+	return &CodeRepository{m: make(map[string]ClassImage)}
+}
+
+// Add stores an image for a class name.
+func (c *CodeRepository) Add(name string, code []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[name] = NewClassImage(name, code)
+}
+
+// Get fetches an image.
+func (c *CodeRepository) Get(name string) (ClassImage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	img, ok := c.m[name]
+	return img, ok
+}
+
+// SiteManager allocates Mocha Servers: it "is responsible for controlling
+// the number of true processes on the workstation that are allocated for
+// use by remote tasks". Here a server slot is a bounded concurrency token;
+// a site that is out of servers refuses the spawn, and the spawner moves
+// on to the next host in the host file.
+type SiteManager struct {
+	mu      sync.Mutex
+	max     int
+	running int
+	total   int64
+}
+
+// NewSiteManager creates a manager with the given server limit (default 4
+// when max <= 0).
+func NewSiteManager(max int) *SiteManager {
+	if max <= 0 {
+		max = 4
+	}
+	return &SiteManager{max: max}
+}
+
+// Acquire claims a server slot, reporting false when the site is full.
+func (s *SiteManager) Acquire() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running >= s.max {
+		return false
+	}
+	s.running++
+	s.total++
+	return true
+}
+
+// Release frees a server slot.
+func (s *SiteManager) Release() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running > 0 {
+		s.running--
+	}
+}
+
+// Running reports currently active tasks.
+func (s *SiteManager) Running() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running
+}
+
+// TotalStarted reports tasks ever started here.
+func (s *SiteManager) TotalStarted() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Permissions is the per-task capability set enforced by the travel bag —
+// the secure-execution piece of the wide-area runtime. Remote code runs
+// only with the rights the hosting site grants it.
+type Permissions struct {
+	// AllowSpawn lets the task recursively spawn further tasks.
+	AllowSpawn bool
+	// AllowReplicas lets the task create or attach shared objects.
+	AllowReplicas bool
+	// AllowCodeLoad lets the task demand-pull further class images.
+	AllowCodeLoad bool
+}
+
+// AllPermissions grants everything (the default for trusted clusters).
+func AllPermissions() Permissions {
+	return Permissions{AllowSpawn: true, AllowReplicas: true, AllowCodeLoad: true}
+}

@@ -1,0 +1,180 @@
+// Package session implements Mocha's non-synchronization-based consistency
+// mode — the future work the paper's conclusion announces ("Currently, we
+// are focusing on providing support for applications which require
+// non-synchronization based solutions for maintaining consistency") and
+// grounds in the systems it cites: Bayou's weakly consistent replication
+// with conflict detection and resolution, and Terry et al.'s session
+// guarantees [TDP+94].
+//
+// A Store holds optimistically replicated objects. Writes apply locally at
+// once (no lock, no home site), stamp a version vector, and propagate to
+// peers best-effort; periodic anti-entropy exchanges heal whatever gossip
+// missed, so all stores converge once quiescent. Concurrent writes are
+// detected by vector comparison and settled by a Resolver (last-writer-
+// wins by default). A Session layered on any store enforces the classic
+// four guarantees — read your writes, monotonic reads, writes follow
+// reads, monotonic writes — by refusing reads from replicas that have not
+// yet caught up with the session's past.
+package session
+
+import (
+	"sort"
+
+	"mocha/internal/wire"
+)
+
+// Vector is a version vector: one counter per writing site.
+type Vector map[wire.SiteID]uint64
+
+// Clone copies the vector.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	for k, x := range v {
+		out[k] = x
+	}
+	return out
+}
+
+// Merge folds other into v, taking per-site maxima.
+func (v Vector) Merge(other Vector) {
+	for k, x := range other {
+		if x > v[k] {
+			v[k] = x
+		}
+	}
+}
+
+// Dominates reports whether v >= other at every component.
+func (v Vector) Dominates(other Vector) bool {
+	for k, x := range other {
+		if v[k] < x {
+			return false
+		}
+	}
+	return true
+}
+
+// Concurrent reports whether neither vector dominates the other — a
+// conflict in need of resolution.
+func (v Vector) Concurrent(other Vector) bool {
+	return !v.Dominates(other) && !other.Dominates(v)
+}
+
+// Equal reports component-wise equality.
+func (v Vector) Equal(other Vector) bool {
+	return v.Dominates(other) && other.Dominates(v)
+}
+
+// String renders the vector deterministically, e.g. "[1:3 2:1]".
+func (v Vector) String() string {
+	sites := make([]wire.SiteID, 0, len(v))
+	for s := range v {
+		if v[s] > 0 {
+			sites = append(sites, s)
+		}
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	out := "["
+	for i, s := range sites {
+		if i > 0 {
+			out += " "
+		}
+		out += itoa(uint64(s)) + ":" + itoa(v[s])
+	}
+	return out + "]"
+}
+
+// itoa avoids strconv for this one tiny rendering helper.
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// encodeVector writes a vector with a count prefix.
+func encodeVector(w *wire.Writer, v Vector) {
+	sites := make([]wire.SiteID, 0, len(v))
+	for s := range v {
+		if v[s] > 0 {
+			sites = append(sites, s)
+		}
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	w.U16(uint16(len(sites)))
+	for _, s := range sites {
+		w.U32(uint32(s))
+		w.U64(v[s])
+	}
+}
+
+// decodeVector reads a vector written by encodeVector.
+func decodeVector(r *wire.Reader) Vector {
+	n := int(r.U16())
+	v := make(Vector, n)
+	for i := 0; i < n; i++ {
+		site := wire.SiteID(r.U32())
+		v[site] = r.U64()
+	}
+	return v
+}
+
+// Write is one stamped update to one object.
+type Write struct {
+	// Object names the replicated object.
+	Object string
+	// Origin is the site that issued the write.
+	Origin wire.SiteID
+	// Clock is the object's version vector after this write at the
+	// origin, including its causal dependencies (writes-follow-reads).
+	Clock Vector
+	// Data is the new object value.
+	Data []byte
+	// UnixNanos is the origin's wall-clock stamp, used by the default
+	// last-writer-wins resolver.
+	UnixNanos int64
+}
+
+// encode serializes the write.
+func (wr Write) encode(w *wire.Writer) {
+	w.String16(wr.Object)
+	w.U32(uint32(wr.Origin))
+	encodeVector(w, wr.Clock)
+	w.Bytes32(wr.Data)
+	w.U64(uint64(wr.UnixNanos))
+}
+
+// decodeWrite parses one write.
+func decodeWrite(r *wire.Reader) Write {
+	return Write{
+		Object:    r.String16(),
+		Origin:    wire.SiteID(r.U32()),
+		Clock:     decodeVector(r),
+		Data:      r.Bytes32(),
+		UnixNanos: int64(r.U64()),
+	}
+}
+
+// Resolver settles a conflict between the locally stored state and a
+// concurrent incoming write, returning the data the object should hold.
+// Both sides' stamps are available for content- or time-based policies.
+type Resolver func(local, incoming Write) []byte
+
+// LastWriterWins is the default resolver: newest wall-clock stamp wins,
+// with origin site as the deterministic tiebreak.
+func LastWriterWins(local, incoming Write) []byte {
+	if incoming.UnixNanos > local.UnixNanos {
+		return incoming.Data
+	}
+	if incoming.UnixNanos == local.UnixNanos && incoming.Origin > local.Origin {
+		return incoming.Data
+	}
+	return local.Data
+}

@@ -1,0 +1,366 @@
+package session
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mocha/internal/mnet"
+	"mocha/internal/netsim"
+	"mocha/internal/transport"
+	"mocha/internal/wire"
+)
+
+func TestVectorAlgebra(t *testing.T) {
+	a := Vector{1: 2, 2: 1}
+	b := Vector{1: 1, 2: 1}
+	c := Vector{1: 1, 3: 1}
+
+	if !a.Dominates(b) || b.Dominates(a) {
+		t.Fatal("domination wrong")
+	}
+	if !a.Concurrent(c) || !c.Concurrent(a) {
+		t.Fatal("concurrency wrong")
+	}
+	if a.Concurrent(a.Clone()) {
+		t.Fatal("equal vectors reported concurrent")
+	}
+	m := b.Clone()
+	m.Merge(c)
+	if m[1] != 1 || m[2] != 1 || m[3] != 1 {
+		t.Fatalf("merge = %v", m)
+	}
+	if !m.Equal(Vector{1: 1, 2: 1, 3: 1}) {
+		t.Fatal("Equal wrong")
+	}
+	if got := a.String(); got != "[1:2 2:1]" {
+		t.Fatalf("String = %q", got)
+	}
+	var zero Vector
+	if !a.Dominates(zero) || zero.Dominates(a) {
+		t.Fatal("zero-vector domination wrong")
+	}
+}
+
+func TestQuickVectorMergeDominates(t *testing.T) {
+	f := func(a0, a1, a2, b0, b1, b2 uint8) bool {
+		a := Vector{1: uint64(a0), 2: uint64(a1), 3: uint64(a2)}
+		b := Vector{1: uint64(b0), 2: uint64(b1), 3: uint64(b2)}
+		m := a.Clone()
+		m.Merge(b)
+		return m.Dominates(a) && m.Dominates(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(12))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteCodecRoundTrip(t *testing.T) {
+	in := Write{Object: "board", Origin: 3, Clock: Vector{1: 4, 3: 9}, Data: []byte("hello"), UnixNanos: 12345}
+	w := wire.NewWriter(32)
+	in.encode(w)
+	r := wire.NewReader(w.Bytes())
+	out := decodeWrite(r)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if out.Object != in.Object || out.Origin != in.Origin || !out.Clock.Equal(in.Clock) ||
+		string(out.Data) != "hello" || out.UnixNanos != 12345 {
+		t.Fatalf("round trip: %+v", out)
+	}
+}
+
+// sessionCluster builds n stores over a simulated network with manual
+// anti-entropy (tests drive PullOnce explicitly for determinism).
+func sessionCluster(t *testing.T, n int, resolve Resolver) (map[wire.SiteID]*Store, *transport.SimNetwork) {
+	t.Helper()
+	sn := transport.NewSimNetwork(netsim.Config{Profile: netsim.Perfect(), Seed: 31})
+	t.Cleanup(func() { _ = sn.Close() })
+
+	directory := make(map[wire.SiteID]string, n)
+	endpoints := make(map[wire.SiteID]*mnet.Endpoint, n)
+	for i := 1; i <= n; i++ {
+		site := wire.SiteID(i)
+		stack, err := sn.NewStack(netsim.NodeID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep := mnet.NewEndpoint(stack.Datagram(), mnet.Config{RTO: 25 * time.Millisecond, MaxRetries: 4})
+		endpoints[site] = ep
+		directory[site] = stack.Datagram().LocalAddr()
+		t.Cleanup(func() { _ = ep.Close() })
+	}
+	stores := make(map[wire.SiteID]*Store, n)
+	ts := time.Now()
+	var seq atomic.Int64
+	for i := 1; i <= n; i++ {
+		site := wire.SiteID(i)
+		st, err := New(Config{
+			Site:        site,
+			Endpoint:    endpoints[site],
+			Directory:   directory,
+			Resolve:     resolve,
+			AntiEntropy: -1, // manual
+			Now: func() time.Time {
+				return ts.Add(time.Duration(seq.Add(1)) * time.Microsecond)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(st.Close)
+		stores[site] = st
+	}
+	return stores, sn
+}
+
+// awaitValue polls until the store's object holds want.
+func awaitValue(t *testing.T, st *Store, name, want string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		data, _, ok := st.Read(name)
+		if ok && string(data) == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("site %d: %q = %q, want %q", st.Site(), name, data, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestGossipPropagation(t *testing.T) {
+	stores, _ := sessionCluster(t, 3, nil)
+	stores[1].Write("note", []byte("v1"), nil)
+	awaitValue(t, stores[2], "note", "v1")
+	awaitValue(t, stores[3], "note", "v1")
+}
+
+func TestCausalUpdateWins(t *testing.T) {
+	stores, _ := sessionCluster(t, 2, nil)
+	clock1 := stores[1].Write("note", []byte("first"), nil)
+	awaitValue(t, stores[2], "note", "first")
+	// Site 2 updates with site 1's write as dependency: strictly newer.
+	stores[2].Write("note", []byte("second"), clock1)
+	awaitValue(t, stores[1], "note", "second")
+	// A stale redelivery of "first" must not regress the value.
+	data, _, _ := stores[1].Read("note")
+	if string(data) != "second" {
+		t.Fatalf("value regressed to %q", data)
+	}
+}
+
+func TestConflictDetectionAndResolution(t *testing.T) {
+	var conflicts atomic.Int64
+	resolve := func(local, incoming Write) []byte {
+		conflicts.Add(1)
+		// Deterministic content policy: lexicographically larger value.
+		if string(incoming.Data) > string(local.Data) {
+			return incoming.Data
+		}
+		return local.Data
+	}
+	stores, sn := sessionCluster(t, 2, resolve)
+
+	// Partition, write concurrently on both sides, heal, repair.
+	sn.Underlying().Partition(1, 2, true)
+	stores[1].Write("note", []byte("apple"), nil)
+	stores[2].Write("note", []byte("banana"), nil)
+	time.Sleep(50 * time.Millisecond)
+	sn.Underlying().Partition(1, 2, false)
+
+	stores[1].PullOnce()
+	stores[2].PullOnce()
+	awaitValue(t, stores[1], "note", "banana")
+	awaitValue(t, stores[2], "note", "banana")
+
+	if stores[1].Stats().Conflicts == 0 && stores[2].Stats().Conflicts == 0 {
+		t.Fatal("no conflicts detected for concurrent writes")
+	}
+	// The clocks must converge too; pull replies apply asynchronously, so
+	// poll with repair rounds.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, c1, _ := stores[1].Read("note")
+		_, c2, _ := stores[2].Read("note")
+		if c1.Equal(c2) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("clocks diverged: %s vs %s", c1, c2)
+		}
+		stores[1].PullOnce()
+		stores[2].PullOnce()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestAntiEntropyHealsPartition(t *testing.T) {
+	stores, sn := sessionCluster(t, 3, nil)
+	sn.Underlying().Partition(1, 3, true)
+	sn.Underlying().Partition(2, 3, true)
+	stores[1].Write("doc", []byte("while-partitioned"), nil)
+	awaitValue(t, stores[2], "doc", "while-partitioned")
+	time.Sleep(50 * time.Millisecond)
+	if _, _, ok := stores[3].Read("doc"); ok {
+		t.Fatal("write crossed the partition")
+	}
+	sn.Underlying().Partition(1, 3, false)
+	sn.Underlying().Partition(2, 3, false)
+	// Site 3 pulls from peers round-robin; two rounds guarantee it asks a
+	// site that has the object.
+	stores[3].PullOnce()
+	stores[3].PullOnce()
+	awaitValue(t, stores[3], "doc", "while-partitioned")
+}
+
+func TestLastWriterWinsDefault(t *testing.T) {
+	base := time.Unix(0, 1000)
+	local := Write{Origin: 1, Data: []byte("old"), UnixNanos: base.UnixNano()}
+	incoming := Write{Origin: 2, Data: []byte("new"), UnixNanos: base.Add(time.Second).UnixNano()}
+	if got := LastWriterWins(local, incoming); string(got) != "new" {
+		t.Fatalf("newer write lost: %q", got)
+	}
+	if got := LastWriterWins(incoming, local); string(got) != "new" {
+		t.Fatalf("order dependence: %q", got)
+	}
+	tie := Write{Origin: 3, Data: []byte("tie"), UnixNanos: base.UnixNano()}
+	if got := LastWriterWins(local, tie); string(got) != "tie" {
+		t.Fatalf("tiebreak by origin failed: %q", got)
+	}
+}
+
+func TestSessionGuarantees(t *testing.T) {
+	stores, _ := sessionCluster(t, 3, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	se := NewSession()
+	if err := se.Write(ctx, stores[1], "pref", []byte("dark-mode")); err != nil {
+		t.Fatal(err)
+	}
+	// Read your writes at ANOTHER replica: the session read must wait for
+	// the write to arrive there rather than return stale emptiness.
+	data, err := se.Read(ctx, stores[3], "pref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "dark-mode" {
+		t.Fatalf("read-your-writes violated: %q", data)
+	}
+
+	// Monotonic reads: once read at store 3, a read at store 2 must be at
+	// least as new.
+	data, err = se.Read(ctx, stores[2], "pref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "dark-mode" {
+		t.Fatalf("monotonic reads violated: %q", data)
+	}
+
+	// Writes follow reads: a write issued at store 2 after reading must
+	// dominate what was read, so it wins everywhere without conflict.
+	if err := se.Write(ctx, stores[2], "pref", []byte("light-mode")); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range stores {
+		awaitValue(t, st, "pref", "light-mode")
+	}
+	for _, st := range stores {
+		if st.Stats().Conflicts != 0 {
+			t.Fatalf("causal write produced a conflict at site %d", st.Site())
+		}
+	}
+}
+
+func TestSessionReadBlocksUntilCatchUp(t *testing.T) {
+	stores, sn := sessionCluster(t, 2, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	se := NewSession()
+	// Cut gossip so store 2 stays behind.
+	sn.Underlying().Partition(1, 2, true)
+	if err := se.Write(ctx, stores[1], "pref", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	readDone := make(chan error, 1)
+	go func() {
+		_, err := se.Read(ctx, stores[2], "pref")
+		readDone <- err
+	}()
+	select {
+	case err := <-readDone:
+		t.Fatalf("session read returned (%v) before the replica caught up", err)
+	case <-time.After(150 * time.Millisecond):
+	}
+
+	sn.Underlying().Partition(1, 2, false)
+	stores[2].PullOnce()
+	select {
+	case err := <-readDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("session read never unblocked after repair")
+	}
+
+	// A bounded read against a still-stale replica must time out cleanly.
+	sn.Underlying().Partition(1, 2, true)
+	if err := se.Write(ctx, stores[1], "pref", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	shortCtx, cancel2 := context.WithTimeout(ctx, 100*time.Millisecond)
+	defer cancel2()
+	if _, err := se.Read(shortCtx, stores[2], "pref"); err == nil {
+		t.Fatal("stale read succeeded within timeout")
+	}
+}
+
+func TestConvergenceUnderConcurrentWriters(t *testing.T) {
+	// Many unsynchronized writers; after repair rounds all replicas hold
+	// identical bytes and clocks (the optimistic mode's core invariant).
+	const sites = 4
+	stores, _ := sessionCluster(t, sites, nil)
+
+	for round := 0; round < 5; round++ {
+		for i := 1; i <= sites; i++ {
+			stores[wire.SiteID(i)].Write("board", []byte(fmt.Sprintf("r%d-s%d", round, i)), nil)
+		}
+	}
+	// Drive anti-entropy until quiescent: every store pulls from every
+	// peer at least once, twice over.
+	for round := 0; round < 2*(sites-1); round++ {
+		for i := 1; i <= sites; i++ {
+			stores[wire.SiteID(i)].PullOnce()
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	want, wantClock, ok := stores[1].Read("board")
+	if !ok {
+		t.Fatal("object missing at site 1")
+	}
+	for i := 2; i <= sites; i++ {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			got, clock, ok := stores[wire.SiteID(i)].Read("board")
+			if ok && string(got) == string(want) && clock.Equal(wantClock) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("site %d diverged: %q %s vs %q %s", i, got, clock, want, wantClock)
+			}
+			stores[wire.SiteID(i)].PullOnce()
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}

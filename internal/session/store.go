@@ -1,0 +1,494 @@
+package session
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"mocha/internal/eventlog"
+	"mocha/internal/mnet"
+	"mocha/internal/wire"
+)
+
+// PortSession is the well-known logical port session stores use.
+const PortSession uint16 = 8
+
+// Message opcodes on the session port.
+const (
+	opWrite byte = iota + 1
+	opPullRequest
+	opPullReply
+)
+
+// Config parameterizes a store.
+type Config struct {
+	// Site is this store's identity.
+	Site wire.SiteID
+	// Endpoint carries the store's traffic; the store opens PortSession.
+	Endpoint *mnet.Endpoint
+	// Directory maps sites to endpoint addresses, as for package core.
+	Directory map[wire.SiteID]string
+	// Resolve settles concurrent writes (default LastWriterWins). It must
+	// be deterministic and order-insensitive or replicas may diverge.
+	Resolve Resolver
+	// AntiEntropy is the gossip-repair interval (default 500ms; <0
+	// disables the loop, for deterministic tests).
+	AntiEntropy time.Duration
+	// SendTimeout bounds gossip sends (default 2s).
+	SendTimeout time.Duration
+	// Log receives store events; nil means none.
+	Log *eventlog.Logger
+	// Now supplies write timestamps (default time.Now), injectable for
+	// deterministic conflict tests.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Resolve == nil {
+		c.Resolve = LastWriterWins
+	}
+	if c.AntiEntropy == 0 {
+		c.AntiEntropy = 500 * time.Millisecond
+	}
+	if c.SendTimeout <= 0 {
+		c.SendTimeout = 2 * time.Second
+	}
+	if c.Log == nil {
+		c.Log = eventlog.Nop()
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Stats counts store activity.
+type Stats struct {
+	LocalWrites   int64
+	Applied       int64
+	StaleIgnored  int64
+	Conflicts     int64
+	GossipSent    int64
+	PullRounds    int64
+	PullShipments int64
+}
+
+// object is one replicated value.
+type object struct {
+	cur   Write
+	clock Vector
+}
+
+// Store is one site's optimistically replicated object store.
+type Store struct {
+	cfg  Config
+	port *mnet.Port
+
+	mu      sync.Mutex
+	objects map[string]*object
+	stats   Stats
+	peerIdx int
+	waiters []*storeWaiter
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// storeWaiter blocks a session read until an object catches up.
+type storeWaiter struct {
+	name string
+	min  Vector
+	ch   chan struct{}
+}
+
+// New starts a store on the endpoint.
+func New(cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Endpoint == nil || cfg.Site == 0 || len(cfg.Directory) == 0 {
+		return nil, fmt.Errorf("session: config needs endpoint, site, and directory")
+	}
+	port, err := cfg.Endpoint.OpenPort(PortSession)
+	if err != nil {
+		return nil, fmt.Errorf("session: open port: %w", err)
+	}
+	s := &Store{
+		cfg:     cfg,
+		port:    port,
+		objects: make(map[string]*object),
+		stopCh:  make(chan struct{}),
+	}
+	port.SetHandler(s.handle)
+	if cfg.AntiEntropy > 0 {
+		s.wg.Add(1)
+		go s.antiEntropyLoop()
+	}
+	return s, nil
+}
+
+// Close stops the anti-entropy loop. The endpoint stays open (it belongs
+// to the node).
+func (s *Store) Close() {
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.wg.Wait()
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Site returns the store's site ID.
+func (s *Store) Site() wire.SiteID { return s.cfg.Site }
+
+// Read returns an object's current value and clock. ok is false when the
+// object has never been written anywhere this store knows of.
+func (s *Store) Read(name string) (data []byte, clock Vector, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj, exists := s.objects[name]
+	if !exists || len(obj.clock) == 0 {
+		return nil, Vector{}, false
+	}
+	cp := make([]byte, len(obj.cur.Data))
+	copy(cp, obj.cur.Data)
+	return cp, obj.clock.Clone(), true
+}
+
+// Write applies an update locally — no lock, no home site — and gossips it
+// to every peer best-effort. deps carries the causal dependencies a
+// session wants attached (nil for none). It returns the object's clock
+// after the write.
+func (s *Store) Write(name string, data []byte, deps Vector) Vector {
+	s.mu.Lock()
+	obj := s.getLocked(name)
+	clock := obj.clock.Clone()
+	clock.Merge(deps)
+	clock[s.cfg.Site]++
+	w := Write{
+		Object:    name,
+		Origin:    s.cfg.Site,
+		Clock:     clock,
+		Data:      append([]byte(nil), data...),
+		UnixNanos: s.cfg.Now().UnixNano(),
+	}
+	s.applyLocked(w)
+	s.stats.LocalWrites++
+	result := obj.clock.Clone()
+	s.mu.Unlock()
+
+	s.gossip(w)
+	return result
+}
+
+// getLocked returns (creating) an object. Caller holds s.mu.
+func (s *Store) getLocked(name string) *object {
+	obj, ok := s.objects[name]
+	if !ok {
+		obj = &object{clock: Vector{}}
+		s.objects[name] = obj
+	}
+	return obj
+}
+
+// applyLocked folds one write into local state. Caller holds s.mu.
+func (s *Store) applyLocked(in Write) {
+	obj := s.getLocked(in.Object)
+	switch {
+	case obj.clock.Dominates(in.Clock):
+		// Already reflected (or superseded); nothing to do.
+		s.stats.StaleIgnored++
+		return
+	case in.Clock.Dominates(obj.clock):
+		obj.cur = in
+		obj.clock = obj.clock.Clone()
+		obj.clock.Merge(in.Clock)
+	default:
+		// Concurrent: conflict detection and resolution, as in Bayou.
+		s.stats.Conflicts++
+		merged := obj.clock.Clone()
+		merged.Merge(in.Clock)
+		data := s.cfg.Resolve(obj.cur, in)
+		stamp := obj.cur.UnixNanos
+		origin := obj.cur.Origin
+		if in.UnixNanos > stamp || (in.UnixNanos == stamp && in.Origin > origin) {
+			stamp, origin = in.UnixNanos, in.Origin
+		}
+		obj.cur = Write{Object: in.Object, Origin: origin, Clock: merged, Data: data, UnixNanos: stamp}
+		obj.clock = merged
+		s.cfg.Log.Logf("session", "conflict on %q resolved to origin %d %s", in.Object, origin, merged)
+	}
+	s.stats.Applied++
+	s.notifyLocked(in.Object)
+}
+
+// notifyLocked wakes waiters whose requirement the object now meets.
+// Caller holds s.mu.
+func (s *Store) notifyLocked(name string) {
+	obj := s.objects[name]
+	kept := s.waiters[:0]
+	for _, w := range s.waiters {
+		if w.name == name && obj.clock.Dominates(w.min) {
+			close(w.ch)
+			continue
+		}
+		kept = append(kept, w)
+	}
+	s.waiters = kept
+}
+
+// WaitFor blocks until the object's clock dominates min — the mechanism
+// behind the session guarantees.
+func (s *Store) WaitFor(ctx context.Context, name string, min Vector) error {
+	s.mu.Lock()
+	obj := s.getLocked(name)
+	if obj.clock.Dominates(min) {
+		s.mu.Unlock()
+		return nil
+	}
+	w := &storeWaiter{name: name, min: min.Clone(), ch: make(chan struct{})}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for i, x := range s.waiters {
+			if x == w {
+				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		return fmt.Errorf("session: waiting for %q to reach %s: %w", name, min, ctx.Err())
+	}
+}
+
+// gossip pushes one write to every peer, best effort and concurrently.
+func (s *Store) gossip(w Write) {
+	buf := wire.NewWriter(64)
+	buf.U8(opWrite)
+	w.encode(buf)
+	pkt := buf.Bytes()
+	for site, ep := range s.cfg.Directory {
+		if site == s.cfg.Site {
+			continue
+		}
+		addr := mnet.JoinAddr(ep, PortSession)
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.SendTimeout)
+			defer cancel()
+			if err := s.port.Send(ctx, addr, pkt); err != nil {
+				// Anti-entropy will repair it.
+				return
+			}
+			s.mu.Lock()
+			s.stats.GossipSent++
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// handle processes session-port traffic.
+func (s *Store) handle(m mnet.Message) {
+	if len(m.Data) == 0 {
+		return
+	}
+	r := wire.NewReader(m.Data[1:])
+	switch m.Data[0] {
+	case opWrite:
+		w := decodeWrite(r)
+		if r.Err() != nil {
+			return
+		}
+		s.mu.Lock()
+		s.applyLocked(w)
+		s.mu.Unlock()
+	case opPullRequest:
+		s.onPullRequest(m.From, r)
+	case opPullReply:
+		n := int(r.U16())
+		for i := 0; i < n; i++ {
+			w := decodeWrite(r)
+			if r.Err() != nil {
+				return
+			}
+			s.mu.Lock()
+			s.applyLocked(w)
+			s.mu.Unlock()
+		}
+	}
+}
+
+// onPullRequest ships back every object state the requester has not seen.
+func (s *Store) onPullRequest(replyTo string, r *wire.Reader) {
+	n := int(r.U16())
+	summary := make(map[string]Vector, n)
+	for i := 0; i < n; i++ {
+		name := r.String16()
+		summary[name] = decodeVector(r)
+	}
+	if r.Err() != nil {
+		return
+	}
+
+	s.mu.Lock()
+	var ship []Write
+	for name, obj := range s.objects {
+		if len(obj.clock) == 0 {
+			continue
+		}
+		if have, ok := summary[name]; ok && have.Dominates(obj.clock) {
+			continue
+		}
+		ship = append(ship, obj.cur)
+	}
+	s.stats.PullShipments += int64(len(ship))
+	s.mu.Unlock()
+	if len(ship) == 0 {
+		return
+	}
+
+	buf := wire.NewWriter(256)
+	buf.U8(opPullReply)
+	buf.U16(uint16(len(ship)))
+	for _, w := range ship {
+		w.encode(buf)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.SendTimeout)
+	defer cancel()
+	_ = s.port.Send(ctx, replyTo, buf.Bytes())
+}
+
+// antiEntropyLoop periodically pulls from one peer round-robin.
+func (s *Store) antiEntropyLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.AntiEntropy)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.PullOnce()
+		case <-s.stopCh:
+			return
+		}
+	}
+}
+
+// PullOnce runs one anti-entropy exchange with the next peer in rotation.
+// Exported so tests (and deterministic deployments) can drive repair
+// explicitly.
+func (s *Store) PullOnce() {
+	peers := make([]wire.SiteID, 0, len(s.cfg.Directory))
+	for site := range s.cfg.Directory {
+		if site != s.cfg.Site {
+			peers = append(peers, site)
+		}
+	}
+	if len(peers) == 0 {
+		return
+	}
+	sortSites(peers)
+
+	s.mu.Lock()
+	peer := peers[s.peerIdx%len(peers)]
+	s.peerIdx++
+	buf := wire.NewWriter(256)
+	buf.U8(opPullRequest)
+	buf.U16(uint16(len(s.objects)))
+	for name, obj := range s.objects {
+		buf.String16(name)
+		encodeVector(buf, obj.clock)
+	}
+	s.stats.PullRounds++
+	s.mu.Unlock()
+
+	addr := mnet.JoinAddr(s.cfg.Directory[peer], PortSession)
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.SendTimeout)
+	defer cancel()
+	_ = s.port.Send(ctx, addr, buf.Bytes())
+}
+
+// sortSites orders site IDs ascending.
+func sortSites(sites []wire.SiteID) {
+	for i := 1; i < len(sites); i++ {
+		for j := i; j > 0 && sites[j] < sites[j-1]; j-- {
+			sites[j], sites[j-1] = sites[j-1], sites[j]
+		}
+	}
+}
+
+// Session provides Terry-style session guarantees over any store of the
+// cluster: read your writes, monotonic reads, writes follow reads, and
+// monotonic writes, each enforced per object via version vectors.
+type Session struct {
+	mu    sync.Mutex
+	reads map[string]Vector
+	wrote map[string]Vector
+}
+
+// NewSession starts an empty session.
+func NewSession() *Session {
+	return &Session{reads: make(map[string]Vector), wrote: make(map[string]Vector)}
+}
+
+// need returns the vector a read must observe for RYW + MR. Caller holds
+// s.mu.
+func (se *Session) needLocked(name string) Vector {
+	need := Vector{}
+	need.Merge(se.reads[name])
+	need.Merge(se.wrote[name])
+	return need
+}
+
+// Read performs a session-consistent read at the given store, blocking
+// until the store has caught up with this session's past reads and writes
+// of the object.
+func (se *Session) Read(ctx context.Context, st *Store, name string) ([]byte, error) {
+	se.mu.Lock()
+	need := se.needLocked(name)
+	se.mu.Unlock()
+
+	if err := st.WaitFor(ctx, name, need); err != nil {
+		return nil, err
+	}
+	data, clock, _ := st.Read(name)
+	se.mu.Lock()
+	merged := se.reads[name]
+	if merged == nil {
+		merged = Vector{}
+	}
+	merged.Merge(clock)
+	se.reads[name] = merged
+	se.mu.Unlock()
+	return data, nil
+}
+
+// Write performs a session write at the given store, attaching the
+// session's causal past (writes-follow-reads, monotonic writes).
+func (se *Session) Write(ctx context.Context, st *Store, name string, data []byte) error {
+	se.mu.Lock()
+	deps := se.needLocked(name)
+	se.mu.Unlock()
+
+	// The issuing store must itself have seen the session's past, or the
+	// new write could fail to dominate it.
+	if err := st.WaitFor(ctx, name, deps); err != nil {
+		return err
+	}
+	clock := st.Write(name, data, deps)
+	se.mu.Lock()
+	w := se.wrote[name]
+	if w == nil {
+		w = Vector{}
+	}
+	w.Merge(clock)
+	se.wrote[name] = w
+	se.mu.Unlock()
+	return nil
+}

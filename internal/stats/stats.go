@@ -1,0 +1,173 @@
+// Package stats provides the small statistical and table-formatting
+// helpers the benchmark harness uses to report measurements the way the
+// paper's evaluation section does.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sample is a set of duration measurements.
+type Sample struct {
+	values []time.Duration
+}
+
+// Add appends a measurement.
+func (s *Sample) Add(d time.Duration) { s.values = append(s.values, d) }
+
+// N reports the number of measurements.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean.
+func (s *Sample) Mean() time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, v := range s.values {
+		total += v
+	}
+	return total / time.Duration(len(s.values))
+}
+
+// Min returns the smallest measurement.
+func (s *Sample) Min() time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest measurement.
+func (s *Sample) Max() time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Sample) Stddev() time.Duration {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	mean := float64(s.Mean())
+	var sum float64
+	for _, v := range s.values {
+		d := float64(v) - mean
+		sum += d * d
+	}
+	return time.Duration(math.Sqrt(sum / float64(n-1)))
+}
+
+// Median returns the middle measurement.
+func (s *Sample) Median() time.Duration {
+	return s.Percentile(50)
+}
+
+// Percentile returns the p-th percentile (nearest rank).
+func (s *Sample) Percentile(p float64) time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(s.values))
+	copy(sorted, s.values)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// Millis renders a duration as milliseconds with sensible precision, the
+// unit the paper reports everything in.
+func Millis(d time.Duration) string {
+	ms := float64(d) / float64(time.Millisecond)
+	switch {
+	case ms >= 100:
+		return fmt.Sprintf("%.0f", ms)
+	case ms >= 10:
+		return fmt.Sprintf("%.1f", ms)
+	default:
+		return fmt.Sprintf("%.2f", ms)
+	}
+}
+
+// Table formats aligned benchmark output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		row = append(row, fmt.Sprintf("%v", c))
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if i < len(widths)-1 {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

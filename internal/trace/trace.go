@@ -1,0 +1,267 @@
+// Package trace provides Mocha's execution visualization support — the
+// future work the paper's conclusion announces ("visualization support to
+// provide greater insight into the execution of wide area distributed
+// applications"). It merges the per-site event logs into one causally
+// time-ordered timeline, renders it as per-site swimlanes for terminal
+// viewing (via cmd/mochaviz), summarizes activity by site and category,
+// and round-trips through JSON lines for offline analysis.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"mocha/internal/eventlog"
+	"mocha/internal/stats"
+	"mocha/internal/wire"
+)
+
+// Record is one site-attributed event.
+type Record struct {
+	Site     wire.SiteID `json:"site"`
+	Seq      uint64      `json:"seq"`
+	Time     time.Time   `json:"time"`
+	Category string      `json:"category"`
+	Text     string      `json:"text"`
+}
+
+// Timeline is a merged, time-ordered event sequence across sites.
+type Timeline struct {
+	Records []Record
+}
+
+// Merge builds a timeline from per-site event logs, ordered by timestamp
+// (per-site sequence numbers break ties, then site IDs).
+func Merge(perSite map[wire.SiteID][]eventlog.Event) *Timeline {
+	t := &Timeline{}
+	for site, events := range perSite {
+		for _, e := range events {
+			t.Records = append(t.Records, Record{
+				Site:     site,
+				Seq:      e.Seq,
+				Time:     e.Time,
+				Category: e.Category,
+				Text:     e.Text,
+			})
+		}
+	}
+	t.sort()
+	return t
+}
+
+// sort orders records deterministically.
+func (t *Timeline) sort() {
+	sort.SliceStable(t.Records, func(i, j int) bool {
+		a, b := t.Records[i], t.Records[j]
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Before(b.Time)
+		}
+		if a.Site != b.Site {
+			return a.Site < b.Site
+		}
+		return a.Seq < b.Seq
+	})
+}
+
+// Sites lists the sites appearing in the timeline, ascending.
+func (t *Timeline) Sites() []wire.SiteID {
+	seen := map[wire.SiteID]bool{}
+	for _, r := range t.Records {
+		seen[r.Site] = true
+	}
+	out := make([]wire.SiteID, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Filter returns a timeline restricted to the given categories and sites;
+// empty selectors mean "all".
+func (t *Timeline) Filter(categories []string, sites []wire.SiteID) *Timeline {
+	wantCat := map[string]bool{}
+	for _, c := range categories {
+		wantCat[c] = true
+	}
+	wantSite := map[wire.SiteID]bool{}
+	for _, s := range sites {
+		wantSite[s] = true
+	}
+	out := &Timeline{}
+	for _, r := range t.Records {
+		if len(wantCat) > 0 && !wantCat[r.Category] {
+			continue
+		}
+		if len(wantSite) > 0 && !wantSite[r.Site] {
+			continue
+		}
+		out.Records = append(out.Records, r)
+	}
+	return out
+}
+
+// WriteJSON emits the timeline as JSON lines.
+func (t *Timeline) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, r := range t.Records {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("trace: encode: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadJSON parses a timeline written by WriteJSON.
+func ReadJSON(r io.Reader) (*Timeline, error) {
+	t := &Timeline{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		t.Records = append(t.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	t.sort()
+	return t, nil
+}
+
+// RenderOptions tunes the swimlane view.
+type RenderOptions struct {
+	// LaneWidth is the column width per site (default 34).
+	LaneWidth int
+	// MaxRecords truncates long timelines (default: all).
+	MaxRecords int
+}
+
+// Render draws per-site swimlanes: one row per event, offset in
+// milliseconds from the first event, with the event placed in its site's
+// lane.
+func (t *Timeline) Render(w io.Writer, opts RenderOptions) error {
+	if opts.LaneWidth <= 0 {
+		opts.LaneWidth = 34
+	}
+	sites := t.Sites()
+	if len(sites) == 0 {
+		_, err := fmt.Fprintln(w, "(empty timeline)")
+		return err
+	}
+	lane := map[wire.SiteID]int{}
+	for i, s := range sites {
+		lane[s] = i
+	}
+
+	// Header.
+	var sb strings.Builder
+	sb.WriteString(pad("t(ms)", 10))
+	for _, s := range sites {
+		sb.WriteString(pad(fmt.Sprintf("site %d", s), opts.LaneWidth))
+	}
+	if _, err := fmt.Fprintln(w, sb.String()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", 10+opts.LaneWidth*len(sites))); err != nil {
+		return err
+	}
+
+	base := t.Records[0].Time
+	n := len(t.Records)
+	if opts.MaxRecords > 0 && n > opts.MaxRecords {
+		n = opts.MaxRecords
+	}
+	for _, r := range t.Records[:n] {
+		offset := float64(r.Time.Sub(base)) / float64(time.Millisecond)
+		cell := fmt.Sprintf("[%s] %s", r.Category, r.Text)
+		if len(cell) > opts.LaneWidth-2 {
+			// Truncate on a rune boundary; padding is byte-based, so keep
+			// the marker ASCII.
+			cut := opts.LaneWidth - 4
+			for cut > 0 && cell[cut]&0xC0 == 0x80 {
+				cut--
+			}
+			cell = cell[:cut] + ".."
+		}
+		var row strings.Builder
+		row.WriteString(pad(fmt.Sprintf("%9.2f", offset), 10))
+		for i := 0; i < len(sites); i++ {
+			if i == lane[r.Site] {
+				row.WriteString(pad(cell, opts.LaneWidth))
+			} else {
+				row.WriteString(pad("·", opts.LaneWidth))
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.TrimRight(row.String(), " ")); err != nil {
+			return err
+		}
+	}
+	if n < len(t.Records) {
+		if _, err := fmt.Fprintf(w, "... %d more records (raise -max)\n", len(t.Records)-n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pad right-pads s to width (always at least one trailing space).
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s[:width-1] + " "
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}
+
+// Summary renders per-site, per-category event counts.
+func (t *Timeline) Summary() string {
+	type key struct {
+		site wire.SiteID
+		cat  string
+	}
+	counts := map[key]int{}
+	cats := map[string]bool{}
+	for _, r := range t.Records {
+		counts[key{r.Site, r.Category}]++
+		cats[r.Category] = true
+	}
+	catList := make([]string, 0, len(cats))
+	for c := range cats {
+		catList = append(catList, c)
+	}
+	sort.Strings(catList)
+
+	header := append([]string{"site"}, catList...)
+	cells := make([]any, 0, len(header))
+	tb := stats.NewTable(header...)
+	for _, s := range t.Sites() {
+		cells = cells[:0]
+		cells = append(cells, s)
+		for _, c := range catList {
+			cells = append(cells, counts[key{s, c}])
+		}
+		tb.AddRow(cells...)
+	}
+	return tb.String()
+}
+
+// Span reports the wall-clock duration the timeline covers.
+func (t *Timeline) Span() time.Duration {
+	if len(t.Records) < 2 {
+		return 0
+	}
+	return t.Records[len(t.Records)-1].Time.Sub(t.Records[0].Time)
+}

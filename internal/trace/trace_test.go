@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mocha/internal/eventlog"
+	"mocha/internal/wire"
+)
+
+// sample builds a two-site timeline.
+func sample() *Timeline {
+	base := time.Unix(100, 0)
+	return Merge(map[wire.SiteID][]eventlog.Event{
+		1: {
+			{Seq: 1, Time: base, Category: "lock", Text: "granted lock 1"},
+			{Seq: 2, Time: base.Add(5 * time.Millisecond), Category: "xfer", Text: "sent 1024 bytes"},
+		},
+		2: {
+			{Seq: 1, Time: base.Add(2 * time.Millisecond), Category: "daemon", Text: "applied v2"},
+			{Seq: 2, Time: base.Add(9 * time.Millisecond), Category: "lock", Text: "released"},
+		},
+	})
+}
+
+func TestMergeOrder(t *testing.T) {
+	tl := sample()
+	if len(tl.Records) != 4 {
+		t.Fatalf("records = %d", len(tl.Records))
+	}
+	for i := 1; i < len(tl.Records); i++ {
+		if tl.Records[i].Time.Before(tl.Records[i-1].Time) {
+			t.Fatal("records out of order")
+		}
+	}
+	if tl.Records[0].Site != 1 || tl.Records[1].Site != 2 {
+		t.Fatalf("interleave wrong: %v %v", tl.Records[0], tl.Records[1])
+	}
+	if got := tl.Sites(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("sites = %v", got)
+	}
+	if got := tl.Span(); got != 9*time.Millisecond {
+		t.Fatalf("span = %v", got)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	tl := sample()
+	if got := tl.Filter([]string{"lock"}, nil); len(got.Records) != 2 {
+		t.Fatalf("category filter: %d", len(got.Records))
+	}
+	if got := tl.Filter(nil, []wire.SiteID{2}); len(got.Records) != 2 {
+		t.Fatalf("site filter: %d", len(got.Records))
+	}
+	if got := tl.Filter([]string{"lock"}, []wire.SiteID{2}); len(got.Records) != 1 {
+		t.Fatalf("combined filter: %d", len(got.Records))
+	}
+	if got := tl.Filter(nil, nil); len(got.Records) != 4 {
+		t.Fatalf("empty filter: %d", len(got.Records))
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tl := sample()
+	var sb strings.Builder
+	if err := tl.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(tl.Records) {
+		t.Fatalf("round trip lost records: %d", len(got.Records))
+	}
+	for i := range got.Records {
+		a, b := got.Records[i], tl.Records[i]
+		if a.Site != b.Site || a.Category != b.Category || a.Text != b.Text || !a.Time.Equal(b.Time) {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+	if _, err := ReadJSON(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("bad input parsed")
+	}
+}
+
+func TestRender(t *testing.T) {
+	tl := sample()
+	var sb strings.Builder
+	if err := tl.Render(&sb, RenderOptions{LaneWidth: 30}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"site 1", "site 2", "[lock] granted lock 1", "[daemon] applied v2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // header + rule + 4 events
+		t.Fatalf("render has %d lines:\n%s", len(lines), out)
+	}
+
+	// Truncation.
+	sb.Reset()
+	if err := tl.Render(&sb, RenderOptions{MaxRecords: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "2 more records") {
+		t.Fatalf("truncation note missing:\n%s", sb.String())
+	}
+
+	// Empty timeline must not panic.
+	sb.Reset()
+	if err := (&Timeline{}).Render(&sb, RenderOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "empty") {
+		t.Fatal("empty render note missing")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	out := sample().Summary()
+	for _, want := range []string{"site", "daemon", "lock", "xfer"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

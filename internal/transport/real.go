@@ -1,0 +1,210 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// realMTU is a conservative UDP payload size that avoids IP fragmentation
+// on typical paths, matching the fragmentation unit the paper's library
+// uses.
+const realMTU = 1400
+
+// RealStack binds the transport abstractions to actual UDP and TCP
+// sockets, for running one Mocha site per process via cmd/mochad. The
+// zero value is not usable; construct with NewRealStack.
+type RealStack struct {
+	dg *udpDatagram
+
+	mu        sync.Mutex
+	closed    bool
+	listeners []*tcpListener
+}
+
+var _ Stack = (*RealStack)(nil)
+
+// NewRealStack opens a UDP endpoint on the given address ("host:port";
+// ":0" picks a free port).
+func NewRealStack(udpAddr string) (*RealStack, error) {
+	laddr, err := net.ResolveUDPAddr("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", udpAddr, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen udp %q: %w", udpAddr, err)
+	}
+	s := &RealStack{}
+	s.dg = &udpDatagram{conn: conn, done: make(chan struct{})}
+	go s.dg.readLoop()
+	return s, nil
+}
+
+// Datagram implements Stack.
+func (s *RealStack) Datagram() Datagram { return s.dg }
+
+// ListenStream implements Stack: a fresh TCP listener on an ephemeral
+// port, whose address the hybrid protocol propagates over MNet.
+func (s *RealStack) ListenStream() (Listener, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	host, _, err := net.SplitHostPort(s.dg.conn.LocalAddr().String())
+	if err != nil {
+		host = ""
+	}
+	ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen tcp: %w", err)
+	}
+	l := &tcpListener{ln: ln}
+	s.listeners = append(s.listeners, l)
+	return l, nil
+}
+
+// DialStream implements Stack.
+func (s *RealStack) DialStream(addr string) (Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial tcp %q: %w", addr, err)
+	}
+	return c.(*net.TCPConn), nil
+}
+
+// Close implements Stack.
+func (s *RealStack) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	listeners := s.listeners
+	s.mu.Unlock()
+	for _, l := range listeners {
+		_ = l.Close()
+	}
+	return s.dg.Close()
+}
+
+// udpDatagram adapts a UDP socket to the Datagram interface.
+type udpDatagram struct {
+	conn *net.UDPConn
+	done chan struct{}
+
+	mu      sync.Mutex
+	handler Handler
+	closed  bool
+}
+
+var _ Datagram = (*udpDatagram)(nil)
+
+// LocalAddr implements Datagram.
+func (d *udpDatagram) LocalAddr() string { return d.conn.LocalAddr().String() }
+
+// MTU implements Datagram.
+func (d *udpDatagram) MTU() int { return realMTU }
+
+// SetHandler implements Datagram.
+func (d *udpDatagram) SetHandler(h Handler) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.handler = h
+}
+
+// Send implements Datagram.
+func (d *udpDatagram) Send(to string, pkt []byte) error {
+	if len(pkt) > realMTU {
+		return fmt.Errorf("transport: packet of %d bytes exceeds MTU %d", len(pkt), realMTU)
+	}
+	raddr, err := net.ResolveUDPAddr("udp", to)
+	if err != nil {
+		return fmt.Errorf("transport: resolve %q: %w", to, err)
+	}
+	if _, err := d.conn.WriteToUDP(pkt, raddr); err != nil {
+		return fmt.Errorf("transport: udp send: %w", err)
+	}
+	return nil
+}
+
+// Close implements Datagram.
+func (d *udpDatagram) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	close(d.done)
+	return d.conn.Close()
+}
+
+// readLoop pumps arriving packets into the handler.
+func (d *udpDatagram) readLoop() {
+	buf := make([]byte, 64*1024)
+	for {
+		n, raddr, err := d.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-d.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		d.mu.Lock()
+		h := d.handler
+		d.mu.Unlock()
+		if h != nil {
+			h(raddr.String(), pkt)
+		}
+	}
+}
+
+// tcpListener adapts net.Listener.
+type tcpListener struct {
+	ln net.Listener
+}
+
+var _ Listener = (*tcpListener)(nil)
+
+// Accept implements Listener.
+func (l *tcpListener) Accept() (Conn, error) {
+	c, err := l.ln.Accept()
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return nil, ErrClosed
+		}
+		return nil, fmt.Errorf("transport: accept: %w", err)
+	}
+	return c.(*net.TCPConn), nil
+}
+
+// Addr implements Listener.
+func (l *tcpListener) Addr() string { return l.ln.Addr().String() }
+
+// Close implements Listener.
+func (l *tcpListener) Close() error { return l.ln.Close() }
+
+// Interface satisfaction checks for the net types used as Conn.
+var _ Conn = (*net.TCPConn)(nil)
+
+// SetReadDeadlineConn is a helper for callers holding a Conn that need a
+// relative deadline.
+func SetReadDeadlineConn(c Conn, d time.Duration) error {
+	if d <= 0 {
+		return c.SetReadDeadline(time.Time{})
+	}
+	return c.SetReadDeadline(time.Now().Add(d))
+}

@@ -1,0 +1,214 @@
+package transport
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"mocha/internal/netsim"
+)
+
+// Packet tags multiplexing datagram and stream traffic over one simulated
+// node endpoint.
+const (
+	tagDatagram byte = 1
+	tagStream   byte = 2
+)
+
+// simMTU matches a typical Ethernet-minus-headers payload, the unit the
+// paper's library fragments messages into.
+const simMTU = 1400
+
+// SimNetwork owns a netsim network and hands out one Stack per site.
+type SimNetwork struct {
+	net *netsim.Network
+
+	mu     sync.Mutex
+	stacks map[netsim.NodeID]*SimStack
+}
+
+// NewSimNetwork creates a simulated network with the given configuration.
+func NewSimNetwork(cfg netsim.Config) *SimNetwork {
+	return &SimNetwork{
+		net:    netsim.New(cfg),
+		stacks: make(map[netsim.NodeID]*SimStack),
+	}
+}
+
+// Underlying exposes the netsim network for fault injection (partitions,
+// node kills, link overrides) and statistics.
+func (sn *SimNetwork) Underlying() *netsim.Network { return sn.net }
+
+// NewStack creates the communication stack for one simulated site.
+func (sn *SimNetwork) NewStack(id netsim.NodeID) (*SimStack, error) {
+	node, err := sn.net.AddNode(id)
+	if err != nil {
+		return nil, fmt.Errorf("transport: add sim node: %w", err)
+	}
+	s := &SimStack{
+		sim:       sn,
+		node:      node,
+		addr:      strconv.FormatUint(uint64(id), 10),
+		listeners: make(map[uint32]*simListener),
+		conns:     make(map[uint32]*simConn),
+	}
+	s.dg = &simDatagram{stack: s}
+	node.SetReceiver(s.receive)
+	sn.mu.Lock()
+	sn.stacks[id] = s
+	sn.mu.Unlock()
+	return s, nil
+}
+
+// Kill silences a site's node, modelling a fail-stop site crash.
+func (sn *SimNetwork) Kill(id netsim.NodeID) {
+	if node := sn.net.Node(id); node != nil {
+		node.Kill()
+	}
+}
+
+// Close shuts the whole simulated network down.
+func (sn *SimNetwork) Close() error {
+	sn.mu.Lock()
+	stacks := make([]*SimStack, 0, len(sn.stacks))
+	for _, s := range sn.stacks {
+		stacks = append(stacks, s)
+	}
+	sn.mu.Unlock()
+	for _, s := range stacks {
+		_ = s.Close()
+	}
+	sn.net.Close()
+	return nil
+}
+
+// SimStack is one site's endpoints on a simulated network.
+type SimStack struct {
+	sim  *SimNetwork
+	node *netsim.Node
+	addr string
+	dg   *simDatagram
+
+	mu         sync.Mutex
+	closed     bool
+	handler    Handler
+	nextListen uint32
+	nextConn   uint32
+	listeners  map[uint32]*simListener
+	conns      map[uint32]*simConn
+}
+
+var _ Stack = (*SimStack)(nil)
+
+// Datagram implements Stack.
+func (s *SimStack) Datagram() Datagram { return s.dg }
+
+// Close implements Stack.
+func (s *SimStack) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	listeners := make([]*simListener, 0, len(s.listeners))
+	for _, l := range s.listeners {
+		listeners = append(listeners, l)
+	}
+	conns := make([]*simConn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, l := range listeners {
+		_ = l.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	return nil
+}
+
+// receive dispatches an arriving simulated packet by tag.
+func (s *SimStack) receive(from netsim.NodeID, pkt []byte) {
+	if len(pkt) == 0 {
+		return
+	}
+	switch pkt[0] {
+	case tagDatagram:
+		s.mu.Lock()
+		h := s.handler
+		closed := s.closed
+		s.mu.Unlock()
+		if h != nil && !closed {
+			h(strconv.FormatUint(uint64(from), 10), pkt[1:])
+		}
+	case tagStream:
+		s.handleStream(from, pkt[1:])
+	}
+}
+
+// send transmits a tagged packet to another simulated site.
+func (s *SimStack) send(to netsim.NodeID, tag byte, payload []byte) {
+	pkt := make([]byte, 0, len(payload)+1)
+	pkt = append(pkt, tag)
+	pkt = append(pkt, payload...)
+	s.node.Send(to, pkt)
+}
+
+// simDatagram is the datagram face of a SimStack.
+type simDatagram struct {
+	stack *SimStack
+}
+
+var _ Datagram = (*simDatagram)(nil)
+
+// LocalAddr implements Datagram.
+func (d *simDatagram) LocalAddr() string { return d.stack.addr }
+
+// MTU implements Datagram.
+func (d *simDatagram) MTU() int { return simMTU }
+
+// SetHandler implements Datagram.
+func (d *simDatagram) SetHandler(h Handler) {
+	d.stack.mu.Lock()
+	defer d.stack.mu.Unlock()
+	d.stack.handler = h
+}
+
+// Send implements Datagram.
+func (d *simDatagram) Send(to string, pkt []byte) error {
+	d.stack.mu.Lock()
+	closed := d.stack.closed
+	d.stack.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if len(pkt) > simMTU {
+		return fmt.Errorf("transport: packet of %d bytes exceeds MTU %d", len(pkt), simMTU)
+	}
+	id, err := parseSimNode(to)
+	if err != nil {
+		return err
+	}
+	d.stack.send(id, tagDatagram, pkt)
+	return nil
+}
+
+// Close implements Datagram. Closing the datagram closes the whole stack,
+// mirroring a site-manager shutdown.
+func (d *simDatagram) Close() error { return d.stack.Close() }
+
+// parseSimNode converts a simulated address ("7") to a node ID.
+func parseSimNode(addr string) (netsim.NodeID, error) {
+	// Stream addresses look like "7#3"; accept both forms.
+	if i := strings.IndexByte(addr, '#'); i >= 0 {
+		addr = addr[:i]
+	}
+	v, err := strconv.ParseUint(addr, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("transport: bad sim address %q: %w", addr, err)
+	}
+	return netsim.NodeID(v), nil
+}

@@ -1,0 +1,80 @@
+// Package transport abstracts the two communication channels Mocha uses:
+// an unreliable datagram service that the Mocha network object library
+// (package mnet) builds reliable sequenced messaging on, and a TCP-style
+// stream service that the hybrid protocol moves bulk replica data over.
+//
+// Two bindings are provided. The simulated binding runs any number of
+// sites in one process over a netsim network, giving experiments the
+// paper's LAN/WAN timing on a single machine. The real binding uses UDP
+// and TCP sockets for actual multi-host deployment via cmd/mochad.
+// Addresses are opaque strings owned by the binding.
+package transport
+
+import (
+	"errors"
+	"io"
+	"time"
+)
+
+// Handler consumes datagrams as they arrive. Handlers run on the
+// transport's delivery goroutines and must not block for long.
+type Handler func(from string, pkt []byte)
+
+// Datagram is an unreliable, unordered packet service — the substrate the
+// paper's network library assumes. Packets may be dropped, duplicated by
+// retransmission layers above, or reordered; they are never corrupted.
+type Datagram interface {
+	// LocalAddr returns the address peers use to reach this endpoint.
+	LocalAddr() string
+	// Send transmits one packet. nil error means the packet was accepted
+	// for (unreliable) delivery, not that it arrived.
+	Send(to string, pkt []byte) error
+	// SetHandler installs the receive callback. Must be called before
+	// packets are expected; packets arriving earlier are dropped.
+	SetHandler(h Handler)
+	// MTU returns the largest payload Send accepts; larger messages must
+	// be fragmented by the caller (that is mnet's job).
+	MTU() int
+	// Close releases the endpoint.
+	Close() error
+}
+
+// Conn is a reliable byte stream (the TCP role in the hybrid protocol).
+type Conn interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// SetReadDeadline bounds future Reads; a zero time removes the bound.
+	SetReadDeadline(t time.Time) error
+}
+
+// Listener accepts incoming streams.
+type Listener interface {
+	// Accept blocks until a stream arrives or the listener closes.
+	Accept() (Conn, error)
+	// Addr returns the address to dial, suitable for propagation to the
+	// remote side over MNet (the paper's "propagating TCP port numbers").
+	Addr() string
+	// Close stops accepting; blocked Accepts return ErrClosed.
+	Close() error
+}
+
+// Stack bundles one site's endpoints: a single datagram endpoint that mnet
+// multiplexes all logical traffic onto, plus on-demand stream listeners.
+type Stack interface {
+	Datagram() Datagram
+	// ListenStream opens a new stream listener on this site.
+	ListenStream() (Listener, error)
+	// DialStream connects to a listener address on another site.
+	DialStream(addr string) (Conn, error)
+	// Close releases every endpoint of the stack.
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// ErrTimeout is returned when a deadline or dial timeout expires. It
+// matches errors.Is checks against itself only; callers treat it as a
+// retryable failure signal.
+var ErrTimeout = errors.New("transport: timeout")

@@ -1,0 +1,172 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Writer appends big-endian fields to a growing buffer. It never fails:
+// encoding is total for every value the message structs can hold, except
+// for strings and byte slices longer than 4 GiB, which panic (a programming
+// error, not a runtime condition).
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with the given initial capacity hint.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded buffer. The Writer must not be reused after.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len reports the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// U8 appends a byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool appends a bool as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U16 appends a big-endian uint16.
+func (w *Writer) U16(v uint16) {
+	w.buf = binary.BigEndian.AppendUint16(w.buf, v)
+}
+
+// U32 appends a big-endian uint32.
+func (w *Writer) U32(v uint32) {
+	w.buf = binary.BigEndian.AppendUint32(w.buf, v)
+}
+
+// U64 appends a big-endian uint64.
+func (w *Writer) U64(v uint64) {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, v)
+}
+
+// F64 appends a float64 as its IEEE-754 bits.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bytes32 appends a uint32 length prefix followed by the bytes.
+func (w *Writer) Bytes32(b []byte) {
+	if uint64(len(b)) > math.MaxUint32 {
+		panic(fmt.Sprintf("wire: byte field too large: %d", len(b)))
+	}
+	w.U32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String16 appends a uint16 length prefix followed by the string bytes.
+// Names on the wire (replica names, class names, hosts) are short.
+func (w *Writer) String16(s string) {
+	if len(s) > math.MaxUint16 {
+		panic(fmt.Sprintf("wire: string field too large: %d", len(s)))
+	}
+	w.U16(uint16(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Reader consumes big-endian fields from a buffer. The first decoding error
+// sticks: subsequent reads return zero values, and Err reports the failure.
+// This lets message decode methods read all fields unconditionally and
+// check the error once, per the style guide's handle-errors-once rule.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over b. The Reader does not copy b.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining reports the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = ErrTruncated
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads a byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a one-byte bool.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// U16 reads a big-endian uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// U32 reads a big-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 reads a big-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// F64 reads an IEEE-754 float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bytes32 reads a uint32-length-prefixed byte slice. The returned slice is
+// a copy, so callers may retain it after the underlying buffer is reused.
+func (r *Reader) Bytes32() []byte {
+	n := r.U32()
+	b := r.take(int(n))
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// String16 reads a uint16-length-prefixed string.
+func (r *Reader) String16() string {
+	n := r.U16()
+	b := r.take(int(n))
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}

@@ -1,0 +1,500 @@
+package wire
+
+// This file defines the lock-protocol and replica-transfer messages from
+// the paper's Figures 5-7, plus the fault-tolerance refinements of
+// Section 4 (push updates, version polling, heartbeats, lock nacks, and
+// synchronization-thread migration).
+
+// AcquireLock is the REQUEST message an application thread sends to the
+// synchronization thread when it calls ReplicaLock.lock().
+type AcquireLock struct {
+	Lock      LockID
+	Requester SiteID
+	Thread    ThreadID
+	// Shared requests a read-only (shared) lock, the extension the paper
+	// notes the basic exclusive algorithm "can easily be modified" to
+	// support.
+	Shared bool
+	// LeaseMillis is the thread's declared estimate of how long it will
+	// hold the lock, used by the synchronization thread's lock-breaking
+	// failure detector (Section 4). Zero means the cluster default.
+	LeaseMillis uint32
+}
+
+// Kind implements Payload.
+func (*AcquireLock) Kind() Kind { return KindAcquireLock }
+
+func (m *AcquireLock) encode(w *Writer) {
+	w.U32(uint32(m.Lock))
+	w.U32(uint32(m.Requester))
+	w.U64(uint64(m.Thread))
+	w.Bool(m.Shared)
+	w.U32(m.LeaseMillis)
+}
+
+func (m *AcquireLock) decode(r *Reader) error {
+	m.Lock = LockID(r.U32())
+	m.Requester = SiteID(r.U32())
+	m.Thread = ThreadID(r.U64())
+	m.Shared = r.Bool()
+	m.LeaseMillis = r.U32()
+	return r.Err()
+}
+
+// Grant is the synchronization thread's response awarding the lock. It
+// carries the new version number of the associated replicas and the flag
+// telling the acquirer whether fresh replica data is on its way.
+type Grant struct {
+	Lock    LockID
+	Thread  ThreadID
+	Version uint64
+	Flag    VersionFlag
+	// Shared reports whether the grant is for a read-only lock.
+	Shared bool
+	// Epoch identifies the synchronization-thread incarnation that issued
+	// the grant; it changes when a surrogate takes over (Section 4).
+	Epoch uint32
+	// Sharers is the set of sites whose daemons are registered for this
+	// lock's replicas; the holder picks push-update targets from it when
+	// UR > 1.
+	Sharers SiteSet
+	// Revised marks a follow-up grant that supersedes an earlier one for
+	// the same acquisition — sent when failure handling discovered that
+	// the promised version is lost and an older version must be accepted
+	// (the paper's "most recently available old version").
+	Revised bool
+}
+
+// Kind implements Payload.
+func (*Grant) Kind() Kind { return KindGrant }
+
+func (m *Grant) encode(w *Writer) {
+	w.U32(uint32(m.Lock))
+	w.U64(uint64(m.Thread))
+	w.U64(m.Version)
+	w.U8(uint8(m.Flag))
+	w.Bool(m.Shared)
+	w.U32(m.Epoch)
+	m.Sharers.encode(w)
+	w.Bool(m.Revised)
+}
+
+func (m *Grant) decode(r *Reader) error {
+	m.Lock = LockID(r.U32())
+	m.Thread = ThreadID(r.U64())
+	m.Version = r.U64()
+	m.Flag = VersionFlag(r.U8())
+	m.Shared = r.Bool()
+	m.Epoch = r.U32()
+	m.Sharers = decodeSiteSet(r)
+	m.Revised = r.Bool()
+	return r.Err()
+}
+
+// LockNack refuses an AcquireLock, e.g. because the requesting thread was
+// banned after a detected failure ("an application thread that fails in
+// this manner is prevented from making future requests", Section 4).
+type LockNack struct {
+	Lock   LockID
+	Thread ThreadID
+	Reason string
+}
+
+// Kind implements Payload.
+func (*LockNack) Kind() Kind { return KindLockNack }
+
+func (m *LockNack) encode(w *Writer) {
+	w.U32(uint32(m.Lock))
+	w.U64(uint64(m.Thread))
+	w.String16(m.Reason)
+}
+
+func (m *LockNack) decode(r *Reader) error {
+	m.Lock = LockID(r.U32())
+	m.Thread = ThreadID(r.U64())
+	m.Reason = r.String16()
+	return r.Err()
+}
+
+// ReleaseLock is sent by ReplicaLock.unlock(). With the fault-tolerance
+// refinements it also carries the set of daemons that now hold an
+// up-to-date copy, because the releasing thread may have pushed its new
+// version to several sites (UR dissemination).
+type ReleaseLock struct {
+	Lock       LockID
+	Releaser   SiteID
+	Thread     ThreadID
+	NewVersion uint64
+	// UpToDate is the bit vector of daemon sites holding NewVersion,
+	// including the releaser itself.
+	UpToDate SiteSet
+	// Shared reports that a read-only hold is being released.
+	Shared bool
+	// Aborted reports that the holder never observed the granted version
+	// (it gave up waiting for the transfer); the synchronization thread
+	// keeps its version and last-owner bookkeeping unchanged.
+	Aborted bool
+}
+
+// Kind implements Payload.
+func (*ReleaseLock) Kind() Kind { return KindReleaseLock }
+
+func (m *ReleaseLock) encode(w *Writer) {
+	w.U32(uint32(m.Lock))
+	w.U32(uint32(m.Releaser))
+	w.U64(uint64(m.Thread))
+	w.U64(m.NewVersion)
+	m.UpToDate.encode(w)
+	w.Bool(m.Shared)
+	w.Bool(m.Aborted)
+}
+
+func (m *ReleaseLock) decode(r *Reader) error {
+	m.Lock = LockID(r.U32())
+	m.Releaser = SiteID(r.U32())
+	m.Thread = ThreadID(r.U64())
+	m.NewVersion = r.U64()
+	m.UpToDate = decodeSiteSet(r)
+	m.Shared = r.Bool()
+	m.Aborted = r.Bool()
+	return r.Err()
+}
+
+// TransferReplica is the synchronization thread's directive to the daemon
+// holding the most recent replicas: send your copy for this lock to the
+// destination site. Replica data itself flows daemon-to-daemon (never
+// through the synchronization thread), so the directive carries everything
+// the sending daemon needs to reach the destination.
+type TransferReplica struct {
+	Lock LockID
+	// Dest is the site whose daemon should receive the replicas.
+	Dest SiteID
+	// Version is the replica version being requested, used by the
+	// destination to match arriving data to the grant it received.
+	Version uint64
+	// RequestID correlates the directive, any hybrid stream setup, and the
+	// final ReplicaData.
+	RequestID uint64
+}
+
+// Kind implements Payload.
+func (*TransferReplica) Kind() Kind { return KindTransferReplica }
+
+func (m *TransferReplica) encode(w *Writer) {
+	w.U32(uint32(m.Lock))
+	w.U32(uint32(m.Dest))
+	w.U64(m.Version)
+	w.U64(m.RequestID)
+}
+
+func (m *TransferReplica) decode(r *Reader) error {
+	m.Lock = LockID(r.U32())
+	m.Dest = SiteID(r.U32())
+	m.Version = r.U64()
+	m.RequestID = r.U64()
+	return r.Err()
+}
+
+// RegisterReplica announces to the synchronization thread that a site's
+// daemon now manages replicas for a lock ("All objects that the
+// application threads wish to share are registered with the local daemon
+// thread"). The home site uses registrations to know which daemons can
+// accept push updates and answer version polls.
+type RegisterReplica struct {
+	Lock LockID
+	Site SiteID
+	// Names lists the replica names associated with the lock at this site.
+	Names []string
+	// Creator marks the registration that created the shared object (the
+	// constructor with initial data), which seeds version 1.
+	Creator bool
+}
+
+// Kind implements Payload.
+func (*RegisterReplica) Kind() Kind { return KindRegisterReplica }
+
+func (m *RegisterReplica) encode(w *Writer) {
+	w.U32(uint32(m.Lock))
+	w.U32(uint32(m.Site))
+	w.U16(uint16(len(m.Names)))
+	for _, n := range m.Names {
+		w.String16(n)
+	}
+	w.Bool(m.Creator)
+}
+
+func (m *RegisterReplica) decode(r *Reader) error {
+	m.Lock = LockID(r.U32())
+	m.Site = SiteID(r.U32())
+	n := int(r.U16())
+	m.Names = make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		m.Names = append(m.Names, r.String16())
+	}
+	m.Creator = r.Bool()
+	return r.Err()
+}
+
+// ReplicaPayload is one replica's marshaled state inside a ReplicaData or
+// PushUpdate message.
+type ReplicaPayload struct {
+	Name string
+	Data []byte
+}
+
+func encodePayloads(w *Writer, ps []ReplicaPayload) {
+	w.U16(uint16(len(ps)))
+	for _, p := range ps {
+		w.String16(p.Name)
+		w.Bytes32(p.Data)
+	}
+}
+
+func decodePayloads(r *Reader) []ReplicaPayload {
+	n := int(r.U16())
+	out := make([]ReplicaPayload, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, ReplicaPayload{Name: r.String16(), Data: r.Bytes32()})
+	}
+	return out
+}
+
+// ReplicaData carries the marshaled replicas associated with a lock from
+// one daemon to another, either in response to a TransferReplica directive
+// or over the hybrid protocol's stream.
+type ReplicaData struct {
+	Lock      LockID
+	From      SiteID
+	Version   uint64
+	RequestID uint64
+	Replicas  []ReplicaPayload
+}
+
+// Kind implements Payload.
+func (*ReplicaData) Kind() Kind { return KindReplicaData }
+
+func (m *ReplicaData) encode(w *Writer) {
+	w.U32(uint32(m.Lock))
+	w.U32(uint32(m.From))
+	w.U64(m.Version)
+	w.U64(m.RequestID)
+	encodePayloads(w, m.Replicas)
+}
+
+func (m *ReplicaData) decode(r *Reader) error {
+	m.Lock = LockID(r.U32())
+	m.From = SiteID(r.U32())
+	m.Version = r.U64()
+	m.RequestID = r.U64()
+	m.Replicas = decodePayloads(r)
+	return r.Err()
+}
+
+// PushUpdate disseminates a new replica version to a registered daemon at
+// unlock time (the push-based update scheme of Section 4). The receiving
+// daemon applies the update directly to its local replicas.
+type PushUpdate struct {
+	Lock     LockID
+	From     SiteID
+	Version  uint64
+	Replicas []ReplicaPayload
+}
+
+// Kind implements Payload.
+func (*PushUpdate) Kind() Kind { return KindPushUpdate }
+
+func (m *PushUpdate) encode(w *Writer) {
+	w.U32(uint32(m.Lock))
+	w.U32(uint32(m.From))
+	w.U64(m.Version)
+	encodePayloads(w, m.Replicas)
+}
+
+func (m *PushUpdate) decode(r *Reader) error {
+	m.Lock = LockID(r.U32())
+	m.From = SiteID(r.U32())
+	m.Version = r.U64()
+	m.Replicas = decodePayloads(r)
+	return r.Err()
+}
+
+// PushAck confirms application of a PushUpdate so the releasing thread can
+// count the site into the up-to-date set (and detect failed daemons by the
+// ack timing out).
+type PushAck struct {
+	Lock    LockID
+	Site    SiteID
+	Version uint64
+}
+
+// Kind implements Payload.
+func (*PushAck) Kind() Kind { return KindPushAck }
+
+func (m *PushAck) encode(w *Writer) {
+	w.U32(uint32(m.Lock))
+	w.U32(uint32(m.Site))
+	w.U64(m.Version)
+}
+
+func (m *PushAck) decode(r *Reader) error {
+	m.Lock = LockID(r.U32())
+	m.Site = SiteID(r.U32())
+	m.Version = r.U64()
+	return r.Err()
+}
+
+// PollVersion asks a daemon which version of a lock's replicas it holds.
+// The synchronization thread polls after a transfer timeout to locate the
+// most recent surviving copy (Section 4).
+type PollVersion struct {
+	Lock  LockID
+	Nonce uint64
+}
+
+// Kind implements Payload.
+func (*PollVersion) Kind() Kind { return KindPollVersion }
+
+func (m *PollVersion) encode(w *Writer) {
+	w.U32(uint32(m.Lock))
+	w.U64(m.Nonce)
+}
+
+func (m *PollVersion) decode(r *Reader) error {
+	m.Lock = LockID(r.U32())
+	m.Nonce = r.U64()
+	return r.Err()
+}
+
+// PollVersionReply reports the replying daemon's local version for the
+// lock's replicas. HasData is false when the daemon never received a copy.
+type PollVersionReply struct {
+	Lock    LockID
+	Site    SiteID
+	Nonce   uint64
+	Version uint64
+	HasData bool
+}
+
+// Kind implements Payload.
+func (*PollVersionReply) Kind() Kind { return KindPollVersionReply }
+
+func (m *PollVersionReply) encode(w *Writer) {
+	w.U32(uint32(m.Lock))
+	w.U32(uint32(m.Site))
+	w.U64(m.Nonce)
+	w.U64(m.Version)
+	w.Bool(m.HasData)
+}
+
+func (m *PollVersionReply) decode(r *Reader) error {
+	m.Lock = LockID(r.U32())
+	m.Site = SiteID(r.U32())
+	m.Nonce = r.U64()
+	m.Version = r.U64()
+	m.HasData = r.Bool()
+	return r.Err()
+}
+
+// Heartbeat probes a daemon suspected of having failed, e.g. when a lock
+// has been held past its lease (Section 4).
+type Heartbeat struct {
+	Nonce uint64
+}
+
+// Kind implements Payload.
+func (*Heartbeat) Kind() Kind { return KindHeartbeat }
+
+func (m *Heartbeat) encode(w *Writer) { w.U64(m.Nonce) }
+
+func (m *Heartbeat) decode(r *Reader) error {
+	m.Nonce = r.U64()
+	return r.Err()
+}
+
+// HeartbeatAck answers a Heartbeat.
+type HeartbeatAck struct {
+	Nonce uint64
+	Site  SiteID
+}
+
+// Kind implements Payload.
+func (*HeartbeatAck) Kind() Kind { return KindHeartbeatAck }
+
+func (m *HeartbeatAck) encode(w *Writer) {
+	w.U64(m.Nonce)
+	w.U32(uint32(m.Site))
+}
+
+func (m *HeartbeatAck) decode(r *Reader) error {
+	m.Nonce = r.U64()
+	m.Site = SiteID(r.U32())
+	return r.Err()
+}
+
+// SyncMoved informs daemons that a surrogate synchronization thread has
+// taken over after a home-site failure (the recovery protocol the paper
+// sketches in Section 4). Addr is the surrogate's MNet address and Epoch
+// its incarnation number; messages from older epochs are ignored.
+type SyncMoved struct {
+	Addr  string
+	Epoch uint32
+}
+
+// Kind implements Payload.
+func (*SyncMoved) Kind() Kind { return KindSyncMoved }
+
+func (m *SyncMoved) encode(w *Writer) {
+	w.String16(m.Addr)
+	w.U32(m.Epoch)
+}
+
+func (m *SyncMoved) decode(r *Reader) error {
+	m.Addr = r.String16()
+	m.Epoch = r.U32()
+	return r.Err()
+}
+
+// OpenStreamRequest asks the destination daemon to accept a bulk replica
+// transfer over the hybrid protocol's stream transport. MNet carries this
+// control message; the reply propagates the TCP-style listen address
+// ("Mocha's network communication is used for establishing a TCP
+// connection, i.e., propagating TCP port numbers").
+type OpenStreamRequest struct {
+	RequestID uint64
+	From      SiteID
+}
+
+// Kind implements Payload.
+func (*OpenStreamRequest) Kind() Kind { return KindOpenStreamRequest }
+
+func (m *OpenStreamRequest) encode(w *Writer) {
+	w.U64(m.RequestID)
+	w.U32(uint32(m.From))
+}
+
+func (m *OpenStreamRequest) decode(r *Reader) error {
+	m.RequestID = r.U64()
+	m.From = SiteID(r.U32())
+	return r.Err()
+}
+
+// OpenStreamReply carries the destination's stream listen address back to
+// the sender, which then dials it and writes the replica payload.
+type OpenStreamReply struct {
+	RequestID uint64
+	Addr      string
+}
+
+// Kind implements Payload.
+func (*OpenStreamReply) Kind() Kind { return KindOpenStreamReply }
+
+func (m *OpenStreamReply) encode(w *Writer) {
+	w.U64(m.RequestID)
+	w.String16(m.Addr)
+}
+
+func (m *OpenStreamReply) decode(r *Reader) error {
+	m.RequestID = r.U64()
+	m.Addr = r.String16()
+	return r.Err()
+}

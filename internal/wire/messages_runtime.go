@@ -1,0 +1,285 @@
+package wire
+
+// This file defines the wide-area runtime messages: remote spawning with
+// code shipping (the paper's remote-evaluation support, "an initial push of
+// application code followed by demand pulling of new application code
+// object classes"), travel-bag traffic (results, remote printing, stack
+// dumps), event logging, and site-manager membership.
+
+// Spawn asks a remote Mocha server to instantiate and run a task. It
+// carries the initial push of the class image plus the marshaled Parameter
+// object from the spawning thread.
+type Spawn struct {
+	// SpawnID is unique per spawning site and correlates SpawnAck,
+	// TaskResult and travel-bag traffic.
+	SpawnID uint64
+	// Home is the site the task reports back to.
+	Home SiteID
+	// ClassName names the task class to instantiate.
+	ClassName string
+	// ClassImage is the pushed code for ClassName (see
+	// runtime.CodeRepository for what an "image" is in this port).
+	ClassImage []byte
+	// Params is the marshaled Parameter object.
+	Params []byte
+}
+
+// Kind implements Payload.
+func (*Spawn) Kind() Kind { return KindSpawn }
+
+func (m *Spawn) encode(w *Writer) {
+	w.U64(m.SpawnID)
+	w.U32(uint32(m.Home))
+	w.String16(m.ClassName)
+	w.Bytes32(m.ClassImage)
+	w.Bytes32(m.Params)
+}
+
+func (m *Spawn) decode(r *Reader) error {
+	m.SpawnID = r.U64()
+	m.Home = SiteID(r.U32())
+	m.ClassName = r.String16()
+	m.ClassImage = r.Bytes32()
+	m.Params = r.Bytes32()
+	return r.Err()
+}
+
+// SpawnAck reports whether the server accepted, linked, and started the
+// task.
+type SpawnAck struct {
+	SpawnID uint64
+	Site    SiteID
+	OK      bool
+	Err     string
+}
+
+// Kind implements Payload.
+func (*SpawnAck) Kind() Kind { return KindSpawnAck }
+
+func (m *SpawnAck) encode(w *Writer) {
+	w.U64(m.SpawnID)
+	w.U32(uint32(m.Site))
+	w.Bool(m.OK)
+	w.String16(m.Err)
+}
+
+func (m *SpawnAck) decode(r *Reader) error {
+	m.SpawnID = r.U64()
+	m.Site = SiteID(r.U32())
+	m.OK = r.Bool()
+	m.Err = r.String16()
+	return r.Err()
+}
+
+// TaskResult returns a finished task's marshaled Result object (or its
+// terminal error) to the home site, fulfilling mocha.returnResults().
+type TaskResult struct {
+	SpawnID uint64
+	Site    SiteID
+	Result  []byte
+	Err     string
+}
+
+// Kind implements Payload.
+func (*TaskResult) Kind() Kind { return KindTaskResult }
+
+func (m *TaskResult) encode(w *Writer) {
+	w.U64(m.SpawnID)
+	w.U32(uint32(m.Site))
+	w.Bytes32(m.Result)
+	w.String16(m.Err)
+}
+
+func (m *TaskResult) decode(r *Reader) error {
+	m.SpawnID = r.U64()
+	m.Site = SiteID(r.U32())
+	m.Result = r.Bytes32()
+	m.Err = r.String16()
+	return r.Err()
+}
+
+// CodeRequest demand-pulls a class image the running task needs but the
+// local server has not cached.
+type CodeRequest struct {
+	SpawnID   uint64
+	Site      SiteID
+	ClassName string
+}
+
+// Kind implements Payload.
+func (*CodeRequest) Kind() Kind { return KindCodeRequest }
+
+func (m *CodeRequest) encode(w *Writer) {
+	w.U64(m.SpawnID)
+	w.U32(uint32(m.Site))
+	w.String16(m.ClassName)
+}
+
+func (m *CodeRequest) decode(r *Reader) error {
+	m.SpawnID = r.U64()
+	m.Site = SiteID(r.U32())
+	m.ClassName = r.String16()
+	return r.Err()
+}
+
+// CodeReply answers a CodeRequest from the home site's code repository.
+type CodeReply struct {
+	SpawnID   uint64
+	ClassName string
+	Found     bool
+	Image     []byte
+}
+
+// Kind implements Payload.
+func (*CodeReply) Kind() Kind { return KindCodeReply }
+
+func (m *CodeReply) encode(w *Writer) {
+	w.U64(m.SpawnID)
+	w.String16(m.ClassName)
+	w.Bool(m.Found)
+	w.Bytes32(m.Image)
+}
+
+func (m *CodeReply) decode(r *Reader) error {
+	m.SpawnID = r.U64()
+	m.ClassName = r.String16()
+	m.Found = r.Bool()
+	m.Image = r.Bytes32()
+	return r.Err()
+}
+
+// Print routes a task's mochaPrintln output to the home site's console.
+type Print struct {
+	SpawnID uint64
+	Site    SiteID
+	Text    string
+}
+
+// Kind implements Payload.
+func (*Print) Kind() Kind { return KindPrint }
+
+func (m *Print) encode(w *Writer) {
+	w.U64(m.SpawnID)
+	w.U32(uint32(m.Site))
+	w.String16(m.Text)
+}
+
+func (m *Print) decode(r *Reader) error {
+	m.SpawnID = r.U64()
+	m.Site = SiteID(r.U32())
+	m.Text = r.String16()
+	return r.Err()
+}
+
+// StackDump routes a task's mochaPrintStackTrace output home, giving the
+// application developer insight into failures at remote locations.
+type StackDump struct {
+	SpawnID uint64
+	Site    SiteID
+	Reason  string
+	Stack   []byte
+}
+
+// Kind implements Payload.
+func (*StackDump) Kind() Kind { return KindStackDump }
+
+func (m *StackDump) encode(w *Writer) {
+	w.U64(m.SpawnID)
+	w.U32(uint32(m.Site))
+	w.String16(m.Reason)
+	w.Bytes32(m.Stack)
+}
+
+func (m *StackDump) decode(r *Reader) error {
+	m.SpawnID = r.U64()
+	m.Site = SiteID(r.U32())
+	m.Reason = r.String16()
+	m.Stack = r.Bytes32()
+	return r.Err()
+}
+
+// Event ships one structured event-log record to the home site's
+// collector (the paper's "basic debugging and event logging facilities").
+type Event struct {
+	Site SiteID
+	Seq  uint64
+	// UnixNanos is the site-local wall-clock timestamp.
+	UnixNanos int64
+	Category  string
+	Text      string
+}
+
+// Kind implements Payload.
+func (*Event) Kind() Kind { return KindEvent }
+
+func (m *Event) encode(w *Writer) {
+	w.U32(uint32(m.Site))
+	w.U64(m.Seq)
+	w.U64(uint64(m.UnixNanos))
+	w.String16(m.Category)
+	w.String16(m.Text)
+}
+
+func (m *Event) decode(r *Reader) error {
+	m.Site = SiteID(r.U32())
+	m.Seq = r.U64()
+	m.UnixNanos = int64(r.U64())
+	m.Category = r.String16()
+	m.Text = r.String16()
+	return r.Err()
+}
+
+// Join registers a site manager with the home site, announcing the
+// address of its daemon endpoint.
+type Join struct {
+	Site SiteID
+	Name string
+	// DaemonAddr is the MNet address of the site's daemon thread.
+	DaemonAddr string
+}
+
+// Kind implements Payload.
+func (*Join) Kind() Kind { return KindJoin }
+
+func (m *Join) encode(w *Writer) {
+	w.U32(uint32(m.Site))
+	w.String16(m.Name)
+	w.String16(m.DaemonAddr)
+}
+
+func (m *Join) decode(r *Reader) error {
+	m.Site = SiteID(r.U32())
+	m.Name = r.String16()
+	m.DaemonAddr = r.String16()
+	return r.Err()
+}
+
+// JoinAck confirms membership and tells the joiner where the
+// synchronization thread lives.
+type JoinAck struct {
+	Site     SiteID
+	OK       bool
+	Err      string
+	SyncAddr string
+	Epoch    uint32
+}
+
+// Kind implements Payload.
+func (*JoinAck) Kind() Kind { return KindJoinAck }
+
+func (m *JoinAck) encode(w *Writer) {
+	w.U32(uint32(m.Site))
+	w.Bool(m.OK)
+	w.String16(m.Err)
+	w.String16(m.SyncAddr)
+	w.U32(m.Epoch)
+}
+
+func (m *JoinAck) decode(r *Reader) error {
+	m.Site = SiteID(r.U32())
+	m.OK = r.Bool()
+	m.Err = r.String16()
+	m.SyncAddr = r.String16()
+	m.Epoch = r.U32()
+	return r.Err()
+}

@@ -1,0 +1,364 @@
+package wire
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// allMessages returns one populated instance of every message kind, used by
+// the exhaustive round-trip test. Keeping the list in one place means a new
+// kind that is not added here fails TestEveryKindCovered.
+func allMessages() []Payload {
+	return []Payload{
+		&AcquireLock{Lock: 7, Requester: 3, Thread: MakeThreadID(3, 9), Shared: true, LeaseMillis: 1500},
+		&Grant{Lock: 7, Thread: MakeThreadID(3, 9), Version: 42, Flag: NeedNewVersion, Shared: true, Epoch: 2, Sharers: NewSiteSet(2, 4), Revised: true},
+		&ReleaseLock{Lock: 7, Releaser: 3, Thread: MakeThreadID(3, 9), NewVersion: 43, UpToDate: NewSiteSet(1, 3, 5), Shared: false, Aborted: true},
+		&TransferReplica{Lock: 7, Dest: 4, Version: 43, RequestID: 99},
+		&RegisterReplica{Lock: 7, Site: 4, Names: []string{"flatwareIndex", "plateIndex"}, Creator: true},
+		&ReplicaData{Lock: 7, From: 2, Version: 43, RequestID: 99, Replicas: []ReplicaPayload{{Name: "a", Data: []byte{1, 2, 3}}, {Name: "b", Data: nil}}},
+		&PushUpdate{Lock: 7, From: 2, Version: 44, Replicas: []ReplicaPayload{{Name: "text", Data: []byte("Good Choice")}}},
+		&PushAck{Lock: 7, Site: 5, Version: 44},
+		&PollVersion{Lock: 7, Nonce: 123456},
+		&PollVersionReply{Lock: 7, Site: 5, Nonce: 123456, Version: 40, HasData: true},
+		&Heartbeat{Nonce: 77},
+		&HeartbeatAck{Nonce: 77, Site: 6},
+		&LockNack{Lock: 7, Thread: MakeThreadID(6, 1), Reason: "banned after lease expiry"},
+		&SyncMoved{Addr: "sim://2/sync", Epoch: 3},
+		&OpenStreamRequest{RequestID: 99, From: 2},
+		&OpenStreamReply{RequestID: 99, Addr: "127.0.0.1:40404"},
+		&Spawn{SpawnID: 5, Home: 1, ClassName: "Myhello", ClassImage: []byte{0xCA, 0xFE}, Params: []byte("start=0")},
+		&SpawnAck{SpawnID: 5, Site: 2, OK: false, Err: "no such class"},
+		&TaskResult{SpawnID: 5, Site: 2, Result: []byte("returnvalue=1"), Err: ""},
+		&CodeRequest{SpawnID: 5, Site: 2, ClassName: "Myhelper"},
+		&CodeReply{SpawnID: 5, ClassName: "Myhelper", Found: true, Image: []byte{1}},
+		&Print{SpawnID: 5, Site: 2, Text: "Returning as a return value 1"},
+		&StackDump{SpawnID: 5, Site: 2, Reason: "MochaParameterException", Stack: []byte("goroutine 1 [running]")},
+		&Event{Site: 2, Seq: 10, UnixNanos: 1234567890, Category: "lock", Text: "grant"},
+		&Join{Site: 2, Name: "ultra1", DaemonAddr: "sim://2/daemon"},
+		&JoinAck{Site: 2, OK: true, SyncAddr: "sim://1/sync", Epoch: 1},
+	}
+}
+
+func TestEveryKindCovered(t *testing.T) {
+	seen := map[Kind]bool{}
+	for _, m := range allMessages() {
+		seen[m.Kind()] = true
+	}
+	for k := KindInvalid + 1; k < kindSentinel; k++ {
+		if !seen[k] {
+			t.Errorf("kind %s has no round-trip coverage in allMessages", k)
+		}
+	}
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	for _, msg := range allMessages() {
+		msg := msg
+		t.Run(msg.Kind().String(), func(t *testing.T) {
+			b := Marshal(msg)
+			got, err := Unmarshal(b)
+			if err != nil {
+				t.Fatalf("Unmarshal: %v", err)
+			}
+			normalize(msg)
+			normalize(got)
+			if !reflect.DeepEqual(msg, got) {
+				t.Fatalf("round trip mismatch:\n sent %#v\n got  %#v", msg, got)
+			}
+		})
+	}
+}
+
+// normalize maps empty and nil byte slices / site sets to a canonical form
+// so DeepEqual compares semantic content.
+func normalize(p Payload) {
+	v := reflect.ValueOf(p).Elem()
+	normalizeValue(v)
+}
+
+func normalizeValue(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Slice:
+		if v.Len() == 0 {
+			v.Set(reflect.Zero(v.Type()))
+			return
+		}
+		for i := 0; i < v.Len(); i++ {
+			normalizeValue(v.Index(i))
+		}
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if v.Field(i).CanSet() {
+				normalizeValue(v.Field(i))
+			} else if v.Type().Field(i).Name == "bits" {
+				// SiteSet's unexported bit slice is normalized via
+				// reflection on the addressable parent in practice; the
+				// encode path already trims trailing zero words.
+				continue
+			}
+		}
+	default:
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{name: "empty", in: nil, want: ErrTruncated},
+		{name: "unknown kind", in: []byte{0xEE}, want: ErrUnknownKind},
+		{name: "truncated body", in: []byte{byte(KindGrant), 0x00}, want: ErrTruncated},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Unmarshal(tt.in)
+			if !errors.Is(err, tt.want) {
+				t.Fatalf("Unmarshal(%v) error = %v, want %v", tt.in, err, tt.want)
+			}
+		})
+	}
+}
+
+func TestTruncationAtEveryBoundary(t *testing.T) {
+	// Chopping a valid message at any interior byte must yield an error,
+	// never a panic or silent success.
+	for _, msg := range allMessages() {
+		b := Marshal(msg)
+		for i := 1; i < len(b); i++ {
+			if _, err := Unmarshal(b[:i]); err == nil {
+				// Some prefixes decode cleanly when the chopped tail is a
+				// zero-length trailing field; that is acceptable only if
+				// re-marshaling produces the same prefix semantics. Require
+				// hard failure instead: decode must consume exact layouts.
+				// Fixed-width layouts make every strict prefix invalid
+				// unless the cut lands exactly after the final field.
+				t.Fatalf("%s: truncation at %d/%d decoded without error", msg.Kind(), i, len(b))
+			}
+		}
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader([]byte{0x01})
+	_ = r.U32() // fails: only one byte
+	if r.Err() == nil {
+		t.Fatal("expected error after short read")
+	}
+	if got := r.U64(); got != 0 {
+		t.Fatalf("read after error = %d, want 0", got)
+	}
+	if r.String16() != "" {
+		t.Fatal("string read after error should be empty")
+	}
+}
+
+func TestWriterReaderPrimitives(t *testing.T) {
+	w := NewWriter(0)
+	w.U8(200)
+	w.Bool(true)
+	w.U16(65535)
+	w.U32(1 << 30)
+	w.U64(1 << 60)
+	w.F64(3.25)
+	w.Bytes32([]byte{9, 8, 7})
+	w.String16("glasswareIndex")
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 200 {
+		t.Errorf("U8 = %d", got)
+	}
+	if !r.Bool() {
+		t.Error("Bool = false")
+	}
+	if got := r.U16(); got != 65535 {
+		t.Errorf("U16 = %d", got)
+	}
+	if got := r.U32(); got != 1<<30 {
+		t.Errorf("U32 = %d", got)
+	}
+	if got := r.U64(); got != 1<<60 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := r.F64(); got != 3.25 {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := r.Bytes32(); !reflect.DeepEqual(got, []byte{9, 8, 7}) {
+		t.Errorf("Bytes32 = %v", got)
+	}
+	if got := r.String16(); got != "glasswareIndex" {
+		t.Errorf("String16 = %q", got)
+	}
+	if r.Err() != nil {
+		t.Fatalf("unexpected error: %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("remaining = %d, want 0", r.Remaining())
+	}
+}
+
+func TestBytes32ReturnsCopy(t *testing.T) {
+	w := NewWriter(0)
+	w.Bytes32([]byte{1, 2, 3})
+	buf := w.Bytes()
+	r := NewReader(buf)
+	got := r.Bytes32()
+	buf[4] = 0xFF // mutate the underlying buffer
+	if got[0] != 1 {
+		t.Fatal("Bytes32 result aliases the input buffer")
+	}
+}
+
+// TestQuickReplicaDataRoundTrip property-tests the most structurally
+// complex message with arbitrary payload contents.
+func TestQuickReplicaDataRoundTrip(t *testing.T) {
+	f := func(lock uint32, from uint32, version, reqID uint64, names []string, blobs [][]byte) bool {
+		n := len(names)
+		if len(blobs) < n {
+			n = len(blobs)
+		}
+		if n > 100 {
+			n = 100
+		}
+		msg := &ReplicaData{
+			Lock:      LockID(lock),
+			From:      SiteID(from),
+			Version:   version,
+			RequestID: reqID,
+		}
+		for i := 0; i < n; i++ {
+			name := names[i]
+			if len(name) > 1000 {
+				name = name[:1000]
+			}
+			msg.Replicas = append(msg.Replicas, ReplicaPayload{Name: name, Data: blobs[i]})
+		}
+		got, err := Unmarshal(Marshal(msg))
+		if err != nil {
+			return false
+		}
+		rd, ok := got.(*ReplicaData)
+		if !ok || rd.Lock != msg.Lock || rd.From != msg.From || rd.Version != msg.Version || rd.RequestID != msg.RequestID || len(rd.Replicas) != len(msg.Replicas) {
+			return false
+		}
+		for i := range rd.Replicas {
+			if rd.Replicas[i].Name != msg.Replicas[i].Name {
+				return false
+			}
+			if string(rd.Replicas[i].Data) != string(msg.Replicas[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAcquireLockRoundTrip(t *testing.T) {
+	f := func(lock, req uint32, thread uint64, shared bool, lease uint32) bool {
+		msg := &AcquireLock{Lock: LockID(lock), Requester: SiteID(req), Thread: ThreadID(thread), Shared: shared, LeaseMillis: lease}
+		got, err := Unmarshal(Marshal(msg))
+		if err != nil {
+			return false
+		}
+		al, ok := got.(*AcquireLock)
+		return ok && *al == *msg
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreadID(t *testing.T) {
+	id := MakeThreadID(42, 7)
+	if id.Site() != 42 {
+		t.Fatalf("Site() = %d, want 42", id.Site())
+	}
+	if uint32(id) != 7 {
+		t.Fatalf("local part = %d, want 7", uint32(id))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if got := KindGrant.String(); got != "GRANT" {
+		t.Errorf("KindGrant.String() = %q", got)
+	}
+	if got := Kind(250).String(); got != "Kind(250)" {
+		t.Errorf("unknown kind String() = %q", got)
+	}
+	if got := VersionOK.String(); got != "VERSIONOK" {
+		t.Errorf("VersionOK.String() = %q", got)
+	}
+	if got := NeedNewVersion.String(); got != "NEEDNEWVERSION" {
+		t.Errorf("NeedNewVersion.String() = %q", got)
+	}
+	if got := VersionFlag(9).String(); got != "VersionFlag(9)" {
+		t.Errorf("unknown flag String() = %q", got)
+	}
+}
+
+func TestQuickSiteSetRoundTrip(t *testing.T) {
+	f := func(ids []uint16) bool {
+		var s SiteSet
+		for _, id := range ids {
+			s.Add(SiteID(id % 500))
+		}
+		// Round trip through a ReleaseLock message.
+		msg := &ReleaseLock{Lock: 1, UpToDate: s}
+		got, err := Unmarshal(Marshal(msg))
+		if err != nil {
+			return false
+		}
+		rl, ok := got.(*ReleaseLock)
+		if !ok {
+			return false
+		}
+		want := s.Sites()
+		have := rl.UpToDate.Sites()
+		if len(want) != len(have) {
+			return false
+		}
+		for i := range want {
+			if want[i] != have[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSiteSetOperations(t *testing.T) {
+	s := NewSiteSet(1, 3, 130)
+	if !s.Contains(1) || !s.Contains(130) || s.Contains(2) {
+		t.Fatal("membership wrong")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	s.Remove(3)
+	if s.Contains(3) || s.Len() != 2 {
+		t.Fatal("Remove failed")
+	}
+	s.Remove(999) // out of range: no-op, no panic
+	clone := s.Clone()
+	clone.Add(7)
+	if s.Contains(7) {
+		t.Fatal("Clone aliases original")
+	}
+	if got := s.String(); got != "{1,130}" {
+		t.Fatalf("String = %q", got)
+	}
+	var empty SiteSet
+	if empty.Len() != 0 || len(empty.Sites()) != 0 || empty.String() != "{}" {
+		t.Fatal("empty set misbehaves")
+	}
+}

@@ -1,0 +1,281 @@
+// Package mocha is a Go implementation of Mocha, the wide-area computing
+// infrastructure with robust state sharing described in:
+//
+//	Brad Topol, Mustaque Ahamad, John T. Stasko.
+//	"Robust State Sharing for Wide Area Distributed Applications."
+//	ICDCS 1998 (GIT-CC-97-25).
+//
+// Mocha lets a distributed application spawn threads at remote sites,
+// ship them code and parameters, and share state through Replica objects
+// kept consistent with entry-consistency semantics: replicas are
+// associated with a ReplicaLock, and holding the lock guarantees the
+// replicas reflect the most recent update. The system tolerates wide-area
+// failures: updates can be disseminated to several sites at release time
+// (trading bandwidth for availability), dead lock holders are detected by
+// lease expiry and heartbeats and their locks broken, and lost replica
+// versions are recovered from the most recent surviving copy.
+//
+// Two deployment forms are supported. NewSimCluster runs any number of
+// sites inside one process over a simulated network whose profiles
+// reproduce the paper's LAN/WAN environments (including the 1997 JVM cost
+// model used to regenerate the paper's figures). JoinCluster runs one
+// site per process over real UDP/TCP sockets using a host file, via
+// cmd/mochad.
+//
+// A minimal program:
+//
+//	cluster, _ := mocha.NewSimCluster(3)
+//	defer cluster.Close()
+//	cluster.Register("Myhello", func() mocha.Task {
+//	    return mocha.TaskFunc(func(m *mocha.Mocha) {
+//	        start, _ := m.Parameter.GetDouble("start")
+//	        m.Result.AddDouble("returnvalue", start+1)
+//	        m.ReturnResults()
+//	    })
+//	})
+//	bag := cluster.Home().Bag("main")
+//	p := mocha.NewParams()
+//	p.AddDouble("start", 41)
+//	rh, _ := bag.SpawnAny(ctx, "Myhello", p)
+//	res, _ := rh.Wait(ctx)
+package mocha
+
+import (
+	"time"
+
+	"mocha/internal/core"
+	"mocha/internal/marshal"
+	"mocha/internal/netsim"
+	"mocha/internal/runtime"
+	"mocha/internal/session"
+	"mocha/internal/trace"
+	"mocha/internal/wire"
+)
+
+// Aliases re-export the implementation types so applications only import
+// this package.
+type (
+	// SiteID identifies a participating site; site 1 is the home site.
+	SiteID = wire.SiteID
+	// LockID identifies a ReplicaLock cluster-wide.
+	LockID = wire.LockID
+	// Task is the MochaTask interface tasks implement.
+	Task = runtime.Task
+	// TaskFunc adapts a function to Task.
+	TaskFunc = runtime.TaskFunc
+	// Factory instantiates a registered task class.
+	Factory = runtime.Factory
+	// Registry maps class names to factories.
+	Registry = runtime.Registry
+	// Params is the Parameter/Result bag.
+	Params = runtime.Params
+	// Mocha is the travel bag handed to every task.
+	Mocha = runtime.Mocha
+	// ResultHandle tracks a spawned task.
+	ResultHandle = runtime.ResultHandle
+	// Permissions is the per-task capability set.
+	Permissions = runtime.Permissions
+	// Replica is one named shared object at one site.
+	Replica = core.Replica
+	// ReplicaLock guards associated replicas with entry consistency.
+	ReplicaLock = core.ReplicaLock
+	// Handle identifies an application thread.
+	Handle = core.Handle
+	// Content is a replica's typed payload.
+	Content = marshal.Content
+	// Serializable is the hook complex shared objects implement.
+	Serializable = marshal.Serializable
+	// StringValue is a shareable string (the generated StringReplica).
+	StringValue = marshal.StringValue
+	// TransferMode selects the replica transfer protocol.
+	TransferMode = core.TransferMode
+	// Profile describes a network environment.
+	Profile = netsim.Profile
+	// CostModel models platform execution costs.
+	CostModel = netsim.CostModel
+	// SyncState is a synchronization-thread snapshot for failover.
+	SyncState = core.SyncState
+	// SessionStore is the non-synchronization-based (optimistic) object
+	// store — the paper's announced future work, after Bayou and [TDP+94].
+	SessionStore = session.Store
+	// Session enforces Terry-style session guarantees over any store.
+	Session = session.Session
+	// SessionVector is a version vector.
+	SessionVector = session.Vector
+	// SessionWrite is one stamped optimistic update.
+	SessionWrite = session.Write
+	// Resolver settles concurrent optimistic writes.
+	Resolver = session.Resolver
+	// Timeline is a merged cross-site event trace for visualization.
+	Timeline = trace.Timeline
+	// RenderOptions tunes Timeline rendering.
+	RenderOptions = trace.RenderOptions
+)
+
+// NewSession starts an empty guarantee-tracking session.
+func NewSession() *Session { return session.NewSession() }
+
+// LastWriterWins is the default conflict resolver.
+func LastWriterWins(local, incoming SessionWrite) []byte {
+	return session.LastWriterWins(local, incoming)
+}
+
+// HomeSite is the site ID of the home site.
+const HomeSite = wire.HomeSite
+
+// Transfer modes (the paper's two prototypes plus the adaptive policy).
+const (
+	// ModeMNet moves replica data over Mocha's network library alone.
+	ModeMNet = core.ModeMNet
+	// ModeHybrid moves replica data over a TCP-style stream set up via
+	// MNet control messages.
+	ModeHybrid = core.ModeHybrid
+	// ModeAdaptive chooses per transfer by size.
+	ModeAdaptive = core.ModeAdaptive
+)
+
+// NewParams creates an empty Parameter/Result bag.
+func NewParams() *Params { return runtime.NewParams() }
+
+// NewRegistry creates an empty task registry.
+func NewRegistry() *Registry { return runtime.NewRegistry() }
+
+// AllPermissions grants a task every capability.
+func AllPermissions() Permissions { return runtime.AllPermissions() }
+
+// Ints creates int-array replica content.
+func Ints(v []int32) *Content { return marshal.Ints(v) }
+
+// Bytes creates byte-array replica content.
+func Bytes(v []byte) *Content { return marshal.Bytes(v) }
+
+// Floats creates double-array replica content.
+func Floats(v []float64) *Content { return marshal.Floats(v) }
+
+// Object creates complex-object replica content.
+func Object(s Serializable) *Content { return marshal.Object(s) }
+
+// NewStringValue builds a shareable string object.
+func NewStringValue(s string) *StringValue { return marshal.NewStringValue(s) }
+
+// LAN returns the paper's Fast Ethernet environment.
+func LAN() Profile { return netsim.LANFastEthernet() }
+
+// WAN returns the paper's 1997 six-mile Internet environment.
+func WAN() Profile { return netsim.WANInternet97() }
+
+// CableModem returns the home-service environment of the paper's
+// conclusion.
+func CableModem() Profile { return netsim.CableModem() }
+
+// Perfect returns an idealized instantaneous network for tests.
+func Perfect() Profile { return netsim.Perfect() }
+
+// JDK1Cost returns the calibrated 1997 interpreted-JVM cost model.
+func JDK1Cost() CostModel { return netsim.JDK1() }
+
+// NativeCost returns the zero cost model (pure Go performance).
+func NativeCost() CostModel { return netsim.Native() }
+
+// Option configures a cluster or site.
+type Option func(*options)
+
+type options struct {
+	profile     Profile
+	cost        CostModel
+	mode        TransferMode
+	javaCodec   bool
+	seed        int64
+	key         []byte
+	output      optWriter
+	maxServers  int
+	lease       time.Duration
+	reqTimeout  time.Duration
+	xferTimeout time.Duration
+	leaseSweep  time.Duration
+	scale       float64
+	perms       *Permissions
+	streamReuse bool
+	resolver    Resolver
+}
+
+// optWriter keeps io out of the options struct zero value.
+type optWriter interface{ Write(p []byte) (int, error) }
+
+func defaultOptions() options {
+	return options{
+		profile: netsim.LANFastEthernet(),
+		cost:    netsim.Native(),
+		mode:    core.ModeMNet,
+		scale:   1,
+	}
+}
+
+// WithEnvironment selects the network profile (default LAN).
+func WithEnvironment(p Profile) Option { return func(o *options) { o.profile = p } }
+
+// WithCostModel selects the execution-cost model (default native Go).
+func WithCostModel(c CostModel) Option { return func(o *options) { o.cost = c } }
+
+// WithTransferMode selects the replica transfer protocol (default MNet).
+func WithTransferMode(m TransferMode) Option { return func(o *options) { o.mode = m } }
+
+// WithJavaCodec uses the JDK 1.1-style byte-at-a-time marshaling codec
+// instead of the fast custom codec.
+func WithJavaCodec() Option { return func(o *options) { o.javaCodec = true } }
+
+// WithSeed fixes the simulated network's randomness.
+func WithSeed(seed int64) Option { return func(o *options) { o.seed = seed } }
+
+// WithClusterKey enables HMAC authentication of all traffic; every site
+// must share the key.
+func WithClusterKey(key []byte) Option {
+	return func(o *options) { o.key = append([]byte(nil), key...) }
+}
+
+// WithOutput directs remote printing and stack dumps (default: discard).
+func WithOutput(w optWriter) Option { return func(o *options) { o.output = w } }
+
+// WithMaxServers bounds concurrent remote tasks per site (default 4).
+func WithMaxServers(n int) Option { return func(o *options) { o.maxServers = n } }
+
+// WithLease sets the default lock lease for failure detection.
+func WithLease(d time.Duration) Option { return func(o *options) { o.lease = d } }
+
+// WithRequestTimeout bounds control-message operations.
+func WithRequestTimeout(d time.Duration) Option { return func(o *options) { o.reqTimeout = d } }
+
+// WithTransferTimeout bounds replica transfers.
+func WithTransferTimeout(d time.Duration) Option { return func(o *options) { o.xferTimeout = d } }
+
+// WithLeaseSweep sets how often expired leases are checked.
+func WithLeaseSweep(d time.Duration) Option { return func(o *options) { o.leaseSweep = d } }
+
+// WithTimeScale multiplies every simulated delay and modelled cost by f,
+// letting tests run calibrated environments quickly (f < 1).
+func WithTimeScale(f float64) Option { return func(o *options) { o.scale = f } }
+
+// WithTaskPermissions sets the capability set granted to hosted tasks
+// (default: all permissions).
+func WithTaskPermissions(p Permissions) Option {
+	return func(o *options) { o.perms = &p }
+}
+
+// WithStreamReuse caches hybrid-protocol connections per destination
+// instead of paying connection setup and teardown on every transfer — the
+// extension the paper's hybrid-protocol results point at.
+func WithStreamReuse() Option { return func(o *options) { o.streamReuse = true } }
+
+// WithResolver sets the conflict resolver for the sites' session stores
+// (default last-writer-wins). The resolver must be deterministic and
+// order-insensitive or replicas may diverge.
+func WithResolver(r Resolver) Option { return func(o *options) { o.resolver = r } }
+
+// codec builds the configured marshal codec.
+func (o options) codec() marshal.Codec {
+	cost := o.cost.Scaled(o.scale)
+	if o.javaCodec {
+		return marshal.NewJavaStyle(cost)
+	}
+	return marshal.NewFast(cost)
+}
