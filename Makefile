@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check vet build test race bench-fanout
+
+# check is the full CI gate: static analysis, build, the complete test
+# suite, and the race detector over the concurrency-heavy packages.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The dissemination fan-out and the mnet sender run many goroutines over
+# shared packet buffers; keep them race-clean.
+race:
+	$(GO) test -race ./internal/mnet ./internal/core
+
+bench-fanout:
+	$(GO) run ./cmd/benchmocha -exp ablate-fanout

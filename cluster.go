@@ -198,20 +198,21 @@ func newSite(sc siteConfig) (*Site, error) {
 
 	logger := eventlog.New(1 << 14)
 	node, err := core.NewNode(core.Config{
-		Site:            wire.SiteID(sc.id),
-		Endpoint:        ep,
-		Stack:           sc.stack,
-		Directory:       sc.directory,
-		IsHome:          sc.isHome,
-		Codec:           sc.opts.codec(),
-		Cost:            sc.cost,
-		Mode:            sc.opts.mode,
-		StreamReuse:     sc.opts.streamReuse,
-		RequestTimeout:  sc.opts.reqTimeout,
-		TransferTimeout: sc.opts.xferTimeout,
-		DefaultLease:    sc.opts.lease,
-		LeaseSweep:      sc.opts.leaseSweep,
-		Log:             logger,
+		Site:                wire.SiteID(sc.id),
+		Endpoint:            ep,
+		Stack:               sc.stack,
+		Directory:           sc.directory,
+		IsHome:              sc.isHome,
+		Codec:               sc.opts.codec(),
+		Cost:                sc.cost,
+		Mode:                sc.opts.mode,
+		StreamReuse:         sc.opts.streamReuse,
+		DisseminationFanout: sc.opts.fanout,
+		RequestTimeout:      sc.opts.reqTimeout,
+		TransferTimeout:     sc.opts.xferTimeout,
+		DefaultLease:        sc.opts.lease,
+		LeaseSweep:          sc.opts.leaseSweep,
+		Log:                 logger,
 	})
 	if err != nil {
 		return nil, err

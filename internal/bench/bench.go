@@ -98,6 +98,7 @@ func All() []Experiment {
 		{ID: "ablate-marshal", Title: "Ablation: JDK 1.1 vs custom marshaling library", Run: AblateMarshal},
 		{ID: "ablate-adaptive", Title: "Ablation: adaptive protocol selection", Run: AblateAdaptive},
 		{ID: "ablate-reuse", Title: "Ablation: hybrid protocol with connection reuse", Run: AblateReuse},
+		{ID: "ablate-fanout", Title: "Ablation: parallel dissemination fan-out", Run: AblateFanout},
 	}
 }
 
@@ -135,6 +136,23 @@ type harnessOpts struct {
 	fastCodec bool
 	// streamReuse enables the hybrid connection-reuse extension.
 	streamReuse bool
+	// fanout selects the dissemination concurrency: 0 keeps the
+	// paper-faithful sequential fan-out every figure reproduces, -1 runs
+	// fully parallel, and a positive value bounds the concurrency.
+	fanout int
+}
+
+// disseminationFanout translates the harness convention to the core
+// config's (where 0 already means fully parallel).
+func (ho harnessOpts) disseminationFanout() int {
+	switch {
+	case ho.fanout == 0:
+		return 1
+	case ho.fanout < 0:
+		return 0
+	default:
+		return ho.fanout
+	}
 }
 
 // newHarness builds sites 1..n over the environment with the JDK1 cost
@@ -182,18 +200,19 @@ func newHarnessOpts(cfg Config, e env, mode core.TransferMode, n int, ho harness
 			Window:     256,
 		})
 		node, err := core.NewNode(core.Config{
-			Site:            site,
-			Endpoint:        ep,
-			Stack:           stacks[site],
-			Directory:       directory,
-			IsHome:          site == wire.HomeSite,
-			Codec:           codec,
-			Cost:            scaledCost,
-			Mode:            mode,
-			StreamReuse:     ho.streamReuse,
-			RequestTimeout:  30 * time.Second,
-			TransferTimeout: 120 * time.Second,
-			Log:             eventlog.Nop(),
+			Site:                site,
+			Endpoint:            ep,
+			Stack:               stacks[site],
+			Directory:           directory,
+			IsHome:              site == wire.HomeSite,
+			Codec:               codec,
+			Cost:                scaledCost,
+			Mode:                mode,
+			StreamReuse:         ho.streamReuse,
+			DisseminationFanout: ho.disseminationFanout(),
+			RequestTimeout:      30 * time.Second,
+			TransferTimeout:     120 * time.Second,
+			Log:                 eventlog.Nop(),
 		})
 		if err != nil {
 			_ = h.Close()

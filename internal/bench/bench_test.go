@@ -14,7 +14,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{
 		"table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"app", "smallmsg", "ur", "cablemodem",
-		"ablate-marshal", "ablate-adaptive", "ablate-reuse",
+		"ablate-marshal", "ablate-adaptive", "ablate-reuse", "ablate-fanout",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -126,6 +126,13 @@ func TestAblations(t *testing.T) {
 	}
 	if !strings.Contains(res.Table, "hybrid+reuse") {
 		t.Fatalf("table:\n%s", res.Table)
+	}
+	fo, err := AblateFanout(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fo.Table, "sequential") || !strings.Contains(fo.Table, "parallel") {
+		t.Fatalf("table:\n%s", fo.Table)
 	}
 }
 

@@ -18,7 +18,7 @@ type client struct {
 
 	mu       sync.Mutex
 	grants   map[grantKey]chan grantOrNack
-	pushAcks map[pushKey]chan wire.SiteID
+	pushAcks map[pushKey]chan struct{}
 }
 
 type grantKey struct {
@@ -26,9 +26,14 @@ type grantKey struct {
 	thread wire.ThreadID
 }
 
+// pushKey identifies one awaited dissemination acknowledgment. Keying by
+// site (not just lock and version) lets concurrent pushes of the same
+// version to different sites each wait on their own channel; a shared
+// channel would misroute acks between the parallel senders.
 type pushKey struct {
 	lock    wire.LockID
 	version uint64
+	site    wire.SiteID
 }
 
 // grantOrNack is the client port's delivery to a waiting Lock call.
@@ -46,7 +51,7 @@ func newClient(n *Node) (*client, error) {
 		node:     n,
 		port:     port,
 		grants:   make(map[grantKey]chan grantOrNack),
-		pushAcks: make(map[pushKey]chan wire.SiteID),
+		pushAcks: make(map[pushKey]chan struct{}),
 	}
 	port.SetHandler(c.handle)
 	return c, nil
@@ -98,11 +103,11 @@ func (c *client) handle(m mnet.Message) {
 		}
 	case *wire.PushAck:
 		c.mu.Lock()
-		ch := c.pushAcks[pushKey{msg.Lock, msg.Version}]
+		ch := c.pushAcks[pushKey{msg.Lock, msg.Version, msg.Site}]
 		c.mu.Unlock()
 		if ch != nil {
 			select {
-			case ch <- msg.Site:
+			case ch <- struct{}{}:
 			default:
 			}
 		}
@@ -128,19 +133,21 @@ func (c *client) dropGrant(lock wire.LockID, thread wire.ThreadID) {
 	c.mu.Unlock()
 }
 
-// expectPushAcks registers a collector for dissemination acknowledgments.
-func (c *client) expectPushAcks(lock wire.LockID, version uint64) chan wire.SiteID {
-	ch := make(chan wire.SiteID, 64)
+// expectPushAck registers interest in one site's acknowledgment of one
+// disseminated version. Each waiter owns its channel, so no ack is ever
+// consumed by the wrong sender.
+func (c *client) expectPushAck(lock wire.LockID, version uint64, site wire.SiteID) chan struct{} {
+	ch := make(chan struct{}, 1)
 	c.mu.Lock()
-	c.pushAcks[pushKey{lock, version}] = ch
+	c.pushAcks[pushKey{lock, version, site}] = ch
 	c.mu.Unlock()
 	return ch
 }
 
-// dropPushAcks unregisters a collector.
-func (c *client) dropPushAcks(lock wire.LockID, version uint64) {
+// dropPushAck unregisters a waiter.
+func (c *client) dropPushAck(lock wire.LockID, version uint64, site wire.SiteID) {
 	c.mu.Lock()
-	delete(c.pushAcks, pushKey{lock, version})
+	delete(c.pushAcks, pushKey{lock, version, site})
 	c.mu.Unlock()
 }
 

@@ -28,6 +28,7 @@ type clusterOpts struct {
 	reqTO   time.Duration
 	mnetCfg mnet.Config
 	reuse   bool
+	fanout  int
 	xferTO  time.Duration
 	// wrapStack lets fault tests interpose on a site's transport stack.
 	wrapStack func(site wire.SiteID, s transport.Stack) transport.Stack
@@ -73,18 +74,19 @@ func newTestCluster(t *testing.T, n int, opts clusterOpts) *testCluster {
 			xferTO = 10 * time.Second
 		}
 		node, err := NewNode(Config{
-			Site:            site,
-			Endpoint:        ep,
-			Stack:           stack,
-			Directory:       directory,
-			IsHome:          site == wire.HomeSite,
-			Mode:            opts.mode,
-			StreamReuse:     opts.reuse,
-			RequestTimeout:  opts.reqTO,
-			TransferTimeout: xferTO,
-			DefaultLease:    opts.lease,
-			LeaseSweep:      opts.sweep,
-			Log:             eventlog.New(1 << 14),
+			Site:                site,
+			Endpoint:            ep,
+			Stack:               stack,
+			Directory:           directory,
+			IsHome:              site == wire.HomeSite,
+			Mode:                opts.mode,
+			StreamReuse:         opts.reuse,
+			DisseminationFanout: opts.fanout,
+			RequestTimeout:      opts.reqTO,
+			TransferTimeout:     xferTO,
+			DefaultLease:        opts.lease,
+			LeaseSweep:          opts.sweep,
+			Log:                 eventlog.New(1 << 14),
 		})
 		if err != nil {
 			t.Fatalf("node %d: %v", i, err)

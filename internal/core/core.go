@@ -110,6 +110,13 @@ type Config struct {
 	// "connection and tear-down overheads" cost it the small-message
 	// races.
 	StreamReuse bool
+	// DisseminationFanout bounds how many push transfers run concurrently
+	// when a release (or PushPayloads) disseminates a new version to
+	// several sites. 0 (the default) runs all targets in parallel,
+	// overlapping their round trips; 1 reproduces the paper prototype's
+	// strictly sequential fan-out, where each of the k transfers completes
+	// before the next begins.
+	DisseminationFanout int
 	// RequestTimeout bounds control-message sends (default 5s).
 	RequestTimeout time.Duration
 	// TransferTimeout bounds replica data transfers (default 60s).
@@ -150,6 +157,20 @@ func (c Config) withDefaults() Config {
 		c.Log = eventlog.Nop()
 	}
 	return c
+}
+
+// fanoutBound returns the effective dissemination concurrency for n
+// targets: at least 1, at most n, honoring DisseminationFanout (0 means
+// fully parallel).
+func (c Config) fanoutBound(n int) int {
+	b := c.DisseminationFanout
+	if b <= 0 || b > n {
+		b = n
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
 }
 
 // Core errors.

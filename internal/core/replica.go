@@ -92,6 +92,13 @@ type lockLocal struct {
 	// pending buffers payloads for names not yet associated locally.
 	pending map[string]pendingPayload
 	ur      int
+	// cachedPayloads memoizes the marshaled form of the replicas at
+	// cachedVersion, so repeated transfers of an unchanged version (a
+	// release-time push followed by acquisition-driven TRANSFERREPLICA
+	// directives, say) marshal once. Invalidated whenever the replica set
+	// or the content behind the current version can have changed.
+	cachedVersion  uint64
+	cachedPayloads []wire.ReplicaPayload
 	// holder is the local thread currently holding the global lock.
 	holder     wire.ThreadID
 	heldGrant  *wire.Grant
@@ -150,6 +157,35 @@ func (st *lockLocal) notifyVersionLocked() {
 	st.waiters = kept
 }
 
+// marshalPayloadsLocked returns the marshaled form of the lock's replicas
+// at the current version, serving repeated requests for an unchanged
+// version from the version-keyed cache. The returned slice is shared and
+// must be treated as read-only. Caller holds st.mu.
+func (st *lockLocal) marshalPayloadsLocked(codec marshal.Codec) ([]wire.ReplicaPayload, error) {
+	if st.cachedPayloads != nil && st.cachedVersion == st.version {
+		return st.cachedPayloads, nil
+	}
+	payloads := make([]wire.ReplicaPayload, 0, len(st.replicas))
+	for _, r := range st.replicas {
+		blob, err := codec.Marshal(r.content)
+		if err != nil {
+			return nil, fmt.Errorf("marshal replica %q: %w", r.name, err)
+		}
+		payloads = append(payloads, wire.ReplicaPayload{Name: r.name, Data: blob})
+	}
+	st.cachedVersion = st.version
+	st.cachedPayloads = payloads
+	return payloads, nil
+}
+
+// invalidatePayloadsLocked drops the marshaled-payload cache. Called when
+// the replica set changes or when content may have been rewritten behind
+// an existing version number (an exclusive release, or a recovery that
+// rewound the version). Caller holds st.mu.
+func (st *lockLocal) invalidatePayloadsLocked() {
+	st.cachedPayloads = nil
+}
+
 // dropWaiter removes a registered waiter.
 func (st *lockLocal) dropWaiter(w *versionWaiter) {
 	st.mu.Lock()
@@ -203,6 +239,7 @@ func (rl *ReplicaLock) Associate(ctx context.Context, r *Replica) error {
 	} else {
 		rl.st.replicas = append(rl.st.replicas, r)
 		rl.st.byName[r.name] = r
+		rl.st.invalidatePayloadsLocked()
 		if r.created && rl.st.version == 0 {
 			// Creating a shared object seeds version 1 locally; the
 			// registration below seeds it at the synchronization thread.
@@ -384,6 +421,9 @@ func (rl *ReplicaLock) Unlock(ctx context.Context) error {
 		newVersion = grant.Version + 1
 		rl.st.mu.Lock()
 		rl.st.version = newVersion
+		// The exclusive holder may have rewritten content without the
+		// version changing until now; any cached marshaled form is stale.
+		rl.st.invalidatePayloadsLocked()
 		rl.st.notifyVersionLocked()
 		var payloads []wire.ReplicaPayload
 		var err error
@@ -449,17 +489,10 @@ func (rl *ReplicaLock) releaseAborted(grant *wire.Grant, shared bool) {
 }
 
 // marshalReplicasLocked packs the lock's replicas — Figure 6's
-// packReplicas(). Caller holds st.mu.
+// packReplicas() — populating the version-keyed payload cache so a later
+// transfer of the same version skips the marshal. Caller holds st.mu.
 func (rl *ReplicaLock) marshalReplicasLocked() ([]wire.ReplicaPayload, error) {
-	payloads := make([]wire.ReplicaPayload, 0, len(rl.st.replicas))
-	for _, r := range rl.st.replicas {
-		blob, err := rl.node.cfg.Codec.Marshal(r.content)
-		if err != nil {
-			return nil, fmt.Errorf("marshal replica %q: %w", r.name, err)
-		}
-		payloads = append(payloads, wire.ReplicaPayload{Name: r.name, Data: blob})
-	}
-	return payloads, nil
+	return rl.st.marshalPayloadsLocked(rl.node.cfg.Codec)
 }
 
 // Replicas returns the replicas associated with this lock at this site.

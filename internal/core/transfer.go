@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -31,6 +32,13 @@ type transferService struct {
 	// established counts stream connection setups, exposed for tests and
 	// the connection-reuse ablation.
 	established atomic.Int64
+	// pushMarshals counts PushUpdate wire marshals — the hook the
+	// marshal-once pipeline is verified against: one per dissemination,
+	// however many sites receive the blob.
+	pushMarshals atomic.Int64
+	// abandonedListeners counts stream listeners whose dialer never
+	// connected before the transfer timeout (stranded handshakes).
+	abandonedListeners atomic.Int64
 
 	mu      sync.Mutex
 	streams map[uint64]chan string // RequestID -> remote stream address
@@ -120,16 +128,7 @@ func (t *transferService) sendReplicas(dir *wire.TransferReplica) error {
 	st := t.node.getLockLocal(dir.Lock)
 	st.mu.Lock()
 	version := st.version
-	payloads := make([]wire.ReplicaPayload, 0, len(st.replicas))
-	var marshalErr error
-	for _, r := range st.replicas {
-		blob, err := t.node.cfg.Codec.Marshal(r.content)
-		if err != nil {
-			marshalErr = fmt.Errorf("marshal %q: %w", r.name, err)
-			break
-		}
-		payloads = append(payloads, wire.ReplicaPayload{Name: r.name, Data: blob})
-	}
+	payloads, marshalErr := st.marshalPayloadsLocked(t.node.cfg.Codec)
 	st.mu.Unlock()
 	if marshalErr != nil {
 		return marshalErr
@@ -273,6 +272,15 @@ func (t *transferService) establishStream(ctx context.Context, dest wire.SiteID)
 // up as a sender.
 func (n *Node) StreamsEstablished() int64 { return n.xfer.established.Load() }
 
+// AbandonedStreamListeners reports how many hybrid-protocol stream
+// listeners timed out without the dialer ever connecting.
+func (n *Node) AbandonedStreamListeners() int64 { return n.xfer.abandonedListeners.Load() }
+
+// PushUpdateMarshals reports how many PushUpdate wire blobs this node has
+// marshaled for dissemination — exactly one per dissemination round,
+// regardless of how many sites the blob fans out to.
+func (n *Node) PushUpdateMarshals() int64 { return n.xfer.pushMarshals.Load() }
+
 // writeFrame sends one length-prefixed frame and awaits the receiver's
 // one-byte application ack, so the measured transfer includes remote
 // processing, matching the MNet path's semantics.
@@ -327,11 +335,22 @@ func (t *transferService) acceptStream(replyTo string, req *wire.OpenStreamReque
 // sender reuses connections), applying and acknowledging each.
 func (t *transferService) receiveStream(ln transport.Listener) {
 	// Bound how long an abandoned listener lingers.
-	timer := time.AfterFunc(t.node.cfg.TransferTimeout, func() { _ = ln.Close() })
+	var timedOut atomic.Bool
+	timer := time.AfterFunc(t.node.cfg.TransferTimeout, func() {
+		timedOut.Store(true)
+		_ = ln.Close()
+	})
 	conn, err := ln.Accept()
 	timer.Stop()
 	_ = ln.Close()
 	if err != nil {
+		if timedOut.Load() {
+			// The dialer propagated a handshake but never connected
+			// (firewalled, crashed, or fell back to MNet); make the
+			// stranded listener visible instead of exiting silently.
+			t.abandonedListeners.Add(1)
+			t.node.log.Logf("fault", "stream listener %s abandoned: no connection within %v", ln.Addr(), t.node.cfg.TransferTimeout)
+		}
 		return
 	}
 	defer func() { _ = conn.Close() }()
@@ -397,39 +416,94 @@ func (n *Node) PreparePush(lock wire.LockID) (uint64, []wire.ReplicaPayload, err
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.version++
+	st.invalidatePayloadsLocked()
 	version := st.version
-	payloads := make([]wire.ReplicaPayload, 0, len(st.replicas))
-	for _, r := range st.replicas {
-		blob, err := n.cfg.Codec.Marshal(r.content)
-		if err != nil {
-			return 0, nil, fmt.Errorf("core: marshal %q: %w", r.name, err)
-		}
-		payloads = append(payloads, wire.ReplicaPayload{Name: r.name, Data: blob})
+	payloads, err := st.marshalPayloadsLocked(n.cfg.Codec)
+	if err != nil {
+		return 0, nil, fmt.Errorf("core: %w", err)
 	}
 	st.notifyVersionLocked()
 	return version, payloads, nil
 }
 
-// PushPayloads disseminates prepared payloads to the target sites
-// sequentially over the configured transfer protocol, returning the sites
-// that confirmed application. This is the transfer operation the paper's
-// Figures 9-14 measure.
+// pushBlob is one marshal-once dissemination payload: the PushUpdate wire
+// blob encoded once and shared, read-only, by every target of one
+// dissemination round.
+type pushBlob struct {
+	lock    wire.LockID
+	version uint64
+	blob    []byte
+}
+
+// preparePushBlob marshals the PushUpdate exactly once per dissemination.
+func (t *transferService) preparePushBlob(lock wire.LockID, version uint64, payloads []wire.ReplicaPayload) *pushBlob {
+	pu := &wire.PushUpdate{Lock: lock, From: t.node.cfg.Site, Version: version, Replicas: payloads}
+	t.pushMarshals.Add(1)
+	return &pushBlob{lock: lock, version: version, blob: wire.Marshal(pu)}
+}
+
+// PushPayloads disseminates prepared payloads to the target sites over the
+// configured transfer protocol, returning the sites that confirmed
+// application. The wire blob is marshaled once for all targets; transfers
+// run concurrently under Config.DisseminationFanout (1 = the paper's
+// sequential fan-out, where this is the transfer operation Figures 9-14
+// measure). Per-site failures are collected rather than aborting the
+// remaining targets.
 func (n *Node) PushPayloads(ctx context.Context, lock wire.LockID, version uint64, payloads []wire.ReplicaPayload, targets []wire.SiteID) ([]wire.SiteID, error) {
-	var acked []wire.SiteID
-	for _, site := range targets {
-		if err := n.xfer.pushTo(ctx, site, lock, version, payloads); err != nil {
-			return acked, fmt.Errorf("core: push to site %d: %w", site, err)
-		}
-		acked = append(acked, site)
+	if len(targets) == 0 {
+		return nil, nil
 	}
-	return acked, nil
+	pb := n.xfer.preparePushBlob(lock, version, payloads)
+	bound := n.cfg.fanoutBound(len(targets))
+
+	if bound == 1 {
+		// Paper-faithful sequential fan-out: each transfer (including the
+		// remote apply and its acknowledgment) completes before the next
+		// begins, and the first failure stops the walk.
+		var acked []wire.SiteID
+		for _, site := range targets {
+			if err := n.xfer.pushTo(ctx, site, pb); err != nil {
+				return acked, fmt.Errorf("core: push to site %d: %w", site, err)
+			}
+			acked = append(acked, site)
+		}
+		return acked, nil
+	}
+
+	errs := make([]error, len(targets))
+	sem := make(chan struct{}, bound)
+	var wg sync.WaitGroup
+	for i, site := range targets {
+		sem <- struct{}{} // launch in target order under the bound
+		wg.Add(1)
+		go func(i int, site wire.SiteID) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := n.xfer.pushTo(ctx, site, pb); err != nil {
+				errs[i] = fmt.Errorf("core: push to site %d: %w", site, err)
+			}
+		}(i, site)
+	}
+	wg.Wait()
+
+	acked := make([]wire.SiteID, 0, len(targets))
+	for i, site := range targets {
+		if errs[i] == nil {
+			acked = append(acked, site)
+		}
+	}
+	return acked, errors.Join(errs...)
 }
 
 // disseminate implements the push-based update scheme of Section 4: send
 // the new version to `want` additional registered daemons, working through
 // the candidate set so that "the failure ... can be handled by choosing
 // another daemon thread at another site to receive a copy of the new
-// version of replicas". It returns the sites that confirmed application.
+// version of replicas". Up to Config.DisseminationFanout transfers are in
+// flight at once; workers claim candidates in deterministic set order, so
+// the §4 replacement walk is preserved — a failed site is simply passed
+// over and the next candidate claimed. It returns the sites that confirmed
+// application, in candidate order.
 func (t *transferService) disseminate(ctx context.Context, lock wire.LockID, version uint64, payloads []wire.ReplicaPayload, sharers wire.SiteSet, want int) []wire.SiteID {
 	if want <= 0 {
 		return nil
@@ -440,16 +514,52 @@ func (t *transferService) disseminate(ctx context.Context, lock wire.LockID, ver
 			candidates = append(candidates, site)
 		}
 	}
+	pb := t.preparePushBlob(lock, version, payloads)
+
+	var (
+		mu     sync.Mutex
+		next   int
+		ackedN int
+		okAt   = make([]bool, len(candidates))
+	)
+	workers := t.node.cfg.fanoutBound(want)
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if ackedN >= want || next >= len(candidates) {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+
+				site := candidates[i]
+				if err := t.pushTo(ctx, site, pb); err != nil {
+					t.node.log.Logf("fault", "dissemination of lock %d v%d to site %d failed: %v", lock, version, site, err)
+					continue
+				}
+				mu.Lock()
+				okAt[i] = true
+				ackedN++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
 	var acked []wire.SiteID
-	for _, site := range candidates {
-		if len(acked) >= want {
-			break
+	for i, ok := range okAt {
+		if ok {
+			acked = append(acked, candidates[i])
 		}
-		if err := t.pushTo(ctx, site, lock, version, payloads); err != nil {
-			t.node.log.Logf("fault", "dissemination of lock %d v%d to site %d failed: %v", lock, version, site, err)
-			continue
-		}
-		acked = append(acked, site)
 	}
 	if len(acked) < want {
 		t.node.log.Logf("fault", "dissemination of lock %d v%d reached %d of %d sites", lock, version, len(acked), want)
@@ -457,36 +567,34 @@ func (t *transferService) disseminate(ctx context.Context, lock wire.LockID, ver
 	return acked
 }
 
-// pushTo sends one push update to one site and waits for its application
-// acknowledgment, over whichever protocol the mode selects.
-func (t *transferService) pushTo(ctx context.Context, site wire.SiteID, lock wire.LockID, version uint64, payloads []wire.ReplicaPayload) error {
-	pu := &wire.PushUpdate{Lock: lock, From: t.node.cfg.Site, Version: version, Replicas: payloads}
-	blob := wire.Marshal(pu)
-
+// pushTo sends one pre-marshaled push update to one site and waits for its
+// application acknowledgment, over whichever protocol the mode selects.
+// Safe for concurrent callers pushing the same blob to distinct sites.
+func (t *transferService) pushTo(ctx context.Context, site wire.SiteID, pb *pushBlob) error {
 	sendCtx, cancel := context.WithTimeout(ctx, t.node.cfg.TransferTimeout)
 	defer cancel()
 
-	if t.useStream(len(blob)) {
-		return t.sendOverStream(sendCtx, site, blob)
+	if t.useStream(len(pb.blob)) {
+		// The stream path's one-byte frame ack is the application
+		// acknowledgment.
+		return t.sendOverStream(sendCtx, site, pb.blob)
 	}
 
 	addr, err := t.node.xferAddr(site)
 	if err != nil {
 		return err
 	}
-	ackCh := t.node.client.expectPushAcks(lock, version)
-	defer t.node.client.dropPushAcks(lock, version)
-	if err := t.port.Send(sendCtx, addr, blob); err != nil {
+	// Register before sending: on a zero-delay network the ack can arrive
+	// inside the Send call.
+	ackCh := t.node.client.expectPushAck(pb.lock, pb.version, site)
+	defer t.node.client.dropPushAck(pb.lock, pb.version, site)
+	if err := t.port.Send(sendCtx, addr, pb.blob); err != nil {
 		return err
 	}
-	for {
-		select {
-		case acker := <-ackCh:
-			if acker == site {
-				return nil
-			}
-		case <-sendCtx.Done():
-			return fmt.Errorf("await push ack from site %d: %w", site, sendCtx.Err())
-		}
+	select {
+	case <-ackCh:
+		return nil
+	case <-sendCtx.Done():
+		return fmt.Errorf("await push ack from site %d: %w", site, sendCtx.Err())
 	}
 }

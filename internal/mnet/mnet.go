@@ -31,6 +31,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mocha/internal/netsim"
@@ -94,6 +95,21 @@ type Stats struct {
 	QueueDrops        int64
 }
 
+// atomicStats is the endpoint's lock-free counter block; Stats snapshots
+// it. Keeping the counters out of the endpoint mutex stops bookkeeping
+// from serializing concurrent Sends.
+type atomicStats struct {
+	messagesSent      atomic.Int64
+	messagesDelivered atomic.Int64
+	fragmentsSent     atomic.Int64
+	fragmentsRecv     atomic.Int64
+	retransmits       atomic.Int64
+	duplicates        atomic.Int64
+	sendFailures      atomic.Int64
+	badPackets        atomic.Int64
+	queueDrops        atomic.Int64
+}
+
 // ErrSendFailed reports that a message exhausted its retransmissions — the
 // peer is unreachable or dead.
 var ErrSendFailed = errors.New("mnet: send failed after retries")
@@ -122,13 +138,14 @@ type Endpoint struct {
 	cfg Config
 	dg  transport.Datagram
 
+	nextMsg atomic.Uint64
+	stats   atomicStats
+
 	mu      sync.Mutex
 	closed  bool
 	ports   map[uint16]*Port
 	peers   map[string]*peer
 	outMsgs map[uint64]*outMsg
-	nextMsg uint64
-	stats   Stats
 	done    chan struct{}
 	sweepWG sync.WaitGroup
 }
@@ -160,9 +177,17 @@ func (e *Endpoint) PortAddr(port uint16) string {
 
 // Stats returns a snapshot of the endpoint counters.
 func (e *Endpoint) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	return Stats{
+		MessagesSent:      e.stats.messagesSent.Load(),
+		MessagesDelivered: e.stats.messagesDelivered.Load(),
+		FragmentsSent:     e.stats.fragmentsSent.Load(),
+		FragmentsRecv:     e.stats.fragmentsRecv.Load(),
+		Retransmits:       e.stats.retransmits.Load(),
+		Duplicates:        e.stats.duplicates.Load(),
+		SendFailures:      e.stats.sendFailures.Load(),
+		BadPackets:        e.stats.badPackets.Load(),
+		QueueDrops:        e.stats.queueDrops.Load(),
+	}
 }
 
 // OpenPort creates a logical port. Messages addressed to it queue until a
@@ -308,9 +333,7 @@ func (p *Port) dispatch() {
 			p.mu.Unlock()
 			if h != nil {
 				h(Message{From: JoinAddr(q.from, q.srcPort), Data: q.data})
-				p.ep.mu.Lock()
-				p.ep.stats.MessagesDelivered++
-				p.ep.mu.Unlock()
+				p.ep.stats.messagesDelivered.Add(1)
 				continue
 			}
 			// No handler yet: requeue and back off briefly so early

@@ -467,26 +467,26 @@ func TestPacketCodecRoundTrip(t *testing.T) {
 	keys := [][]byte{nil, []byte("k")}
 	for _, key := range keys {
 		p := dataPacket{srcPort: 3, dstPort: 9, msgID: 77, seq: 5, fragIdx: 2, fragCount: 4, payload: []byte("abc")}
-		got, err := decodeData(encodeData(p, key), key)
+		got, err := decodeData(*encodeData(p, key), key)
 		if err != nil {
 			t.Fatalf("key=%q decode: %v", key, err)
 		}
 		if got.srcPort != 3 || got.dstPort != 9 || got.msgID != 77 || got.seq != 5 || got.fragIdx != 2 || got.fragCount != 4 || string(got.payload) != "abc" {
 			t.Fatalf("key=%q round trip mismatch: %+v", key, got)
 		}
-		id, idx, err := decodeAck(encodeAck(42, 7, key), key)
+		id, idx, err := decodeAck(*encodeAck(42, 7, key), key)
 		if err != nil || id != 42 || idx != 7 {
 			t.Fatalf("key=%q ack round trip: id=%d idx=%d err=%v", key, id, idx, err)
 		}
 	}
 	// Tampered packet with MAC must be rejected.
-	pkt := encodeData(dataPacket{fragCount: 1, payload: []byte("x")}, []byte("k"))
+	pkt := *encodeData(dataPacket{fragCount: 1, payload: []byte("x")}, []byte("k"))
 	pkt[len(pkt)-1] ^= 0xFF
 	if _, err := decodeData(pkt, []byte("k")); err == nil {
 		t.Fatal("tampered packet accepted")
 	}
 	// Invalid fragment metadata rejected.
-	if _, err := decodeData(encodeData(dataPacket{fragCount: 0}, nil), nil); err == nil {
+	if _, err := decodeData(*encodeData(dataPacket{fragCount: 0}, nil), nil); err == nil {
 		t.Fatal("fragCount=0 accepted")
 	}
 }

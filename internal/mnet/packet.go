@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Packet types on the datagram substrate.
@@ -45,6 +46,36 @@ const (
 // packets are silently counted and dropped, as a datagram service must.
 var errBadPacket = errors.New("mnet: bad packet")
 
+// pktPool recycles encoded packet buffers across sends, retransmissions,
+// and acks so concurrent senders stop contending in the allocator. It
+// holds pointers to slices (the usual sync.Pool idiom avoiding interface
+// header allocations); buffers grow to the largest packet they carried.
+var pktPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// getPktBuf returns a pooled buffer sliced to length n with undefined
+// contents; the encoder must overwrite every byte it emits.
+func getPktBuf(n int) *[]byte {
+	bp := pktPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		b := make([]byte, n)
+		*bp = b
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+// putPktBuf returns a buffer to the pool. The packet must no longer be
+// referenced by any pending or in-flight transmit.
+func putPktBuf(bp *[]byte) { pktPool.Put(bp) }
+
+// macSize is the length of the MAC trailer for the given key.
+func macSize(key []byte) int {
+	if len(key) == 0 {
+		return 0
+	}
+	return macLen
+}
+
 type dataPacket struct {
 	srcPort   uint16
 	dstPort   uint16
@@ -55,10 +86,15 @@ type dataPacket struct {
 	payload   []byte
 }
 
-// encodeData builds a data packet, appending the MAC trailer if key is set.
-func encodeData(p dataPacket, key []byte) []byte {
-	buf := make([]byte, dataHeaderLen+len(p.payload), dataHeaderLen+len(p.payload)+macLen)
+// encodeData builds a data packet in a pooled buffer, appending the MAC
+// trailer if key is set. The caller releases it with putPktBuf once the
+// packet can no longer be (re)transmitted.
+func encodeData(p dataPacket, key []byte) *[]byte {
+	n := dataHeaderLen + len(p.payload)
+	bp := getPktBuf(n + macSize(key))
+	buf := (*bp)[:n]
 	buf[0] = ptData
+	buf[1] = 0 // flags; pooled buffers arrive dirty
 	binary.BigEndian.PutUint16(buf[2:4], p.srcPort)
 	binary.BigEndian.PutUint16(buf[4:6], p.dstPort)
 	binary.BigEndian.PutUint64(buf[6:14], p.msgID)
@@ -66,7 +102,8 @@ func encodeData(p dataPacket, key []byte) []byte {
 	binary.BigEndian.PutUint32(buf[22:26], p.fragIdx)
 	binary.BigEndian.PutUint32(buf[26:30], p.fragCount)
 	copy(buf[dataHeaderLen:], p.payload)
-	return appendMAC(buf, key)
+	*bp = appendMAC(buf, key)
+	return bp
 }
 
 // decodeData parses and authenticates a data packet.
@@ -94,13 +131,17 @@ func decodeData(b []byte, key []byte) (dataPacket, error) {
 	return p, nil
 }
 
-// encodeAck builds an ack packet for one received fragment.
-func encodeAck(msgID uint64, fragIdx uint32, key []byte) []byte {
-	buf := make([]byte, ackLen, ackLen+macLen)
+// encodeAck builds an ack packet for one received fragment in a pooled
+// buffer; release with putPktBuf after handing it to the transport.
+func encodeAck(msgID uint64, fragIdx uint32, key []byte) *[]byte {
+	bp := getPktBuf(ackLen + macSize(key))
+	buf := (*bp)[:ackLen]
 	buf[0] = ptAck
+	buf[1] = 0 // flags; pooled buffers arrive dirty
 	binary.BigEndian.PutUint64(buf[2:10], msgID)
 	binary.BigEndian.PutUint32(buf[10:14], fragIdx)
-	return appendMAC(buf, key)
+	*bp = appendMAC(buf, key)
+	return bp
 }
 
 // decodeAck parses and authenticates an ack packet.

@@ -22,9 +22,7 @@ func (e *Endpoint) receive(from string, pkt []byte) {
 	case ptAck:
 		e.handleAck(pkt)
 	default:
-		e.mu.Lock()
-		e.stats.BadPackets++
-		e.mu.Unlock()
+		e.stats.badPackets.Add(1)
 	}
 }
 
@@ -33,18 +31,17 @@ func (e *Endpoint) receive(from string, pkt []byte) {
 func (e *Endpoint) handleData(from string, pkt []byte) {
 	p, err := decodeData(pkt, e.cfg.Key)
 	if err != nil {
-		e.mu.Lock()
-		e.stats.BadPackets++
-		e.mu.Unlock()
+		e.stats.badPackets.Add(1)
 		return
 	}
 	// Always acknowledge, even duplicates: the sender may have missed the
-	// previous ack.
-	_ = e.dg.Send(from, encodeAck(p.msgID, p.fragIdx, e.cfg.Key))
+	// previous ack. The transport copies the packet synchronously, so the
+	// pooled buffer can go straight back.
+	ack := encodeAck(p.msgID, p.fragIdx, e.cfg.Key)
+	_ = e.dg.Send(from, *ack)
+	putPktBuf(ack)
 
-	e.mu.Lock()
-	e.stats.FragmentsRecv++
-	e.mu.Unlock()
+	e.stats.fragmentsRecv.Add(1)
 
 	pr := e.getPeer(from)
 	pr.mu.Lock()
@@ -68,9 +65,7 @@ func (e *Endpoint) handleData(from string, pkt []byte) {
 	}
 	if int(p.fragCount) != r.total || int(p.fragIdx) >= r.total {
 		// Inconsistent fragmentation metadata; drop the fragment.
-		e.mu.Lock()
-		e.stats.BadPackets++
-		e.mu.Unlock()
+		e.stats.badPackets.Add(1)
 		return
 	}
 	if r.frags[p.fragIdx] != nil {
@@ -97,9 +92,7 @@ func (e *Endpoint) handleData(from string, pkt []byte) {
 
 // countDuplicate increments the duplicate counter.
 func (e *Endpoint) countDuplicate() {
-	e.mu.Lock()
-	e.stats.Duplicates++
-	e.mu.Unlock()
+	e.stats.duplicates.Add(1)
 }
 
 // markDelivered records a completed msgID, evicting the oldest once the
@@ -152,18 +145,15 @@ func (e *Endpoint) drainOrdering(ord *ordering, dstPort uint16) {
 func (e *Endpoint) enqueue(dstPort uint16, q queued) {
 	e.mu.Lock()
 	port := e.ports[dstPort]
+	e.mu.Unlock()
 	if port == nil {
-		e.stats.QueueDrops++
-		e.mu.Unlock()
+		e.stats.queueDrops.Add(1)
 		return
 	}
-	e.mu.Unlock()
 	select {
 	case port.queue <- q:
 	default:
-		e.mu.Lock()
-		e.stats.QueueDrops++
-		e.mu.Unlock()
+		e.stats.queueDrops.Add(1)
 	}
 }
 

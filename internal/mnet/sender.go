@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mocha/internal/netsim"
@@ -15,6 +16,11 @@ type outMsg struct {
 	peerAddr string
 	peer     *peer
 
+	// remaining counts fragments not yet acknowledged (zeroed on failure).
+	// The retransmit sweep reads it to skip settled messages without
+	// taking their mutex.
+	remaining atomic.Int32
+
 	mu     sync.Mutex
 	frags  map[uint32]*outFrag // sent but unacknowledged
 	total  int
@@ -24,9 +30,16 @@ type outMsg struct {
 }
 
 type outFrag struct {
-	pkt      []byte
+	buf      *[]byte // pooled encoded packet; nil once released
 	lastSent time.Time
 	retries  int
+	// sending marks the initial transmit as in progress outside m.mu; the
+	// packet buffer must then be released by the sending goroutine, never
+	// by the acker, so the transport never reads a recycled buffer.
+	sending bool
+	// release asks the in-flight sender to return the buffer: the frag was
+	// acked (or the message failed) while its first transmit was underway.
+	release bool
 }
 
 // ackFrag records an acknowledgment. It reports whether the message is now
@@ -37,11 +50,14 @@ func (m *outMsg) ackFrag(idx uint32) bool {
 	if m.failed {
 		return false
 	}
-	if _, ok := m.frags[idx]; !ok {
+	f, ok := m.frags[idx]
+	if !ok {
 		return false
 	}
 	delete(m.frags, idx)
+	m.releaseFragLocked(f)
 	m.releaseTokenLocked()
+	m.remaining.Add(-1)
 	m.acked++
 	if m.acked == m.total {
 		m.done <- nil
@@ -50,8 +66,8 @@ func (m *outMsg) ackFrag(idx uint32) bool {
 	return false
 }
 
-// fail marks the message failed, releases its window tokens, and signals
-// the waiting sender. Idempotent.
+// fail marks the message failed, releases its window tokens and packet
+// buffers, and signals the waiting sender. Idempotent.
 func (m *outMsg) fail(err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -59,11 +75,26 @@ func (m *outMsg) fail(err error) {
 		return
 	}
 	m.failed = true
-	for range m.frags {
+	for _, f := range m.frags {
 		m.releaseTokenLocked()
+		m.releaseFragLocked(f)
 	}
 	m.frags = map[uint32]*outFrag{}
+	m.remaining.Store(0)
 	m.done <- err
+}
+
+// releaseFragLocked returns a fragment's packet buffer to the pool, or
+// defers that to the in-flight initial transmit. Caller holds m.mu.
+func (m *outMsg) releaseFragLocked(f *outFrag) {
+	if f.sending {
+		f.release = true
+		return
+	}
+	if f.buf != nil {
+		putPktBuf(f.buf)
+		f.buf = nil
+	}
 }
 
 // releaseTokenLocked frees one window slot.
@@ -88,15 +119,7 @@ func (p *Port) Send(ctx context.Context, to string, data []byte) error {
 		return err
 	}
 
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		return ErrClosed
-	}
-	e.nextMsg++
-	id := e.nextMsg
-	e.stats.MessagesSent++
-	e.mu.Unlock()
+	id := e.nextMsg.Add(1)
 
 	pr := e.getPeer(peerAddr)
 	pr.mu.Lock()
@@ -118,9 +141,17 @@ func (p *Port) Send(ctx context.Context, to string, data []byte) error {
 		total:    len(chunks),
 		done:     make(chan error, 1),
 	}
+	m.remaining.Store(int32(len(chunks)))
+	// Register under the same critical section as the closed check, so a
+	// concurrent Close cannot miss the message and leave it unfailed.
 	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
 	e.outMsgs[id] = m
 	e.mu.Unlock()
+	e.stats.messagesSent.Add(1)
 	defer func() {
 		e.mu.Lock()
 		delete(e.outMsgs, id)
@@ -142,7 +173,7 @@ func (p *Port) Send(ctx context.Context, to string, data []byte) error {
 			return ErrClosed
 		}
 
-		pkt := encodeData(dataPacket{
+		bp := encodeData(dataPacket{
 			srcPort:   p.num,
 			dstPort:   dstPort,
 			msgID:     id,
@@ -155,40 +186,52 @@ func (p *Port) Send(ctx context.Context, to string, data []byte) error {
 		m.mu.Lock()
 		if m.failed {
 			m.mu.Unlock()
+			putPktBuf(bp)
 			select {
 			case <-m.peer.window:
 			default:
 			}
 			break
 		}
-		m.frags[uint32(i)] = &outFrag{pkt: pkt, lastSent: time.Now()}
+		f := &outFrag{buf: bp, lastSent: time.Now(), sending: true}
+		m.frags[uint32(i)] = f
 		m.mu.Unlock()
 
-		if err := e.dg.Send(peerAddr, pkt); err != nil {
+		// Transmit outside m.mu: on a zero-delay simulated network the
+		// transport delivers synchronously, and the resulting ack re-enters
+		// ackFrag on this very goroutine.
+		sendErr := e.dg.Send(peerAddr, *bp)
+
+		m.mu.Lock()
+		f.sending = false
+		if f.release {
+			// Acked (or failed) while the transmit was in flight; the
+			// buffer is now ours to return.
+			f.release = false
+			putPktBuf(bp)
+			f.buf = nil
+		}
+		m.mu.Unlock()
+
+		if sendErr != nil {
 			// An address the transport rejects outright will never be
 			// acknowledged; fail fast instead of waiting out retries.
-			m.fail(fmt.Errorf("mnet: transmit: %w", err))
+			m.fail(fmt.Errorf("mnet: transmit: %w", sendErr))
 			break
 		}
-		e.mu.Lock()
-		e.stats.FragmentsSent++
-		e.mu.Unlock()
+		e.stats.fragmentsSent.Add(1)
 	}
 
 	select {
 	case err := <-m.done:
 		if err != nil {
-			e.mu.Lock()
-			e.stats.SendFailures++
-			e.mu.Unlock()
+			e.stats.sendFailures.Add(1)
 			return fmt.Errorf("mnet: send to %s: %w", to, err)
 		}
 		return nil
 	case <-ctx.Done():
 		m.fail(ctx.Err())
-		e.mu.Lock()
-		e.stats.SendFailures++
-		e.mu.Unlock()
+		e.stats.sendFailures.Add(1)
 		return fmt.Errorf("mnet: send to %s: %w", to, ctx.Err())
 	case <-e.done:
 		return ErrClosed
@@ -227,8 +270,14 @@ func (e *Endpoint) retransmit() {
 
 	now := time.Now()
 	for _, m := range msgs {
+		if m.remaining.Load() == 0 {
+			// Fully acked (or already failed): skip without taking the
+			// message mutex, so a sweep over a large in-flight window does
+			// not contend with senders on settled messages.
+			continue
+		}
 		m.mu.Lock()
-		var resend [][]byte
+		var resend []*[]byte
 		gaveUp := false
 		for _, f := range m.frags {
 			if now.Sub(f.lastSent) < rto {
@@ -240,24 +289,30 @@ func (e *Endpoint) retransmit() {
 			}
 			f.retries++
 			f.lastSent = now
-			resend = append(resend, f.pkt)
+			// Copy the packet: once m.mu drops, an ack may recycle f.buf
+			// while the resend below is still reading it.
+			cp := getPktBuf(len(*f.buf))
+			copy(*cp, *f.buf)
+			resend = append(resend, cp)
 		}
 		m.mu.Unlock()
 
 		if gaveUp {
+			for _, cp := range resend {
+				putPktBuf(cp)
+			}
 			m.fail(ErrSendFailed)
 			e.mu.Lock()
 			delete(e.outMsgs, m.id)
 			e.mu.Unlock()
 			continue
 		}
-		for _, pkt := range resend {
-			_ = e.dg.Send(m.peerAddr, pkt)
+		for _, cp := range resend {
+			_ = e.dg.Send(m.peerAddr, *cp)
+			putPktBuf(cp)
 		}
 		if len(resend) > 0 {
-			e.mu.Lock()
-			e.stats.Retransmits += int64(len(resend))
-			e.mu.Unlock()
+			e.stats.retransmits.Add(int64(len(resend)))
 		}
 	}
 }
@@ -266,9 +321,7 @@ func (e *Endpoint) retransmit() {
 func (e *Endpoint) handleAck(pkt []byte) {
 	msgID, fragIdx, err := decodeAck(pkt, e.cfg.Key)
 	if err != nil {
-		e.mu.Lock()
-		e.stats.BadPackets++
-		e.mu.Unlock()
+		e.stats.badPackets.Add(1)
 		return
 	}
 	e.mu.Lock()

@@ -196,6 +196,7 @@ type options struct {
 	scale       float64
 	perms       *Permissions
 	streamReuse bool
+	fanout      int
 	resolver    Resolver
 }
 
@@ -265,6 +266,12 @@ func WithTaskPermissions(p Permissions) Option {
 // instead of paying connection setup and teardown on every transfer — the
 // extension the paper's hybrid-protocol results point at.
 func WithStreamReuse() Option { return func(o *options) { o.streamReuse = true } }
+
+// WithDisseminationFanout bounds how many replica push transfers run
+// concurrently when a release disseminates a new version to several sites.
+// The default (0) runs all pushes in parallel, overlapping their round
+// trips; 1 reproduces the paper prototype's strictly sequential fan-out.
+func WithDisseminationFanout(n int) Option { return func(o *options) { o.fanout = n } }
 
 // WithResolver sets the conflict resolver for the sites' session stores
 // (default last-writer-wins). The resolver must be deterministic and
