@@ -1,10 +1,20 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-fanout
+.PHONY: check fmt-check vet build test race bench-fanout bench-delta
 
-# check is the full CI gate: static analysis, build, the complete test
-# suite, and the race detector over the concurrency-heavy packages.
-check: vet build test race
+# check is the full CI gate: formatting, static analysis, build, the
+# complete test suite, and the race detector over the concurrency-heavy
+# packages.
+check: fmt-check vet build test race
+
+# fmt-check fails if any Go file is not gofmt-clean.
+fmt-check:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; \
+		echo "$$unformatted"; \
+		exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -21,4 +31,7 @@ race:
 	$(GO) test -race ./internal/mnet ./internal/core
 
 bench-fanout:
-	$(GO) run ./cmd/benchmocha -exp ablate-fanout
+	$(GO) run ./cmd/benchmocha -exp ablate-fanout -json
+
+bench-delta:
+	$(GO) run ./cmd/benchmocha -exp ablate-delta -json

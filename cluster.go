@@ -207,6 +207,7 @@ func newSite(sc siteConfig) (*Site, error) {
 		Cost:                sc.cost,
 		Mode:                sc.opts.mode,
 		StreamReuse:         sc.opts.streamReuse,
+		DeltaTransfer:       sc.opts.delta,
 		DisseminationFanout: sc.opts.fanout,
 		RequestTimeout:      sc.opts.reqTimeout,
 		TransferTimeout:     sc.opts.xferTimeout,

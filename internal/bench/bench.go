@@ -62,6 +62,10 @@ type Result struct {
 	Table string
 	// Notes carries derived observations (ratios, crossovers).
 	Notes []string
+	// Metrics exposes the headline numbers for machine consumers
+	// (benchmocha -json); keys are snake_case, values in the unit the
+	// key names.
+	Metrics map[string]float64 `json:",omitempty"`
 }
 
 // String renders the result for the console.
@@ -99,6 +103,7 @@ func All() []Experiment {
 		{ID: "ablate-adaptive", Title: "Ablation: adaptive protocol selection", Run: AblateAdaptive},
 		{ID: "ablate-reuse", Title: "Ablation: hybrid protocol with connection reuse", Run: AblateReuse},
 		{ID: "ablate-fanout", Title: "Ablation: parallel dissemination fan-out", Run: AblateFanout},
+		{ID: "ablate-delta", Title: "Ablation: delta-encoded replica transfer", Run: AblateDelta},
 	}
 }
 
@@ -140,6 +145,8 @@ type harnessOpts struct {
 	// paper-faithful sequential fan-out every figure reproduces, -1 runs
 	// fully parallel, and a positive value bounds the concurrency.
 	fanout int
+	// delta enables delta-encoded replica transfer.
+	delta bool
 }
 
 // disseminationFanout translates the harness convention to the core
@@ -209,6 +216,7 @@ func newHarnessOpts(cfg Config, e env, mode core.TransferMode, n int, ho harness
 			Cost:                scaledCost,
 			Mode:                mode,
 			StreamReuse:         ho.streamReuse,
+			DeltaTransfer:       ho.delta,
 			DisseminationFanout: ho.disseminationFanout(),
 			RequestTimeout:      30 * time.Second,
 			TransferTimeout:     120 * time.Second,

@@ -15,6 +15,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 		"table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"app", "smallmsg", "ur", "cablemodem",
 		"ablate-marshal", "ablate-adaptive", "ablate-reuse", "ablate-fanout",
+		"ablate-delta",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -133,6 +134,26 @@ func TestAblations(t *testing.T) {
 	}
 	if !strings.Contains(fo.Table, "sequential") || !strings.Contains(fo.Table, "parallel") {
 		t.Fatalf("table:\n%s", fo.Table)
+	}
+}
+
+// TestAblateDelta pins the headline result: delta transfer must cut the
+// WAN small-write bytes-on-wire by at least 2x, and the full-rewrite
+// fallback must not send more than ~the full copy.
+func TestAblateDelta(t *testing.T) {
+	res, err := AblateDelta(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Table, "small-write") || !strings.Contains(res.Table, "full-rewrite") {
+		t.Fatalf("table:\n%s", res.Table)
+	}
+	if r := res.Metrics["wan_small_bytes_reduction_x"]; r < 2 {
+		t.Fatalf("WAN small-write bytes reduction %.2fx, want >= 2x\n%s", r, res.Table)
+	}
+	full := res.Metrics["wan_full_bytes_per_release_full"]
+	if d := res.Metrics["wan_full_bytes_per_release_delta"]; full > 0 && d > 1.1*full {
+		t.Fatalf("full-rewrite with delta sent %.0f B/release vs %.0f baseline: fallback paid twice", d, full)
 	}
 }
 

@@ -585,6 +585,8 @@ func AblateFanout(cfg Config) (Result, error) {
 
 	table := stats.NewTable("environment", "sites", "sequential (ms)", "parallel (ms)", "speedup")
 	var notes []string
+	metrics := make(map[string]float64)
+	envKeys := map[string]string{lanEnv().name: "lan", wanEnv().name: "wan"}
 	for _, e := range []env{lanEnv(), wanEnv()} {
 		spec := figSpec{e: e, sizeK: sizeK}
 		seq, err := disseminationSeriesOpts(cfg, spec, core.ModeMNet, harnessOpts{})
@@ -602,12 +604,17 @@ func AblateFanout(cfg Config) (Result, error) {
 		}
 		s, p := seq[cfg.MaxSites-1].mean(), par[cfg.MaxSites-1].mean()
 		notes = append(notes, fmt.Sprintf("%s at %d sites: %.2fx", e.name, cfg.MaxSites, float64(s)/float64(p)))
+		key := envKeys[e.name]
+		metrics[key+"_sequential_ms"] = float64(s) / float64(time.Millisecond)
+		metrics[key+"_parallel_ms"] = float64(p) / float64(time.Millisecond)
+		metrics[key+"_speedup_x"] = float64(s) / float64(p)
 	}
 	return Result{
-		ID:    "ablate-fanout",
-		Title: fmt.Sprintf("Parallel dissemination fan-out (%dK updates)", sizeK),
-		Paper: "section 4's release 'sends the new version of the data to all of the replicated sites' one site at a time; overlapping the pushes hides per-site latency without changing the protocol",
-		Table: table.String(),
-		Notes: notes,
+		ID:      "ablate-fanout",
+		Title:   fmt.Sprintf("Parallel dissemination fan-out (%dK updates)", sizeK),
+		Paper:   "section 4's release 'sends the new version of the data to all of the replicated sites' one site at a time; overlapping the pushes hides per-site latency without changing the protocol",
+		Table:   table.String(),
+		Notes:   notes,
+		Metrics: metrics,
 	}, nil
 }

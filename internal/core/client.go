@@ -18,7 +18,14 @@ type client struct {
 
 	mu       sync.Mutex
 	grants   map[grantKey]chan grantOrNack
-	pushAcks map[pushKey]chan struct{}
+	pushAcks map[pushKey]chan pushResult
+}
+
+// pushResult is what a waiting push sender learns about one target:
+// either the update was applied, or the target needs a full copy because
+// it could not use the offered delta.
+type pushResult struct {
+	needFull bool
 }
 
 type grantKey struct {
@@ -51,7 +58,7 @@ func newClient(n *Node) (*client, error) {
 		node:     n,
 		port:     port,
 		grants:   make(map[grantKey]chan grantOrNack),
-		pushAcks: make(map[pushKey]chan struct{}),
+		pushAcks: make(map[pushKey]chan pushResult),
 	}
 	port.SetHandler(c.handle)
 	return c, nil
@@ -102,15 +109,7 @@ func (c *client) handle(m mnet.Message) {
 			}
 		}
 	case *wire.PushAck:
-		c.mu.Lock()
-		ch := c.pushAcks[pushKey{msg.Lock, msg.Version, msg.Site}]
-		c.mu.Unlock()
-		if ch != nil {
-			select {
-			case ch <- struct{}{}:
-			default:
-			}
-		}
+		c.deliverPushResult(msg.Lock, msg.Version, msg.Site, pushResult{})
 	default:
 		c.node.log.Logf("client", "unhandled %s on client port", p.Kind())
 	}
@@ -136,12 +135,26 @@ func (c *client) dropGrant(lock wire.LockID, thread wire.ThreadID) {
 // expectPushAck registers interest in one site's acknowledgment of one
 // disseminated version. Each waiter owns its channel, so no ack is ever
 // consumed by the wrong sender.
-func (c *client) expectPushAck(lock wire.LockID, version uint64, site wire.SiteID) chan struct{} {
-	ch := make(chan struct{}, 1)
+func (c *client) expectPushAck(lock wire.LockID, version uint64, site wire.SiteID) chan pushResult {
+	ch := make(chan pushResult, 1)
 	c.mu.Lock()
 	c.pushAcks[pushKey{lock, version, site}] = ch
 	c.mu.Unlock()
 	return ch
+}
+
+// deliverPushResult hands one target's response (applied, or needs the
+// full copy) to the sender waiting on it, if any.
+func (c *client) deliverPushResult(lock wire.LockID, version uint64, site wire.SiteID, res pushResult) {
+	c.mu.Lock()
+	ch := c.pushAcks[pushKey{lock, version, site}]
+	c.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- res:
+		default:
+		}
+	}
 }
 
 // dropPushAck unregisters a waiter.

@@ -30,6 +30,10 @@ type clusterOpts struct {
 	reuse   bool
 	fanout  int
 	xferTO  time.Duration
+	// delta enables delta replica transfer; deltaDepth overrides the
+	// update-log depth (0 = default).
+	delta      bool
+	deltaDepth int
 	// wrapStack lets fault tests interpose on a site's transport stack.
 	wrapStack func(site wire.SiteID, s transport.Stack) transport.Stack
 }
@@ -81,6 +85,8 @@ func newTestCluster(t *testing.T, n int, opts clusterOpts) *testCluster {
 			IsHome:              site == wire.HomeSite,
 			Mode:                opts.mode,
 			StreamReuse:         opts.reuse,
+			DeltaTransfer:       opts.delta,
+			DeltaLogDepth:       opts.deltaDepth,
 			DisseminationFanout: opts.fanout,
 			RequestTimeout:      opts.reqTO,
 			TransferTimeout:     xferTO,

@@ -110,6 +110,16 @@ type Config struct {
 	// "connection and tear-down overheads" cost it the small-message
 	// races.
 	StreamReuse bool
+	// DeltaTransfer ships replica updates as byte-range patches against
+	// the version the receiver already holds, when the holder's update log
+	// still covers the gap; any break in the chain falls back to a full
+	// copy. Off by default: the paper's prototypes always transfer the
+	// whole marshaled replica.
+	DeltaTransfer bool
+	// DeltaLogDepth bounds how many consecutive version steps the per-lock
+	// update log retains for delta composition (default 8). Requesters more
+	// than this many versions behind get a full transfer.
+	DeltaLogDepth int
 	// DisseminationFanout bounds how many push transfers run concurrently
 	// when a release (or PushPayloads) disseminates a new version to
 	// several sites. 0 (the default) runs all targets in parallel,
@@ -140,6 +150,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AdaptiveThreshold <= 0 {
 		c.AdaptiveThreshold = 2048
+	}
+	if c.DeltaLogDepth <= 0 {
+		c.DeltaLogDepth = 8
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 5 * time.Second
@@ -293,6 +306,7 @@ func (n *Node) Close() error {
 	if s != nil {
 		s.stop()
 	}
+	n.xfer.close()
 	return n.ep.Close()
 }
 
@@ -451,7 +465,11 @@ func (n *Node) getLockLocal(id wire.LockID) *lockLocal {
 	defer n.mu.Unlock()
 	st, ok := n.lockLocals[id]
 	if !ok {
-		st = newLockLocal(id)
+		depth := 0
+		if n.cfg.DeltaTransfer {
+			depth = n.cfg.DeltaLogDepth
+		}
+		st = newLockLocal(id, depth)
 		n.lockLocals[id] = st
 	}
 	return st

@@ -47,6 +47,11 @@ func (d *daemon) handle(m mnet.Message) {
 		}
 	case *wire.ReplicaData:
 		d.node.applyReplicaData(msg)
+	case *wire.ReplicaDelta:
+		// Delta transfers arrive on the daemon port like full ReplicaData.
+		d.node.handleDeltaArrival(msg, m.From, d.port)
+	case *wire.DeltaNack:
+		d.node.xfer.handleDeltaNack(msg)
 	case *wire.PushUpdate:
 		d.node.applyPush(msg)
 		ack := &wire.PushAck{Lock: msg.Lock, Site: d.node.cfg.Site, Version: msg.Version}
@@ -109,6 +114,18 @@ func (n *Node) applyPayloads(lock wire.LockID, version uint64, payloads []wire.R
 		n.log.Logf("daemon", "stale %s of lock %d v%d from site %d (have v%d)", how, lock, version, from, st.version)
 		return
 	}
+	n.applyBlobsLocked(st, lock, version, payloads, how, from)
+}
+
+// applyBlobsLocked installs marshaled blobs as the lock's new local
+// version: unmarshal into the associated replicas (holding unknown names
+// as pending), record the version step in the delta log, advance the
+// version, and wake waiters. Caller holds st.mu and has already rejected
+// stale versions. Reports whether the version was installed.
+func (n *Node) applyBlobsLocked(st *lockLocal, lock wire.LockID, version uint64, payloads []wire.ReplicaPayload, how string, from wire.SiteID) bool {
+	// Recorded against the outgoing version's cache, so it must run before
+	// the unmarshal loop replaces the content.
+	st.recordIncomingStepLocked(version, payloads)
 	for _, p := range payloads {
 		r, ok := st.byName[p.Name]
 		if !ok {
@@ -119,12 +136,128 @@ func (n *Node) applyPayloads(lock wire.LockID, version uint64, payloads []wire.R
 		}
 		if err := n.cfg.Codec.Unmarshal(p.Data, r.content); err != nil {
 			n.log.Logf("daemon", "unmarshal %q v%d: %v", p.Name, version, err)
-			return
+			// The loop may have replaced some replicas already while the
+			// version stays put: the marshaled cache no longer describes
+			// the content, and neither does any recorded delta chain.
+			st.invalidatePayloadsLocked()
+			if st.dlog != nil {
+				st.dlog.reset()
+				st.prevPayloads = nil
+			}
+			return false
 		}
 	}
 	st.version = version
+	if st.dlog != nil {
+		// Keep the arriving blobs as this version's marshaled cache so
+		// this site can serve deltas (and diff the next incoming step)
+		// without re-marshaling.
+		st.updatePayloadCacheLocked(version, payloads)
+	}
 	st.notifyVersionLocked()
 	n.log.Logf("daemon", "applied %s of lock %d v%d from site %d (%d replicas)", how, lock, version, from, len(payloads))
+	return true
+}
+
+// applyDelta applies a ReplicaDelta: resolve the base blobs for the
+// delta's FromVersion, patch and verify each replica, and install the
+// result like a full update. A non-nil error means the receiver needs a
+// full copy instead (the sender's fallback trigger); a stale delta is
+// dropped without error, like a stale full update.
+func (n *Node) applyDelta(rd *wire.ReplicaDelta) error {
+	st := n.getLockLocal(rd.Lock)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if rd.Version <= st.version {
+		n.log.Logf("daemon", "stale delta of lock %d v%d from site %d (have v%d)", rd.Lock, rd.Version, rd.From, st.version)
+		return nil
+	}
+	var base map[string][]byte
+	switch {
+	case st.cachedPayloads != nil && st.cachedVersion == rd.FromVersion:
+		base = make(map[string][]byte, len(st.cachedPayloads))
+		for _, p := range st.cachedPayloads {
+			base[p.Name] = p.Data
+		}
+	case st.version == rd.FromVersion:
+		// No marshaled cache of the base, but the live content is at the
+		// base version: marshal it on demand.
+		base = make(map[string][]byte, len(st.replicas))
+		for _, r := range st.replicas {
+			blob, err := n.cfg.Codec.Marshal(r.content)
+			if err != nil {
+				return fmt.Errorf("marshal base %q: %w", r.name, err)
+			}
+			base[r.name] = blob
+		}
+	default:
+		return fmt.Errorf("base v%d unavailable (have v%d)", rd.FromVersion, st.version)
+	}
+
+	blobs := make([]wire.ReplicaPayload, 0, len(rd.Replicas))
+	for i := range rd.Replicas {
+		dp := &rd.Replicas[i]
+		if dp.Full {
+			blobs = append(blobs, wire.ReplicaPayload{Name: dp.Name, Data: dp.Data})
+			continue
+		}
+		old, ok := base[dp.Name]
+		if !ok {
+			return fmt.Errorf("no base blob for %q at v%d", dp.Name, rd.FromVersion)
+		}
+		ops := make([]marshal.PatchOp, len(dp.Ops))
+		for j, op := range dp.Ops {
+			ops[j] = marshal.PatchOp{Off: int(op.Off), Data: op.Data}
+		}
+		patched, err := marshal.ApplyPatch(old, int(dp.NewLen), ops)
+		if err != nil {
+			return fmt.Errorf("patch %q: %w", dp.Name, err)
+		}
+		if marshal.Checksum(patched) != dp.Checksum {
+			return fmt.Errorf("checksum mismatch patching %q to v%d", dp.Name, rd.Version)
+		}
+		blobs = append(blobs, wire.ReplicaPayload{Name: dp.Name, Data: patched})
+	}
+
+	how := "delta transfer"
+	if rd.Push {
+		how = "delta push"
+	}
+	if !n.applyBlobsLocked(st, rd.Lock, rd.Version, blobs, how, rd.From) {
+		return fmt.Errorf("apply patched blobs of lock %d v%d failed", rd.Lock, rd.Version)
+	}
+	return nil
+}
+
+// handleDeltaArrival applies a delta arriving over mnet and sends the
+// protocol response back through the receiving port: a PushAck when an
+// applied delta was a push, a DeltaNack when the delta could not be
+// applied. Applied (or stale) transfer deltas need no reply — the waiting
+// acquirer is woken through the version waiters, like a full transfer.
+func (n *Node) handleDeltaArrival(rd *wire.ReplicaDelta, replyTo string, port *mnet.Port) {
+	err := n.applyDelta(rd)
+	var reply wire.Payload
+	switch {
+	case err == nil && rd.Push:
+		reply = &wire.PushAck{Lock: rd.Lock, Site: n.cfg.Site, Version: rd.Version}
+	case err == nil:
+		return
+	default:
+		n.log.Logf("daemon", "delta of lock %d v%d from site %d rejected: %v", rd.Lock, rd.Version, rd.From, err)
+		reply = &wire.DeltaNack{
+			Lock:      rd.Lock,
+			Site:      n.cfg.Site,
+			Version:   rd.Version,
+			RequestID: rd.RequestID,
+			Push:      rd.Push,
+			Reason:    err.Error(),
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.RequestTimeout)
+	defer cancel()
+	if err := port.Send(ctx, replyTo, wire.Marshal(reply)); err != nil {
+		n.log.Logf("daemon", "delta reply to %s failed: %v", replyTo, err)
+	}
 }
 
 // CachedLock is the reserved lock ID for unguarded cached replicas:

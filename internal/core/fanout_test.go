@@ -25,7 +25,7 @@ func (c *countingCodec) Marshal(ct *marshal.Content) ([]byte, error) {
 
 func TestPayloadCacheKeyedByVersion(t *testing.T) {
 	codec := &countingCodec{Codec: marshal.NewFast(netsim.Native())}
-	st := newLockLocal(7)
+	st := newLockLocal(7, 0)
 	st.replicas = []*Replica{
 		{name: "a", content: marshal.Ints([]int32{1, 2, 3})},
 		{name: "b", content: marshal.Bytes([]byte("payload"))},

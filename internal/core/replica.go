@@ -99,6 +99,14 @@ type lockLocal struct {
 	// or the content behind the current version can have changed.
 	cachedVersion  uint64
 	cachedPayloads []wire.ReplicaPayload
+	// dlog chains per-version dirty ranges for delta transfer; nil when
+	// Config.DeltaTransfer is off.
+	dlog *updateLog
+	// prevVersion/prevPayloads hold the marshaled form of the version that
+	// bumpVersionLocked retired, until the next marshal diffs against it to
+	// record the version step. Cleared once consumed or invalidated.
+	prevVersion  uint64
+	prevPayloads []wire.ReplicaPayload
 	// holder is the local thread currently holding the global lock.
 	holder     wire.ThreadID
 	heldGrant  *wire.Grant
@@ -117,14 +125,18 @@ type versionWaiter struct {
 	ch  chan struct{}
 }
 
-func newLockLocal(id wire.LockID) *lockLocal {
-	return &lockLocal{
+func newLockLocal(id wire.LockID, deltaDepth int) *lockLocal {
+	st := &lockLocal{
 		id:      id,
 		gate:    make(chan struct{}, 1),
 		byName:  make(map[string]*Replica),
 		pending: make(map[string]pendingPayload),
 		ur:      1,
 	}
+	if deltaDepth > 0 {
+		st.dlog = newUpdateLog(deltaDepth)
+	}
+	return st
 }
 
 // versionReached reports whether local data is at least min, registering a
@@ -173,9 +185,188 @@ func (st *lockLocal) marshalPayloadsLocked(codec marshal.Codec) ([]wire.ReplicaP
 		}
 		payloads = append(payloads, wire.ReplicaPayload{Name: r.name, Data: blob})
 	}
+	st.captureStepLocked(payloads)
 	st.cachedVersion = st.version
 	st.cachedPayloads = payloads
 	return payloads, nil
+}
+
+// captureStepLocked records the version step that produced the freshly
+// marshaled payloads, diffing them against the retired predecessor that
+// bumpVersionLocked saved. Each replica contributes its tracked dirty
+// ranges when they are trusted and the blob kept its length; otherwise the
+// two blobs are byte-diffed. Caller holds st.mu.
+func (st *lockLocal) captureStepLocked(payloads []wire.ReplicaPayload) {
+	if st.dlog == nil {
+		return
+	}
+	// Snapshot and reset the per-replica dirty tracking unconditionally so
+	// ranges from this epoch never bleed into the next one, even when the
+	// step itself cannot be recorded.
+	type dirtySnap struct {
+		ranges  []marshal.Range
+		trusted bool
+	}
+	snaps := make(map[string]dirtySnap, len(st.replicas))
+	for _, r := range st.replicas {
+		ranges, trusted := r.content.DirtySnapshot()
+		snaps[r.name] = dirtySnap{ranges: ranges, trusted: trusted}
+		r.content.ResetDirty()
+	}
+	prev := st.prevPayloads
+	prevVersion := st.prevVersion
+	st.prevPayloads = nil
+	if prev == nil || prevVersion+1 != st.version {
+		// No known predecessor for this version: the chain is broken.
+		st.dlog.reset()
+		return
+	}
+	base := make(map[string][]byte, len(prev))
+	for _, p := range prev {
+		base[p.Name] = p.Data
+	}
+	step := deltaStep{
+		from:     prevVersion,
+		to:       st.version,
+		replicas: make(map[string]stepReplica, len(payloads)),
+	}
+	for _, p := range payloads {
+		old, ok := base[p.Name]
+		if !ok {
+			step.replicas[p.Name] = stepReplica{full: true, newLen: len(p.Data)}
+			continue
+		}
+		sr := stepReplica{newLen: len(p.Data)}
+		if sn := snaps[p.Name]; sn.trusted && len(old) == len(p.Data) {
+			sr.ranges = marshal.MergeRanges(sn.ranges, len(p.Data))
+		} else {
+			sr.ranges = marshal.DiffRanges(old, p.Data)
+			sr.resized = len(old) != len(p.Data)
+		}
+		step.replicas[p.Name] = sr
+	}
+	st.dlog.record(step)
+}
+
+// bumpVersionLocked installs a new local version produced here (an
+// exclusive release or a push preparation), retiring the old version's
+// marshaled cache as the diff base for the step the next marshal records.
+// Caller holds st.mu.
+func (st *lockLocal) bumpVersionLocked(newVersion uint64) {
+	if st.dlog != nil && st.cachedPayloads != nil && st.cachedVersion == st.version {
+		st.prevVersion = st.version
+		st.prevPayloads = st.cachedPayloads
+	} else {
+		st.prevPayloads = nil
+	}
+	st.version = newVersion
+	st.invalidatePayloadsLocked()
+}
+
+// recordIncomingStepLocked records the version step for payloads applied
+// from the network, diffing them against the marshaled cache of the
+// version they replace. Caller holds st.mu; st.version is still the old
+// version.
+func (st *lockLocal) recordIncomingStepLocked(version uint64, payloads []wire.ReplicaPayload) {
+	if st.dlog == nil {
+		return
+	}
+	st.prevPayloads = nil
+	if st.cachedPayloads == nil || st.cachedVersion != st.version || version != st.version+1 {
+		st.dlog.reset()
+		return
+	}
+	base := make(map[string][]byte, len(st.cachedPayloads))
+	for _, p := range st.cachedPayloads {
+		base[p.Name] = p.Data
+	}
+	step := deltaStep{
+		from:     st.version,
+		to:       version,
+		replicas: make(map[string]stepReplica, len(payloads)),
+	}
+	for _, p := range payloads {
+		old, ok := base[p.Name]
+		if !ok {
+			step.replicas[p.Name] = stepReplica{full: true, newLen: len(p.Data)}
+			continue
+		}
+		step.replicas[p.Name] = stepReplica{
+			newLen:  len(p.Data),
+			resized: len(old) != len(p.Data),
+			ranges:  marshal.DiffRanges(old, p.Data),
+		}
+	}
+	st.dlog.record(step)
+}
+
+// updatePayloadCacheLocked installs network-applied blobs as the marshaled
+// cache for the new version, so this site can itself serve deltas (and
+// diff the next incoming step) without re-marshaling. The cache is only
+// valid when every associated replica was covered. Caller holds st.mu.
+func (st *lockLocal) updatePayloadCacheLocked(version uint64, payloads []wire.ReplicaPayload) {
+	base := make(map[string][]byte, len(payloads))
+	for _, p := range payloads {
+		base[p.Name] = p.Data
+	}
+	ordered := make([]wire.ReplicaPayload, 0, len(st.replicas))
+	for _, r := range st.replicas {
+		data, ok := base[r.name]
+		if !ok {
+			st.invalidatePayloadsLocked()
+			return
+		}
+		ordered = append(ordered, wire.ReplicaPayload{Name: r.name, Data: data})
+	}
+	st.cachedVersion = version
+	st.cachedPayloads = ordered
+}
+
+// buildDeltaLocked assembles a ReplicaDelta upgrading a holder of fromV to
+// toV, slicing patch data out of the marshaled payloads at toV. It returns
+// nil when the update log cannot serve the interval or when the delta
+// would not be smaller than the full transfer. Caller holds st.mu.
+func (st *lockLocal) buildDeltaLocked(site wire.SiteID, fromV, toV uint64, payloads []wire.ReplicaPayload, reqID uint64, push bool) *wire.ReplicaDelta {
+	if st.dlog == nil || fromV == 0 || fromV >= toV {
+		return nil
+	}
+	composed, ok := st.dlog.compose(fromV, toV)
+	if !ok {
+		return nil
+	}
+	msg := &wire.ReplicaDelta{
+		Lock:        st.id,
+		From:        site,
+		Version:     toV,
+		FromVersion: fromV,
+		RequestID:   reqID,
+		Push:        push,
+		Replicas:    make([]wire.DeltaPayload, 0, len(payloads)),
+	}
+	deltaBytes, fullBytes := 0, 0
+	for _, p := range payloads {
+		fullBytes += len(p.Data)
+		cd, ok := composed[p.Name]
+		if !ok || cd.full {
+			msg.Replicas = append(msg.Replicas, wire.DeltaPayload{Name: p.Name, Full: true, Data: p.Data})
+			deltaBytes += len(p.Data)
+			continue
+		}
+		dp := wire.DeltaPayload{
+			Name:     p.Name,
+			NewLen:   uint32(len(p.Data)),
+			Checksum: marshal.Checksum(p.Data),
+		}
+		for _, r := range marshal.MergeRanges(cd.ranges, len(p.Data)) {
+			dp.Ops = append(dp.Ops, wire.PatchOp{Off: uint32(r.Off), Data: p.Data[r.Off:r.End()]})
+			deltaBytes += r.Len + 8
+		}
+		msg.Replicas = append(msg.Replicas, dp)
+	}
+	if deltaBytes >= fullBytes {
+		return nil
+	}
+	return msg
 }
 
 // invalidatePayloadsLocked drops the marshaled-payload cache. Called when
@@ -240,6 +431,12 @@ func (rl *ReplicaLock) Associate(ctx context.Context, r *Replica) error {
 		rl.st.replicas = append(rl.st.replicas, r)
 		rl.st.byName[r.name] = r
 		rl.st.invalidatePayloadsLocked()
+		if rl.st.dlog != nil {
+			// The replica set changed: recorded steps no longer describe
+			// the lock's full marshaled state.
+			rl.st.dlog.reset()
+			rl.st.prevPayloads = nil
+		}
 		if r.created && rl.st.version == 0 {
 			// Creating a shared object seeds version 1 locally; the
 			// registration below seeds it at the synchronization thread.
@@ -330,11 +527,15 @@ func (rl *ReplicaLock) lock(ctx context.Context, shared bool) error {
 	grantCh := rl.node.client.expectGrant(rl.id, rl.h.id)
 	defer rl.node.client.dropGrant(rl.id, rl.h.id)
 
+	rl.st.mu.Lock()
+	have := rl.st.version
+	rl.st.mu.Unlock()
 	req := &wire.AcquireLock{
 		Lock:        rl.id,
 		Requester:   rl.node.cfg.Site,
 		Thread:      rl.h.id,
 		Shared:      shared,
+		HaveVersion: have,
 		LeaseMillis: uint32(rl.h.lease / time.Millisecond),
 	}
 	if err := rl.node.client.sendToSync(ctx, req); err != nil {
@@ -420,24 +621,30 @@ func (rl *ReplicaLock) Unlock(ctx context.Context) error {
 	if !shared {
 		newVersion = grant.Version + 1
 		rl.st.mu.Lock()
-		rl.st.version = newVersion
 		// The exclusive holder may have rewritten content without the
-		// version changing until now; any cached marshaled form is stale.
-		rl.st.invalidatePayloadsLocked()
+		// version changing until now; any cached marshaled form is stale
+		// (and becomes the delta base for the step the marshal records).
+		rl.st.bumpVersionLocked(newVersion)
 		rl.st.notifyVersionLocked()
 		var payloads []wire.ReplicaPayload
+		var pushDeltaMsg *wire.ReplicaDelta
 		var err error
 		if ur > 1 {
 			// Marshal only when disseminating: with UR = 1 the new value
 			// stays here until another site's acquisition pulls it.
 			payloads, err = rl.marshalReplicasLocked()
+			if err == nil {
+				// A push delta only has to bridge the single step from the
+				// version every up-to-date sharer already holds.
+				pushDeltaMsg = rl.st.buildDeltaLocked(rl.node.cfg.Site, grant.Version, newVersion, payloads, 0, true)
+			}
 		}
 		rl.st.mu.Unlock()
 		if err != nil {
 			return fmt.Errorf("core: unlock %d: %w", rl.id, err)
 		}
 		if ur > 1 {
-			acked := rl.node.xfer.disseminate(ctx, rl.id, newVersion, payloads, grant.Sharers, ur-1)
+			acked := rl.node.xfer.disseminate(ctx, rl.id, newVersion, payloads, pushDeltaMsg, grant.Sharers, grant.UpToDate, ur-1)
 			for _, site := range acked {
 				upToDate.Add(site)
 			}

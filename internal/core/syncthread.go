@@ -63,7 +63,10 @@ type lockRequest struct {
 	site   wire.SiteID
 	thread wire.ThreadID
 	shared bool
-	lease  time.Duration
+	// have is the replica version the requester reported holding, passed
+	// through to the transfer source so it can ship a delta.
+	have  uint64
+	lease time.Duration
 }
 
 // newSyncThread starts the manager, optionally restoring surrogate state.
@@ -184,6 +187,7 @@ func (s *syncThread) onAcquire(msg *wire.AcquireLock) {
 		site:   msg.Requester,
 		thread: msg.Thread,
 		shared: msg.Shared,
+		have:   msg.HaveVersion,
 		lease:  lease,
 	})
 	s.tryGrant(l)
@@ -281,13 +285,14 @@ func (s *syncThread) grantOne(l *syncLock, req *lockRequest) bool {
 		flag = wire.NeedNewVersion
 	}
 	g := &wire.Grant{
-		Lock:    l.id,
-		Thread:  req.thread,
-		Version: l.version,
-		Flag:    flag,
-		Shared:  req.shared,
-		Epoch:   s.epoch,
-		Sharers: l.sharers.Clone(),
+		Lock:     l.id,
+		Thread:   req.thread,
+		Version:  l.version,
+		Flag:     flag,
+		Shared:   req.shared,
+		Epoch:    s.epoch,
+		Sharers:  l.sharers.Clone(),
+		UpToDate: l.upToDate.Clone(),
 	}
 	if !s.sendToClient(req.site, g) {
 		s.node.log.Logf("fault", "grant of lock %d undeliverable to site %d; skipping requester", l.id, req.site)
@@ -308,24 +313,27 @@ func (s *syncThread) grantOne(l *syncLock, req *lockRequest) bool {
 // available" and, if only an older version survives, downgrade the grant.
 func (s *syncThread) directTransfer(l *syncLock, req *lockRequest) {
 	src := l.lastOwner
-	if err := s.sendDirective(l, src, req.site); err == nil {
+	if err := s.sendDirective(l, src, req.site, req.have); err == nil {
 		return
 	}
 	s.node.log.Logf("fault", "transfer directive for lock %d to daemon %d timed out; polling daemons", l.id, src)
 	s.recoverTransfer(l, req, src)
 }
 
-// sendDirective sends one TRANSFERREPLICA to a daemon.
-func (s *syncThread) sendDirective(l *syncLock, src wire.SiteID, dest wire.SiteID) error {
+// sendDirective sends one TRANSFERREPLICA to a daemon. destVersion is the
+// version the destination reported holding, letting the source offer a
+// delta covering just the gap.
+func (s *syncThread) sendDirective(l *syncLock, src wire.SiteID, dest wire.SiteID, destVersion uint64) error {
 	addr, err := s.node.daemonAddr(src)
 	if err != nil {
 		return err
 	}
 	dir := &wire.TransferReplica{
-		Lock:      l.id,
-		Dest:      dest,
-		Version:   l.version,
-		RequestID: s.nextNonce.Add(1),
+		Lock:        l.id,
+		Dest:        dest,
+		Version:     l.version,
+		DestVersion: destVersion,
+		RequestID:   s.nextNonce.Add(1),
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), s.node.cfg.RequestTimeout)
 	defer cancel()
@@ -359,7 +367,7 @@ func (s *syncThread) recoverTransfer(l *syncLock, req *lockRequest, deadSrc wire
 		return
 	}
 	s.sendRevisedGrant(l, req, best.Version, wire.NeedNewVersion)
-	if err := s.sendDirective(l, best.Site, req.site); err != nil {
+	if err := s.sendDirective(l, best.Site, req.site, req.have); err != nil {
 		// The fallback daemon died too; recurse on the remaining set.
 		s.node.log.Logf("fault", "fallback transfer source %d for lock %d also failed", best.Site, l.id)
 		s.recoverTransfer(l, req, best.Site)
@@ -369,14 +377,15 @@ func (s *syncThread) recoverTransfer(l *syncLock, req *lockRequest, deadSrc wire
 // sendRevisedGrant supersedes an earlier grant after failure recovery.
 func (s *syncThread) sendRevisedGrant(l *syncLock, req *lockRequest, version uint64, flag wire.VersionFlag) {
 	g := &wire.Grant{
-		Lock:    l.id,
-		Thread:  req.thread,
-		Version: version,
-		Flag:    flag,
-		Shared:  req.shared,
-		Epoch:   s.epoch,
-		Sharers: l.sharers.Clone(),
-		Revised: true,
+		Lock:     l.id,
+		Thread:   req.thread,
+		Version:  version,
+		Flag:     flag,
+		Shared:   req.shared,
+		Epoch:    s.epoch,
+		Sharers:  l.sharers.Clone(),
+		UpToDate: l.upToDate.Clone(),
+		Revised:  true,
 	}
 	s.sendToClient(req.site, g)
 }

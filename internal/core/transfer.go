@@ -39,6 +39,16 @@ type transferService struct {
 	// abandonedListeners counts stream listeners whose dialer never
 	// connected before the transfer timeout (stranded handshakes).
 	abandonedListeners atomic.Int64
+	// replicaBytes counts the bytes of replica-carrying frames this node
+	// has sent (full and delta alike) — the bytes-on-wire metric of the
+	// delta-transfer ablation.
+	replicaBytes atomic.Int64
+	// deltaSends / fullSends count replica frames sent as deltas vs full
+	// copies; deltaFallbacks counts deltas the receiver could not apply
+	// (or refused), answered with a full copy.
+	deltaSends     atomic.Int64
+	fullSends      atomic.Int64
+	deltaFallbacks atomic.Int64
 
 	mu      sync.Mutex
 	streams map[uint64]chan string // RequestID -> remote stream address
@@ -100,6 +110,11 @@ func (t *transferService) handle(m mnet.Message) {
 			}
 			cancel()
 		}
+	case *wire.ReplicaDelta:
+		// Delta pushes arrive on the transfer port like full PushUpdates.
+		t.node.handleDeltaArrival(msg, m.From, t.port)
+	case *wire.DeltaNack:
+		t.handleDeltaNack(msg)
 	case *wire.PushAck:
 		t.node.client.handle(m)
 	default:
@@ -129,9 +144,29 @@ func (t *transferService) sendReplicas(dir *wire.TransferReplica) error {
 	st.mu.Lock()
 	version := st.version
 	payloads, marshalErr := st.marshalPayloadsLocked(t.node.cfg.Codec)
+	var delta *wire.ReplicaDelta
+	if marshalErr == nil && t.node.cfg.DeltaTransfer && dir.DestVersion > 0 && dir.DestVersion < version {
+		delta = st.buildDeltaLocked(t.node.cfg.Site, dir.DestVersion, version, payloads, dir.RequestID, false)
+	}
 	st.mu.Unlock()
 	if marshalErr != nil {
 		return marshalErr
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), t.node.cfg.TransferTimeout)
+	defer cancel()
+
+	if delta != nil {
+		applied, err := t.sendDeltaTransfer(ctx, dir, delta)
+		if err == nil && applied {
+			return nil
+		}
+		if err != nil {
+			t.node.log.Logf("fault", "delta transfer of lock %d to site %d failed (%v); sending full copy", dir.Lock, dir.Dest, err)
+		} else {
+			// The receiver could not apply the patch; ship the full copy.
+			t.deltaFallbacks.Add(1)
+		}
 	}
 
 	rd := &wire.ReplicaData{
@@ -142,12 +177,11 @@ func (t *transferService) sendReplicas(dir *wire.TransferReplica) error {
 		Replicas:  payloads,
 	}
 	blob := wire.Marshal(rd)
-	ctx, cancel := context.WithTimeout(context.Background(), t.node.cfg.TransferTimeout)
-	defer cancel()
 
 	if t.useStream(len(blob)) {
-		err := t.sendOverStream(ctx, dir.Dest, blob)
+		_, err := t.sendOverStream(ctx, dir.Dest, blob)
 		if err == nil {
+			t.countReplicaSend(len(blob), false)
 			t.node.log.Logf("xfer", "hybrid transfer of lock %d v%d to site %d (%d bytes)", dir.Lock, version, dir.Dest, len(blob))
 			return nil
 		}
@@ -164,8 +198,78 @@ func (t *transferService) sendReplicas(dir *wire.TransferReplica) error {
 	if err := t.node.daemon.port.Send(ctx, addr, blob); err != nil {
 		return fmt.Errorf("mnet transfer to site %d: %w", dir.Dest, err)
 	}
+	t.countReplicaSend(len(blob), false)
 	t.node.log.Logf("xfer", "mnet transfer of lock %d v%d to site %d (%d bytes)", dir.Lock, version, dir.Dest, len(blob))
 	return nil
+}
+
+// sendDeltaTransfer ships a ReplicaDelta for a TransferReplica directive.
+// applied=false with a nil error means the receiver (synchronously, over
+// the stream path) asked for a full copy. Over mnet the delta is
+// fire-and-forget like a full ReplicaData: a rejection comes back later as
+// a DeltaNack and handleDeltaNack resends the full copy, so mnet deltas
+// report applied=true optimistically.
+func (t *transferService) sendDeltaTransfer(ctx context.Context, dir *wire.TransferReplica, delta *wire.ReplicaDelta) (applied bool, err error) {
+	blob := wire.Marshal(delta)
+	if t.useStream(len(blob)) {
+		ack, err := t.sendOverStream(ctx, dir.Dest, blob)
+		if err != nil {
+			return false, err
+		}
+		if ack != ackApplied {
+			return false, nil
+		}
+		t.countReplicaSend(len(blob), true)
+		t.node.log.Logf("xfer", "hybrid delta transfer of lock %d v%d->v%d to site %d (%d bytes)",
+			dir.Lock, delta.FromVersion, delta.Version, dir.Dest, len(blob))
+		return true, nil
+	}
+	addr, err := t.node.daemonAddr(dir.Dest)
+	if err != nil {
+		return false, err
+	}
+	if err := t.node.daemon.port.Send(ctx, addr, blob); err != nil {
+		return false, fmt.Errorf("mnet delta transfer to site %d: %w", dir.Dest, err)
+	}
+	t.countReplicaSend(len(blob), true)
+	t.node.log.Logf("xfer", "mnet delta transfer of lock %d v%d->v%d to site %d (%d bytes)",
+		dir.Lock, delta.FromVersion, delta.Version, dir.Dest, len(blob))
+	return true, nil
+}
+
+// countReplicaSend tallies one replica-carrying frame on the wire.
+func (t *transferService) countReplicaSend(n int, isDelta bool) {
+	t.replicaBytes.Add(int64(n))
+	if isDelta {
+		t.deltaSends.Add(1)
+	} else {
+		t.fullSends.Add(1)
+	}
+}
+
+// handleDeltaNack reacts to a receiver that could not apply a delta: a
+// rejected push is reported to the waiting pushTo via the push-ack
+// channel; a rejected transfer is answered with a full retransfer, since
+// the directive's sender has moved on.
+func (t *transferService) handleDeltaNack(msg *wire.DeltaNack) {
+	t.node.log.Logf("xfer", "delta of lock %d v%d rejected by site %d: %s", msg.Lock, msg.Version, msg.Site, msg.Reason)
+	if msg.Push {
+		// pushTo counts the fallback when it resends the full copy.
+		t.node.client.deliverPushResult(msg.Lock, msg.Version, msg.Site, pushResult{needFull: true})
+		return
+	}
+	t.deltaFallbacks.Add(1)
+	go t.resendFull(msg)
+}
+
+// resendFull answers a rejected transfer delta with a full copy of the
+// lock's current state (which may meanwhile exceed the rejected version;
+// any version at or above it satisfies the waiting acquirer).
+func (t *transferService) resendFull(msg *wire.DeltaNack) {
+	dir := &wire.TransferReplica{Lock: msg.Lock, Dest: msg.Site, Version: msg.Version, RequestID: msg.RequestID}
+	if err := t.sendReplicas(dir); err != nil {
+		t.node.log.Logf("fault", "full retransfer of lock %d to site %d failed: %v", msg.Lock, msg.Site, err)
+	}
 }
 
 // sendOverStream performs the hybrid protocol's bulk move: propagate a
@@ -176,14 +280,14 @@ func (t *transferService) sendReplicas(dir *wire.TransferReplica) error {
 // identifies as the hybrid protocol's weakness disappears after the first
 // transfer. Execution costs for the stream path are charged from the cost
 // model's kernel-speed parameters.
-func (t *transferService) sendOverStream(ctx context.Context, dest wire.SiteID, frame []byte) error {
+func (t *transferService) sendOverStream(ctx context.Context, dest wire.SiteID, frame []byte) (byte, error) {
 	if t.node.cfg.Stack == nil {
-		return fmt.Errorf("no stream stack configured")
+		return 0, fmt.Errorf("no stream stack configured")
 	}
 	if !t.node.cfg.StreamReuse {
 		conn, err := t.establishStream(ctx, dest)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		defer func() {
 			netsim.Charge(t.node.cfg.Cost.StreamTeardown)
@@ -192,7 +296,10 @@ func (t *transferService) sendOverStream(ctx context.Context, dest wire.SiteID, 
 		return t.writeFrame(ctx, conn, frame)
 	}
 
-	// Connection-reuse path: one cached stream per destination.
+	// Connection-reuse path: one cached stream per destination. A slot
+	// whose transfers keep failing is evicted from the cache entirely, so
+	// a dead destination does not pin a broken entry (and its connection)
+	// until node shutdown.
 	cs := t.cached(dest)
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
@@ -200,11 +307,13 @@ func (t *transferService) sendOverStream(ctx context.Context, dest wire.SiteID, 
 		if cs.conn == nil {
 			conn, err := t.establishStream(ctx, dest)
 			if err != nil {
-				return err
+				t.evictCached(dest, cs)
+				return 0, err
 			}
 			cs.conn = conn
 		}
-		if err := t.writeFrame(ctx, cs.conn, frame); err != nil {
+		ack, err := t.writeFrame(ctx, cs.conn, frame)
+		if err != nil {
 			// The cached connection broke; drop it and retry once with a
 			// fresh one.
 			netsim.Charge(t.node.cfg.Cost.StreamTeardown)
@@ -212,9 +321,49 @@ func (t *transferService) sendOverStream(ctx context.Context, dest wire.SiteID, 
 			cs.conn = nil
 			continue
 		}
-		return nil
+		return ack, nil
 	}
-	return fmt.Errorf("stream to site %d failed after reconnect", dest)
+	t.evictCached(dest, cs)
+	return 0, fmt.Errorf("stream to site %d failed after reconnect", dest)
+}
+
+// evictCached removes a destination's cache slot (closing any remaining
+// connection) so the next transfer starts from a clean slate. The caller
+// holds cs.mu; the slot is only removed if it is still the current one.
+func (t *transferService) evictCached(dest wire.SiteID, cs *cachedStream) {
+	if cs.conn != nil {
+		_ = cs.conn.Close()
+		cs.conn = nil
+	}
+	t.mu.Lock()
+	if t.conns[dest] == cs {
+		delete(t.conns, dest)
+	}
+	t.mu.Unlock()
+}
+
+// close tears down every cached stream connection; called from Node.Close.
+func (t *transferService) close() {
+	t.mu.Lock()
+	conns := t.conns
+	t.conns = make(map[wire.SiteID]*cachedStream)
+	t.mu.Unlock()
+	for _, cs := range conns {
+		cs.mu.Lock()
+		if cs.conn != nil {
+			_ = cs.conn.Close()
+			cs.conn = nil
+		}
+		cs.mu.Unlock()
+	}
+}
+
+// cachedConnCount reports how many destinations currently have a cache
+// slot (for tests).
+func (t *transferService) cachedConnCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.conns)
 }
 
 // cached returns the destination's stream cache slot.
@@ -281,18 +430,27 @@ func (n *Node) AbandonedStreamListeners() int64 { return n.xfer.abandonedListene
 // regardless of how many sites the blob fans out to.
 func (n *Node) PushUpdateMarshals() int64 { return n.xfer.pushMarshals.Load() }
 
+// Stream application-ack values: the receiver applied the frame, or (for
+// delta frames) could not and wants a full copy instead.
+const (
+	ackNeedFull byte = 0
+	ackApplied  byte = 1
+)
+
 // writeFrame sends one length-prefixed frame and awaits the receiver's
 // one-byte application ack, so the measured transfer includes remote
-// processing, matching the MNet path's semantics.
-func (t *transferService) writeFrame(ctx context.Context, conn transport.Conn, frame []byte) error {
+// processing, matching the MNet path's semantics. The ack byte is
+// returned: full frames always come back ackApplied, delta frames may
+// come back ackNeedFull.
+func (t *transferService) writeFrame(ctx context.Context, conn transport.Conn, frame []byte) (byte, error) {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
 	netsim.Charge(t.node.cfg.Cost.StreamWriteCost(len(frame) + 4))
 	if _, err := conn.Write(hdr[:]); err != nil {
-		return fmt.Errorf("write frame header: %w", err)
+		return 0, fmt.Errorf("write frame header: %w", err)
 	}
 	if _, err := conn.Write(frame); err != nil {
-		return fmt.Errorf("write frame: %w", err)
+		return 0, fmt.Errorf("write frame: %w", err)
 	}
 	if deadline, ok := ctx.Deadline(); ok {
 		_ = conn.SetReadDeadline(deadline)
@@ -301,9 +459,9 @@ func (t *transferService) writeFrame(ctx context.Context, conn transport.Conn, f
 	}
 	var ack [1]byte
 	if _, err := io.ReadFull(conn, ack[:]); err != nil {
-		return fmt.Errorf("await stream ack: %w", err)
+		return 0, fmt.Errorf("await stream ack: %w", err)
 	}
-	return nil
+	return ack[0], nil
 }
 
 // acceptStream services an OpenStreamRequest: open a fresh listener,
@@ -390,17 +548,24 @@ func (t *transferService) serveFrame(conn transport.Conn) bool {
 		t.node.log.Logf("xfer", "stream frame decode: %v", err)
 		return false
 	}
+	ack := ackApplied
 	switch msg := p.(type) {
 	case *wire.ReplicaData:
 		t.node.applyReplicaData(msg)
 	case *wire.PushUpdate:
 		t.node.applyPush(msg)
+	case *wire.ReplicaDelta:
+		if err := t.node.applyDelta(msg); err != nil {
+			t.node.log.Logf("xfer", "stream delta of lock %d v%d rejected: %v", msg.Lock, msg.Version, err)
+			ack = ackNeedFull
+		}
 	default:
 		t.node.log.Logf("xfer", "unexpected %s over stream", p.Kind())
 		return false
 	}
-	// One-byte application ack: data received and applied.
-	if _, err := conn.Write([]byte{1}); err != nil {
+	// One-byte application ack: data received and applied (or, for a
+	// delta the receiver could not use, a request for the full copy).
+	if _, err := conn.Write([]byte{ack}); err != nil {
 		return false
 	}
 	return true
@@ -415,8 +580,7 @@ func (n *Node) PreparePush(lock wire.LockID) (uint64, []wire.ReplicaPayload, err
 	st := n.getLockLocal(lock)
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	st.version++
-	st.invalidatePayloadsLocked()
+	st.bumpVersionLocked(st.version + 1)
 	version := st.version
 	payloads, err := st.marshalPayloadsLocked(n.cfg.Codec)
 	if err != nil {
@@ -428,11 +592,15 @@ func (n *Node) PreparePush(lock wire.LockID) (uint64, []wire.ReplicaPayload, err
 
 // pushBlob is one marshal-once dissemination payload: the PushUpdate wire
 // blob encoded once and shared, read-only, by every target of one
-// dissemination round.
+// dissemination round. When delta transfer is on and the update log
+// covers the step from the previous version, delta carries the (much
+// smaller) ReplicaDelta encoding of the same update, offered first to
+// targets believed to hold the previous version.
 type pushBlob struct {
 	lock    wire.LockID
 	version uint64
 	blob    []byte
+	delta   []byte
 }
 
 // preparePushBlob marshals the PushUpdate exactly once per dissemination.
@@ -454,6 +622,16 @@ func (n *Node) PushPayloads(ctx context.Context, lock wire.LockID, version uint6
 		return nil, nil
 	}
 	pb := n.xfer.preparePushBlob(lock, version, payloads)
+	if n.cfg.DeltaTransfer && version > 1 {
+		// Optimistically offer every target the single-step delta; a
+		// target that is further behind rejects it and gets the full copy.
+		st := n.getLockLocal(lock)
+		st.mu.Lock()
+		if msg := st.buildDeltaLocked(n.cfg.Site, version-1, version, payloads, 0, true); msg != nil {
+			pb.delta = wire.Marshal(msg)
+		}
+		st.mu.Unlock()
+	}
 	bound := n.cfg.fanoutBound(len(targets))
 
 	if bound == 1 {
@@ -462,7 +640,7 @@ func (n *Node) PushPayloads(ctx context.Context, lock wire.LockID, version uint6
 		// begins, and the first failure stops the walk.
 		var acked []wire.SiteID
 		for _, site := range targets {
-			if err := n.xfer.pushTo(ctx, site, pb); err != nil {
+			if err := n.xfer.pushTo(ctx, site, pb, pb.delta != nil); err != nil {
 				return acked, fmt.Errorf("core: push to site %d: %w", site, err)
 			}
 			acked = append(acked, site)
@@ -479,7 +657,7 @@ func (n *Node) PushPayloads(ctx context.Context, lock wire.LockID, version uint6
 		go func(i int, site wire.SiteID) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			if err := n.xfer.pushTo(ctx, site, pb); err != nil {
+			if err := n.xfer.pushTo(ctx, site, pb, pb.delta != nil); err != nil {
 				errs[i] = fmt.Errorf("core: push to site %d: %w", site, err)
 			}
 		}(i, site)
@@ -504,7 +682,7 @@ func (n *Node) PushPayloads(ctx context.Context, lock wire.LockID, version uint6
 // the §4 replacement walk is preserved — a failed site is simply passed
 // over and the next candidate claimed. It returns the sites that confirmed
 // application, in candidate order.
-func (t *transferService) disseminate(ctx context.Context, lock wire.LockID, version uint64, payloads []wire.ReplicaPayload, sharers wire.SiteSet, want int) []wire.SiteID {
+func (t *transferService) disseminate(ctx context.Context, lock wire.LockID, version uint64, payloads []wire.ReplicaPayload, delta *wire.ReplicaDelta, sharers wire.SiteSet, upToDate wire.SiteSet, want int) []wire.SiteID {
 	if want <= 0 {
 		return nil
 	}
@@ -515,6 +693,11 @@ func (t *transferService) disseminate(ctx context.Context, lock wire.LockID, ver
 		}
 	}
 	pb := t.preparePushBlob(lock, version, payloads)
+	if delta != nil {
+		// Marshaled once, like the full blob, and offered to the targets
+		// the grant reported as holding the previous version.
+		pb.delta = wire.Marshal(delta)
+	}
 
 	var (
 		mu     sync.Mutex
@@ -542,7 +725,7 @@ func (t *transferService) disseminate(ctx context.Context, lock wire.LockID, ver
 				mu.Unlock()
 
 				site := candidates[i]
-				if err := t.pushTo(ctx, site, pb); err != nil {
+				if err := t.pushTo(ctx, site, pb, pb.delta != nil && upToDate.Contains(site)); err != nil {
 					t.node.log.Logf("fault", "dissemination of lock %d v%d to site %d failed: %v", lock, version, site, err)
 					continue
 				}
@@ -569,32 +752,82 @@ func (t *transferService) disseminate(ctx context.Context, lock wire.LockID, ver
 
 // pushTo sends one pre-marshaled push update to one site and waits for its
 // application acknowledgment, over whichever protocol the mode selects.
-// Safe for concurrent callers pushing the same blob to distinct sites.
-func (t *transferService) pushTo(ctx context.Context, site wire.SiteID, pb *pushBlob) error {
+// With tryDelta set, the delta encoding is offered first; a receiver that
+// cannot apply it answers need-full (stream ack byte or DeltaNack) and the
+// full blob follows on the same call. Safe for concurrent callers pushing
+// the same blob to distinct sites.
+func (t *transferService) pushTo(ctx context.Context, site wire.SiteID, pb *pushBlob, tryDelta bool) error {
 	sendCtx, cancel := context.WithTimeout(ctx, t.node.cfg.TransferTimeout)
 	defer cancel()
 
-	if t.useStream(len(pb.blob)) {
+	if tryDelta && pb.delta != nil {
+		applied, err := t.sendPushFrame(sendCtx, site, pb, pb.delta)
+		if err != nil {
+			// A transport-level failure would sink the full copy too.
+			return err
+		}
+		if applied {
+			t.countReplicaSend(len(pb.delta), true)
+			return nil
+		}
+		t.deltaFallbacks.Add(1)
+	}
+
+	applied, err := t.sendPushFrame(sendCtx, site, pb, pb.blob)
+	if err != nil {
+		return err
+	}
+	if !applied {
+		return fmt.Errorf("site %d refused full push of lock %d v%d", site, pb.lock, pb.version)
+	}
+	t.countReplicaSend(len(pb.blob), false)
+	return nil
+}
+
+// sendPushFrame moves one push frame (full or delta encoding) to a site
+// and reports whether the receiver applied it.
+func (t *transferService) sendPushFrame(ctx context.Context, site wire.SiteID, pb *pushBlob, blob []byte) (applied bool, err error) {
+	if t.useStream(len(blob)) {
 		// The stream path's one-byte frame ack is the application
 		// acknowledgment.
-		return t.sendOverStream(sendCtx, site, pb.blob)
+		ack, err := t.sendOverStream(ctx, site, blob)
+		if err != nil {
+			return false, err
+		}
+		return ack == ackApplied, nil
 	}
 
 	addr, err := t.node.xferAddr(site)
 	if err != nil {
-		return err
+		return false, err
 	}
 	// Register before sending: on a zero-delay network the ack can arrive
 	// inside the Send call.
 	ackCh := t.node.client.expectPushAck(pb.lock, pb.version, site)
 	defer t.node.client.dropPushAck(pb.lock, pb.version, site)
-	if err := t.port.Send(sendCtx, addr, pb.blob); err != nil {
-		return err
+	if err := t.port.Send(ctx, addr, blob); err != nil {
+		return false, err
 	}
 	select {
-	case <-ackCh:
-		return nil
-	case <-sendCtx.Done():
-		return fmt.Errorf("await push ack from site %d: %w", site, sendCtx.Err())
+	case res := <-ackCh:
+		return !res.needFull, nil
+	case <-ctx.Done():
+		return false, fmt.Errorf("await push ack from site %d: %w", site, ctx.Err())
 	}
 }
+
+// ReplicaBytesSent reports the total bytes of replica-carrying frames
+// (full copies and deltas) this node has sent.
+func (n *Node) ReplicaBytesSent() int64 { return n.xfer.replicaBytes.Load() }
+
+// DeltaTransfersSent reports how many replica frames went out in delta
+// encoding.
+func (n *Node) DeltaTransfersSent() int64 { return n.xfer.deltaSends.Load() }
+
+// FullTransfersSent reports how many replica frames went out as full
+// copies.
+func (n *Node) FullTransfersSent() int64 { return n.xfer.fullSends.Load() }
+
+// DeltaFallbacks reports how many delta offers were answered with a
+// request for (or fallback to) the full copy.
+func (n *Node) DeltaFallbacks() int64 { return n.xfer.deltaFallbacks.Load() }

@@ -1,0 +1,124 @@
+package core
+
+// The update log backs delta replica transfer: for each lock, the sites
+// that produce or apply new versions remember which byte ranges of each
+// replica's marshaled form changed at every version step. A transfer to a
+// requester holding version F of data now at version T can then ship just
+// the bytes in the union of the F→F+1, ..., T-1→T steps instead of the
+// whole marshaled state. The log is deliberately forgetful — bounded
+// depth, reset on any discontinuity — because the protocol always has the
+// full transfer to fall back on.
+
+import "mocha/internal/marshal"
+
+// stepReplica describes how one replica's marshaled blob changed across a
+// single version step.
+type stepReplica struct {
+	// full marks a replica with no usable range description for this step
+	// (it appeared this step, or the diff was not computed); any chain
+	// through this step ships the replica in full.
+	full bool
+	// resized marks a length change. A resize splices the tail, so range
+	// unions across multiple steps are only valid when every earlier step
+	// left the length alone; composition falls back to full otherwise.
+	resized bool
+	// newLen is the blob's length after the step.
+	newLen int
+	// ranges are the changed byte ranges in new-blob coordinates.
+	ranges []marshal.Range
+}
+
+// deltaStep records one version transition for all of a lock's replicas.
+type deltaStep struct {
+	from, to uint64
+	replicas map[string]stepReplica
+}
+
+// composedDelta is the result of folding a chain of steps for one replica.
+type composedDelta struct {
+	full   bool
+	ranges []marshal.Range
+}
+
+// updateLog is the bounded version-chained history for one lock. The
+// owning lockLocal's mutex guards it.
+type updateLog struct {
+	max   int
+	steps []deltaStep
+}
+
+func newUpdateLog(max int) *updateLog {
+	return &updateLog{max: max}
+}
+
+// record appends a version step. A step that does not continue the chain
+// (its from is not the last step's to) resets the log first: the log only
+// ever describes one contiguous version interval.
+func (ul *updateLog) record(s deltaStep) {
+	if n := len(ul.steps); n > 0 && ul.steps[n-1].to != s.from {
+		ul.steps = ul.steps[:0]
+	}
+	ul.steps = append(ul.steps, s)
+	if len(ul.steps) > ul.max {
+		ul.steps = append(ul.steps[:0], ul.steps[len(ul.steps)-ul.max:]...)
+	}
+}
+
+// reset forgets the chain, e.g. when the replica set changes, a version
+// arrives without a known predecessor, or an unmarshal failure leaves the
+// local state uncertain.
+func (ul *updateLog) reset() {
+	ul.steps = ul.steps[:0]
+}
+
+// depth reports how many steps the log currently holds (for tests).
+func (ul *updateLog) depth() int { return len(ul.steps) }
+
+// compose folds the steps covering (from, to] into one per-replica delta
+// description. It fails (ok = false) when the log does not cover the
+// interval. Replicas missing from any step of the chain, or resized before
+// its final step, compose to full.
+func (ul *updateLog) compose(from, to uint64) (map[string]composedDelta, bool) {
+	if from >= to || len(ul.steps) == 0 {
+		return nil, false
+	}
+	last := len(ul.steps) - 1
+	if ul.steps[last].to != to {
+		return nil, false
+	}
+	first := last
+	for ul.steps[first].from != from {
+		if first == 0 || ul.steps[first].from < from {
+			return nil, false
+		}
+		first--
+	}
+
+	final := ul.steps[last].replicas
+	out := make(map[string]composedDelta, len(final))
+	for name, fin := range final {
+		cd := composedDelta{full: fin.full}
+		for i := first; i <= last && !cd.full; i++ {
+			sr, ok := ul.steps[i].replicas[name]
+			switch {
+			case !ok || sr.full:
+				cd = composedDelta{full: true}
+			case sr.resized && i < last:
+				// An early resize moved the tail; later same-length steps
+				// recorded ranges against the new layout, but the
+				// requester's base predates the splice.
+				cd = composedDelta{full: true}
+			case sr.newLen != fin.newLen && !sr.resized:
+				// Defensive: lengths along a resize-free suffix must agree.
+				cd = composedDelta{full: true}
+			default:
+				cd.ranges = append(cd.ranges, sr.ranges...)
+			}
+		}
+		if !cd.full {
+			cd.ranges = marshal.MergeRanges(cd.ranges, fin.newLen)
+		}
+		out[name] = cd
+	}
+	return out, true
+}

@@ -1,0 +1,142 @@
+package marshal
+
+// This file implements the byte-range machinery behind delta replica
+// transfer: computing which ranges of a marshaled blob changed between two
+// versions (either from the Content's dirty tracking or by comparing the
+// blobs directly) and rebuilding a blob from a base copy plus patches. The
+// coordinates are always those of the marshaled wire blob ([kind u8]
+// [count u32][body]), the one representation both codecs share.
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// Range marks Len bytes starting at Off of a replica's marshaled state.
+type Range struct {
+	Off int
+	Len int
+}
+
+// End returns the exclusive end offset.
+func (r Range) End() int { return r.Off + r.Len }
+
+// PatchOp replaces the bytes at Off with Data. Offsets are in the
+// coordinates of the new (patched) blob.
+type PatchOp struct {
+	Off  int
+	Data []byte
+}
+
+// diffMergeGap coalesces differing runs separated by fewer identical bytes
+// than this: each patch op costs 8 bytes of framing on the wire, so
+// shipping a short unchanged gap inline is cheaper than splitting the op.
+const diffMergeGap = 16
+
+// DiffRanges compares two marshaled blobs and returns the ranges of new
+// that must be written over old to reproduce it, nearby runs coalesced.
+// Equal blobs yield nil. Blobs of different lengths yield one splice range
+// from the first differing byte to the end of new (possibly empty, when
+// new is a strict prefix of old).
+func DiffRanges(old, new []byte) []Range {
+	if len(old) != len(new) {
+		p := commonPrefix(old, new)
+		return []Range{{Off: p, Len: len(new) - p}}
+	}
+	var runs []Range
+	for i := 0; i < len(new); {
+		if old[i] == new[i] {
+			i++
+			continue
+		}
+		start := i
+		for i < len(new) && old[i] != new[i] {
+			i++
+		}
+		if n := len(runs); n > 0 && start-runs[n-1].End() < diffMergeGap {
+			runs[n-1].Len = i - runs[n-1].Off
+		} else {
+			runs = append(runs, Range{Off: start, Len: i - start})
+		}
+	}
+	return runs
+}
+
+func commonPrefix(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// MergeRanges sorts rs, clips each range to [0, size), and unions ranges
+// that overlap or touch. The input slice is not modified.
+func MergeRanges(rs []Range, size int) []Range {
+	if len(rs) == 0 {
+		return nil
+	}
+	sorted := make([]Range, 0, len(rs))
+	for _, r := range rs {
+		if r.Off < 0 {
+			r.Len += r.Off
+			r.Off = 0
+		}
+		if r.End() > size {
+			r.Len = size - r.Off
+		}
+		if r.Len > 0 {
+			sorted = append(sorted, r)
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Off < sorted[j].Off })
+	var out []Range
+	for _, r := range sorted {
+		if n := len(out); n > 0 && r.Off <= out[n-1].End() {
+			if r.End() > out[n-1].End() {
+				out[n-1].Len = r.End() - out[n-1].Off
+			}
+		} else {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RangeBytes reports the total payload bytes the ranges cover.
+func RangeBytes(rs []Range) int {
+	n := 0
+	for _, r := range rs {
+		n += r.Len
+	}
+	return n
+}
+
+// ApplyPatch rebuilds a blob of newLen bytes from a base copy plus patch
+// ops: the base is copied (truncated or zero-extended to newLen) and each
+// op's bytes are written over it. Ops outside [0, newLen) are rejected.
+func ApplyPatch(base []byte, newLen int, ops []PatchOp) ([]byte, error) {
+	if newLen < 0 {
+		return nil, fmt.Errorf("marshal: negative patched length %d", newLen)
+	}
+	out := make([]byte, newLen)
+	copy(out, base)
+	for _, op := range ops {
+		if op.Off < 0 || op.Off+len(op.Data) > newLen {
+			return nil, fmt.Errorf("marshal: patch op [%d,%d) outside blob of %d bytes",
+				op.Off, op.Off+len(op.Data), newLen)
+		}
+		copy(out[op.Off:], op.Data)
+	}
+	return out, nil
+}
+
+// Checksum is the IEEE CRC-32 the delta path uses to verify a patched blob
+// matches the sender's copy.
+func Checksum(b []byte) uint32 { return crc32.ChecksumIEEE(b) }

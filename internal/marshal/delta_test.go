@@ -1,0 +1,280 @@
+package marshal
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mocha/internal/netsim"
+)
+
+// patchFromRanges builds the patch ops a sender would ship for the given
+// ranges of the new blob.
+func patchFromRanges(newBlob []byte, rs []Range) []PatchOp {
+	ops := make([]PatchOp, 0, len(rs))
+	for _, r := range rs {
+		ops = append(ops, PatchOp{Off: r.Off, Data: newBlob[r.Off:r.End()]})
+	}
+	return ops
+}
+
+func TestDiffRangesEqualBlobs(t *testing.T) {
+	b := []byte("same content either side")
+	if got := DiffRanges(b, append([]byte(nil), b...)); got != nil {
+		t.Fatalf("DiffRanges on equal blobs = %v, want nil", got)
+	}
+}
+
+func TestDiffRangesSmallWrite(t *testing.T) {
+	old := make([]byte, 4096)
+	new := append([]byte(nil), old...)
+	copy(new[100:], []byte("dirty"))
+	new[2000] = 0xFF
+
+	rs := DiffRanges(old, new)
+	if len(rs) != 2 {
+		t.Fatalf("ranges = %v, want two distinct runs", rs)
+	}
+	if rs[0].Off != 100 || rs[0].Len != 5 {
+		t.Errorf("first range = %v, want {100 5}", rs[0])
+	}
+	if rs[1].Off != 2000 || rs[1].Len != 1 {
+		t.Errorf("second range = %v, want {2000 1}", rs[1])
+	}
+	if got := RangeBytes(rs); got != 6 {
+		t.Errorf("RangeBytes = %d, want 6", got)
+	}
+}
+
+func TestDiffRangesCoalescesNearbyRuns(t *testing.T) {
+	old := make([]byte, 256)
+	new := append([]byte(nil), old...)
+	new[10] = 1
+	new[20] = 1 // 9 identical bytes apart: inside the merge gap
+	rs := DiffRanges(old, new)
+	if len(rs) != 1 || rs[0].Off != 10 || rs[0].Len != 11 {
+		t.Fatalf("ranges = %v, want one coalesced {10 11}", rs)
+	}
+}
+
+func TestDiffRangesResize(t *testing.T) {
+	old := []byte("shared prefix, old tail")
+	new := []byte("shared prefix, a considerably longer tail")
+	rs := DiffRanges(old, new)
+	if len(rs) != 1 {
+		t.Fatalf("ranges = %v, want one splice", rs)
+	}
+	if rs[0].End() != len(new) {
+		t.Fatalf("splice end = %d, want %d", rs[0].End(), len(new))
+	}
+	// Shrink to a strict prefix: the splice is empty but still communicates
+	// the truncation via the patched length.
+	rs = DiffRanges(new, new[:10])
+	if len(rs) != 1 || rs[0].Len != 0 || rs[0].Off != 10 {
+		t.Fatalf("shrink ranges = %v, want {10 0}", rs)
+	}
+}
+
+func TestApplyPatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		oldLen := rng.Intn(2000)
+		old := make([]byte, oldLen)
+		rng.Read(old)
+		new := append([]byte(nil), old...)
+		// Random mutation: in-place writes, sometimes a resize.
+		switch rng.Intn(3) {
+		case 0:
+			for k := rng.Intn(5); k >= 0 && len(new) > 0; k-- {
+				off := rng.Intn(len(new))
+				n := rng.Intn(len(new) - off)
+				for i := 0; i < n; i++ {
+					new[off+i] = byte(rng.Intn(256))
+				}
+			}
+		case 1:
+			extra := make([]byte, rng.Intn(500))
+			rng.Read(extra)
+			new = append(new, extra...)
+		case 2:
+			new = new[:rng.Intn(len(new)+1)]
+		}
+		rs := DiffRanges(old, new)
+		got, err := ApplyPatch(old, len(new), patchFromRanges(new, rs))
+		if err != nil {
+			t.Fatalf("trial %d: ApplyPatch: %v", trial, err)
+		}
+		if !bytes.Equal(got, new) {
+			t.Fatalf("trial %d: patched blob differs from new blob", trial)
+		}
+		if Checksum(got) != Checksum(new) {
+			t.Fatalf("trial %d: checksum mismatch on equal blobs", trial)
+		}
+	}
+}
+
+func TestApplyPatchRejectsOutOfBounds(t *testing.T) {
+	base := make([]byte, 10)
+	if _, err := ApplyPatch(base, 10, []PatchOp{{Off: 8, Data: []byte{1, 2, 3}}}); err == nil {
+		t.Fatal("op past end accepted")
+	}
+	if _, err := ApplyPatch(base, 10, []PatchOp{{Off: -1, Data: []byte{1}}}); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, err := ApplyPatch(base, -1, nil); err == nil {
+		t.Fatal("negative length accepted")
+	}
+}
+
+func TestMergeRanges(t *testing.T) {
+	got := MergeRanges([]Range{{Off: 50, Len: 10}, {Off: 5, Len: 10}, {Off: 12, Len: 4}, {Off: 55, Len: 100}}, 100)
+	want := []Range{{Off: 5, Len: 11}, {Off: 50, Len: 50}}
+	if len(got) != len(want) {
+		t.Fatalf("MergeRanges = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MergeRanges = %v, want %v", got, want)
+		}
+	}
+	if MergeRanges(nil, 10) != nil {
+		t.Fatal("empty input should merge to nil")
+	}
+}
+
+func TestDirtyTrackingTrust(t *testing.T) {
+	// A constructor aliases the caller's array, so tracking starts
+	// untrusted.
+	buf := make([]byte, 100)
+	c := Bytes(buf)
+	if _, trusted := c.DirtySnapshot(); trusted {
+		t.Fatal("freshly constructed content should not be trusted")
+	}
+
+	// Unmarshal installs arrays no caller has seen: tracking becomes
+	// trusted and the tracked mutators record exact blob ranges.
+	codec := NewFast(netsim.Native())
+	blob, err := codec.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := codec.Unmarshal(blob, c); err != nil {
+		t.Fatal(err)
+	}
+	if _, trusted := c.DirtySnapshot(); !trusted {
+		t.Fatal("content should be trusted after unmarshal")
+	}
+	if err := c.SetByteAt(10, 0xAB); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteBytesAt(20, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	ranges, trusted := c.DirtySnapshot()
+	if !trusted {
+		t.Fatal("tracked mutators should keep content trusted")
+	}
+	merged := MergeRanges(ranges, 105)
+	want := []Range{{Off: headerSize + 10, Len: 1}, {Off: headerSize + 20, Len: 3}}
+	if len(merged) != 2 || merged[0] != want[0] || merged[1] != want[1] {
+		t.Fatalf("ranges = %v, want %v", merged, want)
+	}
+
+	// The recorded ranges must reproduce the new marshaled blob.
+	newBlob, err := codec.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched, err := ApplyPatch(blob, len(newBlob), patchFromRanges(newBlob, merged))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(patched, newBlob) {
+		t.Fatal("patch from tracked ranges does not reproduce the new blob")
+	}
+
+	// ResetDirty starts a new epoch.
+	c.ResetDirty()
+	if ranges, _ := c.DirtySnapshot(); len(ranges) != 0 {
+		t.Fatalf("ranges after reset = %v, want none", ranges)
+	}
+
+	// A raw accessor hands out an aliasing slice: trust is lost until the
+	// next unmarshal.
+	_ = c.BytesData()
+	if _, trusted := c.DirtySnapshot(); trusted {
+		t.Fatal("content should be untrusted after BytesData")
+	}
+	if err := codec.Unmarshal(newBlob, c); err != nil {
+		t.Fatal(err)
+	}
+	if _, trusted := c.DirtySnapshot(); !trusted {
+		t.Fatal("trust should return after unmarshal replaces the array")
+	}
+}
+
+func TestDirtyTrackingFullReplaceAndKinds(t *testing.T) {
+	codec := NewFast(netsim.Native())
+
+	ic := Ints(make([]int32, 8))
+	blob, err := codec.Marshal(ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := codec.Unmarshal(blob, ic); err != nil {
+		t.Fatal(err)
+	}
+	if err := ic.SetIntAt(3, 77); err != nil {
+		t.Fatal(err)
+	}
+	ranges, trusted := ic.DirtySnapshot()
+	if !trusted || len(ranges) != 1 || ranges[0] != (Range{Off: headerSize + 12, Len: 4}) {
+		t.Fatalf("int ranges = %v trusted=%v", ranges, trusted)
+	}
+	// Full replacement poisons the epoch.
+	if err := ic.SetInts(make([]int32, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, trusted := ic.DirtySnapshot(); trusted {
+		t.Fatal("SetInts should make tracking untrusted")
+	}
+
+	fc := Floats(make([]float64, 4))
+	blob, err = codec.Marshal(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := codec.Unmarshal(blob, fc); err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.SetFloatAt(2, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	ranges, trusted = fc.DirtySnapshot()
+	if !trusted || len(ranges) != 1 || ranges[0] != (Range{Off: headerSize + 16, Len: 8}) {
+		t.Fatalf("float ranges = %v trusted=%v", ranges, trusted)
+	}
+
+	// Object content is serialized opaquely and never trusted.
+	oc := Object(&blobObject{})
+	if _, trusted := oc.DirtySnapshot(); trusted {
+		t.Fatal("object content must never be trusted")
+	}
+
+	// Mutator kind and bounds checks.
+	if err := ic.SetByteAt(0, 1); err == nil {
+		t.Fatal("SetByteAt on ints accepted")
+	}
+	if err := ic.SetIntAt(99, 1); err == nil {
+		t.Fatal("out-of-range SetIntAt accepted")
+	}
+	if err := fc.SetFloatAt(-1, 0); err == nil {
+		t.Fatal("negative SetFloatAt accepted")
+	}
+}
+
+// blobObject is a minimal Serializable for the object-kind test.
+type blobObject struct{ data []byte }
+
+func (b *blobObject) MarshalMocha() ([]byte, error) { return b.data, nil }
+func (b *blobObject) UnmarshalMocha(d []byte) error { b.data = d; return nil }

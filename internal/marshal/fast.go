@@ -116,6 +116,7 @@ func (f *FastCodec) Unmarshal(b []byte, c *Content) error {
 	default:
 		return fmt.Errorf("%w: kind %d", ErrCorrupt, c.kind)
 	}
+	c.noteReplaced()
 	return nil
 }
 

@@ -162,6 +162,7 @@ func (j *JavaStyleCodec) Unmarshal(b []byte, c *Content) error {
 	if r.off != len(b) {
 		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b)-r.off)
 	}
+	c.noteReplaced()
 	return nil
 }
 

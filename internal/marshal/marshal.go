@@ -60,26 +60,46 @@ type Serializable interface {
 }
 
 // Content is the typed payload of one replica.
+//
+// Content records dirty byte ranges (in marshaled-blob coordinates) for
+// writes made through the element mutators, giving the delta transfer path
+// exact write boundaries as entry consistency promises. Any escape hatch
+// that lets the application mutate state invisibly — the aliased slice a
+// constructor or full-replace setter received, or a raw-array accessor —
+// marks the content exposed, after which the recorded ranges are untrusted
+// and the runtime falls back to byte-diffing consecutive marshaled blobs.
 type Content struct {
 	kind   Kind
 	bytes  []byte
 	ints   []int32
 	floats []float64
 	obj    Serializable
+
+	// dirty accumulates tracked writes since the last ResetDirty, in
+	// marshaled-blob byte coordinates.
+	dirty []Range
+	// dirtyAll marks a whole-content replacement in this epoch.
+	dirtyAll bool
+	// exposed is set while the application may hold a raw reference into
+	// the content's storage; it clears only when Unmarshal installs fresh
+	// arrays no caller has seen.
+	exposed bool
 }
 
 // Bytes creates byte-array content. The content aliases b so application
 // writes between lock and unlock are visible to the runtime.
-func Bytes(b []byte) *Content { return &Content{kind: KindBytes, bytes: b} }
+func Bytes(b []byte) *Content { return &Content{kind: KindBytes, bytes: b, exposed: true} }
 
 // Ints creates int-array content.
-func Ints(v []int32) *Content { return &Content{kind: KindInts, ints: v} }
+func Ints(v []int32) *Content { return &Content{kind: KindInts, ints: v, exposed: true} }
 
 // Floats creates double-array content.
-func Floats(v []float64) *Content { return &Content{kind: KindFloats, floats: v} }
+func Floats(v []float64) *Content { return &Content{kind: KindFloats, floats: v, exposed: true} }
 
-// Object creates complex-object content around a Serializable.
-func Object(s Serializable) *Content { return &Content{kind: KindObject, obj: s} }
+// Object creates complex-object content around a Serializable. Object
+// state is serialized opaquely, so object content never has trusted dirty
+// ranges.
+func Object(s Serializable) *Content { return &Content{kind: KindObject, obj: s, exposed: true} }
 
 // Kind reports the content kind.
 func (c *Content) Kind() Kind { return c.kind }
@@ -124,17 +144,124 @@ func (c *Content) SizeBytes() int {
 }
 
 // BytesData returns the byte array (nil for other kinds). Mutations are
-// visible to the runtime, as with a Java array reference.
-func (c *Content) BytesData() []byte { return c.bytes }
+// visible to the runtime, as with a Java array reference, so handing the
+// slice out makes the dirty tracking untrusted until fresh state arrives.
+func (c *Content) BytesData() []byte {
+	c.exposed = true
+	return c.bytes
+}
 
 // IntsData returns the int array (nil for other kinds).
-func (c *Content) IntsData() []int32 { return c.ints }
+func (c *Content) IntsData() []int32 {
+	c.exposed = true
+	return c.ints
+}
 
 // FloatsData returns the float array (nil for other kinds).
-func (c *Content) FloatsData() []float64 { return c.floats }
+func (c *Content) FloatsData() []float64 {
+	c.exposed = true
+	return c.floats
+}
 
 // ObjectData returns the complex object (nil for other kinds).
 func (c *Content) ObjectData() Serializable { return c.obj }
+
+// headerSize is the [kind u8][count u32] prefix both codecs emit before
+// the element body, the origin of the dirty ranges' blob coordinates.
+const headerSize = 5
+
+// SetByteAt writes one byte element, recording the write for delta
+// transfer.
+func (c *Content) SetByteAt(i int, v byte) error {
+	if c.kind != KindBytes {
+		return fmt.Errorf("marshal: content is %s, not bytes", c.kind)
+	}
+	if i < 0 || i >= len(c.bytes) {
+		return fmt.Errorf("marshal: byte index %d out of range [0,%d)", i, len(c.bytes))
+	}
+	c.bytes[i] = v
+	c.addDirty(Range{Off: headerSize + i, Len: 1})
+	return nil
+}
+
+// WriteBytesAt copies p over the byte array at offset off, recording the
+// write for delta transfer.
+func (c *Content) WriteBytesAt(off int, p []byte) error {
+	if c.kind != KindBytes {
+		return fmt.Errorf("marshal: content is %s, not bytes", c.kind)
+	}
+	if off < 0 || off+len(p) > len(c.bytes) {
+		return fmt.Errorf("marshal: byte write [%d,%d) out of range [0,%d)", off, off+len(p), len(c.bytes))
+	}
+	copy(c.bytes[off:], p)
+	c.addDirty(Range{Off: headerSize + off, Len: len(p)})
+	return nil
+}
+
+// SetIntAt writes one int element, recording the write for delta transfer.
+func (c *Content) SetIntAt(i int, v int32) error {
+	if c.kind != KindInts {
+		return fmt.Errorf("marshal: content is %s, not ints", c.kind)
+	}
+	if i < 0 || i >= len(c.ints) {
+		return fmt.Errorf("marshal: int index %d out of range [0,%d)", i, len(c.ints))
+	}
+	c.ints[i] = v
+	c.addDirty(Range{Off: headerSize + 4*i, Len: 4})
+	return nil
+}
+
+// SetFloatAt writes one double element, recording the write for delta
+// transfer.
+func (c *Content) SetFloatAt(i int, v float64) error {
+	if c.kind != KindFloats {
+		return fmt.Errorf("marshal: content is %s, not floats", c.kind)
+	}
+	if i < 0 || i >= len(c.floats) {
+		return fmt.Errorf("marshal: float index %d out of range [0,%d)", i, len(c.floats))
+	}
+	c.floats[i] = v
+	c.addDirty(Range{Off: headerSize + 8*i, Len: 8})
+	return nil
+}
+
+func (c *Content) addDirty(r Range) {
+	// Extend the previous range when writes walk forward contiguously, the
+	// common sequential-update pattern.
+	if n := len(c.dirty); n > 0 && r.Off <= c.dirty[n-1].End() && r.Off >= c.dirty[n-1].Off {
+		if r.End() > c.dirty[n-1].End() {
+			c.dirty[n-1].Len = r.End() - c.dirty[n-1].Off
+		}
+		return
+	}
+	c.dirty = append(c.dirty, r)
+}
+
+// DirtySnapshot returns the dirty ranges recorded since the last
+// ResetDirty and whether they are trustworthy as the complete set of
+// changes. They are not trusted when the application may have written
+// through a raw reference (exposed), after a whole-content replacement,
+// or for opaque object content; the caller then byte-diffs marshaled
+// blobs instead.
+func (c *Content) DirtySnapshot() (ranges []Range, trusted bool) {
+	return c.dirty, !c.exposed && !c.dirtyAll && c.kind != KindObject
+}
+
+// ResetDirty starts a new dirty-tracking epoch, typically right after the
+// runtime captured a marshaled snapshot of the content.
+func (c *Content) ResetDirty() {
+	c.dirty = nil
+	c.dirtyAll = false
+}
+
+// noteReplaced records that Unmarshal installed fresh arrays: nothing the
+// application holds aliases the new state, so tracking starts clean and
+// trusted.
+func (c *Content) noteReplaced() {
+	c.dirty = nil
+	c.dirtyAll = false
+	c.exposed = false
+}
 
 // SetBytes replaces byte-array content; replicas "are not required to
 // represent a fixed size of data".
@@ -143,6 +270,8 @@ func (c *Content) SetBytes(b []byte) error {
 		return fmt.Errorf("marshal: content is %s, not bytes", c.kind)
 	}
 	c.bytes = b
+	c.dirtyAll = true
+	c.exposed = true
 	return nil
 }
 
@@ -152,6 +281,8 @@ func (c *Content) SetInts(v []int32) error {
 		return fmt.Errorf("marshal: content is %s, not ints", c.kind)
 	}
 	c.ints = v
+	c.dirtyAll = true
+	c.exposed = true
 	return nil
 }
 
@@ -161,6 +292,8 @@ func (c *Content) SetFloats(v []float64) error {
 		return fmt.Errorf("marshal: content is %s, not floats", c.kind)
 	}
 	c.floats = v
+	c.dirtyAll = true
+	c.exposed = true
 	return nil
 }
 

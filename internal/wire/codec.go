@@ -11,12 +11,13 @@ import (
 // for strings and byte slices longer than 4 GiB, which panic (a programming
 // error, not a runtime condition).
 type Writer struct {
-	buf []byte
+	buf     []byte
+	initCap int
 }
 
 // NewWriter returns a Writer with the given initial capacity hint.
 func NewWriter(capacity int) *Writer {
-	return &Writer{buf: make([]byte, 0, capacity)}
+	return &Writer{buf: make([]byte, 0, capacity), initCap: capacity}
 }
 
 // Bytes returns the encoded buffer. The Writer must not be reused after.
@@ -24,6 +25,10 @@ func (w *Writer) Bytes() []byte { return w.buf }
 
 // Len reports the number of bytes written so far.
 func (w *Writer) Len() int { return len(w.buf) }
+
+// Regrew reports whether appends outgrew the initial capacity hint,
+// forcing at least one reallocation.
+func (w *Writer) Regrew() bool { return cap(w.buf) > w.initCap }
 
 // U8 appends a byte.
 func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }

@@ -19,6 +19,10 @@ type AcquireLock struct {
 	// hold the lock, used by the synchronization thread's lock-breaking
 	// failure detector (Section 4). Zero means the cluster default.
 	LeaseMillis uint32
+	// HaveVersion advertises the replica version the requesting site
+	// already holds, so the transferring daemon can decide between a delta
+	// and a full replica transfer. Zero means no usable local copy.
+	HaveVersion uint64
 }
 
 // Kind implements Payload.
@@ -30,6 +34,7 @@ func (m *AcquireLock) encode(w *Writer) {
 	w.U64(uint64(m.Thread))
 	w.Bool(m.Shared)
 	w.U32(m.LeaseMillis)
+	w.U64(m.HaveVersion)
 }
 
 func (m *AcquireLock) decode(r *Reader) error {
@@ -38,6 +43,7 @@ func (m *AcquireLock) decode(r *Reader) error {
 	m.Thread = ThreadID(r.U64())
 	m.Shared = r.Bool()
 	m.LeaseMillis = r.U32()
+	m.HaveVersion = r.U64()
 	return r.Err()
 }
 
@@ -58,6 +64,10 @@ type Grant struct {
 	// lock's replicas; the holder picks push-update targets from it when
 	// UR > 1.
 	Sharers SiteSet
+	// UpToDate is the set of sites the synchronization thread believes
+	// hold the granted version; the releaser uses it to decide which
+	// dissemination targets can accept a delta against that version.
+	UpToDate SiteSet
 	// Revised marks a follow-up grant that supersedes an earlier one for
 	// the same acquisition — sent when failure handling discovered that
 	// the promised version is lost and an older version must be accepted
@@ -76,6 +86,7 @@ func (m *Grant) encode(w *Writer) {
 	w.Bool(m.Shared)
 	w.U32(m.Epoch)
 	m.Sharers.encode(w)
+	m.UpToDate.encode(w)
 	w.Bool(m.Revised)
 }
 
@@ -87,6 +98,7 @@ func (m *Grant) decode(r *Reader) error {
 	m.Shared = r.Bool()
 	m.Epoch = r.U32()
 	m.Sharers = decodeSiteSet(r)
+	m.UpToDate = decodeSiteSet(r)
 	m.Revised = r.Bool()
 	return r.Err()
 }
@@ -175,6 +187,11 @@ type TransferReplica struct {
 	// RequestID correlates the directive, any hybrid stream setup, and the
 	// final ReplicaData.
 	RequestID uint64
+	// DestVersion is the replica version the destination advertised in its
+	// AcquireLock, letting the sending daemon ship a delta when its update
+	// log still covers DestVersion..Version. Zero means no usable copy, so
+	// the sender must transfer the full replicas.
+	DestVersion uint64
 }
 
 // Kind implements Payload.
@@ -185,6 +202,7 @@ func (m *TransferReplica) encode(w *Writer) {
 	w.U32(uint32(m.Dest))
 	w.U64(m.Version)
 	w.U64(m.RequestID)
+	w.U64(m.DestVersion)
 }
 
 func (m *TransferReplica) decode(r *Reader) error {
@@ -192,6 +210,7 @@ func (m *TransferReplica) decode(r *Reader) error {
 	m.Dest = SiteID(r.U32())
 	m.Version = r.U64()
 	m.RequestID = r.U64()
+	m.DestVersion = r.U64()
 	return r.Err()
 }
 
@@ -290,6 +309,18 @@ func (m *ReplicaData) decode(r *Reader) error {
 	return r.Err()
 }
 
+func (m *ReplicaData) encodedSize() int {
+	return 4 + 4 + 8 + 8 + payloadsSize(m.Replicas)
+}
+
+func payloadsSize(ps []ReplicaPayload) int {
+	n := 2
+	for _, p := range ps {
+		n += 2 + len(p.Name) + 4 + len(p.Data)
+	}
+	return n
+}
+
 // PushUpdate disseminates a new replica version to a registered daemon at
 // unlock time (the push-based update scheme of Section 4). The receiving
 // daemon applies the update directly to its local replicas.
@@ -315,6 +346,173 @@ func (m *PushUpdate) decode(r *Reader) error {
 	m.From = SiteID(r.U32())
 	m.Version = r.U64()
 	m.Replicas = decodePayloads(r)
+	return r.Err()
+}
+
+func (m *PushUpdate) encodedSize() int {
+	return 4 + 4 + 8 + payloadsSize(m.Replicas)
+}
+
+// PatchOp overwrites the bytes at Off in a replica's marshaled state with
+// Data. Offsets are in the coordinates of the new (patched) blob.
+type PatchOp struct {
+	Off  uint32
+	Data []byte
+}
+
+// DeltaPayload is one replica's update inside a ReplicaDelta: either a
+// patch (NewLen, Ops, Checksum over the patched blob) against the blob the
+// receiver holds at FromVersion, or — when Full is set — a complete
+// marshaled copy, the per-replica fallback for replicas whose delta would
+// not pay off (rewritten, resized mid-chain, or newly associated).
+type DeltaPayload struct {
+	Name string
+	Full bool
+	// Data is the complete marshaled state when Full is set.
+	Data []byte
+	// NewLen is the patched blob's length when Full is not set.
+	NewLen uint32
+	// Checksum is an IEEE CRC-32 over the patched blob; a mismatch after
+	// applying Ops means the receiver's base diverged and it must request
+	// a full transfer.
+	Checksum uint32
+	Ops      []PatchOp
+}
+
+func (p *DeltaPayload) encode(w *Writer) {
+	w.String16(p.Name)
+	w.Bool(p.Full)
+	if p.Full {
+		w.Bytes32(p.Data)
+		return
+	}
+	w.U32(p.NewLen)
+	w.U32(p.Checksum)
+	w.U16(uint16(len(p.Ops)))
+	for _, op := range p.Ops {
+		w.U32(op.Off)
+		w.Bytes32(op.Data)
+	}
+}
+
+func (p *DeltaPayload) decode(r *Reader) {
+	p.Name = r.String16()
+	p.Full = r.Bool()
+	if p.Full {
+		p.Data = r.Bytes32()
+		return
+	}
+	p.NewLen = r.U32()
+	p.Checksum = r.U32()
+	n := int(r.U16())
+	p.Ops = make([]PatchOp, 0, n)
+	for i := 0; i < n; i++ {
+		p.Ops = append(p.Ops, PatchOp{Off: r.U32(), Data: r.Bytes32()})
+	}
+}
+
+func (p *DeltaPayload) encodedSize() int {
+	n := 2 + len(p.Name) + 1
+	if p.Full {
+		return n + 4 + len(p.Data)
+	}
+	n += 4 + 4 + 2
+	for _, op := range p.Ops {
+		n += 4 + 4 + len(op.Data)
+	}
+	return n
+}
+
+// ReplicaDelta is the delta-capable counterpart of ReplicaData (Push=false,
+// answering a TransferReplica directive) and PushUpdate (Push=true, UR
+// dissemination at release). It upgrades the receiver's replicas from
+// FromVersion to Version by patching the marshaled state the receiver
+// already holds. A receiver that cannot apply it (wrong base version,
+// checksum mismatch) answers with a DeltaNack and the sender falls back to
+// a full transfer.
+type ReplicaDelta struct {
+	Lock        LockID
+	From        SiteID
+	Version     uint64
+	FromVersion uint64
+	// RequestID correlates a transfer delta with its directive; zero for
+	// pushes.
+	RequestID uint64
+	Push      bool
+	Replicas  []DeltaPayload
+}
+
+// Kind implements Payload.
+func (*ReplicaDelta) Kind() Kind { return KindReplicaDelta }
+
+func (m *ReplicaDelta) encode(w *Writer) {
+	w.U32(uint32(m.Lock))
+	w.U32(uint32(m.From))
+	w.U64(m.Version)
+	w.U64(m.FromVersion)
+	w.U64(m.RequestID)
+	w.Bool(m.Push)
+	w.U16(uint16(len(m.Replicas)))
+	for i := range m.Replicas {
+		m.Replicas[i].encode(w)
+	}
+}
+
+func (m *ReplicaDelta) decode(r *Reader) error {
+	m.Lock = LockID(r.U32())
+	m.From = SiteID(r.U32())
+	m.Version = r.U64()
+	m.FromVersion = r.U64()
+	m.RequestID = r.U64()
+	m.Push = r.Bool()
+	n := int(r.U16())
+	m.Replicas = make([]DeltaPayload, n)
+	for i := 0; i < n; i++ {
+		m.Replicas[i].decode(r)
+	}
+	return r.Err()
+}
+
+func (m *ReplicaDelta) encodedSize() int {
+	n := 4 + 4 + 8 + 8 + 8 + 1 + 2
+	for i := range m.Replicas {
+		n += m.Replicas[i].encodedSize()
+	}
+	return n
+}
+
+// DeltaNack tells the sender of a ReplicaDelta that the receiver could not
+// apply it (stale or missing base version, or a checksum mismatch after
+// patching) and needs a full transfer of Version instead.
+type DeltaNack struct {
+	Lock LockID
+	// Site is the receiver that rejected the delta.
+	Site      SiteID
+	Version   uint64
+	RequestID uint64
+	Push      bool
+	Reason    string
+}
+
+// Kind implements Payload.
+func (*DeltaNack) Kind() Kind { return KindDeltaNack }
+
+func (m *DeltaNack) encode(w *Writer) {
+	w.U32(uint32(m.Lock))
+	w.U32(uint32(m.Site))
+	w.U64(m.Version)
+	w.U64(m.RequestID)
+	w.Bool(m.Push)
+	w.String16(m.Reason)
+}
+
+func (m *DeltaNack) decode(r *Reader) error {
+	m.Lock = LockID(r.U32())
+	m.Site = SiteID(r.U32())
+	m.Version = r.U64()
+	m.RequestID = r.U64()
+	m.Push = r.Bool()
+	m.Reason = r.String16()
 	return r.Err()
 }
 

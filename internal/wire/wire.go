@@ -61,6 +61,10 @@ const (
 	KindJoin
 	KindJoinAck
 
+	// Delta replica transfer (appended so earlier kind values stay stable).
+	KindReplicaDelta
+	KindDeltaNack
+
 	kindSentinel // keep last
 )
 
@@ -92,6 +96,8 @@ var kindNames = map[Kind]string{
 	KindEvent:             "EVENT",
 	KindJoin:              "JOIN",
 	KindJoinAck:           "JOINACK",
+	KindReplicaDelta:      "REPLICADELTA",
+	KindDeltaNack:         "DELTANACK",
 }
 
 // String returns the protocol name of the kind, matching the names used in
@@ -169,9 +175,28 @@ var ErrUnknownKind = errors.New("wire: unknown message kind")
 // fields have been read.
 var ErrTruncated = errors.New("wire: truncated message")
 
-// Marshal encodes a message, kind byte first.
+// sizedPayload is implemented by the bulk replica frames (ReplicaData,
+// PushUpdate, ReplicaDelta), whose size is dominated by payload data and
+// therefore worth computing exactly before encoding.
+type sizedPayload interface {
+	encodedSize() int
+}
+
+// EncodedSizeHint reports the buffer capacity Marshal reserves for p: the
+// exact frame size for messages that implement an encodedSize hint, and a
+// small default for the fixed-layout control messages.
+func EncodedSizeHint(p Payload) int {
+	if s, ok := p.(sizedPayload); ok {
+		return 1 + s.encodedSize()
+	}
+	return 64
+}
+
+// Marshal encodes a message, kind byte first. Bulk replica frames are
+// encoded into an exactly-sized buffer so multi-hundred-kilobyte payloads
+// allocate once instead of regrowing through doubling.
 func Marshal(p Payload) []byte {
-	w := NewWriter(64)
+	w := NewWriter(EncodedSizeHint(p))
 	w.U8(uint8(p.Kind()))
 	p.encode(w)
 	return w.Bytes()
@@ -249,6 +274,10 @@ func newPayload(k Kind) Payload {
 		return &Join{}
 	case KindJoinAck:
 		return &JoinAck{}
+	case KindReplicaDelta:
+		return &ReplicaDelta{}
+	case KindDeltaNack:
+		return &DeltaNack{}
 	default:
 		return nil
 	}

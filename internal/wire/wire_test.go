@@ -13,10 +13,10 @@ import (
 // kind that is not added here fails TestEveryKindCovered.
 func allMessages() []Payload {
 	return []Payload{
-		&AcquireLock{Lock: 7, Requester: 3, Thread: MakeThreadID(3, 9), Shared: true, LeaseMillis: 1500},
-		&Grant{Lock: 7, Thread: MakeThreadID(3, 9), Version: 42, Flag: NeedNewVersion, Shared: true, Epoch: 2, Sharers: NewSiteSet(2, 4), Revised: true},
+		&AcquireLock{Lock: 7, Requester: 3, Thread: MakeThreadID(3, 9), Shared: true, LeaseMillis: 1500, HaveVersion: 41},
+		&Grant{Lock: 7, Thread: MakeThreadID(3, 9), Version: 42, Flag: NeedNewVersion, Shared: true, Epoch: 2, Sharers: NewSiteSet(2, 4), UpToDate: NewSiteSet(1, 2), Revised: true},
 		&ReleaseLock{Lock: 7, Releaser: 3, Thread: MakeThreadID(3, 9), NewVersion: 43, UpToDate: NewSiteSet(1, 3, 5), Shared: false, Aborted: true},
-		&TransferReplica{Lock: 7, Dest: 4, Version: 43, RequestID: 99},
+		&TransferReplica{Lock: 7, Dest: 4, Version: 43, RequestID: 99, DestVersion: 41},
 		&RegisterReplica{Lock: 7, Site: 4, Names: []string{"flatwareIndex", "plateIndex"}, Creator: true},
 		&ReplicaData{Lock: 7, From: 2, Version: 43, RequestID: 99, Replicas: []ReplicaPayload{{Name: "a", Data: []byte{1, 2, 3}}, {Name: "b", Data: nil}}},
 		&PushUpdate{Lock: 7, From: 2, Version: 44, Replicas: []ReplicaPayload{{Name: "text", Data: []byte("Good Choice")}}},
@@ -39,6 +39,11 @@ func allMessages() []Payload {
 		&Event{Site: 2, Seq: 10, UnixNanos: 1234567890, Category: "lock", Text: "grant"},
 		&Join{Site: 2, Name: "ultra1", DaemonAddr: "sim://2/daemon"},
 		&JoinAck{Site: 2, OK: true, SyncAddr: "sim://1/sync", Epoch: 1},
+		&ReplicaDelta{Lock: 7, From: 2, Version: 44, FromVersion: 43, RequestID: 99, Push: true, Replicas: []DeltaPayload{
+			{Name: "a", NewLen: 9, Checksum: 0xDEADBEEF, Ops: []PatchOp{{Off: 5, Data: []byte{1, 2}}, {Off: 0, Data: []byte{3}}}},
+			{Name: "b", Full: true, Data: []byte("whole blob")},
+		}},
+		&DeltaNack{Lock: 7, Site: 5, Version: 44, RequestID: 99, Push: false, Reason: "base version 41 unavailable"},
 	}
 }
 
@@ -101,6 +106,56 @@ func normalizeValue(v reflect.Value) {
 			}
 		}
 	default:
+	}
+}
+
+// TestEncodedSizeHintExact verifies the size hints are exact frame sizes,
+// so Marshal's single allocation is never regrown for bulk frames.
+func TestEncodedSizeHintExact(t *testing.T) {
+	big := make([]byte, 256<<10)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	frames := []Payload{
+		&ReplicaData{Lock: 1, From: 2, Version: 3, RequestID: 4, Replicas: []ReplicaPayload{{Name: "big", Data: big}, {Name: "small", Data: []byte{1}}}},
+		&PushUpdate{Lock: 1, From: 2, Version: 3, Replicas: []ReplicaPayload{{Name: "big", Data: big}}},
+		&ReplicaDelta{Lock: 1, From: 2, Version: 3, FromVersion: 2, Replicas: []DeltaPayload{
+			{Name: "patched", NewLen: uint32(len(big)), Checksum: 9, Ops: []PatchOp{{Off: 100, Data: big[:4096]}}},
+			{Name: "full", Full: true, Data: big},
+		}},
+	}
+	for _, p := range frames {
+		b := Marshal(p)
+		if got, want := len(b), EncodedSizeHint(p); got != want {
+			t.Errorf("%s: Marshal produced %d bytes, hint was %d", p.Kind(), got, want)
+		}
+		w := NewWriter(EncodedSizeHint(p))
+		w.U8(uint8(p.Kind()))
+		p.encode(w)
+		if w.Regrew() {
+			t.Errorf("%s: Writer regrew past the size hint", p.Kind())
+		}
+	}
+	// Control messages fall back to the small default hint.
+	if got := EncodedSizeHint(&PushAck{}); got != 64 {
+		t.Errorf("control-message hint = %d, want 64", got)
+	}
+}
+
+// BenchmarkMarshalReplicaData exercises the single-allocation encode path
+// for a large frame and fails if the writer ever regrows.
+func BenchmarkMarshalReplicaData(b *testing.B) {
+	blob := make([]byte, 256<<10)
+	msg := &ReplicaData{Lock: 1, From: 2, Version: 3, RequestID: 4, Replicas: []ReplicaPayload{{Name: "payload", Data: blob}}}
+	b.SetBytes(int64(len(blob)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := NewWriter(EncodedSizeHint(msg))
+		w.U8(uint8(msg.Kind()))
+		msg.encode(w)
+		if w.Regrew() {
+			b.Fatal("Writer regrew past the size hint")
+		}
 	}
 }
 

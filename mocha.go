@@ -197,6 +197,7 @@ type options struct {
 	perms       *Permissions
 	streamReuse bool
 	fanout      int
+	delta       bool
 	resolver    Resolver
 }
 
@@ -266,6 +267,13 @@ func WithTaskPermissions(p Permissions) Option {
 // instead of paying connection setup and teardown on every transfer — the
 // extension the paper's hybrid-protocol results point at.
 func WithStreamReuse() Option { return func(o *options) { o.streamReuse = true } }
+
+// WithDeltaTransfer enables delta-encoded replica transfer: releases and
+// transfers ship only the byte ranges changed since the version the
+// receiver already holds (chained through a bounded update log), falling
+// back to the full copy whenever the chain is broken. Off by default —
+// the paper's protocols always send the full marshaled replica.
+func WithDeltaTransfer() Option { return func(o *options) { o.delta = true } }
 
 // WithDisseminationFanout bounds how many replica push transfers run
 // concurrently when a release disseminates a new version to several sites.
