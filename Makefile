@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check vet build test race bench-fanout bench-delta
+.PHONY: check fmt-check vet build test race bench-fanout bench-delta bench-sync
 
 # check is the full CI gate: formatting, static analysis, build, the
 # complete test suite, and the race detector over the concurrency-heavy
@@ -35,3 +35,6 @@ bench-fanout:
 
 bench-delta:
 	$(GO) run ./cmd/benchmocha -exp ablate-delta -json
+
+bench-sync:
+	$(GO) run ./cmd/benchmocha -exp ablate-syncstall -json

@@ -104,6 +104,7 @@ func All() []Experiment {
 		{ID: "ablate-reuse", Title: "Ablation: hybrid protocol with connection reuse", Run: AblateReuse},
 		{ID: "ablate-fanout", Title: "Ablation: parallel dissemination fan-out", Run: AblateFanout},
 		{ID: "ablate-delta", Title: "Ablation: delta-encoded replica transfer", Run: AblateDelta},
+		{ID: "ablate-syncstall", Title: "Ablation: sharded non-blocking lock manager under a dead peer", Run: AblateSyncStall},
 	}
 }
 
@@ -147,6 +148,13 @@ type harnessOpts struct {
 	fanout int
 	// delta enables delta-encoded replica transfer.
 	delta bool
+	// reqTimeout overrides the control-message timeout (model time; it is
+	// multiplied by cfg.Scale like every other modelled delay). 0 keeps
+	// the default 30s.
+	reqTimeout time.Duration
+	// syncSerial reproduces the pre-S30 blocking synchronization thread
+	// for the syncstall ablation baseline.
+	syncSerial bool
 }
 
 // disseminationFanout translates the harness convention to the core
@@ -179,6 +187,14 @@ func newHarnessOpts(cfg Config, e env, mode core.TransferMode, n int, ho harness
 		codec = marshal.NewFast(netsim.Native())
 	}
 	scaledCost := cost.Scaled(cfg.Scale)
+
+	reqTimeout := 30 * time.Second
+	if ho.reqTimeout > 0 {
+		reqTimeout = time.Duration(float64(ho.reqTimeout) * cfg.Scale)
+		if reqTimeout < 100*time.Millisecond {
+			reqTimeout = 100 * time.Millisecond
+		}
+	}
 
 	sim := transport.NewSimNetwork(netsim.Config{Profile: e.profile.Scaled(cfg.Scale), Seed: 99})
 	h := &harness{cfg: cfg, sim: sim, nodes: make(map[wire.SiteID]*core.Node), cost: scaledCost, codec: codec}
@@ -218,7 +234,8 @@ func newHarnessOpts(cfg Config, e env, mode core.TransferMode, n int, ho harness
 			StreamReuse:         ho.streamReuse,
 			DeltaTransfer:       ho.delta,
 			DisseminationFanout: ho.disseminationFanout(),
-			RequestTimeout:      30 * time.Second,
+			SyncSerialIO:        ho.syncSerial,
+			RequestTimeout:      reqTimeout,
 			TransferTimeout:     120 * time.Second,
 			Log:                 eventlog.Nop(),
 		})
@@ -229,6 +246,12 @@ func newHarnessOpts(cfg Config, e env, mode core.TransferMode, n int, ho harness
 		h.nodes[site] = node
 	}
 	return h, nil
+}
+
+// kill fail-stops a site: its node closes and the network silences it.
+func (h *harness) kill(site wire.SiteID) {
+	_ = h.nodes[site].Close()
+	h.sim.Kill(netsim.NodeID(site))
 }
 
 // Close tears the harness down.

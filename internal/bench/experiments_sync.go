@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"mocha/internal/core"
+	"mocha/internal/marshal"
+	"mocha/internal/stats"
+	"mocha/internal/wire"
+)
+
+// AblateSyncStall quantifies the S30 sharded non-blocking lock manager.
+// One WAN site dies holding the newest version of several locks; a second
+// site then acquires each of them, forcing the Section 4 transfer recovery
+// (directive to the dead daemon times out, daemons are polled, the grant
+// is revised). While those recoveries run, a third site continuously
+// acquires and releases an unrelated lock, and we measure its grant
+// latency. With the pre-S30 synchronization thread (SyncSerialIO: every
+// send inline in the port dispatcher's critical section) the unrelated
+// lock stalls for up to RequestTimeout per recovery; with the sharded
+// manager the recoveries run on completion workers and the unrelated lock
+// stays at its all-healthy latency.
+func AblateSyncStall(cfg Config) (Result, error) {
+	cfg = cfg.WithDefaults()
+
+	type outcome struct {
+		mean, max time.Duration
+		cycles    int
+	}
+	configs := []struct {
+		key    string
+		name   string
+		kill   bool
+		serial bool
+	}{
+		{key: "healthy", name: "all sites healthy (sharded)", kill: false, serial: false},
+		{key: "dead_serial", name: "one dead site, serial sync thread (pre-S30)", kill: true, serial: true},
+		{key: "dead_sharded", name: "one dead site, sharded sync thread", kill: true, serial: false},
+	}
+
+	table := stats.NewTable("configuration", "unrelated-lock grant mean (ms)", "max (ms)", "vs healthy")
+	metrics := make(map[string]float64)
+	outcomes := make(map[string]outcome, len(configs))
+	for _, c := range configs {
+		mean, max, cycles, err := syncStallRun(cfg, c.kill, c.serial)
+		if err != nil {
+			return Result{}, fmt.Errorf("ablate-syncstall %s: %w", c.key, err)
+		}
+		outcomes[c.key] = outcome{mean: mean, max: max, cycles: cycles}
+		metrics[c.key+"_grant_ms"] = float64(mean) / float64(time.Millisecond)
+		metrics[c.key+"_grant_max_ms"] = float64(max) / float64(time.Millisecond)
+	}
+	healthy := outcomes["healthy"].mean
+	for _, c := range configs {
+		o := outcomes[c.key]
+		ratio := 0.0
+		if healthy > 0 {
+			ratio = float64(o.mean) / float64(healthy)
+		}
+		metrics[c.key+"_stall_x"] = ratio
+		table.AddRow(c.name, stats.Millis(o.mean), stats.Millis(o.max), fmt.Sprintf("%.2fx", ratio))
+	}
+
+	var notes []string
+	if serial, sharded := metrics["dead_serial_stall_x"], metrics["dead_sharded_stall_x"]; serial > 0 {
+		notes = append(notes, fmt.Sprintf(
+			"dead peer inflates unrelated-lock grants %.1fx with the serial sync thread, %.2fx with the sharded one",
+			serial, sharded))
+	}
+	return Result{
+		ID:      "ablate-syncstall",
+		Title:   "Sharded non-blocking lock manager: unrelated-lock grant latency under a dead peer",
+		Paper:   "Section 4's failure handling (transfer directives, daemon polls) runs network I/O from the synchronization thread; done inline it head-of-line blocks every lock behind one dead peer for up to RequestTimeout",
+		Table:   table.String(),
+		Notes:   notes,
+		Metrics: metrics,
+	}, nil
+}
+
+// syncStallRun measures one configuration: mean and max grant latency on a
+// healthy, unrelated lock while another site walks a set of locks whose
+// newest version lives on a (possibly dead) peer. Returns de-scaled model
+// time and the number of probe cycles measured.
+func syncStallRun(cfg Config, kill, serial bool) (time.Duration, time.Duration, int, error) {
+	const (
+		stallLocks = 3
+		stallBase  = wire.LockID(101)
+		hotLock    = wire.LockID(200)
+		doomed     = wire.SiteID(4)
+		walker     = wire.SiteID(2)
+		prober     = wire.SiteID(3)
+	)
+	h, err := newHarnessOpts(cfg, wanEnv(), core.ModeMNet, 4, harnessOpts{
+		fastCodec:  true,
+		reqTimeout: time.Second,
+		syncSerial: serial,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer func() { _ = h.Close() }()
+	ctx, cancel := benchCtx()
+	defer cancel()
+
+	home := h.nodes[wire.HomeSite]
+	homeHnd := home.NewHandle("bench-home")
+	attach := func(site wire.SiteID, lock wire.LockID, name string) (*core.ReplicaLock, error) {
+		r, err := h.nodes[site].AttachReplica(name, marshal.Bytes(nil))
+		if err != nil {
+			return nil, err
+		}
+		rl := h.nodes[site].NewHandle(fmt.Sprintf("bench-%d", site)).ReplicaLock(lock)
+		if err := rl.Associate(ctx, r); err != nil {
+			return nil, err
+		}
+		return rl, nil
+	}
+
+	// Stall locks: created at home, shared with the walker and the doomed
+	// site. The doomed site touches each once so it becomes the sole
+	// holder of the newest version (UR=1).
+	walkerLocks := make([]*core.ReplicaLock, 0, stallLocks)
+	for i := 0; i < stallLocks; i++ {
+		lock := stallBase + wire.LockID(i)
+		name := fmt.Sprintf("stall-%d", i)
+		r, err := home.CreateReplica(name, marshal.Bytes(make([]byte, 64)), 3)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		rl := homeHnd.ReplicaLock(lock)
+		if err := rl.Associate(ctx, r); err != nil {
+			return 0, 0, 0, err
+		}
+		wrl, err := attach(walker, lock, name)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		walkerLocks = append(walkerLocks, wrl)
+		drl, err := attach(doomed, lock, name)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if err := drl.Lock(ctx); err != nil {
+			return 0, 0, 0, err
+		}
+		if err := drl.Unlock(ctx); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	// The unrelated hot lock, cycled from the prober site.
+	if r, err := home.CreateReplica("hot", marshal.Bytes(make([]byte, 64)), 2); err != nil {
+		return 0, 0, 0, err
+	} else if err := homeHnd.ReplicaLock(hotLock).Associate(ctx, r); err != nil {
+		return 0, 0, 0, err
+	}
+	hot, err := attach(prober, hotLock, "hot")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	time.Sleep(h.settleDelay())
+
+	cycle := func() (time.Duration, error) {
+		start := time.Now()
+		if err := hot.Lock(ctx); err != nil {
+			return 0, err
+		}
+		lat := time.Since(start)
+		return lat, hot.Unlock(ctx)
+	}
+	// Warm up: the first acquire pays the initial transfer.
+	for i := 0; i < 2; i++ {
+		if _, err := cycle(); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+
+	if kill {
+		h.kill(doomed)
+	}
+	walked := make(chan error, 1)
+	go func() {
+		for _, rl := range walkerLocks {
+			if err := rl.Lock(ctx); err != nil {
+				walked <- err
+				return
+			}
+			if err := rl.Unlock(ctx); err != nil {
+				walked <- err
+				return
+			}
+		}
+		walked <- nil
+	}()
+
+	// Cycle the unrelated lock until the walk completes (minimum three
+	// cycles so the healthy run has a sample too).
+	lat := &stats.Sample{}
+	var max time.Duration
+	cycles := 0
+	walkErr := error(nil)
+	walking := true
+	for walking || cycles < 3 {
+		d, err := cycle()
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		d = h.deScale(d)
+		lat.Add(d)
+		if d > max {
+			max = d
+		}
+		cycles++
+		select {
+		case walkErr = <-walked:
+			walking = false
+		default:
+		}
+	}
+	if walking {
+		walkErr = <-walked
+	}
+	if walkErr != nil {
+		return 0, 0, 0, fmt.Errorf("stall-lock walk: %w", walkErr)
+	}
+	return lat.Mean(), max, cycles, nil
+}

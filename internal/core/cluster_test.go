@@ -36,6 +36,11 @@ type clusterOpts struct {
 	deltaDepth int
 	// wrapStack lets fault tests interpose on a site's transport stack.
 	wrapStack func(site wire.SiteID, s transport.Stack) transport.Stack
+	// syncShards overrides the synchronization thread's shard count
+	// (0 = default).
+	syncShards int
+	// syncSerial reproduces the pre-S30 blocking synchronization thread.
+	syncSerial bool
 }
 
 func defaultOpts() clusterOpts {
@@ -88,6 +93,8 @@ func newTestCluster(t *testing.T, n int, opts clusterOpts) *testCluster {
 			DeltaTransfer:       opts.delta,
 			DeltaLogDepth:       opts.deltaDepth,
 			DisseminationFanout: opts.fanout,
+			SyncShards:          opts.syncShards,
+			SyncSerialIO:        opts.syncSerial,
 			RequestTimeout:      opts.reqTO,
 			TransferTimeout:     xferTO,
 			DefaultLease:        opts.lease,

@@ -127,6 +127,18 @@ type Config struct {
 	// strictly sequential fan-out, where each of the k transfers completes
 	// before the next begins.
 	DisseminationFanout int
+	// SyncShards is the number of independent shards the synchronization
+	// thread's lock table is split across (default 32). Locks hash to a
+	// shard by ID; traffic on one lock never waits on another lock's
+	// shard, and network I/O (grants, transfer directives, polls,
+	// heartbeats) never runs under any shard or lock mutex.
+	SyncShards int
+	// SyncSerialIO reproduces the pre-S30 synchronization thread for
+	// ablation: a single shard, with every grant delivery, transfer
+	// directive, and daemon poll performed inline in the port dispatcher's
+	// critical path, so one dead peer stalls lock traffic for every lock.
+	// Off by default.
+	SyncSerialIO bool
 	// RequestTimeout bounds control-message sends (default 5s).
 	RequestTimeout time.Duration
 	// TransferTimeout bounds replica data transfers (default 60s).
@@ -153,6 +165,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DeltaLogDepth <= 0 {
 		c.DeltaLogDepth = 8
+	}
+	if c.SyncShards <= 0 {
+		c.SyncShards = 32
+	}
+	if c.SyncSerialIO {
+		c.SyncShards = 1
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 5 * time.Second
@@ -193,6 +211,10 @@ var (
 	// ErrBanned reports that the synchronization thread refused the
 	// request because the thread was banned after a detected failure.
 	ErrBanned = errors.New("core: thread banned by synchronization thread")
+	// ErrUnknownLock reports an acquire for a lock ID no daemon has ever
+	// registered; the synchronization thread refuses to fabricate a
+	// record for it.
+	ErrUnknownLock = errors.New("core: lock never registered with synchronization thread")
 	// ErrClosed reports use of a closed node.
 	ErrClosed = errors.New("core: node closed")
 	// ErrNoSync reports that the synchronization thread is unreachable.

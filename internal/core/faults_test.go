@@ -74,9 +74,7 @@ func TestBannedThreadNacked(t *testing.T) {
 
 	// Ban site 2's thread directly (the break path is covered above).
 	h2 := tc.node(2).NewHandle("banned")
-	tc.node(1).Sync().mu.Lock()
-	tc.node(1).Sync().banned[h2.ID()] = "test ban"
-	tc.node(1).Sync().mu.Unlock()
+	tc.node(1).Sync().ban(h2.ID(), "test ban")
 
 	rl2, _ := mustAttach(t, h2, 6, "x")
 	settle()

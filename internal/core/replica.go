@@ -505,6 +505,15 @@ func (rl *ReplicaLock) LockShared(ctx context.Context) error { return rl.lock(ct
 // handling: request, await grant, and if NEEDNEWVERSION await the replica
 // transfer (accepting revised grants when failure handling downgraded the
 // available version).
+// nackError maps a LockNack to the matching sentinel error.
+func (rl *ReplicaLock) nackError(n *wire.LockNack) error {
+	cause := ErrBanned
+	if n.Code == wire.NackUnknownLock {
+		cause = ErrUnknownLock
+	}
+	return fmt.Errorf("core: lock %d: %w: %s", rl.id, cause, n.Reason)
+}
+
 func (rl *ReplicaLock) lock(ctx context.Context, shared bool) error {
 	if rl.node.isClosed() {
 		return ErrClosed
@@ -547,7 +556,7 @@ func (rl *ReplicaLock) lock(ctx context.Context, shared bool) error {
 	select {
 	case g := <-grantCh:
 		if g.nack != nil {
-			return fmt.Errorf("core: lock %d: %w: %s", rl.id, ErrBanned, g.nack.Reason)
+			return rl.nackError(g.nack)
 		}
 		grant = g.grant
 	case <-rl.node.done:
@@ -573,7 +582,7 @@ func (rl *ReplicaLock) lock(ctx context.Context, shared bool) error {
 			// version is lost and an older one must be accepted.
 			rl.st.dropWaiter(waiter)
 			if g.nack != nil {
-				return fmt.Errorf("core: lock %d: %w: %s", rl.id, ErrBanned, g.nack.Reason)
+				return rl.nackError(g.nack)
 			}
 			if g.grant.Revised {
 				grant = g.grant

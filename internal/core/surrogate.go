@@ -38,39 +38,49 @@ type LockSnapshot struct {
 }
 
 // Snapshot captures the manager's durable state — the "logging its state"
-// half of the recovery protocol.
+// half of the recovery protocol. It walks the shards one at a time, so a
+// snapshot never stalls lock traffic table-wide.
 func (s *syncThread) Snapshot() SyncState {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := SyncState{
 		Epoch:  s.epoch,
-		Locks:  make(map[wire.LockID]LockSnapshot, len(s.locks)),
-		Banned: make(map[wire.ThreadID]string, len(s.banned)),
+		Locks:  make(map[wire.LockID]LockSnapshot),
+		Banned: make(map[wire.ThreadID]string),
 	}
-	for id, l := range s.locks {
-		names := make([]string, 0, len(l.names))
-		for n := range l.names {
-			names = append(names, n)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for id, l := range sh.locks {
+			l.mu.Lock()
+			names := make([]string, 0, len(l.names))
+			for n := range l.names {
+				names = append(names, n)
+			}
+			out.Locks[id] = LockSnapshot{
+				Version:   l.version,
+				LastOwner: l.lastOwner,
+				UpToDate:  l.upToDate.Clone(),
+				Sharers:   l.sharers.Clone(),
+				Names:     names,
+			}
+			l.mu.Unlock()
 		}
-		out.Locks[id] = LockSnapshot{
-			Version:   l.version,
-			LastOwner: l.lastOwner,
-			UpToDate:  l.upToDate.Clone(),
-			Sharers:   l.sharers.Clone(),
-			Names:     names,
-		}
+		sh.mu.Unlock()
 	}
+	s.bannedMu.Lock()
 	for t, reason := range s.banned {
 		out.Banned[t] = reason
 	}
+	s.bannedMu.Unlock()
 	return out
 }
 
-// restore loads a snapshot into a fresh manager with a bumped epoch.
+// restore loads a snapshot into a fresh manager with a bumped epoch. It
+// runs before the ports are wired up, but takes the shard and record
+// mutexes anyway for uniformity.
 func (s *syncThread) restore(st *SyncState) {
 	s.epoch = st.Epoch + 1
 	for id, snap := range st.Locks {
-		l := s.getLock(id)
+		l := s.ensureLock(id)
+		l.mu.Lock()
 		l.version = snap.Version
 		l.lastOwner = snap.LastOwner
 		l.upToDate = snap.UpToDate.Clone()
@@ -78,9 +88,10 @@ func (s *syncThread) restore(st *SyncState) {
 		for _, n := range snap.Names {
 			l.names[n] = true
 		}
+		l.mu.Unlock()
 	}
 	for t, reason := range st.Banned {
-		s.banned[t] = reason
+		s.ban(t, reason)
 	}
 }
 

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -11,6 +11,12 @@ import (
 	"mocha/internal/wire"
 )
 
+// maxBannedRecords bounds the banned-thread table. Threads are banned
+// forever in the paper's model, but an unbounded map is a slow leak in a
+// long-lived home site; the oldest bans are evicted first (a thread dead
+// long enough to be evicted has no live requests left to refuse).
+const maxBannedRecords = 1024
+
 // syncThread is the synchronization thread of Figure 7: the home-site
 // manager "responsible for granting locks, queuing requests, and deducing
 // whether a new version of replicas must be sent to an application
@@ -18,15 +24,27 @@ import (
 // tracking from push dissemination, transfer-failure recovery by polling
 // daemons, lock leases with heartbeat-confirmed breaking, and banning of
 // failed threads.
+//
+// The lock table is sharded by LockID, and each syncLock is a small state
+// machine serialized by its own mutex. Protocol decisions (queueing, grant
+// choice, version bookkeeping) run under that mutex; every network send —
+// grant delivery, transfer directives, daemon polls, heartbeats — runs on
+// completion-style workers that re-enter the state machine with the
+// outcome. No mutex is ever held across network I/O, so the port
+// dispatcher never blocks on a peer and a dead grantee on one lock cannot
+// delay traffic on any other lock (S30).
 type syncThread struct {
-	node  *Node
-	port  *mnet.Port // main handler: ACQUIRELOCK / RELEASELOCK / REGISTERREPLICA
-	aux   *mnet.Port // outbound probes: transfer directives, polls, heartbeats
-	epoch uint32
+	node   *Node
+	port   *mnet.Port // main handler: ACQUIRELOCK / RELEASELOCK / REGISTERREPLICA
+	aux    *mnet.Port // outbound probes: transfer directives, polls, heartbeats
+	epoch  uint32
+	serial bool // SyncSerialIO: run workers inline in the dispatcher (ablation)
 
-	mu     sync.Mutex
-	locks  map[wire.LockID]*syncLock
-	banned map[wire.ThreadID]string
+	shards []*syncShard
+
+	bannedMu sync.Mutex
+	banned   map[wire.ThreadID]string
+	banOrder []wire.ThreadID // insertion order, for bounded eviction
 
 	pollMu      sync.Mutex
 	pollWaiters map[uint64]chan *wire.PollVersionReply
@@ -37,9 +55,13 @@ type syncThread struct {
 	sweepWG  sync.WaitGroup
 }
 
-// syncLock is the per-lock record ("Lock object") at the home site.
+// syncLock is the per-lock record ("Lock object") at the home site. Its
+// mutex serializes all state transitions; holders of mu must not perform
+// network I/O or take any other lock-table mutex.
 type syncLock struct {
-	id        wire.LockID
+	id wire.LockID
+
+	mu        sync.Mutex
 	version   uint64
 	lastOwner wire.SiteID
 	upToDate  wire.SiteSet
@@ -51,12 +73,19 @@ type syncLock struct {
 	queue   []*lockRequest
 }
 
+// holderInfo records one granted hold. Workers keep the pointer as a
+// session token: before acting on a completion outcome they re-validate
+// that this exact hold is still installed, so a release, break, or
+// re-grant that happened while the I/O was in flight voids the session.
 type holderInfo struct {
 	site      wire.SiteID
 	thread    wire.ThreadID
 	grantedAt time.Time
 	lease     time.Duration
 	shared    bool
+	// probing marks an in-flight lease-expiry heartbeat so overlapping
+	// sweeps do not double-probe the same hold. Guarded by the lock's mu.
+	probing bool
 }
 
 type lockRequest struct {
@@ -84,7 +113,8 @@ func newSyncThread(n *Node, restore *SyncState) (*syncThread, error) {
 		port:        port,
 		aux:         aux,
 		epoch:       1,
-		locks:       make(map[wire.LockID]*syncLock),
+		serial:      n.cfg.SyncSerialIO,
+		shards:      newShards(n.cfg.SyncShards),
 		banned:      make(map[wire.ThreadID]string),
 		pollWaiters: make(map[uint64]chan *wire.PollVersionReply),
 		stopCh:      make(chan struct{}),
@@ -99,7 +129,9 @@ func newSyncThread(n *Node, restore *SyncState) (*syncThread, error) {
 	return s, nil
 }
 
-// stop terminates the sweep goroutine.
+// stop terminates the sweep goroutine. Outstanding completion workers are
+// not waited for: their sends fail fast once the endpoint closes, and
+// re-entering the state machine afterwards only touches memory.
 func (s *syncThread) stop() {
 	s.stopOnce.Do(func() { close(s.stopCh) })
 	s.sweepWG.Wait()
@@ -108,30 +140,34 @@ func (s *syncThread) stop() {
 // Epoch returns the manager's incarnation number.
 func (s *syncThread) Epoch() uint32 { return s.epoch }
 
-// getLock returns (creating if needed) a lock record — "determines if the
-// lock exists and creates a Lock object if necessary".
-func (s *syncThread) getLock(id wire.LockID) *syncLock {
-	l, ok := s.locks[id]
-	if !ok {
-		l = &syncLock{
-			id:      id,
-			names:   make(map[string]bool),
-			readers: make(map[wire.ThreadID]*holderInfo),
-		}
-		s.locks[id] = l
+// run executes completion actions produced by a state transition. The
+// default spawns one goroutine per action; SyncSerialIO mode runs them
+// inline on the caller (the port dispatcher), faithfully reproducing the
+// pre-S30 head-of-line blocking for the ablation baseline. Actions must
+// only be run after every lock mutex is released.
+func (s *syncThread) run(actions []func()) {
+	for _, f := range actions {
+		s.spawn(f)
 	}
-	return l
 }
 
-// handle is the main dispatcher loop body of Figure 7.
+// spawn runs one completion action per the serial/concurrent policy.
+func (s *syncThread) spawn(f func()) {
+	if s.serial {
+		f()
+		return
+	}
+	go f()
+}
+
+// handle is the main dispatcher loop body of Figure 7. It must never
+// block on a peer: every arm ends by handing I/O to completion workers.
 func (s *syncThread) handle(m mnet.Message) {
 	p, err := wire.Unmarshal(m.Data)
 	if err != nil {
 		s.node.log.Logf("sync", "bad message: %v", err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch msg := p.(type) {
 	case *wire.AcquireLock:
 		s.onAcquire(msg)
@@ -156,6 +192,9 @@ func (s *syncThread) handleAux(m mnet.Message) {
 		ch := s.pollWaiters[msg.Nonce]
 		s.pollMu.Unlock()
 		if ch != nil {
+			// The waiter sizes the channel to the number of daemons it
+			// asked, so one reply per daemon always fits; the default arm
+			// only discards duplicates and stragglers past the deadline.
 			select {
 			case ch <- msg:
 			default:
@@ -170,19 +209,26 @@ func (s *syncThread) handleAux(m mnet.Message) {
 
 // onAcquire implements the ACQUIRELOCK arm of Figure 7.
 func (s *syncThread) onAcquire(msg *wire.AcquireLock) {
-	if reason, isBanned := s.banned[msg.Thread]; isBanned {
+	if reason, isBanned := s.bannedReason(msg.Thread); isBanned {
 		// "an application thread that fails in this manner is prevented
 		// from making future requests."
 		s.node.log.Logf("sync", "refusing banned thread %d: %s", msg.Thread, reason)
-		nack := &wire.LockNack{Lock: msg.Lock, Thread: msg.Thread, Reason: reason}
-		s.sendToClient(msg.Requester, nack)
+		s.spawn(s.nackAction(msg, wire.NackBanned, reason))
 		return
 	}
-	l := s.getLock(msg.Lock)
+	l := s.lookupLock(msg.Lock)
+	if l == nil {
+		// No daemon has ever registered this lock: refuse rather than
+		// fabricate a record an arbitrary acquirer could grow forever.
+		s.node.log.Logf("sync", "refusing acquire of unregistered lock %d by thread %d", msg.Lock, msg.Thread)
+		s.spawn(s.nackAction(msg, wire.NackUnknownLock, "lock never registered"))
+		return
+	}
 	lease := s.node.cfg.DefaultLease
 	if msg.LeaseMillis > 0 {
 		lease = time.Duration(msg.LeaseMillis) * time.Millisecond
 	}
+	l.mu.Lock()
 	l.queue = append(l.queue, &lockRequest{
 		site:   msg.Requester,
 		thread: msg.Thread,
@@ -190,17 +236,27 @@ func (s *syncThread) onAcquire(msg *wire.AcquireLock) {
 		have:   msg.HaveVersion,
 		lease:  lease,
 	})
-	s.tryGrant(l)
+	actions := s.tryGrantLocked(l)
+	l.mu.Unlock()
+	s.run(actions)
+}
+
+// nackAction builds a deferred LockNack delivery.
+func (s *syncThread) nackAction(msg *wire.AcquireLock, code wire.NackCode, reason string) func() {
+	nack := &wire.LockNack{Lock: msg.Lock, Thread: msg.Thread, Code: code, Reason: reason}
+	site := msg.Requester
+	return func() { s.sendToClient(site, nack) }
 }
 
 // onRelease implements the RELEASELOCK arm of Figure 7, with the Section 4
 // refinement that the release carries the set of daemons holding the new
 // version from push dissemination.
 func (s *syncThread) onRelease(msg *wire.ReleaseLock) {
-	l, ok := s.locks[msg.Lock]
-	if !ok {
+	l := s.lookupLock(msg.Lock)
+	if l == nil {
 		return
 	}
+	l.mu.Lock()
 	switch {
 	case l.holder != nil && l.holder.thread == msg.Thread:
 		l.holder = nil
@@ -208,6 +264,7 @@ func (s *syncThread) onRelease(msg *wire.ReleaseLock) {
 		delete(l.readers, msg.Thread)
 	default:
 		// A stale release: the lock was broken while this thread held it.
+		l.mu.Unlock()
 		s.node.log.Logf("sync", "ignoring stale release of lock %d by thread %d", msg.Lock, msg.Thread)
 		return
 	}
@@ -221,12 +278,16 @@ func (s *syncThread) onRelease(msg *wire.ReleaseLock) {
 		s.node.log.Logf("sync", "lock %d released at v%d by site %d, up-to-date %s",
 			msg.Lock, l.version, msg.Releaser, l.upToDate)
 	}
-	s.tryGrant(l)
+	actions := s.tryGrantLocked(l)
+	l.mu.Unlock()
+	s.run(actions)
 }
 
-// onRegister implements REGISTERREPLICA: startup and initialization.
+// onRegister implements REGISTERREPLICA: startup and initialization. This
+// is the only message that creates lock records.
 func (s *syncThread) onRegister(msg *wire.RegisterReplica) {
-	l := s.getLock(msg.Lock)
+	l := s.ensureLock(msg.Lock)
+	l.mu.Lock()
 	l.sharers.Add(msg.Site)
 	for _, name := range msg.Names {
 		l.names[name] = true
@@ -235,148 +296,57 @@ func (s *syncThread) onRegister(msg *wire.RegisterReplica) {
 		l.version = 1
 		l.lastOwner = msg.Site
 		l.upToDate = wire.NewSiteSet(msg.Site)
+		l.mu.Unlock()
 		s.node.log.Logf("sync", "lock %d seeded at v1 by creator site %d", msg.Lock, msg.Site)
+		return
 	}
+	l.mu.Unlock()
 }
 
-// tryGrant hands the lock to the next compatible queued requests.
-func (s *syncThread) tryGrant(l *syncLock) {
-	for len(l.queue) > 0 {
-		if l.holder != nil {
-			return
-		}
+// tryGrantLocked hands the lock to the next compatible queued requests.
+// The caller holds l.mu. Holds are installed optimistically and the grant
+// deliveries returned as completion actions; an undeliverable grant
+// re-enters through onGrantFailed, which removes the hold and tries the
+// next requester.
+func (s *syncThread) tryGrantLocked(l *syncLock) []func() {
+	var actions []func()
+	for len(l.queue) > 0 && l.holder == nil {
 		head := l.queue[0]
-		if head.shared {
-			l.queue = l.queue[1:]
-			if s.grantOne(l, head) {
-				l.readers[head.thread] = &holderInfo{
-					site: head.site, thread: head.thread,
-					grantedAt: time.Now(), lease: head.lease, shared: true,
-				}
-			}
-			continue
-		}
-		if len(l.readers) > 0 {
-			return
+		if !head.shared && len(l.readers) > 0 {
+			break
 		}
 		l.queue = l.queue[1:]
-		if s.grantOne(l, head) {
-			l.holder = &holderInfo{
-				site: head.site, thread: head.thread,
-				grantedAt: time.Now(), lease: head.lease,
-			}
-			return
+		h := &holderInfo{
+			site: head.site, thread: head.thread,
+			grantedAt: time.Now(), lease: head.lease, shared: head.shared,
 		}
-		// Grant undeliverable (requester died): fall through to the next
-		// queued request.
+		if head.shared {
+			l.readers[head.thread] = h
+		} else {
+			l.holder = h
+		}
+		flag := wire.VersionOK
+		if l.version > 0 && !l.upToDate.Contains(head.site) {
+			// "The synchronization thread relies on the method
+			// lastLockOwner() to determine the value of the flag" — here
+			// generalized to the up-to-date set, which always contains
+			// the last owner.
+			flag = wire.NeedNewVersion
+		}
+		g := s.buildGrantLocked(l, head, l.version, flag, false)
+		req := head
+		actions = append(actions, func() { s.deliverGrant(l, req, h, g) })
+		if !head.shared {
+			break
+		}
 	}
+	return actions
 }
 
-// grantOne sends a GRANT and, when needed, directs the transfer of the
-// newest replicas to the grantee. It reports whether the grant was
-// delivered.
-func (s *syncThread) grantOne(l *syncLock, req *lockRequest) bool {
-	flag := wire.VersionOK
-	if l.version > 0 && !l.upToDate.Contains(req.site) {
-		// "The synchronization thread relies on the method
-		// lastLockOwner() to determine the value of the flag" — here
-		// generalized to the up-to-date set, which always contains the
-		// last owner.
-		flag = wire.NeedNewVersion
-	}
-	g := &wire.Grant{
-		Lock:     l.id,
-		Thread:   req.thread,
-		Version:  l.version,
-		Flag:     flag,
-		Shared:   req.shared,
-		Epoch:    s.epoch,
-		Sharers:  l.sharers.Clone(),
-		UpToDate: l.upToDate.Clone(),
-	}
-	if !s.sendToClient(req.site, g) {
-		s.node.log.Logf("fault", "grant of lock %d undeliverable to site %d; skipping requester", l.id, req.site)
-		return false
-	}
-	s.node.log.Logf("sync", "granted lock %d v%d to thread %d at site %d (%s)",
-		l.id, l.version, req.thread, req.site, flag)
-
-	if flag == wire.NeedNewVersion {
-		s.directTransfer(l, req)
-	}
-	return true
-}
-
-// directTransfer orders the daemon holding the newest replicas to send a
-// copy to the grantee's site; on failure it runs the Section 4 recovery:
-// poll the remaining daemons for "the most recent version of the replicas
-// available" and, if only an older version survives, downgrade the grant.
-func (s *syncThread) directTransfer(l *syncLock, req *lockRequest) {
-	src := l.lastOwner
-	if err := s.sendDirective(l, src, req.site, req.have); err == nil {
-		return
-	}
-	s.node.log.Logf("fault", "transfer directive for lock %d to daemon %d timed out; polling daemons", l.id, src)
-	s.recoverTransfer(l, req, src)
-}
-
-// sendDirective sends one TRANSFERREPLICA to a daemon. destVersion is the
-// version the destination reported holding, letting the source offer a
-// delta covering just the gap.
-func (s *syncThread) sendDirective(l *syncLock, src wire.SiteID, dest wire.SiteID, destVersion uint64) error {
-	addr, err := s.node.daemonAddr(src)
-	if err != nil {
-		return err
-	}
-	dir := &wire.TransferReplica{
-		Lock:        l.id,
-		Dest:        dest,
-		Version:     l.version,
-		DestVersion: destVersion,
-		RequestID:   s.nextNonce.Add(1),
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), s.node.cfg.RequestTimeout)
-	defer cancel()
-	return s.aux.Send(ctx, addr, wire.Marshal(dir))
-}
-
-// recoverTransfer handles a dead transfer source.
-func (s *syncThread) recoverTransfer(l *syncLock, req *lockRequest, deadSrc wire.SiteID) {
-	best, found := s.pollDaemons(l, deadSrc)
-	if !found {
-		// No surviving copy anywhere: tell the grantee to proceed with
-		// whatever it has.
-		s.node.log.Logf("fault", "no surviving copy of lock %d replicas; weakening to local state at site %d", l.id, req.site)
-		l.lastOwner = req.site
-		l.upToDate = wire.NewSiteSet(req.site)
-		s.sendRevisedGrant(l, req, l.version, wire.VersionOK)
-		return
-	}
-
-	if best.Version < l.version {
-		s.node.log.Logf("fault", "newest copy of lock %d lost; falling back to v%d at site %d (weakened consistency)",
-			l.id, best.Version, best.Site)
-	}
-	l.version = best.Version
-	l.lastOwner = best.Site
-	l.upToDate = wire.NewSiteSet(best.Site)
-
-	if best.Site == req.site {
-		// The grantee itself holds the best surviving copy.
-		s.sendRevisedGrant(l, req, best.Version, wire.VersionOK)
-		return
-	}
-	s.sendRevisedGrant(l, req, best.Version, wire.NeedNewVersion)
-	if err := s.sendDirective(l, best.Site, req.site, req.have); err != nil {
-		// The fallback daemon died too; recurse on the remaining set.
-		s.node.log.Logf("fault", "fallback transfer source %d for lock %d also failed", best.Site, l.id)
-		s.recoverTransfer(l, req, best.Site)
-	}
-}
-
-// sendRevisedGrant supersedes an earlier grant after failure recovery.
-func (s *syncThread) sendRevisedGrant(l *syncLock, req *lockRequest, version uint64, flag wire.VersionFlag) {
-	g := &wire.Grant{
+// buildGrantLocked assembles a GRANT from the lock's current state; the
+// caller holds l.mu.
+func (s *syncThread) buildGrantLocked(l *syncLock, req *lockRequest, version uint64, flag wire.VersionFlag, revised bool) *wire.Grant {
+	return &wire.Grant{
 		Lock:     l.id,
 		Thread:   req.thread,
 		Version:  version,
@@ -385,72 +355,30 @@ func (s *syncThread) sendRevisedGrant(l *syncLock, req *lockRequest, version uin
 		Epoch:    s.epoch,
 		Sharers:  l.sharers.Clone(),
 		UpToDate: l.upToDate.Clone(),
-		Revised:  true,
+		Revised:  revised,
 	}
-	s.sendToClient(req.site, g)
 }
 
-// pollDaemons queries every registered daemon except the known-dead one
-// for its local version, returning the best reply.
-func (s *syncThread) pollDaemons(l *syncLock, exclude wire.SiteID) (*wire.PollVersionReply, bool) {
-	nonce := s.nextNonce.Add(1)
-	ch := make(chan *wire.PollVersionReply, 64)
-	s.pollMu.Lock()
-	s.pollWaiters[nonce] = ch
-	s.pollMu.Unlock()
-	defer func() {
-		s.pollMu.Lock()
-		delete(s.pollWaiters, nonce)
-		s.pollMu.Unlock()
-	}()
-
-	poll := wire.Marshal(&wire.PollVersion{Lock: l.id, Nonce: nonce})
-	asked := 0
-	for _, site := range l.sharers.Sites() {
-		if site == exclude {
-			continue
-		}
-		addr, err := s.node.daemonAddr(site)
-		if err != nil {
-			continue
-		}
-		ctx, cancel := context.WithTimeout(context.Background(), s.node.cfg.RequestTimeout)
-		err = s.aux.Send(ctx, addr, poll)
-		cancel()
-		if err != nil {
-			s.node.log.Logf("fault", "poll of daemon %d failed: %v", site, err)
-			continue
-		}
-		asked++
+// holdCurrentLocked reports whether the hold h is still the installed one;
+// the caller holds l.mu. Pointer identity distinguishes this grant session
+// from any later re-grant to the same thread.
+func (s *syncThread) holdCurrentLocked(l *syncLock, h *holderInfo) bool {
+	if h.shared {
+		return l.readers[h.thread] == h
 	}
-
-	var best *wire.PollVersionReply
-	deadline := time.After(s.node.cfg.RequestTimeout)
-	for got := 0; got < asked; {
-		select {
-		case r := <-ch:
-			got++
-			if r.HasData && (best == nil || r.Version > best.Version) {
-				best = r
-			}
-		case <-deadline:
-			got = asked
-		}
-	}
-	return best, best != nil
+	return l.holder == h
 }
 
-// sendToClient delivers a message to a site's client port, reporting
-// success. A failed send is the failure-detection signal for requesters.
-func (s *syncThread) sendToClient(site wire.SiteID, p wire.Payload) bool {
-	addr, err := s.node.clientAddr(site)
-	if err != nil {
+// dropHoldLocked removes the hold h if it is still installed, reporting
+// whether it was; the caller holds l.mu.
+func (s *syncThread) dropHoldLocked(l *syncLock, h *holderInfo) bool {
+	if !s.holdCurrentLocked(l, h) {
 		return false
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), s.node.cfg.RequestTimeout)
-	defer cancel()
-	if err := s.port.Send(ctx, addr, wire.Marshal(p)); err != nil {
-		return false
+	if h.shared {
+		delete(l.readers, h.thread)
+	} else {
+		l.holder = nil
 	}
 	return true
 }
@@ -473,58 +401,178 @@ func (s *syncThread) leaseSweep() {
 	}
 }
 
-// sweepOnce checks every held lock once.
+// sweepOnce collects expired-lease suspects under the lock mutexes, then
+// probes them on completion workers — the heartbeat never runs under any
+// mutex, and the worker re-validates the hold before breaking it. It also
+// garbage-collects empty lock records (no sharers, holds, or queue), which
+// surrogate restores can leave behind.
 func (s *syncThread) sweepOnce() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	now := time.Now()
-	for _, l := range s.locks {
-		if h := l.holder; h != nil && now.Sub(h.grantedAt) > h.lease {
-			s.checkHolder(l, h, false)
+	type suspect struct {
+		l *syncLock
+		h *holderInfo
+	}
+	var suspects []suspect
+	expired := func(l *syncLock, h *holderInfo) bool {
+		if now.Sub(h.grantedAt) <= h.lease || h.probing {
+			return false
 		}
-		for _, h := range l.readers {
-			if now.Sub(h.grantedAt) > h.lease {
-				s.checkHolder(l, h, true)
+		h.probing = true
+		suspects = append(suspects, suspect{l, h})
+		return true
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for id, l := range sh.locks {
+			l.mu.Lock()
+			if l.emptyLocked() {
+				delete(sh.locks, id)
+				l.mu.Unlock()
+				s.node.log.Logf("sync", "collected empty record for lock %d", id)
+				continue
 			}
+			if h := l.holder; h != nil {
+				expired(l, h)
+			}
+			for _, h := range l.readers {
+				expired(l, h)
+			}
+			l.mu.Unlock()
 		}
+		sh.mu.Unlock()
+	}
+	for _, sp := range suspects {
+		sp := sp
+		s.spawn(func() { s.checkHolder(sp.l, sp.h) })
 	}
 }
 
+// emptyLocked reports whether a lock record carries no state worth
+// keeping; the caller holds the record's mu.
+func (l *syncLock) emptyLocked() bool {
+	return l.holder == nil && len(l.readers) == 0 && len(l.queue) == 0 &&
+		l.sharers.Len() == 0 && len(l.names) == 0 && l.version == 0
+}
+
 // checkHolder confirms a lease-expiry suspicion with a heartbeat and
-// breaks the lock if the holder is dead.
-func (s *syncThread) checkHolder(l *syncLock, h *holderInfo, shared bool) {
-	addr, err := s.node.daemonAddr(h.site)
-	if err != nil {
+// breaks the lock if the holder is dead. The heartbeat runs outside all
+// mutexes; the outcome is applied only if the same hold is still
+// installed.
+func (s *syncThread) checkHolder(l *syncLock, h *holderInfo) {
+	addr, addrErr := s.node.daemonAddr(h.site)
+	alive := false
+	if addrErr == nil {
+		alive = s.probe(addr)
+	}
+
+	l.mu.Lock()
+	h.probing = false
+	if !s.holdCurrentLocked(l, h) {
+		// Released, broken, or re-granted while the probe was in flight.
+		l.mu.Unlock()
 		return
 	}
-	hb := wire.Marshal(&wire.Heartbeat{Nonce: s.nextNonce.Add(1)})
-	ctx, cancel := context.WithTimeout(context.Background(), s.node.cfg.RequestTimeout)
-	err = s.aux.Send(ctx, addr, hb)
-	cancel()
-	if err == nil {
+	if addrErr != nil {
+		l.mu.Unlock()
+		return
+	}
+	if alive {
 		// Alive but slow: extend one more lease rather than break a
 		// healthy hold.
 		h.grantedAt = time.Now()
+		l.mu.Unlock()
 		s.node.log.Logf("sync", "lock %d holder %d over lease but alive; extended", l.id, h.thread)
 		return
 	}
 	// "the synchronization thread can assume the application thread has
 	// failed ... the synchronization thread can simply break the lock and
 	// give it to the next application thread that desires it."
-	s.banned[h.thread] = fmt.Sprintf("lease expired on lock %d and heartbeat to site %d failed", l.id, h.site)
-	if shared {
-		delete(l.readers, h.thread)
-	} else {
-		l.holder = nil
-	}
+	s.dropHoldLocked(l, h)
+	actions := s.tryGrantLocked(l)
+	l.mu.Unlock()
+	s.ban(h.thread, fmt.Sprintf("lease expired on lock %d and heartbeat to site %d failed", l.id, h.site))
 	s.node.log.Logf("fault", "broke lock %d held by dead thread %d at site %d", l.id, h.thread, h.site)
-	s.tryGrant(l)
+	s.run(actions)
+}
+
+// probe sends one heartbeat, reporting whether the MNet-level ack arrived.
+func (s *syncThread) probe(addr string) bool {
+	hb := wire.Marshal(&wire.Heartbeat{Nonce: s.nextNonce.Add(1)})
+	ctx, cancel := timeoutCtx(s.node.cfg.RequestTimeout)
+	defer cancel()
+	return s.aux.Send(ctx, addr, hb) == nil
+}
+
+// ban records a failed thread, evicting the oldest record past the bound.
+func (s *syncThread) ban(t wire.ThreadID, reason string) {
+	s.bannedMu.Lock()
+	defer s.bannedMu.Unlock()
+	if _, known := s.banned[t]; !known {
+		s.banOrder = append(s.banOrder, t)
+		if len(s.banOrder) > maxBannedRecords {
+			delete(s.banned, s.banOrder[0])
+			s.banOrder = s.banOrder[1:]
+		}
+	}
+	s.banned[t] = reason
+}
+
+// bannedReason looks a thread up in the banned table.
+func (s *syncThread) bannedReason(t wire.ThreadID) (string, bool) {
+	s.bannedMu.Lock()
+	defer s.bannedMu.Unlock()
+	reason, ok := s.banned[t]
+	return reason, ok
 }
 
 // Banned reports whether a thread has been banned (for tests and tools).
 func (s *syncThread) Banned(t wire.ThreadID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, ok := s.banned[t]
+	_, ok := s.bannedReason(t)
 	return ok
+}
+
+// checkInvariants verifies the protocol invariants over every lock record
+// (used by tests after stress runs): at most one exclusive holder and
+// never alongside readers, no holder or reader still queued, and the
+// up-to-date set contained in the sharer set.
+func (s *syncThread) checkInvariants() error {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for id, l := range sh.locks {
+			l.mu.Lock()
+			err := l.checkInvariantsLocked()
+			l.mu.Unlock()
+			if err != nil {
+				sh.mu.Unlock()
+				return fmt.Errorf("lock %d: %w", id, err)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+func (l *syncLock) checkInvariantsLocked() error {
+	if h := l.holder; h != nil {
+		if h.shared {
+			return errors.New("exclusive holder slot occupied by a shared hold")
+		}
+		if len(l.readers) > 0 {
+			return fmt.Errorf("exclusive holder %d coexists with %d readers", h.thread, len(l.readers))
+		}
+	}
+	for _, q := range l.queue {
+		if l.holder != nil && q.thread == l.holder.thread {
+			return fmt.Errorf("holder %d still queued", q.thread)
+		}
+		if _, ok := l.readers[q.thread]; ok {
+			return fmt.Errorf("reader %d still queued", q.thread)
+		}
+	}
+	for _, site := range l.upToDate.Sites() {
+		if !l.sharers.Contains(site) {
+			return fmt.Errorf("up-to-date site %d is not a sharer", site)
+		}
+	}
+	return nil
 }

@@ -103,12 +103,28 @@ func (m *Grant) decode(r *Reader) error {
 	return r.Err()
 }
 
+// NackCode classifies why an AcquireLock was refused, so the requester can
+// map the refusal to the right error.
+type NackCode uint8
+
+const (
+	// NackBanned: the requesting thread was banned after a detected
+	// failure.
+	NackBanned NackCode = 0
+	// NackUnknownLock: the lock ID has never been registered by any
+	// daemon; the synchronization thread refuses to fabricate a record
+	// for it.
+	NackUnknownLock NackCode = 1
+)
+
 // LockNack refuses an AcquireLock, e.g. because the requesting thread was
 // banned after a detected failure ("an application thread that fails in
-// this manner is prevented from making future requests", Section 4).
+// this manner is prevented from making future requests", Section 4), or
+// because the named lock was never registered.
 type LockNack struct {
 	Lock   LockID
 	Thread ThreadID
+	Code   NackCode
 	Reason string
 }
 
@@ -118,12 +134,14 @@ func (*LockNack) Kind() Kind { return KindLockNack }
 func (m *LockNack) encode(w *Writer) {
 	w.U32(uint32(m.Lock))
 	w.U64(uint64(m.Thread))
+	w.U8(uint8(m.Code))
 	w.String16(m.Reason)
 }
 
 func (m *LockNack) decode(r *Reader) error {
 	m.Lock = LockID(r.U32())
 	m.Thread = ThreadID(r.U64())
+	m.Code = NackCode(r.U8())
 	m.Reason = r.String16()
 	return r.Err()
 }

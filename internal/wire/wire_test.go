@@ -25,7 +25,7 @@ func allMessages() []Payload {
 		&PollVersionReply{Lock: 7, Site: 5, Nonce: 123456, Version: 40, HasData: true},
 		&Heartbeat{Nonce: 77},
 		&HeartbeatAck{Nonce: 77, Site: 6},
-		&LockNack{Lock: 7, Thread: MakeThreadID(6, 1), Reason: "banned after lease expiry"},
+		&LockNack{Lock: 7, Thread: MakeThreadID(6, 1), Code: NackUnknownLock, Reason: "banned after lease expiry"},
 		&SyncMoved{Addr: "sim://2/sync", Epoch: 3},
 		&OpenStreamRequest{RequestID: 99, From: 2},
 		&OpenStreamReply{RequestID: 99, Addr: "127.0.0.1:40404"},
