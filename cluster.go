@@ -214,6 +214,7 @@ func newSite(sc siteConfig) (*Site, error) {
 		DefaultLease:        sc.opts.lease,
 		LeaseSweep:          sc.opts.leaseSweep,
 		Log:                 logger,
+		History:             sc.opts.history,
 	})
 	if err != nil {
 		return nil, err

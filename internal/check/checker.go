@@ -1,0 +1,434 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"mocha/internal/wire"
+)
+
+// The entry-consistency invariants the checker enforces, as sentinel errors
+// so fixtures can assert on the exact violation class.
+var (
+	// ErrDualHolder: two exclusive holds, or an exclusive hold alongside
+	// readers, existed at once.
+	ErrDualHolder = errors.New("check: conflicting lock holders")
+	// ErrHolderQueued: a thread holding a lock was queued for it again.
+	ErrHolderQueued = errors.New("check: holder queued for its own lock")
+	// ErrOrphanGrant: a grant was issued with no matching queued acquire or
+	// current hold (for revised grants).
+	ErrOrphanGrant = errors.New("check: grant without a matching acquire")
+	// ErrVersionRegress: a release did not advance the committed version.
+	ErrVersionRegress = errors.New("check: committed version regressed")
+	// ErrGrantVersion: a grant did not carry the max committed version.
+	ErrGrantVersion = errors.New("check: grant version differs from committed version")
+	// ErrStaleRead: replica bytes observed under the lock (or installed for
+	// a version) differ from the bytes the version's release published.
+	ErrStaleRead = errors.New("check: replica bytes diverge from the committed version")
+	// ErrUpToDateOverclaim: an up-to-date set named a site that never held
+	// the claimed version's bytes.
+	ErrUpToDateOverclaim = errors.New("check: up-to-date set exceeds replicas at the version")
+	// ErrBannedRegrant: a banned thread's later request was granted.
+	ErrBannedRegrant = errors.New("check: banned thread granted a lock")
+)
+
+// Violation reports the first invariant breach found in a history.
+type Violation struct {
+	Err    error
+	Detail string
+	// Events are the offending events: the one that tripped the invariant
+	// last, preceded by the earlier events it conflicts with.
+	Events []wire.HistoryEvent
+}
+
+// Error renders the violation with its offending events.
+func (v *Violation) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v: %s", v.Err, v.Detail)
+	for _, ev := range v.Events {
+		b.WriteString("\n  ")
+		b.WriteString(ev.String())
+	}
+	return b.String()
+}
+
+// Unwrap lets errors.Is match the sentinel.
+func (v *Violation) Unwrap() error { return v.Err }
+
+// hold is one granted lock session as the checker tracks it.
+type hold struct {
+	thread wire.ThreadID
+	site   wire.SiteID
+	grant  wire.HistoryEvent
+}
+
+// lockState replays one lock's protocol state.
+type lockState struct {
+	committed uint64
+	holder    *hold
+	readers   map[wire.ThreadID]*hold
+	// pending maps queued threads to their acquire event.
+	pending map[wire.ThreadID]wire.HistoryEvent
+	// knownAt[v] is the set of sites that have held version v's bytes
+	// (publisher, appliers, and recovery survivors).
+	knownAt map[uint64]map[wire.SiteID]bool
+	// shadow[v][name] is the digest of version v's bytes for one replica —
+	// the checker-maintained shadow copy reads are compared against.
+	shadow map[uint64]map[string]shadowEntry
+}
+
+// shadowEntry is one replica's digest at one version. Entries set by a
+// publish or apply (the version's actual bytes moving) are authoritative;
+// entries adopted from an observe are weak — a site whose replica set
+// includes names the version's publisher never shipped legitimately sees
+// local bytes for them, so weak entries provide context but a mismatch is
+// only a violation against an authoritative one.
+type shadowEntry struct {
+	sum  uint32
+	auth bool
+	src  wire.HistoryEvent
+}
+
+func newLockState() *lockState {
+	return &lockState{
+		readers: make(map[wire.ThreadID]*hold),
+		pending: make(map[wire.ThreadID]wire.HistoryEvent),
+		knownAt: make(map[uint64]map[wire.SiteID]bool),
+		shadow:  make(map[uint64]map[string]shadowEntry),
+	}
+}
+
+func (ls *lockState) know(v uint64, site wire.SiteID) {
+	m := ls.knownAt[v]
+	if m == nil {
+		m = make(map[wire.SiteID]bool)
+		ls.knownAt[v] = m
+	}
+	m[site] = true
+}
+
+// demoteUncommitted weakens every authoritative shadow entry the thread
+// published above the committed version: a publish only truly defines its
+// version once the matching release commits it, and this thread's hold
+// ended without one.
+func (ls *lockState) demoteUncommitted(t wire.ThreadID) {
+	for ver, sh := range ls.shadow {
+		if ver <= ls.committed {
+			continue
+		}
+		for name, e := range sh {
+			if e.auth && e.src.Kind == wire.HistPublish && e.src.Thread == t {
+				e.auth = false
+				sh[name] = e
+			}
+		}
+	}
+}
+
+// dropAbove forgets shadow and known-site state for every version strictly
+// above v: a recovery rewound the committed version, so those numbers will
+// be reissued with fresh bytes.
+func (ls *lockState) dropAbove(v uint64) {
+	for ver := range ls.shadow {
+		if ver > v {
+			delete(ls.shadow, ver)
+		}
+	}
+	for ver := range ls.knownAt {
+		if ver > v {
+			delete(ls.knownAt, ver)
+		}
+	}
+}
+
+// checker replays a history event by event.
+type checker struct {
+	locks  map[wire.LockID]*lockState
+	banned map[wire.ThreadID]wire.HistoryEvent
+}
+
+// Check replays a recorded history against the entry-consistency
+// specification and returns the first violation, or nil. Events must be in
+// recorder order (as returned by Recorder.Events).
+func Check(events []wire.HistoryEvent) *Violation {
+	c := &checker{
+		locks:  make(map[wire.LockID]*lockState),
+		banned: make(map[wire.ThreadID]wire.HistoryEvent),
+	}
+	for _, ev := range events {
+		if v := c.step(ev); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+func (c *checker) lock(id wire.LockID) *lockState {
+	ls, ok := c.locks[id]
+	if !ok {
+		ls = newLockState()
+		c.locks[id] = ls
+	}
+	return ls
+}
+
+// violate builds a violation from the tripping event and its context.
+func violate(err error, detail string, evs ...wire.HistoryEvent) *Violation {
+	return &Violation{Err: err, Detail: detail, Events: evs}
+}
+
+func (c *checker) step(ev wire.HistoryEvent) *Violation {
+	switch ev.Kind {
+	case wire.HistAcquire:
+		return c.onAcquire(ev)
+	case wire.HistGrant:
+		return c.onGrant(ev)
+	case wire.HistGrantDropped:
+		c.lock(ev.Lock).removeHold(ev.Thread)
+	case wire.HistNack:
+		delete(c.lock(ev.Lock).pending, ev.Thread)
+	case wire.HistRelease:
+		return c.onRelease(ev)
+	case wire.HistRegister:
+		// Only a creator's register seeds a version; Version 0 registers
+		// merely record interest.
+		if ev.Version > 0 {
+			ls := c.lock(ev.Lock)
+			ls.committed = ev.Version
+			ls.know(ev.Version, ev.Site)
+		}
+	case wire.HistApply:
+		ls := c.lock(ev.Lock)
+		ls.know(ev.Version, ev.Site)
+		return c.matchShadow(ls, ev, true, false, true)
+	case wire.HistPublish:
+		ls := c.lock(ev.Lock)
+		ls.know(ev.Version, ev.Site)
+		// A publish from a thread the checker no longer tracks as holding
+		// (its hold was broken, or voided by a surrogate restore) is an
+		// orphan: the synchronization thread will ignore its release, so its
+		// bytes never define the version — record them as weak context only.
+		auth := ev.Note == "create" ||
+			(ls.holder != nil && ls.holder.thread == ev.Thread) ||
+			ls.readers[ev.Thread] != nil
+		return c.matchShadow(ls, ev, auth, ev.Note == "create", auth)
+	case wire.HistObserve:
+		return c.onObserve(ev)
+	case wire.HistBreak:
+		ls := c.lock(ev.Lock)
+		if ls.removeHold(ev.Thread) {
+			// The broken holder may have published a new version locally
+			// whose release never reached the synchronization thread (its
+			// site died mid-release). That version number will be reissued
+			// to the next holder with different bytes: the zombie's
+			// uncommitted publishes stop defining their versions.
+			ls.demoteUncommitted(ev.Thread)
+		}
+	case wire.HistBan:
+		if _, dup := c.banned[ev.Thread]; !dup {
+			c.banned[ev.Thread] = ev
+		}
+	case wire.HistRecover:
+		c.onRecover(ev)
+	case wire.HistTransferSend, wire.HistCrash, wire.HistFault:
+		// Context for reports; no invariant attaches.
+	}
+	return nil
+}
+
+// removeHold drops whatever hold the thread has, reporting whether one
+// existed.
+func (ls *lockState) removeHold(t wire.ThreadID) bool {
+	if ls.holder != nil && ls.holder.thread == t {
+		ls.holder = nil
+		return true
+	}
+	if _, ok := ls.readers[t]; ok {
+		delete(ls.readers, t)
+		return true
+	}
+	return false
+}
+
+func (c *checker) onAcquire(ev wire.HistoryEvent) *Violation {
+	ls := c.lock(ev.Lock)
+	if ls.holder != nil && ls.holder.thread == ev.Thread {
+		return violate(ErrHolderQueued,
+			fmt.Sprintf("thread %d queued for lock %d while holding it exclusively", ev.Thread, ev.Lock),
+			ls.holder.grant, ev)
+	}
+	if h, ok := ls.readers[ev.Thread]; ok {
+		return violate(ErrHolderQueued,
+			fmt.Sprintf("thread %d queued for lock %d while holding it shared", ev.Thread, ev.Lock),
+			h.grant, ev)
+	}
+	ls.pending[ev.Thread] = ev
+	return nil
+}
+
+func (c *checker) onGrant(ev wire.HistoryEvent) *Violation {
+	ls := c.lock(ev.Lock)
+
+	if ev.Revised {
+		// A revised grant re-issues an existing hold after recovery; it
+		// must land on the current hold, never create one.
+		held := (ls.holder != nil && ls.holder.thread == ev.Thread)
+		if !held {
+			_, held = ls.readers[ev.Thread]
+		}
+		if !held {
+			return violate(ErrOrphanGrant,
+				fmt.Sprintf("revised grant of lock %d to thread %d, which holds nothing", ev.Lock, ev.Thread), ev)
+		}
+	} else {
+		acq, ok := ls.pending[ev.Thread]
+		if !ok {
+			return violate(ErrOrphanGrant,
+				fmt.Sprintf("grant of lock %d to thread %d with no queued acquire", ev.Lock, ev.Thread), ev)
+		}
+		delete(ls.pending, ev.Thread)
+		if ban, isBanned := c.banned[ev.Thread]; isBanned && acq.Seq > ban.Seq {
+			return violate(ErrBannedRegrant,
+				fmt.Sprintf("thread %d was banned at #%d but its later request was granted", ev.Thread, ban.Seq),
+				ban, acq, ev)
+		}
+		if ls.holder != nil {
+			return violate(ErrDualHolder,
+				fmt.Sprintf("lock %d granted to thread %d while thread %d holds it exclusively",
+					ev.Lock, ev.Thread, ls.holder.thread),
+				ls.holder.grant, ev)
+		}
+		if !ev.Shared && len(ls.readers) > 0 {
+			for _, r := range ls.readers {
+				return violate(ErrDualHolder,
+					fmt.Sprintf("lock %d granted exclusively to thread %d while thread %d reads it",
+						ev.Lock, ev.Thread, r.thread),
+					r.grant, ev)
+			}
+		}
+		h := &hold{thread: ev.Thread, site: ev.Site, grant: ev}
+		if ev.Shared {
+			ls.readers[ev.Thread] = h
+		} else {
+			ls.holder = h
+		}
+	}
+
+	if ev.Version != ls.committed {
+		return violate(ErrGrantVersion,
+			fmt.Sprintf("grant of lock %d carries v%d, committed version is v%d", ev.Lock, ev.Version, ls.committed), ev)
+	}
+	if ev.Version > 0 {
+		for _, site := range ev.Sites.Sites() {
+			if !ls.knownAt[ev.Version][site] {
+				return violate(ErrUpToDateOverclaim,
+					fmt.Sprintf("grant of lock %d claims site %d is up to date at v%d, but that site never held those bytes",
+						ev.Lock, site, ev.Version), ev)
+			}
+		}
+	}
+	return nil
+}
+
+func (c *checker) onRelease(ev wire.HistoryEvent) *Violation {
+	ls := c.lock(ev.Lock)
+	ls.removeHold(ev.Thread)
+	if ev.Aborted || ev.Shared {
+		return nil
+	}
+	if ev.Version <= ls.committed {
+		return violate(ErrVersionRegress,
+			fmt.Sprintf("release of lock %d commits v%d, already at v%d", ev.Lock, ev.Version, ls.committed), ev)
+	}
+	ls.committed = ev.Version
+	for _, site := range ev.Sites.Sites() {
+		if site == ev.Site {
+			continue // the releaser's own publish establishes its bytes
+		}
+		if !ls.knownAt[ev.Version][site] {
+			return violate(ErrUpToDateOverclaim,
+				fmt.Sprintf("release of lock %d claims site %d holds v%d, but no apply of v%d at that site was recorded",
+					ev.Lock, site, ev.Version, ev.Version), ev)
+		}
+	}
+	return nil
+}
+
+// matchShadow compares an event's digests against the shadow copy of its
+// version, installing entries for names not yet seen. auth marks the event
+// as carrying the version's actual bytes (a publish or apply); observes
+// install weak entries and only violate against authoritative ones. With
+// redefine set (a creator seeding version 1 locally), existing entries are
+// overwritten instead of compared: concurrent creators legitimately race to
+// define the initial bytes, and the synchronization thread's single creator
+// seed decides whose transfer wins later. With enforce clear, mismatches
+// are never flagged and entries only install where none exist — used for
+// events whose bytes may legitimately predate a recovery era.
+func (c *checker) matchShadow(ls *lockState, ev wire.HistoryEvent, auth, redefine, enforce bool) *Violation {
+	if ev.Version == 0 || len(ev.Digests) == 0 {
+		return nil
+	}
+	sh := ls.shadow[ev.Version]
+	if sh == nil {
+		sh = make(map[string]shadowEntry)
+		ls.shadow[ev.Version] = sh
+	}
+	for _, d := range ev.Digests {
+		cur, seen := sh[d.Name]
+		if enforce && seen && !redefine && cur.auth && cur.sum != d.Sum {
+			return violate(ErrStaleRead,
+				fmt.Sprintf("replica %q at lock %d v%d has digest %08x here, but the version's bytes have digest %08x",
+					d.Name, ev.Lock, ev.Version, d.Sum, cur.sum),
+				cur.src, ev)
+		}
+		if !seen || redefine || (auth && !cur.auth) {
+			sh[d.Name] = shadowEntry{sum: d.Sum, auth: auth, src: ev}
+		}
+	}
+	return nil
+}
+
+func (c *checker) onObserve(ev wire.HistoryEvent) *Violation {
+	ls := c.lock(ev.Lock)
+	if ev.Version < ev.AuxVersion {
+		return violate(ErrStaleRead,
+			fmt.Sprintf("thread %d entered lock %d at local v%d, below the granted v%d",
+				ev.Thread, ev.Lock, ev.Version, ev.AuxVersion), ev)
+	}
+	// A reader's bytes are only enforced against the shadow copy when the
+	// history shows this site receiving this version's bytes (publish,
+	// apply, creator seed, or recovery). A site that silently survived a
+	// recovery rewind legitimately carries another era's bytes under a
+	// reissued version number — weakened consistency, not a violation.
+	enforce := ls.knownAt[ev.Version][ev.Site]
+	return c.matchShadow(ls, ev, false, false, enforce)
+}
+
+// onRecover re-baselines the lock after failure handling rewrote its
+// committed state: a daemon-poll verdict ("poll-best"), the no-surviving-
+// copy fallback ("weakened-local"), or a surrogate restoring from a
+// snapshot ("surrogate-restore", which also voids unrecovered holds).
+func (c *checker) onRecover(ev wire.HistoryEvent) {
+	ls := c.lock(ev.Lock)
+	ls.dropAbove(ev.Version)
+	ls.committed = ev.Version
+	switch ev.Note {
+	case "weakened-local":
+		// All copies of the committed version were lost; the survivor's
+		// local bytes redefine it.
+		delete(ls.shadow, ev.Version)
+		ls.knownAt[ev.Version] = map[wire.SiteID]bool{ev.Site: true}
+	case "surrogate-restore":
+		// Transient state (holds, queue) is deliberately not recovered;
+		// surviving threads re-issue their requests.
+		ls.holder = nil
+		ls.readers = make(map[wire.ThreadID]*hold)
+		ls.pending = make(map[wire.ThreadID]wire.HistoryEvent)
+		for _, site := range ev.Sites.Sites() {
+			ls.know(ev.Version, site)
+		}
+	default: // "poll-best"
+		ls.know(ev.Version, ev.Site)
+	}
+}

@@ -1,0 +1,526 @@
+package check_test
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"mocha/internal/check"
+	"mocha/internal/core"
+	"mocha/internal/eventlog"
+	"mocha/internal/marshal"
+	"mocha/internal/mnet"
+	"mocha/internal/netsim"
+	"mocha/internal/transport"
+	"mocha/internal/wire"
+)
+
+// TestMain raises the default subtest parallelism: an explorer seed spends
+// nearly all its wall time waiting on protocol timers, not the CPU, so the
+// GOMAXPROCS-derived default serializes the seeds on small machines for no
+// benefit. An explicit -test.parallel flag still wins.
+func TestMain(m *testing.M) {
+	flag.Parse()
+	if f := flag.Lookup("test.parallel"); f != nil &&
+		f.Value.String() == strconv.Itoa(runtime.GOMAXPROCS(0)) {
+		_ = f.Value.Set("10")
+	}
+	os.Exit(m.Run())
+}
+
+// seedFlag replays exactly one explorer seed:
+//
+//	go test ./internal/check -run 'TestExplore$' -seed=<s>
+//
+// The seed deterministically derives the cluster shape, network loss and
+// jitter, the workload, and the fault schedule, so a replay re-injects the
+// same faults at the same named fault points.
+var seedFlag = flag.Int64("seed", -1, "replay a single explorer seed")
+
+// exploreSeeds is how many consecutive seeds one full TestExplore run
+// covers, starting from MOCHA_TEST_SEED (default 1000).
+const exploreSeeds = 20
+
+// runConfig is everything one seed derives.
+type runConfig struct {
+	sites   int
+	locks   int
+	workers int // per site
+	ops     int // per worker
+	ur      int
+	profile netsim.Profile
+	mode    core.TransferMode
+	delta   bool
+	fanout  int
+	netSeed int64
+}
+
+// Derivation salts: each aspect of a run draws from its own stream so that,
+// e.g., adding a fault point never perturbs the workload of existing seeds.
+const (
+	saltNetwork  = 1
+	saltFaults   = 2
+	saltShape    = 3
+	saltWorkload = 100
+)
+
+func deriveConfig(seed int64) runConfig {
+	rng := rand.New(rand.NewSource(netsim.DeriveSeed(seed, saltShape)))
+	cfg := runConfig{
+		sites:   3 + rng.Intn(3),
+		locks:   1 + rng.Intn(3),
+		workers: 1 + rng.Intn(2),
+		ops:     3 + rng.Intn(4),
+		netSeed: netsim.DeriveSeed(seed, saltNetwork),
+	}
+	cfg.ur = 1 + rng.Intn(cfg.sites)
+	cfg.profile = netsim.Perfect()
+	if rng.Intn(2) == 0 {
+		cfg.profile.Loss = rng.Float64() * 0.03
+	}
+	cfg.profile.Jitter = time.Duration(rng.Intn(3)) * time.Millisecond
+	cfg.mode = core.ModeMNet
+	if rng.Intn(3) == 0 {
+		cfg.mode = core.ModeHybrid
+	}
+	cfg.delta = rng.Intn(2) == 0
+	cfg.fanout = rng.Intn(3)
+	return cfg
+}
+
+// faultPlan is a seed-derived fault schedule over the named fault-point
+// registry: for each point, the occurrence indices (0-based, per point) at
+// which it fires. A replay of the same seed counts occurrences the same way
+// and so re-injects the same faults.
+type faultPlan struct {
+	fires map[core.FaultPoint]map[int]bool
+	delay time.Duration // poll-reply delay, may exceed the request timeout
+}
+
+func deriveFaults(seed int64) *faultPlan {
+	rng := rand.New(rand.NewSource(netsim.DeriveSeed(seed, saltFaults)))
+	p := &faultPlan{fires: make(map[core.FaultPoint]map[int]bool)}
+	for _, fp := range core.FaultPoints() {
+		occs := make(map[int]bool)
+		for n := rng.Intn(3); n > 0; n-- {
+			occs[rng.Intn(6)] = true
+		}
+		p.fires[fp] = occs
+	}
+	p.delay = time.Duration(50+rng.Intn(500)) * time.Millisecond
+	return p
+}
+
+func (p *faultPlan) String() string {
+	s := ""
+	for _, fp := range core.FaultPoints() {
+		occs := p.fires[fp]
+		if len(occs) == 0 {
+			continue
+		}
+		s += fmt.Sprintf("  %s at occurrences %v\n", fp, keys(occs))
+	}
+	if s == "" {
+		s = "  (no faults scheduled)\n"
+	}
+	return s + fmt.Sprintf("  poll delay %v", p.delay)
+}
+
+func keys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for i := 0; i < 8; i++ {
+		if m[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// explorer runs one seed's randomized multi-site workload under the seed's
+// fault schedule, recording the history for the checker.
+type explorer struct {
+	t    *testing.T
+	seed int64
+	cfg  runConfig
+	plan *faultPlan
+
+	sn    *transport.SimNetwork
+	rec   *check.Recorder
+	nodes map[wire.SiteID]*core.Node
+	ctx   context.Context
+
+	mu     sync.Mutex
+	counts map[core.FaultPoint]int
+	fired  []string
+	killed map[wire.SiteID]bool
+	kills  int
+	doomed map[wire.ThreadID]bool
+}
+
+// newExplorer builds the cluster. Fault injection is armed only after the
+// workload starts; setup runs fault-free.
+func newExplorer(t *testing.T, seed int64, cfg runConfig, plan *faultPlan) *explorer {
+	t.Helper()
+	sn := transport.NewSimNetwork(netsim.Config{Profile: cfg.profile, Seed: cfg.netSeed})
+	e := &explorer{
+		t: t, seed: seed, cfg: cfg, plan: plan,
+		sn:     sn,
+		rec:    check.NewRecorder(0, sn.Clock()),
+		nodes:  make(map[wire.SiteID]*core.Node, cfg.sites),
+		counts: make(map[core.FaultPoint]int),
+		killed: make(map[wire.SiteID]bool),
+		doomed: make(map[wire.ThreadID]bool),
+	}
+	directory := make(map[wire.SiteID]string, cfg.sites)
+	stacks := make(map[wire.SiteID]*transport.SimStack, cfg.sites)
+	for i := 1; i <= cfg.sites; i++ {
+		stack, err := sn.NewStack(netsim.NodeID(i))
+		if err != nil {
+			t.Fatalf("stack %d: %v", i, err)
+		}
+		stacks[wire.SiteID(i)] = stack
+		directory[wire.SiteID(i)] = stack.Datagram().LocalAddr()
+	}
+	for i := 1; i <= cfg.sites; i++ {
+		site := wire.SiteID(i)
+		ep := mnet.NewEndpoint(stacks[site].Datagram(), mnet.Config{RTO: 25 * time.Millisecond, MaxRetries: 4})
+		node, err := core.NewNode(core.Config{
+			Site:                site,
+			Endpoint:            ep,
+			Stack:               stacks[site],
+			Directory:           directory,
+			IsHome:              site == wire.HomeSite,
+			Mode:                cfg.mode,
+			DeltaTransfer:       cfg.delta,
+			DisseminationFanout: cfg.fanout,
+			RequestTimeout:      300 * time.Millisecond,
+			TransferTimeout:     time.Second,
+			DefaultLease:        500 * time.Millisecond,
+			LeaseSweep:          25 * time.Millisecond,
+			Log:                 eventlog.New(1 << 14),
+			History:             e.rec,
+			FaultHook:           e.hook,
+		})
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		e.nodes[site] = node
+	}
+	return e
+}
+
+func (e *explorer) hook(fc core.FaultContext) core.FaultDecision {
+	e.mu.Lock()
+	if e.ctx == nil { // workload not started: setup runs fault-free
+		e.mu.Unlock()
+		return core.FaultDecision{}
+	}
+	n := e.counts[fc.Point]
+	e.counts[fc.Point] = n + 1
+	if !e.plan.fires[fc.Point][n] {
+		e.mu.Unlock()
+		return core.FaultDecision{}
+	}
+	e.fired = append(e.fired, fmt.Sprintf("%s occurrence %d: site=%d peer=%d lock=%d thread=%d v%d",
+		fc.Point, n, fc.Site, fc.Peer, fc.Lock, fc.Thread, fc.Version))
+
+	var d core.FaultDecision
+	switch fc.Point {
+	case core.FPDelayDaemonPoll:
+		// Hold the poll reply back past the request timeout: the polling
+		// recovery treats this daemon's copy as unavailable.
+		d.Delay = e.plan.delay
+	case core.FPDropMidTransfer:
+		d.Drop = true
+	case core.FPCrashBeforeGrant:
+		// The requester crashes before its grant arrives.
+		d.Drop = true
+		e.killLocked(fc.Peer)
+	case core.FPCrashAfterReleaseBeforePush:
+		// The holder's site crashes after committing locally but before
+		// pushing or releasing; the lease break must clean up.
+		d.Drop = true
+		e.killLocked(fc.Site)
+	case core.FPKillLockHolder:
+		// Only doom the holder if the kill budget allows actually removing
+		// its site; the worker abandons the hold without unlocking.
+		if e.killLocked(fc.Site) {
+			e.doomed[fc.Thread] = true
+		}
+	}
+	e.mu.Unlock()
+	return d
+}
+
+// killLocked fail-stops a site (asynchronously — the hook runs on protocol
+// goroutines) if the budget allows. The home site survives every schedule:
+// synchronization-thread failover is the surrogate tests' subject, not the
+// explorer's. Caller holds e.mu.
+func (e *explorer) killLocked(site wire.SiteID) bool {
+	if site == wire.HomeSite || site == 0 || e.killed[site] || e.kills >= 1 {
+		return false
+	}
+	e.killed[site] = true
+	e.kills++
+	e.rec.Record(wire.HistoryEvent{Kind: wire.HistCrash, Site: site})
+	node := e.nodes[site]
+	go func() {
+		_ = node.Close()
+		e.sn.Kill(netsim.NodeID(site))
+	}()
+	return true
+}
+
+func (e *explorer) isKilled(site wire.SiteID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.killed[site]
+}
+
+func (e *explorer) isDoomed(t wire.ThreadID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.doomed[t]
+}
+
+func lockName(l int) string    { return fmt.Sprintf("obj%d", l) }
+func lockID(l int) wire.LockID { return wire.LockID(100 + l) }
+func settle(d time.Duration)   { time.Sleep(d) }
+
+// setup creates every lock's replica at the home site and registers the
+// sharer sites, fault-free.
+func (e *explorer) setup(ctx context.Context) error {
+	hc := e.nodes[wire.HomeSite].NewHandle("creator")
+	for l := 0; l < e.cfg.locks; l++ {
+		r, err := e.nodes[wire.HomeSite].CreateReplica(lockName(l), marshal.Ints([]int32{0, 0}), e.cfg.sites)
+		if err != nil {
+			return err
+		}
+		rl := hc.ReplicaLock(lockID(l))
+		if err := rl.Associate(ctx, r); err != nil {
+			return err
+		}
+	}
+	settle(30 * time.Millisecond)
+	return nil
+}
+
+// worker is one application thread: it associates with every lock, then
+// runs a random mix of exclusive writes and shared reads. Operation errors
+// end the worker — under injected faults, liveness is best-effort; safety
+// is the checker's job.
+func (e *explorer) worker(site wire.SiteID, idx int) {
+	rng := rand.New(rand.NewSource(netsim.DeriveSeed(e.seed, saltWorkload+uint64(site)*8+uint64(idx))))
+	node := e.nodes[site]
+	h := node.NewHandle(fmt.Sprintf("w%d-%d", site, idx))
+
+	rls := make([]*core.ReplicaLock, 0, e.cfg.locks)
+	reps := make([]*core.Replica, 0, e.cfg.locks)
+	for l := 0; l < e.cfg.locks; l++ {
+		if e.isKilled(site) {
+			return
+		}
+		r, err := node.AttachReplica(lockName(l), marshal.Ints(nil))
+		if err != nil {
+			return
+		}
+		rl := h.ReplicaLock(lockID(l))
+		if err := rl.Associate(e.ctx, r); err != nil {
+			return
+		}
+		rl.SetUpdateReplicas(e.cfg.ur)
+		rls = append(rls, rl)
+		reps = append(reps, r)
+	}
+
+	for op := 0; op < e.cfg.ops; op++ {
+		if e.isKilled(site) || e.ctx.Err() != nil {
+			return
+		}
+		l := rng.Intn(len(rls))
+		rl, r := rls[l], reps[l]
+		// Per-operation deadline: a worker whose grant a fault swallowed
+		// gives up quickly instead of pinning the run on the global timeout.
+		opCtx, cancel := context.WithTimeout(e.ctx, time.Second)
+		ok := func() bool {
+			if rng.Intn(3) == 0 {
+				if err := rl.LockShared(opCtx); err != nil {
+					return false
+				}
+				_ = r.Content().IntsData()
+				if e.isDoomed(h.ID()) {
+					return false // site is being killed; abandon the hold
+				}
+				return rl.Unlock(opCtx) == nil
+			}
+			if err := rl.Lock(opCtx); err != nil {
+				return false
+			}
+			if e.isDoomed(h.ID()) {
+				return false
+			}
+			data := r.Content().IntsData()
+			if len(data) >= 2 {
+				data[0]++
+				data[1] = data[0] * 2
+			}
+			return rl.Unlock(opCtx) == nil
+		}()
+		cancel()
+		if !ok {
+			return
+		}
+	}
+}
+
+// run executes the seed end to end and returns the recorded history.
+func (e *explorer) run() []wire.HistoryEvent {
+	defer func() {
+		e.mu.Lock()
+		for site, node := range e.nodes {
+			if !e.killed[site] {
+				_ = node.Close()
+			}
+		}
+		e.mu.Unlock()
+		_ = e.sn.Close()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := e.setup(ctx); err != nil {
+		e.t.Fatalf("seed %d: setup: %v", e.seed, err)
+	}
+
+	// Arm fault injection: hooks fire only once e.ctx is set.
+	e.mu.Lock()
+	e.ctx = ctx
+	e.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for i := 1; i <= e.cfg.sites; i++ {
+		for w := 0; w < e.cfg.workers; w++ {
+			site, w := wire.SiteID(i), w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				e.worker(site, w)
+			}()
+		}
+	}
+	wg.Wait()
+	// Let in-flight dissemination and lease housekeeping quiesce before the
+	// nodes close, so the recorded history ends at a stable state.
+	settle(50 * time.Millisecond)
+	return e.rec.Events()
+}
+
+// runExplore executes one seed and checks its history.
+func runExplore(t *testing.T, seed int64) {
+	cfg := deriveConfig(seed)
+	plan := deriveFaults(seed)
+	e := newExplorer(t, seed, cfg, plan)
+	events := e.run()
+
+	e.mu.Lock()
+	fired := append([]string(nil), e.fired...)
+	e.mu.Unlock()
+	t.Logf("seed %d: %d sites, %d locks, %d workers/site, %d ops, UR=%d, mode=%v, delta=%v, fanout=%d, loss=%.3f, %d events, %d faults fired",
+		seed, cfg.sites, cfg.locks, cfg.workers, cfg.ops, cfg.ur, cfg.mode, cfg.delta, cfg.fanout, cfg.profile.Loss, len(events), len(fired))
+
+	if v := check.Check(events); v != nil {
+		report := "  (none fired)"
+		if len(fired) > 0 {
+			report = "  " + fired[0]
+			for _, f := range fired[1:] {
+				report += "\n  " + f
+			}
+		}
+		t.Fatalf("seed %d violates entry consistency\nschedule:\n%s\nfaults fired:\n%s\nreplay: go test ./internal/check -run 'TestExplore$' -seed=%d\n\n%v",
+			seed, plan, report, seed, v)
+	}
+	if e.rec.Dropped() > 0 {
+		t.Fatalf("seed %d: recorder dropped %d events; raise the capacity", seed, e.rec.Dropped())
+	}
+}
+
+// TestExplore runs the seeded fault-schedule explorer: exploreSeeds
+// consecutive seeds, each deriving its own cluster shape, network
+// conditions, workload, and fault schedule, with the recorded history of
+// every run replayed through the entry-consistency checker. A failure
+// prints the seed, the schedule, and the exact replay command.
+func TestExplore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("explorer")
+	}
+	if *seedFlag >= 0 {
+		runExplore(t, *seedFlag)
+		return
+	}
+	base := netsim.SeedFromEnv(1000)
+	t.Logf("exploring seeds %d..%d (set %s to shift the window)", base, base+exploreSeeds-1, netsim.SeedEnv)
+	for i := 0; i < exploreSeeds; i++ {
+		seed := base + int64(i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runExplore(t, seed)
+		})
+	}
+}
+
+// TestExploreReplayDeterminism runs one seed's workload twice under fully
+// deterministic conditions — perfect network, no faults, strictly
+// sequential operations — and requires byte-identical histories (by
+// fingerprint). This is the anchor for seed replay: whatever a seed's
+// history fingerprints to, replaying the seed reproduces it.
+func TestExploreReplayDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("explorer")
+	}
+	seed := netsim.SeedFromEnv(1000)
+	run := func() uint64 {
+		cfg := runConfig{
+			sites: 3, locks: 2, workers: 1, ops: 4, ur: 1,
+			profile: netsim.Perfect(), mode: core.ModeMNet,
+			netSeed: netsim.DeriveSeed(seed, saltNetwork),
+		}
+		plan := &faultPlan{fires: make(map[core.FaultPoint]map[int]bool)}
+		e := newExplorer(t, seed, cfg, plan)
+		defer func() {
+			for _, node := range e.nodes {
+				_ = node.Close()
+			}
+			_ = e.sn.Close()
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := e.setup(ctx); err != nil {
+			t.Fatalf("setup: %v", err)
+		}
+		e.mu.Lock()
+		e.ctx = ctx
+		e.mu.Unlock()
+		// Strictly sequential: one worker at a time, with a settle between
+		// them so every run interleaves identically.
+		for i := 1; i <= cfg.sites; i++ {
+			e.worker(wire.SiteID(i), 0)
+			settle(20 * time.Millisecond)
+		}
+		if v := check.Check(e.rec.Events()); v != nil {
+			t.Fatalf("deterministic run violates entry consistency: %v", v)
+		}
+		return e.rec.Fingerprint()
+	}
+	a := run()
+	b := run()
+	if a != b {
+		t.Fatalf("same seed, different histories: %016x vs %016x", a, b)
+	}
+}

@@ -1,0 +1,143 @@
+// Package check is Mocha's correctness-tooling layer: a lock-free history
+// recorder the core protocol hooks into, an offline checker that replays a
+// recorded history against the entry-consistency specification, and (in the
+// package's tests) a seeded schedule explorer that drives randomized
+// multi-site workloads under injected faults and checks every run.
+//
+// The recorder and checker deliberately depend only on wire and netsim —
+// the layers below core — so core can record events without an import
+// cycle, and any test in any package can attach the oracle.
+package check
+
+import (
+	"hash/fnv"
+	"sync/atomic"
+
+	"mocha/internal/netsim"
+	"mocha/internal/wire"
+)
+
+// DefaultCapacity bounds a recorder's event buffer when the caller passes
+// no explicit capacity: 64k events (a few MB) covers every current
+// integration test with a wide margin; overflow is counted, not fatal.
+const DefaultCapacity = 1 << 16
+
+// Recorder is a lock-free, append-only event sink. Record is safe for any
+// number of concurrent writers and never blocks or allocates: slots are
+// claimed with one atomic increment and published with one atomic store, so
+// it can run inside the core's per-lock critical sections without changing
+// their timing. Events recorded under the same mutex are therefore ordered
+// exactly as the protocol state machine applied them.
+type Recorder struct {
+	clock *netsim.Clock
+	own   netsim.Clock // used when no network clock is shared
+
+	next    atomic.Uint64
+	dropped atomic.Uint64
+	slots   []slot
+}
+
+type slot struct {
+	ready atomic.Bool
+	ev    wire.HistoryEvent
+}
+
+// NewRecorder builds a recorder. capacity <= 0 selects DefaultCapacity;
+// clock may be nil, in which case the recorder runs its own (the real-
+// transport deployments have no netsim network to share one with).
+func NewRecorder(capacity int, clock *netsim.Clock) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	r := &Recorder{slots: make([]slot, capacity)}
+	if clock != nil {
+		r.clock = clock
+	} else {
+		r.clock = &r.own
+	}
+	return r
+}
+
+// Record appends one event, assigning its Seq and Tick. Events past the
+// buffer's capacity are counted as dropped rather than blocking the
+// protocol.
+func (r *Recorder) Record(ev wire.HistoryEvent) {
+	i := r.next.Add(1) - 1
+	if i >= uint64(len(r.slots)) {
+		r.dropped.Add(1)
+		return
+	}
+	ev.Seq = i + 1
+	ev.Tick = r.clock.Tick()
+	s := &r.slots[i]
+	s.ev = ev
+	s.ready.Store(true)
+}
+
+// Len reports how many events have been recorded (capped at capacity).
+func (r *Recorder) Len() int {
+	n := r.next.Load()
+	if n > uint64(len(r.slots)) {
+		n = uint64(len(r.slots))
+	}
+	return int(n)
+}
+
+// Dropped reports how many events overflowed the buffer.
+func (r *Recorder) Dropped() uint64 { return r.dropped.Load() }
+
+// Events returns the recorded history in order. Call it only after the
+// recorded run has quiesced (nodes closed or workload joined); slots whose
+// writers are still mid-store are skipped.
+func (r *Recorder) Events() []wire.HistoryEvent {
+	n := r.Len()
+	out := make([]wire.HistoryEvent, 0, n)
+	for i := 0; i < n; i++ {
+		if r.slots[i].ready.Load() {
+			out = append(out, r.slots[i].ev)
+		}
+	}
+	return out
+}
+
+// Fingerprint hashes the history's protocol-relevant fields in order,
+// excluding Seq and Tick (which can shift with timer-driven retransmission
+// counts), so two runs of a deterministic schedule can be compared cheaply.
+// Replaying a seed must reproduce this value.
+func (r *Recorder) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, ev := range r.Events() {
+		word(uint64(ev.Kind))
+		word(uint64(ev.Site))
+		word(uint64(ev.Thread))
+		word(uint64(ev.Lock))
+		word(ev.Version)
+		word(ev.AuxVersion)
+		var flags uint64
+		if ev.Shared {
+			flags |= 1
+		}
+		if ev.Aborted {
+			flags |= 2
+		}
+		if ev.Revised {
+			flags |= 4
+		}
+		flags |= uint64(ev.Flag) << 3
+		word(flags)
+		for _, s := range ev.Sites.Sites() {
+			word(uint64(s))
+		}
+		for _, d := range ev.Digests {
+			word(uint64(d.Sum))
+		}
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,82 @@
+package check
+
+import (
+	"sync"
+	"testing"
+
+	"mocha/internal/wire"
+)
+
+func TestRecorderConcurrentWriters(t *testing.T) {
+	const writers, perWriter = 8, 1000
+	r := NewRecorder(writers*perWriter, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Record(wire.HistoryEvent{
+					Kind: wire.HistAcquire,
+					Site: wire.SiteID(w + 1),
+					Lock: wire.LockID(i),
+				})
+			}
+		}()
+	}
+	wg.Wait()
+
+	evs := r.Events()
+	if len(evs) != writers*perWriter {
+		t.Fatalf("recorded %d events, want %d", len(evs), writers*perWriter)
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("dropped %d events with sufficient capacity", r.Dropped())
+	}
+	// Seq must be the slot order, dense and 1-based.
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has Seq %d", i, ev.Seq)
+		}
+	}
+}
+
+func TestRecorderOverflowCounted(t *testing.T) {
+	r := NewRecorder(4, nil)
+	for i := 0; i < 10; i++ {
+		r.Record(wire.HistoryEvent{Kind: wire.HistAcquire})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+	if len(r.Events()) != 4 {
+		t.Fatalf("Events returned %d, want 4", len(r.Events()))
+	}
+}
+
+func TestRecorderFingerprintIgnoresTiming(t *testing.T) {
+	mk := func() *Recorder {
+		r := NewRecorder(16, nil)
+		r.Record(wire.HistoryEvent{Kind: wire.HistAcquire, Site: 1, Lock: 9})
+		r.Record(wire.HistoryEvent{Kind: wire.HistGrant, Site: 1, Lock: 9, Version: 3,
+			Sites: wire.NewSiteSet(1, 2), Digests: []wire.ReplicaDigest{{Name: "x", Sum: 7}}})
+		return r
+	}
+	a, b := mk(), mk()
+	// Burn extra ticks on b's clock: Tick differences must not change the
+	// fingerprint.
+	b.clock.Tick()
+	b.Record(wire.HistoryEvent{Kind: wire.HistRelease, Site: 1, Lock: 9, Version: 4})
+	a.Record(wire.HistoryEvent{Kind: wire.HistRelease, Site: 1, Lock: 9, Version: 4})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprints differ across identical histories")
+	}
+	a.Record(wire.HistoryEvent{Kind: wire.HistBan, Thread: 5})
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("fingerprint blind to an extra event")
+	}
+}

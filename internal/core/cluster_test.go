@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"mocha/internal/check"
 	"mocha/internal/eventlog"
 	"mocha/internal/marshal"
 	"mocha/internal/mnet"
@@ -54,10 +55,16 @@ func defaultOpts() clusterOpts {
 	}
 }
 
-// newTestCluster starts n sites; site 1 is home.
+// newTestCluster starts n sites; site 1 is home. Every cluster records its
+// protocol history and replays it through the entry-consistency checker at
+// cleanup, so each integration test doubles as an invariant check. The
+// network seed honors MOCHA_TEST_SEED and is logged for replay.
 func newTestCluster(t *testing.T, n int, opts clusterOpts) *testCluster {
 	t.Helper()
-	sn := transport.NewSimNetwork(netsim.Config{Profile: opts.profile, Seed: 17})
+	seed := netsim.SeedFromEnv(17)
+	t.Logf("cluster network seed %d (set %s to replay)", seed, netsim.SeedEnv)
+	sn := transport.NewSimNetwork(netsim.Config{Profile: opts.profile, Seed: seed})
+	rec := check.NewRecorder(0, sn.Clock())
 	tc := &testCluster{sn: sn, nodes: make(map[wire.SiteID]*Node)}
 
 	directory := make(map[wire.SiteID]string, n)
@@ -100,6 +107,7 @@ func newTestCluster(t *testing.T, n int, opts clusterOpts) *testCluster {
 			DefaultLease:        opts.lease,
 			LeaseSweep:          opts.sweep,
 			Log:                 eventlog.New(1 << 14),
+			History:             rec,
 		})
 		if err != nil {
 			t.Fatalf("node %d: %v", i, err)
@@ -111,6 +119,9 @@ func newTestCluster(t *testing.T, n int, opts clusterOpts) *testCluster {
 			_ = node.Close()
 		}
 		_ = sn.Close()
+		if v := check.Check(rec.Events()); v != nil {
+			t.Errorf("history violates entry consistency (seed %d): %v", seed, v)
+		}
 	})
 	return tc
 }

@@ -151,6 +151,13 @@ type Config struct {
 	LeaseSweep time.Duration
 	// Log receives protocol events; nil means a no-op logger.
 	Log *eventlog.Logger
+	// History, when non-nil, receives a totally ordered record of protocol
+	// events (grants, releases, transfers, breaks, recoveries) for offline
+	// entry-consistency checking. See internal/check.
+	History HistorySink
+	// FaultHook, when non-nil, is consulted at every registered FaultPoint
+	// and may fail or delay the operation there. Test-only.
+	FaultHook FaultHook
 }
 
 func (c Config) withDefaults() Config {

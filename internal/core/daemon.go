@@ -61,6 +61,13 @@ func (d *daemon) handle(m mnet.Message) {
 		st.mu.Lock()
 		version := st.version
 		st.mu.Unlock()
+		if d.node.fireFault(FaultContext{
+			Point: FPDelayDaemonPoll, Lock: msg.Lock, Version: version,
+		}).Drop {
+			// The daemon's reply is lost; past the poll deadline this
+			// site's copy is treated as unavailable.
+			return
+		}
 		reply := &wire.PollVersionReply{
 			Lock:    msg.Lock,
 			Site:    d.node.cfg.Site,
@@ -155,6 +162,18 @@ func (n *Node) applyBlobsLocked(st *lockLocal, lock wire.LockID, version uint64,
 		st.updatePayloadCacheLocked(version, payloads)
 	}
 	st.notifyVersionLocked()
+	if n.histEnabled() {
+		// Recorded under st.mu before the daemon acknowledges, so the
+		// apply precedes any release claiming this site is up to date.
+		n.recordHist(wire.HistoryEvent{
+			Kind:    wire.HistApply,
+			Site:    n.cfg.Site,
+			Lock:    lock,
+			Version: version,
+			Digests: wire.DigestPayloads(payloads),
+			Note:    how,
+		})
+	}
 	n.log.Logf("daemon", "applied %s of lock %d v%d from site %d (%d replicas)", how, lock, version, from, len(payloads))
 	return true
 }

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mocha/internal/check"
+	"mocha/internal/eventlog"
+	"mocha/internal/marshal"
+	"mocha/internal/mnet"
+	"mocha/internal/netsim"
+	"mocha/internal/transport"
+	"mocha/internal/wire"
+)
+
+// TestCheckerCatchesDoubleGrant re-introduces a double-grant bug via the
+// debugIgnoreHolder switch and asserts the history checker flags the run
+// with ErrDualHolder — the regression fixture proving the oracle would
+// catch this defect class if it ever crept back in. The cluster is built by
+// hand (not newTestCluster) because the shared harness fails any test whose
+// history violates entry consistency, which is this test's point.
+func TestCheckerCatchesDoubleGrant(t *testing.T) {
+	debugIgnoreHolder = true
+	defer func() { debugIgnoreHolder = false }()
+
+	sn := transport.NewSimNetwork(netsim.Config{Profile: netsim.Perfect(), Seed: 5})
+	defer func() { _ = sn.Close() }()
+	rec := check.NewRecorder(0, sn.Clock())
+
+	const n = 2
+	directory := make(map[wire.SiteID]string, n)
+	stacks := make(map[wire.SiteID]*transport.SimStack, n)
+	for i := 1; i <= n; i++ {
+		stack, err := sn.NewStack(netsim.NodeID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stacks[wire.SiteID(i)] = stack
+		directory[wire.SiteID(i)] = stack.Datagram().LocalAddr()
+	}
+	nodes := make(map[wire.SiteID]*Node, n)
+	for i := 1; i <= n; i++ {
+		site := wire.SiteID(i)
+		ep := mnet.NewEndpoint(stacks[site].Datagram(), mnet.Config{RTO: 25 * time.Millisecond, MaxRetries: 4})
+		node, err := NewNode(Config{
+			Site:            site,
+			Endpoint:        ep,
+			Stack:           stacks[site],
+			Directory:       directory,
+			IsHome:          site == wire.HomeSite,
+			RequestTimeout:  2 * time.Second,
+			TransferTimeout: 5 * time.Second,
+			DefaultLease:    30 * time.Second,
+			LeaseSweep:      50 * time.Millisecond,
+			Log:             eventlog.New(1 << 14),
+			History:         rec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[site] = node
+	}
+	defer func() {
+		for _, node := range nodes {
+			_ = node.Close()
+		}
+	}()
+
+	ctx := tctx(t)
+	hA := nodes[1].NewHandle("first")
+	rlA, _ := mustCreate(t, hA, 50, "dual", []int32{0}, n)
+	settle()
+	if err := rlA.Lock(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// With the bug re-introduced, site 2's acquire is granted while site 1's
+	// thread still holds the lock exclusively.
+	hB := nodes[2].NewHandle("second")
+	rB, err := nodes[2].AttachReplica("dual", marshal.Ints(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rlB := hB.ReplicaLock(50)
+	if err := rlB.Associate(ctx, rB); err != nil {
+		t.Fatal(err)
+	}
+	if err := rlB.Lock(ctx); err != nil {
+		t.Fatalf("buggy grant path did not grant: %v", err)
+	}
+
+	v := check.Check(rec.Events())
+	if v == nil {
+		t.Fatal("checker passed a double-grant history")
+	}
+	if !errors.Is(v, check.ErrDualHolder) {
+		t.Fatalf("checker flagged %v, want ErrDualHolder", v)
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"sort"
+
+	"mocha/internal/wire"
+)
+
+// HistorySink receives protocol history events. The concrete sink lives in
+// internal/check (a lock-free recorder); core only knows this interface so
+// the checker can depend on core's wire events without an import cycle.
+//
+// Record is called inside the protocol's per-lock critical sections — the
+// synchronization thread's record mutex and each site's lock-local mutex —
+// so implementations must be non-blocking and safe for concurrent use.
+// Events recorded under one mutex are sequenced exactly as the state
+// machine applied them.
+type HistorySink interface {
+	Record(ev wire.HistoryEvent)
+}
+
+// recordHist forwards one event to the configured sink, if any. Callers
+// must invoke it while still holding the mutex that serialized the state
+// transition the event describes.
+// A nil receiver is a no-op: unit tests drive protocol components with no
+// enclosing node.
+func (n *Node) recordHist(ev wire.HistoryEvent) {
+	if n != nil && n.cfg.History != nil {
+		n.cfg.History.Record(ev)
+	}
+}
+
+// histEnabled reports whether history recording is on, so call sites can
+// skip digest computation entirely when it is not.
+func (n *Node) histEnabled() bool { return n != nil && n.cfg.History != nil }
+
+// digestReplicasLocked checksums the marshaled form of every replica
+// associated with the lock. It marshals independently of the payload cache
+// (marshalPayloadsLocked has delta-log side effects that must not fire on
+// behalf of observation). Caller holds st.mu. Returns nil on any marshal
+// error: a missing digest weakens the oracle for one event rather than
+// failing the protocol operation.
+func (n *Node) digestReplicasLocked(st *lockLocal) []wire.ReplicaDigest {
+	out := make([]wire.ReplicaDigest, 0, len(st.replicas))
+	for _, r := range st.replicas {
+		blob, err := n.cfg.Codec.Marshal(r.content)
+		if err != nil {
+			return nil
+		}
+		out = append(out, wire.ReplicaDigest{Name: r.name, Sum: wire.DigestBytes(blob)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -449,6 +449,20 @@ func (rl *ReplicaLock) Associate(ctx context.Context, r *Replica) error {
 				rl.node.log.Logf("daemon", "apply pending payload for %q: %v", r.name, err)
 			}
 		}
+		if rl.node.histEnabled() && rl.st.version == 1 && r.created {
+			// The creator's initial bytes define version 1 until the first
+			// exclusive release.
+			if blob, err := rl.node.cfg.Codec.Marshal(r.content); err == nil {
+				rl.node.recordHist(wire.HistoryEvent{
+					Kind:    wire.HistPublish,
+					Site:    rl.node.cfg.Site,
+					Lock:    rl.id,
+					Version: 1,
+					Note:    "create",
+					Digests: []wire.ReplicaDigest{{Name: r.name, Sum: wire.DigestBytes(blob)}},
+				})
+			}
+		}
 	}
 	rl.st.mu.Unlock()
 
@@ -606,7 +620,24 @@ func (rl *ReplicaLock) lock(ctx context.Context, shared bool) error {
 		// an earlier push); trust the bookkeeping.
 		rl.st.version = grant.Version
 	}
+	if rl.node.histEnabled() {
+		// What this thread sees on entering the lock: the local version and
+		// the bytes behind it, against the version the grant promised.
+		rl.node.recordHist(wire.HistoryEvent{
+			Kind:       wire.HistObserve,
+			Site:       rl.node.cfg.Site,
+			Thread:     rl.h.id,
+			Lock:       rl.id,
+			Version:    rl.st.version,
+			AuxVersion: grant.Version,
+			Shared:     shared,
+			Digests:    rl.node.digestReplicasLocked(rl.st),
+		})
+	}
 	rl.st.mu.Unlock()
+	rl.node.fireFault(FaultContext{
+		Point: FPKillLockHolder, Lock: rl.id, Thread: rl.h.id, Version: grant.Version,
+	})
 	ok = true
 	return nil
 }
@@ -629,6 +660,19 @@ func (rl *ReplicaLock) Unlock(ctx context.Context) error {
 	upToDate := wire.NewSiteSet(rl.node.cfg.Site)
 	if !shared {
 		newVersion = grant.Version + 1
+		if rl.node.fireFault(FaultContext{
+			Point: FPCrashAfterReleaseBeforePush, Lock: rl.id, Thread: rl.h.id, Version: newVersion,
+		}).Drop {
+			// The holder "crashed" with the update applied only locally:
+			// nothing is disseminated and no release is sent, so the hold
+			// stands at the synchronization thread until its lease breaks.
+			rl.st.mu.Lock()
+			rl.st.holder = 0
+			rl.st.heldGrant = nil
+			rl.st.mu.Unlock()
+			<-rl.st.gate
+			return fmt.Errorf("core: unlock %d: fault injected at %s", rl.id, FPCrashAfterReleaseBeforePush)
+		}
 		rl.st.mu.Lock()
 		// The exclusive holder may have rewritten content without the
 		// version changing until now; any cached marshaled form is stale
@@ -647,6 +691,22 @@ func (rl *ReplicaLock) Unlock(ctx context.Context) error {
 				// version every up-to-date sharer already holds.
 				pushDeltaMsg = rl.st.buildDeltaLocked(rl.node.cfg.Site, grant.Version, newVersion, payloads, 0, true)
 			}
+		}
+		if err == nil && rl.node.histEnabled() {
+			// The release's bytes define the new version; recorded before
+			// any push leaves, so appliers are sequenced after it.
+			digests := wire.DigestPayloads(payloads)
+			if payloads == nil {
+				digests = rl.node.digestReplicasLocked(rl.st)
+			}
+			rl.node.recordHist(wire.HistoryEvent{
+				Kind:    wire.HistPublish,
+				Site:    rl.node.cfg.Site,
+				Thread:  rl.h.id,
+				Lock:    rl.id,
+				Version: newVersion,
+				Digests: digests,
+			})
 		}
 		rl.st.mu.Unlock()
 		if err != nil {

@@ -88,6 +88,10 @@ func (s *syncThread) restore(st *SyncState) {
 		for _, n := range snap.Names {
 			l.names[n] = true
 		}
+		s.node.recordHist(wire.HistoryEvent{
+			Kind: wire.HistRecover, Site: s.node.cfg.Site, Lock: id,
+			Version: snap.Version, Sites: snap.UpToDate.Clone(), Note: "surrogate-restore",
+		})
 		l.mu.Unlock()
 	}
 	for t, reason := range st.Banned {

@@ -209,10 +209,14 @@ func (s *syncThread) handleAux(m mnet.Message) {
 
 // onAcquire implements the ACQUIRELOCK arm of Figure 7.
 func (s *syncThread) onAcquire(msg *wire.AcquireLock) {
+	// Recorded before the ban check: an acquire that slips past a
+	// concurrent ban is then correctly sequenced before it.
+	s.recordAcquire(msg)
 	if reason, isBanned := s.bannedReason(msg.Thread); isBanned {
 		// "an application thread that fails in this manner is prevented
 		// from making future requests."
 		s.node.log.Logf("sync", "refusing banned thread %d: %s", msg.Thread, reason)
+		s.recordNack(msg, reason)
 		s.spawn(s.nackAction(msg, wire.NackBanned, reason))
 		return
 	}
@@ -221,6 +225,7 @@ func (s *syncThread) onAcquire(msg *wire.AcquireLock) {
 		// No daemon has ever registered this lock: refuse rather than
 		// fabricate a record an arbitrary acquirer could grow forever.
 		s.node.log.Logf("sync", "refusing acquire of unregistered lock %d by thread %d", msg.Lock, msg.Thread)
+		s.recordNack(msg, "lock never registered")
 		s.spawn(s.nackAction(msg, wire.NackUnknownLock, "lock never registered"))
 		return
 	}
@@ -239,6 +244,31 @@ func (s *syncThread) onAcquire(msg *wire.AcquireLock) {
 	actions := s.tryGrantLocked(l)
 	l.mu.Unlock()
 	s.run(actions)
+}
+
+// recordAcquire adds an ACQUIRELOCK to the history. For queued requests the
+// caller holds the lock's mu, so the event is sequenced against the grants
+// and releases of the same lock.
+func (s *syncThread) recordAcquire(msg *wire.AcquireLock) {
+	s.node.recordHist(wire.HistoryEvent{
+		Kind:    wire.HistAcquire,
+		Site:    msg.Requester,
+		Thread:  msg.Thread,
+		Lock:    msg.Lock,
+		Version: msg.HaveVersion,
+		Shared:  msg.Shared,
+	})
+}
+
+// recordNack adds a refusal to the history, closing the acquire it answers.
+func (s *syncThread) recordNack(msg *wire.AcquireLock, reason string) {
+	s.node.recordHist(wire.HistoryEvent{
+		Kind:   wire.HistNack,
+		Site:   msg.Requester,
+		Thread: msg.Thread,
+		Lock:   msg.Lock,
+		Note:   reason,
+	})
 }
 
 // nackAction builds a deferred LockNack delivery.
@@ -269,15 +299,27 @@ func (s *syncThread) onRelease(msg *wire.ReleaseLock) {
 		return
 	}
 
+	relSites := msg.UpToDate
 	if !msg.Aborted && !msg.Shared {
 		l.version = msg.NewVersion
 		l.lastOwner = msg.Releaser
 		up := msg.UpToDate.Clone()
 		up.Add(msg.Releaser)
 		l.upToDate = up
+		relSites = up
 		s.node.log.Logf("sync", "lock %d released at v%d by site %d, up-to-date %s",
 			msg.Lock, l.version, msg.Releaser, l.upToDate)
 	}
+	s.node.recordHist(wire.HistoryEvent{
+		Kind:    wire.HistRelease,
+		Site:    msg.Releaser,
+		Thread:  msg.Thread,
+		Lock:    msg.Lock,
+		Version: msg.NewVersion,
+		Shared:  msg.Shared,
+		Aborted: msg.Aborted,
+		Sites:   relSites,
+	})
 	actions := s.tryGrantLocked(l)
 	l.mu.Unlock()
 	s.run(actions)
@@ -296,12 +338,22 @@ func (s *syncThread) onRegister(msg *wire.RegisterReplica) {
 		l.version = 1
 		l.lastOwner = msg.Site
 		l.upToDate = wire.NewSiteSet(msg.Site)
+		s.node.recordHist(wire.HistoryEvent{
+			Kind: wire.HistRegister, Site: msg.Site, Lock: msg.Lock, Version: 1, Note: "creator",
+		})
 		l.mu.Unlock()
 		s.node.log.Logf("sync", "lock %d seeded at v1 by creator site %d", msg.Lock, msg.Site)
 		return
 	}
+	s.node.recordHist(wire.HistoryEvent{Kind: wire.HistRegister, Site: msg.Site, Lock: msg.Lock})
 	l.mu.Unlock()
 }
+
+// debugIgnoreHolder is a test-only switch that re-introduces a double-grant
+// bug — granting the head of the queue while a holder is still installed —
+// so the regression fixture can prove the history checker catches exactly
+// this class of defect. Never set outside tests.
+var debugIgnoreHolder bool
 
 // tryGrantLocked hands the lock to the next compatible queued requests.
 // The caller holds l.mu. Holds are installed optimistically and the grant
@@ -310,7 +362,7 @@ func (s *syncThread) onRegister(msg *wire.RegisterReplica) {
 // next requester.
 func (s *syncThread) tryGrantLocked(l *syncLock) []func() {
 	var actions []func()
-	for len(l.queue) > 0 && l.holder == nil {
+	for len(l.queue) > 0 && (l.holder == nil || debugIgnoreHolder) {
 		head := l.queue[0]
 		if !head.shared && len(l.readers) > 0 {
 			break
@@ -334,6 +386,7 @@ func (s *syncThread) tryGrantLocked(l *syncLock) []func() {
 			flag = wire.NeedNewVersion
 		}
 		g := s.buildGrantLocked(l, head, l.version, flag, false)
+		s.recordGrant(l, g, head.site)
 		req := head
 		actions = append(actions, func() { s.deliverGrant(l, req, h, g) })
 		if !head.shared {
@@ -341,6 +394,22 @@ func (s *syncThread) tryGrantLocked(l *syncLock) []func() {
 		}
 	}
 	return actions
+}
+
+// recordGrant adds a GRANT to the history; the caller holds l.mu, so the
+// event sits exactly where the hold was installed in the lock's timeline.
+func (s *syncThread) recordGrant(l *syncLock, g *wire.Grant, site wire.SiteID) {
+	s.node.recordHist(wire.HistoryEvent{
+		Kind:    wire.HistGrant,
+		Site:    site,
+		Thread:  g.Thread,
+		Lock:    l.id,
+		Version: g.Version,
+		Flag:    g.Flag,
+		Shared:  g.Shared,
+		Revised: g.Revised,
+		Sites:   g.UpToDate,
+	})
 }
 
 // buildGrantLocked assembles a GRANT from the lock's current state; the
@@ -488,6 +557,9 @@ func (s *syncThread) checkHolder(l *syncLock, h *holderInfo) {
 	// failed ... the synchronization thread can simply break the lock and
 	// give it to the next application thread that desires it."
 	s.dropHoldLocked(l, h)
+	s.node.recordHist(wire.HistoryEvent{
+		Kind: wire.HistBreak, Site: h.site, Thread: h.thread, Lock: l.id,
+	})
 	actions := s.tryGrantLocked(l)
 	l.mu.Unlock()
 	s.ban(h.thread, fmt.Sprintf("lease expired on lock %d and heartbeat to site %d failed", l.id, h.site))
@@ -508,6 +580,9 @@ func (s *syncThread) ban(t wire.ThreadID, reason string) {
 	s.bannedMu.Lock()
 	defer s.bannedMu.Unlock()
 	if _, known := s.banned[t]; !known {
+		// Recorded under bannedMu: any acquire refused because of this ban
+		// is sequenced after it.
+		s.node.recordHist(wire.HistoryEvent{Kind: wire.HistBan, Thread: t, Note: reason})
 		s.banOrder = append(s.banOrder, t)
 		if len(s.banOrder) > maxBannedRecords {
 			delete(s.banned, s.banOrder[0])

@@ -27,11 +27,17 @@ func timeoutCtx(d time.Duration) (context.Context, context.CancelFunc) {
 // requester died: the worker re-enters the state machine, removes the
 // optimistically installed hold, and grants the next requester.
 func (s *syncThread) deliverGrant(l *syncLock, req *lockRequest, h *holderInfo, g *wire.Grant) {
-	if !s.sendToClient(req.site, g) {
+	crashed := s.node.fireFault(FaultContext{
+		Point: FPCrashBeforeGrant, Peer: req.site, Lock: l.id, Thread: req.thread, Version: g.Version,
+	}).Drop
+	if crashed || !s.sendToClient(req.site, g) {
 		s.node.log.Logf("fault", "grant of lock %d undeliverable to site %d; skipping requester", l.id, req.site)
 		l.mu.Lock()
 		var actions []func()
 		if s.dropHoldLocked(l, h) {
+			s.node.recordHist(wire.HistoryEvent{
+				Kind: wire.HistGrantDropped, Site: req.site, Thread: req.thread, Lock: l.id,
+			})
 			actions = s.tryGrantLocked(l)
 		}
 		l.mu.Unlock()
@@ -103,6 +109,10 @@ func (s *syncThread) recoverTransfer(l *syncLock, req *lockRequest, h *holderInf
 		l.lastOwner = req.site
 		l.upToDate = wire.NewSiteSet(req.site)
 		g := s.buildGrantLocked(l, req, l.version, wire.VersionOK, true)
+		s.node.recordHist(wire.HistoryEvent{
+			Kind: wire.HistRecover, Site: req.site, Lock: l.id, Version: l.version, Note: "weakened-local",
+		})
+		s.recordGrant(l, g, req.site)
 		l.mu.Unlock()
 		s.node.log.Logf("fault", "no surviving copy of lock %d replicas; weakening to local state at site %d", l.id, req.site)
 		s.sendToClient(req.site, g)
@@ -116,15 +126,20 @@ func (s *syncThread) recoverTransfer(l *syncLock, req *lockRequest, h *holderInf
 	l.version = best.Version
 	l.lastOwner = best.Site
 	l.upToDate = wire.NewSiteSet(best.Site)
+	s.node.recordHist(wire.HistoryEvent{
+		Kind: wire.HistRecover, Site: best.Site, Lock: l.id, Version: best.Version, Note: "poll-best",
+	})
 
 	if best.Site == req.site {
 		// The grantee itself holds the best surviving copy.
 		g := s.buildGrantLocked(l, req, best.Version, wire.VersionOK, true)
+		s.recordGrant(l, g, req.site)
 		l.mu.Unlock()
 		s.sendToClient(req.site, g)
 		return
 	}
 	g := s.buildGrantLocked(l, req, best.Version, wire.NeedNewVersion, true)
+	s.recordGrant(l, g, req.site)
 	l.mu.Unlock()
 	s.sendToClient(req.site, g)
 	if err := s.sendDirective(l.id, best.Site, req.site, req.have, best.Version); err != nil {

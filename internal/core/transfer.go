@@ -140,6 +140,11 @@ func (t *transferService) useStream(size int) bool {
 // marshaling and sending costs serialize with the site's other daemon
 // work, as in the prototype.
 func (t *transferService) sendReplicas(dir *wire.TransferReplica) error {
+	if t.node.fireFault(FaultContext{
+		Point: FPDropMidTransfer, Peer: dir.Dest, Lock: dir.Lock, Version: dir.Version,
+	}).Drop {
+		return fmt.Errorf("core: transfer of lock %d to site %d: fault injected at %s", dir.Lock, dir.Dest, FPDropMidTransfer)
+	}
 	st := t.node.getLockLocal(dir.Lock)
 	st.mu.Lock()
 	version := st.version
@@ -151,6 +156,13 @@ func (t *transferService) sendReplicas(dir *wire.TransferReplica) error {
 	st.mu.Unlock()
 	if marshalErr != nil {
 		return marshalErr
+	}
+	if t.node.histEnabled() {
+		t.node.recordHist(wire.HistoryEvent{
+			Kind: wire.HistTransferSend, Site: t.node.cfg.Site, Lock: dir.Lock,
+			Version: version, AuxVersion: dir.DestVersion,
+			Sites: wire.NewSiteSet(dir.Dest), Note: "directive",
+		})
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), t.node.cfg.TransferTimeout)
@@ -757,6 +769,11 @@ func (t *transferService) disseminate(ctx context.Context, lock wire.LockID, ver
 // full blob follows on the same call. Safe for concurrent callers pushing
 // the same blob to distinct sites.
 func (t *transferService) pushTo(ctx context.Context, site wire.SiteID, pb *pushBlob, tryDelta bool) error {
+	if t.node.fireFault(FaultContext{
+		Point: FPDropMidTransfer, Peer: site, Lock: pb.lock, Version: pb.version,
+	}).Drop {
+		return fmt.Errorf("core: push of lock %d to site %d: fault injected at %s", pb.lock, site, FPDropMidTransfer)
+	}
 	sendCtx, cancel := context.WithTimeout(ctx, t.node.cfg.TransferTimeout)
 	defer cancel()
 

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mocha/internal/marshal"
+)
+
+// The delta-transfer soundness property: composing a chain of update-log
+// steps into one range set and patching those ranges of the newest blob
+// over any older base must reproduce the newest blob byte for byte — the
+// same outcome as applying every step in sequence. chainScript generates
+// random replica evolutions (in-place mutations, resizes, no-op steps,
+// forced-full steps) and the property replays them through the same
+// compose/MergeRanges/ApplyPatch path the transfer layer uses.
+
+// replicaEvolution is one replica's marshaled blob at every version of a
+// chain, plus the steps on which the recording site had no usable range
+// description (forcing a full transfer through that step).
+type replicaEvolution struct {
+	name  string
+	blobs [][]byte
+	full  []bool
+}
+
+// chainScript is a randomly generated multi-replica version chain.
+type chainScript struct {
+	baseVersion uint64
+	replicas    []replicaEvolution
+	steps       int
+}
+
+func randomBlob(r *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(r.Intn(256))
+	}
+	return b
+}
+
+// mutateBlob produces the next version of a blob: usually a few in-place
+// range overwrites, sometimes a resize (splice or truncate), sometimes no
+// change at all.
+func mutateBlob(r *rand.Rand, prev []byte) []byte {
+	switch r.Intn(10) {
+	case 0: // no-op step
+		return append([]byte(nil), prev...)
+	case 1, 2: // resize: keep a random prefix, regrow a random tail
+		keep := r.Intn(len(prev) + 1)
+		tail := r.Intn(48)
+		next := append([]byte(nil), prev[:keep]...)
+		return append(next, randomBlob(r, tail)...)
+	default: // overwrite 1-3 random ranges in place
+		next := append([]byte(nil), prev...)
+		for k := 0; k < 1+r.Intn(3); k++ {
+			if len(next) == 0 {
+				break
+			}
+			off := r.Intn(len(next))
+			n := 1 + r.Intn(len(next)-off)
+			copy(next[off:], randomBlob(r, n))
+		}
+		return next
+	}
+}
+
+func (chainScript) Generate(r *rand.Rand, _ int) reflect.Value {
+	cs := chainScript{
+		baseVersion: uint64(1 + r.Intn(100)),
+		steps:       1 + r.Intn(8),
+	}
+	for i := 0; i < 1+r.Intn(3); i++ {
+		ev := replicaEvolution{
+			name:  fmt.Sprintf("rep%d", i),
+			blobs: [][]byte{randomBlob(r, 1+r.Intn(64))},
+			full:  make([]bool, cs.steps),
+		}
+		for s := 0; s < cs.steps; s++ {
+			ev.blobs = append(ev.blobs, mutateBlob(r, ev.blobs[s]))
+			ev.full[s] = r.Intn(12) == 0
+		}
+		cs.replicas = append(cs.replicas, ev)
+	}
+	return reflect.ValueOf(cs)
+}
+
+// record builds the update log exactly as a site applying each version
+// step would: diffed ranges in new-blob coordinates, resize flags, and
+// the occasional full-only step.
+func (cs chainScript) record() *updateLog {
+	ul := newUpdateLog(16)
+	for s := 0; s < cs.steps; s++ {
+		step := deltaStep{
+			from:     cs.baseVersion + uint64(s),
+			to:       cs.baseVersion + uint64(s+1),
+			replicas: make(map[string]stepReplica, len(cs.replicas)),
+		}
+		for _, ev := range cs.replicas {
+			prev, cur := ev.blobs[s], ev.blobs[s+1]
+			step.replicas[ev.name] = stepReplica{
+				full:    ev.full[s],
+				resized: len(prev) != len(cur),
+				newLen:  len(cur),
+				ranges:  marshal.DiffRanges(prev, cur),
+			}
+		}
+		ul.record(step)
+	}
+	return ul
+}
+
+func TestUpdateLogComposePatchEquivalence(t *testing.T) {
+	property := func(cs chainScript) bool {
+		ul := cs.record()
+		to := cs.baseVersion + uint64(cs.steps)
+		for f := 0; f < cs.steps; f++ {
+			composed, ok := ul.compose(cs.baseVersion+uint64(f), to)
+			if !ok {
+				t.Logf("compose(%d, %d) failed on a contiguous %d-step chain",
+					cs.baseVersion+uint64(f), to, cs.steps)
+				return false
+			}
+			for _, ev := range cs.replicas {
+				cd, ok := composed[ev.name]
+				if !ok {
+					t.Logf("compose dropped replica %s", ev.name)
+					return false
+				}
+				final := ev.blobs[cs.steps]
+				if cd.full {
+					// A full transfer ships the newest blob verbatim;
+					// nothing to verify.
+					continue
+				}
+				var ops []marshal.PatchOp
+				for _, r := range marshal.MergeRanges(cd.ranges, len(final)) {
+					ops = append(ops, marshal.PatchOp{Off: r.Off, Data: final[r.Off:r.End()]})
+				}
+				got, err := marshal.ApplyPatch(ev.blobs[f], len(final), ops)
+				if err != nil {
+					t.Logf("ApplyPatch from v+%d: %v", f, err)
+					return false
+				}
+				if !bytes.Equal(got, final) {
+					t.Logf("replica %s: patched blob from base v+%d diverges from the final blob\nbase  %x\npatch %x\nwant  %x",
+						ev.name, f, ev.blobs[f], got, final)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUpdateLogComposeRejectsGaps pins the safety side: a log whose chain
+// does not cover the requested interval must refuse to compose rather
+// than produce a delta from the wrong base.
+func TestUpdateLogComposeRejectsGaps(t *testing.T) {
+	property := func(cs chainScript) bool {
+		ul := cs.record()
+		to := cs.baseVersion + uint64(cs.steps)
+		if _, ok := ul.compose(cs.baseVersion-1, to); ok {
+			return false // base predates the chain
+		}
+		if _, ok := ul.compose(cs.baseVersion, to+1); ok {
+			return false // target beyond the newest step
+		}
+		if _, ok := ul.compose(to, to); ok {
+			return false // empty interval
+		}
+		ul.reset()
+		_, ok := ul.compose(cs.baseVersion, to)
+		return !ok
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -18,7 +18,9 @@ import (
 // pairConfig builds two endpoints on a simulated network.
 func pairConfig(t *testing.T, profile netsim.Profile, cfg Config) (*Endpoint, *Endpoint, *transport.SimNetwork) {
 	t.Helper()
-	sn := transport.NewSimNetwork(netsim.Config{Profile: profile, Seed: 3})
+	seed := netsim.SeedFromEnv(3)
+	t.Logf("network seed %d (set %s to replay)", seed, netsim.SeedEnv)
+	sn := transport.NewSimNetwork(netsim.Config{Profile: profile, Seed: seed})
 	s1, err := sn.NewStack(1)
 	if err != nil {
 		t.Fatal(err)

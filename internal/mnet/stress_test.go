@@ -15,7 +15,9 @@ import (
 // network with the given profile.
 func hubNet(t *testing.T, profile netsim.Profile, cfg Config, n int) (*Endpoint, []*Endpoint) {
 	t.Helper()
-	sn := transport.NewSimNetwork(netsim.Config{Profile: profile, Seed: 11})
+	seed := netsim.SeedFromEnv(11)
+	t.Logf("network seed %d (set %s to replay)", seed, netsim.SeedEnv)
+	sn := transport.NewSimNetwork(netsim.Config{Profile: profile, Seed: seed})
 	eps := make([]*Endpoint, 0, n+1)
 	for i := 0; i <= n; i++ {
 		s, err := sn.NewStack(netsim.NodeID(i + 1))

@@ -2,8 +2,23 @@ package netsim
 
 import (
 	"runtime"
+	"sync/atomic"
 	"time"
 )
+
+// Clock is a shared monotonic tick counter. Every Network owns one, ticked
+// on each packet delivery, and history recorders tick it per recorded event,
+// so one run's protocol events and network activity share a total order
+// that survives into offline checking. The zero value is ready to use.
+type Clock struct {
+	t atomic.Uint64
+}
+
+// Tick advances the clock and returns the new reading.
+func (c *Clock) Tick() uint64 { return c.t.Add(1) }
+
+// Now returns the current reading without advancing.
+func (c *Clock) Now() uint64 { return c.t.Load() }
 
 // spinTail is how much of a wait is busy-polled rather than slept. The
 // host kernel rounds time.Sleep up to roughly a millisecond, which would

@@ -45,7 +45,8 @@ type Stats struct {
 
 // Network is a simulated set of hosts with point-to-point links.
 type Network struct {
-	cfg Config
+	cfg   Config
+	clock Clock
 
 	mu        sync.Mutex
 	nodes     map[NodeID]*Node
@@ -69,6 +70,10 @@ func New(cfg Config) *Network {
 
 // Profile returns the network's default link profile.
 func (n *Network) Profile() Profile { return n.cfg.Profile }
+
+// Clock returns the network's shared logical clock, which history recorders
+// use to stamp events onto the run's total order.
+func (n *Network) Clock() *Clock { return &n.clock }
 
 // ErrNodeExists is returned when adding a duplicate node ID.
 var ErrNodeExists = errors.New("netsim: node already exists")
@@ -184,6 +189,7 @@ func (n *Network) deliver(dst *Node, from NodeID, pkt []byte, size int) {
 	n.mu.Lock()
 	n.stats.Delivered++
 	n.mu.Unlock()
+	n.clock.Tick()
 	_ = size
 	recv(from, pkt)
 }

@@ -1,0 +1,33 @@
+package netsim
+
+import (
+	"os"
+	"strconv"
+)
+
+// SeedEnv is the environment variable every randomized test reads its base
+// seed from, so one exported value reproduces a failing run anywhere.
+const SeedEnv = "MOCHA_TEST_SEED"
+
+// SeedFromEnv returns the test seed: MOCHA_TEST_SEED when set and parseable,
+// the fixed default otherwise. Randomized tests must log the seed they ran
+// with so failures are reproducible.
+func SeedFromEnv(def int64) int64 {
+	if v := os.Getenv(SeedEnv); v != "" {
+		if s, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return s
+		}
+	}
+	return def
+}
+
+// DeriveSeed mixes a base seed with a salt (splitmix64 finalizer), so one
+// run seed deterministically yields independent streams for the network,
+// the workload, and the fault schedule.
+func DeriveSeed(base int64, salt uint64) int64 {
+	z := uint64(base) + 0x9E3779B97F4A7C15*(salt+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}

@@ -45,7 +45,9 @@ type testDeployment struct {
 // newDeployment builds n sites sharing one registry and repo.
 func newDeployment(t *testing.T, n int, reg *Registry, repo *CodeRepository, maxServers int) *testDeployment {
 	t.Helper()
-	sn := transport.NewSimNetwork(netsim.Config{Profile: netsim.Perfect(), Seed: 23})
+	seed := netsim.SeedFromEnv(23)
+	t.Logf("network seed %d (set %s to replay)", seed, netsim.SeedEnv)
+	sn := transport.NewSimNetwork(netsim.Config{Profile: netsim.Perfect(), Seed: seed})
 	t.Cleanup(func() { _ = sn.Close() })
 
 	directory := make(map[wire.SiteID]string, n)

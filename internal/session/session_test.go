@@ -78,7 +78,9 @@ func TestWriteCodecRoundTrip(t *testing.T) {
 // anti-entropy (tests drive PullOnce explicitly for determinism).
 func sessionCluster(t *testing.T, n int, resolve Resolver) (map[wire.SiteID]*Store, *transport.SimNetwork) {
 	t.Helper()
-	sn := transport.NewSimNetwork(netsim.Config{Profile: netsim.Perfect(), Seed: 31})
+	seed := netsim.SeedFromEnv(31)
+	t.Logf("network seed %d (set %s to replay)", seed, netsim.SeedEnv)
+	sn := transport.NewSimNetwork(netsim.Config{Profile: netsim.Perfect(), Seed: seed})
 	t.Cleanup(func() { _ = sn.Close() })
 
 	directory := make(map[wire.SiteID]string, n)

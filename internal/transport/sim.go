@@ -40,6 +40,9 @@ func NewSimNetwork(cfg netsim.Config) *SimNetwork {
 // node kills, link overrides) and statistics.
 func (sn *SimNetwork) Underlying() *netsim.Network { return sn.net }
 
+// Clock exposes the network's shared logical clock for history recording.
+func (sn *SimNetwork) Clock() *netsim.Clock { return sn.net.Clock() }
+
 // NewStack creates the communication stack for one simulated site.
 func (sn *SimNetwork) NewStack(id netsim.NodeID) (*SimStack, error) {
 	node, err := sn.net.AddNode(id)

@@ -1,0 +1,175 @@
+package wire
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// This file defines the history-capture types shared by the core protocol
+// hooks and the offline entry-consistency checker (internal/check). They
+// live in wire — the bottom layer — so that core can record events and
+// check can replay them without either importing the other.
+
+// HistoryKind classifies one recorded protocol event.
+type HistoryKind uint8
+
+// History event kinds. Sync-side events (acquire, grant, release, register,
+// break, ban, recover) are recorded under the per-lock record mutex at the
+// home site, so their relative order is the order the state machine applied
+// them in. Node-side events (publish, observe, apply, transfer) are
+// recorded under the site's per-lock state mutex.
+const (
+	HistInvalid HistoryKind = iota
+	// HistAcquire: an ACQUIRELOCK was queued at the synchronization thread.
+	HistAcquire
+	// HistGrant: a GRANT was issued (Version, Flag, Shared, Revised,
+	// Sites = the grant's up-to-date set).
+	HistGrant
+	// HistGrantDropped: an undeliverable grant's hold was rescinded.
+	HistGrantDropped
+	// HistNack: an acquire was refused (Note carries the reason).
+	HistNack
+	// HistRelease: a RELEASELOCK was applied (Version = new version,
+	// Sites = the up-to-date set the synchronization thread installed).
+	HistRelease
+	// HistRegister: a creator registration seeded the lock at version 1.
+	HistRegister
+	// HistApply: a site installed transferred/pushed payloads as Version.
+	HistApply
+	// HistPublish: a releaser (or creator) produced the bytes of Version.
+	HistPublish
+	// HistObserve: a thread holding the lock observed its local replica
+	// state (Version = local version, AuxVersion = grant version).
+	HistObserve
+	// HistTransferSend: a daemon shipped replica data (Note: transfer,
+	// delta, push or push-delta; Sites = destination).
+	HistTransferSend
+	// HistBreak: the synchronization thread broke an expired hold.
+	HistBreak
+	// HistBan: a thread was banned after a detected failure.
+	HistBan
+	// HistRecover: daemon polling rewrote the committed version/up-to-date
+	// set (Version = surviving version, Site = surviving site; Note
+	// distinguishes a poll verdict from the weakened local fallback).
+	HistRecover
+	// HistCrash: the harness fail-stopped a site.
+	HistCrash
+	// HistFault: a registered fault point fired (Note = point name).
+	HistFault
+)
+
+var histKindNames = map[HistoryKind]string{
+	HistAcquire:      "ACQUIRE",
+	HistGrant:        "GRANT",
+	HistGrantDropped: "GRANT-DROPPED",
+	HistNack:         "NACK",
+	HistRelease:      "RELEASE",
+	HistRegister:     "REGISTER",
+	HistApply:        "APPLY",
+	HistPublish:      "PUBLISH",
+	HistObserve:      "OBSERVE",
+	HistTransferSend: "TRANSFER-SEND",
+	HistBreak:        "BREAK",
+	HistBan:          "BAN",
+	HistRecover:      "RECOVER",
+	HistCrash:        "CRASH",
+	HistFault:        "FAULT",
+}
+
+// String names the event kind.
+func (k HistoryKind) String() string {
+	if s, ok := histKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("HistoryKind(%d)", uint8(k))
+}
+
+// ReplicaDigest is a checksum of one replica's marshaled bytes, letting the
+// checker byte-compare replica states across sites without retaining the
+// payloads themselves.
+type ReplicaDigest struct {
+	Name string
+	Sum  uint32
+}
+
+// HistoryEvent is one recorded protocol event. Seq and Tick are assigned by
+// the recorder: Seq is the record order (the history's total order), Tick a
+// reading of the shared netsim clock.
+type HistoryEvent struct {
+	Seq  uint64
+	Tick uint64
+	Kind HistoryKind
+
+	Site   SiteID
+	Thread ThreadID
+	Lock   LockID
+
+	// Version is the event's primary version (grant version, release's new
+	// version, applied version, ...). AuxVersion carries a secondary one:
+	// the grant version for HistObserve, the destination's version for
+	// HistTransferSend.
+	Version    uint64
+	AuxVersion uint64
+
+	Flag    VersionFlag
+	Shared  bool
+	Aborted bool
+	Revised bool
+
+	// Sites carries the event's site-set claim: the up-to-date set for
+	// grants and releases, the destination for transfer sends.
+	Sites SiteSet
+
+	// Digests checksums the replica bytes the event produced or observed.
+	Digests []ReplicaDigest
+
+	// Note carries the fault-point name, nack reason, transfer encoding, or
+	// recovery verdict.
+	Note string
+}
+
+// String renders the event compactly for violation reports.
+func (e HistoryEvent) String() string {
+	s := fmt.Sprintf("#%d %s lock=%d site=%d", e.Seq, e.Kind, e.Lock, e.Site)
+	if e.Thread != 0 {
+		s += fmt.Sprintf(" thread=%d", e.Thread)
+	}
+	s += fmt.Sprintf(" v%d", e.Version)
+	if e.AuxVersion != 0 {
+		s += fmt.Sprintf(" (aux v%d)", e.AuxVersion)
+	}
+	if e.Flag != 0 {
+		s += " " + e.Flag.String()
+	}
+	if e.Shared {
+		s += " shared"
+	}
+	if e.Aborted {
+		s += " aborted"
+	}
+	if e.Revised {
+		s += " revised"
+	}
+	if e.Sites.Len() > 0 {
+		s += " sites=" + e.Sites.String()
+	}
+	if e.Note != "" {
+		s += " [" + e.Note + "]"
+	}
+	return s
+}
+
+// DigestBytes checksums one marshaled replica blob.
+func DigestBytes(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+
+// DigestPayloads checksums a payload set, sorted by name so digests from
+// different sites compare positionally.
+func DigestPayloads(ps []ReplicaPayload) []ReplicaDigest {
+	out := make([]ReplicaDigest, 0, len(ps))
+	for _, p := range ps {
+		out = append(out, ReplicaDigest{Name: p.Name, Sum: DigestBytes(p.Data)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

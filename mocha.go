@@ -199,6 +199,7 @@ type options struct {
 	fanout      int
 	delta       bool
 	resolver    Resolver
+	history     core.HistorySink
 }
 
 // optWriter keeps io out of the options struct zero value.
@@ -285,6 +286,17 @@ func WithDisseminationFanout(n int) Option { return func(o *options) { o.fanout 
 // (default last-writer-wins). The resolver must be deterministic and
 // order-insensitive or replicas may diverge.
 func WithResolver(r Resolver) Option { return func(o *options) { o.resolver = r } }
+
+// HistorySink receives protocol history events from every site. The
+// standard sink is the lock-free recorder in internal/check, whose offline
+// checker replays the recorded history against the entry-consistency
+// invariants (see DESIGN.md §5).
+type HistorySink = core.HistorySink
+
+// WithHistory attaches a history sink to every site in the cluster,
+// turning the run into a checkable totally-ordered protocol history. Off
+// by default: recording adds a replica digest per lock transition.
+func WithHistory(sink HistorySink) Option { return func(o *options) { o.history = sink } }
 
 // codec builds the configured marshal codec.
 func (o options) codec() marshal.Codec {

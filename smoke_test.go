@@ -1,0 +1,135 @@
+package mocha_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"mocha"
+	"mocha/internal/check"
+)
+
+// TestRealTransportSmoke runs a short two-site workload over real loopback
+// sockets — once with replica data on UDP via MNet, once with the hybrid
+// TCP stream protocol — with the history checker attached as an oracle.
+// This is the one place the entry-consistency invariants are exercised
+// against the operating system's actual network stack rather than netsim.
+func TestRealTransportSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket smoke test skipped in -short mode")
+	}
+	for _, tc := range []struct {
+		name string
+		mode mocha.TransferMode
+	}{
+		{"udp-mnet", mocha.ModeMNet},
+		{"tcp-hybrid", mocha.ModeHybrid},
+	} {
+		t.Run(tc.name, func(t *testing.T) { runRealTransportSmoke(t, tc.mode) })
+	}
+}
+
+func runRealTransportSmoke(t *testing.T, mode mocha.TransferMode) {
+	rec := check.NewRecorder(0, nil)
+
+	var sites []*mocha.Site
+	var err error
+	for attempt := 0; attempt < 3 && len(sites) != 2; attempt++ {
+		ports := freePorts(t, 2)
+		directory := map[mocha.SiteID]string{
+			1: fmt.Sprintf("127.0.0.1:%d", ports[0]),
+			2: fmt.Sprintf("127.0.0.1:%d", ports[1]),
+		}
+		sites = sites[:0]
+		for _, id := range []mocha.SiteID{1, 2} {
+			s, joinErr := mocha.JoinClusterEntries(directory, id, nil,
+				mocha.WithTransferMode(mode),
+				mocha.WithHistory(rec),
+			)
+			if joinErr != nil {
+				err = joinErr
+				for _, s := range sites {
+					_ = s.Close()
+				}
+				sites = sites[:0]
+				break
+			}
+			sites = append(sites, s)
+		}
+	}
+	if len(sites) != 2 {
+		t.Fatalf("could not bind cluster: %v", err)
+	}
+	closed := false
+	closeSites := func() {
+		if closed {
+			return
+		}
+		closed = true
+		for _, s := range sites {
+			_ = s.Close()
+		}
+	}
+	defer closeSites()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	bag := sites[0].Bag("main")
+	r, err := bag.CreateReplica("smoke", mocha.Ints([]int32{0}), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := bag.ReplicaLock(1)
+	if err := rl.Associate(ctx, r); err != nil {
+		t.Fatal(err)
+	}
+	worker := sites[1].Bag("worker")
+	r2, err := worker.AttachReplica("smoke", mocha.Ints(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl2 := worker.ReplicaLock(1)
+	if err := rl2.Associate(ctx, r2); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	// Ping-pong the lock between the sites; each hold increments the
+	// shared counter under entry consistency.
+	const rounds = 3
+	for i := 0; i < rounds; i++ {
+		if err := rl.Lock(ctx); err != nil {
+			t.Fatalf("site 1 round %d: %v", i, err)
+		}
+		r.Content().IntsData()[0]++
+		if err := rl.Unlock(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := rl2.Lock(ctx); err != nil {
+			t.Fatalf("site 2 round %d: %v", i, err)
+		}
+		r2.Content().IntsData()[0]++
+		if err := rl2.Unlock(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rl.Lock(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Content().IntsData()[0]; got != 2*rounds {
+		t.Fatalf("counter = %d after %d increments", got, 2*rounds)
+	}
+	if err := rl.Unlock(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	closeSites()
+	if v := check.Check(rec.Events()); v != nil {
+		t.Errorf("real-transport history violates entry consistency: %v", v)
+	}
+	if rec.Dropped() > 0 {
+		t.Errorf("recorder dropped %d events", rec.Dropped())
+	}
+}
