@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check vet build test race cover bench-fanout bench-delta bench-sync
+.PHONY: check fmt-check vet build test race cover bench-fanout bench-delta bench-sync bench-obs
 
 # check is the full CI gate: formatting, static analysis, build, the
 # complete test suite, and the race detector over the concurrency-heavy
@@ -38,7 +38,7 @@ race:
 # gate without every refactor tripping it.
 cover:
 	@set -e; \
-	for spec in "./internal/core 80" "./internal/wire 90"; do \
+	for spec in "./internal/core 80" "./internal/wire 90" "./internal/obs 85"; do \
 		pkg="$${spec% *}"; floor="$${spec#* }"; \
 		line="$$($(GO) test -cover $$pkg | tail -1)"; \
 		echo "$$line"; \
@@ -57,3 +57,9 @@ bench-delta:
 
 bench-sync:
 	$(GO) run ./cmd/benchmocha -exp ablate-syncstall -json
+
+# bench-obs measures the observability plane's cost: the same fan-out and
+# delta workloads run with metrics off and on, and the run fails if the
+# instrumented legs record nothing. Emits BENCH_obs.json.
+bench-obs:
+	$(GO) run ./cmd/benchmocha -exp ablate-obs -json

@@ -10,6 +10,7 @@ import (
 	"mocha/internal/eventlog"
 	"mocha/internal/mnet"
 	"mocha/internal/netsim"
+	"mocha/internal/obs"
 	"mocha/internal/runtime"
 	"mocha/internal/session"
 	"mocha/internal/trace"
@@ -43,6 +44,18 @@ func NewSimCluster(n int, opts ...Option) (*Cluster, error) {
 	cost := o.cost.Scaled(o.scale)
 
 	sim := transport.NewSimNetwork(netsim.Config{Profile: profile, Seed: o.seed})
+	if o.noMetrics {
+		o.metrics = nil
+	} else if o.metrics == nil {
+		o.metrics = obs.NewRegistry()
+	}
+	// History events and metric spans share the simulated network's clock,
+	// so recorder ticks and span ticks land on one monotone axis and a
+	// history event can be cross-referenced with the span that covers it.
+	o.metrics.SetClock(sim.Clock())
+	if cs, ok := o.history.(interface{ SetClock(*netsim.Clock) }); ok {
+		cs.SetClock(sim.Clock())
+	}
 	c := &Cluster{
 		sim:      sim,
 		registry: runtime.NewRegistry(),
@@ -138,6 +151,16 @@ func (c *Cluster) Partition(a, b SiteID, cut bool) {
 	c.sim.Underlying().Partition(netsim.NodeID(a), netsim.NodeID(b), cut)
 }
 
+// Metrics returns the cluster's observability registry (nil when the
+// cluster was built WithoutMetrics). Snapshot it for JSON or Prometheus
+// export, or read individual counters and histograms directly.
+func (c *Cluster) Metrics() *Metrics { return c.opts.metrics }
+
+// MetricsSnapshot captures the registry's current counters, gauges,
+// histograms, and recent spans. A cluster built WithoutMetrics yields the
+// zero snapshot.
+func (c *Cluster) MetricsSnapshot() MetricsSnapshot { return c.opts.metrics.Snapshot() }
+
 // NetStats returns simulated-network packet counters.
 func (c *Cluster) NetStats() netsim.Stats { return c.sim.Underlying().Stats() }
 
@@ -186,8 +209,9 @@ type siteConfig struct {
 // newSite wires one site together.
 func newSite(sc siteConfig) (*Site, error) {
 	mnetCfg := mnet.Config{
-		Cost: sc.cost,
-		Key:  sc.opts.key,
+		Cost:    sc.cost,
+		Key:     sc.opts.key,
+		Metrics: sc.opts.metrics,
 	}
 	if sc.opts.scale < 1 {
 		// Scaled environments have tiny latencies; keep retransmission
@@ -215,6 +239,7 @@ func newSite(sc siteConfig) (*Site, error) {
 		LeaseSweep:          sc.opts.leaseSweep,
 		Log:                 logger,
 		History:             sc.opts.history,
+		Metrics:             sc.opts.metrics,
 	})
 	if err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mocha/internal/hostfile"
+	"mocha/internal/obs"
 	"mocha/internal/runtime"
 	"mocha/internal/transport"
 )
@@ -31,6 +32,11 @@ func JoinClusterEntries(directory map[SiteID]string, id SiteID, registry *Regist
 	o := defaultOptions()
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if o.noMetrics {
+		o.metrics = nil
+	} else if o.metrics == nil {
+		o.metrics = obs.NewRegistry()
 	}
 	addr, ok := directory[id]
 	if !ok {

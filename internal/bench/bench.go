@@ -19,6 +19,7 @@ import (
 	"mocha/internal/marshal"
 	"mocha/internal/mnet"
 	"mocha/internal/netsim"
+	"mocha/internal/obs"
 	"mocha/internal/stats"
 	"mocha/internal/transport"
 	"mocha/internal/wire"
@@ -105,6 +106,7 @@ func All() []Experiment {
 		{ID: "ablate-fanout", Title: "Ablation: parallel dissemination fan-out", Run: AblateFanout},
 		{ID: "ablate-delta", Title: "Ablation: delta-encoded replica transfer", Run: AblateDelta},
 		{ID: "ablate-syncstall", Title: "Ablation: sharded non-blocking lock manager under a dead peer", Run: AblateSyncStall},
+		{ID: "ablate-obs", Title: "Ablation: observability-plane overhead on fan-out and delta paths", Run: AblateObs},
 	}
 }
 
@@ -155,6 +157,9 @@ type harnessOpts struct {
 	// syncSerial reproduces the pre-S30 blocking synchronization thread
 	// for the syncstall ablation baseline.
 	syncSerial bool
+	// metrics attaches an observability registry to every site (the
+	// ablate-obs instrumented leg); nil leaves the plane disabled.
+	metrics *obs.Registry
 }
 
 // disseminationFanout translates the harness convention to the core
@@ -214,7 +219,8 @@ func newHarnessOpts(cfg Config, e env, mode core.TransferMode, n int, ho harness
 	for i := 1; i <= n; i++ {
 		site := wire.SiteID(i)
 		ep := mnet.NewEndpoint(stacks[site].Datagram(), mnet.Config{
-			Cost: scaledCost,
+			Cost:    scaledCost,
+			Metrics: ho.metrics,
 			// Generous retransmission timing: the harness runs lossless
 			// links, and large scaled costs must never trigger spurious
 			// retransmits.
@@ -238,6 +244,7 @@ func newHarnessOpts(cfg Config, e env, mode core.TransferMode, n int, ho harness
 			RequestTimeout:      reqTimeout,
 			TransferTimeout:     120 * time.Second,
 			Log:                 eventlog.Nop(),
+			Metrics:             ho.metrics,
 		})
 		if err != nil {
 			_ = h.Close()

@@ -6,6 +6,7 @@ import (
 
 	"mocha/internal/core"
 	"mocha/internal/netsim"
+	"mocha/internal/obs"
 	"mocha/internal/stats"
 )
 
@@ -97,7 +98,13 @@ func AblateDelta(cfg Config) (Result, error) {
 // to date. The custom codec keeps marshaling cost out of the measurement
 // (the marshal ablation covers that axis separately).
 func deltaReleaseCycle(cfg Config, e env, size int, rewrite, delta bool) (float64, time.Duration, error) {
-	h, err := newHarnessOpts(cfg, e, core.ModeMNet, 2, harnessOpts{fastCodec: true, delta: delta})
+	return deltaReleaseCycleOpts(cfg, e, size, rewrite, delta, nil)
+}
+
+// deltaReleaseCycleOpts is deltaReleaseCycle with an optional metrics
+// registry attached to every site (the obs-overhead ablation).
+func deltaReleaseCycleOpts(cfg Config, e env, size int, rewrite, delta bool, m *obs.Registry) (float64, time.Duration, error) {
+	h, err := newHarnessOpts(cfg, e, core.ModeMNet, 2, harnessOpts{fastCodec: true, delta: delta, metrics: m})
 	if err != nil {
 		return 0, 0, err
 	}

@@ -29,7 +29,7 @@ const DefaultCapacity = 1 << 16
 // their timing. Events recorded under the same mutex are therefore ordered
 // exactly as the protocol state machine applied them.
 type Recorder struct {
-	clock *netsim.Clock
+	clock atomic.Pointer[netsim.Clock]
 	own   netsim.Clock // used when no network clock is shared
 
 	next    atomic.Uint64
@@ -50,12 +50,22 @@ func NewRecorder(capacity int, clock *netsim.Clock) *Recorder {
 		capacity = DefaultCapacity
 	}
 	r := &Recorder{slots: make([]slot, capacity)}
-	if clock != nil {
-		r.clock = clock
-	} else {
-		r.clock = &r.own
+	if clock == nil {
+		clock = &r.own
 	}
+	r.clock.Store(clock)
 	return r
+}
+
+// SetClock rebinds the recorder to a shared tick source — the cluster
+// wires the simulated network's clock into both the recorder and the
+// metrics registry so history events and span records land on one
+// monotone axis and can be cross-referenced by tick. Safe to call
+// concurrently with Record; a nil clock is ignored.
+func (r *Recorder) SetClock(clock *netsim.Clock) {
+	if clock != nil {
+		r.clock.Store(clock)
+	}
 }
 
 // Record appends one event, assigning its Seq and Tick. Events past the
@@ -68,7 +78,7 @@ func (r *Recorder) Record(ev wire.HistoryEvent) {
 		return
 	}
 	ev.Seq = i + 1
-	ev.Tick = r.clock.Tick()
+	ev.Tick = r.clock.Load().Tick()
 	s := &r.slots[i]
 	s.ev = ev
 	s.ready.Store(true)

@@ -69,7 +69,7 @@ func TestRecorderFingerprintIgnoresTiming(t *testing.T) {
 	a, b := mk(), mk()
 	// Burn extra ticks on b's clock: Tick differences must not change the
 	// fingerprint.
-	b.clock.Tick()
+	b.clock.Load().Tick()
 	b.Record(wire.HistoryEvent{Kind: wire.HistRelease, Site: 1, Lock: 9, Version: 4})
 	a.Record(wire.HistoryEvent{Kind: wire.HistRelease, Site: 1, Lock: 9, Version: 4})
 	if a.Fingerprint() != b.Fingerprint() {

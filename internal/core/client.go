@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"mocha/internal/mnet"
+	"mocha/internal/obs"
 	"mocha/internal/wire"
 )
 
@@ -68,7 +69,9 @@ func newClient(n *Node) (*client, error) {
 func (c *client) handle(m mnet.Message) {
 	p, err := wire.Unmarshal(m.Data)
 	if err != nil {
-		c.node.log.Logf("client", "bad message: %v", err)
+		if c.node.log.On() {
+			c.node.log.Logf("client", "bad message: %v", err)
+		}
 		return
 	}
 	switch msg := p.(type) {
@@ -80,7 +83,9 @@ func (c *client) handle(m mnet.Message) {
 			select {
 			case ch <- grantOrNack{grant: msg}:
 			default:
-				c.node.log.Logf("client", "grant channel full for lock %d", msg.Lock)
+				if c.node.log.On() {
+					c.node.log.Logf("client", "grant channel full for lock %d", msg.Lock)
+				}
 			}
 			return
 		}
@@ -96,7 +101,9 @@ func (c *client) handle(m mnet.Message) {
 		if holding {
 			return
 		}
-		c.node.log.Logf("client", "returning unwanted grant of lock %d for thread %d", msg.Lock, msg.Thread)
+		if c.node.log.On() {
+			c.node.log.Logf("client", "returning unwanted grant of lock %d for thread %d", msg.Lock, msg.Thread)
+		}
 		go c.autoRelease(msg)
 	case *wire.LockNack:
 		c.mu.Lock()
@@ -109,9 +116,12 @@ func (c *client) handle(m mnet.Message) {
 			}
 		}
 	case *wire.PushAck:
+		c.node.obs().Inc(obs.CPushAcks)
 		c.deliverPushResult(msg.Lock, msg.Version, msg.Site, pushResult{})
 	default:
-		c.node.log.Logf("client", "unhandled %s on client port", p.Kind())
+		if c.node.log.On() {
+			c.node.log.Logf("client", "unhandled %s on client port", p.Kind())
+		}
 	}
 }
 
@@ -177,7 +187,9 @@ func (c *client) autoRelease(g *wire.Grant) {
 		Aborted:    true,
 	}
 	if err := c.sendToSync(ctx, rel); err != nil {
-		c.node.log.Logf("client", "auto-release of lock %d failed: %v", g.Lock, err)
+		if c.node.log.On() {
+			c.node.log.Logf("client", "auto-release of lock %d failed: %v", g.Lock, err)
+		}
 	}
 }
 
@@ -204,7 +216,9 @@ func (c *client) sendToSync(ctx context.Context, p wire.Payload) error {
 	if refreshed == addr {
 		return fmt.Errorf("%w: %v", ErrNoSync, err)
 	}
-	c.node.log.Logf("client", "retrying %s against surrogate at %s", p.Kind(), refreshed)
+	if c.node.log.On() {
+		c.node.log.Logf("client", "retrying %s against surrogate at %s", p.Kind(), refreshed)
+	}
 	sendCtx, cancel = context.WithTimeout(ctx, c.node.cfg.RequestTimeout)
 	defer cancel()
 	if err := c.port.Send(sendCtx, refreshed, blob); err != nil {

@@ -25,6 +25,7 @@ import (
 	"mocha/internal/marshal"
 	"mocha/internal/mnet"
 	"mocha/internal/netsim"
+	"mocha/internal/obs"
 	"mocha/internal/transport"
 	"mocha/internal/wire"
 )
@@ -151,6 +152,10 @@ type Config struct {
 	LeaseSweep time.Duration
 	// Log receives protocol events; nil means a no-op logger.
 	Log *eventlog.Logger
+	// Metrics, when non-nil, receives protocol counters, per-phase
+	// latency histograms, and operation spans (see internal/obs). Nil
+	// disables the plane; every instrument site is nil-safe.
+	Metrics *obs.Registry
 	// History, when non-nil, receives a totally ordered record of protocol
 	// events (grants, releases, transfers, breaks, recoveries) for offline
 	// entry-consistency checking. See internal/check.
@@ -232,9 +237,10 @@ var (
 // lock machinery, transfer service, and (on the home site) the
 // synchronization thread.
 type Node struct {
-	cfg Config
-	ep  *mnet.Endpoint
-	log *eventlog.Logger
+	cfg     Config
+	ep      *mnet.Endpoint
+	log     *eventlog.Logger
+	metrics *obs.Registry // nil when the observability plane is off
 
 	daemon *daemon
 	client *client
@@ -272,11 +278,19 @@ func NewNode(cfg Config) (*Node, error) {
 		return nil, errors.New("core: hybrid transfer needs a transport stack")
 	}
 
+	if cfg.Metrics != nil && cfg.Stack != nil {
+		// Count hybrid stream dials/accepts and bytes at the transport
+		// seam, so stream-path cost is attributed even when the payload
+		// framing above changes.
+		cfg.Stack = transport.Instrument(cfg.Stack, cfg.Metrics)
+	}
+
 	n := &Node{
 		cfg:        cfg,
 		done:       make(chan struct{}),
 		ep:         cfg.Endpoint,
 		log:        cfg.Log,
+		metrics:    cfg.Metrics,
 		syncAddr:   mnet.JoinAddr(home, PortSync),
 		syncEpoch:  1,
 		lockLocals: make(map[wire.LockID]*lockLocal),
@@ -377,7 +391,9 @@ func (n *Node) setSyncAddr(addr string, epoch uint32) {
 	}
 	n.syncAddr = addr
 	n.syncEpoch = epoch
-	n.log.Logf("sync", "synchronization thread moved to %s (epoch %d)", addr, epoch)
+	if n.log.On() {
+		n.log.Logf("sync", "synchronization thread moved to %s (epoch %d)", addr, epoch)
+	}
 }
 
 // endpointAddr resolves a site's endpoint address from the directory.

@@ -4,8 +4,11 @@ import (
 	"context"
 	"fmt"
 
+	"time"
+
 	"mocha/internal/marshal"
 	"mocha/internal/mnet"
+	"mocha/internal/obs"
 	"mocha/internal/wire"
 )
 
@@ -33,7 +36,9 @@ func newDaemon(n *Node) (*daemon, error) {
 func (d *daemon) handle(m mnet.Message) {
 	p, err := wire.Unmarshal(m.Data)
 	if err != nil {
-		d.node.log.Logf("daemon", "bad message: %v", err)
+		if d.node.log.On() {
+			d.node.log.Logf("daemon", "bad message: %v", err)
+		}
 		return
 	}
 	switch msg := p.(type) {
@@ -43,7 +48,9 @@ func (d *daemon) handle(m mnet.Message) {
 		// the lock identifier it receives, marshals those replicas and
 		// sends them to the mandated destination."
 		if err := d.node.xfer.sendReplicas(msg); err != nil {
-			d.node.log.Logf("daemon", "transfer of lock %d to site %d failed: %v", msg.Lock, msg.Dest, err)
+			if d.node.log.On() {
+				d.node.log.Logf("daemon", "transfer of lock %d to site %d failed: %v", msg.Lock, msg.Dest, err)
+			}
 		}
 	case *wire.ReplicaData:
 		d.node.applyReplicaData(msg)
@@ -81,7 +88,9 @@ func (d *daemon) handle(m mnet.Message) {
 	case *wire.SyncMoved:
 		d.node.setSyncAddr(msg.Addr, msg.Epoch)
 	default:
-		d.node.log.Logf("daemon", "unhandled %s on daemon port", p.Kind())
+		if d.node.log.On() {
+			d.node.log.Logf("daemon", "unhandled %s on daemon port", p.Kind())
+		}
 	}
 }
 
@@ -90,7 +99,9 @@ func (d *daemon) replyTo(to string, p wire.Payload) {
 	ctx, cancel := context.WithTimeout(context.Background(), d.node.cfg.RequestTimeout)
 	defer cancel()
 	if err := d.port.Send(ctx, to, wire.Marshal(p)); err != nil {
-		d.node.log.Logf("daemon", "reply %s to %s failed: %v", p.Kind(), to, err)
+		if d.node.log.On() {
+			d.node.log.Logf("daemon", "reply %s to %s failed: %v", p.Kind(), to, err)
+		}
 	}
 }
 
@@ -114,14 +125,20 @@ func (n *Node) applyPush(pu *wire.PushUpdate) {
 
 // applyPayloads is the shared update-application path.
 func (n *Node) applyPayloads(lock wire.LockID, version uint64, payloads []wire.ReplicaPayload, how string, from wire.SiteID) {
+	applyStart := time.Now()
 	st := n.getLockLocal(lock)
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if version <= st.version {
-		n.log.Logf("daemon", "stale %s of lock %d v%d from site %d (have v%d)", how, lock, version, from, st.version)
+		if n.log.On() {
+			n.log.Logf("daemon", "stale %s of lock %d v%d from site %d (have v%d)", how, lock, version, from, st.version)
+		}
 		return
 	}
-	n.applyBlobsLocked(st, lock, version, payloads, how, from)
+	if n.applyBlobsLocked(st, lock, version, payloads, how, from) {
+		n.obs().Inc(obs.CApplies)
+		n.obs().Observe(obs.HApply, time.Since(applyStart))
+	}
 }
 
 // applyBlobsLocked installs marshaled blobs as the lock's new local
@@ -142,7 +159,9 @@ func (n *Node) applyBlobsLocked(st *lockLocal, lock wire.LockID, version uint64,
 			continue
 		}
 		if err := n.cfg.Codec.Unmarshal(p.Data, r.content); err != nil {
-			n.log.Logf("daemon", "unmarshal %q v%d: %v", p.Name, version, err)
+			if n.log.On() {
+				n.log.Logf("daemon", "unmarshal %q v%d: %v", p.Name, version, err)
+			}
 			// The loop may have replaced some replicas already while the
 			// version stays put: the marshaled cache no longer describes
 			// the content, and neither does any recorded delta chain.
@@ -174,7 +193,11 @@ func (n *Node) applyBlobsLocked(st *lockLocal, lock wire.LockID, version uint64,
 			Note:    how,
 		})
 	}
-	n.log.Logf("daemon", "applied %s of lock %d v%d from site %d (%d replicas)", how, lock, version, from, len(payloads))
+	if n.log.On() {
+		n.log.Log("daemon", "applied update",
+			obs.S("how", how), obs.I("lock", int64(lock)), obs.I("version", int64(version)),
+			obs.I("from", int64(from)), obs.I("replicas", int64(len(payloads))))
+	}
 	return true
 }
 
@@ -184,11 +207,14 @@ func (n *Node) applyBlobsLocked(st *lockLocal, lock wire.LockID, version uint64,
 // full copy instead (the sender's fallback trigger); a stale delta is
 // dropped without error, like a stale full update.
 func (n *Node) applyDelta(rd *wire.ReplicaDelta) error {
+	applyStart := time.Now()
 	st := n.getLockLocal(rd.Lock)
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if rd.Version <= st.version {
-		n.log.Logf("daemon", "stale delta of lock %d v%d from site %d (have v%d)", rd.Lock, rd.Version, rd.From, st.version)
+		if n.log.On() {
+			n.log.Logf("daemon", "stale delta of lock %d v%d from site %d (have v%d)", rd.Lock, rd.Version, rd.From, st.version)
+		}
 		return nil
 	}
 	var base map[string][]byte
@@ -245,6 +271,8 @@ func (n *Node) applyDelta(rd *wire.ReplicaDelta) error {
 	if !n.applyBlobsLocked(st, rd.Lock, rd.Version, blobs, how, rd.From) {
 		return fmt.Errorf("apply patched blobs of lock %d v%d failed", rd.Lock, rd.Version)
 	}
+	n.obs().Inc(obs.CApplies)
+	n.obs().Observe(obs.HApply, time.Since(applyStart))
 	return nil
 }
 
@@ -262,7 +290,9 @@ func (n *Node) handleDeltaArrival(rd *wire.ReplicaDelta, replyTo string, port *m
 	case err == nil:
 		return
 	default:
-		n.log.Logf("daemon", "delta of lock %d v%d from site %d rejected: %v", rd.Lock, rd.Version, rd.From, err)
+		if n.log.On() {
+			n.log.Logf("daemon", "delta of lock %d v%d from site %d rejected: %v", rd.Lock, rd.Version, rd.From, err)
+		}
 		reply = &wire.DeltaNack{
 			Lock:      rd.Lock,
 			Site:      n.cfg.Site,
@@ -275,7 +305,9 @@ func (n *Node) handleDeltaArrival(rd *wire.ReplicaDelta, replyTo string, port *m
 	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.RequestTimeout)
 	defer cancel()
 	if err := port.Send(ctx, replyTo, wire.Marshal(reply)); err != nil {
-		n.log.Logf("daemon", "delta reply to %s failed: %v", replyTo, err)
+		if n.log.On() {
+			n.log.Logf("daemon", "delta reply to %s failed: %v", replyTo, err)
+		}
 	}
 }
 
@@ -316,14 +348,18 @@ func (n *Node) applyCached(pu *wire.PushUpdate) {
 		r, ok := n.cached[p.Name]
 		n.mu.Unlock()
 		if !ok {
-			n.log.Logf("daemon", "cached push for unregistered %q ignored", p.Name)
+			if n.log.On() {
+				n.log.Logf("daemon", "cached push for unregistered %q ignored", p.Name)
+			}
 			continue
 		}
 		r.cachedMu.Lock()
 		err := n.cfg.Codec.Unmarshal(p.Data, r.content)
 		r.cachedMu.Unlock()
 		if err != nil {
-			n.log.Logf("daemon", "cached unmarshal %q: %v", p.Name, err)
+			if n.log.On() {
+				n.log.Logf("daemon", "cached unmarshal %q: %v", p.Name, err)
+			}
 		}
 	}
 }
@@ -355,12 +391,16 @@ func (n *Node) PublishCached(ctx context.Context, r *Replica, targets []wire.Sit
 	for _, site := range targets {
 		addr, err := n.daemonAddr(site)
 		if err != nil {
-			n.log.Logf("daemon", "cached publish: %v", err)
+			if n.log.On() {
+				n.log.Logf("daemon", "cached publish: %v", err)
+			}
 			continue
 		}
 		sendCtx, cancel := context.WithTimeout(ctx, n.cfg.RequestTimeout)
 		if err := n.xfer.port.Send(sendCtx, addr, msg); err != nil {
-			n.log.Logf("daemon", "cached publish of %q to site %d failed: %v", r.name, site, err)
+			if n.log.On() {
+				n.log.Logf("daemon", "cached publish of %q to site %d failed: %v", r.name, site, err)
+			}
 		}
 		cancel()
 	}

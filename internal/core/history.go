@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"mocha/internal/obs"
 	"mocha/internal/wire"
 )
 
@@ -33,6 +34,17 @@ func (n *Node) recordHist(ev wire.HistoryEvent) {
 // histEnabled reports whether history recording is on, so call sites can
 // skip digest computation entirely when it is not.
 func (n *Node) histEnabled() bool { return n != nil && n.cfg.History != nil }
+
+// obs returns the node's metrics registry. A nil receiver (unit tests
+// drive protocol components with no enclosing node) and a nil registry
+// both yield nil, which every obs.Registry method treats as the disabled
+// observability plane.
+func (n *Node) obs() *obs.Registry {
+	if n == nil {
+		return nil
+	}
+	return n.metrics
+}
 
 // digestReplicasLocked checksums the marshaled form of every replica
 // associated with the lock. It marshals independently of the payload cache

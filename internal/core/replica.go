@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mocha/internal/marshal"
+	"mocha/internal/obs"
 	"mocha/internal/wire"
 )
 
@@ -446,7 +447,9 @@ func (rl *ReplicaLock) Associate(ctx context.Context, r *Replica) error {
 		if p, ok := rl.st.pending[r.name]; ok {
 			delete(rl.st.pending, r.name)
 			if err := rl.node.cfg.Codec.Unmarshal(p.data, r.content); err != nil {
-				rl.node.log.Logf("daemon", "apply pending payload for %q: %v", r.name, err)
+				if rl.node.log.On() {
+					rl.node.log.Logf("daemon", "apply pending payload for %q: %v", r.name, err)
+				}
 			}
 		}
 		if rl.node.histEnabled() && rl.st.version == 1 && r.created {
@@ -532,6 +535,7 @@ func (rl *ReplicaLock) lock(ctx context.Context, shared bool) error {
 	if rl.node.isClosed() {
 		return ErrClosed
 	}
+	span := rl.node.obs().StartSpan("acquire", uint32(rl.node.cfg.Site), uint64(rl.id))
 	// Local serialization ("wait()" in the pseudocode).
 	select {
 	case rl.st.gate <- struct{}{}:
@@ -540,6 +544,8 @@ func (rl *ReplicaLock) lock(ctx context.Context, shared bool) error {
 	case <-ctx.Done():
 		return fmt.Errorf("core: lock %d: %w", rl.id, ctx.Err())
 	}
+	span.Phase(obs.HQueueWait)
+	rl.node.obs().Inc(obs.CAcquireRequests)
 	ok := false
 	defer func() {
 		if !ok {
@@ -578,6 +584,8 @@ func (rl *ReplicaLock) lock(ctx context.Context, shared bool) error {
 	case <-ctx.Done():
 		return fmt.Errorf("core: lock %d awaiting grant: %w", rl.id, ctx.Err())
 	}
+	span.Phase(obs.HRequestRTT)
+	span.SetVersion(grant.Version)
 
 	// Await the data if a new version is in flight. The thread never
 	// assumes replicas will arrive; it examines the flag.
@@ -610,6 +618,9 @@ func (rl *ReplicaLock) lock(ctx context.Context, shared bool) error {
 		}
 	}
 
+	span.Phase(obs.HTransferWait)
+	span.SetVersion(grant.Version)
+
 	rl.st.mu.Lock()
 	rl.st.holder = rl.h.id
 	rl.st.heldGrant = grant
@@ -638,6 +649,7 @@ func (rl *ReplicaLock) lock(ctx context.Context, shared bool) error {
 	rl.node.fireFault(FaultContext{
 		Point: FPKillLockHolder, Lock: rl.id, Thread: rl.h.id, Version: grant.Version,
 	})
+	span.End(obs.HAcquireTotal)
 	ok = true
 	return nil
 }
@@ -656,6 +668,7 @@ func (rl *ReplicaLock) Unlock(ctx context.Context) error {
 	ur := rl.st.ur
 	rl.st.mu.Unlock()
 
+	span := rl.node.obs().StartSpan("release", uint32(rl.node.cfg.Site), uint64(rl.id))
 	newVersion := grant.Version
 	upToDate := wire.NewSiteSet(rl.node.cfg.Site)
 	if !shared {
@@ -717,8 +730,10 @@ func (rl *ReplicaLock) Unlock(ctx context.Context) error {
 			for _, site := range acked {
 				upToDate.Add(site)
 			}
+			span.Phase(obs.HDisseminate)
 		}
 	}
+	span.SetVersion(newVersion)
 
 	rel := &wire.ReleaseLock{
 		Lock:       rl.id,
@@ -742,6 +757,8 @@ func (rl *ReplicaLock) Unlock(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("core: unlock %d release: %w", rl.id, err)
 	}
+	rl.node.obs().Inc(obs.CReleases)
+	span.End(obs.HReleaseTotal)
 	return nil
 }
 
@@ -760,7 +777,9 @@ func (rl *ReplicaLock) releaseAborted(grant *wire.Grant, shared bool) {
 		Aborted:    true,
 	}
 	if err := rl.node.client.sendToSync(ctx, rel); err != nil {
-		rl.node.log.Logf("lock", "abort release of lock %d failed: %v", rl.id, err)
+		if rl.node.log.On() {
+			rl.node.log.Logf("lock", "abort release of lock %d failed: %v", rl.id, err)
+		}
 	}
 }
 

@@ -125,7 +125,9 @@ func (n *Node) StartSurrogate(ctx context.Context, state SyncState) error {
 	n.syncAddr = newAddr
 	n.syncEpoch = s.epoch
 	n.mu.Unlock()
-	n.log.Logf("sync", "surrogate synchronization thread started (epoch %d)", s.epoch)
+	if n.log.On() {
+		n.log.Logf("sync", "surrogate synchronization thread started (epoch %d)", s.epoch)
+	}
 
 	// Inform the daemon threads of its existence.
 	moved := wire.Marshal(&wire.SyncMoved{Addr: newAddr, Epoch: s.epoch})
@@ -139,7 +141,9 @@ func (n *Node) StartSurrogate(ctx context.Context, state SyncState) error {
 		}
 		sendCtx, cancel := context.WithTimeout(ctx, n.cfg.RequestTimeout)
 		if err := s.aux.Send(sendCtx, addr, moved); err != nil {
-			n.log.Logf("sync", "SyncMoved to site %d failed: %v", site, err)
+			if n.log.On() {
+				n.log.Logf("sync", "SyncMoved to site %d failed: %v", site, err)
+			}
 		}
 		cancel()
 	}

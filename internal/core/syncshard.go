@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"mocha/internal/obs"
 	"mocha/internal/wire"
 )
 
@@ -60,6 +61,7 @@ func (s *syncThread) ensureLock(id wire.LockID) *syncLock {
 			readers: make(map[wire.ThreadID]*holderInfo),
 		}
 		sh.locks[id] = l
+		s.node.obs().GaugeAdd(obs.GSyncLocks, 1)
 	}
 	sh.mu.Unlock()
 	return l

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mocha/internal/mnet"
+	"mocha/internal/obs"
 	"mocha/internal/wire"
 )
 
@@ -165,7 +166,9 @@ func (s *syncThread) spawn(f func()) {
 func (s *syncThread) handle(m mnet.Message) {
 	p, err := wire.Unmarshal(m.Data)
 	if err != nil {
-		s.node.log.Logf("sync", "bad message: %v", err)
+		if s.node.log.On() {
+			s.node.log.Logf("sync", "bad message: %v", err)
+		}
 		return
 	}
 	switch msg := p.(type) {
@@ -176,7 +179,9 @@ func (s *syncThread) handle(m mnet.Message) {
 	case *wire.RegisterReplica:
 		s.onRegister(msg)
 	default:
-		s.node.log.Logf("sync", "unhandled %s on sync port", p.Kind())
+		if s.node.log.On() {
+			s.node.log.Logf("sync", "unhandled %s on sync port", p.Kind())
+		}
 	}
 }
 
@@ -215,7 +220,9 @@ func (s *syncThread) onAcquire(msg *wire.AcquireLock) {
 	if reason, isBanned := s.bannedReason(msg.Thread); isBanned {
 		// "an application thread that fails in this manner is prevented
 		// from making future requests."
-		s.node.log.Logf("sync", "refusing banned thread %d: %s", msg.Thread, reason)
+		if s.node.log.On() {
+			s.node.log.Logf("sync", "refusing banned thread %d: %s", msg.Thread, reason)
+		}
 		s.recordNack(msg, reason)
 		s.spawn(s.nackAction(msg, wire.NackBanned, reason))
 		return
@@ -224,7 +231,9 @@ func (s *syncThread) onAcquire(msg *wire.AcquireLock) {
 	if l == nil {
 		// No daemon has ever registered this lock: refuse rather than
 		// fabricate a record an arbitrary acquirer could grow forever.
-		s.node.log.Logf("sync", "refusing acquire of unregistered lock %d by thread %d", msg.Lock, msg.Thread)
+		if s.node.log.On() {
+			s.node.log.Logf("sync", "refusing acquire of unregistered lock %d by thread %d", msg.Lock, msg.Thread)
+		}
 		s.recordNack(msg, "lock never registered")
 		s.spawn(s.nackAction(msg, wire.NackUnknownLock, "lock never registered"))
 		return
@@ -241,6 +250,8 @@ func (s *syncThread) onAcquire(msg *wire.AcquireLock) {
 		have:   msg.HaveVersion,
 		lease:  lease,
 	})
+	s.node.obs().GaugeAdd(obs.GSyncQueueDepth, 1)
+	s.node.obs().ShardDepthAdd(int(uint32(msg.Lock)%uint32(len(s.shards))), 1)
 	actions := s.tryGrantLocked(l)
 	l.mu.Unlock()
 	s.run(actions)
@@ -295,7 +306,9 @@ func (s *syncThread) onRelease(msg *wire.ReleaseLock) {
 	default:
 		// A stale release: the lock was broken while this thread held it.
 		l.mu.Unlock()
-		s.node.log.Logf("sync", "ignoring stale release of lock %d by thread %d", msg.Lock, msg.Thread)
+		if s.node.log.On() {
+			s.node.log.Logf("sync", "ignoring stale release of lock %d by thread %d", msg.Lock, msg.Thread)
+		}
 		return
 	}
 
@@ -307,8 +320,11 @@ func (s *syncThread) onRelease(msg *wire.ReleaseLock) {
 		up.Add(msg.Releaser)
 		l.upToDate = up
 		relSites = up
-		s.node.log.Logf("sync", "lock %d released at v%d by site %d, up-to-date %s",
-			msg.Lock, l.version, msg.Releaser, l.upToDate)
+		if s.node.log.On() {
+			s.node.log.Log("sync", "lock released",
+				obs.I("lock", int64(msg.Lock)), obs.I("version", int64(l.version)),
+				obs.I("site", int64(msg.Releaser)), obs.S("up_to_date", l.upToDate.String()))
+		}
 	}
 	s.node.recordHist(wire.HistoryEvent{
 		Kind:    wire.HistRelease,
@@ -342,7 +358,9 @@ func (s *syncThread) onRegister(msg *wire.RegisterReplica) {
 			Kind: wire.HistRegister, Site: msg.Site, Lock: msg.Lock, Version: 1, Note: "creator",
 		})
 		l.mu.Unlock()
-		s.node.log.Logf("sync", "lock %d seeded at v1 by creator site %d", msg.Lock, msg.Site)
+		if s.node.log.On() {
+			s.node.log.Logf("sync", "lock %d seeded at v1 by creator site %d", msg.Lock, msg.Site)
+		}
 		return
 	}
 	s.node.recordHist(wire.HistoryEvent{Kind: wire.HistRegister, Site: msg.Site, Lock: msg.Lock})
@@ -368,6 +386,8 @@ func (s *syncThread) tryGrantLocked(l *syncLock) []func() {
 			break
 		}
 		l.queue = l.queue[1:]
+		s.node.obs().GaugeAdd(obs.GSyncQueueDepth, -1)
+		s.node.obs().ShardDepthAdd(int(uint32(l.id)%uint32(len(s.shards))), -1)
 		h := &holderInfo{
 			site: head.site, thread: head.thread,
 			grantedAt: time.Now(), lease: head.lease, shared: head.shared,
@@ -496,8 +516,11 @@ func (s *syncThread) sweepOnce() {
 			l.mu.Lock()
 			if l.emptyLocked() {
 				delete(sh.locks, id)
+				s.node.obs().GaugeAdd(obs.GSyncLocks, -1)
 				l.mu.Unlock()
-				s.node.log.Logf("sync", "collected empty record for lock %d", id)
+				if s.node.log.On() {
+					s.node.log.Logf("sync", "collected empty record for lock %d", id)
+				}
 				continue
 			}
 			if h := l.holder; h != nil {
@@ -550,20 +573,25 @@ func (s *syncThread) checkHolder(l *syncLock, h *holderInfo) {
 		// healthy hold.
 		h.grantedAt = time.Now()
 		l.mu.Unlock()
-		s.node.log.Logf("sync", "lock %d holder %d over lease but alive; extended", l.id, h.thread)
+		if s.node.log.On() {
+			s.node.log.Logf("sync", "lock %d holder %d over lease but alive; extended", l.id, h.thread)
+		}
 		return
 	}
 	// "the synchronization thread can assume the application thread has
 	// failed ... the synchronization thread can simply break the lock and
 	// give it to the next application thread that desires it."
 	s.dropHoldLocked(l, h)
+	s.node.obs().Inc(obs.CLeaseBreaks)
 	s.node.recordHist(wire.HistoryEvent{
 		Kind: wire.HistBreak, Site: h.site, Thread: h.thread, Lock: l.id,
 	})
 	actions := s.tryGrantLocked(l)
 	l.mu.Unlock()
 	s.ban(h.thread, fmt.Sprintf("lease expired on lock %d and heartbeat to site %d failed", l.id, h.site))
-	s.node.log.Logf("fault", "broke lock %d held by dead thread %d at site %d", l.id, h.thread, h.site)
+	if s.node.log.On() {
+		s.node.log.Logf("fault", "broke lock %d held by dead thread %d at site %d", l.id, h.thread, h.site)
+	}
 	s.run(actions)
 }
 
@@ -582,6 +610,7 @@ func (s *syncThread) ban(t wire.ThreadID, reason string) {
 	if _, known := s.banned[t]; !known {
 		// Recorded under bannedMu: any acquire refused because of this ban
 		// is sequenced after it.
+		s.node.obs().Inc(obs.CBans)
 		s.node.recordHist(wire.HistoryEvent{Kind: wire.HistBan, Thread: t, Note: reason})
 		s.banOrder = append(s.banOrder, t)
 		if len(s.banOrder) > maxBannedRecords {

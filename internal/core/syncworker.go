@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"mocha/internal/obs"
 	"mocha/internal/wire"
 )
 
@@ -27,11 +28,14 @@ func timeoutCtx(d time.Duration) (context.Context, context.CancelFunc) {
 // requester died: the worker re-enters the state machine, removes the
 // optimistically installed hold, and grants the next requester.
 func (s *syncThread) deliverGrant(l *syncLock, req *lockRequest, h *holderInfo, g *wire.Grant) {
+	deliverStart := time.Now()
 	crashed := s.node.fireFault(FaultContext{
 		Point: FPCrashBeforeGrant, Peer: req.site, Lock: l.id, Thread: req.thread, Version: g.Version,
 	}).Drop
 	if crashed || !s.sendToClient(req.site, g) {
-		s.node.log.Logf("fault", "grant of lock %d undeliverable to site %d; skipping requester", l.id, req.site)
+		if s.node.log.On() {
+			s.node.log.Logf("fault", "grant of lock %d undeliverable to site %d; skipping requester", l.id, req.site)
+		}
 		l.mu.Lock()
 		var actions []func()
 		if s.dropHoldLocked(l, h) {
@@ -44,8 +48,14 @@ func (s *syncThread) deliverGrant(l *syncLock, req *lockRequest, h *holderInfo, 
 		s.run(actions)
 		return
 	}
-	s.node.log.Logf("sync", "granted lock %d v%d to thread %d at site %d (%s)",
-		l.id, g.Version, req.thread, req.site, g.Flag)
+	s.node.obs().Inc(obs.CGrants)
+	s.node.obs().Observe(obs.HGrantDeliver, time.Since(deliverStart))
+	if s.node.log.On() {
+		s.node.log.Log("sync", "granted lock",
+			obs.I("lock", int64(l.id)), obs.I("version", int64(g.Version)),
+			obs.I("thread", int64(req.thread)), obs.I("site", int64(req.site)),
+			obs.S("flag", g.Flag.String()))
+	}
 
 	if g.Flag == wire.NeedNewVersion {
 		s.directTransfer(l, req, h)
@@ -64,7 +74,9 @@ func (s *syncThread) directTransfer(l *syncLock, req *lockRequest, h *holderInfo
 	if err := s.sendDirective(l.id, src, req.site, req.have, version); err == nil {
 		return
 	}
-	s.node.log.Logf("fault", "transfer directive for lock %d to daemon %d timed out; polling daemons", l.id, src)
+	if s.node.log.On() {
+		s.node.log.Logf("fault", "transfer directive for lock %d to daemon %d timed out; polling daemons", l.id, src)
+	}
 	s.recoverTransfer(l, req, h, map[wire.SiteID]bool{src: true})
 }
 
@@ -100,7 +112,9 @@ func (s *syncThread) recoverTransfer(l *syncLock, req *lockRequest, h *holderInf
 		// The grantee released (or was broken) while we polled; whoever
 		// is granted next will rerun recovery against current state.
 		l.mu.Unlock()
-		s.node.log.Logf("fault", "abandoning transfer recovery for lock %d: hold by thread %d ended", l.id, req.thread)
+		if s.node.log.On() {
+			s.node.log.Logf("fault", "abandoning transfer recovery for lock %d: hold by thread %d ended", l.id, req.thread)
+		}
 		return
 	}
 	if !found {
@@ -114,14 +128,18 @@ func (s *syncThread) recoverTransfer(l *syncLock, req *lockRequest, h *holderInf
 		})
 		s.recordGrant(l, g, req.site)
 		l.mu.Unlock()
-		s.node.log.Logf("fault", "no surviving copy of lock %d replicas; weakening to local state at site %d", l.id, req.site)
+		if s.node.log.On() {
+			s.node.log.Logf("fault", "no surviving copy of lock %d replicas; weakening to local state at site %d", l.id, req.site)
+		}
 		s.sendToClient(req.site, g)
 		return
 	}
 
 	if best.Version < l.version {
-		s.node.log.Logf("fault", "newest copy of lock %d lost; falling back to v%d at site %d (weakened consistency)",
-			l.id, best.Version, best.Site)
+		if s.node.log.On() {
+			s.node.log.Logf("fault", "newest copy of lock %d lost; falling back to v%d at site %d (weakened consistency)",
+				l.id, best.Version, best.Site)
+		}
 	}
 	l.version = best.Version
 	l.lastOwner = best.Site
@@ -144,7 +162,9 @@ func (s *syncThread) recoverTransfer(l *syncLock, req *lockRequest, h *holderInf
 	s.sendToClient(req.site, g)
 	if err := s.sendDirective(l.id, best.Site, req.site, req.have, best.Version); err != nil {
 		// The fallback daemon died too; recurse on the remaining set.
-		s.node.log.Logf("fault", "fallback transfer source %d for lock %d also failed", best.Site, l.id)
+		if s.node.log.On() {
+			s.node.log.Logf("fault", "fallback transfer source %d for lock %d also failed", best.Site, l.id)
+		}
 		dead[best.Site] = true
 		s.recoverTransfer(l, req, h, dead)
 	}
@@ -158,6 +178,10 @@ func (s *syncThread) recoverTransfer(l *syncLock, req *lockRequest, h *holderInf
 // reduction is deterministic: highest version wins, ties broken by lowest
 // site ID.
 func (s *syncThread) pollDaemons(l *syncLock, dead map[wire.SiteID]bool) (*wire.PollVersionReply, bool) {
+	pollStart := time.Now()
+	defer func() {
+		s.node.obs().Observe(obs.HDaemonPoll, time.Since(pollStart))
+	}()
 	l.mu.Lock()
 	sites := l.sharers.Sites()
 	l.mu.Unlock()
@@ -203,8 +227,11 @@ func (s *syncThread) pollDaemons(l *syncLock, dead map[wire.SiteID]bool) (*wire.
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			s.node.obs().Inc(obs.CDaemonPolls)
 			if err := s.aux.Send(ctx, t.addr, poll); err != nil {
-				s.node.log.Logf("fault", "poll of daemon %d failed: %v", t.site, err)
+				if s.node.log.On() {
+					s.node.log.Logf("fault", "poll of daemon %d failed: %v", t.site, err)
+				}
 				return
 			}
 			deliveredMu.Lock()

@@ -12,6 +12,7 @@ import (
 
 	"mocha/internal/mnet"
 	"mocha/internal/netsim"
+	"mocha/internal/obs"
 	"mocha/internal/transport"
 	"mocha/internal/wire"
 )
@@ -82,7 +83,9 @@ func newTransferService(n *Node) (*transferService, error) {
 func (t *transferService) handle(m mnet.Message) {
 	p, err := wire.Unmarshal(m.Data)
 	if err != nil {
-		t.node.log.Logf("xfer", "bad message: %v", err)
+		if t.node.log.On() {
+			t.node.log.Logf("xfer", "bad message: %v", err)
+		}
 		return
 	}
 	switch msg := p.(type) {
@@ -106,7 +109,9 @@ func (t *transferService) handle(m mnet.Message) {
 			ack := &wire.PushAck{Lock: msg.Lock, Site: t.node.cfg.Site, Version: msg.Version}
 			ctx, cancel := context.WithTimeout(context.Background(), t.node.cfg.RequestTimeout)
 			if err := t.port.Send(ctx, m.From, wire.Marshal(ack)); err != nil {
-				t.node.log.Logf("xfer", "push ack to %s failed: %v", m.From, err)
+				if t.node.log.On() {
+					t.node.log.Logf("xfer", "push ack to %s failed: %v", m.From, err)
+				}
 			}
 			cancel()
 		}
@@ -118,7 +123,9 @@ func (t *transferService) handle(m mnet.Message) {
 	case *wire.PushAck:
 		t.node.client.handle(m)
 	default:
-		t.node.log.Logf("xfer", "unhandled %s on transfer port", p.Kind())
+		if t.node.log.On() {
+			t.node.log.Logf("xfer", "unhandled %s on transfer port", p.Kind())
+		}
 	}
 }
 
@@ -174,10 +181,13 @@ func (t *transferService) sendReplicas(dir *wire.TransferReplica) error {
 			return nil
 		}
 		if err != nil {
-			t.node.log.Logf("fault", "delta transfer of lock %d to site %d failed (%v); sending full copy", dir.Lock, dir.Dest, err)
+			if t.node.log.On() {
+				t.node.log.Logf("fault", "delta transfer of lock %d to site %d failed (%v); sending full copy", dir.Lock, dir.Dest, err)
+			}
 		} else {
 			// The receiver could not apply the patch; ship the full copy.
 			t.deltaFallbacks.Add(1)
+			t.node.obs().Inc(obs.CDeltaFallbacks)
 		}
 	}
 
@@ -193,14 +203,21 @@ func (t *transferService) sendReplicas(dir *wire.TransferReplica) error {
 	if t.useStream(len(blob)) {
 		_, err := t.sendOverStream(ctx, dir.Dest, blob)
 		if err == nil {
+			t.node.obs().Inc(obs.CTransfersHybrid)
 			t.countReplicaSend(len(blob), false)
-			t.node.log.Logf("xfer", "hybrid transfer of lock %d v%d to site %d (%d bytes)", dir.Lock, version, dir.Dest, len(blob))
+			if t.node.log.On() {
+				t.node.log.Log("xfer", "hybrid transfer",
+					obs.I("lock", int64(dir.Lock)), obs.I("version", int64(version)),
+					obs.I("dest", int64(dir.Dest)), obs.I("bytes", int64(len(blob))))
+			}
 			return nil
 		}
 		// The stream path failed (listener unreachable, broken
 		// connection); fall back to the basic protocol rather than strand
 		// the waiting acquirer.
-		t.node.log.Logf("fault", "hybrid transfer of lock %d to site %d failed (%v); falling back to mnet", dir.Lock, dir.Dest, err)
+		if t.node.log.On() {
+			t.node.log.Logf("fault", "hybrid transfer of lock %d to site %d failed (%v); falling back to mnet", dir.Lock, dir.Dest, err)
+		}
 	}
 
 	addr, err := t.node.daemonAddr(dir.Dest)
@@ -210,8 +227,13 @@ func (t *transferService) sendReplicas(dir *wire.TransferReplica) error {
 	if err := t.node.daemon.port.Send(ctx, addr, blob); err != nil {
 		return fmt.Errorf("mnet transfer to site %d: %w", dir.Dest, err)
 	}
+	t.node.obs().Inc(obs.CTransfersMNet)
 	t.countReplicaSend(len(blob), false)
-	t.node.log.Logf("xfer", "mnet transfer of lock %d v%d to site %d (%d bytes)", dir.Lock, version, dir.Dest, len(blob))
+	if t.node.log.On() {
+		t.node.log.Log("xfer", "mnet transfer",
+			obs.I("lock", int64(dir.Lock)), obs.I("version", int64(version)),
+			obs.I("dest", int64(dir.Dest)), obs.I("bytes", int64(len(blob))))
+	}
 	return nil
 }
 
@@ -231,9 +253,14 @@ func (t *transferService) sendDeltaTransfer(ctx context.Context, dir *wire.Trans
 		if ack != ackApplied {
 			return false, nil
 		}
+		t.node.obs().Inc(obs.CTransfersHybrid)
 		t.countReplicaSend(len(blob), true)
-		t.node.log.Logf("xfer", "hybrid delta transfer of lock %d v%d->v%d to site %d (%d bytes)",
-			dir.Lock, delta.FromVersion, delta.Version, dir.Dest, len(blob))
+		if t.node.log.On() {
+			t.node.log.Log("xfer", "hybrid delta transfer",
+				obs.I("lock", int64(dir.Lock)), obs.I("from_version", int64(delta.FromVersion)),
+				obs.I("version", int64(delta.Version)), obs.I("dest", int64(dir.Dest)),
+				obs.I("bytes", int64(len(blob))))
+		}
 		return true, nil
 	}
 	addr, err := t.node.daemonAddr(dir.Dest)
@@ -243,19 +270,28 @@ func (t *transferService) sendDeltaTransfer(ctx context.Context, dir *wire.Trans
 	if err := t.node.daemon.port.Send(ctx, addr, blob); err != nil {
 		return false, fmt.Errorf("mnet delta transfer to site %d: %w", dir.Dest, err)
 	}
+	t.node.obs().Inc(obs.CTransfersMNet)
 	t.countReplicaSend(len(blob), true)
-	t.node.log.Logf("xfer", "mnet delta transfer of lock %d v%d->v%d to site %d (%d bytes)",
-		dir.Lock, delta.FromVersion, delta.Version, dir.Dest, len(blob))
+	if t.node.log.On() {
+		t.node.log.Log("xfer", "mnet delta transfer",
+			obs.I("lock", int64(dir.Lock)), obs.I("from_version", int64(delta.FromVersion)),
+			obs.I("version", int64(delta.Version)), obs.I("dest", int64(dir.Dest)),
+			obs.I("bytes", int64(len(blob))))
+	}
 	return true, nil
 }
 
-// countReplicaSend tallies one replica-carrying frame on the wire.
+// countReplicaSend tallies one replica-carrying frame on the wire, in
+// the service's own counters and in the observability plane.
 func (t *transferService) countReplicaSend(n int, isDelta bool) {
 	t.replicaBytes.Add(int64(n))
+	t.node.obs().Add(obs.CTransferBytes, int64(n))
 	if isDelta {
 		t.deltaSends.Add(1)
+		t.node.obs().Inc(obs.CTransfersDelta)
 	} else {
 		t.fullSends.Add(1)
+		t.node.obs().Inc(obs.CTransfersFull)
 	}
 }
 
@@ -264,13 +300,16 @@ func (t *transferService) countReplicaSend(n int, isDelta bool) {
 // channel; a rejected transfer is answered with a full retransfer, since
 // the directive's sender has moved on.
 func (t *transferService) handleDeltaNack(msg *wire.DeltaNack) {
-	t.node.log.Logf("xfer", "delta of lock %d v%d rejected by site %d: %s", msg.Lock, msg.Version, msg.Site, msg.Reason)
+	if t.node.log.On() {
+		t.node.log.Logf("xfer", "delta of lock %d v%d rejected by site %d: %s", msg.Lock, msg.Version, msg.Site, msg.Reason)
+	}
 	if msg.Push {
 		// pushTo counts the fallback when it resends the full copy.
 		t.node.client.deliverPushResult(msg.Lock, msg.Version, msg.Site, pushResult{needFull: true})
 		return
 	}
 	t.deltaFallbacks.Add(1)
+	t.node.obs().Inc(obs.CDeltaFallbacks)
 	go t.resendFull(msg)
 }
 
@@ -280,7 +319,9 @@ func (t *transferService) handleDeltaNack(msg *wire.DeltaNack) {
 func (t *transferService) resendFull(msg *wire.DeltaNack) {
 	dir := &wire.TransferReplica{Lock: msg.Lock, Dest: msg.Site, Version: msg.Version, RequestID: msg.RequestID}
 	if err := t.sendReplicas(dir); err != nil {
-		t.node.log.Logf("fault", "full retransfer of lock %d to site %d failed: %v", msg.Lock, msg.Site, err)
+		if t.node.log.On() {
+			t.node.log.Logf("fault", "full retransfer of lock %d to site %d failed: %v", msg.Lock, msg.Site, err)
+		}
 	}
 }
 
@@ -481,12 +522,16 @@ func (t *transferService) writeFrame(ctx context.Context, conn transport.Conn, f
 // listener address back over MNet.
 func (t *transferService) acceptStream(replyTo string, req *wire.OpenStreamRequest) {
 	if t.node.cfg.Stack == nil {
-		t.node.log.Logf("xfer", "stream request from site %d but no stack configured", req.From)
+		if t.node.log.On() {
+			t.node.log.Logf("xfer", "stream request from site %d but no stack configured", req.From)
+		}
 		return
 	}
 	ln, err := t.node.cfg.Stack.ListenStream()
 	if err != nil {
-		t.node.log.Logf("xfer", "listen for site %d: %v", req.From, err)
+		if t.node.log.On() {
+			t.node.log.Logf("xfer", "listen for site %d: %v", req.From, err)
+		}
 		return
 	}
 	go t.receiveStream(ln)
@@ -495,7 +540,9 @@ func (t *transferService) acceptStream(replyTo string, req *wire.OpenStreamReque
 	ctx, cancel := context.WithTimeout(context.Background(), t.node.cfg.RequestTimeout)
 	defer cancel()
 	if err := t.port.Send(ctx, replyTo, wire.Marshal(reply)); err != nil {
-		t.node.log.Logf("xfer", "stream reply to %s failed: %v", replyTo, err)
+		if t.node.log.On() {
+			t.node.log.Logf("xfer", "stream reply to %s failed: %v", replyTo, err)
+		}
 		_ = ln.Close()
 	}
 }
@@ -519,7 +566,9 @@ func (t *transferService) receiveStream(ln transport.Listener) {
 			// (firewalled, crashed, or fell back to MNet); make the
 			// stranded listener visible instead of exiting silently.
 			t.abandonedListeners.Add(1)
-			t.node.log.Logf("fault", "stream listener %s abandoned: no connection within %v", ln.Addr(), t.node.cfg.TransferTimeout)
+			if t.node.log.On() {
+				t.node.log.Logf("fault", "stream listener %s abandoned: no connection within %v", ln.Addr(), t.node.cfg.TransferTimeout)
+			}
 		}
 		return
 	}
@@ -546,18 +595,24 @@ func (t *transferService) serveFrame(conn transport.Conn) bool {
 	size := binary.BigEndian.Uint32(hdr[:])
 	const maxFrame = 64 << 20
 	if size > maxFrame {
-		t.node.log.Logf("xfer", "stream frame of %d bytes rejected", size)
+		if t.node.log.On() {
+			t.node.log.Logf("xfer", "stream frame of %d bytes rejected", size)
+		}
 		return false
 	}
 	frame := make([]byte, size)
 	if _, err := io.ReadFull(conn, frame); err != nil {
-		t.node.log.Logf("xfer", "stream frame read: %v", err)
+		if t.node.log.On() {
+			t.node.log.Logf("xfer", "stream frame read: %v", err)
+		}
 		return false
 	}
 
 	p, err := wire.Unmarshal(frame)
 	if err != nil {
-		t.node.log.Logf("xfer", "stream frame decode: %v", err)
+		if t.node.log.On() {
+			t.node.log.Logf("xfer", "stream frame decode: %v", err)
+		}
 		return false
 	}
 	ack := ackApplied
@@ -568,11 +623,15 @@ func (t *transferService) serveFrame(conn transport.Conn) bool {
 		t.node.applyPush(msg)
 	case *wire.ReplicaDelta:
 		if err := t.node.applyDelta(msg); err != nil {
-			t.node.log.Logf("xfer", "stream delta of lock %d v%d rejected: %v", msg.Lock, msg.Version, err)
+			if t.node.log.On() {
+				t.node.log.Logf("xfer", "stream delta of lock %d v%d rejected: %v", msg.Lock, msg.Version, err)
+			}
 			ack = ackNeedFull
 		}
 	default:
-		t.node.log.Logf("xfer", "unexpected %s over stream", p.Kind())
+		if t.node.log.On() {
+			t.node.log.Logf("xfer", "unexpected %s over stream", p.Kind())
+		}
 		return false
 	}
 	// One-byte application ack: data received and applied (or, for a
@@ -738,7 +797,9 @@ func (t *transferService) disseminate(ctx context.Context, lock wire.LockID, ver
 
 				site := candidates[i]
 				if err := t.pushTo(ctx, site, pb, pb.delta != nil && upToDate.Contains(site)); err != nil {
-					t.node.log.Logf("fault", "dissemination of lock %d v%d to site %d failed: %v", lock, version, site, err)
+					if t.node.log.On() {
+						t.node.log.Logf("fault", "dissemination of lock %d v%d to site %d failed: %v", lock, version, site, err)
+					}
 					continue
 				}
 				mu.Lock()
@@ -757,7 +818,9 @@ func (t *transferService) disseminate(ctx context.Context, lock wire.LockID, ver
 		}
 	}
 	if len(acked) < want {
-		t.node.log.Logf("fault", "dissemination of lock %d v%d reached %d of %d sites", lock, version, len(acked), want)
+		if t.node.log.On() {
+			t.node.log.Logf("fault", "dissemination of lock %d v%d reached %d of %d sites", lock, version, len(acked), want)
+		}
 	}
 	return acked
 }
@@ -769,6 +832,7 @@ func (t *transferService) disseminate(ctx context.Context, lock wire.LockID, ver
 // full blob follows on the same call. Safe for concurrent callers pushing
 // the same blob to distinct sites.
 func (t *transferService) pushTo(ctx context.Context, site wire.SiteID, pb *pushBlob, tryDelta bool) error {
+	t.node.obs().Inc(obs.CPushes)
 	if t.node.fireFault(FaultContext{
 		Point: FPDropMidTransfer, Peer: site, Lock: pb.lock, Version: pb.version,
 	}).Drop {
@@ -788,6 +852,7 @@ func (t *transferService) pushTo(ctx context.Context, site wire.SiteID, pb *push
 			return nil
 		}
 		t.deltaFallbacks.Add(1)
+		t.node.obs().Inc(obs.CDeltaFallbacks)
 	}
 
 	applied, err := t.sendPushFrame(sendCtx, site, pb, pb.blob)
@@ -811,6 +876,7 @@ func (t *transferService) sendPushFrame(ctx context.Context, site wire.SiteID, p
 		if err != nil {
 			return false, err
 		}
+		t.node.obs().Inc(obs.CTransfersHybrid)
 		return ack == ackApplied, nil
 	}
 
@@ -825,6 +891,7 @@ func (t *transferService) sendPushFrame(ctx context.Context, site wire.SiteID, p
 	if err := t.port.Send(ctx, addr, blob); err != nil {
 		return false, err
 	}
+	t.node.obs().Inc(obs.CTransfersMNet)
 	select {
 	case res := <-ackCh:
 		return !res.needFull, nil

@@ -1,0 +1,110 @@
+package eventlog
+
+import (
+	"strings"
+	"testing"
+
+	"mocha/internal/obs"
+)
+
+func TestTypedLogRenderLazily(t *testing.T) {
+	l := New(10)
+	l.Log("xfer", "hybrid transfer", obs.I("lock", 4), obs.S("mode", "delta"))
+	events := l.Events()
+	if len(events) != 1 {
+		t.Fatalf("got %d events", len(events))
+	}
+	e := events[0]
+	if e.Text != "" || e.Msg != "hybrid transfer" || len(e.Fields) != 2 {
+		t.Fatalf("typed event stored wrong: %+v", e)
+	}
+	if got := e.Render(); got != "hybrid transfer lock=4 mode=delta" {
+		t.Fatalf("Render = %q", got)
+	}
+	if !strings.Contains(e.String(), "hybrid transfer lock=4 mode=delta") {
+		t.Fatalf("String = %q", e.String())
+	}
+}
+
+func TestDisabledLoggerRecordsNothing(t *testing.T) {
+	l := Nop()
+	if l.On() {
+		t.Fatal("Nop logger reports enabled")
+	}
+	l.Logf("c", "dropped %d", 1)
+	l.Log("c", "dropped", obs.I("n", 1))
+	if len(l.Events()) != 0 {
+		t.Fatal("disabled logger retained events")
+	}
+	l.SetEnabled(true)
+	if !l.On() {
+		t.Fatal("SetEnabled(true) did not enable")
+	}
+	l.Logf("c", "kept")
+	if len(l.Events()) != 1 {
+		t.Fatal("re-enabled logger dropped an event")
+	}
+	var nilLogger *Logger
+	if nilLogger.On() {
+		t.Fatal("nil logger reports enabled")
+	}
+	nilLogger.SetEnabled(true) // must not panic
+	if nilLogger.On() {
+		t.Fatal("nil logger enabled")
+	}
+}
+
+// TestDisabledGuardedPathAllocatesNothing pins the lazy-formatting
+// contract the core's hot paths rely on: with the logger disabled and the
+// call site guarded by On() — the shape every internal/core call site
+// uses, enforced by the obs package's log-discipline check — logging costs
+// zero allocations. The unguarded Logf call still boxes its variadic
+// arguments, which is exactly why the guard exists.
+func TestDisabledGuardedPathAllocatesNothing(t *testing.T) {
+	l := Nop()
+	lock, bytes := 17, 4096
+	allocs := testing.AllocsPerRun(1000, func() {
+		if l.On() {
+			l.Logf("xfer", "transfer of lock %d (%d bytes)", lock, bytes)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("guarded disabled Logf allocates %.1f per op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		if l.On() {
+			l.Log("xfer", "transfer", obs.I("lock", int64(lock)), obs.I("bytes", int64(bytes)))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("guarded disabled Log allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func BenchmarkDisabledGuardedLogf(b *testing.B) {
+	l := Nop()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if l.On() {
+			l.Logf("xfer", "transfer of lock %d v%d (%d bytes)", i, i, i)
+		}
+	}
+}
+
+func BenchmarkDisabledUnguardedLogf(b *testing.B) {
+	l := Nop()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Logf("xfer", "transfer of lock %d v%d (%d bytes)", i, i, i)
+	}
+}
+
+func BenchmarkEnabledTypedLog(b *testing.B) {
+	l := New(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if l.On() {
+			l.Log("xfer", "transfer", obs.I("lock", int64(i)), obs.I("bytes", int64(i)))
+		}
+	}
+}

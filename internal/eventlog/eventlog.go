@@ -3,26 +3,51 @@
 // locations": a structured, timestamped per-site event log whose records
 // can be inspected locally, streamed to a writer, or shipped to the home
 // site's collector as wire.Event messages.
+//
+// The log is the typed-event front of the observability plane
+// (internal/obs): events carry structured obs.Field pairs and are
+// rendered to text lazily, only when a writer or renderer actually
+// consumes them. A disabled logger (Nop, or any nil *Logger) rejects
+// events before any formatting happens; hot paths additionally guard
+// call sites with On() so even argument boxing is skipped.
 package eventlog
 
 import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"mocha/internal/obs"
 )
 
-// Event is one log record.
+// Event is one log record. Legacy Logf events carry pre-rendered Text;
+// typed Log events carry Msg plus structured Fields and render on demand.
 type Event struct {
 	Seq      uint64
 	Time     time.Time
 	Category string
-	Text     string
+	// Text is the pre-rendered message of a Logf event ("" for typed
+	// events).
+	Text string
+	// Msg is a typed event's message; Fields carries its structure.
+	Msg    string
+	Fields []obs.Field
+}
+
+// Render produces the event's human-readable message, formatting typed
+// fields on demand.
+func (e Event) Render() string {
+	if e.Msg == "" {
+		return e.Text
+	}
+	return obs.FormatFields(e.Msg, e.Fields)
 }
 
 // String renders the event for human consumption.
 func (e Event) String() string {
-	return fmt.Sprintf("%s #%d [%s] %s", e.Time.Format("15:04:05.000"), e.Seq, e.Category, e.Text)
+	return fmt.Sprintf("%s #%d [%s] %s", e.Time.Format("15:04:05.000"), e.Seq, e.Category, e.Render())
 }
 
 // Sink receives events as they are logged, e.g. to forward them to the
@@ -30,8 +55,13 @@ func (e Event) String() string {
 type Sink func(Event)
 
 // Logger is a bounded in-memory event log. The zero value is unusable;
-// construct with New. All methods are safe for concurrent use.
+// construct with New. All methods are safe for concurrent use and
+// nil-safe: a nil *Logger is permanently disabled.
 type Logger struct {
+	// enabled gates every record path with one atomic load, so a
+	// disabled logger costs nothing past the check.
+	enabled atomic.Bool
+
 	mu     sync.Mutex
 	seq    uint64
 	ring   []Event
@@ -41,13 +71,28 @@ type Logger struct {
 	filter map[string]bool // nil means all categories enabled
 }
 
-// New creates a logger retaining at most max events (default 4096 when
-// max <= 0).
+// New creates an enabled logger retaining at most max events (default
+// 4096 when max <= 0).
 func New(max int) *Logger {
 	if max <= 0 {
 		max = 4096
 	}
-	return &Logger{max: max}
+	l := &Logger{max: max}
+	l.enabled.Store(true)
+	return l
+}
+
+// On reports whether the logger accepts events. Hot paths guard their
+// Log/Logf calls with it so a disabled logger costs one branch — no
+// formatting, no argument boxing, no allocation.
+func (l *Logger) On() bool { return l != nil && l.enabled.Load() }
+
+// SetEnabled flips event acceptance (New starts enabled, Nop disabled).
+func (l *Logger) SetEnabled(on bool) {
+	if l == nil {
+		return
+	}
+	l.enabled.Store(on)
 }
 
 // SetSink installs a forwarding sink (nil disables forwarding).
@@ -79,15 +124,40 @@ func (l *Logger) EnableOnly(categories ...string) {
 	}
 }
 
-// Logf records one event.
+// Logf records one pre-formatted event. The format is only rendered when
+// the logger is enabled and the category passes the filter.
 func (l *Logger) Logf(category, format string, args ...any) {
+	if !l.On() {
+		return
+	}
 	l.mu.Lock()
 	if l.filter != nil && !l.filter[category] {
 		l.mu.Unlock()
 		return
 	}
+	l.record(Event{Category: category, Text: fmt.Sprintf(format, args...)})
+}
+
+// Log records one typed event with structured fields. Nothing is
+// formatted until a writer or renderer consumes the event.
+func (l *Logger) Log(category, msg string, fields ...obs.Field) {
+	if !l.On() {
+		return
+	}
+	l.mu.Lock()
+	if l.filter != nil && !l.filter[category] {
+		l.mu.Unlock()
+		return
+	}
+	l.record(Event{Category: category, Msg: msg, Fields: fields})
+}
+
+// record stamps, retains, and fans out one event. Caller holds l.mu;
+// record releases it.
+func (l *Logger) record(e Event) {
 	l.seq++
-	e := Event{Seq: l.seq, Time: time.Now(), Category: category, Text: fmt.Sprintf(format, args...)}
+	e.Seq = l.seq
+	e.Time = time.Now()
 	l.ring = append(l.ring, e)
 	if len(l.ring) > l.max {
 		l.ring = l.ring[len(l.ring)-l.max:]
@@ -106,6 +176,9 @@ func (l *Logger) Logf(category, format string, args ...any) {
 
 // Events returns a copy of the retained events in order.
 func (l *Logger) Events() []Event {
+	if l == nil {
+		return nil
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	out := make([]Event, len(l.ring))
@@ -116,6 +189,9 @@ func (l *Logger) Events() []Event {
 // CountCategory returns how many retained events have the category —
 // convenient for tests asserting that a protocol path was exercised.
 func (l *Logger) CountCategory(category string) int {
+	if l == nil {
+		return 0
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	n := 0
@@ -127,6 +203,10 @@ func (l *Logger) CountCategory(category string) int {
 	return n
 }
 
-// Nop returns a logger that retains one event (effectively discarding),
-// useful as a default.
-func Nop() *Logger { return New(1) }
+// Nop returns a disabled logger: every record path bails on the enabled
+// check before formatting or retaining anything.
+func Nop() *Logger {
+	l := New(1)
+	l.enabled.Store(false)
+	return l
+}

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"mocha/internal/netsim"
+	"mocha/internal/obs"
 	"mocha/internal/transport"
 )
 
@@ -60,6 +61,10 @@ type Config struct {
 	Key []byte
 	// QueueLen is the per-port inbound queue length.
 	QueueLen int
+	// Metrics, when non-nil, mirrors the endpoint's reliability counters
+	// (sends, deliveries, retransmits, failures, queue drops) into the
+	// shared observability plane alongside the endpoint-local Stats.
+	Metrics *obs.Registry
 }
 
 // withDefaults fills unset fields.
@@ -334,6 +339,7 @@ func (p *Port) dispatch() {
 			if h != nil {
 				h(Message{From: JoinAddr(q.from, q.srcPort), Data: q.data})
 				p.ep.stats.messagesDelivered.Add(1)
+				p.ep.cfg.Metrics.Inc(obs.CMsgsDelivered)
 				continue
 			}
 			// No handler yet: requeue and back off briefly so early

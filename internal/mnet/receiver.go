@@ -2,6 +2,8 @@ package mnet
 
 import (
 	"time"
+
+	"mocha/internal/obs"
 )
 
 // deliveredRingCap bounds the per-peer duplicate-suppression memory.
@@ -148,12 +150,14 @@ func (e *Endpoint) enqueue(dstPort uint16, q queued) {
 	e.mu.Unlock()
 	if port == nil {
 		e.stats.queueDrops.Add(1)
+		e.cfg.Metrics.Inc(obs.CQueueDrops)
 		return
 	}
 	select {
 	case port.queue <- q:
 	default:
 		e.stats.queueDrops.Add(1)
+		e.cfg.Metrics.Inc(obs.CQueueDrops)
 	}
 }
 

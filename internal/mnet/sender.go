@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mocha/internal/netsim"
+	"mocha/internal/obs"
 )
 
 // outMsg tracks one in-flight reliable message.
@@ -152,6 +153,7 @@ func (p *Port) Send(ctx context.Context, to string, data []byte) error {
 	e.outMsgs[id] = m
 	e.mu.Unlock()
 	e.stats.messagesSent.Add(1)
+	e.cfg.Metrics.Inc(obs.CMsgsSent)
 	defer func() {
 		e.mu.Lock()
 		delete(e.outMsgs, id)
@@ -226,12 +228,14 @@ func (p *Port) Send(ctx context.Context, to string, data []byte) error {
 	case err := <-m.done:
 		if err != nil {
 			e.stats.sendFailures.Add(1)
+			e.cfg.Metrics.Inc(obs.CSendFailures)
 			return fmt.Errorf("mnet: send to %s: %w", to, err)
 		}
 		return nil
 	case <-ctx.Done():
 		m.fail(ctx.Err())
 		e.stats.sendFailures.Add(1)
+		e.cfg.Metrics.Inc(obs.CSendFailures)
 		return fmt.Errorf("mnet: send to %s: %w", to, ctx.Err())
 	case <-e.done:
 		return ErrClosed
@@ -313,6 +317,7 @@ func (e *Endpoint) retransmit() {
 		}
 		if len(resend) > 0 {
 			e.stats.retransmits.Add(int64(len(resend)))
+			e.cfg.Metrics.Add(obs.CRetransmits, int64(len(resend)))
 		}
 	}
 }

@@ -1,0 +1,57 @@
+package obs
+
+import "strconv"
+
+// Field is one structured key/value pair attached to a typed event or a
+// span. Values are either strings or integers — the two shapes every
+// protocol event reduces to (sites, locks, versions, byte counts, modes)
+// — so events can be stored, forwarded, and merged without formatting
+// anything until a human actually looks.
+type Field struct {
+	Key string `json:"k"`
+	Str string `json:"s,omitempty"`
+	Int int64  `json:"i,omitempty"`
+	// IsInt distinguishes I(k, 0) from S(k, ""); kept explicit so JSON
+	// round trips are lossless.
+	IsInt bool `json:"n,omitempty"`
+}
+
+// S builds a string field.
+func S(key, val string) Field { return Field{Key: key, Str: val} }
+
+// I builds an integer field.
+func I(key string, val int64) Field { return Field{Key: key, Int: val, IsInt: true} }
+
+// Value renders the field's value as text.
+func (f Field) Value() string {
+	if f.IsInt {
+		return strconv.FormatInt(f.Int, 10)
+	}
+	return f.Str
+}
+
+// AppendFields appends " k=v" pairs to b — the lazy formatting path used
+// when a typed event finally meets a writer or renderer.
+func AppendFields(b []byte, fields []Field) []byte {
+	for _, f := range fields {
+		b = append(b, ' ')
+		b = append(b, f.Key...)
+		b = append(b, '=')
+		if f.IsInt {
+			b = strconv.AppendInt(b, f.Int, 10)
+		} else {
+			b = append(b, f.Str...)
+		}
+	}
+	return b
+}
+
+// FormatFields renders "msg k=v k2=v2".
+func FormatFields(msg string, fields []Field) string {
+	if len(fields) == 0 {
+		return msg
+	}
+	b := make([]byte, 0, len(msg)+16*len(fields))
+	b = append(b, msg...)
+	return string(AppendFields(b, fields))
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCoreLogDiscipline is a vet-style check over internal/core: every
+// event-log call in the protocol's hot paths must be guarded by an
+// enabled check so the disabled plane formats nothing, and no call may
+// pre-format with fmt.Sprintf (that defeats lazy formatting even when
+// guarded — pass the arguments through instead). The check parses the
+// sources, so new unguarded call sites fail CI rather than slipping in as
+// silent allocation regressions.
+func TestCoreLogDiscipline(t *testing.T) {
+	coreDir := filepath.Join("..", "core")
+	entries, err := os.ReadDir(coreDir)
+	if err != nil {
+		t.Fatalf("read core dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var violations []string
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(coreDir, name)
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		violations = append(violations, checkFile(fset, f)...)
+	}
+	for _, v := range violations {
+		t.Error(v)
+	}
+}
+
+// checkFile walks one file, tracking whether the current node sits inside
+// an if-statement whose condition calls .On() — the guard the event log's
+// lazy-formatting contract requires.
+func checkFile(fset *token.FileSet, f *ast.File) []string {
+	var violations []string
+	var walk func(n ast.Node, guarded bool)
+	walkList := func(list []ast.Stmt, guarded bool) {
+		for _, s := range list {
+			walk(s, guarded)
+		}
+	}
+	walk = func(n ast.Node, guarded bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.IfStmt:
+			g := guarded || condHasOn(n.Cond)
+			if n.Init != nil {
+				walk(n.Init, guarded)
+			}
+			walkList(n.Body.List, g)
+			if n.Else != nil {
+				walk(n.Else, guarded)
+			}
+			return
+		case *ast.BlockStmt:
+			walkList(n.List, guarded)
+			return
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch c := c.(type) {
+			case *ast.IfStmt, *ast.BlockStmt:
+				walk(c.(ast.Node), guarded)
+				return false
+			case *ast.CallExpr:
+				if name, isLog := logCall(c); isLog {
+					pos := fset.Position(c.Pos())
+					if !guarded {
+						violations = append(violations, fmt.Sprintf(
+							"%s:%d: %s call not guarded by a .On() check", pos.Filename, pos.Line, name))
+					}
+					for _, arg := range c.Args {
+						if callsSprintf(arg) {
+							violations = append(violations, fmt.Sprintf(
+								"%s:%d: fmt.Sprintf inside %s defeats lazy formatting; pass the values as arguments",
+								pos.Filename, pos.Line, name))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+			walk(fn.Body, false)
+		}
+	}
+	return violations
+}
+
+// logCall reports whether a call is <expr>.log.Logf(...) / <expr>.log.Log(...)
+// or Log().Logf(...) — the event-log emission methods.
+func logCall(c *ast.CallExpr) (string, bool) {
+	sel, ok := c.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	method := sel.Sel.Name
+	if method != "Logf" && method != "Log" {
+		return "", false
+	}
+	// The receiver must be an event-log value: a field or call named
+	// "log"/"Log" (node.log, rl.node.log, node.Log()).
+	switch recv := sel.X.(type) {
+	case *ast.SelectorExpr:
+		if recv.Sel.Name == "log" {
+			return method, true
+		}
+	case *ast.CallExpr:
+		if rs, ok := recv.Fun.(*ast.SelectorExpr); ok && rs.Sel.Name == "Log" {
+			return method, true
+		}
+	}
+	return "", false
+}
+
+// condHasOn reports whether an if condition contains a .On() call.
+func condHasOn(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := c.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "On" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// callsSprintf reports whether an expression contains fmt.Sprintf.
+func callsSprintf(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := c.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == "fmt" && sel.Sel.Name == "Sprintf" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample is a set of duration measurements with exact (non-bucketed)
+// statistics — the histogram math the benchmark harness reports with.
+// It lives here so benchmocha and the runtime share one implementation
+// with the registry's bucketed histograms; internal/stats aliases it.
+// Unlike Registry instruments, a Sample is not safe for concurrent use.
+type Sample struct {
+	values []time.Duration
+}
+
+// Add appends a measurement.
+func (s *Sample) Add(d time.Duration) { s.values = append(s.values, d) }
+
+// N reports the number of measurements.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean.
+func (s *Sample) Mean() time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, v := range s.values {
+		total += v
+	}
+	return total / time.Duration(len(s.values))
+}
+
+// Min returns the smallest measurement.
+func (s *Sample) Min() time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest measurement.
+func (s *Sample) Max() time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Sample) Stddev() time.Duration {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	mean := float64(s.Mean())
+	var sum float64
+	for _, v := range s.values {
+		d := float64(v) - mean
+		sum += d * d
+	}
+	return time.Duration(math.Sqrt(sum / float64(n-1)))
+}
+
+// Median returns the middle measurement.
+func (s *Sample) Median() time.Duration {
+	return s.Percentile(50)
+}
+
+// Percentile returns the p-th percentile (nearest rank).
+func (s *Sample) Percentile(p float64) time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(s.values))
+	copy(sorted, s.values)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 ||
+		s.Stddev() != 0 || s.Median() != 0 || s.Percentile(99) != 0 {
+		t.Fatal("empty sample must report zeros everywhere")
+	}
+}
+
+func TestSampleSingleValue(t *testing.T) {
+	var s Sample
+	s.Add(7 * time.Millisecond)
+	if s.N() != 1 {
+		t.Fatalf("N = %d", s.N())
+	}
+	want := 7 * time.Millisecond
+	if s.Mean() != want || s.Min() != want || s.Max() != want || s.Median() != want {
+		t.Fatal("single-value stats must all equal the value")
+	}
+	if s.Stddev() != 0 {
+		t.Fatalf("single-value stddev = %v, want 0", s.Stddev())
+	}
+	for _, p := range []float64{0, 0.1, 50, 99.9, 100} {
+		if got := s.Percentile(p); got != want {
+			t.Fatalf("P%v = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestSampleStats(t *testing.T) {
+	var s Sample
+	for _, ms := range []int{5, 1, 3, 2, 4} {
+		s.Add(time.Duration(ms) * time.Millisecond)
+	}
+	if s.Mean() != 3*time.Millisecond {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Min() != time.Millisecond || s.Max() != 5*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Median() != 3*time.Millisecond {
+		t.Fatalf("median = %v", s.Median())
+	}
+	// Sample stddev of 1..5ms is sqrt(2.5) ms ≈ 1.581ms.
+	sd := s.Stddev()
+	if sd < 1500*time.Microsecond || sd > 1700*time.Microsecond {
+		t.Fatalf("stddev = %v, want ~1.58ms", sd)
+	}
+}
+
+func TestSamplePercentileBoundaries(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(time.Duration(i) * time.Millisecond)
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0, time.Millisecond}, // rank clamps up to 1
+		{1, time.Millisecond}, // nearest rank: ceil(1) = 1
+		{50, 50 * time.Millisecond},
+		{50.5, 51 * time.Millisecond}, // ceil(50.5) = 51
+		{99, 99 * time.Millisecond},
+		{100, 100 * time.Millisecond},
+		{200, 100 * time.Millisecond}, // rank clamps down to N
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got != c.want {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Percentile must not mutate the sample's insertion order semantics.
+	if s.Min() != time.Millisecond || s.N() != 100 {
+		t.Fatal("percentile mutated the sample")
+	}
+}

@@ -1,0 +1,116 @@
+package obs
+
+import "time"
+
+// spanRingSize bounds the registry's ring of completed spans.
+const spanRingSize = 256
+
+// SpanPhase is one named sub-interval of a completed span.
+type SpanPhase struct {
+	Name string        `json:"name"`
+	Dur  time.Duration `json:"dur_ns"`
+}
+
+// SpanRecord is one completed operation with its (site, lock, version)
+// tags and phase decomposition. StartTick/EndTick come from the shared
+// simulation clock when one is set, putting spans on the same monotonic
+// axis as check.Recorder history events.
+type SpanRecord struct {
+	Op        string        `json:"op"`
+	Site      uint32        `json:"site"`
+	Lock      uint64        `json:"lock"`
+	Version   uint64        `json:"version,omitempty"`
+	StartTick uint64        `json:"start_tick,omitempty"`
+	EndTick   uint64        `json:"end_tick,omitempty"`
+	Total     time.Duration `json:"total_ns"`
+	Phases    []SpanPhase   `json:"phases,omitempty"`
+}
+
+// Span tracks one in-flight operation. Obtain one from StartSpan, mark
+// phase boundaries with Phase, and finish with End; each boundary feeds
+// the matching phase histogram and the completed record lands in the
+// registry's span ring. A nil *Span (from a nil registry) is the
+// disabled path: every method is a no-op. A Span is owned by one
+// goroutine and must not be shared.
+type Span struct {
+	r     *Registry
+	rec   SpanRecord
+	start time.Time
+	mark  time.Time
+}
+
+// StartSpan opens a span for one operation, stamping the shared-clock
+// tick. Returns nil — the free no-op span — on a nil registry.
+func (r *Registry) StartSpan(op string, site uint32, lock uint64) *Span {
+	if r == nil {
+		return nil
+	}
+	now := time.Now()
+	return &Span{
+		r:     r,
+		rec:   SpanRecord{Op: op, Site: site, Lock: lock, StartTick: r.tick()},
+		start: now,
+		mark:  now,
+	}
+}
+
+// SetVersion tags the span with the version the operation settled on.
+func (s *Span) SetVersion(v uint64) {
+	if s == nil {
+		return
+	}
+	s.rec.Version = v
+}
+
+// Phase closes the current sub-interval: the time since the previous
+// boundary (or the start) is observed into h and recorded under h's
+// phase name.
+func (s *Span) Phase(h HistID) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	d := now.Sub(s.mark)
+	s.mark = now
+	s.r.Observe(h, d)
+	s.rec.Phases = append(s.rec.Phases, SpanPhase{Name: h.PhaseName(), Dur: d})
+}
+
+// End completes the span: the total duration since StartSpan is observed
+// into h and the record is published to the registry's span ring.
+// Abandoning a span without End (an errored operation) records nothing.
+func (s *Span) End(h HistID) {
+	if s == nil {
+		return
+	}
+	s.rec.Total = time.Since(s.start)
+	s.rec.EndTick = s.r.tick()
+	s.r.Observe(h, s.rec.Total)
+	i := s.r.spanHead.Add(1) - 1
+	rec := s.rec
+	s.r.spans[i%spanRingSize].Store(&rec)
+}
+
+// Spans returns the retained completed spans, oldest first. The ring
+// keeps the most recent spanRingSize records.
+func (r *Registry) Spans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	head := r.spanHead.Load()
+	n := head
+	if n > spanRingSize {
+		n = spanRingSize
+	}
+	out := make([]SpanRecord, 0, n)
+	for i := uint64(0); i < n; i++ {
+		idx := i
+		if head > spanRingSize {
+			idx = (head + i) % spanRingSize
+		}
+		if p := r.spans[idx].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out
+}

@@ -20,6 +20,7 @@ import (
 	"mocha/internal/core"
 	"mocha/internal/eventlog"
 	"mocha/internal/mnet"
+	"mocha/internal/obs"
 	"mocha/internal/wire"
 )
 
@@ -176,6 +177,8 @@ func (rt *Runtime) startEventForwarder() {
 			UnixNanos: e.Time.UnixNano(),
 			Category:  e.Category,
 			Text:      e.Text,
+			Msg:       e.Msg,
+			Fields:    e.Fields,
 		}
 		select {
 		case queue <- msg:
@@ -232,7 +235,16 @@ func (rt *Runtime) handle(m mnet.Message) {
 	case *wire.StackDump:
 		fmt.Fprintf(rt.cfg.Output, "[site%d #%d] stack dump (%s):\n%s\n", msg.Site, msg.SpawnID, msg.Reason, msg.Stack)
 	case *wire.Event:
-		rt.node.Log().Logf("remote-"+msg.Category, "site%d: %s", msg.Site, msg.Text)
+		// Re-emit into the collector's typed stream: the structure
+		// survives the hop instead of being flattened to text remotely.
+		if log := rt.node.Log(); log.On() {
+			fields := append([]obs.Field{obs.I("origin", int64(msg.Site))}, msg.Fields...)
+			if msg.Msg == "" {
+				log.Log("remote-"+msg.Category, msg.Text, fields[:1]...)
+			} else {
+				log.Log("remote-"+msg.Category, msg.Msg, fields...)
+			}
+		}
 	case *wire.Join:
 		rt.onJoin(m.From, msg)
 	case *wire.JoinAck:

@@ -1,104 +1,21 @@
 // Package stats provides the small statistical and table-formatting
 // helpers the benchmark harness uses to report measurements the way the
-// paper's evaluation section does.
+// paper's evaluation section does. The sample/histogram math itself lives
+// in the observability plane (internal/obs), shared with the runtime
+// metrics registry; this package keeps the formatting helpers and aliases
+// the sample type for its existing callers.
 package stats
 
 import (
 	"fmt"
-	"math"
-	"sort"
 	"strings"
 	"time"
+
+	"mocha/internal/obs"
 )
 
-// Sample is a set of duration measurements.
-type Sample struct {
-	values []time.Duration
-}
-
-// Add appends a measurement.
-func (s *Sample) Add(d time.Duration) { s.values = append(s.values, d) }
-
-// N reports the number of measurements.
-func (s *Sample) N() int { return len(s.values) }
-
-// Mean returns the arithmetic mean.
-func (s *Sample) Mean() time.Duration {
-	if len(s.values) == 0 {
-		return 0
-	}
-	var total time.Duration
-	for _, v := range s.values {
-		total += v
-	}
-	return total / time.Duration(len(s.values))
-}
-
-// Min returns the smallest measurement.
-func (s *Sample) Min() time.Duration {
-	if len(s.values) == 0 {
-		return 0
-	}
-	m := s.values[0]
-	for _, v := range s.values[1:] {
-		if v < m {
-			m = v
-		}
-	}
-	return m
-}
-
-// Max returns the largest measurement.
-func (s *Sample) Max() time.Duration {
-	if len(s.values) == 0 {
-		return 0
-	}
-	m := s.values[0]
-	for _, v := range s.values[1:] {
-		if v > m {
-			m = v
-		}
-	}
-	return m
-}
-
-// Stddev returns the sample standard deviation.
-func (s *Sample) Stddev() time.Duration {
-	n := len(s.values)
-	if n < 2 {
-		return 0
-	}
-	mean := float64(s.Mean())
-	var sum float64
-	for _, v := range s.values {
-		d := float64(v) - mean
-		sum += d * d
-	}
-	return time.Duration(math.Sqrt(sum / float64(n-1)))
-}
-
-// Median returns the middle measurement.
-func (s *Sample) Median() time.Duration {
-	return s.Percentile(50)
-}
-
-// Percentile returns the p-th percentile (nearest rank).
-func (s *Sample) Percentile(p float64) time.Duration {
-	if len(s.values) == 0 {
-		return 0
-	}
-	sorted := make([]time.Duration, len(s.values))
-	copy(sorted, s.values)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > len(sorted) {
-		rank = len(sorted)
-	}
-	return sorted[rank-1]
-}
+// Sample is a set of duration measurements (see obs.Sample).
+type Sample = obs.Sample
 
 // Millis renders a duration as milliseconds with sensible precision, the
 // unit the paper reports everything in.

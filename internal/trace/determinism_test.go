@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"mocha/internal/eventlog"
+	"mocha/internal/obs"
+	"mocha/internal/wire"
+)
+
+// TestMergeTieBreakDeterminism pins the equal-timestamp ordering: ties
+// break by sequence number first, then by site ID, so two merges of the
+// same logs agree regardless of map iteration order.
+func TestMergeTieBreakDeterminism(t *testing.T) {
+	ts := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	perSite := map[wire.SiteID][]eventlog.Event{
+		3: {
+			{Seq: 2, Time: ts, Category: "c", Text: "site3 seq2"},
+			{Seq: 1, Time: ts, Category: "c", Text: "site3 seq1"},
+		},
+		1: {
+			{Seq: 2, Time: ts, Category: "c", Text: "site1 seq2"},
+			{Seq: 1, Time: ts, Category: "c", Text: "site1 seq1"},
+		},
+		2: {
+			{Seq: 1, Time: ts, Category: "c", Text: "site2 seq1"},
+		},
+	}
+	want := []string{
+		// Seq ascending first; equal (time, seq) breaks by site.
+		"site1 seq1", "site2 seq1", "site3 seq1",
+		"site1 seq2", "site3 seq2",
+	}
+	for trial := 0; trial < 20; trial++ {
+		tl := Merge(perSite)
+		var got []string
+		for _, r := range tl.Records {
+			got = append(got, r.Text)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: order %v, want %v", trial, got, want)
+		}
+	}
+}
+
+// TestMergeDeterministicUnderShuffle merges randomly ordered copies of
+// the same records and requires byte-identical JSON output every time.
+func TestMergeDeterministicUnderShuffle(t *testing.T) {
+	base := time.Date(2026, 8, 5, 9, 0, 0, 0, time.UTC)
+	var events []eventlog.Event
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		events = append(events, eventlog.Event{
+			Seq:      uint64(i + 1),
+			Time:     base.Add(time.Duration(rng.Intn(5)) * time.Millisecond),
+			Category: "c",
+			Text:     string(rune('a' + i%26)),
+		})
+	}
+	render := func(shuffled []eventlog.Event) string {
+		tl := Merge(map[wire.SiteID][]eventlog.Event{1: shuffled})
+		var buf bytes.Buffer
+		if err := tl.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := render(events)
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]eventlog.Event(nil), events...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		if got := render(shuffled); got != first {
+			t.Fatalf("trial %d: merge output depends on input order", trial)
+		}
+	}
+}
+
+// TestJSONRoundTripAwkwardText round-trips records whose messages and
+// fields carry newlines, non-ASCII text, and JSON metacharacters through
+// the JSON-lines format.
+func TestJSONRoundTripAwkwardText(t *testing.T) {
+	ts := time.Date(2026, 8, 5, 10, 30, 0, 123456789, time.UTC)
+	tl := &Timeline{Records: []Record{
+		{Site: 1, Seq: 1, Time: ts, Category: "fault",
+			Text: "line one\nline two\twith tab"},
+		{Site: 2, Seq: 2, Time: ts.Add(time.Millisecond), Category: "sync",
+			Text: `quotes "inside" and backslash \ and braces {}`},
+		{Site: 3, Seq: 3, Time: ts.Add(2 * time.Millisecond), Category: "xfer",
+			Msg: "übertragung abgeschlossen — 完了",
+			Fields: []obs.Field{
+				obs.S("note", "naïve\nmulti-line ✓"),
+				obs.I("bytes", -42),
+			}},
+	}}
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// JSON-lines: exactly one line per record despite embedded newlines.
+	if got := strings.Count(buf.String(), "\n"); got != len(tl.Records) {
+		t.Fatalf("output has %d newlines, want %d (one per record)", got, len(tl.Records))
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Records, tl.Records) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", back.Records, tl.Records)
+	}
+	if got := back.Records[2].Render(); got != "übertragung abgeschlossen — 完了 note=naïve\nmulti-line ✓ bytes=-42" {
+		t.Fatalf("typed Render after round trip = %q", got)
+	}
+}

@@ -17,17 +17,31 @@ import (
 	"time"
 
 	"mocha/internal/eventlog"
+	"mocha/internal/obs"
 	"mocha/internal/stats"
 	"mocha/internal/wire"
 )
 
-// Record is one site-attributed event.
+// Record is one site-attributed event. Typed events keep their message
+// and structured fields through the JSON round trip; legacy events carry
+// pre-rendered Text. Render produces the display form either way.
 type Record struct {
 	Site     wire.SiteID `json:"site"`
 	Seq      uint64      `json:"seq"`
 	Time     time.Time   `json:"time"`
 	Category string      `json:"category"`
-	Text     string      `json:"text"`
+	Text     string      `json:"text,omitempty"`
+	Msg      string      `json:"msg,omitempty"`
+	Fields   []obs.Field `json:"fields,omitempty"`
+}
+
+// Render produces the record's human-readable message, formatting typed
+// fields on demand.
+func (r Record) Render() string {
+	if r.Msg == "" {
+		return r.Text
+	}
+	return obs.FormatFields(r.Msg, r.Fields)
 }
 
 // Timeline is a merged, time-ordered event sequence across sites.
@@ -36,7 +50,8 @@ type Timeline struct {
 }
 
 // Merge builds a timeline from per-site event logs, ordered by timestamp
-// (per-site sequence numbers break ties, then site IDs).
+// (per-site sequence numbers break ties, then site IDs). Typed events
+// pass through with their structured fields intact.
 func Merge(perSite map[wire.SiteID][]eventlog.Event) *Timeline {
 	t := &Timeline{}
 	for site, events := range perSite {
@@ -47,6 +62,8 @@ func Merge(perSite map[wire.SiteID][]eventlog.Event) *Timeline {
 				Time:     e.Time,
 				Category: e.Category,
 				Text:     e.Text,
+				Msg:      e.Msg,
+				Fields:   e.Fields,
 			})
 		}
 	}
@@ -54,17 +71,19 @@ func Merge(perSite map[wire.SiteID][]eventlog.Event) *Timeline {
 	return t
 }
 
-// sort orders records deterministically.
+// sort orders records deterministically: by timestamp, with equal
+// timestamps broken by sequence number and then site ID, so two merges
+// of the same logs always agree regardless of map iteration order.
 func (t *Timeline) sort() {
 	sort.SliceStable(t.Records, func(i, j int) bool {
 		a, b := t.Records[i], t.Records[j]
 		if !a.Time.Equal(b.Time) {
 			return a.Time.Before(b.Time)
 		}
-		if a.Site != b.Site {
-			return a.Site < b.Site
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
 		}
-		return a.Seq < b.Seq
+		return a.Site < b.Site
 	})
 }
 
@@ -187,7 +206,7 @@ func (t *Timeline) Render(w io.Writer, opts RenderOptions) error {
 	}
 	for _, r := range t.Records[:n] {
 		offset := float64(r.Time.Sub(base)) / float64(time.Millisecond)
-		cell := fmt.Sprintf("[%s] %s", r.Category, r.Text)
+		cell := fmt.Sprintf("[%s] %s", r.Category, r.Render())
 		if len(cell) > opts.LaneWidth-2 {
 			// Truncate on a rune boundary; padding is byte-based, so keep
 			// the marker ASCII.

@@ -1,0 +1,79 @@
+package transport
+
+import (
+	"time"
+
+	"mocha/internal/obs"
+)
+
+// Instrument wraps a Stack so every hybrid-protocol stream dial, accept,
+// and byte moved is counted in the observability plane. The wrapper is
+// transparent: addresses, deadlines, and close semantics pass through
+// unchanged. A nil registry returns the stack unwrapped.
+func Instrument(s Stack, m *obs.Registry) Stack {
+	if s == nil || m == nil {
+		return s
+	}
+	return &instrumentedStack{Stack: s, m: m}
+}
+
+type instrumentedStack struct {
+	Stack
+	m *obs.Registry
+}
+
+func (s *instrumentedStack) ListenStream() (Listener, error) {
+	l, err := s.Stack.ListenStream()
+	if err != nil {
+		return nil, err
+	}
+	return &instrumentedListener{Listener: l, m: s.m}, nil
+}
+
+func (s *instrumentedStack) DialStream(addr string) (Conn, error) {
+	c, err := s.Stack.DialStream(addr)
+	if err != nil {
+		return nil, err
+	}
+	s.m.Inc(obs.CStreamDials)
+	return &instrumentedConn{Conn: c, m: s.m}, nil
+}
+
+type instrumentedListener struct {
+	Listener
+	m *obs.Registry
+}
+
+func (l *instrumentedListener) Accept() (Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.m.Inc(obs.CStreamAccepts)
+	return &instrumentedConn{Conn: c, m: l.m}, nil
+}
+
+type instrumentedConn struct {
+	Conn
+	m *obs.Registry
+}
+
+func (c *instrumentedConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.m.Add(obs.CStreamBytesIn, int64(n))
+	}
+	return n, err
+}
+
+func (c *instrumentedConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		c.m.Add(obs.CStreamBytesOut, int64(n))
+	}
+	return n, err
+}
+
+func (c *instrumentedConn) SetReadDeadline(t time.Time) error {
+	return c.Conn.SetReadDeadline(t)
+}

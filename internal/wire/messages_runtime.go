@@ -1,5 +1,7 @@
 package wire
 
+import "mocha/internal/obs"
+
 // This file defines the wide-area runtime messages: remote spawning with
 // code shipping (the paper's remote-evaluation support, "an initial push of
 // application code followed by demand pulling of new application code
@@ -206,7 +208,13 @@ type Event struct {
 	// UnixNanos is the site-local wall-clock timestamp.
 	UnixNanos int64
 	Category  string
-	Text      string
+	// Text is a legacy pre-rendered message ("" for typed events).
+	Text string
+	// Msg and Fields ship a typed event's structure, so the collector
+	// re-emits it into its own typed stream instead of flattening to
+	// text at the sending site.
+	Msg    string
+	Fields []obs.Field
 }
 
 // Kind implements Payload.
@@ -218,6 +226,17 @@ func (m *Event) encode(w *Writer) {
 	w.U64(uint64(m.UnixNanos))
 	w.String16(m.Category)
 	w.String16(m.Text)
+	w.String16(m.Msg)
+	w.U16(uint16(len(m.Fields)))
+	for _, f := range m.Fields {
+		w.String16(f.Key)
+		w.Bool(f.IsInt)
+		if f.IsInt {
+			w.U64(uint64(f.Int))
+		} else {
+			w.String16(f.Str)
+		}
+	}
 }
 
 func (m *Event) decode(r *Reader) error {
@@ -226,6 +245,19 @@ func (m *Event) decode(r *Reader) error {
 	m.UnixNanos = int64(r.U64())
 	m.Category = r.String16()
 	m.Text = r.String16()
+	m.Msg = r.String16()
+	if n := int(r.U16()); n > 0 && r.Err() == nil {
+		m.Fields = make([]obs.Field, 0, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			f := obs.Field{Key: r.String16(), IsInt: r.Bool()}
+			if f.IsInt {
+				f.Int = int64(r.U64())
+			} else {
+				f.Str = r.String16()
+			}
+			m.Fields = append(m.Fields, f)
+		}
+	}
 	return r.Err()
 }
 

@@ -6,6 +6,8 @@ import (
 	"reflect"
 	"testing"
 	"testing/quick"
+
+	"mocha/internal/obs"
 )
 
 // allMessages returns one populated instance of every message kind, used by
@@ -36,7 +38,12 @@ func allMessages() []Payload {
 		&CodeReply{SpawnID: 5, ClassName: "Myhelper", Found: true, Image: []byte{1}},
 		&Print{SpawnID: 5, Site: 2, Text: "Returning as a return value 1"},
 		&StackDump{SpawnID: 5, Site: 2, Reason: "MochaParameterException", Stack: []byte("goroutine 1 [running]")},
-		&Event{Site: 2, Seq: 10, UnixNanos: 1234567890, Category: "lock", Text: "grant"},
+		&Event{Site: 2, Seq: 10, UnixNanos: 1234567890, Category: "lock", Text: "grant",
+			Msg: "granted lock", Fields: []obs.Field{
+				{Key: "lock", Int: 7, IsInt: true},
+				{Key: "flag", Str: "NeedNewVersion"},
+				{Key: "neg", Int: -3, IsInt: true},
+			}},
 		&Join{Site: 2, Name: "ultra1", DaemonAddr: "sim://2/daemon"},
 		&JoinAck{Site: 2, OK: true, SyncAddr: "sim://1/sync", Epoch: 1},
 		&ReplicaDelta{Lock: 7, From: 2, Version: 44, FromVersion: 43, RequestID: 99, Push: true, Replicas: []DeltaPayload{

@@ -46,6 +46,7 @@ import (
 	"mocha/internal/core"
 	"mocha/internal/marshal"
 	"mocha/internal/netsim"
+	"mocha/internal/obs"
 	"mocha/internal/runtime"
 	"mocha/internal/session"
 	"mocha/internal/trace"
@@ -106,10 +107,66 @@ type (
 	SessionWrite = session.Write
 	// Resolver settles concurrent optimistic writes.
 	Resolver = session.Resolver
+	// Metrics is the lock-free observability registry: named counters,
+	// gauges, and fixed-bucket latency histograms for every protocol
+	// phase, plus a ring of recent per-operation spans.
+	Metrics = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a Metrics registry,
+	// exportable as JSON or Prometheus text.
+	MetricsSnapshot = obs.Snapshot
+	// Span is one in-flight operation trace (acquire, release) tagged
+	// with site, lock, and version.
+	Span = obs.Span
 	// Timeline is a merged cross-site event trace for visualization.
 	Timeline = trace.Timeline
 	// RenderOptions tunes Timeline rendering.
 	RenderOptions = trace.RenderOptions
+)
+
+// Instrument identifiers, re-exported so callers outside the module can
+// read individual counters, gauges, and histograms from a Metrics
+// registry (Snapshot keys use the exported mocha_* names instead).
+const (
+	// Lock protocol counters.
+	CAcquireRequests = obs.CAcquireRequests
+	CGrants          = obs.CGrants
+	CReleases        = obs.CReleases
+	CLeaseBreaks     = obs.CLeaseBreaks
+	CBans            = obs.CBans
+	CDaemonPolls     = obs.CDaemonPolls
+	// Dissemination and transfer counters.
+	CPushes          = obs.CPushes
+	CPushAcks        = obs.CPushAcks
+	CTransfersFull   = obs.CTransfersFull
+	CTransfersDelta  = obs.CTransfersDelta
+	CDeltaFallbacks  = obs.CDeltaFallbacks
+	CTransfersHybrid = obs.CTransfersHybrid
+	CTransfersMNet   = obs.CTransfersMNet
+	CTransferBytes   = obs.CTransferBytes
+	CApplies         = obs.CApplies
+	// Transport and MNet counters.
+	CStreamDials    = obs.CStreamDials
+	CStreamAccepts  = obs.CStreamAccepts
+	CStreamBytesOut = obs.CStreamBytesOut
+	CStreamBytesIn  = obs.CStreamBytesIn
+	CMsgsSent       = obs.CMsgsSent
+	CMsgsDelivered  = obs.CMsgsDelivered
+	CRetransmits    = obs.CRetransmits
+	CSendFailures   = obs.CSendFailures
+	CQueueDrops     = obs.CQueueDrops
+	// Gauges.
+	GSyncQueueDepth = obs.GSyncQueueDepth
+	GSyncLocks      = obs.GSyncLocks
+	// Per-phase latency histograms.
+	HAcquireTotal = obs.HAcquireTotal
+	HQueueWait    = obs.HQueueWait
+	HRequestRTT   = obs.HRequestRTT
+	HTransferWait = obs.HTransferWait
+	HApply        = obs.HApply
+	HReleaseTotal = obs.HReleaseTotal
+	HDisseminate  = obs.HDisseminate
+	HDaemonPoll   = obs.HDaemonPoll
+	HGrantDeliver = obs.HGrantDeliver
 )
 
 // NewSession starts an empty guarantee-tracking session.
@@ -200,6 +257,8 @@ type options struct {
 	delta       bool
 	resolver    Resolver
 	history     core.HistorySink
+	metrics     *obs.Registry
+	noMetrics   bool
 }
 
 // optWriter keeps io out of the options struct zero value.
@@ -292,6 +351,19 @@ func WithResolver(r Resolver) Option { return func(o *options) { o.resolver = r 
 // checker replays the recorded history against the entry-consistency
 // invariants (see DESIGN.md §5).
 type HistorySink = core.HistorySink
+
+// NewMetrics builds a standalone observability registry, for callers that
+// want to share one plane across several clusters or export it themselves.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// WithMetrics attaches a caller-provided observability registry instead of
+// the cluster's default one. All sites of the cluster record into it.
+func WithMetrics(m *Metrics) Option { return func(o *options) { o.metrics = m } }
+
+// WithoutMetrics disables the observability plane entirely: no registry is
+// allocated and every instrumentation point degrades to a nil-receiver
+// no-op (the ablate-obs benchmark's baseline).
+func WithoutMetrics() Option { return func(o *options) { o.noMetrics = true } }
 
 // WithHistory attaches a history sink to every site in the cluster,
 // turning the run into a checkable totally-ordered protocol history. Off
