@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check vet build test race cover bench-fanout bench-delta bench-sync bench-obs
+.PHONY: check fmt-check vet build test race cover bench-fanout bench-delta bench-sync bench-obs bench-load
 
 # check is the full CI gate: formatting, static analysis, build, the
 # complete test suite, and the race detector over the concurrency-heavy
@@ -38,7 +38,7 @@ race:
 # gate without every refactor tripping it.
 cover:
 	@set -e; \
-	for spec in "./internal/core 80" "./internal/wire 90" "./internal/obs 85"; do \
+	for spec in "./internal/core 80" "./internal/wire 90" "./internal/obs 85" "./internal/mnet 80" "./internal/netsim 80" "./internal/transport 70"; do \
 		pkg="$${spec% *}"; floor="$${spec#* }"; \
 		line="$$($(GO) test -cover $$pkg | tail -1)"; \
 		echo "$$line"; \
@@ -63,3 +63,11 @@ bench-sync:
 # instrumented legs record nothing. Emits BENCH_obs.json.
 bench-obs:
 	$(GO) run ./cmd/benchmocha -exp ablate-obs -json
+
+# bench-load drives the open-loop harness at 100 sites / 10k locks over
+# both I/O paths (serial ablation, then batched + timer wheel) with the
+# history checker on, and fails if an instrumented leg records nothing.
+# The serial leg drains a large backlog, so expect ~10 minutes. Emits
+# BENCH_load.json.
+bench-load:
+	$(GO) run ./cmd/benchmocha -exp load -json

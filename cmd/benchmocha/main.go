@@ -36,6 +36,11 @@ func run() int {
 		sites   = flag.Int("sites", 6, "maximum dissemination fan-out")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 		jsonOut = flag.Bool("json", false, "also write each result to BENCH_<name>.json")
+
+		loadSites = flag.Int("load-sites", 0, "load experiment: cluster size (default 100)")
+		loadLocks = flag.Int("load-locks", 0, "load experiment: lock population (default 10000)")
+		loadRate  = flag.Float64("load-rate", 0, "load experiment: offered ops/s (default 3000)")
+		loadDur   = flag.Duration("load-duration", 0, "load experiment: arrival window (default 5s)")
 	)
 	flag.Parse()
 
@@ -65,7 +70,10 @@ func run() int {
 		return 2
 	}
 
-	cfg := bench.Config{Scale: *scale, Trials: *trials, MaxSites: *sites}
+	cfg := bench.Config{
+		Scale: *scale, Trials: *trials, MaxSites: *sites,
+		LoadSites: *loadSites, LoadLocks: *loadLocks, LoadRate: *loadRate, LoadDuration: *loadDur,
+	}
 	fmt.Printf("mocha benchmark harness: scale=%.3f trials=%d max-sites=%d\n\n", *scale, *trials, *sites)
 	failed := 0
 	for _, e := range selected {

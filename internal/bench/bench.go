@@ -35,6 +35,16 @@ type Config struct {
 	// MaxSites is the largest dissemination fan-out (default 6, matching
 	// the paper's figures).
 	MaxSites int
+
+	// LoadSites, LoadLocks, LoadRate and LoadDuration shape the open-loop
+	// load experiment ("load"): cluster size, lock population, offered
+	// acquire/release pairs per second, and the arrival-generation window.
+	// Zero values take the experiment's defaults (100 sites, 10k locks,
+	// 3000 ops/s, 5s).
+	LoadSites    int
+	LoadLocks    int
+	LoadRate     float64
+	LoadDuration time.Duration
 }
 
 // WithDefaults fills unset fields.
@@ -107,6 +117,7 @@ func All() []Experiment {
 		{ID: "ablate-delta", Title: "Ablation: delta-encoded replica transfer", Run: AblateDelta},
 		{ID: "ablate-syncstall", Title: "Ablation: sharded non-blocking lock manager under a dead peer", Run: AblateSyncStall},
 		{ID: "ablate-obs", Title: "Ablation: observability-plane overhead on fan-out and delta paths", Run: AblateObs},
+		{ID: "load", Title: "Open-loop load at 100s of sites: serial vs batched I/O + timer wheel", Run: AblateLoad},
 	}
 }
 

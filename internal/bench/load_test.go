@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAblateLoadSmoke runs the open-loop harness at a CI-sized shape: a
+// real multi-site cluster, both I/O legs, history checker on. It pins
+// the harness's own self-checks (operations completed, plane recorded,
+// batched leg actually flushed batches) rather than a throughput
+// ordering, which at this tiny shape is noise.
+func TestAblateLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load harness smoke is seconds-long")
+	}
+	cfg := Config{
+		LoadSites:    9,
+		LoadLocks:    64,
+		LoadRate:     400,
+		LoadDuration: 1500 * time.Millisecond,
+	}
+	res, err := AblateLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "load" {
+		t.Fatalf("result ID = %q, want load", res.ID)
+	}
+	for _, leg := range []string{"serial I/O", "batched I/O"} {
+		if !strings.Contains(res.Table, leg) {
+			t.Fatalf("missing %q leg:\n%s", leg, res.Table)
+		}
+	}
+	for _, key := range []string{
+		"serial_completed", "batched_completed",
+		"serial_tput_ops", "batched_tput_ops",
+		"serial_p99_ms", "batched_p99_ms",
+		"batched_send_batches", "speedup",
+	} {
+		if _, ok := res.Metrics[key]; !ok {
+			t.Errorf("missing metric %q", key)
+		}
+	}
+	if res.Metrics["serial_completed"] == 0 || res.Metrics["batched_completed"] == 0 {
+		t.Fatalf("a leg completed zero operations:\n%s", res.Table)
+	}
+	if res.Metrics["batched_send_batches"] == 0 {
+		t.Fatalf("batched leg recorded no transmit flushes:\n%s", res.Table)
+	}
+	if res.Metrics["serial_history_events"] == 0 || res.Metrics["batched_history_events"] == 0 {
+		t.Fatalf("history checker saw no events:\n%s", res.Table)
+	}
+}

@@ -199,11 +199,13 @@ func (c *client) autoRelease(g *wire.Grant) {
 // the failed synchronization thread can query the local daemon thread to
 // obtain the location of the newly created surrogate".
 func (c *client) sendToSync(ctx context.Context, p wire.Payload) error {
-	blob := wire.Marshal(p)
+	// Control requests fit one fragment; let mnet encode them in place
+	// instead of marshalling to an intermediate blob.
+	app := wire.Appender{P: p}
 	addr := c.node.currentSyncAddr()
 
 	sendCtx, cancel := context.WithTimeout(ctx, c.node.cfg.RequestTimeout)
-	err := c.port.Send(sendCtx, addr, blob)
+	err := c.port.SendAppender(sendCtx, addr, app)
 	cancel()
 	if err == nil {
 		return nil
@@ -221,7 +223,7 @@ func (c *client) sendToSync(ctx context.Context, p wire.Payload) error {
 	}
 	sendCtx, cancel = context.WithTimeout(ctx, c.node.cfg.RequestTimeout)
 	defer cancel()
-	if err := c.port.Send(sendCtx, refreshed, blob); err != nil {
+	if err := c.port.SendAppender(sendCtx, refreshed, app); err != nil {
 		return fmt.Errorf("%w: %v", ErrNoSync, err)
 	}
 	return nil

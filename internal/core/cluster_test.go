@@ -42,6 +42,8 @@ type clusterOpts struct {
 	syncShards int
 	// syncSerial reproduces the pre-S30 blocking synchronization thread.
 	syncSerial bool
+	// faultHooks installs a per-site FaultHook (missing sites get none).
+	faultHooks map[wire.SiteID]FaultHook
 }
 
 func defaultOpts() clusterOpts {
@@ -102,6 +104,7 @@ func newTestCluster(t *testing.T, n int, opts clusterOpts) *testCluster {
 			DisseminationFanout: opts.fanout,
 			SyncShards:          opts.syncShards,
 			SyncSerialIO:        opts.syncSerial,
+			FaultHook:           opts.faultHooks[site],
 			RequestTimeout:      opts.reqTO,
 			TransferTimeout:     xferTO,
 			DefaultLease:        opts.lease,

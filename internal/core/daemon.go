@@ -67,6 +67,9 @@ func (d *daemon) handle(m mnet.Message) {
 		st := d.node.getLockLocal(msg.Lock)
 		st.mu.Lock()
 		version := st.version
+		// Content a broken exclusive hold may have scribbled on cannot be
+		// offered to recovery as the labeled version.
+		dirty := st.uncommitted
 		st.mu.Unlock()
 		if d.node.fireFault(FaultContext{
 			Point: FPDelayDaemonPoll, Lock: msg.Lock, Version: version,
@@ -80,7 +83,7 @@ func (d *daemon) handle(m mnet.Message) {
 			Site:    d.node.cfg.Site,
 			Nonce:   msg.Nonce,
 			Version: version,
-			HasData: version > 0,
+			HasData: version > 0 && !dirty,
 		}
 		d.replyTo(m.From, reply)
 	case *wire.Heartbeat:
@@ -94,11 +97,13 @@ func (d *daemon) handle(m mnet.Message) {
 	}
 }
 
-// replyTo sends a response back to the message's origin port.
+// replyTo sends a response back to the message's origin port, encoding
+// directly into the packet buffer (acks and version replies all fit one
+// fragment).
 func (d *daemon) replyTo(to string, p wire.Payload) {
 	ctx, cancel := context.WithTimeout(context.Background(), d.node.cfg.RequestTimeout)
 	defer cancel()
-	if err := d.port.Send(ctx, to, wire.Marshal(p)); err != nil {
+	if err := d.port.SendAppender(ctx, to, wire.Appender{P: p}); err != nil {
 		if d.node.log.On() {
 			d.node.log.Logf("daemon", "reply %s to %s failed: %v", p.Kind(), to, err)
 		}
@@ -174,6 +179,12 @@ func (n *Node) applyBlobsLocked(st *lockLocal, lock wire.LockID, version uint64,
 		}
 	}
 	st.version = version
+	if st.holder == 0 || st.heldShared {
+		// The arriving committed bytes replaced the content wholesale; any
+		// earlier broken hold's dirty writes are gone. With a live exclusive
+		// hold the flag must stand — the holder keeps mutating in place.
+		st.uncommitted = false
+	}
 	if st.dlog != nil {
 		// Keep the arriving blobs as this version's marshaled cache so
 		// this site can serve deltas (and diff the next incoming step)
@@ -224,7 +235,7 @@ func (n *Node) applyDelta(rd *wire.ReplicaDelta) error {
 		for _, p := range st.cachedPayloads {
 			base[p.Name] = p.Data
 		}
-	case st.version == rd.FromVersion:
+	case st.version == rd.FromVersion && !st.uncommitted:
 		// No marshaled cache of the base, but the live content is at the
 		// base version: marshal it on demand.
 		base = make(map[string][]byte, len(st.replicas))

@@ -112,6 +112,14 @@ type lockLocal struct {
 	holder     wire.ThreadID
 	heldGrant  *wire.Grant
 	heldShared bool
+	// uncommitted marks content an exclusive holder mutated in place and
+	// then demonstrably failed to commit (the crash-simulating abort in
+	// Unlock). While set, the daemon must neither serve the bytes as the
+	// labeled version nor advertise them to recovery polls — a broken
+	// hold's writes would otherwise leak as a dirty read. Holders that
+	// die without running any local code (a killed thread) are covered by
+	// the synchronization thread's per-lock dirty-site set instead.
+	uncommitted bool
 	// waiters are version watchers (threads waiting for transferred data).
 	waiters []*versionWaiter
 }
@@ -679,7 +687,10 @@ func (rl *ReplicaLock) Unlock(ctx context.Context) error {
 			// The holder "crashed" with the update applied only locally:
 			// nothing is disseminated and no release is sent, so the hold
 			// stands at the synchronization thread until its lease breaks.
+			// The in-place writes were never committed — mark the content
+			// untrusted so the daemon won't serve it as the old version.
 			rl.st.mu.Lock()
+			rl.st.uncommitted = true
 			rl.st.holder = 0
 			rl.st.heldGrant = nil
 			rl.st.mu.Unlock()
@@ -687,10 +698,23 @@ func (rl *ReplicaLock) Unlock(ctx context.Context) error {
 			return fmt.Errorf("core: unlock %d: fault injected at %s", rl.id, FPCrashAfterReleaseBeforePush)
 		}
 		rl.st.mu.Lock()
+		// Never reuse a version number: after Section 4 recovery weakens a
+		// lock to an older surviving copy, grant.Version+1 can collide with
+		// a version already committed under the lost lineage — publishing
+		// different bytes under an existing number. The grant's floor covers
+		// versions the manager committed; the local check covers a late
+		// transfer of a weakened-away version landing here mid-hold.
+		if newVersion <= grant.VersionFloor {
+			newVersion = grant.VersionFloor + 1
+		}
+		if rl.st.version >= newVersion {
+			newVersion = rl.st.version + 1
+		}
 		// The exclusive holder may have rewritten content without the
 		// version changing until now; any cached marshaled form is stale
 		// (and becomes the delta base for the step the marshal records).
 		rl.st.bumpVersionLocked(newVersion)
+		rl.st.uncommitted = false
 		rl.st.notifyVersionLocked()
 		var payloads []wire.ReplicaPayload
 		var pushDeltaMsg *wire.ReplicaDelta

@@ -30,7 +30,10 @@ type SyncState struct {
 
 // LockSnapshot is one lock's durable record.
 type LockSnapshot struct {
-	Version   uint64
+	Version uint64
+	// HighWater is the highest version ever committed (≥ Version; they
+	// differ after recovery weakened the lock to an older copy).
+	HighWater uint64
 	LastOwner wire.SiteID
 	UpToDate  wire.SiteSet
 	Sharers   wire.SiteSet
@@ -56,6 +59,7 @@ func (s *syncThread) Snapshot() SyncState {
 			}
 			out.Locks[id] = LockSnapshot{
 				Version:   l.version,
+				HighWater: l.highWater,
 				LastOwner: l.lastOwner,
 				UpToDate:  l.upToDate.Clone(),
 				Sharers:   l.sharers.Clone(),
@@ -82,6 +86,10 @@ func (s *syncThread) restore(st *SyncState) {
 		l := s.ensureLock(id)
 		l.mu.Lock()
 		l.version = snap.Version
+		l.highWater = snap.HighWater
+		if l.highWater < snap.Version {
+			l.highWater = snap.Version
+		}
 		l.lastOwner = snap.LastOwner
 		l.upToDate = snap.UpToDate.Clone()
 		l.sharers = snap.Sharers.Clone()

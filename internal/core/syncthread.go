@@ -62,12 +62,23 @@ type syncThread struct {
 type syncLock struct {
 	id wire.LockID
 
-	mu        sync.Mutex
-	version   uint64
+	mu      sync.Mutex
+	version uint64
+	// highWater is the highest version ever committed for this lock. It
+	// never decreases: Section 4 recovery may rewrite version downward to
+	// the best surviving copy, but grants carry highWater as a floor so
+	// the recovered lineage never reuses a committed version number.
+	highWater uint64
 	lastOwner wire.SiteID
 	upToDate  wire.SiteSet
-	sharers   wire.SiteSet
-	names     map[string]bool
+	// dirty is the set of sites whose copy a broken exclusive hold may
+	// have scribbled on (the holder died mid-hold without a committed
+	// release). Recovery polls skip them: such a site would label
+	// uncommitted bytes with its stale version number. A site leaves the
+	// set when a committed release lists it as up to date again.
+	dirty   wire.SiteSet
+	sharers wire.SiteSet
+	names   map[string]bool
 
 	holder  *holderInfo
 	readers map[wire.ThreadID]*holderInfo
@@ -315,11 +326,19 @@ func (s *syncThread) onRelease(msg *wire.ReleaseLock) {
 	relSites := msg.UpToDate
 	if !msg.Aborted && !msg.Shared {
 		l.version = msg.NewVersion
+		if msg.NewVersion > l.highWater {
+			l.highWater = msg.NewVersion
+		}
 		l.lastOwner = msg.Releaser
 		up := msg.UpToDate.Clone()
 		up.Add(msg.Releaser)
 		l.upToDate = up
 		relSites = up
+		// Every site holding the newly committed version has had its
+		// content replaced wholesale; earlier contamination is gone.
+		for _, site := range up.Sites() {
+			l.dirty.Remove(site)
+		}
 		if s.node.log.On() {
 			s.node.log.Log("sync", "lock released",
 				obs.I("lock", int64(msg.Lock)), obs.I("version", int64(l.version)),
@@ -352,6 +371,9 @@ func (s *syncThread) onRegister(msg *wire.RegisterReplica) {
 	}
 	if msg.Creator && l.version == 0 {
 		l.version = 1
+		if l.highWater < 1 {
+			l.highWater = 1
+		}
 		l.lastOwner = msg.Site
 		l.upToDate = wire.NewSiteSet(msg.Site)
 		s.node.recordHist(wire.HistoryEvent{
@@ -436,15 +458,16 @@ func (s *syncThread) recordGrant(l *syncLock, g *wire.Grant, site wire.SiteID) {
 // caller holds l.mu.
 func (s *syncThread) buildGrantLocked(l *syncLock, req *lockRequest, version uint64, flag wire.VersionFlag, revised bool) *wire.Grant {
 	return &wire.Grant{
-		Lock:     l.id,
-		Thread:   req.thread,
-		Version:  version,
-		Flag:     flag,
-		Shared:   req.shared,
-		Epoch:    s.epoch,
-		Sharers:  l.sharers.Clone(),
-		UpToDate: l.upToDate.Clone(),
-		Revised:  revised,
+		Lock:         l.id,
+		Thread:       req.thread,
+		Version:      version,
+		Flag:         flag,
+		Shared:       req.shared,
+		Epoch:        s.epoch,
+		Sharers:      l.sharers.Clone(),
+		UpToDate:     l.upToDate.Clone(),
+		Revised:      revised,
+		VersionFloor: l.highWater,
 	}
 }
 
@@ -582,6 +605,19 @@ func (s *syncThread) checkHolder(l *syncLock, h *holderInfo) {
 	// failed ... the synchronization thread can simply break the lock and
 	// give it to the next application thread that desires it."
 	s.dropHoldLocked(l, h)
+	if !h.shared {
+		// The dead holder may have mutated its replicas in place without a
+		// committed release: its site's copy no longer vouches for the
+		// committed version. Evict it from the up-to-date set and, if it
+		// was the transfer source, redirect to a surviving clean copy.
+		l.upToDate.Remove(h.site)
+		l.dirty.Add(h.site)
+		if l.lastOwner == h.site {
+			if sites := l.upToDate.Sites(); len(sites) > 0 {
+				l.lastOwner = sites[0]
+			}
+		}
+	}
 	s.node.obs().Inc(obs.CLeaseBreaks)
 	s.node.recordHist(wire.HistoryEvent{
 		Kind: wire.HistBreak, Site: h.site, Thread: h.thread, Lock: l.id,

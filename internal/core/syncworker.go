@@ -70,7 +70,18 @@ func (s *syncThread) directTransfer(l *syncLock, req *lockRequest, h *holderInfo
 	l.mu.Lock()
 	src := l.lastOwner
 	version := l.version
+	srcClean := l.upToDate.Contains(src)
 	l.mu.Unlock()
+	if !srcClean {
+		// The last owner's copy was contaminated by a broken hold (its
+		// daemon would refuse the directive anyway): go straight to the
+		// recovery poll, where dirty sites answer HasData=false.
+		if s.node.log.On() {
+			s.node.log.Logf("fault", "transfer source %d for lock %d holds no clean copy; polling daemons", src, l.id)
+		}
+		s.recoverTransfer(l, req, h, map[wire.SiteID]bool{})
+		return
+	}
 	if err := s.sendDirective(l.id, src, req.site, req.have, version); err == nil {
 		return
 	}
@@ -184,6 +195,7 @@ func (s *syncThread) pollDaemons(l *syncLock, dead map[wire.SiteID]bool) (*wire.
 	}()
 	l.mu.Lock()
 	sites := l.sharers.Sites()
+	dirty := l.dirty.Clone()
 	l.mu.Unlock()
 
 	type target struct {
@@ -192,7 +204,9 @@ func (s *syncThread) pollDaemons(l *syncLock, dead map[wire.SiteID]bool) (*wire.
 	}
 	targets := make([]target, 0, len(sites))
 	for _, site := range sites {
-		if dead[site] {
+		if dead[site] || dirty.Contains(site) {
+			// A site whose broken hold contaminated its copy would answer
+			// with uncommitted bytes under its stale version label.
 			continue
 		}
 		addr, err := s.node.daemonAddr(site)
@@ -292,5 +306,7 @@ func (s *syncThread) sendToClient(site wire.SiteID, p wire.Payload) bool {
 	}
 	ctx, cancel := timeoutCtx(s.node.cfg.RequestTimeout)
 	defer cancel()
-	return s.port.Send(ctx, addr, wire.Marshal(p)) == nil
+	// Grants and nacks are small fixed-layout frames on the hottest
+	// control path; encode them straight into the packet buffer.
+	return s.port.SendAppender(ctx, addr, wire.Appender{P: p}) == nil
 }

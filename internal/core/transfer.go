@@ -8,7 +8,6 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"mocha/internal/mnet"
 	"mocha/internal/netsim"
@@ -154,6 +153,14 @@ func (t *transferService) sendReplicas(dir *wire.TransferReplica) error {
 	}
 	st := t.node.getLockLocal(dir.Lock)
 	st.mu.Lock()
+	if st.uncommitted {
+		// An exclusive hold mutated this content in place and never
+		// committed (live hold, crash, or lease break): the bytes no
+		// longer vouch for the labeled version. Serving them would leak a
+		// dirty read to the grantee.
+		st.mu.Unlock()
+		return fmt.Errorf("core: transfer of lock %d to site %d refused: local replicas carry uncommitted writes", dir.Lock, dir.Dest)
+	}
 	version := st.version
 	payloads, marshalErr := st.marshalPayloadsLocked(t.node.cfg.Codec)
 	var delta *wire.ReplicaDelta
@@ -551,9 +558,12 @@ func (t *transferService) acceptStream(replyTo string, req *wire.OpenStreamReque
 // peer closes (one frame for the per-transfer protocol, many when the
 // sender reuses connections), applying and acknowledging each.
 func (t *transferService) receiveStream(ln transport.Listener) {
-	// Bound how long an abandoned listener lingers.
+	// Bound how long an abandoned listener lingers. The deadline sits on
+	// the shared timer wheel: transfer timeouts are coarse (seconds), so
+	// a tick of wheel slack is free and the runtime heap stays clear of
+	// one-shot timers that almost always cancel.
 	var timedOut atomic.Bool
-	timer := time.AfterFunc(t.node.cfg.TransferTimeout, func() {
+	timer := netsim.DefaultWheel().AfterFunc(t.node.cfg.TransferTimeout, func() {
 		timedOut.Store(true)
 		_ = ln.Close()
 	})

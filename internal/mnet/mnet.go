@@ -65,6 +65,19 @@ type Config struct {
 	// (sends, deliveries, retransmits, failures, queue drops) into the
 	// shared observability plane alongside the endpoint-local Stats.
 	Metrics *obs.Registry
+	// SerialIO restores the pre-batching I/O path: one transport send
+	// per packet on the sender's goroutine, and a ticker-driven sweep
+	// that scans every in-flight message for overdue fragments. The
+	// default (false) routes outbound packets through a per-endpoint
+	// flusher that coalesces same-peer packets into transport batch
+	// sends, and schedules retransmissions on a hashed timer wheel so
+	// only due messages are touched. SerialIO is the ablation baseline
+	// for the load harness.
+	SerialIO bool
+	// Wheel overrides the timer wheel used for retransmission timeouts
+	// and gap sweeps when batching is enabled. Nil uses the shared
+	// process-wide wheel.
+	Wheel *netsim.Wheel
 }
 
 // withDefaults fills unset fields.
@@ -98,6 +111,7 @@ type Stats struct {
 	SendFailures      int64
 	BadPackets        int64
 	QueueDrops        int64
+	FlushDrops        int64
 }
 
 // atomicStats is the endpoint's lock-free counter block; Stats snapshots
@@ -113,6 +127,7 @@ type atomicStats struct {
 	sendFailures      atomic.Int64
 	badPackets        atomic.Int64
 	queueDrops        atomic.Int64
+	flushDrops        atomic.Int64
 }
 
 // ErrSendFailed reports that a message exhausted its retransmissions — the
@@ -143,6 +158,14 @@ type Endpoint struct {
 	cfg Config
 	dg  transport.Datagram
 
+	// wheel schedules retransmission timeouts and the gap sweep when
+	// batching is enabled; nil under Config.SerialIO.
+	wheel *netsim.Wheel
+	// fl coalesces outbound packets into per-peer transport batches;
+	// nil under Config.SerialIO.
+	fl     *flusher
+	gapJob netsim.WheelTimer
+
 	nextMsg atomic.Uint64
 	stats   atomicStats
 
@@ -166,9 +189,35 @@ func NewEndpoint(dg transport.Datagram, cfg Config) *Endpoint {
 		outMsgs: make(map[uint64]*outMsg),
 		done:    make(chan struct{}),
 	}
-	dg.SetHandler(e.receive)
+	if e.cfg.SerialIO {
+		e.sweepWG.Add(1)
+		go e.sweepLoop()
+		// The handler registers only once the endpoint is fully built: a
+		// real socket's read loop delivers from a concurrent goroutine the
+		// moment it has somewhere to deliver to.
+		dg.SetHandler(e.receive)
+		return e
+	}
+	e.wheel = e.cfg.Wheel
+	if e.wheel == nil {
+		e.wheel = netsim.DefaultWheel()
+	}
+	e.fl = newFlusher(e)
 	e.sweepWG.Add(1)
-	go e.sweepLoop()
+	go e.fl.run()
+	// Gap release and reassembly expiry are periodic housekeeping, not
+	// per-message deadlines: one recurring wheel job replaces the old
+	// sweep ticker. It also samples the wheel-occupancy gauge.
+	interval := e.cfg.RTO / 2
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	e.gapJob = e.wheel.Every(interval, func() {
+		e.releaseGaps()
+		e.cfg.Metrics.GaugeSet(obs.GWheelTimers, int64(e.wheel.Len()))
+	})
+	// Registered last: see the SerialIO branch.
+	dg.SetHandler(e.receive)
 	return e
 }
 
@@ -192,6 +241,7 @@ func (e *Endpoint) Stats() Stats {
 		SendFailures:      e.stats.sendFailures.Load(),
 		BadPackets:        e.stats.badPackets.Load(),
 		QueueDrops:        e.stats.queueDrops.Load(),
+		FlushDrops:        e.stats.flushDrops.Load(),
 	}
 }
 
@@ -231,6 +281,7 @@ func (e *Endpoint) Close() error {
 	e.outMsgs = make(map[uint64]*outMsg)
 	close(e.done)
 	e.mu.Unlock()
+	e.gapJob.Stop()
 	e.sweepWG.Wait()
 	return e.dg.Close()
 }
@@ -374,7 +425,9 @@ func SplitAddr(addr string) (string, uint16, error) {
 }
 
 // sweepLoop periodically retransmits unacked fragments, expires stale
-// reassembly state, and releases in-order delivery gaps.
+// reassembly state, and releases in-order delivery gaps. It runs only
+// under Config.SerialIO; the batched path arms one wheel timer per
+// in-flight message instead, so a sweep never scans settled traffic.
 func (e *Endpoint) sweepLoop() {
 	defer e.sweepWG.Done()
 	interval := e.cfg.RTO / 2

@@ -6,7 +6,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sync"
+
+	"mocha/internal/netsim"
 )
 
 // Packet types on the datagram substrate.
@@ -46,27 +47,16 @@ const (
 // packets are silently counted and dropped, as a datagram service must.
 var errBadPacket = errors.New("mnet: bad packet")
 
-// pktPool recycles encoded packet buffers across sends, retransmissions,
-// and acks so concurrent senders stop contending in the allocator. It
-// holds pointers to slices (the usual sync.Pool idiom avoiding interface
-// header allocations); buffers grow to the largest packet they carried.
-var pktPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
-
 // getPktBuf returns a pooled buffer sliced to length n with undefined
-// contents; the encoder must overwrite every byte it emits.
-func getPktBuf(n int) *[]byte {
-	bp := pktPool.Get().(*[]byte)
-	if cap(*bp) < n {
-		b := make([]byte, n)
-		*bp = b
-	}
-	*bp = (*bp)[:n]
-	return bp
-}
+// contents; the encoder must overwrite every byte it emits. The buffers
+// come from the stack-wide pool in netsim, shared with the transport
+// bindings, so a fragment buffer released here is immediately reusable for
+// the next receive or tagged frame at any layer.
+func getPktBuf(n int) *[]byte { return netsim.GetBuf(n) }
 
 // putPktBuf returns a buffer to the pool. The packet must no longer be
 // referenced by any pending or in-flight transmit.
-func putPktBuf(bp *[]byte) { pktPool.Put(bp) }
+func putPktBuf(bp *[]byte) { netsim.PutBuf(bp) }
 
 // macSize is the length of the MAC trailer for the given key.
 func macSize(key []byte) int {
@@ -86,13 +76,10 @@ type dataPacket struct {
 	payload   []byte
 }
 
-// encodeData builds a data packet in a pooled buffer, appending the MAC
-// trailer if key is set. The caller releases it with putPktBuf once the
-// packet can no longer be (re)transmitted.
-func encodeData(p dataPacket, key []byte) *[]byte {
-	n := dataHeaderLen + len(p.payload)
-	bp := getPktBuf(n + macSize(key))
-	buf := (*bp)[:n]
+// writeDataHeader fills the fixed data-packet header at the front of buf
+// (which must be at least dataHeaderLen long); p.payload is ignored, so
+// the payload may already sit in place after the header.
+func writeDataHeader(buf []byte, p dataPacket) {
 	buf[0] = ptData
 	buf[1] = 0 // flags; pooled buffers arrive dirty
 	binary.BigEndian.PutUint16(buf[2:4], p.srcPort)
@@ -101,6 +88,16 @@ func encodeData(p dataPacket, key []byte) *[]byte {
 	binary.BigEndian.PutUint64(buf[14:22], p.seq)
 	binary.BigEndian.PutUint32(buf[22:26], p.fragIdx)
 	binary.BigEndian.PutUint32(buf[26:30], p.fragCount)
+}
+
+// encodeData builds a data packet in a pooled buffer, appending the MAC
+// trailer if key is set. The caller releases it with putPktBuf once the
+// packet can no longer be (re)transmitted.
+func encodeData(p dataPacket, key []byte) *[]byte {
+	n := dataHeaderLen + len(p.payload)
+	bp := getPktBuf(n + macSize(key))
+	buf := (*bp)[:n]
+	writeDataHeader(buf, p)
 	copy(buf[dataHeaderLen:], p.payload)
 	*bp = appendMAC(buf, key)
 	return bp

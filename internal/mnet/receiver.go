@@ -37,11 +37,17 @@ func (e *Endpoint) handleData(from string, pkt []byte) {
 		return
 	}
 	// Always acknowledge, even duplicates: the sender may have missed the
-	// previous ack. The transport copies the packet synchronously, so the
-	// pooled buffer can go straight back.
+	// previous ack. Batched mode hands the ack to the flusher (which owns
+	// the buffer and coalesces same-peer acks into one transport batch);
+	// the serial path sends inline — the transport copies synchronously,
+	// so the pooled buffer goes straight back.
 	ack := encodeAck(p.msgID, p.fragIdx, e.cfg.Key)
-	_ = e.dg.Send(from, *ack)
-	putPktBuf(ack)
+	if e.fl != nil {
+		e.fl.enqueue(from, ack)
+	} else {
+		_ = e.dg.Send(from, *ack)
+		putPktBuf(ack)
+	}
 
 	e.stats.fragmentsRecv.Add(1)
 
@@ -51,6 +57,15 @@ func (e *Endpoint) handleData(from string, pkt []byte) {
 
 	if _, dup := pr.delivered[p.msgID]; dup {
 		e.countDuplicate()
+		return
+	}
+	if p.fragCount == 1 {
+		// Single-fragment fast path (every control message): copy the
+		// payload out of the transport's delivery buffer — recycled the
+		// moment this handler returns — straight into the message.
+		pr.markDelivered(p.msgID)
+		q := queued{from: from, srcPort: p.srcPort, data: append([]byte(nil), p.payload...), frags: 1}
+		e.deliverInOrder(pr, p.dstPort, p.seq, q)
 		return
 	}
 	r, ok := pr.reasm[p.msgID]
@@ -74,7 +89,12 @@ func (e *Endpoint) handleData(from string, pkt []byte) {
 		e.countDuplicate()
 		return
 	}
-	r.frags[p.fragIdx] = p.payload
+	// The payload aliases the transport's delivery buffer, which is
+	// recycled the moment this handler returns; a fragment that must
+	// outlive the call (await its siblings) needs its own copy. The
+	// single-fragment path below copies into the assembled message
+	// before returning either way.
+	r.frags[p.fragIdx] = append([]byte(nil), p.payload...)
 	r.have++
 	r.bytes += len(p.payload)
 	if r.have < r.total {

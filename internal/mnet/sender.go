@@ -27,7 +27,10 @@ type outMsg struct {
 	total  int
 	acked  int
 	failed bool
-	done   chan error // buffered(1); receives nil on full ack or the failure
+	// timer is the message's retransmission deadline on the wheel
+	// (batched mode only); stopped when the message settles.
+	timer netsim.WheelTimer
+	done  chan error // buffered(1); receives nil on full ack or the failure
 }
 
 type outFrag struct {
@@ -61,6 +64,7 @@ func (m *outMsg) ackFrag(idx uint32) bool {
 	m.remaining.Add(-1)
 	m.acked++
 	if m.acked == m.total {
+		m.timer.Stop()
 		m.done <- nil
 		return true
 	}
@@ -76,6 +80,7 @@ func (m *outMsg) fail(err error) {
 		return
 	}
 	m.failed = true
+	m.timer.Stop()
 	for _, f := range m.frags {
 		m.releaseTokenLocked()
 		m.releaseFragLocked(f)
@@ -106,6 +111,22 @@ func (m *outMsg) releaseTokenLocked() {
 	}
 }
 
+// Appender is a message that can encode itself directly into the
+// transmit buffer, skipping the intermediate flat []byte a plain Send
+// requires. When the encoding fits one fragment, SendAppender writes it
+// straight after the packet header in a pooled buffer — the zero-copy
+// grant/push path. wire.Appender adapts any wire payload to this
+// interface.
+type Appender interface {
+	// EncodedSizeHint returns the expected encoded size; it sizes the
+	// packet buffer and picks the single-fragment fast path. An
+	// underestimate only costs a fallback copy, never corruption.
+	EncodedSizeHint() int
+	// AppendEncode appends the encoded message to buf and returns the
+	// extended slice.
+	AppendEncode(buf []byte) []byte
+}
+
 // Send transmits one message reliably to a full MNet address
 // ("endpoint/port"). It fragments the message, charges the modelled
 // user-level fragmentation cost, transmits under the per-peer window, and
@@ -114,6 +135,19 @@ func (m *outMsg) releaseTokenLocked() {
 // did not confirm the message — the failure-detection signal Section 4 of
 // the paper builds on.
 func (p *Port) Send(ctx context.Context, to string, data []byte) error {
+	return p.sendMsg(ctx, to, data, nil)
+}
+
+// SendAppender is Send for self-encoding messages: the message marshals
+// itself directly into the packet buffer when it fits one fragment,
+// eliminating the intermediate encode allocation and payload copy on the
+// grant and push hot paths. Larger messages fall back to the fragmenting
+// path transparently.
+func (p *Port) SendAppender(ctx context.Context, to string, msg Appender) error {
+	return p.sendMsg(ctx, to, nil, msg)
+}
+
+func (p *Port) sendMsg(ctx context.Context, to string, data []byte, app Appender) error {
 	e := p.ep
 	peerAddr, dstPort, err := SplitAddr(to)
 	if err != nil {
@@ -132,7 +166,39 @@ func (p *Port) Send(ctx context.Context, to string, data []byte) error {
 	if len(e.cfg.Key) > 0 {
 		mss -= macLen
 	}
-	chunks := split(data, mss)
+
+	hdr := dataPacket{
+		srcPort:   p.num,
+		dstPort:   dstPort,
+		msgID:     id,
+		seq:       seq,
+		fragCount: 1,
+	}
+
+	// pre is the single-fragment packet encoded in place by an Appender;
+	// when the encoding overflows one fragment, flatten and fall back.
+	var pre *[]byte
+	if app != nil {
+		bp := getPktBuf(dataHeaderLen + app.EncodedSizeHint() + macSize(e.cfg.Key))
+		buf := app.AppendEncode((*bp)[:dataHeaderLen])
+		payloadLen := len(buf) - dataHeaderLen
+		if payloadLen <= mss {
+			netsim.Charge(e.cfg.Cost.FragmentCost(payloadLen))
+			writeDataHeader(buf, hdr)
+			*bp = appendMAC(buf, e.cfg.Key)
+			pre = bp
+		} else {
+			data = append([]byte(nil), buf[dataHeaderLen:]...)
+			putPktBuf(bp)
+		}
+	}
+	var chunks [][]byte
+	if pre == nil {
+		chunks = split(data, mss)
+	} else {
+		chunks = [][]byte{nil} // placeholder; the packet is already built
+	}
+	hdr.fragCount = uint32(len(chunks))
 
 	m := &outMsg{
 		id:       id,
@@ -148,6 +214,9 @@ func (p *Port) Send(ctx context.Context, to string, data []byte) error {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
+		if pre != nil {
+			putPktBuf(pre)
+		}
 		return ErrClosed
 	}
 	e.outMsgs[id] = m
@@ -160,10 +229,23 @@ func (p *Port) Send(ctx context.Context, to string, data []byte) error {
 		e.mu.Unlock()
 	}()
 
-	for i, chunk := range chunks {
-		// The paper's library fragments "at user level running as
-		// interpreted byte code"; the cost model makes that visible.
-		netsim.Charge(e.cfg.Cost.FragmentCost(len(chunk)))
+	if e.wheel != nil {
+		// One wheel timer covers the whole message: each firing
+		// retransmits whatever is overdue and rearms, so settled
+		// messages cost the wheel nothing.
+		m.mu.Lock()
+		if !m.failed {
+			m.timer = e.wheel.AfterFunc(e.cfg.RTO, func() { e.msgTimeout(m) })
+		}
+		m.mu.Unlock()
+	}
+
+	for i := range chunks {
+		if pre == nil {
+			// The paper's library fragments "at user level running as
+			// interpreted byte code"; the cost model makes that visible.
+			netsim.Charge(e.cfg.Cost.FragmentCost(len(chunks[i])))
+		}
 
 		select {
 		case pr.window <- struct{}{}:
@@ -175,29 +257,51 @@ func (p *Port) Send(ctx context.Context, to string, data []byte) error {
 			return ErrClosed
 		}
 
-		bp := encodeData(dataPacket{
-			srcPort:   p.num,
-			dstPort:   dstPort,
-			msgID:     id,
-			seq:       seq,
-			fragIdx:   uint32(i),
-			fragCount: uint32(len(chunks)),
-			payload:   chunk,
-		}, e.cfg.Key)
+		var bp *[]byte
+		if pre != nil {
+			bp = pre
+		} else {
+			hdr.fragIdx = uint32(i)
+			hdr.payload = chunks[i]
+			bp = encodeData(hdr, e.cfg.Key)
+		}
+
+		var cp *[]byte
+		if e.fl != nil {
+			// Batched path: hand the flusher its own pooled copy so the
+			// original stays pinned for retransmission — no release
+			// dance, and Send never blocks on the transport. Copy before
+			// the frag is published: once it sits in m.frags, an ack or a
+			// wheel-fired failure may recycle bp concurrently.
+			cp = getPktBuf(len(*bp))
+			copy(*cp, *bp)
+		}
 
 		m.mu.Lock()
 		if m.failed {
 			m.mu.Unlock()
 			putPktBuf(bp)
+			if cp != nil {
+				putPktBuf(cp)
+			}
 			select {
 			case <-m.peer.window:
 			default:
 			}
 			break
 		}
-		f := &outFrag{buf: bp, lastSent: time.Now(), sending: true}
+		f := &outFrag{buf: bp, lastSent: time.Now()}
+		if e.fl == nil {
+			f.sending = true
+		}
 		m.frags[uint32(i)] = f
 		m.mu.Unlock()
+
+		if e.fl != nil {
+			e.fl.enqueue(peerAddr, cp)
+			e.stats.fragmentsSent.Add(1)
+			continue
+		}
 
 		// Transmit outside m.mu: on a zero-delay simulated network the
 		// transport delivers synchronously, and the resulting ack re-enters
@@ -319,6 +423,69 @@ func (e *Endpoint) retransmit() {
 			e.stats.retransmits.Add(int64(len(resend)))
 			e.cfg.Metrics.Add(obs.CRetransmits, int64(len(resend)))
 		}
+	}
+}
+
+// msgTimeout is the wheel-fired retransmission deadline for one message
+// (batched mode). It resends whatever is overdue, fails the message once
+// a fragment exhausts its retries, and rearms itself while fragments
+// remain in flight — so retransmission work is proportional to the
+// traffic that actually timed out, not to the whole in-flight window.
+func (e *Endpoint) msgTimeout(m *outMsg) {
+	if m.remaining.Load() == 0 {
+		return
+	}
+	rto := e.cfg.RTO
+	// The wheel rounds deadlines up, and fragments are stamped slightly
+	// after the timer is armed; a strict age >= RTO check would skip the
+	// first firing and double the effective timeout.
+	due := rto - rto/4
+	now := time.Now()
+
+	m.mu.Lock()
+	if m.failed || m.acked == m.total {
+		m.mu.Unlock()
+		return
+	}
+	var resend []*[]byte
+	gaveUp := false
+	for _, f := range m.frags {
+		if now.Sub(f.lastSent) < due {
+			continue
+		}
+		if f.retries >= e.cfg.MaxRetries {
+			gaveUp = true
+			break
+		}
+		f.retries++
+		f.lastSent = now
+		// Copy the packet: once m.mu drops, an ack may recycle f.buf
+		// while the flusher is still reading the resend.
+		cp := getPktBuf(len(*f.buf))
+		copy(*cp, *f.buf)
+		resend = append(resend, cp)
+	}
+	if !gaveUp {
+		m.timer = e.wheel.AfterFunc(rto, func() { e.msgTimeout(m) })
+	}
+	m.mu.Unlock()
+
+	if gaveUp {
+		for _, cp := range resend {
+			putPktBuf(cp)
+		}
+		m.fail(ErrSendFailed)
+		e.mu.Lock()
+		delete(e.outMsgs, m.id)
+		e.mu.Unlock()
+		return
+	}
+	if len(resend) > 0 {
+		for _, cp := range resend {
+			e.fl.enqueue(m.peerAddr, cp)
+		}
+		e.stats.retransmits.Add(int64(len(resend)))
+		e.cfg.Metrics.Add(obs.CRetransmits, int64(len(resend)))
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 )
@@ -140,7 +141,14 @@ func (n *Network) Close() {
 func (n *Network) route(from, to NodeID, size int, sendJitter time.Duration, lossRoll float64) (*Node, time.Duration) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	return n.routeLocked(from, to, size, sendJitter, lossRoll, time.Now())
+}
 
+// routeLocked is route's body, factored out so SendBatch can settle a whole
+// batch's fates under a single acquisition of the network lock — the lock
+// every packet in the simulation crosses, and therefore the first thing a
+// high-rate load run contends on. Caller holds n.mu.
+func (n *Network) routeLocked(from, to NodeID, size int, sendJitter time.Duration, lossRoll float64, now time.Time) (*Node, time.Duration) {
 	n.stats.Sent++
 	n.stats.Bytes += int64(size)
 	if n.closed {
@@ -162,7 +170,6 @@ func (n *Network) route(from, to NodeID, size int, sendJitter time.Duration, los
 	}
 
 	src := n.nodes[from]
-	now := time.Now()
 	depart := now
 	if src != nil {
 		// Uplink queueing: a node's packets serialize on its own link, so
@@ -177,21 +184,22 @@ func (n *Network) route(from, to NodeID, size int, sendJitter time.Duration, los
 	return dst, arrive.Sub(now)
 }
 
-// deliver hands the packet to the destination's receiver.
-func (n *Network) deliver(dst *Node, from NodeID, pkt []byte, size int) {
+// deliver hands the packet to the destination's receiver and returns the
+// pooled delivery copy. Receivers must not retain the packet after the
+// callback returns (see SetReceiver).
+func (n *Network) deliver(dst *Node, from NodeID, bp *[]byte) {
 	dst.mu.Lock()
 	recv := dst.recv
 	dead := dst.dead
 	dst.mu.Unlock()
-	if dead || recv == nil {
-		return
+	if !dead && recv != nil {
+		n.mu.Lock()
+		n.stats.Delivered++
+		n.mu.Unlock()
+		n.clock.Tick()
+		recv(from, *bp)
 	}
-	n.mu.Lock()
-	n.stats.Delivered++
-	n.mu.Unlock()
-	n.clock.Tick()
-	_ = size
-	recv(from, pkt)
+	PutBuf(bp)
 }
 
 // Node is one simulated host.
@@ -214,7 +222,9 @@ type Node struct {
 func (nd *Node) ID() NodeID { return nd.id }
 
 // SetReceiver installs the packet handler. The handler runs on delivery
-// timer goroutines and must not block for long.
+// timer goroutines and must not block for long. The packet buffer is
+// recycled when the handler returns: handlers must copy any bytes they
+// retain.
 func (nd *Node) SetReceiver(r Receiver) {
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
@@ -256,20 +266,96 @@ func (nd *Node) Send(to NodeID, pkt []byte) {
 	roll := nd.rng.Float64()
 	nd.mu.Unlock()
 
-	// Copy the payload so the caller may reuse its buffer.
-	cp := make([]byte, len(pkt))
-	copy(cp, pkt)
-
-	dst, delay := nd.net.route(nd.id, to, len(cp), jitter, roll)
+	dst, delay := nd.net.route(nd.id, to, len(pkt), jitter, roll)
 	if dst == nil {
 		return
 	}
+	// Copy the payload into a pooled buffer so the caller may reuse its own;
+	// deliver recycles the copy once the receiver returns.
+	bp := GetBuf(len(pkt))
+	copy(*bp, pkt)
 	if delay <= 0 {
-		nd.net.deliver(dst, nd.id, cp, len(cp))
+		nd.net.deliver(dst, nd.id, bp)
 		return
 	}
 	go func() {
 		SleepPrecise(delay)
-		nd.net.deliver(dst, nd.id, cp, len(cp))
+		nd.net.deliver(dst, nd.id, bp)
+	}()
+}
+
+// SendBatch transmits several packets to one destination with the same
+// semantics as calling Send for each, but settles the whole batch's fates
+// (loss, uplink serialization, arrival times) under a single acquisition of
+// the network-wide routing lock and delivers all delayed packets from a
+// single goroutine. At high offered load this is where batching pays in the
+// simulation: the routing lock is the one structure every packet in the
+// cluster crosses.
+func (nd *Node) SendBatch(to NodeID, pkts [][]byte) {
+	if len(pkts) == 0 || nd.isDead() {
+		return
+	}
+	type hop struct {
+		bp    *[]byte
+		delay time.Duration
+	}
+	hops := make([]hop, 0, len(pkts))
+
+	nd.mu.Lock()
+	p := nd.net.cfg.Profile
+	jitters := make([]time.Duration, len(pkts))
+	rolls := make([]float64, len(pkts))
+	for i := range pkts {
+		if p.Jitter > 0 {
+			jitters[i] = time.Duration(nd.rng.Int63n(int64(p.Jitter)))
+		}
+		rolls[i] = nd.rng.Float64()
+	}
+	nd.mu.Unlock()
+
+	var dst *Node
+	nd.net.mu.Lock()
+	now := time.Now()
+	for i, pkt := range pkts {
+		d, delay := nd.net.routeLocked(nd.id, to, len(pkt), jitters[i], rolls[i], now)
+		if d == nil {
+			continue
+		}
+		dst = d
+		bp := GetBuf(len(pkt))
+		copy(*bp, pkt)
+		hops = append(hops, hop{bp: bp, delay: delay})
+	}
+	nd.net.mu.Unlock()
+	if len(hops) == 0 {
+		return
+	}
+
+	// Deliver the synchronous prefix inline (the zero-delay profile used by
+	// CPU-bound load runs), then hand whatever needs waiting to one timer
+	// goroutine that walks the batch in arrival order.
+	rest := hops[:0]
+	for _, h := range hops {
+		if h.delay <= 0 {
+			nd.net.deliver(dst, nd.id, h.bp)
+		} else {
+			rest = append(rest, h)
+		}
+	}
+	if len(rest) == 0 {
+		return
+	}
+	delayed := make([]hop, len(rest))
+	copy(delayed, rest)
+	go func() {
+		sort.Slice(delayed, func(i, j int) bool { return delayed[i].delay < delayed[j].delay })
+		var slept time.Duration
+		for _, h := range delayed {
+			if d := h.delay - slept; d > 0 {
+				SleepPrecise(d)
+				slept = h.delay
+			}
+			nd.net.deliver(dst, nd.id, h.bp)
+		}
 	}()
 }

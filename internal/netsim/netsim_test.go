@@ -95,7 +95,9 @@ func newTestNet(t *testing.T, cfg Config, n int) (*Network, []chan []byte) {
 			t.Fatalf("AddNode: %v", err)
 		}
 		ch := make(chan []byte, 1024)
-		node.SetReceiver(func(_ NodeID, pkt []byte) { ch <- pkt })
+		// The delivery buffer is recycled when the receiver returns; copy
+		// before parking the packet on the channel.
+		node.SetReceiver(func(_ NodeID, pkt []byte) { ch <- append([]byte(nil), pkt...) })
 		chans[i] = ch
 	}
 	t.Cleanup(net.Close)
@@ -219,6 +221,62 @@ func TestKill(t *testing.T) {
 	case <-chans[0]:
 		t.Fatal("dead node transmitted a packet")
 	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestSendBatchDelivers(t *testing.T) {
+	net, chans := newTestNet(t, Config{Profile: Perfect()}, 2)
+	pkts := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")}
+	net.Node(1).SendBatch(2, pkts)
+	for _, want := range []string{"a", "bb", "ccc"} {
+		if got := recvWithin(t, chans[1], time.Second); string(got) != want {
+			t.Fatalf("got %q, want %q", got, want)
+		}
+	}
+	st := net.Stats()
+	if st.Sent != 3 || st.Delivered != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSendBatchDelayedKeepsOrder(t *testing.T) {
+	p := Profile{PropDelay: 10 * time.Millisecond}
+	net, chans := newTestNet(t, Config{Profile: p}, 2)
+	pkts := [][]byte{[]byte("1"), []byte("2"), []byte("3"), []byte("4")}
+	start := time.Now()
+	net.Node(1).SendBatch(2, pkts)
+	for _, want := range []string{"1", "2", "3", "4"} {
+		if got := recvWithin(t, chans[1], time.Second); string(got) != want {
+			t.Fatalf("got %q, want %q", got, want)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 8*time.Millisecond {
+		t.Fatalf("batch arrived in %v, want >= ~10ms propagation", elapsed)
+	}
+}
+
+func TestSendBatchLoss(t *testing.T) {
+	net := New(Config{Profile: Perfect().Lossy(0.5), Seed: 42})
+	a, _ := net.AddNode(1)
+	b, _ := net.AddNode(2)
+	var mu sync.Mutex
+	delivered := 0
+	b.SetReceiver(func(NodeID, []byte) { mu.Lock(); delivered++; mu.Unlock() })
+	pkts := make([][]byte, 200)
+	for i := range pkts {
+		pkts[i] = []byte{byte(i)}
+	}
+	a.SendBatch(2, pkts)
+	time.Sleep(50 * time.Millisecond)
+	net.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if delivered == 0 || delivered == 200 {
+		t.Fatalf("with 50%% loss expected partial delivery, got %d/200", delivered)
+	}
+	st := net.Stats()
+	if st.Sent != 200 || st.Delivered != int64(delivered) || st.Dropped != 200-int64(delivered) {
+		t.Fatalf("stats = %+v, delivered = %d", st, delivered)
 	}
 }
 

@@ -1,0 +1,28 @@
+package netsim
+
+import "sync"
+
+// pktPool recycles packet-sized buffers across the whole stack: mnet's
+// encoded fragments and acks, the transport bindings' tagged frames, and
+// netsim's in-flight delivery copies all draw from it. One shared pool
+// means a packet buffer freed at any layer is immediately reusable at any
+// other, and concurrent senders stop contending in the allocator. It holds
+// pointers to slices (the usual sync.Pool idiom avoiding interface header
+// allocations); buffers grow to the largest packet they carried.
+var pktPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// GetBuf returns a pooled buffer sliced to length n with undefined
+// contents; the caller must overwrite every byte it emits.
+func GetBuf(n int) *[]byte {
+	bp := pktPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		b := make([]byte, n)
+		*bp = b
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+// PutBuf returns a buffer to the pool. The buffer must no longer be
+// referenced by any pending or in-flight use.
+func PutBuf(bp *[]byte) { pktPool.Put(bp) }

@@ -1,0 +1,323 @@
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// Wheel is a hashed timer wheel: deadlines coalesce into fixed-width tick
+// buckets, so scheduling, cancelling, and firing a timer are all O(1) and
+// one sweep goroutine serves any number of timers. MNet uses it for
+// retransmit deadlines (replacing a per-endpoint ticker that scanned every
+// in-flight message) and core uses it for stream-listener timeouts
+// (replacing one time.AfterFunc goroutine per transfer).
+//
+// A Wheel advances only when Advance is called. Production wheels call
+// Start, which drives Advance from a coarse ticker; tests drive Advance
+// with a hand-rolled clock, so timer fire order is deterministic and no
+// test waits on wall time. Callbacks run on the advancing goroutine, one
+// at a time, without the wheel lock held — they may freely schedule or
+// stop timers.
+type Wheel struct {
+	tick  time.Duration
+	mask  int
+	start time.Time
+
+	mu sync.Mutex
+	// cur is the wheel's tick counter: the number of whole ticks Advance
+	// has consumed since start.
+	cur    int64
+	slots  []wheelSlot
+	timers int
+	free   *wheelNode
+
+	running bool
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// wheelSlot anchors one bucket's doubly-linked node list.
+type wheelSlot struct {
+	head *wheelNode
+}
+
+// wheelNode is one scheduled timer. Nodes are recycled through the wheel's
+// freelist; gen invalidates stale WheelTimer handles to recycled nodes.
+type wheelNode struct {
+	prev, next *wheelNode
+	slot       int // -1 when detached
+	when       int64
+	period     int64 // recurring interval in ticks; 0 = one-shot
+	gen        uint64
+	f          func()
+}
+
+// WheelTimer is a handle to one scheduled timer. The zero value is inert:
+// Stop on it reports false.
+type WheelTimer struct {
+	w   *Wheel
+	n   *wheelNode
+	gen uint64
+}
+
+// NewWheel builds a wheel with the given tick width and slot count (rounded
+// up to a power of two; values <= 0 select defaults). The wheel does not
+// advance until Advance or Start is called; time is measured from the
+// moment of construction.
+func NewWheel(tick time.Duration, slots int) *Wheel {
+	if tick <= 0 {
+		tick = 2 * time.Millisecond
+	}
+	if slots <= 0 {
+		slots = 512
+	}
+	n := 1
+	for n < slots {
+		n <<= 1
+	}
+	return &Wheel{
+		tick:  tick,
+		mask:  n - 1,
+		start: time.Now(),
+		slots: make([]wheelSlot, n),
+	}
+}
+
+// Tick returns the wheel's bucket width — the scheduling granularity. A
+// timer for duration d fires between d and d+Tick after scheduling (plus
+// however late the driver calls Advance).
+func (w *Wheel) Tick() time.Duration { return w.tick }
+
+// Len reports the number of scheduled timers (wheel occupancy).
+func (w *Wheel) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.timers
+}
+
+// AfterFunc schedules f to run once after d. It never fires early: the
+// deadline rounds up to the next tick boundary.
+func (w *Wheel) AfterFunc(d time.Duration, f func()) WheelTimer {
+	return w.schedule(d, 0, f)
+}
+
+// Every schedules f to run repeatedly with period d (rounded up to at
+// least one tick) until its timer is stopped.
+func (w *Wheel) Every(d time.Duration, f func()) WheelTimer {
+	p := w.ticksFor(d)
+	return w.schedule(d, p, f)
+}
+
+// ticksFor converts a duration to a whole tick count, at least 1.
+func (w *Wheel) ticksFor(d time.Duration) int64 {
+	t := int64((d + w.tick - 1) / w.tick)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// schedule enqueues a node; period 0 means one-shot.
+func (w *Wheel) schedule(d time.Duration, period int64, f func()) WheelTimer {
+	dt := w.ticksFor(d)
+	w.mu.Lock()
+	n := w.free
+	if n != nil {
+		w.free = n.next
+		n.next = nil
+	} else {
+		n = &wheelNode{}
+	}
+	n.when = w.cur + dt
+	n.period = period
+	n.f = f
+	w.link(n)
+	w.timers++
+	t := WheelTimer{w: w, n: n, gen: n.gen}
+	w.mu.Unlock()
+	return t
+}
+
+// link places a node in the slot its deadline hashes to. Caller holds w.mu.
+func (w *Wheel) link(n *wheelNode) {
+	s := &w.slots[int(n.when)&w.mask]
+	n.slot = int(n.when) & w.mask
+	n.prev = nil
+	n.next = s.head
+	if s.head != nil {
+		s.head.prev = n
+	}
+	s.head = n
+}
+
+// unlink detaches a node from its slot. Caller holds w.mu.
+func (w *Wheel) unlink(n *wheelNode) {
+	s := &w.slots[n.slot]
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+	n.prev, n.next = nil, nil
+	n.slot = -1
+}
+
+// recycle invalidates a detached node and returns it to the freelist.
+// Caller holds w.mu.
+func (w *Wheel) recycle(n *wheelNode) {
+	n.gen++
+	n.f = nil
+	n.next = w.free
+	n.prev = nil
+	w.free = n
+}
+
+// Stop cancels the timer, reporting whether it was still pending. Stopping
+// a fired, stopped, or zero timer reports false. Stop does not wait for a
+// concurrently running callback to return.
+func (t WheelTimer) Stop() bool {
+	if t.w == nil {
+		return false
+	}
+	t.w.mu.Lock()
+	defer t.w.mu.Unlock()
+	if t.n.gen != t.gen || t.n.slot < 0 {
+		return false
+	}
+	t.w.unlink(t.n)
+	t.w.recycle(t.n)
+	t.w.timers--
+	return true
+}
+
+// Advance moves the wheel forward to now, firing every timer whose
+// deadline has passed, in deadline order (insertion order within one tick
+// bucket is reversed to restore FIFO). It returns the number of callbacks
+// run. Callbacks execute on the calling goroutine without the wheel lock.
+func (w *Wheel) Advance(now time.Time) int {
+	target := int64(now.Sub(w.start) / w.tick)
+	fired := 0
+	for {
+		w.mu.Lock()
+		if w.cur >= target {
+			w.mu.Unlock()
+			return fired
+		}
+		w.cur++
+		// Collect this tick's due nodes. The slot list is LIFO; reverse
+		// while collecting so equal-deadline timers fire in the order they
+		// were scheduled.
+		var due *wheelNode
+		n := w.slots[w.cur&int64(w.mask)].head
+		for n != nil {
+			next := n.next
+			if n.when <= w.cur {
+				w.unlink(n)
+				n.next = due
+				due = n
+			}
+			n = next
+		}
+		type firing struct {
+			f func()
+			t WheelTimer
+		}
+		var run []firing
+		for n := due; n != nil; {
+			next := n.next
+			n.next = nil
+			if n.period > 0 {
+				n.when = w.cur + n.period
+				w.link(n)
+				run = append(run, firing{f: n.f, t: WheelTimer{w: w, n: n, gen: n.gen}})
+			} else {
+				run = append(run, firing{f: n.f})
+				w.recycle(n)
+				w.timers--
+			}
+			n = next
+		}
+		w.mu.Unlock()
+		for _, r := range run {
+			// A recurring timer stopped between collection and firing must
+			// not run a final time: its callback's state may already be
+			// torn down.
+			if r.t.w != nil {
+				w.mu.Lock()
+				stopped := r.t.n.gen != r.t.gen
+				w.mu.Unlock()
+				if stopped {
+					continue
+				}
+			}
+			r.f()
+			fired++
+		}
+	}
+}
+
+// Start spawns the driver goroutine, which calls Advance on every tick of
+// a wall-clock ticker. Idempotent; Close stops it.
+func (w *Wheel) Start() {
+	w.mu.Lock()
+	if w.running {
+		w.mu.Unlock()
+		return
+	}
+	w.running = true
+	w.done = make(chan struct{})
+	done := w.done
+	w.mu.Unlock()
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		t := time.NewTicker(w.tick)
+		defer t.Stop()
+		for {
+			select {
+			case now := <-t.C:
+				w.Advance(now)
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the driver goroutine, if any. Scheduled timers remain and
+// fire if the wheel is advanced again.
+func (w *Wheel) Close() {
+	w.mu.Lock()
+	if !w.running {
+		w.mu.Unlock()
+		return
+	}
+	w.running = false
+	done := w.done
+	w.mu.Unlock()
+	close(done)
+	w.wg.Wait()
+}
+
+// sharedWheel is the process-wide default wheel, started on first use.
+// Sharing one wheel coalesces the retransmit and timeout bookkeeping of
+// every endpoint in the process onto a single sweep goroutine — in a
+// simulated thousand-site cluster, one driver instead of a thousand
+// tickers.
+var sharedWheel struct {
+	once sync.Once
+	w    *Wheel
+}
+
+// DefaultWheel returns the shared process-wide wheel, starting its driver
+// on first call. It is never closed.
+func DefaultWheel() *Wheel {
+	sharedWheel.once.Do(func() {
+		sharedWheel.w = NewWheel(2*time.Millisecond, 512)
+		sharedWheel.w.Start()
+	})
+	return sharedWheel.w
+}

@@ -1,0 +1,326 @@
+package netsim
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// wheelAt builds an unstarted wheel and returns it with its epoch, so tests
+// drive Advance from a hand-rolled clock instead of wall time.
+func wheelAt(tick time.Duration, slots int) (*Wheel, time.Time) {
+	w := NewWheel(tick, slots)
+	return w, w.start
+}
+
+// TestWheelFireOrder drives the wheel with a manual clock and checks timers
+// fire in deadline order, FIFO within a tick bucket, fully deterministically.
+func TestWheelFireOrder(t *testing.T) {
+	w, epoch := wheelAt(time.Millisecond, 64)
+
+	var got []int
+	add := func(id int, d time.Duration) {
+		w.AfterFunc(d, func() { got = append(got, id) })
+	}
+	// Deliberately scheduled out of order; 2 and 3 share a deadline and
+	// must fire in scheduling order.
+	add(4, 9*time.Millisecond)
+	add(1, 2*time.Millisecond)
+	add(2, 5*time.Millisecond)
+	add(3, 5*time.Millisecond)
+	add(5, 20*time.Millisecond)
+
+	if n := w.Len(); n != 5 {
+		t.Fatalf("Len = %d, want 5", n)
+	}
+	// Advance in two jumps: past the first three deadlines, then past all.
+	if fired := w.Advance(epoch.Add(6 * time.Millisecond)); fired != 3 {
+		t.Fatalf("first Advance fired %d, want 3", fired)
+	}
+	if fired := w.Advance(epoch.Add(30 * time.Millisecond)); fired != 2 {
+		t.Fatalf("second Advance fired %d, want 2", fired)
+	}
+	want := []int{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", got, want)
+		}
+	}
+	if n := w.Len(); n != 0 {
+		t.Fatalf("Len after drain = %d, want 0", n)
+	}
+}
+
+// TestWheelNeverEarly checks the rounding contract: a timer for d never
+// fires before d has elapsed on the driving clock.
+func TestWheelNeverEarly(t *testing.T) {
+	w, epoch := wheelAt(time.Millisecond, 16)
+	fired := false
+	w.AfterFunc(3*time.Millisecond, func() { fired = true })
+	w.Advance(epoch.Add(3*time.Millisecond - time.Microsecond))
+	if fired {
+		t.Fatal("timer fired before its deadline")
+	}
+	w.Advance(epoch.Add(4 * time.Millisecond))
+	if !fired {
+		t.Fatal("timer did not fire one tick after its deadline")
+	}
+}
+
+// TestWheelStop checks cancel semantics: Stop before the deadline prevents
+// the fire and reports true; Stop after fire (or double Stop) reports false,
+// including when the node has been recycled for a new timer.
+func TestWheelStop(t *testing.T) {
+	w, epoch := wheelAt(time.Millisecond, 16)
+
+	ran := false
+	tm := w.AfterFunc(5*time.Millisecond, func() { ran = true })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer = false, want true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop = true, want false")
+	}
+	w.Advance(epoch.Add(20 * time.Millisecond))
+	if ran {
+		t.Fatal("stopped timer fired")
+	}
+
+	// The freelist recycles the stopped node for the next timer; the stale
+	// handle must not cancel it.
+	ran2 := false
+	tm2 := w.AfterFunc(5*time.Millisecond, func() { ran2 = true })
+	if tm.Stop() {
+		t.Fatal("stale Stop cancelled a recycled node")
+	}
+	w.Advance(epoch.Add(40 * time.Millisecond))
+	if !ran2 {
+		t.Fatal("recycled timer did not fire")
+	}
+	if tm2.Stop() {
+		t.Fatal("Stop after fire = true, want false")
+	}
+
+	var zero WheelTimer
+	if zero.Stop() {
+		t.Fatal("Stop on zero WheelTimer = true, want false")
+	}
+}
+
+// TestWheelCascade schedules a timer many revolutions out on a tiny wheel,
+// so its slot is visited repeatedly before the deadline. It must fire
+// exactly once, on time, and short timers sharing the slot must not be
+// delayed by it.
+func TestWheelCascade(t *testing.T) {
+	const slots = 8
+	w, epoch := wheelAt(time.Millisecond, slots)
+
+	var fires []int64 // deadlines in ticks, in fire order
+	// 100 ticks = 12.5 revolutions of an 8-slot wheel.
+	w.AfterFunc(100*time.Millisecond, func() { fires = append(fires, 100) })
+	// Same slot (100 & 7 == 4), one revolution earlier and later.
+	w.AfterFunc(92*time.Millisecond, func() { fires = append(fires, 92) })
+	w.AfterFunc(108*time.Millisecond, func() { fires = append(fires, 108) })
+	// Short timer in the same slot, first revolution.
+	w.AfterFunc(4*time.Millisecond, func() { fires = append(fires, 4) })
+
+	// Walk tick by tick so a too-early fire would be visible.
+	for i := 1; i <= 120; i++ {
+		before := len(fires)
+		w.Advance(epoch.Add(time.Duration(i) * time.Millisecond))
+		for _, d := range fires[before:] {
+			if int64(i) < d {
+				t.Fatalf("deadline-%d timer fired at tick %d", d, i)
+			}
+			if int64(i) > d+1 {
+				t.Fatalf("deadline-%d timer fired late at tick %d", d, i)
+			}
+		}
+	}
+	want := []int64{4, 92, 100, 108}
+	if len(fires) != len(want) {
+		t.Fatalf("fired %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", fires, want)
+		}
+	}
+}
+
+// TestWheelEvery checks recurring timers fire at each period until stopped.
+func TestWheelEvery(t *testing.T) {
+	w, epoch := wheelAt(time.Millisecond, 16)
+	var n int
+	tm := w.Every(3*time.Millisecond, func() { n++ })
+	w.Advance(epoch.Add(10 * time.Millisecond)) // deadlines at ticks 3, 6, 9
+	if n != 3 {
+		t.Fatalf("recurring timer fired %d times in 10 ticks, want 3", n)
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop on recurring timer = false, want true")
+	}
+	w.Advance(epoch.Add(30 * time.Millisecond))
+	if n != 3 {
+		t.Fatalf("recurring timer fired after Stop: %d", n)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len after Stop = %d, want 0", w.Len())
+	}
+}
+
+// TestWheelRescheduleFromCallback checks callbacks may schedule new timers
+// (the retransmit pattern: each attempt arms the next deadline).
+func TestWheelRescheduleFromCallback(t *testing.T) {
+	w, epoch := wheelAt(time.Millisecond, 16)
+	var hops int
+	var arm func()
+	arm = func() {
+		hops++
+		if hops < 5 {
+			w.AfterFunc(2*time.Millisecond, arm)
+		}
+	}
+	w.AfterFunc(2*time.Millisecond, arm)
+	w.Advance(epoch.Add(50 * time.Millisecond))
+	if hops != 5 {
+		t.Fatalf("chained reschedule ran %d hops, want 5", hops)
+	}
+}
+
+// TestWheelCancelFireRace hammers Stop against a concurrently advancing
+// wheel under -race: each timer must either fire once or be stopped, never
+// both, and the wheel must end empty.
+func TestWheelCancelFireRace(t *testing.T) {
+	w := NewWheel(100*time.Microsecond, 32)
+	w.Start()
+	defer w.Close()
+
+	const rounds = 400
+	var fired, stopped atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < rounds; i++ {
+		d := time.Duration(i%5) * 100 * time.Microsecond
+		var once sync.Once
+		tm := w.AfterFunc(d, func() {
+			once.Do(func() { fired.Add(1) })
+		})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if tm.Stop() {
+				stopped.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	// Wait for every unstopped timer to fire.
+	deadline := time.Now().Add(5 * time.Second)
+	for fired.Load()+stopped.Load() < rounds && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := fired.Load() + stopped.Load(); got != rounds {
+		t.Fatalf("fired %d + stopped %d = %d, want %d", fired.Load(), stopped.Load(), got, rounds)
+	}
+	if n := w.Len(); n != 0 {
+		t.Fatalf("Len after race = %d, want 0", n)
+	}
+}
+
+// TestWheelStopDuringFireWindow races Stop against a recurring timer's
+// fire: after Stop returns true, the callback must never run again.
+func TestWheelStopDuringFireWindow(t *testing.T) {
+	w := NewWheel(100*time.Microsecond, 32)
+	w.Start()
+	defer w.Close()
+
+	for i := 0; i < 50; i++ {
+		var live atomic.Bool
+		live.Store(true)
+		var violated atomic.Bool
+		tm := w.Every(100*time.Microsecond, func() {
+			if !live.Load() {
+				violated.Store(true)
+			}
+		})
+		time.Sleep(300 * time.Microsecond)
+		tm.Stop()
+		live.Store(false)
+		// A callback collected before Stop may still be in flight for one
+		// beat; the generation check in Advance must suppress it.
+		time.Sleep(500 * time.Microsecond)
+		if violated.Load() {
+			t.Fatal("recurring callback ran after Stop returned")
+		}
+	}
+}
+
+// TestWheelLatencyEquivalence is the property test: for random durations,
+// the wheel's fire time matches an ideal per-timer AfterFunc to within one
+// tick — same deadline, quantized up to the next bucket boundary.
+func TestWheelLatencyEquivalence(t *testing.T) {
+	const tick = time.Millisecond
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		w, epoch := wheelAt(tick, 32)
+		type sched struct {
+			at, d time.Duration // schedule offset and duration
+			fired time.Duration // wheel fire time (offset from epoch)
+		}
+		timers := make([]*sched, 0, 40)
+		// Interleave scheduling with advancing, as real endpoints do.
+		// Advance one tick at a time so "now" is exact inside callbacks.
+		var now time.Duration
+		step := func() {
+			now += tick
+			w.Advance(epoch.Add(now))
+		}
+		for i := 0; i < 40; i++ {
+			s := &sched{
+				at: now,
+				d:  time.Duration(rng.Int63n(int64(200 * time.Millisecond))),
+			}
+			timers = append(timers, s)
+			cur := s
+			w.AfterFunc(cur.d, func() { cur.fired = now })
+			for stride := rng.Int63n(8) + 1; stride > 0; stride-- {
+				step()
+			}
+		}
+		for i := 0; i < 300; i++ {
+			step()
+		}
+
+		for i, s := range timers {
+			// time.AfterFunc would fire at exactly at+d; the wheel rounds
+			// the deadline up to the next bucket boundary, so the fire
+			// lands in [ideal, ideal + 1 tick] — never early, never more
+			// than one tick late.
+			ideal := s.at + s.d
+			if s.fired < ideal || s.fired > ideal+tick {
+				t.Fatalf("trial %d timer %d: scheduled at %v for %v, fired at %v, want [%v, %v]",
+					trial, i, s.at, s.d, s.fired, ideal, ideal+tick)
+			}
+		}
+	}
+}
+
+// TestWheelFreelistReuse checks nodes recycle: a burst of schedule/fire
+// cycles should settle with no growth in live timers.
+func TestWheelFreelistReuse(t *testing.T) {
+	w, epoch := wheelAt(time.Millisecond, 16)
+	now := time.Duration(0)
+	for i := 0; i < 1000; i++ {
+		w.AfterFunc(time.Millisecond, func() {})
+		now += 2 * time.Millisecond
+		w.Advance(epoch.Add(now))
+	}
+	if n := w.Len(); n != 0 {
+		t.Fatalf("Len = %d after drain, want 0", n)
+	}
+}

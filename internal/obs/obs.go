@@ -73,6 +73,14 @@ const (
 	CSendFailures
 	// CQueueDrops counts MNet inbound messages dropped on full queues.
 	CQueueDrops
+	// CSendBatches counts per-peer transmit flushes (a flush of one
+	// packet still counts, so batch size = packets / batches is honest).
+	CSendBatches
+	// CSendBatchPkts totals packets moved by transmit flushes.
+	CSendBatchPkts
+	// CFlushDrops counts outbound packets dropped on a full flush queue;
+	// retransmission recovers them.
+	CFlushDrops
 	numCounters
 )
 
@@ -102,6 +110,9 @@ var counterNames = [numCounters]string{
 	CRetransmits:     "mocha_mnet_retransmits_total",
 	CSendFailures:    "mocha_mnet_send_failures_total",
 	CQueueDrops:      "mocha_mnet_queue_drops_total",
+	CSendBatches:     "mocha_mnet_send_batches_total",
+	CSendBatchPkts:   "mocha_mnet_send_batch_packets_total",
+	CFlushDrops:      "mocha_mnet_flush_drops_total",
 }
 
 // Name returns the counter's exported name.
@@ -117,12 +128,20 @@ const (
 	// GSyncLocks is the number of lock records the synchronization
 	// thread currently manages.
 	GSyncLocks
+	// GWheelTimers is the number of timers armed on the retransmit
+	// timer wheel (sampled by the endpoint's gap-sweep job).
+	GWheelTimers
+	// GFlushQueue is the number of outbound packets waiting in the
+	// endpoint's transmit flush queue.
+	GFlushQueue
 	numGauges
 )
 
 var gaugeNames = [numGauges]string{
 	GSyncQueueDepth: "mocha_sync_queue_depth",
 	GSyncLocks:      "mocha_sync_locks",
+	GWheelTimers:    "mocha_timer_wheel_timers",
+	GFlushQueue:     "mocha_mnet_flush_queue",
 }
 
 // Name returns the gauge's exported name.

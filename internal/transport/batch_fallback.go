@@ -1,0 +1,33 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package transport
+
+import "net/netip"
+
+// batchState is empty on platforms without batched socket I/O; the batch
+// operations degrade to one packet per system call.
+type batchState struct{}
+
+// initBatch is a no-op without batch I/O.
+func (d *udpDatagram) initBatch() error { return nil }
+
+// recvBatch receives one datagram, blocking until it arrives.
+func (d *udpDatagram) recvBatch(bufs [][]byte, sizes []int, addrs []netip.AddrPort) (int, error) {
+	n, ap, err := d.conn.ReadFromUDPAddrPort(bufs[0])
+	if err != nil {
+		return 0, err
+	}
+	sizes[0] = n
+	addrs[0] = ap
+	return 1, nil
+}
+
+// sendBatch writes the packets one at a time.
+func (d *udpDatagram) sendBatch(to netip.AddrPort, pkts [][]byte) (int, error) {
+	for i, pkt := range pkts {
+		if _, err := d.conn.WriteToUDPAddrPort(pkt, to); err != nil {
+			return i, err
+		}
+	}
+	return len(pkts), nil
+}

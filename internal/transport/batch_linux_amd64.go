@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package transport
+
+// recvmmsg(2)/sendmmsg(2) numbers for linux/amd64. The syscall package's
+// frozen tables predate sendmmsg, so both are spelled out here.
+const (
+	sysRecvmmsg uintptr = 299
+	sysSendmmsg uintptr = 307
+)

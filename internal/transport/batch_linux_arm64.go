@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package transport
+
+// recvmmsg(2)/sendmmsg(2) numbers for linux/arm64 (generic 64-bit table).
+const (
+	sysRecvmmsg uintptr = 243
+	sysSendmmsg uintptr = 269
+)

@@ -152,12 +152,15 @@ func (s *SimStack) receive(from netsim.NodeID, pkt []byte) {
 	}
 }
 
-// send transmits a tagged packet to another simulated site.
+// send transmits a tagged packet to another simulated site. The tagged
+// frame is built in a pooled buffer: netsim copies it before queueing, so
+// it goes straight back.
 func (s *SimStack) send(to netsim.NodeID, tag byte, payload []byte) {
-	pkt := make([]byte, 0, len(payload)+1)
-	pkt = append(pkt, tag)
-	pkt = append(pkt, payload...)
-	s.node.Send(to, pkt)
+	bp := netsim.GetBuf(len(payload) + 1)
+	(*bp)[0] = tag
+	copy((*bp)[1:], payload)
+	s.node.Send(to, *bp)
+	netsim.PutBuf(bp)
 }
 
 // simDatagram is the datagram face of a SimStack.
@@ -196,6 +199,41 @@ func (d *simDatagram) Send(to string, pkt []byte) error {
 		return err
 	}
 	d.stack.send(id, tagDatagram, pkt)
+	return nil
+}
+
+// SendBatch implements BatchSender: the whole batch is tagged into pooled
+// frames and routed under a single acquisition of the simulated network's
+// routing lock via netsim's batched send.
+func (d *simDatagram) SendBatch(to string, pkts [][]byte) error {
+	d.stack.mu.Lock()
+	closed := d.stack.closed
+	d.stack.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	for _, pkt := range pkts {
+		if len(pkt) > simMTU {
+			return fmt.Errorf("transport: packet of %d bytes exceeds MTU %d", len(pkt), simMTU)
+		}
+	}
+	id, err := parseSimNode(to)
+	if err != nil {
+		return err
+	}
+	tagged := make([][]byte, len(pkts))
+	bufs := make([]*[]byte, len(pkts))
+	for i, pkt := range pkts {
+		bp := netsim.GetBuf(len(pkt) + 1)
+		(*bp)[0] = tagDatagram
+		copy((*bp)[1:], pkt)
+		bufs[i] = bp
+		tagged[i] = *bp
+	}
+	d.stack.node.SendBatch(id, tagged)
+	for _, bp := range bufs {
+		netsim.PutBuf(bp)
+	}
 	return nil
 }
 

@@ -17,7 +17,9 @@ import (
 )
 
 // Handler consumes datagrams as they arrive. Handlers run on the
-// transport's delivery goroutines and must not block for long.
+// transport's delivery goroutines and must not block for long. The packet
+// buffer is reused for the next receive once the handler returns: handlers
+// must copy any bytes they retain.
 type Handler func(from string, pkt []byte)
 
 // Datagram is an unreliable, unordered packet service — the substrate the
@@ -37,6 +39,16 @@ type Datagram interface {
 	MTU() int
 	// Close releases the endpoint.
 	Close() error
+}
+
+// BatchSender is optionally implemented by Datagram endpoints that can
+// hand several packets to the network in one operation — one routing-lock
+// acquisition on the simulated binding, one sendmmsg system call on the
+// real one. Semantics match calling Send per packet: the buffers belong to
+// the caller again when SendBatch returns, and a nil error means the
+// packets were accepted for unreliable delivery, not that they arrived.
+type BatchSender interface {
+	SendBatch(to string, pkts [][]byte) error
 }
 
 // Conn is a reliable byte stream (the TCP role in the hybrid protocol).

@@ -35,7 +35,8 @@ func TestSimDatagramRoundTrip(t *testing.T) {
 		if from != "1" {
 			t.Errorf("from = %q, want 1", from)
 		}
-		got <- pkt
+		// Handlers must not retain pkt; copy before parking it.
+		got <- append([]byte(nil), pkt...)
 	})
 	if err := a.Datagram().Send("2", []byte("ping")); err != nil {
 		t.Fatal(err)
@@ -305,7 +306,7 @@ func TestRealUDPLoopback(t *testing.T) {
 	defer b.Close()
 
 	got := make(chan []byte, 1)
-	b.Datagram().SetHandler(func(from string, pkt []byte) { got <- pkt })
+	b.Datagram().SetHandler(func(from string, pkt []byte) { got <- append([]byte(nil), pkt...) })
 	if err := a.Datagram().Send(b.Datagram().LocalAddr(), []byte("over-udp")); err != nil {
 		t.Fatal(err)
 	}

@@ -73,6 +73,12 @@ type Grant struct {
 	// the promised version is lost and an older version must be accepted
 	// (the paper's "most recently available old version").
 	Revised bool
+	// VersionFloor is the highest version number the synchronization
+	// thread has ever committed for this lock. After Section 4 recovery
+	// weakens the lock to an older surviving copy, Version drops below
+	// this mark; an exclusive releaser must still publish strictly above
+	// it so a version number is never reused for different bytes.
+	VersionFloor uint64
 }
 
 // Kind implements Payload.
@@ -88,6 +94,7 @@ func (m *Grant) encode(w *Writer) {
 	m.Sharers.encode(w)
 	m.UpToDate.encode(w)
 	w.Bool(m.Revised)
+	w.U64(m.VersionFloor)
 }
 
 func (m *Grant) decode(r *Reader) error {
@@ -100,6 +107,7 @@ func (m *Grant) decode(r *Reader) error {
 	m.Sharers = decodeSiteSet(r)
 	m.UpToDate = decodeSiteSet(r)
 	m.Revised = r.Bool()
+	m.VersionFloor = r.U64()
 	return r.Err()
 }
 

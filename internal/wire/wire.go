@@ -14,6 +14,7 @@ package wire
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Kind identifies a message type on the wire.
@@ -201,6 +202,39 @@ func Marshal(p Payload) []byte {
 	p.encode(w)
 	return w.Bytes()
 }
+
+// writerPool recycles Writer headers for MarshalAppend: the Writer
+// escapes through the Payload.encode interface call, and pooling it keeps
+// the in-place encode path allocation-free.
+var writerPool = sync.Pool{New: func() any { return new(Writer) }}
+
+// MarshalAppend encodes a message onto the end of buf, kind byte first,
+// and returns the extended slice. Handed a buffer with enough spare
+// capacity (EncodedSizeHint bytes), it allocates nothing — the zero-copy
+// path mnet's SendAppender builds on.
+func MarshalAppend(p Payload, buf []byte) []byte {
+	w := writerPool.Get().(*Writer)
+	w.buf = buf
+	w.initCap = cap(buf)
+	w.U8(uint8(p.Kind()))
+	p.encode(w)
+	out := w.buf
+	w.buf = nil
+	writerPool.Put(w)
+	return out
+}
+
+// Appender adapts a wire payload to mnet's structural Appender interface
+// (EncodedSizeHint / AppendEncode), so senders can have the message
+// encoded directly into the outgoing packet buffer instead of through an
+// intermediate Marshal allocation.
+type Appender struct{ P Payload }
+
+// EncodedSizeHint reports the buffer capacity the encoding expects.
+func (a Appender) EncodedSizeHint() int { return EncodedSizeHint(a.P) }
+
+// AppendEncode appends the encoded message to buf and returns it.
+func (a Appender) AppendEncode(buf []byte) []byte { return MarshalAppend(a.P, buf) }
 
 // Unmarshal decodes a message produced by Marshal.
 func Unmarshal(b []byte) (Payload, error) {

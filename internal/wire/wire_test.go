@@ -16,7 +16,7 @@ import (
 func allMessages() []Payload {
 	return []Payload{
 		&AcquireLock{Lock: 7, Requester: 3, Thread: MakeThreadID(3, 9), Shared: true, LeaseMillis: 1500, HaveVersion: 41},
-		&Grant{Lock: 7, Thread: MakeThreadID(3, 9), Version: 42, Flag: NeedNewVersion, Shared: true, Epoch: 2, Sharers: NewSiteSet(2, 4), UpToDate: NewSiteSet(1, 2), Revised: true},
+		&Grant{Lock: 7, Thread: MakeThreadID(3, 9), Version: 42, Flag: NeedNewVersion, Shared: true, Epoch: 2, Sharers: NewSiteSet(2, 4), UpToDate: NewSiteSet(1, 2), Revised: true, VersionFloor: 45},
 		&ReleaseLock{Lock: 7, Releaser: 3, Thread: MakeThreadID(3, 9), NewVersion: 43, UpToDate: NewSiteSet(1, 3, 5), Shared: false, Aborted: true},
 		&TransferReplica{Lock: 7, Dest: 4, Version: 43, RequestID: 99, DestVersion: 41},
 		&RegisterReplica{Lock: 7, Site: 4, Names: []string{"flatwareIndex", "plateIndex"}, Creator: true},
@@ -422,5 +422,61 @@ func TestSiteSetOperations(t *testing.T) {
 	var empty SiteSet
 	if empty.Len() != 0 || len(empty.Sites()) != 0 || empty.String() != "{}" {
 		t.Fatal("empty set misbehaves")
+	}
+}
+
+// TestMarshalAppendMatchesMarshal checks the in-place encoder produces
+// byte-identical frames for every message kind, both onto an empty buffer
+// and after an existing prefix.
+func TestMarshalAppendMatchesMarshal(t *testing.T) {
+	for _, m := range allMessages() {
+		want := Marshal(m)
+		if got := MarshalAppend(m, nil); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: MarshalAppend(nil) diverges from Marshal", m.Kind())
+		}
+		prefix := []byte{0xDE, 0xAD}
+		got := MarshalAppend(m, prefix)
+		if len(got) != 2+len(want) || !reflect.DeepEqual(got[2:], want) {
+			t.Fatalf("%s: MarshalAppend(prefix) diverges from Marshal", m.Kind())
+		}
+		a := Appender{P: m}
+		if a.EncodedSizeHint() != EncodedSizeHint(m) {
+			t.Fatalf("%s: Appender hint mismatch", m.Kind())
+		}
+		if got := a.AppendEncode(nil); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: Appender encode diverges from Marshal", m.Kind())
+		}
+	}
+}
+
+// TestMarshalAppendAllocs pins the zero-copy property: encoding into a
+// buffer that already has the hinted capacity performs no allocations.
+// This is the regression gate for the SendAppender grant/push path.
+func TestMarshalAppendAllocs(t *testing.T) {
+	grant := &Grant{Lock: 7, Thread: MakeThreadID(3, 9), Version: 42, Shared: true,
+		Sharers: NewSiteSet(2, 4), UpToDate: NewSiteSet(1, 2)}
+	push := &PushUpdate{Lock: 7, From: 2, Version: 44,
+		Replicas: []ReplicaPayload{{Name: "text", Data: make([]byte, 4096)}}}
+	for _, tc := range []struct {
+		name string
+		p    Payload
+	}{
+		{"grant", grant}, {"push", push},
+	} {
+		need := len(Marshal(tc.p))
+		hint := EncodedSizeHint(tc.p)
+		if hint < need {
+			t.Fatalf("%s: hint %d below actual size %d", tc.name, hint, need)
+		}
+		buf := make([]byte, 0, hint)
+		allocs := testing.AllocsPerRun(100, func() {
+			out := MarshalAppend(tc.p, buf)
+			if len(out) != need {
+				t.Fatalf("%s: encoded %d bytes, want %d", tc.name, len(out), need)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("%s: MarshalAppend allocates %.1f into a pre-sized buffer, want 0", tc.name, allocs)
+		}
 	}
 }
