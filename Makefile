@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check vet build test race cover bench-fanout bench-delta bench-sync bench-obs bench-load
+.PHONY: check fmt-check vet build test race cover bench-fanout bench-delta bench-sync bench-obs bench-load bench-tree
 
 # check is the full CI gate: formatting, static analysis, build, the
 # complete test suite, and the race detector over the concurrency-heavy
@@ -38,7 +38,7 @@ race:
 # gate without every refactor tripping it.
 cover:
 	@set -e; \
-	for spec in "./internal/core 80" "./internal/wire 90" "./internal/obs 85" "./internal/mnet 80" "./internal/netsim 80" "./internal/transport 70"; do \
+	for spec in "./internal/core 80" "./internal/wire 90" "./internal/obs 85" "./internal/mnet 80" "./internal/netsim 80" "./internal/overlay 80" "./internal/transport 70"; do \
 		pkg="$${spec% *}"; floor="$${spec#* }"; \
 		line="$$($(GO) test -cover $$pkg | tail -1)"; \
 		echo "$$line"; \
@@ -71,3 +71,9 @@ bench-obs:
 # BENCH_load.json.
 bench-load:
 	$(GO) run ./cmd/benchmocha -exp load -json
+
+# bench-tree compares flat O(sharers) release dissemination against the
+# locality-aware relay tree at 200 sites over an 8-region simulated WAN,
+# with the history checker on in both legs. Emits BENCH_tree.json.
+bench-tree:
+	$(GO) run ./cmd/benchmocha -exp ablate-tree -json

@@ -233,6 +233,7 @@ func newSite(sc siteConfig) (*Site, error) {
 		StreamReuse:         sc.opts.streamReuse,
 		DeltaTransfer:       sc.opts.delta,
 		DisseminationFanout: sc.opts.fanout,
+		DisseminationTree:   sc.opts.tree,
 		RequestTimeout:      sc.opts.reqTimeout,
 		TransferTimeout:     sc.opts.xferTimeout,
 		DefaultLease:        sc.opts.lease,

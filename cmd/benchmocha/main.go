@@ -41,6 +41,9 @@ func run() int {
 		loadLocks = flag.Int("load-locks", 0, "load experiment: lock population (default 10000)")
 		loadRate  = flag.Float64("load-rate", 0, "load experiment: offered ops/s (default 3000)")
 		loadDur   = flag.Duration("load-duration", 0, "load experiment: arrival window (default 5s)")
+
+		treeSites   = flag.Int("tree-sites", 0, "tree experiment: cluster size (default 200)")
+		treeRegions = flag.Int("tree-regions", 0, "tree experiment: WAN regions (default 8)")
 	)
 	flag.Parse()
 
@@ -60,7 +63,10 @@ func run() int {
 			id = strings.TrimSpace(id)
 			e, ok := bench.Lookup(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "benchmocha: unknown experiment %q (use -list)\n", id)
+				fmt.Fprintf(os.Stderr, "benchmocha: unknown experiment %q; available experiments:\n", id)
+				for _, known := range bench.All() {
+					fmt.Fprintf(os.Stderr, "  %-16s %s\n", known.ID, known.Title)
+				}
 				return 2
 			}
 			selected = append(selected, e)
@@ -73,6 +79,7 @@ func run() int {
 	cfg := bench.Config{
 		Scale: *scale, Trials: *trials, MaxSites: *sites,
 		LoadSites: *loadSites, LoadLocks: *loadLocks, LoadRate: *loadRate, LoadDuration: *loadDur,
+		TreeSites: *treeSites, TreeRegions: *treeRegions,
 	}
 	fmt.Printf("mocha benchmark harness: scale=%.3f trials=%d max-sites=%d\n\n", *scale, *trials, *sites)
 	failed := 0

@@ -45,6 +45,13 @@ type Config struct {
 	LoadLocks    int
 	LoadRate     float64
 	LoadDuration time.Duration
+
+	// TreeSites and TreeRegions shape the dissemination-tree ablation
+	// ("ablate-tree"): cluster size and the number of locality regions in
+	// the simulated WAN geography. Zero values take the experiment's
+	// defaults (200 sites, 8 regions).
+	TreeSites   int
+	TreeRegions int
 }
 
 // WithDefaults fills unset fields.
@@ -118,6 +125,7 @@ func All() []Experiment {
 		{ID: "ablate-syncstall", Title: "Ablation: sharded non-blocking lock manager under a dead peer", Run: AblateSyncStall},
 		{ID: "ablate-obs", Title: "Ablation: observability-plane overhead on fan-out and delta paths", Run: AblateObs},
 		{ID: "load", Title: "Open-loop load at 100s of sites: serial vs batched I/O + timer wheel", Run: AblateLoad},
+		{ID: "ablate-tree", Title: "Ablation: locality-aware dissemination relay tree", Run: AblateTree},
 	}
 }
 

@@ -15,7 +15,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 		"table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"app", "smallmsg", "ur", "cablemodem",
 		"ablate-marshal", "ablate-adaptive", "ablate-reuse", "ablate-fanout",
-		"ablate-delta", "ablate-syncstall", "ablate-obs", "load",
+		"ablate-delta", "ablate-syncstall", "ablate-obs", "load", "ablate-tree",
 	}
 	all := All()
 	if len(all) != len(want) {

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAblateTreeSmoke runs the dissemination-tree ablation at a CI-sized
+// shape: a real regional-WAN cluster, both legs, probe seeding, history
+// checker on. It pins the structural claims — the tree leg's uplink cost
+// is O(regions) while the flat leg's is O(sharers) — rather than an exact
+// latency ratio, which at this tiny shape is noise.
+func TestAblateTreeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tree harness smoke is seconds-long")
+	}
+	cfg := Config{
+		TreeSites:   13, // 12 sharers over 3 regions, 4 sites per region
+		TreeRegions: 3,
+		Trials:      2,
+	}
+	res, err := AblateTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "ablate-tree" {
+		t.Fatalf("result ID = %q, want ablate-tree", res.ID)
+	}
+	for _, leg := range []string{"flat fan-out", "relay tree"} {
+		if !strings.Contains(res.Table, leg) {
+			t.Fatalf("missing %q leg:\n%s", leg, res.Table)
+		}
+	}
+	for _, key := range []string{
+		"flat_pushes_per_release", "tree_pushes_per_release",
+		"flat_release_ms", "tree_release_ms", "speedup_x",
+		"tree_relay_pushes", "tree_relay_acks", "tree_buckets",
+		"tree_probe_samples",
+	} {
+		if _, ok := res.Metrics[key]; !ok {
+			t.Errorf("missing metric %q", key)
+		}
+	}
+	// Flat pushes once per sharer; the tree pushes once per locality
+	// bucket, which cannot exceed the region count.
+	if got, want := res.Metrics["flat_pushes_per_release"], float64(cfg.TreeSites-1); got != want {
+		t.Errorf("flat pushes/release = %.1f, want %.1f (one per sharer)", got, want)
+	}
+	if got := res.Metrics["tree_pushes_per_release"]; got > float64(cfg.TreeRegions) {
+		t.Errorf("tree pushes/release = %.1f, want <= %d (one per region)", got, cfg.TreeRegions)
+	}
+	if res.Metrics["tree_relay_fallbacks"] != 0 {
+		t.Errorf("healthy run took %v relay fallbacks", res.Metrics["tree_relay_fallbacks"])
+	}
+	if res.Metrics["tree_probe_samples"] < float64(cfg.TreeSites-1) {
+		t.Errorf("probe phase absorbed %.0f RTT samples, want >= %d",
+			res.Metrics["tree_probe_samples"], cfg.TreeSites-1)
+	}
+}

@@ -231,8 +231,10 @@ func (c *checker) step(ev wire.HistoryEvent) *Violation {
 		}
 	case wire.HistRecover:
 		c.onRecover(ev)
-	case wire.HistTransferSend, wire.HistCrash, wire.HistFault:
-		// Context for reports; no invariant attaches.
+	case wire.HistTransferSend, wire.HistCrash, wire.HistFault, wire.HistRelay:
+		// Context for reports; no invariant attaches. A relayed push is
+		// checked through the members' own HistApply events, so routing a
+		// version through a relay cannot weaken version discipline.
 	}
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"mocha/internal/marshal"
 	"mocha/internal/mnet"
 	"mocha/internal/netsim"
+	"mocha/internal/obs"
 	"mocha/internal/transport"
 	"mocha/internal/wire"
 )
@@ -44,6 +45,12 @@ type clusterOpts struct {
 	syncSerial bool
 	// faultHooks installs a per-site FaultHook (missing sites get none).
 	faultHooks map[wire.SiteID]FaultHook
+	// tree enables locality-aware dissemination; treeMin overrides the
+	// sharer threshold (0 = default).
+	tree    bool
+	treeMin int
+	// metrics, when non-nil, is shared by every site.
+	metrics *obs.Registry
 }
 
 func defaultOpts() clusterOpts {
@@ -102,8 +109,11 @@ func newTestCluster(t *testing.T, n int, opts clusterOpts) *testCluster {
 			DeltaTransfer:       opts.delta,
 			DeltaLogDepth:       opts.deltaDepth,
 			DisseminationFanout: opts.fanout,
+			DisseminationTree:   opts.tree,
+			TreeMinSharers:      opts.treeMin,
 			SyncShards:          opts.syncShards,
 			SyncSerialIO:        opts.syncSerial,
+			Metrics:             opts.metrics,
 			FaultHook:           opts.faultHooks[site],
 			RequestTimeout:      opts.reqTO,
 			TransferTimeout:     xferTO,

@@ -128,6 +128,18 @@ type Config struct {
 	// strictly sequential fan-out, where each of the k transfers completes
 	// before the next begins.
 	DisseminationFanout int
+	// DisseminationTree routes full-UR release pushes through the
+	// locality overlay (internal/overlay): sharers are bucketed by
+	// measured RTT, one relay per bucket receives the version and re-fans
+	// it locally, so the releaser's uplink carries O(regions) frames per
+	// release instead of O(sharers). Off by default — the paper's flat
+	// fan-out — and ignored below TreeMinSharers or for partial-UR
+	// dissemination, which keep the §4 replacement walk.
+	DisseminationTree bool
+	// TreeMinSharers is the sharer count below which DisseminationTree
+	// keeps the flat fan-out (default 8): with few targets a relay hop
+	// only adds latency.
+	TreeMinSharers int
 	// SyncShards is the number of independent shards the synchronization
 	// thread's lock table is split across (default 32). Locks hash to a
 	// shard by ID; traffic on one lock never waits on another lock's
@@ -177,6 +189,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DeltaLogDepth <= 0 {
 		c.DeltaLogDepth = 8
+	}
+	if c.TreeMinSharers <= 0 {
+		c.TreeMinSharers = 8
 	}
 	if c.SyncShards <= 0 {
 		c.SyncShards = 32

@@ -41,6 +41,12 @@ const (
 	// never releases), so the lease sweep must detect the dead holder,
 	// break the lock, and ban the thread.
 	FPKillLockHolder FaultPoint = "kill-lock-holder"
+	// FPDropRelayFan fires on a bucket relay as a RelayPush arrives,
+	// before anything is applied or re-fanned. Drop models the relay
+	// dying mid-push: no apply, no re-fan, no ack — the origin's
+	// relay-ack wait times out and the bucket falls back to direct
+	// pushes. Peer is the push's origin site.
+	FPDropRelayFan FaultPoint = "drop-relay-fan"
 )
 
 // FaultPoints lists the registry in a stable order.
@@ -51,6 +57,7 @@ func FaultPoints() []FaultPoint {
 		FPDropMidTransfer,
 		FPDelayDaemonPoll,
 		FPKillLockHolder,
+		FPDropRelayFan,
 	}
 }
 

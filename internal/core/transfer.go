@@ -8,10 +8,12 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mocha/internal/mnet"
 	"mocha/internal/netsim"
 	"mocha/internal/obs"
+	"mocha/internal/overlay"
 	"mocha/internal/transport"
 	"mocha/internal/wire"
 )
@@ -50,6 +52,21 @@ type transferService struct {
 	fullSends      atomic.Int64
 	deltaFallbacks atomic.Int64
 
+	// tracker is the locality overlay behind Config.DisseminationTree:
+	// it buckets sharers by measured RTT, elects bucket relays, and
+	// scores them by observed ack latency and loss.
+	tracker *overlay.Tracker
+	// uplinkSends counts dissemination pushes initiated from this node's
+	// own uplink (direct pushes and relay pushes alike). The tree
+	// ablation's O(regions)-vs-O(sharers) claim is measured against it.
+	uplinkSends atomic.Int64
+
+	// relayAcks demultiplexes aggregated RelayAcks back to the
+	// dissemination round waiting on them, keyed like push acks by
+	// (lock, version, relay site).
+	relayMu   sync.Mutex
+	relayAcks map[pushKey]chan *wire.RelayAck
+
 	mu      sync.Mutex
 	streams map[uint64]chan string // RequestID -> remote stream address
 	// conns caches established streams per destination when the
@@ -69,10 +86,12 @@ func newTransferService(n *Node) (*transferService, error) {
 		return nil, err
 	}
 	t := &transferService{
-		node:    n,
-		port:    port,
-		streams: make(map[uint64]chan string),
-		conns:   make(map[wire.SiteID]*cachedStream),
+		node:      n,
+		port:      port,
+		tracker:   overlay.NewTracker(overlay.Config{Metrics: n.cfg.Metrics}),
+		relayAcks: make(map[pushKey]chan *wire.RelayAck),
+		streams:   make(map[uint64]chan string),
+		conns:     make(map[wire.SiteID]*cachedStream),
 	}
 	port.SetHandler(t.handle)
 	return t, nil
@@ -121,6 +140,12 @@ func (t *transferService) handle(m mnet.Message) {
 		t.handleDeltaNack(msg)
 	case *wire.PushAck:
 		t.node.client.handle(m)
+	case *wire.RelayPush:
+		// Re-fanning a bucket takes member round trips; never block the
+		// dispatch goroutine on it.
+		go t.relayFan(msg, m.From)
+	case *wire.RelayAck:
+		t.deliverRelayAck(msg)
 	default:
 		if t.node.log.On() {
 			t.node.log.Logf("xfer", "unhandled %s on transfer port", p.Kind())
@@ -780,6 +805,16 @@ func (t *transferService) disseminate(ctx context.Context, lock wire.LockID, ver
 		pb.delta = wire.Marshal(delta)
 	}
 
+	// The relay tree replaces the flat fan-out only when every candidate
+	// is a target (want covers them all): a partial-UR dissemination keeps
+	// the flat walk so §4's replacement semantics — claim the next
+	// candidate when one fails — are untouched. Below TreeMinSharers the
+	// relay hop costs more than it saves, and with the tree disabled this
+	// path is the paper-baseline ablation leg.
+	if t.node.cfg.DisseminationTree && want >= len(candidates) && len(candidates) >= t.node.cfg.TreeMinSharers {
+		return t.disseminateTree(ctx, pb, payloads, candidates, upToDate)
+	}
+
 	var (
 		mu     sync.Mutex
 		next   int
@@ -835,6 +870,276 @@ func (t *transferService) disseminate(ctx context.Context, lock wire.LockID, ver
 	return acked
 }
 
+// disseminateTree routes one release's dissemination through the locality
+// overlay: one RelayPush per bucket (the relay applies the version and
+// re-fans it to the bucket's members over its local links), direct pushes
+// for sites the overlay cannot cluster. A bucket whose relay fails, times
+// out, or misses members is routed around with direct pushes, so every
+// reachable sharer still receives the version — the tree changes who
+// carries the frames, never the guarantee. Returns acked sites in
+// candidate order, like the flat walk.
+func (t *transferService) disseminateTree(ctx context.Context, pb *pushBlob, payloads []wire.ReplicaPayload, candidates []wire.SiteID, upToDate wire.SiteSet) []wire.SiteID {
+	plan := t.tracker.Plan(candidates)
+
+	var (
+		mu   sync.Mutex
+		okAt = make(map[wire.SiteID]bool, len(candidates))
+	)
+	confirm := func(sites ...wire.SiteID) {
+		mu.Lock()
+		for _, s := range sites {
+			okAt[s] = true
+		}
+		mu.Unlock()
+	}
+	pushDirect := func(site wire.SiteID) {
+		if err := t.pushTo(ctx, site, pb, pb.delta != nil && upToDate.Contains(site)); err != nil {
+			if t.node.log.On() {
+				t.node.log.Logf("fault", "dissemination of lock %d v%d to site %d failed: %v", pb.lock, pb.version, site, err)
+			}
+			return
+		}
+		confirm(site)
+	}
+
+	tasks := make([]func(), 0, len(plan.Groups)+len(plan.Direct))
+	for _, g := range plan.Groups {
+		g := g
+		tasks = append(tasks, func() { t.pushViaRelay(ctx, pb, payloads, g, pushDirect, confirm) })
+	}
+	for _, site := range plan.Direct {
+		site := site
+		tasks = append(tasks, func() { pushDirect(site) })
+	}
+
+	bound := t.node.cfg.fanoutBound(len(tasks))
+	sem := make(chan struct{}, bound)
+	var wg sync.WaitGroup
+	for _, task := range tasks {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(task func()) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			task()
+		}(task)
+	}
+	wg.Wait()
+
+	var acked []wire.SiteID
+	for _, site := range candidates {
+		if okAt[site] {
+			acked = append(acked, site)
+		}
+	}
+	if len(acked) < len(candidates) {
+		if t.node.log.On() {
+			t.node.log.Logf("fault", "tree dissemination of lock %d v%d reached %d of %d sites", pb.lock, pb.version, len(acked), len(candidates))
+		}
+	}
+	return acked
+}
+
+// pushViaRelay sends one bucket's RelayPush and waits for the aggregated
+// ack. The relay's ack latency and losses feed its quality score; a relay
+// that fails is routed around with direct pushes to the whole bucket, and
+// members the relay could not reach are direct-pushed individually —
+// either way a sick relay degrades its bucket to flat fan-out instead of
+// losing the version (a re-push of an already-applied version is dropped
+// as stale by the receiver, so the overlap is harmless).
+func (t *transferService) pushViaRelay(ctx context.Context, pb *pushBlob, payloads []wire.ReplicaPayload, g overlay.Group, pushDirect func(wire.SiteID), confirm func(...wire.SiteID)) {
+	reg := t.node.obs()
+	fallback := func() {
+		reg.Inc(obs.CRelayFallbacks)
+		var wg sync.WaitGroup
+		for _, site := range append([]wire.SiteID{g.Relay}, g.Members...) {
+			wg.Add(1)
+			go func(site wire.SiteID) {
+				defer wg.Done()
+				pushDirect(site)
+			}(site)
+		}
+		wg.Wait()
+	}
+	addr, err := t.node.xferAddr(g.Relay)
+	if err != nil {
+		fallback()
+		return
+	}
+	msg := &wire.RelayPush{
+		Lock:     pb.lock,
+		Origin:   t.node.cfg.Site,
+		Version:  pb.version,
+		Replicas: payloads,
+		Targets:  wire.NewSiteSet(g.Members...),
+	}
+	// Register before sending: on a zero-delay network the aggregated ack
+	// can arrive inside the Send call.
+	ackCh := t.expectRelayAck(pb.lock, pb.version, g.Relay)
+	defer t.dropRelayAck(pb.lock, pb.version, g.Relay)
+
+	// The wait is bounded by the control-message timeout, not the transfer
+	// timeout: a dead relay should cost one fast timeout before its bucket
+	// degrades, not stall the release for a bulk-transfer grace period.
+	sendCtx, cancel := context.WithTimeout(ctx, t.node.cfg.RequestTimeout)
+	defer cancel()
+	start := time.Now()
+	t.uplinkSends.Add(1)
+	reg.Inc(obs.CRelayPushes)
+	if err := t.port.Send(sendCtx, addr, wire.Marshal(msg)); err != nil {
+		t.tracker.ObserveLoss(g.Relay)
+		fallback()
+		return
+	}
+	select {
+	case ack := <-ackCh:
+		lat := time.Since(start)
+		t.tracker.ObserveAck(g.Relay, lat)
+		reg.Inc(obs.CRelayAcks)
+		reg.Observe(obs.HRelayHop, lat)
+		inBucket := make(map[wire.SiteID]bool, len(g.Members)+1)
+		inBucket[g.Relay] = true
+		for _, m := range g.Members {
+			inBucket[m] = true
+		}
+		for _, s := range ack.Acked.Sites() {
+			if inBucket[s] {
+				confirm(s)
+			}
+		}
+		// Route around members the relay could not reach.
+		var missed []wire.SiteID
+		if !ack.Acked.Contains(g.Relay) {
+			missed = append(missed, g.Relay)
+		}
+		for _, m := range g.Members {
+			if !ack.Acked.Contains(m) {
+				missed = append(missed, m)
+			}
+		}
+		if len(missed) > 0 {
+			reg.Inc(obs.CRelayFallbacks)
+			for _, site := range missed {
+				pushDirect(site)
+			}
+		}
+	case <-sendCtx.Done():
+		t.tracker.ObserveLoss(g.Relay)
+		fallback()
+	}
+}
+
+// relayFan services a RelayPush on the bucket relay: apply the version
+// locally, re-fan it to the bucket's remaining members as ordinary
+// PushUpdates, and answer the origin with the aggregated set of sites that
+// confirmed application. Runs on its own goroutine — the re-fan takes
+// member round trips and must not stall the transfer port's dispatcher.
+func (t *transferService) relayFan(msg *wire.RelayPush, replyTo string) {
+	n := t.node
+	if n.fireFault(FaultContext{
+		Point: FPDropRelayFan, Peer: msg.Origin, Lock: msg.Lock, Version: msg.Version,
+	}).Drop {
+		// The relay "dies" mid-push: nothing applied, nothing re-fanned,
+		// no ack — the origin times out and direct-pushes the bucket.
+		return
+	}
+	reg := n.obs()
+	n.applyPayloads(msg.Lock, msg.Version, msg.Replicas, "relay", msg.Origin)
+
+	var (
+		ackMu sync.Mutex
+		acked wire.SiteSet
+	)
+	st := n.getLockLocal(msg.Lock)
+	st.mu.Lock()
+	// Count this site only if the apply actually installed the version (or
+	// it was already held): an unmarshal failure must not be reported
+	// upstream as an up-to-date copy.
+	if st.version >= msg.Version {
+		acked.Add(n.cfg.Site)
+	}
+	st.mu.Unlock()
+
+	members := make([]wire.SiteID, 0, msg.Targets.Len())
+	for _, s := range msg.Targets.Sites() {
+		if s != n.cfg.Site && s != msg.Origin {
+			members = append(members, s)
+		}
+	}
+	if n.histEnabled() {
+		n.recordHist(wire.HistoryEvent{
+			Kind: wire.HistRelay, Site: n.cfg.Site, Lock: msg.Lock,
+			Version: msg.Version, Sites: wire.NewSiteSet(members...),
+			Note: "re-fan",
+		})
+	}
+
+	if len(members) > 0 {
+		pb := t.preparePushBlob(msg.Lock, msg.Version, msg.Replicas)
+		bound := n.cfg.fanoutBound(len(members))
+		sem := make(chan struct{}, bound)
+		var wg sync.WaitGroup
+		for _, site := range members {
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(site wire.SiteID) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if err := t.pushTo(context.Background(), site, pb, false); err != nil {
+					if n.log.On() {
+						n.log.Logf("fault", "relay re-fan of lock %d v%d to site %d failed: %v", msg.Lock, msg.Version, site, err)
+					}
+					return
+				}
+				reg.Inc(obs.CRelayFanout)
+				ackMu.Lock()
+				acked.Add(site)
+				ackMu.Unlock()
+			}(site)
+		}
+		wg.Wait()
+	}
+
+	ack := &wire.RelayAck{Lock: msg.Lock, Relay: n.cfg.Site, Version: msg.Version, Acked: acked}
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.RequestTimeout)
+	defer cancel()
+	if err := t.port.Send(ctx, replyTo, wire.Marshal(ack)); err != nil {
+		if n.log.On() {
+			n.log.Logf("fault", "relay ack of lock %d v%d to %s failed: %v", msg.Lock, msg.Version, replyTo, err)
+		}
+	}
+}
+
+// expectRelayAck registers a waiter for one relay's aggregated ack.
+func (t *transferService) expectRelayAck(lock wire.LockID, version uint64, relay wire.SiteID) chan *wire.RelayAck {
+	ch := make(chan *wire.RelayAck, 1)
+	t.relayMu.Lock()
+	t.relayAcks[pushKey{lock: lock, version: version, site: relay}] = ch
+	t.relayMu.Unlock()
+	return ch
+}
+
+// deliverRelayAck routes an arriving RelayAck to its waiter, if any is
+// still registered (a late ack after fallback is dropped harmlessly).
+func (t *transferService) deliverRelayAck(msg *wire.RelayAck) {
+	t.relayMu.Lock()
+	ch := t.relayAcks[pushKey{lock: msg.Lock, version: msg.Version, site: msg.Relay}]
+	t.relayMu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- msg:
+		default:
+		}
+	}
+}
+
+// dropRelayAck unregisters a relay-ack waiter.
+func (t *transferService) dropRelayAck(lock wire.LockID, version uint64, relay wire.SiteID) {
+	t.relayMu.Lock()
+	delete(t.relayAcks, pushKey{lock: lock, version: version, site: relay})
+	t.relayMu.Unlock()
+}
+
 // pushTo sends one pre-marshaled push update to one site and waits for its
 // application acknowledgment, over whichever protocol the mode selects.
 // With tryDelta set, the delta encoding is offered first; a receiver that
@@ -842,6 +1147,7 @@ func (t *transferService) disseminate(ctx context.Context, lock wire.LockID, ver
 // full blob follows on the same call. Safe for concurrent callers pushing
 // the same blob to distinct sites.
 func (t *transferService) pushTo(ctx context.Context, site wire.SiteID, pb *pushBlob, tryDelta bool) error {
+	t.uplinkSends.Add(1)
 	t.node.obs().Inc(obs.CPushes)
 	if t.node.fireFault(FaultContext{
 		Point: FPDropMidTransfer, Peer: site, Lock: pb.lock, Version: pb.version,
@@ -925,3 +1231,14 @@ func (n *Node) FullTransfersSent() int64 { return n.xfer.fullSends.Load() }
 // DeltaFallbacks reports how many delta offers were answered with a
 // request for (or fallback to) the full copy.
 func (n *Node) DeltaFallbacks() int64 { return n.xfer.deltaFallbacks.Load() }
+
+// OverlayTracker exposes the dissemination overlay's peer tracker so
+// harnesses can seed it with measured RTTs (e.g. from the obs span ring)
+// and tests can inspect relay scores.
+func (n *Node) OverlayTracker() *overlay.Tracker { return n.xfer.tracker }
+
+// DisseminationUplinkSends reports how many dissemination pushes (direct
+// PushUpdates plus RelayPushes) this node has initiated from its own
+// uplink. Under the relay tree a releaser's per-release delta here is
+// O(regions) instead of O(sharers).
+func (n *Node) DisseminationUplinkSends() int64 { return n.xfer.uplinkSends.Load() }

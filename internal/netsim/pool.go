@@ -1,6 +1,9 @@
 package netsim
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // pktPool recycles packet-sized buffers across the whole stack: mnet's
 // encoded fragments and acks, the transport bindings' tagged frames, and
@@ -11,10 +14,28 @@ import "sync"
 // allocations); buffers grow to the largest packet they carried.
 var pktPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
 
+// poolDebug arms double-free detection. Off by default: the hot path then
+// pays one atomic load per Get/Put. When on, poolState tracks whether each
+// buffer pointer is currently pooled so PutBuf can panic on a double free
+// — returning the same buffer twice would hand it to two independent
+// owners and corrupt packets in flight, a bug class far cheaper to catch
+// at the Put than to debug from a garbled frame.
+var (
+	poolDebug atomic.Bool
+	poolState sync.Map // *[]byte -> bool (true = currently pooled)
+)
+
+// SetPoolDebug toggles double-free detection on the packet pool. Intended
+// for tests and debug builds.
+func SetPoolDebug(on bool) { poolDebug.Store(on) }
+
 // GetBuf returns a pooled buffer sliced to length n with undefined
 // contents; the caller must overwrite every byte it emits.
 func GetBuf(n int) *[]byte {
 	bp := pktPool.Get().(*[]byte)
+	if poolDebug.Load() {
+		poolState.Store(bp, false)
+	}
 	if cap(*bp) < n {
 		b := make([]byte, n)
 		*bp = b
@@ -24,5 +45,13 @@ func GetBuf(n int) *[]byte {
 }
 
 // PutBuf returns a buffer to the pool. The buffer must no longer be
-// referenced by any pending or in-flight use.
-func PutBuf(bp *[]byte) { pktPool.Put(bp) }
+// referenced by any pending or in-flight use. With SetPoolDebug(true) a
+// second Put of the same buffer panics instead of silently double-pooling.
+func PutBuf(bp *[]byte) {
+	if poolDebug.Load() {
+		if prev, loaded := poolState.Swap(bp, true); loaded && prev.(bool) {
+			panic("netsim: PutBuf double free: buffer already pooled")
+		}
+	}
+	pktPool.Put(bp)
+}

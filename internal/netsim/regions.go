@@ -1,0 +1,101 @@
+package netsim
+
+import "time"
+
+// Geography lays a reproducible wide-area region structure over a
+// simulated network: sites are assigned to Regions round-robin by ID,
+// links inside a region get the cheap Local profile, and links between
+// regions get the Backbone profile stretched by Step per region of
+// "distance". Distances are measured from the region index difference, so
+// every region sits at a distinct RTT from region 0 (the home site's
+// region) — which is exactly the signal the dissemination overlay's
+// RTT-bucket clustering recovers.
+//
+// Per-link overrides carry propagation, serialization and loss, but the
+// network draws jitter from its *default* profile (see Network.Send), so a
+// network using a Geography should be built with a jitter-free default —
+// Perfect() — to keep region RTTs crisp and runs deterministic.
+type Geography struct {
+	// Regions is the number of locality clusters (≥ 1).
+	Regions int
+	// Local is the intra-region link profile.
+	Local Profile
+	// Backbone is the base inter-region link profile.
+	Backbone Profile
+	// Step is the extra one-way propagation added per region of distance,
+	// spreading the regions to distinct RTTs.
+	Step time.Duration
+}
+
+// RegionalWAN is the standard regional geography for dissemination
+// ablations: fast switched LANs inside each region, a slow 1997-class
+// backbone between them, and a 6 ms one-way step per region of distance
+// (12 ms of RTT — wider than the overlay's default 10 ms bucket, so every
+// region lands in its own bucket).
+func RegionalWAN(regions int) Geography {
+	return Geography{
+		Regions: regions,
+		Local: Profile{
+			Name:           "region-lan",
+			PropDelay:      300 * time.Microsecond,
+			BytesPerSecond: 100_000_000 / 8, // 100 Mbit/s
+			HeaderBytes:    28,
+		},
+		Backbone: Profile{
+			Name:           "region-backbone",
+			PropDelay:      18 * time.Millisecond,
+			BytesPerSecond: 4_000_000 / 8, // 4 Mbit/s
+			HeaderBytes:    28,
+		},
+		Step: 6 * time.Millisecond,
+	}
+}
+
+// Scaled returns a copy with every delay multiplied by f and bandwidth
+// divided by f, mirroring Profile.Scaled for fast test runs.
+func (g Geography) Scaled(f float64) Geography {
+	if f == 1 {
+		return g
+	}
+	q := g
+	q.Local = g.Local.Scaled(f)
+	q.Backbone = g.Backbone.Scaled(f)
+	q.Step = time.Duration(float64(g.Step) * f)
+	return q
+}
+
+// RegionOf maps a node to its region: round-robin by ID, anchored so the
+// home site (ID 1) lands in region 0.
+func (g Geography) RegionOf(id NodeID) int {
+	if g.Regions <= 1 {
+		return 0
+	}
+	return int(id-1) % g.Regions
+}
+
+// LinkProfile returns the one-way profile for the ordered pair (from, to).
+func (g Geography) LinkProfile(from, to NodeID) Profile {
+	ra, rb := g.RegionOf(from), g.RegionOf(to)
+	if ra == rb {
+		return g.Local
+	}
+	dist := ra - rb
+	if dist < 0 {
+		dist = -dist
+	}
+	p := g.Backbone
+	p.PropDelay += time.Duration(dist) * g.Step
+	return p
+}
+
+// Apply installs the geography on a network as per-link profile overrides
+// for every ordered pair of the given nodes (including self-links, which
+// get the Local profile). O(n²) overrides — fine for the few hundred
+// sites the ablations run.
+func (g Geography) Apply(net *Network, nodes []NodeID) {
+	for _, a := range nodes {
+		for _, b := range nodes {
+			net.SetLinkProfile(a, b, g.LinkProfile(a, b))
+		}
+	}
+}

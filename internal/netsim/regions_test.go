@@ -1,0 +1,143 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGeographyRegionAssignment(t *testing.T) {
+	g := RegionalWAN(4)
+	if r := g.RegionOf(1); r != 0 {
+		t.Fatalf("home site region = %d, want 0", r)
+	}
+	if r := g.RegionOf(5); r != 0 {
+		t.Fatalf("site 5 region = %d, want 0 (round-robin)", r)
+	}
+	if r := g.RegionOf(3); r != 2 {
+		t.Fatalf("site 3 region = %d, want 2", r)
+	}
+	if r := (Geography{Regions: 1}).RegionOf(7); r != 0 {
+		t.Fatalf("single-region geography returned region %d", r)
+	}
+}
+
+func TestGeographyLinkProfiles(t *testing.T) {
+	g := RegionalWAN(4)
+	// Same region: the cheap local profile.
+	if p := g.LinkProfile(1, 5); p.Name != g.Local.Name || p.PropDelay != g.Local.PropDelay {
+		t.Fatalf("intra-region profile = %+v", p)
+	}
+	// Cross-region: backbone stretched by |region distance| steps, and
+	// symmetric in the pair.
+	p12 := g.LinkProfile(1, 2) // regions 0 -> 1
+	if want := g.Backbone.PropDelay + g.Step; p12.PropDelay != want {
+		t.Fatalf("1->2 prop = %v, want %v", p12.PropDelay, want)
+	}
+	p14 := g.LinkProfile(1, 4) // regions 0 -> 3
+	if want := g.Backbone.PropDelay + 3*g.Step; p14.PropDelay != want {
+		t.Fatalf("1->4 prop = %v, want %v", p14.PropDelay, want)
+	}
+	if back := g.LinkProfile(4, 1); back.PropDelay != p14.PropDelay {
+		t.Fatalf("asymmetric geography: %v vs %v", back.PropDelay, p14.PropDelay)
+	}
+	// Every region sits at a distinct RTT from region 0, so RTT bucketing
+	// can recover the region structure.
+	seen := map[time.Duration]bool{}
+	for id := NodeID(1); id <= 4; id++ {
+		rtt := 2 * g.LinkProfile(1, id).PropDelay
+		if seen[rtt] {
+			t.Fatalf("duplicate home RTT %v for site %d", rtt, id)
+		}
+		seen[rtt] = true
+	}
+}
+
+func TestGeographyScaled(t *testing.T) {
+	g := RegionalWAN(3)
+	s := g.Scaled(0.5)
+	if s.Step != g.Step/2 || s.Backbone.PropDelay != g.Backbone.PropDelay/2 {
+		t.Fatalf("Scaled: %+v", s)
+	}
+	if s.Backbone.BytesPerSecond != 2*g.Backbone.BytesPerSecond {
+		t.Fatalf("Scaled bandwidth = %d", s.Backbone.BytesPerSecond)
+	}
+	if same := g.Scaled(1); same.Step != g.Step {
+		t.Fatal("Scaled(1) changed the geography")
+	}
+}
+
+func TestGeographyApplyShapesDelivery(t *testing.T) {
+	g := RegionalWAN(2).Scaled(0.25) // backbone one-way 4.5ms, local 75µs
+	net, chans := newTestNet(t, Config{Profile: Perfect()}, 4)
+	g.Apply(net, []NodeID{1, 2, 3, 4})
+
+	// 1 and 3 share region 0: near-instant delivery.
+	start := time.Now()
+	net.Node(1).Send(3, []byte("near"))
+	recvWithin(t, chans[2], time.Second)
+	if e := time.Since(start); e > 3*time.Millisecond {
+		t.Fatalf("intra-region delivery took %v", e)
+	}
+	// 1 -> 2 crosses the backbone.
+	start = time.Now()
+	net.Node(1).Send(2, []byte("far"))
+	recvWithin(t, chans[1], time.Second)
+	if e := time.Since(start); e < 4*time.Millisecond {
+		t.Fatalf("inter-region delivery took only %v", e)
+	}
+}
+
+func TestAsymmetricLinkOneWayDelay(t *testing.T) {
+	// Forward and reverse directions of the same pair carry independent
+	// profiles; each direction's one-way delay must follow its own.
+	net, chans := newTestNet(t, Config{Profile: Perfect()}, 2)
+	net.SetLinkProfile(1, 2, Profile{PropDelay: 40 * time.Millisecond})
+	net.SetLinkProfile(2, 1, Profile{PropDelay: 5 * time.Millisecond})
+
+	start := time.Now()
+	net.Node(1).Send(2, []byte("slow direction"))
+	recvWithin(t, chans[1], time.Second)
+	forward := time.Since(start)
+
+	start = time.Now()
+	net.Node(2).Send(1, []byte("fast direction"))
+	recvWithin(t, chans[0], time.Second)
+	reverse := time.Since(start)
+
+	if forward < 35*time.Millisecond {
+		t.Fatalf("forward one-way delay %v, want ~40ms", forward)
+	}
+	if reverse < 3*time.Millisecond || reverse > 25*time.Millisecond {
+		t.Fatalf("reverse one-way delay %v, want ~5ms", reverse)
+	}
+	if forward < 2*reverse {
+		t.Fatalf("asymmetry not visible: forward %v vs reverse %v", forward, reverse)
+	}
+}
+
+func TestPutBufDoubleFreePanicsInDebug(t *testing.T) {
+	SetPoolDebug(true)
+	defer SetPoolDebug(false)
+
+	bp := GetBuf(16)
+	PutBuf(bp)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second PutBuf of the same buffer did not panic")
+		}
+	}()
+	PutBuf(bp)
+}
+
+func TestPoolDebugAllowsNormalReuse(t *testing.T) {
+	SetPoolDebug(true)
+	defer SetPoolDebug(false)
+
+	// Get/Put cycles of the same underlying buffer are legal — only a
+	// Put without an intervening Get is a double free.
+	for i := 0; i < 8; i++ {
+		bp := GetBuf(64)
+		(*bp)[0] = byte(i)
+		PutBuf(bp)
+	}
+}

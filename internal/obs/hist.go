@@ -30,6 +30,9 @@ const (
 	HDaemonPoll
 	// HGrantDeliver is the sync thread's grant send.
 	HGrantDeliver
+	// HRelayHop is a bucket relay's push-to-aggregated-ack round trip as
+	// observed by the releaser.
+	HRelayHop
 	numHists
 )
 
@@ -43,6 +46,7 @@ var histNames = [numHists]string{
 	HDisseminate:  "mocha_disseminate_seconds",
 	HDaemonPoll:   "mocha_daemon_poll_seconds",
 	HGrantDeliver: "mocha_grant_deliver_seconds",
+	HRelayHop:     "mocha_relay_hop_seconds",
 }
 
 var phaseNames = [numHists]string{
@@ -55,6 +59,7 @@ var phaseNames = [numHists]string{
 	HDisseminate:  "disseminate",
 	HDaemonPoll:   "daemon_poll",
 	HGrantDeliver: "grant_deliver",
+	HRelayHop:     "relay_hop",
 }
 
 // Name returns the histogram's exported name.

@@ -81,6 +81,18 @@ const (
 	// CFlushDrops counts outbound packets dropped on a full flush queue;
 	// retransmission recovers them.
 	CFlushDrops
+	// CRelayPushes counts RelayPush frames sent to bucket relays by
+	// releasers disseminating through the locality overlay.
+	CRelayPushes
+	// CRelayAcks counts aggregated RelayAck frames received by releasers.
+	CRelayAcks
+	// CRelayFanout counts local re-fan pushes performed by bucket relays
+	// on behalf of an origin.
+	CRelayFanout
+	// CRelayFallbacks counts buckets (or bucket members) routed around
+	// with direct pushes after a relay failed, timed out, or missed
+	// members.
+	CRelayFallbacks
 	numCounters
 )
 
@@ -113,6 +125,10 @@ var counterNames = [numCounters]string{
 	CSendBatches:     "mocha_mnet_send_batches_total",
 	CSendBatchPkts:   "mocha_mnet_send_batch_packets_total",
 	CFlushDrops:      "mocha_mnet_flush_drops_total",
+	CRelayPushes:     "mocha_relay_pushes_total",
+	CRelayAcks:       "mocha_relay_acks_total",
+	CRelayFanout:     "mocha_relay_fanout_total",
+	CRelayFallbacks:  "mocha_relay_fallbacks_total",
 }
 
 // Name returns the counter's exported name.
@@ -134,6 +150,9 @@ const (
 	// GFlushQueue is the number of outbound packets waiting in the
 	// endpoint's transmit flush queue.
 	GFlushQueue
+	// GRelayBuckets is the number of locality buckets the dissemination
+	// overlay's most recent plan grouped the sharers into.
+	GRelayBuckets
 	numGauges
 )
 
@@ -142,6 +161,7 @@ var gaugeNames = [numGauges]string{
 	GSyncLocks:      "mocha_sync_locks",
 	GWheelTimers:    "mocha_timer_wheel_timers",
 	GFlushQueue:     "mocha_mnet_flush_queue",
+	GRelayBuckets:   "mocha_relay_buckets",
 }
 
 // Name returns the gauge's exported name.
@@ -150,6 +170,10 @@ func (g Gauge) Name() string { return gaugeNames[g] }
 // NumShardDepths bounds the per-shard queue-depth gauge array. Shards
 // beyond it fold onto earlier slots, which only blurs attribution.
 const NumShardDepths = 64
+
+// NumRelayScores bounds the per-site relay-quality gauge array. Sites
+// beyond it fold onto earlier slots, which only blurs attribution.
+const NumRelayScores = 64
 
 // Registry is the lock-free instrument store. All mutating methods are
 // safe for any number of concurrent writers — every instrument is an
@@ -161,6 +185,7 @@ type Registry struct {
 	counters    [numCounters]atomic.Int64
 	gauges      [numGauges]atomic.Int64
 	shardDepths [NumShardDepths]atomic.Int64
+	relayScores [NumRelayScores]atomic.Int64
 	hists       [numHists]hist
 
 	spanHead atomic.Uint64
@@ -252,6 +277,24 @@ func (r *Registry) ShardDepthAdd(shard int, delta int64) {
 		shard = -shard
 	}
 	r.shardDepths[shard%NumShardDepths].Add(delta)
+}
+
+// RelayScoreSet publishes one site's dissemination-relay quality score in
+// milli-units (1000 = perfect).
+func (r *Registry) RelayScoreSet(site uint32, milli int64) {
+	if r == nil {
+		return
+	}
+	r.relayScores[site%NumRelayScores].Store(milli)
+}
+
+// RelayScoreValue reads one site's published relay score (0 on a nil
+// registry or a never-scored site).
+func (r *Registry) RelayScoreValue(site uint32) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.relayScores[site%NumRelayScores].Load()
 }
 
 // Observe records one duration into a latency histogram.

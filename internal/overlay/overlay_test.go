@@ -1,0 +1,173 @@
+package overlay
+
+import (
+	"testing"
+	"time"
+
+	"mocha/internal/obs"
+	"mocha/internal/wire"
+)
+
+func seedRTT(t *Tracker, rtt time.Duration, sites ...wire.SiteID) {
+	for _, s := range sites {
+		t.Observe(s, rtt)
+	}
+}
+
+func TestPlanBucketsByRTTAndElectsLowestID(t *testing.T) {
+	tr := NewTracker(Config{})
+	seedRTT(tr, 5*time.Millisecond, 2, 3, 4)
+	seedRTT(tr, 52*time.Millisecond, 5, 6, 7)
+
+	plan := tr.Plan([]wire.SiteID{2, 3, 4, 5, 6, 7})
+	if len(plan.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2 (%+v)", len(plan.Groups), plan)
+	}
+	if len(plan.Direct) != 0 {
+		t.Fatalf("direct = %v, want none", plan.Direct)
+	}
+	// Equal scores: the lowest site ID in each bucket is elected.
+	if got := plan.Groups[0].Relay; got != 2 {
+		t.Errorf("near bucket relay = %d, want 2", got)
+	}
+	if got := plan.Groups[1].Relay; got != 5 {
+		t.Errorf("far bucket relay = %d, want 5", got)
+	}
+	if got := plan.Groups[0].Members; len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Errorf("near bucket members = %v, want [3 4]", got)
+	}
+}
+
+func TestPlanUnknownRTTAndSingletonsGoDirect(t *testing.T) {
+	tr := NewTracker(Config{})
+	seedRTT(tr, 5*time.Millisecond, 2, 3)
+	seedRTT(tr, 95*time.Millisecond, 9) // singleton bucket
+
+	plan := tr.Plan([]wire.SiteID{2, 3, 8, 9}) // 8 was never observed
+	if len(plan.Groups) != 1 || plan.Groups[0].Relay != 2 {
+		t.Fatalf("plan groups = %+v, want one group with relay 2", plan.Groups)
+	}
+	if len(plan.Direct) != 2 || plan.Direct[0] != 8 || plan.Direct[1] != 9 {
+		t.Fatalf("direct = %v, want [8 9]", plan.Direct)
+	}
+}
+
+func TestLossDemotesRelayAndRoutesAround(t *testing.T) {
+	tr := NewTracker(Config{})
+	seedRTT(tr, 5*time.Millisecond, 2, 3, 4)
+
+	// Two consecutive losses drop a perfect score below the 0.5 floor.
+	tr.ObserveLoss(2)
+	tr.ObserveLoss(2)
+	if tr.Healthy(2) {
+		t.Fatalf("site 2 still healthy after two losses, score %.3f", tr.Score(2))
+	}
+	plan := tr.Plan([]wire.SiteID{2, 3, 4})
+	if len(plan.Groups) != 1 || plan.Groups[0].Relay != 3 {
+		t.Fatalf("plan = %+v, want relay 3 after demoting 2", plan)
+	}
+
+	// A demoted peer is still a member — it must keep receiving versions.
+	found := false
+	for _, m := range plan.Groups[0].Members {
+		if m == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("demoted site 2 missing from members %v", plan.Groups[0].Members)
+	}
+
+	// With every member demoted, the bucket degrades to direct pushes.
+	for _, s := range []wire.SiteID{3, 4} {
+		tr.ObserveLoss(s)
+		tr.ObserveLoss(s)
+	}
+	plan = tr.Plan([]wire.SiteID{2, 3, 4})
+	if len(plan.Groups) != 0 || len(plan.Direct) != 3 {
+		t.Fatalf("plan = %+v, want all-direct degraded bucket", plan)
+	}
+}
+
+func TestAckRecoversScoreAndSlowAckDemotes(t *testing.T) {
+	tr := NewTracker(Config{})
+	tr.Observe(2, 2*time.Millisecond)
+	tr.ObserveLoss(2)
+	tr.ObserveLoss(2)
+	if tr.Healthy(2) {
+		t.Fatal("expected demotion before recovery")
+	}
+	// Timely acks pull the score back up.
+	for i := 0; i < 3; i++ {
+		tr.ObserveAck(2, 4*time.Millisecond)
+	}
+	if !tr.Healthy(2) {
+		t.Fatalf("score %.3f still below floor after three good acks", tr.Score(2))
+	}
+
+	// A pathologically slow aggregated ack counts against the relay.
+	before := tr.Score(2)
+	tr.ObserveAck(2, 10*time.Second)
+	if after := tr.Score(2); after >= before {
+		t.Fatalf("slow ack raised score: %.3f -> %.3f", before, after)
+	}
+}
+
+func TestObserveSmoothsRTT(t *testing.T) {
+	tr := NewTracker(Config{})
+	tr.Observe(2, 10*time.Millisecond)
+	tr.Observe(2, 20*time.Millisecond)
+	rtt, ok := tr.RTT(2)
+	if !ok {
+		t.Fatal("no RTT after two samples")
+	}
+	if rtt != 15*time.Millisecond { // alpha 0.5 EWMA
+		t.Fatalf("rtt = %v, want 15ms", rtt)
+	}
+	if _, ok := tr.RTT(3); ok {
+		t.Fatal("unobserved site reported an RTT")
+	}
+	if tr.Score(3) != 1 {
+		t.Fatalf("unobserved site score = %v, want 1", tr.Score(3))
+	}
+	tr.Observe(2, -time.Millisecond) // negative samples are ignored
+	if got, _ := tr.RTT(2); got != 15*time.Millisecond {
+		t.Fatalf("negative sample moved RTT to %v", got)
+	}
+}
+
+func TestScoresPublishedToRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := NewTracker(Config{Metrics: reg})
+	tr.Observe(7, time.Millisecond)
+	if got := reg.RelayScoreValue(7); got != 1000 {
+		t.Fatalf("published score = %d, want 1000", got)
+	}
+	tr.ObserveLoss(7)
+	if got := reg.RelayScoreValue(7); got != 500 {
+		t.Fatalf("published score after loss = %d, want 500", got)
+	}
+	tr.Plan([]wire.SiteID{})
+	if got := reg.GaugeValue(obs.GRelayBuckets); got != 0 {
+		t.Fatalf("bucket gauge = %d, want 0", got)
+	}
+}
+
+func TestSeedFromSpans(t *testing.T) {
+	tr := NewTracker(Config{})
+	spans := []obs.SpanRecord{
+		{Site: 4, Phases: []obs.SpanPhase{{Name: "request_rtt", Dur: 30 * time.Millisecond}}},
+		{Site: 5, Phases: []obs.SpanPhase{{Name: "queue_wait", Dur: time.Millisecond}}},
+		{Site: 0, Phases: []obs.SpanPhase{{Name: "request_rtt", Dur: time.Millisecond}}},
+	}
+	if n := SeedFromSpans(tr, spans); n != 1 {
+		t.Fatalf("seeded %d samples, want 1", n)
+	}
+	rtt, ok := tr.RTT(4)
+	if !ok || rtt != 30*time.Millisecond {
+		t.Fatalf("site 4 RTT = %v/%v, want 30ms", rtt, ok)
+	}
+	if _, ok := tr.RTT(5); ok {
+		t.Fatal("span without a request_rtt phase produced an RTT")
+	}
+}

@@ -57,6 +57,10 @@ const (
 	HistCrash
 	// HistFault: a registered fault point fired (Note = point name).
 	HistFault
+	// HistRelay: a bucket relay re-fanned a pushed version on an origin's
+	// behalf (Sites = the bucket members it pushed to). Context only — the
+	// members' own HistApply events carry the version-discipline claims.
+	HistRelay
 )
 
 var histKindNames = map[HistoryKind]string{
@@ -75,6 +79,7 @@ var histKindNames = map[HistoryKind]string{
 	HistRecover:      "RECOVER",
 	HistCrash:        "CRASH",
 	HistFault:        "FAULT",
+	HistRelay:        "RELAY",
 }
 
 // String names the event kind.

@@ -1,0 +1,77 @@
+package wire
+
+// This file defines the dissemination relay-tree messages. At release time
+// a holder with many wide-area sharers no longer pushes one PushUpdate per
+// site: the locality overlay (internal/overlay) buckets sharers by
+// measured RTT, and the releaser sends one RelayPush per bucket to an
+// elected relay. The relay applies the version itself, re-fans ordinary
+// PushUpdates to the bucket's remaining members over its (local, cheap)
+// links, and answers with one RelayAck aggregating every member that
+// confirmed application — so the releaser's uplink carries O(regions)
+// frames per release instead of O(sharers).
+
+// RelayPush asks a bucket relay to apply a new replica version and re-fan
+// it to Targets on the origin's behalf. Targets is the full bucket
+// membership (the relay excludes itself and the origin when re-fanning, so
+// a stale plan cannot make it push back upstream).
+type RelayPush struct {
+	Lock     LockID
+	Origin   SiteID
+	Version  uint64
+	Replicas []ReplicaPayload
+	Targets  SiteSet
+}
+
+// Kind implements Payload.
+func (*RelayPush) Kind() Kind { return KindRelayPush }
+
+func (m *RelayPush) encode(w *Writer) {
+	w.U32(uint32(m.Lock))
+	w.U32(uint32(m.Origin))
+	w.U64(m.Version)
+	encodePayloads(w, m.Replicas)
+	m.Targets.encode(w)
+}
+
+func (m *RelayPush) decode(r *Reader) error {
+	m.Lock = LockID(r.U32())
+	m.Origin = SiteID(r.U32())
+	m.Version = r.U64()
+	m.Replicas = decodePayloads(r)
+	m.Targets = decodeSiteSet(r)
+	return r.Err()
+}
+
+func (m *RelayPush) encodedSize() int {
+	return 4 + 4 + 8 + payloadsSize(m.Replicas) + m.Targets.encodedSize()
+}
+
+// RelayAck is the relay's aggregated answer to a RelayPush: Acked is the
+// set of sites — the relay itself plus every re-fanned member whose
+// PushAck arrived — that confirmed application of Version. The origin
+// counts Acked into the up-to-date set and direct-pushes any member the
+// relay could not reach.
+type RelayAck struct {
+	Lock    LockID
+	Relay   SiteID
+	Version uint64
+	Acked   SiteSet
+}
+
+// Kind implements Payload.
+func (*RelayAck) Kind() Kind { return KindRelayAck }
+
+func (m *RelayAck) encode(w *Writer) {
+	w.U32(uint32(m.Lock))
+	w.U32(uint32(m.Relay))
+	w.U64(m.Version)
+	m.Acked.encode(w)
+}
+
+func (m *RelayAck) decode(r *Reader) error {
+	m.Lock = LockID(r.U32())
+	m.Relay = SiteID(r.U32())
+	m.Version = r.U64()
+	m.Acked = decodeSiteSet(r)
+	return r.Err()
+}

@@ -106,6 +106,16 @@ func (s SiteSet) encode(w *Writer) {
 	}
 }
 
+// encodedSize reports the bytes encode writes: the word-count prefix plus
+// the trailing-zero-trimmed words (so it matches encode exactly).
+func (s SiteSet) encodedSize() int {
+	bits := s.bits
+	for len(bits) > 0 && bits[len(bits)-1] == 0 {
+		bits = bits[:len(bits)-1]
+	}
+	return 2 + 8*len(bits)
+}
+
 // decodeSiteSet reads a bit vector written by encode.
 func decodeSiteSet(r *Reader) SiteSet {
 	n := int(r.U16())

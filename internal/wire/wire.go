@@ -66,6 +66,11 @@ const (
 	KindReplicaDelta
 	KindDeltaNack
 
+	// Dissemination relay tree (appended so earlier kind values stay
+	// stable).
+	KindRelayPush
+	KindRelayAck
+
 	kindSentinel // keep last
 )
 
@@ -99,6 +104,8 @@ var kindNames = map[Kind]string{
 	KindJoinAck:           "JOINACK",
 	KindReplicaDelta:      "REPLICADELTA",
 	KindDeltaNack:         "DELTANACK",
+	KindRelayPush:         "RELAYPUSH",
+	KindRelayAck:          "RELAYACK",
 }
 
 // String returns the protocol name of the kind, matching the names used in
@@ -312,6 +319,10 @@ func newPayload(k Kind) Payload {
 		return &ReplicaDelta{}
 	case KindDeltaNack:
 		return &DeltaNack{}
+	case KindRelayPush:
+		return &RelayPush{}
+	case KindRelayAck:
+		return &RelayAck{}
 	default:
 		return nil
 	}

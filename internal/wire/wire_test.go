@@ -51,6 +51,8 @@ func allMessages() []Payload {
 			{Name: "b", Full: true, Data: []byte("whole blob")},
 		}},
 		&DeltaNack{Lock: 7, Site: 5, Version: 44, RequestID: 99, Push: false, Reason: "base version 41 unavailable"},
+		&RelayPush{Lock: 7, Origin: 1, Version: 44, Replicas: []ReplicaPayload{{Name: "a", Data: []byte("payload")}}, Targets: NewSiteSet(3, 4, 70)},
+		&RelayAck{Lock: 7, Relay: 3, Version: 44, Acked: NewSiteSet(3, 4)},
 	}
 }
 

@@ -255,6 +255,7 @@ type options struct {
 	streamReuse bool
 	fanout      int
 	delta       bool
+	tree        bool
 	resolver    Resolver
 	history     core.HistorySink
 	metrics     *obs.Registry
@@ -340,6 +341,14 @@ func WithDeltaTransfer() Option { return func(o *options) { o.delta = true } }
 // The default (0) runs all pushes in parallel, overlapping their round
 // trips; 1 reproduces the paper prototype's strictly sequential fan-out.
 func WithDisseminationFanout(n int) Option { return func(o *options) { o.fanout = n } }
+
+// WithDisseminationTree enables locality-aware release dissemination:
+// sharing sites are clustered into RTT buckets, each bucket elects a
+// scored relay, and a release pushes the new version once per bucket —
+// the relay re-fans it over its local links — instead of once per
+// sharer. Buckets degrade to direct pushes around failed or unhealthy
+// relays. Off by default (the paper's flat fan-out).
+func WithDisseminationTree() Option { return func(o *options) { o.tree = true } }
 
 // WithResolver sets the conflict resolver for the sites' session stores
 // (default last-writer-wins). The resolver must be deterministic and
