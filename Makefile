@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check vet build test race cover bench-fanout bench-delta bench-sync bench-obs bench-load bench-tree
+.PHONY: check fmt-check vet build test race cover bench-fanout bench-delta bench-sync bench-obs bench-load bench-tree bench-home
 
 # check is the full CI gate: formatting, static analysis, build, the
 # complete test suite, and the race detector over the concurrency-heavy
@@ -38,7 +38,7 @@ race:
 # gate without every refactor tripping it.
 cover:
 	@set -e; \
-	for spec in "./internal/core 80" "./internal/wire 90" "./internal/obs 85" "./internal/mnet 80" "./internal/netsim 80" "./internal/overlay 80" "./internal/transport 70"; do \
+	for spec in "./internal/core 80" "./internal/wire 90" "./internal/obs 85" "./internal/mnet 80" "./internal/netsim 80" "./internal/overlay 80" "./internal/placement 80" "./internal/transport 70"; do \
 		pkg="$${spec% *}"; floor="$${spec#* }"; \
 		line="$$($(GO) test -cover $$pkg | tail -1)"; \
 		echo "$$line"; \
@@ -77,3 +77,11 @@ bench-load:
 # with the history checker on in both legs. Emits BENCH_tree.json.
 bench-tree:
 	$(GO) run ./cmd/benchmocha -exp ablate-tree -json
+
+# bench-home kills a lock-home site under both placement strategies: the
+# paper's fixed home strands its whole lock namespace, while the
+# consistent-hash ring with standby promotion leaves every lock
+# acquirable. The history checker runs on both legs. Emits
+# BENCH_home.json.
+bench-home:
+	$(GO) run ./cmd/benchmocha -exp ablate-home -json

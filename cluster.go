@@ -227,6 +227,7 @@ func newSite(sc siteConfig) (*Site, error) {
 		Stack:               sc.stack,
 		Directory:           sc.directory,
 		IsHome:              sc.isHome,
+		HomePlacement:       sc.opts.placement,
 		Codec:               sc.opts.codec(),
 		Cost:                sc.cost,
 		Mode:                sc.opts.mode,

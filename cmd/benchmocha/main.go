@@ -44,6 +44,9 @@ func run() int {
 
 		treeSites   = flag.Int("tree-sites", 0, "tree experiment: cluster size (default 200)")
 		treeRegions = flag.Int("tree-regions", 0, "tree experiment: WAN regions (default 8)")
+
+		homeSites = flag.Int("home-sites", 0, "home experiment: cluster/ring size (default 6)")
+		homeLocks = flag.Int("home-locks", 0, "home experiment: lock population (default 8)")
 	)
 	flag.Parse()
 
@@ -80,6 +83,7 @@ func run() int {
 		Scale: *scale, Trials: *trials, MaxSites: *sites,
 		LoadSites: *loadSites, LoadLocks: *loadLocks, LoadRate: *loadRate, LoadDuration: *loadDur,
 		TreeSites: *treeSites, TreeRegions: *treeRegions,
+		HomeSites: *homeSites, HomeLocks: *homeLocks,
 	}
 	fmt.Printf("mocha benchmark harness: scale=%.3f trials=%d max-sites=%d\n\n", *scale, *trials, *sites)
 	failed := 0

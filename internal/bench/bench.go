@@ -52,6 +52,13 @@ type Config struct {
 	// defaults (200 sites, 8 regions).
 	TreeSites   int
 	TreeRegions int
+
+	// HomeSites and HomeLocks shape the home-placement ablation
+	// ("ablate-home"): cluster/ring size and the lock population spread
+	// over it. Zero values take the experiment's defaults (6 sites, 8
+	// locks).
+	HomeSites int
+	HomeLocks int
 }
 
 // WithDefaults fills unset fields.
@@ -126,6 +133,7 @@ func All() []Experiment {
 		{ID: "ablate-obs", Title: "Ablation: observability-plane overhead on fan-out and delta paths", Run: AblateObs},
 		{ID: "load", Title: "Open-loop load at 100s of sites: serial vs batched I/O + timer wheel", Run: AblateLoad},
 		{ID: "ablate-tree", Title: "Ablation: locality-aware dissemination relay tree", Run: AblateTree},
+		{ID: "ablate-home", Title: "Ablation: consistent-hash lock homes with standby failover", Run: AblateHome},
 	}
 }
 

@@ -16,6 +16,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 		"app", "smallmsg", "ur", "cablemodem",
 		"ablate-marshal", "ablate-adaptive", "ablate-reuse", "ablate-fanout",
 		"ablate-delta", "ablate-syncstall", "ablate-obs", "load", "ablate-tree",
+		"ablate-home",
 	}
 	all := All()
 	if len(all) != len(want) {

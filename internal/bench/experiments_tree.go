@@ -158,10 +158,12 @@ func treeLeg(cfg Config, tp treeParams, tree bool) (treeLegResult, error) {
 	workers := tp.sites - 1
 	geo := netsim.RegionalWAN(tp.regions).Scaled(cfg.Scale)
 
-	// The geography's per-link overrides carry the region structure;
-	// jitter comes from the network's default profile, so it must be the
-	// jitter-free Perfect() for region RTTs to stay crisp (see
-	// netsim.Geography).
+	// The geography's per-link overrides carry the region structure,
+	// jitter included: each hop wobbles within its own profile's range
+	// (LAN links by ~100µs, backbone hops by up to 2ms — see
+	// netsim.RegionalWAN), and the overlay's RTT buckets are sized to
+	// absorb it. The default profile only covers links the geography
+	// doesn't override.
 	sim := transport.NewSimNetwork(netsim.Config{Profile: netsim.Perfect(), Seed: seed})
 	defer func() { _ = sim.Close() }()
 

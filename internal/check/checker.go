@@ -31,6 +31,10 @@ var (
 	ErrUpToDateOverclaim = errors.New("check: up-to-date set exceeds replicas at the version")
 	// ErrBannedRegrant: a banned thread's later request was granted.
 	ErrBannedRegrant = errors.New("check: banned thread granted a lock")
+	// ErrHomeChain: a lock's home moved outside the handoff protocol — a
+	// non-home site shipped the record, or a site installed a record no
+	// handoff addressed to it.
+	ErrHomeChain = errors.New("check: lock home changed outside the handoff chain")
 )
 
 // Violation reports the first invariant breach found in a history.
@@ -146,6 +150,15 @@ func (ls *lockState) dropAbove(v uint64) {
 type checker struct {
 	locks  map[wire.LockID]*lockState
 	banned map[wire.ThreadID]wire.HistoryEvent
+	// home is each lock's current manager site as the home chain
+	// (HistHome/HistHandoff events) establishes it.
+	home map[wire.LockID]wire.SiteID
+	// pendingMove[l] is the destination of an in-flight handoff: the site
+	// the next handoff-install for the lock must occur at.
+	pendingMove map[wire.LockID]wire.SiteID
+	// homeEv remembers the event that set a lock's current home, for
+	// violation context.
+	homeEv map[wire.LockID]wire.HistoryEvent
 }
 
 // Check replays a recorded history against the entry-consistency
@@ -153,8 +166,11 @@ type checker struct {
 // recorder order (as returned by Recorder.Events).
 func Check(events []wire.HistoryEvent) *Violation {
 	c := &checker{
-		locks:  make(map[wire.LockID]*lockState),
-		banned: make(map[wire.ThreadID]wire.HistoryEvent),
+		locks:       make(map[wire.LockID]*lockState),
+		banned:      make(map[wire.ThreadID]wire.HistoryEvent),
+		home:        make(map[wire.LockID]wire.SiteID),
+		pendingMove: make(map[wire.LockID]wire.SiteID),
+		homeEv:      make(map[wire.LockID]wire.HistoryEvent),
 	}
 	for _, ev := range events {
 		if v := c.step(ev); v != nil {
@@ -230,7 +246,11 @@ func (c *checker) step(ev wire.HistoryEvent) *Violation {
 			c.banned[ev.Thread] = ev
 		}
 	case wire.HistRecover:
-		c.onRecover(ev)
+		return c.onRecover(ev)
+	case wire.HistHome:
+		return c.onHome(ev)
+	case wire.HistHandoff:
+		return c.onHandoff(ev)
 	case wire.HistTransferSend, wire.HistCrash, wire.HistFault, wire.HistRelay:
 		// Context for reports; no invariant attaches. A relayed push is
 		// checked through the members' own HistApply events, so routing a
@@ -337,6 +357,12 @@ func (c *checker) onRelease(ev wire.HistoryEvent) *Violation {
 	ls := c.lock(ev.Lock)
 	ls.removeHold(ev.Thread)
 	if ev.Aborted || ev.Shared {
+		if ev.Aborted && !ev.Shared {
+			// The hold ended without committing: any publish the thread
+			// recorded for a yet-uncommitted version no longer defines
+			// those bytes — the number will be re-issued.
+			ls.demoteUncommitted(ev.Thread)
+		}
 		return nil
 	}
 	if ev.Version <= ls.committed {
@@ -344,9 +370,15 @@ func (c *checker) onRelease(ev wire.HistoryEvent) *Violation {
 			fmt.Sprintf("release of lock %d commits v%d, already at v%d", ev.Lock, ev.Version, ls.committed), ev)
 	}
 	ls.committed = ev.Version
+	// The releaser's own publish establishes its bytes — but a recovery
+	// between that publish record and this release (a standby promotion
+	// rewinding to the pre-publish shadow) drops that knowledge, while the
+	// surviving holder's release still legitimately commits the version.
+	// The committing release itself proves the site holds the bytes.
+	ls.know(ev.Version, ev.Site)
 	for _, site := range ev.Sites.Sites() {
 		if site == ev.Site {
-			continue // the releaser's own publish establishes its bytes
+			continue
 		}
 		if !ls.knownAt[ev.Version][site] {
 			return violate(ErrUpToDateOverclaim,
@@ -407,12 +439,67 @@ func (c *checker) onObserve(ev wire.HistoryEvent) *Violation {
 	return c.matchShadow(ls, ev, false, false, enforce)
 }
 
+// onHandoff checks that only the lock's current home ships its record
+// away, and arms the install expectation: the next handoff-install for
+// this lock must happen at the handoff's destination.
+func (c *checker) onHandoff(ev wire.HistoryEvent) *Violation {
+	if cur, ok := c.home[ev.Lock]; ok && cur != ev.Site {
+		return violate(ErrHomeChain,
+			fmt.Sprintf("site %d shipped lock %d's record away, but site %d is its home", ev.Site, ev.Lock, cur),
+			c.homeEv[ev.Lock], ev)
+	}
+	for _, to := range ev.Sites.Sites() {
+		c.pendingMove[ev.Lock] = to
+		break
+	}
+	return nil
+}
+
+// onHome replays a home-chain event: a lock's record materialising at a
+// manager site. Registration seeds the chain; handoff-install extends it
+// (only at the site the preceding HistHandoff named); standby-promote
+// repairs it after a home died, so it is accepted from any site, and any
+// in-flight handoff expectation is left armed — the old home's send may
+// still land at its target afterwards.
+func (c *checker) onHome(ev wire.HistoryEvent) *Violation {
+	switch ev.Note {
+	case "handoff-install":
+		want, ok := c.pendingMove[ev.Lock]
+		if !ok || want != ev.Site {
+			detail := fmt.Sprintf("site %d installed lock %d's record with no handoff addressed to it", ev.Site, ev.Lock)
+			if ok {
+				detail = fmt.Sprintf("site %d installed lock %d's record, but the handoff named site %d", ev.Site, ev.Lock, want)
+			}
+			return violate(ErrHomeChain, detail, c.homeEv[ev.Lock], ev)
+		}
+		delete(c.pendingMove, ev.Lock)
+	case "register":
+		if cur, ok := c.home[ev.Lock]; ok && cur != ev.Site {
+			return violate(ErrHomeChain,
+				fmt.Sprintf("lock %d registered a home at site %d while site %d is its home", ev.Lock, ev.Site, cur),
+				c.homeEv[ev.Lock], ev)
+		}
+	}
+	c.home[ev.Lock] = ev.Site
+	c.homeEv[ev.Lock] = ev
+	return nil
+}
+
 // onRecover re-baselines the lock after failure handling rewrote its
 // committed state: a daemon-poll verdict ("poll-best"), the no-surviving-
 // copy fallback ("weakened-local"), or a surrogate restoring from a
 // snapshot ("surrogate-restore", which also voids unrecovered holds).
-func (c *checker) onRecover(ev wire.HistoryEvent) {
+func (c *checker) onRecover(ev wire.HistoryEvent) *Violation {
 	ls := c.lock(ev.Lock)
+	if ev.Note == "standby-promote" && ev.Version < ls.committed {
+		// A standby's shadow may run ahead of the history (release state
+		// streams to the successor before it is recorded) but never
+		// behind it: promoting a shadow below the committed version means
+		// a committed number would be re-issued to the next holder.
+		return violate(ErrVersionRegress,
+			fmt.Sprintf("standby promotion of lock %d restores v%d behind the committed v%d",
+				ev.Lock, ev.Version, ls.committed), ev)
+	}
 	ls.dropAbove(ev.Version)
 	ls.committed = ev.Version
 	switch ev.Note {
@@ -430,7 +517,27 @@ func (c *checker) onRecover(ev wire.HistoryEvent) {
 		for _, site := range ev.Sites.Sites() {
 			ls.know(ev.Version, site)
 		}
+	case "standby-promote":
+		// A ring successor restored the lock from its streamed shadow.
+		// Unlike a surrogate restore, leases survive: the shadow carries
+		// the holder and readers (ev.Thread names the restored exclusive
+		// holder), so matching holds are kept — only the version baseline
+		// and up-to-date set re-anchor to the shadow. A tracked holder
+		// the shadow does NOT carry did not survive the dead home: either
+		// its grant was recorded but never streamed (and delivery follows
+		// the stream, so no client holds it), or its release reached the
+		// standby without its record. Its uncommitted publishes stop
+		// defining their versions, exactly as on a lease break.
+		for _, site := range ev.Sites.Sites() {
+			ls.know(ev.Version, site)
+		}
+		if ls.holder != nil && ls.holder.thread != ev.Thread {
+			t := ls.holder.thread
+			ls.holder = nil
+			ls.demoteUncommitted(t)
+		}
 	default: // "poll-best"
 		ls.know(ev.Version, ev.Site)
 	}
+	return nil
 }

@@ -50,25 +50,27 @@ const exploreSeeds = 20
 
 // runConfig is everything one seed derives.
 type runConfig struct {
-	sites   int
-	locks   int
-	workers int // per site
-	ops     int // per worker
-	ur      int
-	profile netsim.Profile
-	mode    core.TransferMode
-	delta   bool
-	fanout  int
-	netSeed int64
+	sites     int
+	locks     int
+	workers   int // per site
+	ops       int // per worker
+	ur        int
+	profile   netsim.Profile
+	mode      core.TransferMode
+	delta     bool
+	fanout    int
+	placement bool
+	netSeed   int64
 }
 
 // Derivation salts: each aspect of a run draws from its own stream so that,
 // e.g., adding a fault point never perturbs the workload of existing seeds.
 const (
-	saltNetwork  = 1
-	saltFaults   = 2
-	saltShape    = 3
-	saltWorkload = 100
+	saltNetwork   = 1
+	saltFaults    = 2
+	saltShape     = 3
+	saltPlacement = 4
+	saltWorkload  = 100
 )
 
 func deriveConfig(seed int64) runConfig {
@@ -92,6 +94,10 @@ func deriveConfig(seed int64) runConfig {
 	}
 	cfg.delta = rng.Intn(2) == 0
 	cfg.fanout = rng.Intn(3)
+	// Placement draws from its own stream so turning the option on for half
+	// the seeds did not reshuffle any existing seed's shape or workload.
+	prng := rand.New(rand.NewSource(netsim.DeriveSeed(seed, saltPlacement)))
+	cfg.placement = prng.Intn(2) == 0
 	return cfg
 }
 
@@ -197,6 +203,7 @@ func newExplorer(t *testing.T, seed int64, cfg runConfig, plan *faultPlan) *expl
 			Stack:               stacks[site],
 			Directory:           directory,
 			IsHome:              site == wire.HomeSite,
+			HomePlacement:       cfg.placement,
 			Mode:                cfg.mode,
 			DeltaTransfer:       cfg.delta,
 			DisseminationFanout: cfg.fanout,
@@ -254,17 +261,31 @@ func (e *explorer) hook(fc core.FaultContext) core.FaultDecision {
 		if e.killLocked(fc.Site) {
 			e.doomed[fc.Thread] = true
 		}
+	case core.FPKillLockHome:
+		// Kill the lock's home manager right after a grant left — the
+		// window the standby failover must cover. Only meaningful under
+		// home placement; in fixed mode the home is the surrogate tests'
+		// subject and stays exempt.
+		if e.cfg.placement {
+			e.killLocked(fc.Site)
+		}
+	case core.FPDelayHandoff:
+		// Stall a home migration's record send past the request timeout:
+		// the old home must either unfreeze or commit with insurance.
+		d.Delay = e.plan.delay
 	}
 	e.mu.Unlock()
 	return d
 }
 
 // killLocked fail-stops a site (asynchronously — the hook runs on protocol
-// goroutines) if the budget allows. The home site survives every schedule:
-// synchronization-thread failover is the surrogate tests' subject, not the
-// explorer's. Caller holds e.mu.
+// goroutines) if the budget allows. In fixed-home mode the home site
+// survives every schedule: synchronization-thread failover is the
+// surrogate tests' subject, not the explorer's. Under home placement every
+// manager is fair game — standby promotion is exactly what is under test.
+// Caller holds e.mu.
 func (e *explorer) killLocked(site wire.SiteID) bool {
-	if site == wire.HomeSite || site == 0 || e.killed[site] || e.kills >= 1 {
+	if (site == wire.HomeSite && !e.cfg.placement) || site == 0 || e.killed[site] || e.kills >= 1 {
 		return false
 	}
 	e.killed[site] = true
@@ -432,8 +453,8 @@ func runExplore(t *testing.T, seed int64) {
 	e.mu.Lock()
 	fired := append([]string(nil), e.fired...)
 	e.mu.Unlock()
-	t.Logf("seed %d: %d sites, %d locks, %d workers/site, %d ops, UR=%d, mode=%v, delta=%v, fanout=%d, loss=%.3f, %d events, %d faults fired",
-		seed, cfg.sites, cfg.locks, cfg.workers, cfg.ops, cfg.ur, cfg.mode, cfg.delta, cfg.fanout, cfg.profile.Loss, len(events), len(fired))
+	t.Logf("seed %d: %d sites, %d locks, %d workers/site, %d ops, UR=%d, mode=%v, delta=%v, fanout=%d, placement=%v, loss=%.3f, %d events, %d faults fired",
+		seed, cfg.sites, cfg.locks, cfg.workers, cfg.ops, cfg.ur, cfg.mode, cfg.delta, cfg.fanout, cfg.placement, cfg.profile.Loss, len(events), len(fired))
 
 	if v := check.Check(events); v != nil {
 		report := "  (none fired)"

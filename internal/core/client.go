@@ -199,6 +199,11 @@ func (c *client) autoRelease(g *wire.Grant) {
 // the failed synchronization thread can query the local daemon thread to
 // obtain the location of the newly created surrogate".
 func (c *client) sendToSync(ctx context.Context, p wire.Payload) error {
+	if c.node.ring != nil {
+		if lock, ok := lockOfPayload(p); ok {
+			return c.sendToHome(ctx, p, lock)
+		}
+	}
 	// Control requests fit one fragment; let mnet encode them in place
 	// instead of marshalling to an intermediate blob.
 	app := wire.Appender{P: p}
@@ -224,6 +229,79 @@ func (c *client) sendToSync(ctx context.Context, p wire.Payload) error {
 	sendCtx, cancel = context.WithTimeout(ctx, c.node.cfg.RequestTimeout)
 	defer cancel()
 	if err := c.port.SendAppender(sendCtx, refreshed, app); err != nil {
+		return fmt.Errorf("%w: %v", ErrNoSync, err)
+	}
+	return nil
+}
+
+// lockOfPayload extracts the lock a control message is about, for
+// per-lock home routing.
+func lockOfPayload(p wire.Payload) (wire.LockID, bool) {
+	switch m := p.(type) {
+	case *wire.AcquireLock:
+		return m.Lock, true
+	case *wire.ReleaseLock:
+		return m.Lock, true
+	case *wire.RegisterReplica:
+		return m.Lock, true
+	}
+	return 0, false
+}
+
+// sendToHome routes a control message to the lock's current best-known
+// home manager. An unreachable home is retried against a re-resolved
+// route (a HomeMoved broadcast may have landed meanwhile) and finally
+// against the home's ring successor — its standby, which either has
+// promoted the lock already or will shortly.
+func (c *client) sendToHome(ctx context.Context, p wire.Payload, lock wire.LockID) error {
+	app := wire.Appender{P: p}
+	try := func(site wire.SiteID) error {
+		addr, err := c.node.syncAddrOf(site)
+		if err != nil {
+			return err
+		}
+		sendCtx, cancel := context.WithTimeout(ctx, c.node.cfg.RequestTimeout)
+		defer cancel()
+		return c.port.SendAppender(sendCtx, addr, app)
+	}
+	home, _ := c.node.homeOf(lock)
+	err := try(home)
+	if err == nil {
+		return nil
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	if re, _ := c.node.homeOf(lock); re != home {
+		home = re
+		if err = try(home); err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	if succ := c.node.ring.Successor(home); succ != 0 && succ != home {
+		if c.node.log.On() {
+			c.node.log.Logf("client", "retrying %s for lock %d against standby site %d", p.Kind(), lock, succ)
+		}
+		if err2 := try(succ); err2 == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %v", ErrNoSync, err)
+}
+
+// sendToSite delivers a control message to one specific manager site,
+// bypassing route resolution (used to follow a NackNotHome redirect).
+func (c *client) sendToSite(ctx context.Context, p wire.Payload, site wire.SiteID) error {
+	addr, err := c.node.syncAddrOf(site)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrNoSync, err)
+	}
+	sendCtx, cancel := context.WithTimeout(ctx, c.node.cfg.RequestTimeout)
+	defer cancel()
+	if err := c.port.SendAppender(sendCtx, addr, wire.Appender{P: p}); err != nil {
 		return fmt.Errorf("%w: %v", ErrNoSync, err)
 	}
 	return nil

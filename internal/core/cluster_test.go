@@ -51,6 +51,8 @@ type clusterOpts struct {
 	treeMin int
 	// metrics, when non-nil, is shared by every site.
 	metrics *obs.Registry
+	// placement enables the consistent-hash mobile lock namespace.
+	placement bool
 }
 
 func defaultOpts() clusterOpts {
@@ -104,6 +106,7 @@ func newTestCluster(t *testing.T, n int, opts clusterOpts) *testCluster {
 			Stack:               stack,
 			Directory:           directory,
 			IsHome:              site == wire.HomeSite,
+			HomePlacement:       opts.placement,
 			Mode:                opts.mode,
 			StreamReuse:         opts.reuse,
 			DeltaTransfer:       opts.delta,

@@ -26,6 +26,7 @@ import (
 	"mocha/internal/mnet"
 	"mocha/internal/netsim"
 	"mocha/internal/obs"
+	"mocha/internal/placement"
 	"mocha/internal/transport"
 	"mocha/internal/wire"
 )
@@ -95,6 +96,16 @@ type Config struct {
 	Directory map[wire.SiteID]string
 	// IsHome starts the synchronization thread on this node.
 	IsHome bool
+	// HomePlacement replaces the fixed home site with a consistent-hash
+	// ring over ManagerSites: every manager runs a synchronization thread
+	// for its slice of the lock namespace, lock homes migrate toward
+	// observed access locality, and each home streams record deltas to
+	// its ring successor for standby failover. Off by default — the
+	// paper's fixed-home baseline.
+	HomePlacement bool
+	// ManagerSites lists the ring members when HomePlacement is on.
+	// Empty means every site in the directory.
+	ManagerSites []wire.SiteID
 	// Codec marshals replica content; all sites must agree.
 	Codec marshal.Codec
 	// Cost is the execution-cost model for stream operations (MNet costs
@@ -264,6 +275,10 @@ type Node struct {
 
 	done chan struct{}
 
+	// ring partitions the lock namespace across manager sites when home
+	// placement is on; nil means the fixed-home baseline.
+	ring *placement.Ring
+
 	mu         sync.Mutex
 	closed     bool
 	syncAddr   string
@@ -271,6 +286,18 @@ type Node struct {
 	nextThread uint32
 	lockLocals map[wire.LockID]*lockLocal
 	cached     map[string]*Replica
+
+	// homeMu guards homeOverrides: per-lock home routes learned from
+	// NackNotHome redirects, HomeHints, and HomeMoved broadcasts. They
+	// override the ring default when their epoch is at least as new.
+	homeMu        sync.Mutex
+	homeOverrides map[wire.LockID]homeOverride
+}
+
+// homeOverride is one learned per-lock home route.
+type homeOverride struct {
+	to    wire.SiteID
+	epoch uint32
 }
 
 // NewNode builds and starts a site.
@@ -311,6 +338,16 @@ func NewNode(cfg Config) (*Node, error) {
 		lockLocals: make(map[wire.LockID]*lockLocal),
 		cached:     make(map[string]*Replica),
 	}
+	if cfg.HomePlacement {
+		members := cfg.ManagerSites
+		if len(members) == 0 {
+			for site := range cfg.Directory {
+				members = append(members, site)
+			}
+		}
+		n.ring = placement.New(members, placement.DefaultVirtualNodes)
+		n.homeOverrides = make(map[wire.LockID]homeOverride)
+	}
 
 	var err error
 	if n.daemon, err = newDaemon(n); err != nil {
@@ -322,7 +359,7 @@ func NewNode(cfg Config) (*Node, error) {
 	if n.xfer, err = newTransferService(n); err != nil {
 		return nil, fmt.Errorf("core: start transfer service: %w", err)
 	}
-	if cfg.IsHome {
+	if cfg.IsHome || (n.ring != nil && n.ring.Contains(cfg.Site)) {
 		if n.sync, err = newSyncThread(n, nil); err != nil {
 			return nil, fmt.Errorf("core: start synchronization thread: %w", err)
 		}
@@ -445,6 +482,49 @@ func (n *Node) xferAddr(site wire.SiteID) (string, error) {
 		return "", err
 	}
 	return mnet.JoinAddr(ep, PortXfer), nil
+}
+
+// syncAddrOf resolves a site's synchronization-thread port address (home
+// placement: any manager site can run one).
+func (n *Node) syncAddrOf(site wire.SiteID) (string, error) {
+	ep, err := n.endpointAddr(site)
+	if err != nil {
+		return "", err
+	}
+	return mnet.JoinAddr(ep, PortSync), nil
+}
+
+// Ring exposes the home-placement ring (nil when placement is off).
+func (n *Node) Ring() *placement.Ring { return n.ring }
+
+// learnHome installs a per-lock home route learned from a redirect, hint,
+// or promotion broadcast. Routes with an epoch at least as new win; ring
+// defaults travel as epoch 0 and so never displace a learned route.
+func (n *Node) learnHome(lock wire.LockID, home wire.SiteID, epoch uint32) {
+	if n.ring == nil || home == 0 {
+		return
+	}
+	n.homeMu.Lock()
+	cur, ok := n.homeOverrides[lock]
+	if !ok || epoch >= cur.epoch {
+		n.homeOverrides[lock] = homeOverride{to: home, epoch: epoch}
+	}
+	n.homeMu.Unlock()
+}
+
+// homeOf resolves a lock's current best-known home site and route epoch.
+// With placement off it is always the fixed home site.
+func (n *Node) homeOf(lock wire.LockID) (wire.SiteID, uint32) {
+	if n.ring == nil {
+		return wire.HomeSite, 0
+	}
+	n.homeMu.Lock()
+	ov, ok := n.homeOverrides[lock]
+	n.homeMu.Unlock()
+	if ok {
+		return ov.to, ov.epoch
+	}
+	return n.ring.Home(lock), 0
 }
 
 // RuntimeAddr resolves a site's runtime port address (used by package

@@ -90,6 +90,16 @@ func (d *daemon) handle(m mnet.Message) {
 		d.replyTo(m.From, &wire.HeartbeatAck{Nonce: msg.Nonce, Site: d.node.cfg.Site})
 	case *wire.SyncMoved:
 		d.node.setSyncAddr(msg.Addr, msg.Epoch)
+	case *wire.HomeHint:
+		d.node.learnHome(msg.Lock, msg.Home, msg.Epoch)
+	case *wire.HomeMoved:
+		for _, lock := range msg.Locks {
+			d.node.learnHome(lock, msg.To, msg.Epoch)
+		}
+		if d.node.log.On() {
+			d.node.log.Logf("daemon", "home for %d locks moved from site %d to site %d (epoch %d)",
+				len(msg.Locks), msg.From, msg.To, msg.Epoch)
+		}
 	default:
 		if d.node.log.On() {
 			d.node.log.Logf("daemon", "unhandled %s on daemon port", p.Kind())

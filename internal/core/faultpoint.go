@@ -47,6 +47,17 @@ const (
 	// relay-ack wait times out and the bucket falls back to direct
 	// pushes. Peer is the push's origin site.
 	FPDropRelayFan FaultPoint = "drop-relay-fan"
+	// FPKillLockHome fires at a lock's home manager just after a grant was
+	// delivered — the window where the standby must already know the
+	// holder. The hook's owner kills the manager site, so the ring
+	// successor's promotion must restore the lease, version floor, and
+	// dirty set for the lock to stay acquirable.
+	FPKillLockHome FaultPoint = "kill-lock-home"
+	// FPDelayHandoff fires at an old home just before it ships a frozen
+	// lock record to the new home. Delay stalls the migration with the
+	// lock frozen (requests queue behind it); Drop aborts the migration
+	// and the old home unfreezes and keeps serving.
+	FPDelayHandoff FaultPoint = "delay-handoff"
 )
 
 // FaultPoints lists the registry in a stable order.
@@ -58,6 +69,8 @@ func FaultPoints() []FaultPoint {
 		FPDelayDaemonPoll,
 		FPKillLockHolder,
 		FPDropRelayFan,
+		FPKillLockHome,
+		FPDelayHandoff,
 	}
 }
 

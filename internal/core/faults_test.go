@@ -74,7 +74,7 @@ func TestBannedThreadNacked(t *testing.T) {
 
 	// Ban site 2's thread directly (the break path is covered above).
 	h2 := tc.node(2).NewHandle("banned")
-	tc.node(1).Sync().ban(h2.ID(), "test ban")
+	tc.node(1).Sync().ban(h2.ID(), 6, 2)
 
 	rl2, _ := mustAttach(t, h2, 6, "x")
 	settle()

@@ -579,18 +579,32 @@ func (rl *ReplicaLock) lock(ctx context.Context, shared bool) error {
 		return fmt.Errorf("core: lock %d request: %w", rl.id, err)
 	}
 
-	// Await the GRANT.
+	// Await the GRANT, chasing NackNotHome redirects when home placement
+	// has moved (or is moving) the lock's manager.
 	var grant *wire.Grant
-	select {
-	case g := <-grantCh:
-		if g.nack != nil {
-			return rl.nackError(g.nack)
+	for grant == nil {
+		select {
+		case g := <-grantCh:
+			if g.nack != nil {
+				if g.nack.Code == wire.NackNotHome {
+					rl.node.learnHome(rl.id, g.nack.Home, g.nack.HomeEpoch)
+					// Follow the redirect even when an already-learned
+					// route outranks it: the redirecting manager is
+					// authoritative about not being the home, and the
+					// bounce terminates once a home installs the record.
+					if err := rl.node.client.sendToSite(ctx, req, g.nack.Home); err != nil {
+						return fmt.Errorf("core: lock %d request: %w", rl.id, err)
+					}
+					continue
+				}
+				return rl.nackError(g.nack)
+			}
+			grant = g.grant
+		case <-rl.node.done:
+			return ErrClosed
+		case <-ctx.Done():
+			return fmt.Errorf("core: lock %d awaiting grant: %w", rl.id, ctx.Err())
 		}
-		grant = g.grant
-	case <-rl.node.done:
-		return ErrClosed
-	case <-ctx.Done():
-		return fmt.Errorf("core: lock %d awaiting grant: %w", rl.id, ctx.Err())
 	}
 	span.Phase(obs.HRequestRTT)
 	span.SetVersion(grant.Version)
@@ -612,6 +626,11 @@ func (rl *ReplicaLock) lock(ctx context.Context, shared bool) error {
 			// version is lost and an older one must be accepted.
 			rl.st.dropWaiter(waiter)
 			if g.nack != nil {
+				if g.nack.Code == wire.NackNotHome {
+					// A stale redirect for a duplicate request; the
+					// grant in hand already settles where the home is.
+					continue
+				}
 				return rl.nackError(g.nack)
 			}
 			if g.grant.Revised {

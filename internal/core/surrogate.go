@@ -25,7 +25,16 @@ import (
 type SyncState struct {
 	Epoch  uint32
 	Locks  map[wire.LockID]LockSnapshot
-	Banned map[wire.ThreadID]string
+	Banned map[wire.ThreadID]BanRecord
+}
+
+// BanRecord is the compact durable form of one ban: which lock's lease
+// expired and which site's heartbeat went unanswered. The human-readable
+// reason string is reconstructed on demand — the only ban cause is a
+// lease break, so two integers carry the whole story.
+type BanRecord struct {
+	Lock wire.LockID
+	Site wire.SiteID
 }
 
 // LockSnapshot is one lock's durable record.
@@ -36,6 +45,7 @@ type LockSnapshot struct {
 	HighWater uint64
 	LastOwner wire.SiteID
 	UpToDate  wire.SiteSet
+	Dirty     wire.SiteSet
 	Sharers   wire.SiteSet
 	Names     []string
 }
@@ -47,7 +57,7 @@ func (s *syncThread) Snapshot() SyncState {
 	out := SyncState{
 		Epoch:  s.epoch,
 		Locks:  make(map[wire.LockID]LockSnapshot),
-		Banned: make(map[wire.ThreadID]string),
+		Banned: make(map[wire.ThreadID]BanRecord),
 	}
 	for _, sh := range s.shards {
 		sh.mu.Lock()
@@ -62,6 +72,7 @@ func (s *syncThread) Snapshot() SyncState {
 				HighWater: l.highWater,
 				LastOwner: l.lastOwner,
 				UpToDate:  l.upToDate.Clone(),
+				Dirty:     l.dirty.Clone(),
 				Sharers:   l.sharers.Clone(),
 				Names:     names,
 			}
@@ -70,8 +81,8 @@ func (s *syncThread) Snapshot() SyncState {
 		sh.mu.Unlock()
 	}
 	s.bannedMu.Lock()
-	for t, reason := range s.banned {
-		out.Banned[t] = reason
+	for t, rec := range s.banned {
+		out.Banned[t] = BanRecord{Lock: rec.lock, Site: rec.site}
 	}
 	s.bannedMu.Unlock()
 	return out
@@ -92,6 +103,7 @@ func (s *syncThread) restore(st *SyncState) {
 		}
 		l.lastOwner = snap.LastOwner
 		l.upToDate = snap.UpToDate.Clone()
+		l.dirty = snap.Dirty.Clone()
 		l.sharers = snap.Sharers.Clone()
 		for _, n := range snap.Names {
 			l.names[n] = true
@@ -102,8 +114,8 @@ func (s *syncThread) restore(st *SyncState) {
 		})
 		l.mu.Unlock()
 	}
-	for t, reason := range st.Banned {
-		s.ban(t, reason)
+	for t, rec := range st.Banned {
+		s.ban(t, rec.Lock, rec.Site)
 	}
 }
 

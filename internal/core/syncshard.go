@@ -49,8 +49,17 @@ func (s *syncThread) lookupLock(id wire.LockID) *syncLock {
 
 // ensureLock returns the record for a lock, creating it if necessary —
 // "determines if the lock exists and creates a Lock object if necessary".
-// Only registration (and surrogate restore) may create records.
+// Only registration (and surrogate restore, handoff install, or standby
+// promotion) may create records.
 func (s *syncThread) ensureLock(id wire.LockID) *syncLock {
+	l, _ := s.ensureLockCreated(id)
+	return l
+}
+
+// ensureLockCreated is ensureLock plus a report of whether this call
+// created the record — home placement uses it to record a HistHome event
+// and bump the per-home lock gauge exactly once per record.
+func (s *syncThread) ensureLockCreated(id wire.LockID) (*syncLock, bool) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	l, ok := sh.locks[id]
@@ -64,7 +73,7 @@ func (s *syncThread) ensureLock(id wire.LockID) *syncLock {
 		s.node.obs().GaugeAdd(obs.GSyncLocks, 1)
 	}
 	sh.mu.Unlock()
-	return l
+	return l, !ok
 }
 
 // lockCount reports how many lock records exist across all shards (for

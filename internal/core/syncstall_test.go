@@ -168,27 +168,37 @@ func TestEmptyLockRecordsCollected(t *testing.T) {
 	}
 }
 
-// TestBannedTableBounded verifies the banned-thread table evicts its
-// oldest entries past the bound instead of growing forever.
-func TestBannedTableBounded(t *testing.T) {
-	s := &syncThread{banned: make(map[wire.ThreadID]string)}
-	n := maxBannedRecords + 500
+// TestBannedTablePermanent verifies bans never age out: the FIFO eviction
+// the table once had let a banned thread return from the dead after enough
+// other failures pushed its record off the end. Overflowing the old bound
+// must leave the earliest ban enforced, and a re-ban must not alter the
+// record (each ban is two integers, so the table can afford them all).
+func TestBannedTablePermanent(t *testing.T) {
+	s := &syncThread{banned: make(map[wire.ThreadID]banRecord)}
+	const n = 1500
 	for i := 1; i <= n; i++ {
-		s.ban(wire.MakeThreadID(2, uint32(i)), "test")
+		s.ban(wire.MakeThreadID(2, uint32(i)), wire.LockID(i), 3)
 	}
-	if got := len(s.banned); got != maxBannedRecords {
-		t.Fatalf("banned table has %d entries, want %d", got, maxBannedRecords)
+	if got := len(s.banned); got != n {
+		t.Fatalf("banned table has %d entries, want %d", got, n)
 	}
-	if s.Banned(wire.MakeThreadID(2, 1)) {
-		t.Fatal("oldest ban not evicted")
+	if !s.Banned(wire.MakeThreadID(2, 1)) {
+		t.Fatal("earliest ban evicted; bans must be permanent")
 	}
-	if !s.Banned(wire.MakeThreadID(2, uint32(n))) {
+	if !s.Banned(wire.MakeThreadID(2, n)) {
 		t.Fatal("newest ban missing")
 	}
-	// Re-banning an already-banned thread must not duplicate its slot.
-	s.ban(wire.MakeThreadID(2, uint32(n)), "again")
-	if got := len(s.banOrder); got != maxBannedRecords {
-		t.Fatalf("banOrder has %d entries after re-ban, want %d", got, maxBannedRecords)
+	reason, ok := s.bannedReason(wire.MakeThreadID(2, 1))
+	if !ok || reason != banReason(banRecord{lock: 1, site: 3}) {
+		t.Fatalf("earliest ban reason = %q, %v", reason, ok)
+	}
+	// Re-banning an already-banned thread keeps the original record.
+	s.ban(wire.MakeThreadID(2, 1), 999, 9)
+	if got, _ := s.bannedReason(wire.MakeThreadID(2, 1)); got != reason {
+		t.Fatalf("re-ban rewrote record: %q, want %q", got, reason)
+	}
+	if got := len(s.banned); got != n {
+		t.Fatalf("banned table has %d entries after re-ban, want %d", got, n)
 	}
 }
 

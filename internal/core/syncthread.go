@@ -12,11 +12,23 @@ import (
 	"mocha/internal/wire"
 )
 
-// maxBannedRecords bounds the banned-thread table. Threads are banned
-// forever in the paper's model, but an unbounded map is a slow leak in a
-// long-lived home site; the oldest bans are evicted first (a thread dead
-// long enough to be evicted has no live requests left to refuse).
-const maxBannedRecords = 1024
+// banRecord is the compact in-memory form of one permanent ban: which
+// lock's lease expired and which site's heartbeat went unanswered. Bans
+// are forever — "an application thread that fails in this manner is
+// prevented from making future requests" — so the table must not evict;
+// keeping two integers per thread instead of a reason string makes
+// permanence affordable (the FIFO-evicting table this replaces silently
+// un-banned the oldest threads once it overflowed).
+type banRecord struct {
+	lock wire.LockID
+	site wire.SiteID
+}
+
+// banReason reconstructs the human-readable reason for a ban on demand.
+// Lease breaks are the only ban cause, so the record determines the text.
+func banReason(r banRecord) string {
+	return fmt.Sprintf("lease expired on lock %d and heartbeat to site %d failed", r.lock, r.site)
+}
 
 // syncThread is the synchronization thread of Figure 7: the home-site
 // manager "responsible for granting locks, queuing requests, and deducing
@@ -43,9 +55,12 @@ type syncThread struct {
 
 	shards []*syncShard
 
+	// home carries the mobile-namespace state when consistent-hash home
+	// placement is on; nil reproduces the paper's fixed-home baseline.
+	home *homeState
+
 	bannedMu sync.Mutex
-	banned   map[wire.ThreadID]string
-	banOrder []wire.ThreadID // insertion order, for bounded eviction
+	banned   map[wire.ThreadID]banRecord
 
 	pollMu      sync.Mutex
 	pollWaiters map[uint64]chan *wire.PollVersionReply
@@ -83,6 +98,25 @@ type syncLock struct {
 	holder  *holderInfo
 	readers map[wire.ThreadID]*holderInfo
 	queue   []*lockRequest
+
+	// Home-placement state; all zero when placement is off.
+	//
+	// frozen marks a record mid-handoff: requests still queue behind it
+	// but nothing is granted until the migration commits or aborts. moved
+	// is the tombstone left by a committed handoff — the record stays in
+	// the table (redirecting under its own mutex, which makes the
+	// commit/acquire race airtight) until the sweep collects it.
+	frozen    bool
+	moved     *homeRoute
+	homeEpoch uint32
+	// acq tallies acquires per requesting site since the last decay; the
+	// sweep migrates the home toward a site with a dominant tally.
+	acq      map[wire.SiteID]uint64
+	acqTotal uint64
+	// standbySeq orders this record's standby snapshots: streams run
+	// outside l.mu, so a late stale snapshot must not overwrite a newer
+	// one at the standby.
+	standbySeq uint64
 }
 
 // holderInfo records one granted hold. Workers keep the pointer as a
@@ -98,6 +132,11 @@ type holderInfo struct {
 	// probing marks an in-flight lease-expiry heartbeat so overlapping
 	// sweeps do not double-probe the same hold. Guarded by the lock's mu.
 	probing bool
+	// restored marks a hold re-installed from a handoff record or standby
+	// shadow rather than granted here. The client may have released it
+	// into the dead home; if the same thread re-acquires, the stale hold
+	// is broken instead of deadlocking the queue behind a ghost.
+	restored bool
 }
 
 type lockRequest struct {
@@ -108,6 +147,40 @@ type lockRequest struct {
 	// through to the transfer source so it can ship a delta.
 	have  uint64
 	lease time.Duration
+	// recorded reports whether the request's HistAcquire has been
+	// written. Requests queued against a frozen record defer it: the
+	// release or break whose standby stream froze the record must be
+	// recorded first, or the history would show this acquire (possibly by
+	// the very thread mid-release) sequenced before the release it
+	// follows. recordRequest backfills it at unfreeze or grant time.
+	recorded bool
+}
+
+// recordRequest backfills the deferred HistAcquire of a request queued
+// while its record was frozen. Callers either hold l.mu or own the
+// request exclusively (a drained queue entry).
+func (s *syncThread) recordRequest(lock wire.LockID, q *lockRequest) {
+	if q.recorded {
+		return
+	}
+	q.recorded = true
+	s.node.recordHist(wire.HistoryEvent{
+		Kind:    wire.HistAcquire,
+		Site:    q.site,
+		Thread:  q.thread,
+		Lock:    lock,
+		Version: q.have,
+		Shared:  q.shared,
+	})
+}
+
+// recordDeferredLocked backfills every deferred acquire in queue order;
+// the caller holds l.mu and has just recorded the transition that froze
+// the record.
+func (s *syncThread) recordDeferredLocked(l *syncLock) {
+	for _, q := range l.queue {
+		s.recordRequest(l.id, q)
+	}
 }
 
 // newSyncThread starts the manager, optionally restoring surrogate state.
@@ -127,9 +200,12 @@ func newSyncThread(n *Node, restore *SyncState) (*syncThread, error) {
 		epoch:       1,
 		serial:      n.cfg.SyncSerialIO,
 		shards:      newShards(n.cfg.SyncShards),
-		banned:      make(map[wire.ThreadID]string),
+		banned:      make(map[wire.ThreadID]banRecord),
 		pollWaiters: make(map[uint64]chan *wire.PollVersionReply),
 		stopCh:      make(chan struct{}),
+	}
+	if n.ring != nil && n.ring.Contains(n.cfg.Site) {
+		s.home = newHomeState(s)
 	}
 	if restore != nil {
 		s.restore(restore)
@@ -138,6 +214,9 @@ func newSyncThread(n *Node, restore *SyncState) (*syncThread, error) {
 	aux.SetHandler(s.handleAux)
 	s.sweepWG.Add(1)
 	go s.leaseSweep()
+	if s.home != nil {
+		s.home.start()
+	}
 	return s, nil
 }
 
@@ -189,6 +268,16 @@ func (s *syncThread) handle(m mnet.Message) {
 		s.onRelease(msg)
 	case *wire.RegisterReplica:
 		s.onRegister(msg)
+	case *wire.HandoffRecord:
+		s.onHandoff(msg)
+	case *wire.HandoffAck:
+		if s.home != nil {
+			s.home.onHandoffAck(msg)
+		}
+	case *wire.StandbyUpdate:
+		if s.home != nil {
+			s.home.onStandbyUpdate(msg)
+		}
 	default:
 		if s.node.log.On() {
 			s.node.log.Logf("sync", "unhandled %s on sync port", p.Kind())
@@ -223,23 +312,21 @@ func (s *syncThread) handleAux(m mnet.Message) {
 	}
 }
 
-// onAcquire implements the ACQUIRELOCK arm of Figure 7.
+// onAcquire implements the ACQUIRELOCK arm of Figure 7, extended with
+// mobile-home routing: a manager that is not (or no longer) the lock's
+// home answers NackNotHome with the best forwarding address instead of
+// serving, so a client chasing a migrated lock converges in one hop.
 func (s *syncThread) onAcquire(msg *wire.AcquireLock) {
-	// Recorded before the ban check: an acquire that slips past a
-	// concurrent ban is then correctly sequenced before it.
-	s.recordAcquire(msg)
-	if reason, isBanned := s.bannedReason(msg.Thread); isBanned {
-		// "an application thread that fails in this manner is prevented
-		// from making future requests."
-		if s.node.log.On() {
-			s.node.log.Logf("sync", "refusing banned thread %d: %s", msg.Thread, reason)
-		}
-		s.recordNack(msg, reason)
-		s.spawn(s.nackAction(msg, wire.NackBanned, reason))
+	if hs := s.home; hs != nil && hs.redirectIfNotHome(msg) {
 		return
 	}
 	l := s.lookupLock(msg.Lock)
 	if l == nil {
+		s.recordAcquire(msg)
+		if reason, isBanned := s.bannedReason(msg.Thread); isBanned {
+			s.refuseBanned(msg, reason)
+			return
+		}
 		// No daemon has ever registered this lock: refuse rather than
 		// fabricate a record an arbitrary acquirer could grow forever.
 		if s.node.log.On() {
@@ -254,12 +341,69 @@ func (s *syncThread) onAcquire(msg *wire.AcquireLock) {
 		lease = time.Duration(msg.LeaseMillis) * time.Millisecond
 	}
 	l.mu.Lock()
+	// Duplicate suppression, checked before the acquire is recorded so a
+	// re-sent request never queues twice. A client whose request was
+	// already served re-sends it when the answer (or the transport ack)
+	// was lost — most often chasing a lock across a home failover. A
+	// request from the current holder is answered with a revised grant
+	// re-issuing the existing hold; a request already queued rides the
+	// grant the first copy will get (same delivery key at the client).
+	if h := s.holdOfLocked(l, msg.Thread); h != nil {
+		req := &lockRequest{site: msg.Requester, thread: msg.Thread, shared: h.shared, have: msg.HaveVersion, lease: h.lease}
+		flag := wire.VersionOK
+		if l.version > 0 && !l.upToDate.Contains(msg.Requester) {
+			flag = wire.NeedNewVersion
+		}
+		g := s.buildGrantLocked(l, req, l.version, flag, true)
+		s.recordGrant(l, g, msg.Requester)
+		l.mu.Unlock()
+		if s.node.log.On() {
+			s.node.log.Logf("sync", "re-issuing held lock %d to thread %d as a revised grant", msg.Lock, msg.Thread)
+		}
+		s.spawn(func() { s.deliverGrant(l, req, h, g) })
+		return
+	}
+	for _, q := range l.queue {
+		if q.thread == msg.Thread {
+			l.mu.Unlock()
+			return
+		}
+	}
+	// Recorded before the ban check, so an acquire that slips past a
+	// concurrent ban is correctly sequenced before it — but deferred
+	// while the record is frozen mid-stream: the pending release or break
+	// record must land first to keep the history in protocol order.
+	if !l.frozen {
+		s.recordAcquire(msg)
+	}
+	if reason, isBanned := s.bannedReason(msg.Thread); isBanned {
+		frozen := l.frozen
+		l.mu.Unlock()
+		if frozen {
+			s.recordAcquire(msg)
+		}
+		s.refuseBanned(msg, reason)
+		return
+	}
+	if hs := s.home; hs != nil {
+		// Re-checked under l.mu: a commitMove that raced this acquire set
+		// the tombstone before draining the queue, so either the drain
+		// nacks this request or this check does — never neither.
+		if route := l.moved; route != nil {
+			l.mu.Unlock()
+			s.recordNack(msg, "lock moved to new home")
+			hs.redirectTo(msg, route)
+			return
+		}
+		hs.noteAcquireLocked(l, msg)
+	}
 	l.queue = append(l.queue, &lockRequest{
-		site:   msg.Requester,
-		thread: msg.Thread,
-		shared: msg.Shared,
-		have:   msg.HaveVersion,
-		lease:  lease,
+		site:     msg.Requester,
+		thread:   msg.Thread,
+		shared:   msg.Shared,
+		have:     msg.HaveVersion,
+		lease:    lease,
+		recorded: !l.frozen,
 	})
 	s.node.obs().GaugeAdd(obs.GSyncQueueDepth, 1)
 	s.node.obs().ShardDepthAdd(int(uint32(msg.Lock)%uint32(len(s.shards))), 1)
@@ -305,6 +449,9 @@ func (s *syncThread) nackAction(msg *wire.AcquireLock, code wire.NackCode, reaso
 // version from push dissemination.
 func (s *syncThread) onRelease(msg *wire.ReleaseLock) {
 	l := s.lookupLock(msg.Lock)
+	if hs := s.home; hs != nil && hs.forwardReleaseIfMoved(l, msg) {
+		return
+	}
 	if l == nil {
 		return
 	}
@@ -345,7 +492,7 @@ func (s *syncThread) onRelease(msg *wire.ReleaseLock) {
 				obs.I("site", int64(msg.Releaser)), obs.S("up_to_date", l.upToDate.String()))
 		}
 	}
-	s.node.recordHist(wire.HistoryEvent{
+	relEv := wire.HistoryEvent{
 		Kind:    wire.HistRelease,
 		Site:    msg.Releaser,
 		Thread:  msg.Thread,
@@ -354,21 +501,58 @@ func (s *syncThread) onRelease(msg *wire.ReleaseLock) {
 		Shared:  msg.Shared,
 		Aborted: msg.Aborted,
 		Sites:   relSites,
-	})
+	}
+	if hs := s.home; hs != nil && hs.succ != 0 && l.moved == nil && !l.frozen {
+		// Stream-first: the successor must hold this state before the
+		// release is durable. Recording first would open a window where
+		// the home dies with the release committed but the standby still
+		// showing the old holder and version — promotion would then
+		// restore a stale version floor (re-issuing a committed number)
+		// and accept the client's retried release a second time. Frozen
+		// blocks grants (and migration) until the record lands; the send
+		// happens off the dispatcher, outside every mutex.
+		l.frozen = true
+		push := hs.standbyActionLocked(l)
+		l.mu.Unlock()
+		s.spawn(func() {
+			push()
+			l.mu.Lock()
+			s.node.recordHist(relEv)
+			s.recordDeferredLocked(l)
+			l.frozen = false
+			actions := s.tryGrantLocked(l)
+			l.mu.Unlock()
+			s.run(actions)
+		})
+		return
+	}
+	s.node.recordHist(relEv)
 	actions := s.tryGrantLocked(l)
+	if hs := s.home; hs != nil {
+		actions = append(actions, hs.standbyActionLocked(l))
+	}
 	l.mu.Unlock()
 	s.run(actions)
 }
 
 // onRegister implements REGISTERREPLICA: startup and initialization. This
-// is the only message that creates lock records.
+// is the only client-driven message that creates lock records.
 func (s *syncThread) onRegister(msg *wire.RegisterReplica) {
-	l := s.ensureLock(msg.Lock)
+	if hs := s.home; hs != nil && hs.forwardRegisterIfNotHome(msg) {
+		return
+	}
+	l, created := s.ensureLockCreated(msg.Lock)
+	if created {
+		if hs := s.home; hs != nil {
+			hs.noteCreated(l)
+		}
+	}
 	l.mu.Lock()
 	l.sharers.Add(msg.Site)
 	for _, name := range msg.Names {
 		l.names[name] = true
 	}
+	seeded := false
 	if msg.Creator && l.version == 0 {
 		l.version = 1
 		if l.highWater < 1 {
@@ -379,14 +563,21 @@ func (s *syncThread) onRegister(msg *wire.RegisterReplica) {
 		s.node.recordHist(wire.HistoryEvent{
 			Kind: wire.HistRegister, Site: msg.Site, Lock: msg.Lock, Version: 1, Note: "creator",
 		})
-		l.mu.Unlock()
-		if s.node.log.On() {
-			s.node.log.Logf("sync", "lock %d seeded at v1 by creator site %d", msg.Lock, msg.Site)
-		}
-		return
+		seeded = true
+	} else {
+		s.node.recordHist(wire.HistoryEvent{Kind: wire.HistRegister, Site: msg.Site, Lock: msg.Lock})
 	}
-	s.node.recordHist(wire.HistoryEvent{Kind: wire.HistRegister, Site: msg.Site, Lock: msg.Lock})
+	var standby func()
+	if hs := s.home; hs != nil {
+		standby = hs.standbyActionLocked(l)
+	}
 	l.mu.Unlock()
+	if standby != nil {
+		s.spawn(standby)
+	}
+	if seeded && s.node.log.On() {
+		s.node.log.Logf("sync", "lock %d seeded at v1 by creator site %d", msg.Lock, msg.Site)
+	}
 }
 
 // debugIgnoreHolder is a test-only switch that re-introduces a double-grant
@@ -402,7 +593,9 @@ var debugIgnoreHolder bool
 // next requester.
 func (s *syncThread) tryGrantLocked(l *syncLock) []func() {
 	var actions []func()
-	for len(l.queue) > 0 && (l.holder == nil || debugIgnoreHolder) {
+	// A frozen record is mid-handoff and a moved one is a tombstone:
+	// neither may grant (the new home will, once the client re-routes).
+	for !l.frozen && l.moved == nil && len(l.queue) > 0 && (l.holder == nil || debugIgnoreHolder) {
 		head := l.queue[0]
 		if !head.shared && len(l.readers) > 0 {
 			break
@@ -428,6 +621,7 @@ func (s *syncThread) tryGrantLocked(l *syncLock) []func() {
 			flag = wire.NeedNewVersion
 		}
 		g := s.buildGrantLocked(l, head, l.version, flag, false)
+		s.recordRequest(l.id, head)
 		s.recordGrant(l, g, head.site)
 		req := head
 		actions = append(actions, func() { s.deliverGrant(l, req, h, g) })
@@ -469,6 +663,26 @@ func (s *syncThread) buildGrantLocked(l *syncLock, req *lockRequest, version uin
 		Revised:      revised,
 		VersionFloor: l.highWater,
 	}
+}
+
+// holdOfLocked returns the thread's current hold on l, exclusive or
+// shared, or nil; the caller holds l.mu.
+func (s *syncThread) holdOfLocked(l *syncLock, t wire.ThreadID) *holderInfo {
+	if l.holder != nil && l.holder.thread == t {
+		return l.holder
+	}
+	return l.readers[t]
+}
+
+// refuseBanned nacks a request from a banned thread — "an application
+// thread that fails in this manner is prevented from making future
+// requests."
+func (s *syncThread) refuseBanned(msg *wire.AcquireLock, reason string) {
+	if s.node.log.On() {
+		s.node.log.Logf("sync", "refusing banned thread %d: %s", msg.Thread, reason)
+	}
+	s.recordNack(msg, reason)
+	s.spawn(s.nackAction(msg, wire.NackBanned, reason))
 }
 
 // holdCurrentLocked reports whether the hold h is still the installed one;
@@ -533,18 +747,33 @@ func (s *syncThread) sweepOnce() {
 		suspects = append(suspects, suspect{l, h})
 		return true
 	}
+	type departure struct {
+		l  *syncLock
+		to wire.SiteID
+	}
+	var departures []departure
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		for id, l := range sh.locks {
 			l.mu.Lock()
 			if l.emptyLocked() {
+				wasMoved := l.moved != nil
 				delete(sh.locks, id)
 				s.node.obs().GaugeAdd(obs.GSyncLocks, -1)
 				l.mu.Unlock()
+				if hs := s.home; hs != nil {
+					hs.noteCollected(id, wasMoved)
+				}
 				if s.node.log.On() {
 					s.node.log.Logf("sync", "collected empty record for lock %d", id)
 				}
 				continue
+			}
+			if hs := s.home; hs != nil {
+				if to, ok := hs.migrationTargetLocked(l); ok {
+					l.frozen = true
+					departures = append(departures, departure{l, to})
+				}
 			}
 			if h := l.holder; h != nil {
 				expired(l, h)
@@ -560,11 +789,24 @@ func (s *syncThread) sweepOnce() {
 		sp := sp
 		s.spawn(func() { s.checkHolder(sp.l, sp.h) })
 	}
+	for _, d := range departures {
+		d := d
+		s.spawn(func() { s.home.migrate(d.l, d.to) })
+	}
 }
 
 // emptyLocked reports whether a lock record carries no state worth
-// keeping; the caller holds the record's mu.
+// keeping; the caller holds the record's mu. A moved tombstone is
+// collectible once its queue has drained regardless of the durable
+// fields — the home-state moved map keeps routing for it — while a
+// frozen record is never collected (a migration owns it).
 func (l *syncLock) emptyLocked() bool {
+	if l.moved != nil {
+		return len(l.queue) == 0
+	}
+	if l.frozen {
+		return false
+	}
 	return l.holder == nil && len(l.readers) == 0 && len(l.queue) == 0 &&
 		l.sharers.Len() == 0 && len(l.names) == 0 && l.version == 0
 }
@@ -619,12 +861,34 @@ func (s *syncThread) checkHolder(l *syncLock, h *holderInfo) {
 		}
 	}
 	s.node.obs().Inc(obs.CLeaseBreaks)
-	s.node.recordHist(wire.HistoryEvent{
+	breakEv := wire.HistoryEvent{
 		Kind: wire.HistBreak, Site: h.site, Thread: h.thread, Lock: l.id,
-	})
-	actions := s.tryGrantLocked(l)
+	}
+	var actions []func()
+	if hs := s.home; hs != nil && hs.succ != 0 && l.moved == nil && !l.frozen {
+		// Stream-first, mirroring onRelease: the successor must see the
+		// hold cleared and the site marked dirty before the break is
+		// durable, or a promotion could resurrect the broken hold and
+		// direct transfers from the contaminated copy. This worker runs
+		// outside every mutex, so the acked send can block inline.
+		l.frozen = true
+		push := hs.standbyActionLocked(l)
+		l.mu.Unlock()
+		push()
+		l.mu.Lock()
+		s.node.recordHist(breakEv)
+		s.recordDeferredLocked(l)
+		l.frozen = false
+		actions = s.tryGrantLocked(l)
+	} else {
+		s.node.recordHist(breakEv)
+		actions = s.tryGrantLocked(l)
+		if hs := s.home; hs != nil {
+			actions = append(actions, hs.standbyActionLocked(l))
+		}
+	}
 	l.mu.Unlock()
-	s.ban(h.thread, fmt.Sprintf("lease expired on lock %d and heartbeat to site %d failed", l.id, h.site))
+	s.ban(h.thread, l.id, h.site)
 	if s.node.log.On() {
 		s.node.log.Logf("fault", "broke lock %d held by dead thread %d at site %d", l.id, h.thread, h.site)
 	}
@@ -639,30 +903,32 @@ func (s *syncThread) probe(addr string) bool {
 	return s.aux.Send(ctx, addr, hb) == nil
 }
 
-// ban records a failed thread, evicting the oldest record past the bound.
-func (s *syncThread) ban(t wire.ThreadID, reason string) {
+// ban permanently records a failed thread. The table never evicts: a ban
+// costs two integers, so even a long-lived home can afford every thread
+// it has ever had to break.
+func (s *syncThread) ban(t wire.ThreadID, lock wire.LockID, site wire.SiteID) {
 	s.bannedMu.Lock()
 	defer s.bannedMu.Unlock()
-	if _, known := s.banned[t]; !known {
-		// Recorded under bannedMu: any acquire refused because of this ban
-		// is sequenced after it.
-		s.node.obs().Inc(obs.CBans)
-		s.node.recordHist(wire.HistoryEvent{Kind: wire.HistBan, Thread: t, Note: reason})
-		s.banOrder = append(s.banOrder, t)
-		if len(s.banOrder) > maxBannedRecords {
-			delete(s.banned, s.banOrder[0])
-			s.banOrder = s.banOrder[1:]
-		}
+	if _, known := s.banned[t]; known {
+		return
 	}
-	s.banned[t] = reason
+	rec := banRecord{lock: lock, site: site}
+	// Recorded under bannedMu: any acquire refused because of this ban
+	// is sequenced after it.
+	s.node.obs().Inc(obs.CBans)
+	s.node.recordHist(wire.HistoryEvent{Kind: wire.HistBan, Thread: t, Note: banReason(rec)})
+	s.banned[t] = rec
 }
 
 // bannedReason looks a thread up in the banned table.
 func (s *syncThread) bannedReason(t wire.ThreadID) (string, bool) {
 	s.bannedMu.Lock()
 	defer s.bannedMu.Unlock()
-	reason, ok := s.banned[t]
-	return reason, ok
+	rec, ok := s.banned[t]
+	if !ok {
+		return "", false
+	}
+	return banReason(rec), true
 }
 
 // Banned reports whether a thread has been banned (for tests and tools).

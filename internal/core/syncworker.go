@@ -29,6 +29,12 @@ func timeoutCtx(d time.Duration) (context.Context, context.CancelFunc) {
 // optimistically installed hold, and grants the next requester.
 func (s *syncThread) deliverGrant(l *syncLock, req *lockRequest, h *holderInfo, g *wire.Grant) {
 	deliverStart := time.Now()
+	if hs := s.home; hs != nil {
+		// Stream the hold to the standby before the grant leaves: once
+		// the client holds the lock, the ring successor must already be
+		// able to restore the lease if this home dies.
+		hs.streamHoldSync(l)
+	}
 	crashed := s.node.fireFault(FaultContext{
 		Point: FPCrashBeforeGrant, Peer: req.site, Lock: l.id, Thread: req.thread, Version: g.Version,
 	}).Drop
@@ -43,6 +49,12 @@ func (s *syncThread) deliverGrant(l *syncLock, req *lockRequest, h *holderInfo, 
 				Kind: wire.HistGrantDropped, Site: req.site, Thread: req.thread, Lock: l.id,
 			})
 			actions = s.tryGrantLocked(l)
+			if hs := s.home; hs != nil {
+				// The standby already streamed this hold; retract it, or
+				// a promotion would restore a hold nobody received and
+				// sit on its lease.
+				actions = append(actions, hs.standbyActionLocked(l))
+			}
 		}
 		l.mu.Unlock()
 		s.run(actions)
@@ -50,6 +62,11 @@ func (s *syncThread) deliverGrant(l *syncLock, req *lockRequest, h *holderInfo, 
 	}
 	s.node.obs().Inc(obs.CGrants)
 	s.node.obs().Observe(obs.HGrantDeliver, time.Since(deliverStart))
+	// The standby already knows this hold (streamed above), so a hook may
+	// kill the home here — the window the failover must cover.
+	s.node.fireFault(FaultContext{
+		Point: FPKillLockHome, Peer: req.site, Lock: l.id, Thread: req.thread, Version: g.Version,
+	})
 	if s.node.log.On() {
 		s.node.log.Log("sync", "granted lock",
 			obs.I("lock", int64(l.id)), obs.I("version", int64(g.Version)),

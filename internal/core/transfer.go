@@ -56,6 +56,12 @@ type transferService struct {
 	// it buckets sharers by measured RTT, elects bucket relays, and
 	// scores them by observed ack latency and loss.
 	tracker *overlay.Tracker
+	// spanCursor marks how far into the obs span ring the tracker feed
+	// has read; each dissemination drains the acquire spans recorded
+	// since, so RTT estimates refresh continuously instead of only from
+	// an initial probe phase.
+	spanMu     sync.Mutex
+	spanCursor uint64
 	// uplinkSends counts dissemination pushes initiated from this node's
 	// own uplink (direct pushes and relay pushes alike). The tree
 	// ablation's O(regions)-vs-O(sharers) claim is measured against it.
@@ -779,6 +785,42 @@ func (n *Node) PushPayloads(ctx context.Context, lock wire.LockID, version uint6
 	return acked, errors.Join(errs...)
 }
 
+// feedTracker drains the acquire spans recorded since the last
+// dissemination and turns each one's request RTT into an overlay sample
+// against the lock's manager — the peer the round trip actually measured.
+// The probe phase a harness may run seeds the tracker; this keeps it fed
+// for the rest of the run, so RTT drift (route changes, migrated homes)
+// reaches the relay plan without re-probing.
+func (t *transferService) feedTracker() {
+	reg := t.node.obs()
+	t.spanMu.Lock()
+	recs, cur := reg.SpansSince(t.spanCursor)
+	t.spanCursor = cur
+	t.spanMu.Unlock()
+	if len(recs) == 0 {
+		return
+	}
+	self := t.node.cfg.Site
+	phase := obs.HRequestRTT.PhaseName()
+	for i := range recs {
+		sp := &recs[i]
+		// The registry may be shared across sites (benchmarks do this);
+		// only this site's own acquires measured a round trip from here.
+		if sp.Op != "acquire" || wire.SiteID(sp.Site) != self {
+			continue
+		}
+		peer, _ := t.node.homeOf(wire.LockID(sp.Lock))
+		if peer == 0 || peer == self {
+			continue
+		}
+		for _, ph := range sp.Phases {
+			if ph.Name == phase && ph.Dur > 0 {
+				t.tracker.Observe(peer, ph.Dur)
+			}
+		}
+	}
+}
+
 // disseminate implements the push-based update scheme of Section 4: send
 // the new version to `want` additional registered daemons, working through
 // the candidate set so that "the failure ... can be handled by choosing
@@ -792,6 +834,7 @@ func (t *transferService) disseminate(ctx context.Context, lock wire.LockID, ver
 	if want <= 0 {
 		return nil
 	}
+	t.feedTracker()
 	var candidates []wire.SiteID
 	for _, site := range sharers.Sites() {
 		if site != t.node.cfg.Site {

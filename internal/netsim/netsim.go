@@ -138,17 +138,17 @@ func (n *Network) Close() {
 
 // route decides a packet's fate and timing under the lock, returning the
 // destination node (nil if the packet vanishes) and the total delay.
-func (n *Network) route(from, to NodeID, size int, sendJitter time.Duration, lossRoll float64) (*Node, time.Duration) {
+func (n *Network) route(from, to NodeID, size int, jitterRoll, lossRoll float64) (*Node, time.Duration) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.routeLocked(from, to, size, sendJitter, lossRoll, time.Now())
+	return n.routeLocked(from, to, size, jitterRoll, lossRoll, time.Now())
 }
 
 // routeLocked is route's body, factored out so SendBatch can settle a whole
 // batch's fates under a single acquisition of the network lock — the lock
 // every packet in the simulation crosses, and therefore the first thing a
 // high-rate load run contends on. Caller holds n.mu.
-func (n *Network) routeLocked(from, to NodeID, size int, sendJitter time.Duration, lossRoll float64, now time.Time) (*Node, time.Duration) {
+func (n *Network) routeLocked(from, to NodeID, size int, jitterRoll, lossRoll float64, now time.Time) (*Node, time.Duration) {
 	n.stats.Sent++
 	n.stats.Bytes += int64(size)
 	if n.closed {
@@ -168,6 +168,14 @@ func (n *Network) routeLocked(from, to NodeID, size int, sendJitter time.Duratio
 		n.stats.Dropped++
 		return nil, 0
 	}
+	// Jitter resolves against the link's own profile: the sender draws a
+	// uniform roll before routing (so its RNG sequence is scheduling-
+	// independent), and an overridden link — a wobbly backbone hop in an
+	// otherwise crisp geography — gets its own jitter range here.
+	var jitter time.Duration
+	if p.Jitter > 0 {
+		jitter = time.Duration(jitterRoll * float64(p.Jitter))
+	}
 
 	src := n.nodes[from]
 	depart := now
@@ -180,7 +188,7 @@ func (n *Network) routeLocked(from, to NodeID, size int, sendJitter time.Duratio
 		}
 		src.uplinkFree = depart.Add(p.serialize(size))
 	}
-	arrive := depart.Add(p.serialize(size)).Add(p.PropDelay).Add(sendJitter)
+	arrive := depart.Add(p.serialize(size)).Add(p.PropDelay).Add(jitter)
 	return dst, arrive.Sub(now)
 }
 
@@ -258,15 +266,11 @@ func (nd *Node) Send(to NodeID, pkt []byte) {
 		return
 	}
 	nd.mu.Lock()
-	var jitter time.Duration
-	p := nd.net.cfg.Profile
-	if p.Jitter > 0 {
-		jitter = time.Duration(nd.rng.Int63n(int64(p.Jitter)))
-	}
+	jroll := nd.rng.Float64()
 	roll := nd.rng.Float64()
 	nd.mu.Unlock()
 
-	dst, delay := nd.net.route(nd.id, to, len(pkt), jitter, roll)
+	dst, delay := nd.net.route(nd.id, to, len(pkt), jroll, roll)
 	if dst == nil {
 		return
 	}
@@ -302,13 +306,10 @@ func (nd *Node) SendBatch(to NodeID, pkts [][]byte) {
 	hops := make([]hop, 0, len(pkts))
 
 	nd.mu.Lock()
-	p := nd.net.cfg.Profile
-	jitters := make([]time.Duration, len(pkts))
+	jrolls := make([]float64, len(pkts))
 	rolls := make([]float64, len(pkts))
 	for i := range pkts {
-		if p.Jitter > 0 {
-			jitters[i] = time.Duration(nd.rng.Int63n(int64(p.Jitter)))
-		}
+		jrolls[i] = nd.rng.Float64()
 		rolls[i] = nd.rng.Float64()
 	}
 	nd.mu.Unlock()
@@ -317,7 +318,7 @@ func (nd *Node) SendBatch(to NodeID, pkts [][]byte) {
 	nd.net.mu.Lock()
 	now := time.Now()
 	for i, pkt := range pkts {
-		d, delay := nd.net.routeLocked(nd.id, to, len(pkt), jitters[i], rolls[i], now)
+		d, delay := nd.net.routeLocked(nd.id, to, len(pkt), jrolls[i], rolls[i], now)
 		if d == nil {
 			continue
 		}

@@ -11,10 +11,11 @@ import "time"
 // region) — which is exactly the signal the dissemination overlay's
 // RTT-bucket clustering recovers.
 //
-// Per-link overrides carry propagation, serialization and loss, but the
-// network draws jitter from its *default* profile (see Network.Send), so a
-// network using a Geography should be built with a jitter-free default —
-// Perfect() — to keep region RTTs crisp and runs deterministic.
+// Per-link overrides carry the full profile, jitter included: a sender
+// draws one uniform roll per packet and the router resolves it against
+// the link actually crossed (see Network.routeLocked), so each region hop
+// wobbles within its own profile's jitter range while a run stays
+// deterministic under a fixed seed.
 type Geography struct {
 	// Regions is the number of locality clusters (≥ 1).
 	Regions int
@@ -28,22 +29,26 @@ type Geography struct {
 }
 
 // RegionalWAN is the standard regional geography for dissemination
-// ablations: fast switched LANs inside each region, a slow 1997-class
-// backbone between them, and a 6 ms one-way step per region of distance
-// (12 ms of RTT — wider than the overlay's default 10 ms bucket, so every
-// region lands in its own bucket).
+// ablations: fast switched LANs inside each region (with switch-level
+// jitter), a slow 1997-class backbone between them (with route-level
+// jitter wide enough to matter), and a 6 ms one-way step per region of
+// distance
+// (12 ms of RTT — matching the overlay's 12 ms bucket, so regions land in
+// distinct buckets even with backbone jitter on the measurements).
 func RegionalWAN(regions int) Geography {
 	return Geography{
 		Regions: regions,
 		Local: Profile{
 			Name:           "region-lan",
 			PropDelay:      300 * time.Microsecond,
+			Jitter:         100 * time.Microsecond,
 			BytesPerSecond: 100_000_000 / 8, // 100 Mbit/s
 			HeaderBytes:    28,
 		},
 		Backbone: Profile{
 			Name:           "region-backbone",
 			PropDelay:      18 * time.Millisecond,
+			Jitter:         2 * time.Millisecond,
 			BytesPerSecond: 4_000_000 / 8, // 4 Mbit/s
 			HeaderBytes:    28,
 		},

@@ -93,42 +93,66 @@ const (
 	// with direct pushes after a relay failed, timed out, or missed
 	// members.
 	CRelayFallbacks
+	// CHomeMigrations counts locks whose home moved to another manager
+	// site because of observed access locality (completed handoffs,
+	// counted at the old home).
+	CHomeMigrations
+	// CHandoffsOut counts HandoffRecord frames shipped by old homes
+	// (attempts; CHomeMigrations counts the acked subset).
+	CHandoffsOut
+	// CHandoffsIn counts lock records installed from a HandoffRecord.
+	CHandoffsIn
+	// CStandbyUpdates counts lock-record deltas streamed to the ring
+	// successor standby.
+	CStandbyUpdates
+	// CStandbyPromotions counts lock records promoted from standby
+	// shadows after a home crash.
+	CStandbyPromotions
+	// CHomeRedirects counts NackNotHome redirects sent to requesters
+	// that routed a lock request to a stale home.
+	CHomeRedirects
 	numCounters
 )
 
 // counterNames are the exported instrument names (Prometheus style).
 var counterNames = [numCounters]string{
-	CAcquireRequests: "mocha_acquire_requests_total",
-	CGrants:          "mocha_grants_total",
-	CReleases:        "mocha_releases_total",
-	CLeaseBreaks:     "mocha_lease_breaks_total",
-	CBans:            "mocha_bans_total",
-	CDaemonPolls:     "mocha_daemon_polls_total",
-	CPushes:          "mocha_pushes_total",
-	CPushAcks:        "mocha_push_acks_total",
-	CTransfersFull:   "mocha_transfers_full_total",
-	CTransfersDelta:  "mocha_transfers_delta_total",
-	CDeltaFallbacks:  "mocha_delta_fallbacks_total",
-	CTransfersHybrid: "mocha_transfers_hybrid_total",
-	CTransfersMNet:   "mocha_transfers_mnet_total",
-	CTransferBytes:   "mocha_transfer_bytes_total",
-	CApplies:         "mocha_applies_total",
-	CStreamDials:     "mocha_stream_dials_total",
-	CStreamAccepts:   "mocha_stream_accepts_total",
-	CStreamBytesOut:  "mocha_stream_bytes_out_total",
-	CStreamBytesIn:   "mocha_stream_bytes_in_total",
-	CMsgsSent:        "mocha_mnet_messages_sent_total",
-	CMsgsDelivered:   "mocha_mnet_messages_delivered_total",
-	CRetransmits:     "mocha_mnet_retransmits_total",
-	CSendFailures:    "mocha_mnet_send_failures_total",
-	CQueueDrops:      "mocha_mnet_queue_drops_total",
-	CSendBatches:     "mocha_mnet_send_batches_total",
-	CSendBatchPkts:   "mocha_mnet_send_batch_packets_total",
-	CFlushDrops:      "mocha_mnet_flush_drops_total",
-	CRelayPushes:     "mocha_relay_pushes_total",
-	CRelayAcks:       "mocha_relay_acks_total",
-	CRelayFanout:     "mocha_relay_fanout_total",
-	CRelayFallbacks:  "mocha_relay_fallbacks_total",
+	CAcquireRequests:   "mocha_acquire_requests_total",
+	CGrants:            "mocha_grants_total",
+	CReleases:          "mocha_releases_total",
+	CLeaseBreaks:       "mocha_lease_breaks_total",
+	CBans:              "mocha_bans_total",
+	CDaemonPolls:       "mocha_daemon_polls_total",
+	CPushes:            "mocha_pushes_total",
+	CPushAcks:          "mocha_push_acks_total",
+	CTransfersFull:     "mocha_transfers_full_total",
+	CTransfersDelta:    "mocha_transfers_delta_total",
+	CDeltaFallbacks:    "mocha_delta_fallbacks_total",
+	CTransfersHybrid:   "mocha_transfers_hybrid_total",
+	CTransfersMNet:     "mocha_transfers_mnet_total",
+	CTransferBytes:     "mocha_transfer_bytes_total",
+	CApplies:           "mocha_applies_total",
+	CStreamDials:       "mocha_stream_dials_total",
+	CStreamAccepts:     "mocha_stream_accepts_total",
+	CStreamBytesOut:    "mocha_stream_bytes_out_total",
+	CStreamBytesIn:     "mocha_stream_bytes_in_total",
+	CMsgsSent:          "mocha_mnet_messages_sent_total",
+	CMsgsDelivered:     "mocha_mnet_messages_delivered_total",
+	CRetransmits:       "mocha_mnet_retransmits_total",
+	CSendFailures:      "mocha_mnet_send_failures_total",
+	CQueueDrops:        "mocha_mnet_queue_drops_total",
+	CSendBatches:       "mocha_mnet_send_batches_total",
+	CSendBatchPkts:     "mocha_mnet_send_batch_packets_total",
+	CFlushDrops:        "mocha_mnet_flush_drops_total",
+	CRelayPushes:       "mocha_relay_pushes_total",
+	CRelayAcks:         "mocha_relay_acks_total",
+	CRelayFanout:       "mocha_relay_fanout_total",
+	CRelayFallbacks:    "mocha_relay_fallbacks_total",
+	CHomeMigrations:    "mocha_home_migrations_total",
+	CHandoffsOut:       "mocha_home_handoffs_out_total",
+	CHandoffsIn:        "mocha_home_handoffs_in_total",
+	CStandbyUpdates:    "mocha_standby_updates_total",
+	CStandbyPromotions: "mocha_standby_promotions_total",
+	CHomeRedirects:     "mocha_home_redirects_total",
 }
 
 // Name returns the counter's exported name.
@@ -175,6 +199,10 @@ const NumShardDepths = 64
 // beyond it fold onto earlier slots, which only blurs attribution.
 const NumRelayScores = 64
 
+// NumHomeLocks bounds the per-home lock-count gauge array. Manager sites
+// beyond it fold onto earlier slots, which only blurs attribution.
+const NumHomeLocks = 64
+
 // Registry is the lock-free instrument store. All mutating methods are
 // safe for any number of concurrent writers — every instrument is an
 // atomic — and all are no-ops on a nil receiver, which is the disabled
@@ -186,6 +214,7 @@ type Registry struct {
 	gauges      [numGauges]atomic.Int64
 	shardDepths [NumShardDepths]atomic.Int64
 	relayScores [NumRelayScores]atomic.Int64
+	homeLocks   [NumHomeLocks]atomic.Int64
 	hists       [numHists]hist
 
 	spanHead atomic.Uint64
@@ -295,6 +324,24 @@ func (r *Registry) RelayScoreValue(site uint32) int64 {
 		return 0
 	}
 	return r.relayScores[site%NumRelayScores].Load()
+}
+
+// HomeLockAdd moves one manager site's lock-count gauge: the number of
+// lock records it currently homes under consistent-hash placement.
+func (r *Registry) HomeLockAdd(site uint32, delta int64) {
+	if r == nil {
+		return
+	}
+	r.homeLocks[site%NumHomeLocks].Add(delta)
+}
+
+// HomeLockValue reads one manager site's homed-lock count (0 on a nil
+// registry).
+func (r *Registry) HomeLockValue(site uint32) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.homeLocks[site%NumHomeLocks].Load()
 }
 
 // Observe records one duration into a latency histogram.

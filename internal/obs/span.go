@@ -114,3 +114,29 @@ func (r *Registry) Spans() []SpanRecord {
 	}
 	return out
 }
+
+// SpansSince returns the completed spans published after a cursor
+// previously returned by SpansSince (0 for "from the beginning"), oldest
+// first, along with the new cursor. A consumer polling with its last
+// cursor sees each span at most once; spans that rolled off the ring
+// between polls are silently skipped. Nil-safe.
+func (r *Registry) SpansSince(cursor uint64) ([]SpanRecord, uint64) {
+	if r == nil {
+		return nil, cursor
+	}
+	head := r.spanHead.Load()
+	if head <= cursor {
+		return nil, head
+	}
+	from := cursor
+	if head-from > spanRingSize {
+		from = head - spanRingSize
+	}
+	out := make([]SpanRecord, 0, head-from)
+	for i := from; i < head; i++ {
+		if p := r.spans[i%spanRingSize].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out, head
+}

@@ -27,9 +27,10 @@ import (
 // filled in by NewTracker.
 type Config struct {
 	// BucketWidth is the RTT quantum: peers whose smoothed RTT falls in the
-	// same BucketWidth-wide band share a locality bucket. Default 10ms —
-	// narrow enough that the regional WAN geography's distance steps land
-	// in distinct buckets, wide enough to absorb serialization noise.
+	// same BucketWidth-wide band share a locality bucket. Default 12ms —
+	// matching the regional WAN geography's 12 ms RTT distance step, so
+	// regions stay in distinct buckets while per-link jitter (up to 2 ms a
+	// hop on the backbone) and serialization noise are absorbed.
 	BucketWidth time.Duration
 	// Alpha is the EWMA weight of a new sample (0 < Alpha <= 1). Default
 	// 0.5: two consecutive losses demote a perfect peer below the default
@@ -50,7 +51,7 @@ type Config struct {
 
 func (c Config) withDefaults() Config {
 	if c.BucketWidth <= 0 {
-		c.BucketWidth = 10 * time.Millisecond
+		c.BucketWidth = 12 * time.Millisecond
 	}
 	if c.Alpha <= 0 || c.Alpha > 1 {
 		c.Alpha = 0.5

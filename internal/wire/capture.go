@@ -61,6 +61,17 @@ const (
 	// behalf (Sites = the bucket members it pushed to). Context only — the
 	// members' own HistApply events carry the version-discipline claims.
 	HistRelay
+	// HistHome: a site became (or confirmed itself as) a lock's manager —
+	// on registration, a migration install, or a standby promotion. Site
+	// is the manager site, AuxVersion its home epoch, Note how it got the
+	// lock ("register", "handoff-install", "standby-promote"). The checker
+	// uses the chain of these to enforce single-home-per-lock.
+	HistHome
+	// HistHandoff: an old home shipped a lock's record away (Site = the
+	// old home, Sites = {new home}, AuxVersion = epoch). Context for the
+	// home chain: the next HistHome for the lock must name the site this
+	// event shipped to, unless a crash intervened.
+	HistHandoff
 )
 
 var histKindNames = map[HistoryKind]string{
@@ -80,6 +91,8 @@ var histKindNames = map[HistoryKind]string{
 	HistCrash:        "CRASH",
 	HistFault:        "FAULT",
 	HistRelay:        "RELAY",
+	HistHome:         "HOME",
+	HistHandoff:      "HANDOFF",
 }
 
 // String names the event kind.

@@ -123,6 +123,12 @@ const (
 	// daemon; the synchronization thread refuses to fabricate a record
 	// for it.
 	NackUnknownLock NackCode = 1
+	// NackNotHome: this site is not (or is no longer) the lock's home;
+	// Home/HomeEpoch name the manager the requester should retry against.
+	// Sent by an old home after a migration handed the lock away, and by
+	// ring members that receive traffic routed with a stale placement
+	// view.
+	NackNotHome NackCode = 2
 )
 
 // LockNack refuses an AcquireLock, e.g. because the requesting thread was
@@ -134,6 +140,11 @@ type LockNack struct {
 	Thread ThreadID
 	Code   NackCode
 	Reason string
+	// Home and HomeEpoch accompany NackNotHome: the manager site the
+	// requester should retry against, and that home's epoch so stale
+	// redirects lose races (zero otherwise).
+	Home      SiteID
+	HomeEpoch uint32
 }
 
 // Kind implements Payload.
@@ -144,6 +155,8 @@ func (m *LockNack) encode(w *Writer) {
 	w.U64(uint64(m.Thread))
 	w.U8(uint8(m.Code))
 	w.String16(m.Reason)
+	w.U32(uint32(m.Home))
+	w.U32(m.HomeEpoch)
 }
 
 func (m *LockNack) decode(r *Reader) error {
@@ -151,6 +164,8 @@ func (m *LockNack) decode(r *Reader) error {
 	m.Thread = ThreadID(r.U64())
 	m.Code = NackCode(r.U8())
 	m.Reason = r.String16()
+	m.Home = SiteID(r.U32())
+	m.HomeEpoch = r.U32()
 	return r.Err()
 }
 

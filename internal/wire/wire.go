@@ -71,6 +71,14 @@ const (
 	KindRelayPush
 	KindRelayAck
 
+	// Home placement: migration handoff and standby failover (appended so
+	// earlier kind values stay stable).
+	KindHomeHint
+	KindHandoffRecord
+	KindHandoffAck
+	KindStandbyUpdate
+	KindHomeMoved
+
 	kindSentinel // keep last
 )
 
@@ -106,6 +114,11 @@ var kindNames = map[Kind]string{
 	KindDeltaNack:         "DELTANACK",
 	KindRelayPush:         "RELAYPUSH",
 	KindRelayAck:          "RELAYACK",
+	KindHomeHint:          "HOMEHINT",
+	KindHandoffRecord:     "HANDOFFRECORD",
+	KindHandoffAck:        "HANDOFFACK",
+	KindStandbyUpdate:     "STANDBYUPDATE",
+	KindHomeMoved:         "HOMEMOVED",
 }
 
 // String returns the protocol name of the kind, matching the names used in
@@ -323,6 +336,16 @@ func newPayload(k Kind) Payload {
 		return &RelayPush{}
 	case KindRelayAck:
 		return &RelayAck{}
+	case KindHomeHint:
+		return &HomeHint{}
+	case KindHandoffRecord:
+		return &HandoffRecord{}
+	case KindHandoffAck:
+		return &HandoffAck{}
+	case KindStandbyUpdate:
+		return &StandbyUpdate{}
+	case KindHomeMoved:
+		return &HomeMoved{}
 	default:
 		return nil
 	}

@@ -53,6 +53,24 @@ func allMessages() []Payload {
 		&DeltaNack{Lock: 7, Site: 5, Version: 44, RequestID: 99, Push: false, Reason: "base version 41 unavailable"},
 		&RelayPush{Lock: 7, Origin: 1, Version: 44, Replicas: []ReplicaPayload{{Name: "a", Data: []byte("payload")}}, Targets: NewSiteSet(3, 4, 70)},
 		&RelayAck{Lock: 7, Relay: 3, Version: 44, Acked: NewSiteSet(3, 4)},
+		&HomeHint{Lock: 7, Home: 4, Epoch: 6},
+		&HandoffRecord{From: 2, Epoch: 5, Record: LockRecord{
+			Lock: 7, Version: 44, HighWater: 46, LastOwner: 3,
+			UpToDate: NewSiteSet(1, 3), Dirty: NewSiteSet(5), Sharers: NewSiteSet(3, 4),
+			Names:     []string{"flatwareIndex", "plateIndex"},
+			HasHolder: true,
+			Holder:    HeldLease{Thread: MakeThreadID(3, 9), Site: 3, Shared: false, RemainingMillis: 800},
+			Readers: []HeldLease{
+				{Thread: MakeThreadID(4, 1), Site: 4, Shared: true, RemainingMillis: 500},
+				{Thread: MakeThreadID(6, 2), Site: 6, Shared: true, RemainingMillis: 0},
+			},
+		}},
+		&HandoffAck{Lock: 7, To: 4, Epoch: 6, OK: true},
+		&StandbyUpdate{From: 2, Epoch: 5, Delete: true, Record: LockRecord{
+			Lock: 7, Version: 44, HighWater: 44,
+			UpToDate: NewSiteSet(2), Dirty: NewSiteSet(9), Sharers: NewSiteSet(2, 9),
+		}},
+		&HomeMoved{From: 2, To: 3, Epoch: 7, Locks: []LockID{7, 9, 13}},
 	}
 }
 

@@ -256,6 +256,7 @@ type options struct {
 	fanout      int
 	delta       bool
 	tree        bool
+	placement   bool
 	resolver    Resolver
 	history     core.HistorySink
 	metrics     *obs.Registry
@@ -349,6 +350,15 @@ func WithDisseminationFanout(n int) Option { return func(o *options) { o.fanout 
 // sharer. Buckets degrade to direct pushes around failed or unhealthy
 // relays. Off by default (the paper's flat fan-out).
 func WithDisseminationTree() Option { return func(o *options) { o.tree = true } }
+
+// WithHomePlacement replaces the fixed lock home of the paper's design
+// with a partitioned, mobile lock namespace: lock records are spread over
+// every site by a consistent-hash ring, each home migrates a lock toward
+// the site that dominates its accesses, streams record deltas to its ring
+// successor, and that standby promotes the records — leases, version
+// floors, and dirty sets intact — if the home dies. Off by default (the
+// paper's single fixed home).
+func WithHomePlacement() Option { return func(o *options) { o.placement = true } }
 
 // WithResolver sets the conflict resolver for the sites' session stores
 // (default last-writer-wins). The resolver must be deterministic and
