@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt-check vet build test race cover bench-fanout bench-delta bench-sync bench-obs bench-load bench-tree bench-home
+.PHONY: check fmt-check vet build test race fuzz-smoke explore cover bench-fanout bench-delta bench-sync bench-obs bench-load bench-tree bench-home
 
 # check is the full CI gate: formatting, static analysis, build, the
-# complete test suite, and the race detector over the concurrency-heavy
-# packages.
-check: fmt-check vet build test race
+# complete test suite, the race detector over the concurrency-heavy
+# packages, and a short fuzz pass over the wire decoder.
+check: fmt-check vet build test race fuzz-smoke
 
 # fmt-check fails if any Go file is not gofmt-clean.
 fmt-check:
@@ -32,13 +32,28 @@ test:
 race:
 	$(GO) test -race -short ./...
 
+# fuzz-smoke runs the wire-decoder fuzzer briefly on top of its checked-in
+# corpus (testdata/fuzz). Long open-ended fuzzing is a background job, not
+# a CI gate; five seconds is enough to catch a decoder regression against
+# everything the corpus has already discovered.
+fuzz-smoke:
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzUnmarshal -fuzztime 5s
+
+# explore runs a time-budgeted coverage-guided fault-exploration session
+# (default 60s; override with EXPLORE_BUDGET). It honors MOCHA_TEST_SEED
+# for the workload base seed and prints the corpus signature plus replay
+# commands for anything the monitor catches.
+EXPLORE_BUDGET ?= 60s
+explore:
+	$(GO) test ./internal/check -run 'TestExploreGuided$$' -count=1 -v -explore $(EXPLORE_BUDGET)
+
 # cover enforces statement-coverage floors on the packages that implement
 # the protocol (core) and its encoding (wire). The floors are set a few
 # points under current coverage so genuinely new untested code fails the
 # gate without every refactor tripping it.
 cover:
 	@set -e; \
-	for spec in "./internal/core 80" "./internal/wire 90" "./internal/obs 85" "./internal/mnet 80" "./internal/netsim 80" "./internal/overlay 80" "./internal/placement 80" "./internal/transport 70"; do \
+	for spec in "./internal/core 80" "./internal/wire 90" "./internal/check 85" "./internal/obs 85" "./internal/mnet 80" "./internal/netsim 80" "./internal/overlay 80" "./internal/placement 80" "./internal/transport 70"; do \
 		pkg="$${spec% *}"; floor="$${spec#* }"; \
 		line="$$($(GO) test -cover $$pkg | tail -1)"; \
 		echo "$$line"; \

@@ -28,23 +28,30 @@ func TestAblateLoadSmoke(t *testing.T) {
 	if res.ID != "load" {
 		t.Fatalf("result ID = %q, want load", res.ID)
 	}
-	for _, leg := range []string{"serial I/O", "batched I/O"} {
+	for _, leg := range []string{"serial I/O", "batched I/O", "online monitor"} {
 		if !strings.Contains(res.Table, leg) {
 			t.Fatalf("missing %q leg:\n%s", leg, res.Table)
 		}
 	}
 	for _, key := range []string{
-		"serial_completed", "batched_completed",
-		"serial_tput_ops", "batched_tput_ops",
+		"serial_completed", "batched_completed", "monitored_completed",
+		"serial_tput_ops", "batched_tput_ops", "monitored_tput_ops",
 		"serial_p99_ms", "batched_p99_ms",
 		"batched_send_batches", "speedup",
+		"monitor_events", "monitor_overhead",
 	} {
 		if _, ok := res.Metrics[key]; !ok {
 			t.Errorf("missing metric %q", key)
 		}
 	}
-	if res.Metrics["serial_completed"] == 0 || res.Metrics["batched_completed"] == 0 {
+	if res.Metrics["serial_completed"] == 0 || res.Metrics["batched_completed"] == 0 ||
+		res.Metrics["monitored_completed"] == 0 {
 		t.Fatalf("a leg completed zero operations:\n%s", res.Table)
+	}
+	// The monitored leg self-fails inside loadLeg on an empty stream; pin
+	// the metric too so a silent rewire cannot slip past the smoke.
+	if res.Metrics["monitor_events"] == 0 {
+		t.Fatalf("online monitor saw zero events:\n%s", res.Table)
 	}
 	if res.Metrics["batched_send_batches"] == 0 {
 		t.Fatalf("batched leg recorded no transmit flushes:\n%s", res.Table)

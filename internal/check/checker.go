@@ -35,6 +35,10 @@ var (
 	// non-home site shipped the record, or a site installed a record no
 	// handoff addressed to it.
 	ErrHomeChain = errors.New("check: lock home changed outside the handoff chain")
+	// ErrTruncatedHistory: the recorder overflowed, so the history is a
+	// prefix of the run and any verdict or coverage signature computed
+	// from it is unsound.
+	ErrTruncatedHistory = errors.New("check: history overflowed the recorder")
 )
 
 // Violation reports the first invariant breach found in a history.
@@ -65,6 +69,13 @@ type hold struct {
 	thread wire.ThreadID
 	site   wire.SiteID
 	grant  wire.HistoryEvent
+	// revisedAt is the version the most recent revised (post-recovery)
+	// grant re-issued this hold at, 0 if never revised. A recovery can
+	// poll the holder's published-but-unreleased version off a replica and
+	// adopt it as the committed baseline before the holder releases; the
+	// revised grant at that version marks the later same-version release
+	// as the commit of an already-adopted version, not a regress.
+	revisedAt uint64
 }
 
 // lockState replays one lock's protocol state.
@@ -130,6 +141,23 @@ func (ls *lockState) demoteUncommitted(t wire.ThreadID) {
 	}
 }
 
+// pruneBelow forgets shadow and known-site state for every version strictly
+// below v — the pruneCommitted mode's horizon sweep, run as commits advance
+// so the retained versions are only the committed one and any uncommitted
+// successors in flight.
+func (ls *lockState) pruneBelow(v uint64) {
+	for ver := range ls.shadow {
+		if ver < v {
+			delete(ls.shadow, ver)
+		}
+	}
+	for ver := range ls.knownAt {
+		if ver < v {
+			delete(ls.knownAt, ver)
+		}
+	}
+}
+
 // dropAbove forgets shadow and known-site state for every version strictly
 // above v: a recovery rewound the committed version, so those numbers will
 // be reissued with fresh bytes.
@@ -146,8 +174,26 @@ func (ls *lockState) dropAbove(v uint64) {
 	}
 }
 
+// checkerMode selects how much history-comparison state a checker retains.
+type checkerMode int
+
+const (
+	// retainAll keeps every version's shadow digests and up-to-date sets
+	// for the whole replay — the offline default, maximal detection power.
+	retainAll checkerMode = iota
+	// pruneCommitted forgets shadow and known-site state strictly below
+	// each lock's committed version as commits advance. Detection only
+	// weakens for comparisons against long-committed versions (a stale
+	// read of ancient bytes may pass); nothing new can be flagged, so the
+	// mode never introduces false positives. It bounds memory by live
+	// protocol state instead of run length — what lets the online monitor
+	// run inside an open-ended load harness.
+	pruneCommitted
+)
+
 // checker replays a history event by event.
 type checker struct {
+	mode   checkerMode
 	locks  map[wire.LockID]*lockState
 	banned map[wire.ThreadID]wire.HistoryEvent
 	// home is each lock's current manager site as the home chain
@@ -161,23 +207,42 @@ type checker struct {
 	homeEv map[wire.LockID]wire.HistoryEvent
 }
 
-// Check replays a recorded history against the entry-consistency
-// specification and returns the first violation, or nil. Events must be in
-// recorder order (as returned by Recorder.Events).
-func Check(events []wire.HistoryEvent) *Violation {
-	c := &checker{
+func newChecker(mode checkerMode) *checker {
+	return &checker{
+		mode:        mode,
 		locks:       make(map[wire.LockID]*lockState),
 		banned:      make(map[wire.ThreadID]wire.HistoryEvent),
 		home:        make(map[wire.LockID]wire.SiteID),
 		pendingMove: make(map[wire.LockID]wire.SiteID),
 		homeEv:      make(map[wire.LockID]wire.HistoryEvent),
 	}
+}
+
+// Check replays a recorded history against the entry-consistency
+// specification and returns the first violation, or nil. Events must be in
+// recorder order (as returned by Recorder.Events).
+func Check(events []wire.HistoryEvent) *Violation {
+	c := newChecker(retainAll)
 	for _, ev := range events {
 		if v := c.step(ev); v != nil {
 			return v
 		}
 	}
 	return nil
+}
+
+// CheckRecorder checks a recorder's full history, first insisting the
+// recorder actually holds the full history: an overflowed recorder returns
+// an ErrTruncatedHistory violation instead of a verdict on the surviving
+// prefix, because "the prefix was consistent" says nothing about the run —
+// and a coverage signature of a clipped history would under-report the
+// states the run reached.
+func CheckRecorder(r *Recorder) *Violation {
+	if d := r.Dropped(); d > 0 {
+		return violate(ErrTruncatedHistory,
+			fmt.Sprintf("%d events overflowed the %d-slot buffer; raise the recorder capacity", d, len(r.slots)))
+	}
+	return Check(r.Events())
 }
 
 func (c *checker) lock(id wire.LockID) *lockState {
@@ -295,14 +360,15 @@ func (c *checker) onGrant(ev wire.HistoryEvent) *Violation {
 	if ev.Revised {
 		// A revised grant re-issues an existing hold after recovery; it
 		// must land on the current hold, never create one.
-		held := (ls.holder != nil && ls.holder.thread == ev.Thread)
-		if !held {
-			_, held = ls.readers[ev.Thread]
+		h := ls.holder
+		if h == nil || h.thread != ev.Thread {
+			h = ls.readers[ev.Thread]
 		}
-		if !held {
+		if h == nil {
 			return violate(ErrOrphanGrant,
 				fmt.Sprintf("revised grant of lock %d to thread %d, which holds nothing", ev.Lock, ev.Thread), ev)
 		}
+		h.revisedAt = ev.Version
 	} else {
 		acq, ok := ls.pending[ev.Thread]
 		if !ok {
@@ -355,6 +421,12 @@ func (c *checker) onGrant(ev wire.HistoryEvent) *Violation {
 
 func (c *checker) onRelease(ev wire.HistoryEvent) *Violation {
 	ls := c.lock(ev.Lock)
+	// A release at exactly the committed version is legal only when a
+	// recovery adopted the holder's published-but-unreleased version off a
+	// replica and a revised grant re-issued the hold at it — then this
+	// release is the commit of a version already baselined, not a reuse.
+	rebased := ls.holder != nil && ls.holder.thread == ev.Thread &&
+		ls.holder.revisedAt != 0 && ls.holder.revisedAt == ev.Version
 	ls.removeHold(ev.Thread)
 	if ev.Aborted || ev.Shared {
 		if ev.Aborted && !ev.Shared {
@@ -365,7 +437,7 @@ func (c *checker) onRelease(ev wire.HistoryEvent) *Violation {
 		}
 		return nil
 	}
-	if ev.Version <= ls.committed {
+	if ev.Version < ls.committed || (ev.Version == ls.committed && !rebased) {
 		return violate(ErrVersionRegress,
 			fmt.Sprintf("release of lock %d commits v%d, already at v%d", ev.Lock, ev.Version, ls.committed), ev)
 	}
@@ -385,6 +457,9 @@ func (c *checker) onRelease(ev wire.HistoryEvent) *Violation {
 				fmt.Sprintf("release of lock %d claims site %d holds v%d, but no apply of v%d at that site was recorded",
 					ev.Lock, site, ev.Version, ev.Version), ev)
 		}
+	}
+	if c.mode == pruneCommitted {
+		ls.pruneBelow(ls.committed)
 	}
 	return nil
 }
@@ -538,6 +613,9 @@ func (c *checker) onRecover(ev wire.HistoryEvent) *Violation {
 		}
 	default: // "poll-best"
 		ls.know(ev.Version, ev.Site)
+	}
+	if c.mode == pruneCommitted {
+		ls.pruneBelow(ls.committed)
 	}
 	return nil
 }

@@ -1,0 +1,561 @@
+package check
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"mocha/internal/netsim"
+	"mocha/internal/wire"
+)
+
+// This file is the generic half of coverage-guided fault exploration: run
+// fingerprints over protocol transitions, encodable fault schedules, a
+// novelty-ranked corpus, and the mutation session that drives it. It knows
+// nothing about core — fault points appear as their registry names — so the
+// package keeps its wire+netsim-only dependency story and any harness
+// (the explorer tests, the bench tool) can drive a session.
+
+// Coverage is the set of protocol transitions a run exercised, as hashed
+// transition keys. Two keys collide only if fnv-64 collides, so set
+// operations on Coverage stand in for set operations on transitions.
+type Coverage map[uint64]struct{}
+
+// transitionKey hashes one coverage atom.
+func transitionKey(parts ...uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, p := range parts {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(p >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// evAtom reduces one event to its transition identity: the kind, its mode
+// flags, and the note class (fault-point name, nack reason, recovery
+// verdict). Site, thread, lock, and version numbers are deliberately
+// excluded — coverage is about which protocol transitions ran, not which
+// data they ran over, so runs with different cluster shapes still compare.
+// Free-text notes embed those numbers too ("lease expired on lock 101 …"),
+// so digits are stripped before hashing: without that, every (lock, site)
+// pairing of the same transition would masquerade as new coverage.
+func evAtom(ev wire.HistoryEvent) uint64 {
+	var flags uint64
+	if ev.Shared {
+		flags |= 1
+	}
+	if ev.Aborted {
+		flags |= 2
+	}
+	if ev.Revised {
+		flags |= 4
+	}
+	h := fnv.New64a()
+	h.Write([]byte{byte(ev.Kind), byte(flags), byte(ev.Flag)})
+	var note [64]byte
+	n := 0
+	for i := 0; i < len(ev.Note) && n < len(note); i++ {
+		if c := ev.Note[i]; c < '0' || c > '9' {
+			note[n] = c
+			n++
+		}
+	}
+	h.Write(note[:n])
+	return h.Sum64()
+}
+
+// CoverageOf fingerprints a history as its transition set: one key per
+// distinct event atom (kind + flags + note class), plus one key per
+// distinct per-lock atom bigram — the pairs of consecutive transitions each
+// lock's state machine took. The bigrams are what distinguish interesting
+// interleavings: a break-then-grant and a grant-then-break contain the same
+// atoms but different edges.
+func CoverageOf(events []wire.HistoryEvent) Coverage {
+	cov := make(Coverage)
+	prev := make(map[wire.LockID]uint64)
+	for _, ev := range events {
+		a := evAtom(ev)
+		cov[transitionKey(1, a)] = struct{}{}
+		if p, ok := prev[ev.Lock]; ok {
+			cov[transitionKey(2, p, a)] = struct{}{}
+		}
+		prev[ev.Lock] = a
+	}
+	return cov
+}
+
+// Merge folds o into c, returning how many keys were new.
+func (c Coverage) Merge(o Coverage) int {
+	fresh := 0
+	for k := range o {
+		if _, ok := c[k]; !ok {
+			c[k] = struct{}{}
+			fresh++
+		}
+	}
+	return fresh
+}
+
+// Signature reduces the coverage set to one order-independent value, so two
+// runs reached the same transition set iff their signatures match.
+func (c Coverage) Signature() uint64 {
+	var sig uint64
+	for k := range c {
+		// Mix each key before xor-folding so that sets differing by a
+		// swap of two related keys don't cancel.
+		x := k * 0x9E3779B97F4A7C15
+		x ^= x >> 29
+		sig ^= x * 0xBF58476D1CE4E5B9
+	}
+	return sig
+}
+
+// OneWayCut schedules an asymmetric partition: the From→To direction goes
+// dark AfterMS milliseconds into the workload and heals ForMS later. The
+// reverse direction keeps working throughout.
+type OneWayCut struct {
+	From    uint32 `json:"from"`
+	To      uint32 `json:"to"`
+	AfterMS int    `json:"after_ms"`
+	ForMS   int    `json:"for_ms"`
+}
+
+// SiteSkew bounds one site's lease-timer clock drift relative to true time:
+// positive MS means that site's manager judges holds MS milliseconds older
+// than they are.
+type SiteSkew struct {
+	Site uint32 `json:"site"`
+	MS   int    `json:"ms"`
+}
+
+// Schedule is one complete, replayable fault schedule. Seed derives
+// everything the schedule does not spell out (cluster shape, workload,
+// network seed, base fault plan), exactly as the fixed-seed explorer always
+// has; the explicit fields are the dimensions the mutator perturbs. The
+// zero values of every explicit field reproduce the pure seed-derived run,
+// so the 20-seed baseline is the degenerate schedule {Seed: s}.
+type Schedule struct {
+	Seed int64 `json:"seed"`
+	// Fires overrides the seed-derived fault plan: for each fault-point
+	// name, the occurrence indices at which it takes its failure path.
+	// A nil map means "use the seed's derived plan"; an empty non-nil map
+	// disables all point-firing.
+	Fires map[string][]int `json:"fires,omitempty"`
+	// DelayMS overrides the seed-derived poll/handoff stall (0 = derived).
+	DelayMS int `json:"delay_ms,omitempty"`
+	// Victim, when nonzero, fail-stops that site VictimAfterMS into the
+	// workload regardless of fault-point traffic.
+	Victim        uint32 `json:"victim,omitempty"`
+	VictimAfterMS int    `json:"victim_after_ms,omitempty"`
+	// Cuts are scheduled one-way partitions.
+	Cuts []OneWayCut `json:"cuts,omitempty"`
+	// BurstLoss/BurstLen add correlated loss bursts to every link.
+	BurstLoss float64 `json:"burst_loss,omitempty"`
+	BurstLen  int     `json:"burst_len,omitempty"`
+	// Skews are per-site lease-timer clock offsets.
+	Skews []SiteSkew `json:"skews,omitempty"`
+}
+
+// Dimensions reports which of the mutation-only fault dimensions the
+// schedule uses, as the marker notes the harness records for them. Empty
+// for every baseline (pure-seed) schedule.
+func (s Schedule) Dimensions() []string {
+	var dims []string
+	if len(s.Cuts) > 0 {
+		dims = append(dims, NoteOneWayPartition)
+	}
+	if len(s.Skews) > 0 {
+		dims = append(dims, NoteLeaseSkew)
+	}
+	if s.BurstLoss > 0 {
+		dims = append(dims, NoteBurstLoss)
+	}
+	return dims
+}
+
+// Marker notes a schedule-driving harness records (as HistFault events) when
+// arming each mutation-only fault dimension, so a run's coverage provably
+// contains the dimensions it ran under.
+const (
+	NoteOneWayPartition = "one-way-partition"
+	NoteOneWayHeal      = "one-way-heal"
+	NoteLeaseSkew       = "lease-skew"
+	NoteBurstLoss       = "burst-loss"
+)
+
+// DimensionKey returns the unigram coverage key a harness-recorded marker
+// event with the given note produces, letting tests assert a dimension's
+// presence in a coverage set without replaying histories.
+func DimensionKey(note string) uint64 {
+	return transitionKey(1, evAtom(wire.HistoryEvent{Kind: wire.HistFault, Note: note}))
+}
+
+// Encode renders the schedule as one copy-pasteable token (base64url JSON)
+// for -schedule replay flags.
+func (s Schedule) Encode() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Schedule has no unmarshalable fields; keep the signature clean.
+		panic("check: schedule encode: " + err.Error())
+	}
+	return base64.RawURLEncoding.EncodeToString(b)
+}
+
+// DecodeSchedule parses a token produced by Encode.
+func DecodeSchedule(tok string) (Schedule, error) {
+	var s Schedule
+	b, err := base64.RawURLEncoding.DecodeString(strings.TrimSpace(tok))
+	if err != nil {
+		return s, fmt.Errorf("check: schedule token: %w", err)
+	}
+	if err := json.Unmarshal(b, &s); err != nil {
+		return s, fmt.Errorf("check: schedule token: %w", err)
+	}
+	return s, nil
+}
+
+// String summarizes the schedule for logs.
+func (s Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d", s.Seed)
+	if len(s.Fires) > 0 {
+		names := make([]string, 0, len(s.Fires))
+		for n := range s.Fires {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, " %s@%v", n, s.Fires[n])
+		}
+	}
+	if s.DelayMS > 0 {
+		fmt.Fprintf(&b, " delay=%dms", s.DelayMS)
+	}
+	if s.Victim != 0 {
+		fmt.Fprintf(&b, " victim=site%d@%dms", s.Victim, s.VictimAfterMS)
+	}
+	for _, c := range s.Cuts {
+		fmt.Fprintf(&b, " cut=%d→%d@%d+%dms", c.From, c.To, c.AfterMS, c.ForMS)
+	}
+	if s.BurstLoss > 0 {
+		fmt.Fprintf(&b, " burst=%.3f×%d", s.BurstLoss, s.BurstLen)
+	}
+	for _, sk := range s.Skews {
+		fmt.Fprintf(&b, " skew=site%d%+dms", sk.Site, sk.MS)
+	}
+	return b.String()
+}
+
+// saltMutate derives a session's mutation stream; distinct from the
+// harness-side config/fault/workload salts so guiding a session never
+// perturbs what any base seed derives.
+const saltMutate = 9
+
+// Mutate returns a perturbed copy of the schedule. The first mutations of
+// any schedule reach for the fault dimensions it does not use yet — a
+// one-way cut, then lease skew, then burst loss — because an untried
+// dimension is the cheapest guaranteed-new coverage there is; once all
+// dimensions are in play, mutations perturb what exists (occurrence flips,
+// victim redirection, timing). points is the fault-point name registry;
+// sites the run's site count (victims and cut endpoints stay in range).
+func Mutate(s Schedule, rng *rand.Rand, points []string, sites int) Schedule {
+	m := cloneSchedule(s)
+	if sites < 2 {
+		sites = 2
+	}
+	site := func() uint32 { return uint32(1 + rng.Intn(sites)) }
+
+	// Untried-dimension-first: see the doc comment.
+	added := true
+	switch {
+	case len(m.Cuts) == 0:
+		from := site()
+		to := site()
+		for to == from {
+			to = site()
+		}
+		m.Cuts = append(m.Cuts, OneWayCut{
+			From: from, To: to,
+			AfterMS: 10 + rng.Intn(200),
+			ForMS:   100 + rng.Intn(600),
+		})
+	case len(m.Skews) == 0:
+		ms := 100 + rng.Intn(900)
+		if rng.Intn(2) == 0 {
+			ms = -ms
+		}
+		m.Skews = append(m.Skews, SiteSkew{Site: site(), MS: ms})
+	case m.BurstLoss == 0:
+		m.BurstLoss = 0.005 + rng.Float64()*0.02
+		m.BurstLen = 2 + rng.Intn(6)
+	default:
+		added = false
+	}
+
+	// Stacked perturbations (the havoc half): a single tweak per pick
+	// explores too slowly to keep pace with fresh seeds, so each mutation
+	// applies several. A newly-added dimension already changes a lot, so
+	// those rounds stack fewer.
+	n := 1 + rng.Intn(3)
+	if added {
+		n = rng.Intn(2)
+	}
+	for i := 0; i < n; i++ {
+		switch rng.Intn(8) {
+		case 0: // flip a fault-point occurrence on
+			if len(points) > 0 {
+				p := points[rng.Intn(len(points))]
+				if m.Fires == nil {
+					m.Fires = make(map[string][]int)
+				}
+				m.Fires[p] = addOcc(m.Fires[p], rng.Intn(6))
+			}
+		case 6: // saturate one point: fire at every occurrence. Derived
+			// plans never fire a point more than twice, so dense
+			// schedules are mutation-only territory.
+			if len(points) > 0 {
+				p := points[rng.Intn(len(points))]
+				if m.Fires == nil {
+					m.Fires = make(map[string][]int)
+				}
+				m.Fires[p] = []int{0, 1, 2, 3, 4, 5}
+			}
+		case 7: // fault storm: one extra occurrence on every point at once
+			if m.Fires == nil {
+				m.Fires = make(map[string][]int)
+			}
+			for _, p := range points {
+				m.Fires[p] = addOcc(m.Fires[p], rng.Intn(6))
+			}
+		case 1: // drop a fault-point occurrence
+			for p, occ := range m.Fires { // map order randomness is fine here
+				if len(occ) > 0 {
+					m.Fires[p] = occ[:len(occ)-1]
+					break
+				}
+			}
+		case 2: // retime the stall
+			m.DelayMS = 50 + rng.Intn(500)
+		case 3: // redirect (or introduce) the timed victim
+			m.Victim = site()
+			m.VictimAfterMS = 20 + rng.Intn(400)
+		case 4: // retime a cut
+			c := &m.Cuts[rng.Intn(len(m.Cuts))]
+			c.AfterMS = 10 + rng.Intn(200)
+			c.ForMS = 100 + rng.Intn(600)
+		case 5: // re-aim a skew
+			if len(m.Skews) > 0 {
+				sk := &m.Skews[rng.Intn(len(m.Skews))]
+				sk.Site = site()
+				sk.MS = -sk.MS
+			}
+		}
+	}
+	return m
+}
+
+func addOcc(occ []int, n int) []int {
+	for _, o := range occ {
+		if o == n {
+			return occ
+		}
+	}
+	occ = append(occ, n)
+	sort.Ints(occ)
+	return occ
+}
+
+func cloneSchedule(s Schedule) Schedule {
+	m := s
+	if s.Fires != nil {
+		m.Fires = make(map[string][]int, len(s.Fires))
+		for k, v := range s.Fires {
+			m.Fires[k] = append([]int(nil), v...)
+		}
+	}
+	m.Cuts = append([]OneWayCut(nil), s.Cuts...)
+	m.Skews = append([]SiteSkew(nil), s.Skews...)
+	return m
+}
+
+// Entry is one corpus member: a schedule that reached coverage no earlier
+// run had, ranked by how much was new when it was admitted.
+type Entry struct {
+	Schedule Schedule
+	// Novelty is how many coverage keys the run contributed that the
+	// corpus had not seen before it.
+	Novelty int
+}
+
+// Corpus accumulates the session's global coverage and the schedules that
+// grew it.
+type Corpus struct {
+	global  Coverage
+	entries []Entry
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{global: make(Coverage)}
+}
+
+// Admit folds a run's coverage into the corpus. If any key is new, the
+// schedule is kept as a mutation source; the return value is the number of
+// new keys (the entry's novelty, 0 if the run covered nothing new).
+func (c *Corpus) Admit(s Schedule, cov Coverage) int {
+	fresh := c.global.Merge(cov)
+	if fresh > 0 {
+		c.entries = append(c.entries, Entry{Schedule: s, Novelty: fresh})
+	}
+	return fresh
+}
+
+// Coverage returns the corpus's accumulated coverage set (shared, not a
+// copy — callers must not mutate it).
+func (c *Corpus) Coverage() Coverage { return c.global }
+
+// Entries returns the admitted schedules in admission order.
+func (c *Corpus) Entries() []Entry { return c.entries }
+
+// Pick selects a mutation source, novelty-weighted: a schedule that opened
+// 10 new transitions is 10 times as likely to be mutated as one that opened
+// 1. Returns false if the corpus is empty.
+func (c *Corpus) Pick(rng *rand.Rand) (Schedule, bool) {
+	total := 0
+	for _, e := range c.entries {
+		total += e.Novelty
+	}
+	if total == 0 {
+		return Schedule{}, false
+	}
+	n := rng.Intn(total)
+	for _, e := range c.entries {
+		if n < e.Novelty {
+			return e.Schedule, true
+		}
+		n -= e.Novelty
+	}
+	return c.entries[len(c.entries)-1].Schedule, true
+}
+
+// Session is one coverage-guided exploration loop: it hands out schedules
+// (seed-derived baselines first, then mutations of whatever reached new
+// coverage) and folds each run's observed coverage back into the corpus.
+type Session struct {
+	rng    *rand.Rand
+	corpus *Corpus
+	points []string
+	// sitesOf reports a schedule's site count so mutations aim at sites
+	// that exist; nil defaults to 3.
+	sitesOf func(seed int64) int
+
+	nextSeed  int64
+	baselines int // how many pure seeds to run before mutating
+	issued    int
+}
+
+// NewSession starts a session at the given base seed. points is the
+// fault-point registry (by name); baselines is how many consecutive pure
+// seeds prime the corpus before mutation begins (the old explorer ran 20 of
+// them and nothing else); sitesOf maps a seed to its derived site count.
+func NewSession(seed int64, points []string, baselines int, sitesOf func(seed int64) int) *Session {
+	if baselines < 1 {
+		baselines = 1
+	}
+	return &Session{
+		rng:       rand.New(rand.NewSource(netsim.DeriveSeed(seed, saltMutate))),
+		corpus:    NewCorpus(),
+		points:    points,
+		sitesOf:   sitesOf,
+		nextSeed:  seed,
+		baselines: baselines,
+	}
+}
+
+// freshEvery paces the session's exploration after priming: every third
+// schedule is a fresh seed (a whole new derived fault plan) rather than a
+// mutation. Pure exploitation starves the corpus of the plan-level
+// diversity only fresh seeds provide; pure exploration is the baseline the
+// session exists to beat.
+const freshEvery = 3
+
+// Next returns the next schedule to run: a priming baseline while those
+// last, then novelty-picked mutations interleaved with fresh seeds (see
+// freshEvery). If the corpus is still empty when mutations should start
+// (every priming run crashed or was truncated), it falls back to fresh
+// baselines.
+func (s *Session) Next() Schedule {
+	s.issued++
+	if s.issued <= s.baselines || (s.issued-s.baselines)%freshEvery == 0 {
+		sched := Schedule{Seed: s.nextSeed}
+		s.nextSeed++
+		return sched
+	}
+	if base, ok := s.corpus.Pick(s.rng); ok {
+		sites := 3
+		if s.sitesOf != nil {
+			sites = s.sitesOf(base.Seed)
+		}
+		m := Mutate(base, s.rng, s.points, sites)
+		s.ensureUntriedDimension(&m, sites)
+		return m
+	}
+	sched := Schedule{Seed: s.nextSeed}
+	s.nextSeed++
+	return sched
+}
+
+// ensureUntriedDimension pushes the session toward fault dimensions the
+// whole corpus has not covered yet. Mutate's per-schedule untried-first rule
+// is not enough on its own: novelty weighting favors the fat baseline
+// entries, so every pick of one would re-add a cut and the later dimensions
+// would never be reached. Checking the marker keys against the corpus's
+// global coverage instead guarantees each dimension enters play within the
+// first few mutations.
+func (s *Session) ensureUntriedDimension(m *Schedule, sites int) {
+	cov := s.corpus.Coverage()
+	tried := func(note string) bool {
+		_, ok := cov[DimensionKey(note)]
+		return ok
+	}
+	site := func() uint32 { return uint32(1 + s.rng.Intn(sites)) }
+	switch {
+	case !tried(NoteOneWayPartition) && len(m.Cuts) == 0:
+		from, to := site(), site()
+		for to == from {
+			to = site()
+		}
+		m.Cuts = append(m.Cuts, OneWayCut{From: from, To: to,
+			AfterMS: 10 + s.rng.Intn(200), ForMS: 100 + s.rng.Intn(600)})
+	case !tried(NoteLeaseSkew) && len(m.Skews) == 0:
+		ms := 100 + s.rng.Intn(900)
+		if s.rng.Intn(2) == 0 {
+			ms = -ms
+		}
+		m.Skews = append(m.Skews, SiteSkew{Site: site(), MS: ms})
+	case !tried(NoteBurstLoss) && m.BurstLoss == 0:
+		m.BurstLoss = 0.005 + s.rng.Float64()*0.02
+		m.BurstLen = 2 + s.rng.Intn(6)
+	}
+}
+
+// Report folds one finished run into the corpus, returning the run's
+// novelty. Truncated runs (recorder overflow) are rejected outright: a
+// coverage signature computed from a clipped history would claim the run
+// reached fewer states than it did, poisoning novelty ranking.
+func (s *Session) Report(sched Schedule, cov Coverage, truncated bool) int {
+	if truncated {
+		return 0
+	}
+	return s.corpus.Admit(sched, cov)
+}
+
+// Corpus exposes the session's corpus.
+func (s *Session) Corpus() *Corpus { return s.corpus }

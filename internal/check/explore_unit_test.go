@@ -1,0 +1,224 @@
+package check
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mocha/internal/wire"
+)
+
+func TestScheduleEncodeDecodeRoundTrip(t *testing.T) {
+	s := Schedule{
+		Seed:          42,
+		Fires:         map[string][]int{"kill-lock-holder": {0, 3}, "drop-mid-transfer": {1}},
+		DelayMS:       250,
+		Victim:        2,
+		VictimAfterMS: 90,
+		Cuts:          []OneWayCut{{From: 1, To: 3, AfterMS: 20, ForMS: 400}},
+		BurstLoss:     0.01,
+		BurstLen:      4,
+		Skews:         []SiteSkew{{Site: 2, MS: -300}},
+	}
+	got, err := DecodeSchedule(s.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("round trip changed the schedule:\n got %+v\nwant %+v", got, s)
+	}
+	// The degenerate baseline survives too, with Fires still nil (nil means
+	// "seed-derived plan", distinct from the empty map's "no firing").
+	base, err := DecodeSchedule(Schedule{Seed: 7}.Encode())
+	if err != nil {
+		t.Fatalf("decode baseline: %v", err)
+	}
+	if base.Seed != 7 || base.Fires != nil || len(base.Cuts) != 0 {
+		t.Fatalf("baseline round trip: %+v", base)
+	}
+	if _, err := DecodeSchedule("!!not a token!!"); err == nil {
+		t.Fatal("garbage token decoded")
+	}
+}
+
+func TestScheduleDimensions(t *testing.T) {
+	if dims := (Schedule{Seed: 1}).Dimensions(); len(dims) != 0 {
+		t.Fatalf("baseline claims dimensions %v", dims)
+	}
+	s := Schedule{
+		Cuts:      []OneWayCut{{From: 1, To: 2}},
+		Skews:     []SiteSkew{{Site: 1, MS: 100}},
+		BurstLoss: 0.01,
+	}
+	want := []string{NoteOneWayPartition, NoteLeaseSkew, NoteBurstLoss}
+	if got := s.Dimensions(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Dimensions = %v, want %v", got, want)
+	}
+}
+
+// TestMutateUntriedDimensionFirst pins the heuristic the beats-baseline
+// guarantee rests on: the first three mutations of any baseline schedule
+// introduce, in order, a one-way cut, a lease skew, and a loss burst.
+func TestMutateUntriedDimensionFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	points := []string{"kill-lock-holder"}
+	s := Schedule{Seed: 5}
+
+	m1 := Mutate(s, rng, points, 4)
+	if len(m1.Cuts) != 1 {
+		t.Fatalf("first mutation did not add a cut: %+v", m1)
+	}
+	c := m1.Cuts[0]
+	if c.From == c.To || c.From < 1 || c.From > 4 || c.To < 1 || c.To > 4 {
+		t.Fatalf("cut endpoints out of range or equal: %+v", c)
+	}
+	if len(s.Cuts) != 0 {
+		t.Fatal("Mutate modified its input")
+	}
+
+	m2 := Mutate(m1, rng, points, 4)
+	if len(m2.Skews) != 1 || len(m2.Cuts) != 1 {
+		t.Fatalf("second mutation did not add a skew: %+v", m2)
+	}
+	if ms := m2.Skews[0].MS; ms == 0 || ms > 1000 || ms < -1000 {
+		t.Fatalf("skew out of range: %+v", m2.Skews[0])
+	}
+
+	m3 := Mutate(m2, rng, points, 4)
+	if m3.BurstLoss <= 0 || m3.BurstLen < 2 {
+		t.Fatalf("third mutation did not add burst loss: %+v", m3)
+	}
+
+	// All dimensions in play: further mutations perturb rather than add.
+	m4 := Mutate(m3, rng, points, 4)
+	if len(m4.Cuts) != 1 || len(m4.Skews) != 1 || m4.BurstLoss == 0 {
+		t.Fatalf("perturbing mutation dropped a dimension: %+v", m4)
+	}
+}
+
+func TestCoverageSignatureOrderIndependent(t *testing.T) {
+	evs := seq(cleanPrefix())
+	fwd := CoverageOf(evs)
+	// Same transition set assembled in a different insertion order.
+	again := make(Coverage)
+	keys := make([]uint64, 0, len(fwd))
+	for k := range fwd {
+		keys = append(keys, k)
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		again[keys[i]] = struct{}{}
+	}
+	if fwd.Signature() != again.Signature() {
+		t.Fatal("signature depends on insertion order")
+	}
+	// And it actually discriminates: dropping one key changes it.
+	delete(again, keys[0])
+	if fwd.Signature() == again.Signature() {
+		t.Fatal("signature blind to a missing transition")
+	}
+}
+
+func TestCoverageBigramsDistinguishOrder(t *testing.T) {
+	a := wire.HistoryEvent{Kind: wire.HistBreak, Lock: 9}
+	b := wire.HistoryEvent{Kind: wire.HistGrant, Lock: 9}
+	ab := CoverageOf([]wire.HistoryEvent{a, b})
+	ba := CoverageOf([]wire.HistoryEvent{b, a})
+	if ab.Signature() == ba.Signature() {
+		t.Fatal("bigrams failed to distinguish break→grant from grant→break")
+	}
+	// Events on different locks contribute no shared bigram: two unigrams
+	// only, where the same pair on one lock would add a third key.
+	other := wire.HistoryEvent{Kind: wire.HistGrant, Lock: 8}
+	if two := CoverageOf([]wire.HistoryEvent{a, other}); len(two) != 2 {
+		t.Fatalf("cross-lock bigram leaked: %d keys", len(two))
+	}
+}
+
+func TestDimensionKeyMatchesRecordedMarker(t *testing.T) {
+	// A harness records the marker as a HistFault with the dimension note;
+	// DimensionKey must be exactly that event's unigram key.
+	cov := CoverageOf([]wire.HistoryEvent{{Kind: wire.HistFault, Note: NoteLeaseSkew}})
+	if _, ok := cov[DimensionKey(NoteLeaseSkew)]; !ok {
+		t.Fatal("DimensionKey does not match the recorded marker's coverage key")
+	}
+	if _, ok := cov[DimensionKey(NoteBurstLoss)]; ok {
+		t.Fatal("distinct dimensions collide")
+	}
+}
+
+func TestCorpusAdmitAndPick(t *testing.T) {
+	c := NewCorpus()
+	covA := Coverage{1: {}, 2: {}, 3: {}}
+	if fresh := c.Admit(Schedule{Seed: 1}, covA); fresh != 3 {
+		t.Fatalf("first admit novelty = %d, want 3", fresh)
+	}
+	// A strict subset contributes nothing and is not kept.
+	if fresh := c.Admit(Schedule{Seed: 2}, Coverage{2: {}}); fresh != 0 {
+		t.Fatalf("subset admit novelty = %d, want 0", fresh)
+	}
+	if fresh := c.Admit(Schedule{Seed: 3}, Coverage{3: {}, 4: {}}); fresh != 1 {
+		t.Fatalf("overlap admit novelty = %d, want 1", fresh)
+	}
+	if n := len(c.Entries()); n != 2 {
+		t.Fatalf("corpus kept %d entries, want 2 (subset must be dropped)", n)
+	}
+	if len(c.Coverage()) != 4 {
+		t.Fatalf("global coverage has %d keys, want 4", len(c.Coverage()))
+	}
+	// Novelty weighting: seed 1 (novelty 3) should be picked ~3x as often
+	// as seed 3 (novelty 1).
+	rng := rand.New(rand.NewSource(7))
+	picks := map[int64]int{}
+	for i := 0; i < 4000; i++ {
+		s, ok := c.Pick(rng)
+		if !ok {
+			t.Fatal("pick from non-empty corpus failed")
+		}
+		picks[s.Seed]++
+	}
+	if picks[1] < 2*picks[3] {
+		t.Fatalf("novelty weighting off: picks = %v", picks)
+	}
+	if _, ok := NewCorpus().Pick(rng); ok {
+		t.Fatal("pick from empty corpus succeeded")
+	}
+}
+
+func TestSessionBaselinesThenMutations(t *testing.T) {
+	sess := NewSession(100, []string{"kill-lock-holder"}, 3, func(int64) int { return 4 })
+	// First three schedules are pure consecutive baselines.
+	for i := 0; i < 3; i++ {
+		sched := sess.Next()
+		if sched.Seed != int64(100+i) || len(sched.Cuts) != 0 || sched.Fires != nil {
+			t.Fatalf("baseline %d = %+v", i, sched)
+		}
+		sess.Report(sched, Coverage{uint64(i): {}}, false)
+	}
+	// Fourth is a mutation of a corpus entry: untried-dimension-first means
+	// it carries a cut, and its seed is one of the admitted baselines.
+	m := sess.Next()
+	if len(m.Cuts) != 1 {
+		t.Fatalf("first mutation lacks a cut: %+v", m)
+	}
+	if m.Seed < 100 || m.Seed > 102 {
+		t.Fatalf("mutation seed %d not from the corpus", m.Seed)
+	}
+	// A truncated run is rejected: novelty 0, corpus unchanged.
+	if n := sess.Report(m, Coverage{99: {}}, true); n != 0 {
+		t.Fatalf("truncated run admitted with novelty %d", n)
+	}
+	if _, ok := sess.Corpus().Coverage()[99]; ok {
+		t.Fatal("truncated run's coverage leaked into the corpus")
+	}
+}
+
+func TestSessionFallsBackToBaselines(t *testing.T) {
+	sess := NewSession(10, nil, 1, nil)
+	first := sess.Next()
+	// Never reported: the corpus stays empty, so the session keeps issuing
+	// fresh baselines rather than mutating nothing.
+	second := sess.Next()
+	if second.Seed != first.Seed+1 || len(second.Cuts) != 0 {
+		t.Fatalf("empty-corpus fallback issued %+v after %+v", second, first)
+	}
+}

@@ -1,0 +1,188 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"mocha/internal/wire"
+)
+
+// Sink consumes history events. It is structurally identical to
+// core.HistorySink (both packages name the shape independently so neither
+// imports the other); Recorder, Monitor, and MultiSink all satisfy it.
+type Sink interface {
+	Record(ev wire.HistoryEvent)
+}
+
+// MultiSink fans one event stream out to several sinks — typically a
+// Recorder (for offline replay and fingerprints) alongside a Monitor (for
+// online violation detection). Nil sinks are skipped.
+func MultiSink(sinks ...Sink) Sink {
+	out := make(multiSink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+type multiSink []Sink
+
+func (m multiSink) Record(ev wire.HistoryEvent) {
+	for _, s := range m {
+		s.Record(ev)
+	}
+}
+
+// DefaultWindow is how many recent events a monitor retains for violation
+// reports when the caller passes no explicit window size.
+const DefaultWindow = 1024
+
+// Counterexample is what an online monitor emits on the first invariant
+// breach: the violation itself, a snapshot of the recent-event window
+// ending at the offending event, and the replay handle the harness
+// registered (a seed or an encoded schedule).
+type Counterexample struct {
+	Violation *Violation
+	// Window holds the last events before and including the violating one,
+	// oldest first.
+	Window []wire.HistoryEvent
+	// Replay is the one-command replay string the harness registered via
+	// SetReplay (empty if it registered none).
+	Replay string
+}
+
+// Error renders the counterexample: the violation, the replay command, and
+// the tail of the window.
+func (cx *Counterexample) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v", cx.Violation)
+	if cx.Replay != "" {
+		fmt.Fprintf(&b, "\nreplay: %s", cx.Replay)
+	}
+	n := len(cx.Window)
+	show := n
+	if show > 16 {
+		show = 16
+	}
+	fmt.Fprintf(&b, "\nlast %d of %d windowed events:", show, n)
+	for _, ev := range cx.Window[n-show:] {
+		b.WriteString("\n  ")
+		b.WriteString(ev.String())
+	}
+	return b.String()
+}
+
+// Unwrap lets errors.Is reach the violation's sentinel.
+func (cx *Counterexample) Unwrap() error { return cx.Violation }
+
+// Monitor checks entry consistency online: every Record steps the same
+// incremental state machine the offline checker replays, so the full event
+// stream is verified as it happens — no sampling, no end-of-run bulk pass —
+// at O(1) amortized work per event (a few map operations). State the
+// checker only keeps for deep-history comparisons (per-version shadow
+// digests and up-to-date sets) is pruned below the committed horizon as
+// versions commit, so a monitor's memory is bounded by the live protocol
+// state, not the run length: it can sit inside a load harness at thousands
+// of operations per second indefinitely.
+//
+// The first violation latches: Record snapshots the bounded window of
+// recent events plus the registered replay handle into a Counterexample,
+// and every later Record degrades to one atomic load. Pruning only ever
+// forgets comparison baselines for long-committed versions, so anything the
+// monitor reports would also be reported by the offline checker on the full
+// history — it may miss a stale read against a pruned version, never
+// invent one.
+type Monitor struct {
+	cex atomic.Pointer[Counterexample]
+
+	mu     sync.Mutex
+	c      *checker
+	seq    uint64
+	window []wire.HistoryEvent // ring buffer
+	wlen   int                 // filled prefix while warming up
+	wpos   int                 // next slot to overwrite
+	replay string
+
+	seen atomic.Uint64
+}
+
+// NewMonitor builds a monitor retaining the last window events for
+// counterexample reports (window <= 0 selects DefaultWindow).
+func NewMonitor(window int) *Monitor {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &Monitor{
+		c:      newChecker(pruneCommitted),
+		window: make([]wire.HistoryEvent, window),
+	}
+}
+
+// SetReplay registers the one-command replay string (a -seed flag, an
+// encoded schedule) stamped onto any counterexample this monitor emits.
+func (m *Monitor) SetReplay(cmd string) {
+	m.mu.Lock()
+	m.replay = cmd
+	m.mu.Unlock()
+}
+
+// Record checks one event. Safe for concurrent writers; events are ordered
+// by arrival at the monitor's mutex, which for core's recording sites is
+// the order the protocol state machines applied them in (they record under
+// the same per-lock mutexes that serialized the transitions).
+func (m *Monitor) Record(ev wire.HistoryEvent) {
+	m.seen.Add(1)
+	if m.cex.Load() != nil {
+		return // violation already latched; stay cheap forever after
+	}
+	m.mu.Lock()
+	if m.cex.Load() != nil {
+		m.mu.Unlock()
+		return
+	}
+	m.seq++
+	ev.Seq = m.seq
+	m.window[m.wpos] = ev
+	m.wpos = (m.wpos + 1) % len(m.window)
+	if m.wlen < len(m.window) {
+		m.wlen++
+	}
+	v := m.c.step(ev)
+	if v == nil {
+		m.mu.Unlock()
+		return
+	}
+	cx := &Counterexample{
+		Violation: v,
+		Window:    m.snapshotLocked(),
+		Replay:    m.replay,
+	}
+	m.mu.Unlock()
+	m.cex.Store(cx)
+}
+
+// snapshotLocked copies the window's events oldest-first. Caller holds m.mu.
+func (m *Monitor) snapshotLocked() []wire.HistoryEvent {
+	out := make([]wire.HistoryEvent, 0, m.wlen)
+	start := 0
+	if m.wlen == len(m.window) {
+		start = m.wpos
+	}
+	for i := 0; i < m.wlen; i++ {
+		out = append(out, m.window[(start+i)%len(m.window)])
+	}
+	return out
+}
+
+// Err returns the latched counterexample, or nil if every event so far
+// satisfied the invariants.
+func (m *Monitor) Err() *Counterexample { return m.cex.Load() }
+
+// EventsSeen reports how many events the monitor has received, including
+// post-violation arrivals — the harness's proof that the monitor actually
+// saw the run it claims to have verified.
+func (m *Monitor) EventsSeen() uint64 { return m.seen.Load() }

@@ -1,0 +1,226 @@
+package check
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mocha/internal/wire"
+)
+
+func feed(m *Monitor, evs []wire.HistoryEvent) {
+	for _, ev := range evs {
+		m.Record(ev)
+	}
+}
+
+func TestMonitorCleanStream(t *testing.T) {
+	m := NewMonitor(0)
+	evs := cleanPrefix()
+	feed(m, evs)
+	if cx := m.Err(); cx != nil {
+		t.Fatalf("clean stream flagged: %v", cx)
+	}
+	if got := m.EventsSeen(); got != uint64(len(evs)) {
+		t.Fatalf("EventsSeen = %d, want %d", got, len(evs))
+	}
+}
+
+func TestMonitorCatchesViolationOnline(t *testing.T) {
+	m := NewMonitor(8)
+	m.SetReplay("go test -run X -seed=42")
+	evs := []wire.HistoryEvent{
+		{Kind: wire.HistAcquire, Site: 1, Thread: tA, Lock: 9},
+		{Kind: wire.HistGrant, Site: 1, Thread: tA, Lock: 9},
+		{Kind: wire.HistAcquire, Site: 2, Thread: tB, Lock: 9},
+		{Kind: wire.HistGrant, Site: 2, Thread: tB, Lock: 9}, // dual holder
+	}
+	feed(m, evs)
+	cx := m.Err()
+	if cx == nil {
+		t.Fatal("dual grant not caught")
+	}
+	if !errors.Is(cx, ErrDualHolder) {
+		t.Fatalf("caught %v, want ErrDualHolder", cx)
+	}
+	if len(cx.Window) != 4 {
+		t.Fatalf("window holds %d events, want 4", len(cx.Window))
+	}
+	last := cx.Window[len(cx.Window)-1]
+	if last.Kind != wire.HistGrant || last.Thread != tB {
+		t.Fatalf("window does not end at the offending event: %v", last)
+	}
+	if cx.Replay != "go test -run X -seed=42" {
+		t.Fatalf("replay = %q", cx.Replay)
+	}
+	if s := cx.Error(); !strings.Contains(s, "replay:") || !strings.Contains(s, "windowed events") {
+		t.Fatalf("report missing replay or window: %s", s)
+	}
+}
+
+func TestMonitorLatchesFirstViolation(t *testing.T) {
+	m := NewMonitor(4)
+	feed(m, []wire.HistoryEvent{
+		{Kind: wire.HistGrant, Site: 1, Thread: tA, Lock: 9}, // orphan grant
+	})
+	first := m.Err()
+	if first == nil {
+		t.Fatal("orphan grant not caught")
+	}
+	// Later events — even another violation — do not replace the latch, and
+	// are still counted.
+	feed(m, []wire.HistoryEvent{
+		{Kind: wire.HistGrant, Site: 2, Thread: tB, Lock: 9},
+		{Kind: wire.HistRelease, Site: 2, Thread: tB, Lock: 9},
+	})
+	if m.Err() != first {
+		t.Fatal("latched counterexample was replaced")
+	}
+	if m.EventsSeen() != 3 {
+		t.Fatalf("EventsSeen = %d, want 3", m.EventsSeen())
+	}
+}
+
+func TestMonitorWindowBounded(t *testing.T) {
+	m := NewMonitor(4)
+	// 6 clean events, then a violation: the window must hold only the last 4.
+	evs := seq(cleanPrefix())[:6]
+	feed(m, evs)
+	m.Record(wire.HistoryEvent{Kind: wire.HistGrant, Site: 2, Thread: tB, Lock: 9, Revised: true})
+	cx := m.Err()
+	if cx == nil {
+		t.Fatal("revised orphan grant not caught")
+	}
+	if len(cx.Window) != 4 {
+		t.Fatalf("window holds %d events, want 4", len(cx.Window))
+	}
+	for i := 1; i < len(cx.Window); i++ {
+		if cx.Window[i].Seq != cx.Window[i-1].Seq+1 {
+			t.Fatalf("window out of order: %v", cx.Window)
+		}
+	}
+}
+
+// TestMonitorPrunesCommittedState is the O(1)-amortized-memory claim: a
+// monitor that has streamed an unbounded run retains per-lock state bounded
+// by the live protocol window, not the run length.
+func TestMonitorPrunesCommittedState(t *testing.T) {
+	m := NewMonitor(16)
+	m.Record(wire.HistoryEvent{Kind: wire.HistRegister, Site: 1, Lock: 9, Version: 1, Note: "creator",
+		Digests: []wire.ReplicaDigest{{Name: "x", Sum: 1}}})
+	const rounds = 5000
+	for v := uint64(1); v <= rounds; v++ {
+		sum := uint32(v)
+		m.Record(wire.HistoryEvent{Kind: wire.HistAcquire, Site: 1, Thread: tA, Lock: 9})
+		m.Record(wire.HistoryEvent{Kind: wire.HistGrant, Site: 1, Thread: tA, Lock: 9, Version: v,
+			Sites: wire.NewSiteSet(1)})
+		m.Record(wire.HistoryEvent{Kind: wire.HistPublish, Site: 1, Thread: tA, Lock: 9, Version: v + 1,
+			Digests: []wire.ReplicaDigest{{Name: "x", Sum: sum}}})
+		m.Record(wire.HistoryEvent{Kind: wire.HistRelease, Site: 1, Thread: tA, Lock: 9, Version: v + 1,
+			Sites: wire.NewSiteSet(1)})
+	}
+	if cx := m.Err(); cx != nil {
+		t.Fatalf("clean run flagged: %v", cx)
+	}
+	ls := m.c.locks[9]
+	if ls == nil {
+		t.Fatal("lock state missing")
+	}
+	if len(ls.shadow) > 2 || len(ls.knownAt) > 2 {
+		t.Fatalf("monitor retained %d shadow / %d knownAt versions after %d commits; pruning is broken",
+			len(ls.shadow), len(ls.knownAt), rounds)
+	}
+	// The offline checker keeps everything by design.
+	c := newChecker(retainAll)
+	for v := uint64(1); v <= 10; v++ {
+		c.step(wire.HistoryEvent{Kind: wire.HistPublish, Site: 1, Thread: tA, Lock: 9, Version: v,
+			Digests: []wire.ReplicaDigest{{Name: "x", Sum: uint32(v)}}})
+	}
+	if got := len(c.locks[9].shadow); got != 10 {
+		t.Fatalf("offline checker pruned: %d shadow versions, want 10", got)
+	}
+}
+
+func TestMonitorStillCatchesAfterPruning(t *testing.T) {
+	// Pruning must not weaken the live-window invariants: a dual grant after
+	// thousands of commits is still caught.
+	m := NewMonitor(16)
+	for v := uint64(1); v <= 1000; v++ {
+		m.Record(wire.HistoryEvent{Kind: wire.HistAcquire, Site: 1, Thread: tA, Lock: 9})
+		m.Record(wire.HistoryEvent{Kind: wire.HistGrant, Site: 1, Thread: tA, Lock: 9, Version: v - 1})
+		m.Record(wire.HistoryEvent{Kind: wire.HistRelease, Site: 1, Thread: tA, Lock: 9, Version: v})
+	}
+	m.Record(wire.HistoryEvent{Kind: wire.HistAcquire, Site: 1, Thread: tA, Lock: 9})
+	m.Record(wire.HistoryEvent{Kind: wire.HistGrant, Site: 1, Thread: tA, Lock: 9, Version: 1000})
+	m.Record(wire.HistoryEvent{Kind: wire.HistAcquire, Site: 2, Thread: tB, Lock: 9})
+	m.Record(wire.HistoryEvent{Kind: wire.HistGrant, Site: 2, Thread: tB, Lock: 9, Version: 1000})
+	cx := m.Err()
+	if cx == nil {
+		t.Fatal("dual grant after pruning not caught")
+	}
+	if !errors.Is(cx, ErrDualHolder) {
+		t.Fatalf("caught %v, want ErrDualHolder", cx)
+	}
+}
+
+func TestMultiSinkFansOut(t *testing.T) {
+	rec := NewRecorder(16, nil)
+	mon := NewMonitor(0)
+	sink := MultiSink(rec, nil, mon)
+	for _, ev := range cleanPrefix() {
+		sink.Record(ev)
+	}
+	if rec.Len() != len(cleanPrefix()) {
+		t.Fatalf("recorder saw %d events, want %d", rec.Len(), len(cleanPrefix()))
+	}
+	if mon.EventsSeen() != uint64(len(cleanPrefix())) {
+		t.Fatalf("monitor saw %d events, want %d", mon.EventsSeen(), len(cleanPrefix()))
+	}
+	if cx := mon.Err(); cx != nil {
+		t.Fatalf("fanned-out clean stream flagged: %v", cx)
+	}
+}
+
+func TestCheckRecorderFailsTruncatedHistory(t *testing.T) {
+	r := NewRecorder(4, nil)
+	for _, ev := range cleanPrefix() { // 12 events into 4 slots
+		r.Record(ev)
+	}
+	v := CheckRecorder(r)
+	if v == nil {
+		t.Fatal("truncated history passed")
+	}
+	if !errors.Is(v, ErrTruncatedHistory) {
+		t.Fatalf("flagged %v, want ErrTruncatedHistory", v)
+	}
+	if !strings.Contains(v.Error(), "8 events overflowed") {
+		t.Fatalf("report does not carry the overflow count: %v", v)
+	}
+
+	// An intact recorder with the same prefix passes.
+	ok := NewRecorder(64, nil)
+	for _, ev := range cleanPrefix() {
+		ok.Record(ev)
+	}
+	if v := CheckRecorder(ok); v != nil {
+		t.Fatalf("intact history flagged: %v", v)
+	}
+}
+
+func TestFingerprintReflectsOverflow(t *testing.T) {
+	// Two recorders hold identical slot contents, but one dropped events
+	// past its capacity: their fingerprints must differ, so a truncated
+	// history can never masquerade as the intact run it is a prefix of.
+	full := NewRecorder(4, nil)
+	over := NewRecorder(4, nil)
+	evs := cleanPrefix()
+	for _, ev := range evs[:4] {
+		full.Record(ev)
+	}
+	for _, ev := range evs {
+		over.Record(ev)
+	}
+	if full.Fingerprint() == over.Fingerprint() {
+		t.Fatal("overflowed recorder fingerprints equal to its intact prefix")
+	}
+}

@@ -149,5 +149,18 @@ func (r *Recorder) Fingerprint() uint64 {
 			word(uint64(d.Sum))
 		}
 	}
+	// Mix the overflow count in last: a truncated history must never
+	// fingerprint equal to the intact history it is a prefix of.
+	word(r.Dropped())
 	return h.Sum64()
 }
+
+// Transitions returns the coverage set of the recorded history: which
+// protocol transitions (and per-lock transition pairs) the run exercised.
+// This is the explorer's novelty currency — see CoverageOf.
+func (r *Recorder) Transitions() Coverage { return CoverageOf(r.Events()) }
+
+// Signature reduces the history to one order-independent transition-set
+// value: two runs signature-equal iff they exercised the same transitions,
+// regardless of how their schedules interleaved them.
+func (r *Recorder) Signature() uint64 { return r.Transitions().Signature() }

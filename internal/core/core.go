@@ -173,6 +173,14 @@ type Config struct {
 	// LeaseSweep is how often the synchronization thread scans for
 	// expired leases (default 500ms).
 	LeaseSweep time.Duration
+	// LeaseSkew offsets this site's view of hold ages when sweeping
+	// leases, modelling clock drift between a manager's lease timer and
+	// the holder's. A positive skew makes the manager's clock run fast —
+	// it ages holds by the skew and may break leases the holder believes
+	// are still live; a negative skew makes it break them late. Fault
+	// exploration perturbs this to surface interleavings that only occur
+	// when the two timers disagree. Zero (the default) is perfect clocks.
+	LeaseSkew time.Duration
 	// Log receives protocol events; nil means a no-op logger.
 	Log *eventlog.Logger
 	// Metrics, when non-nil, receives protocol counters, per-phase

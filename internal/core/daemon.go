@@ -144,7 +144,11 @@ func (n *Node) applyPayloads(lock wire.LockID, version uint64, payloads []wire.R
 	st := n.getLockLocal(lock)
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if version <= st.version {
+	// A re-delivery of the version the local label already claims is
+	// normally stale — but when the copy is uncommitted, the label is a
+	// lie (a broken hold scribbled on the bytes) and the arriving
+	// committed bytes are exactly the repair a blocked acquirer waits on.
+	if version < st.version || (version == st.version && !st.uncommitted) {
 		if n.log.On() {
 			n.log.Logf("daemon", "stale %s of lock %d v%d from site %d (have v%d)", how, lock, version, from, st.version)
 		}
@@ -232,7 +236,7 @@ func (n *Node) applyDelta(rd *wire.ReplicaDelta) error {
 	st := n.getLockLocal(rd.Lock)
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if rd.Version <= st.version {
+	if rd.Version < st.version || (rd.Version == st.version && !st.uncommitted) {
 		if n.log.On() {
 			n.log.Logf("daemon", "stale delta of lock %d v%d from site %d (have v%d)", rd.Lock, rd.Version, rd.From, st.version)
 		}

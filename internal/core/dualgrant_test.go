@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -14,19 +15,20 @@ import (
 	"mocha/internal/wire"
 )
 
-// TestCheckerCatchesDoubleGrant re-introduces a double-grant bug via the
-// debugIgnoreHolder switch and asserts the history checker flags the run
-// with ErrDualHolder — the regression fixture proving the oracle would
-// catch this defect class if it ever crept back in. The cluster is built by
-// hand (not newTestCluster) because the shared harness fails any test whose
-// history violates entry consistency, which is this test's point.
-func TestCheckerCatchesDoubleGrant(t *testing.T) {
+// provokeDoubleGrant re-introduces a double-grant bug via the
+// debugIgnoreHolder switch and drives a two-site cluster into it: site 1's
+// thread acquires exclusively, then site 2's acquire is granted while the
+// first hold is still live. Every protocol event flows into sink. The
+// cluster is built by hand (not newTestCluster) because the shared harness
+// fails any test whose history violates entry consistency, which is the
+// callers' point.
+func provokeDoubleGrant(t *testing.T, sink HistorySink) {
+	t.Helper()
 	debugIgnoreHolder = true
 	defer func() { debugIgnoreHolder = false }()
 
 	sn := transport.NewSimNetwork(netsim.Config{Profile: netsim.Perfect(), Seed: 5})
 	defer func() { _ = sn.Close() }()
-	rec := check.NewRecorder(0, sn.Clock())
 
 	const n = 2
 	directory := make(map[wire.SiteID]string, n)
@@ -54,7 +56,7 @@ func TestCheckerCatchesDoubleGrant(t *testing.T) {
 			DefaultLease:    30 * time.Second,
 			LeaseSweep:      50 * time.Millisecond,
 			Log:             eventlog.New(1 << 14),
-			History:         rec,
+			History:         sink,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -89,6 +91,15 @@ func TestCheckerCatchesDoubleGrant(t *testing.T) {
 	if err := rlB.Lock(ctx); err != nil {
 		t.Fatalf("buggy grant path did not grant: %v", err)
 	}
+}
+
+// TestCheckerCatchesDoubleGrant asserts the offline history checker flags
+// a seeded double-grant run with ErrDualHolder — the regression fixture
+// proving the oracle would catch this defect class if it ever crept back
+// in.
+func TestCheckerCatchesDoubleGrant(t *testing.T) {
+	rec := check.NewRecorder(0, nil)
+	provokeDoubleGrant(t, rec)
 
 	v := check.Check(rec.Events())
 	if v == nil {
@@ -96,5 +107,44 @@ func TestCheckerCatchesDoubleGrant(t *testing.T) {
 	}
 	if !errors.Is(v, check.ErrDualHolder) {
 		t.Fatalf("checker flagged %v, want ErrDualHolder", v)
+	}
+}
+
+// TestMonitorCatchesSeededDoubleGrantOnline runs the same seeded violation
+// with the online monitor in the live event stream: the breach must latch
+// as it happens — no end-of-run pass — and the counterexample must carry
+// the offending window and the registered one-command replay handle.
+func TestMonitorCatchesSeededDoubleGrantOnline(t *testing.T) {
+	const replay = "go test ./internal/core -run TestMonitorCatchesSeededDoubleGrantOnline"
+	mon := check.NewMonitor(check.DefaultWindow)
+	mon.SetReplay(replay)
+	rec := check.NewRecorder(0, nil)
+	provokeDoubleGrant(t, check.MultiSink(rec, mon))
+
+	cx := mon.Err()
+	if cx == nil {
+		t.Fatal("online monitor missed the seeded double grant")
+	}
+	if !errors.Is(cx, check.ErrDualHolder) {
+		t.Fatalf("monitor latched %v, want ErrDualHolder", cx.Violation)
+	}
+	if cx.Replay != replay {
+		t.Fatalf("counterexample replay = %q, want the registered command", cx.Replay)
+	}
+	if len(cx.Window) == 0 {
+		t.Fatal("counterexample carries no event window")
+	}
+	// The window ends at the violating event: the second GRANT of the lock
+	// both threads were given.
+	last := cx.Window[len(cx.Window)-1]
+	if last.Kind != wire.HistGrant || last.Lock != 50 {
+		t.Fatalf("window ends at %v, want the violating grant of lock 50", last)
+	}
+	if !strings.Contains(cx.Error(), "replay: "+replay) {
+		t.Fatalf("rendered counterexample lacks the replay line:\n%s", cx)
+	}
+	// The full recorded history agrees with the online verdict.
+	if v := check.Check(rec.Events()); !errors.Is(v, check.ErrDualHolder) {
+		t.Fatalf("offline checker disagrees with the monitor: %v", v)
 	}
 }

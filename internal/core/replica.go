@@ -149,11 +149,14 @@ func newLockLocal(id wire.LockID, deltaDepth int) *lockLocal {
 }
 
 // versionReached reports whether local data is at least min, registering a
-// waiter otherwise.
+// waiter otherwise. An uncommitted copy vouches for nothing: a broken
+// exclusive hold may have scribbled on the content while the version
+// label stayed put, so the label alone cannot satisfy a grant — the
+// waiter stands until committed bytes arrive and clear the flag.
 func (st *lockLocal) versionReached(min uint64) (bool, *versionWaiter) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if st.version >= min {
+	if st.version >= min && !st.uncommitted {
 		return true, nil
 	}
 	w := &versionWaiter{min: min, ch: make(chan struct{}, 1)}
@@ -166,7 +169,7 @@ func (st *lockLocal) versionReached(min uint64) (bool, *versionWaiter) {
 func (st *lockLocal) notifyVersionLocked() {
 	kept := st.waiters[:0]
 	for _, w := range st.waiters {
-		if st.version >= w.min {
+		if st.version >= w.min && !st.uncommitted {
 			select {
 			case w.ch <- struct{}{}:
 			default:

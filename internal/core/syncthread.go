@@ -739,8 +739,12 @@ func (s *syncThread) sweepOnce() {
 		h *holderInfo
 	}
 	var suspects []suspect
+	// The manager judges hold age on its own clock; LeaseSkew models that
+	// clock running fast (positive) or slow (negative) relative to the
+	// holder's lease timer.
+	skew := s.node.cfg.LeaseSkew
 	expired := func(l *syncLock, h *holderInfo) bool {
-		if now.Sub(h.grantedAt) <= h.lease || h.probing {
+		if now.Sub(h.grantedAt)+skew <= h.lease || h.probing {
 			return false
 		}
 		h.probing = true

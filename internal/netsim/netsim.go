@@ -53,8 +53,11 @@ type Network struct {
 	nodes     map[NodeID]*Node
 	overrides map[linkKey]Profile
 	cut       map[linkKey]bool
-	stats     Stats
-	closed    bool
+	// burst tracks, per directed link, how many more packets the active
+	// correlated-loss burst will drop (see Profile.BurstLoss).
+	burst  map[linkKey]int
+	stats  Stats
+	closed bool
 }
 
 type linkKey struct{ from, to NodeID }
@@ -66,6 +69,7 @@ func New(cfg Config) *Network {
 		nodes:     make(map[NodeID]*Node),
 		overrides: make(map[linkKey]Profile),
 		cut:       make(map[linkKey]bool),
+		burst:     make(map[linkKey]int),
 	}
 }
 
@@ -121,6 +125,18 @@ func (n *Network) Partition(a, b NodeID, cut bool) {
 	n.cut[linkKey{b, a}] = cut
 }
 
+// PartitionOneWay cuts or restores a single direction between two nodes:
+// packets from `from` to `to` vanish while the reverse path keeps working.
+// Asymmetric routing failures are common on the real wide-area Internet
+// (a broken BGP path in one direction) and exercise protocol states a
+// symmetric cut cannot: acks that arrive for requests that never did, and
+// heartbeats that succeed one way while the reply path is dark.
+func (n *Network) PartitionOneWay(from, to NodeID, cut bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut[linkKey{from, to}] = cut
+}
+
 // Stats returns a snapshot of packet counters.
 func (n *Network) Stats() Stats {
 	n.mu.Lock()
@@ -164,7 +180,26 @@ func (n *Network) routeLocked(from, to NodeID, size int, jitterRoll, lossRoll fl
 	if o, ok := n.overrides[linkKey{from, to}]; ok {
 		p = o
 	}
+	lk := linkKey{from, to}
+	if rem := n.burst[lk]; rem > 0 {
+		// An active correlated burst swallows packets regardless of the
+		// per-packet roll, modelling back-to-back congestion losses.
+		n.burst[lk] = rem - 1
+		n.stats.Dropped++
+		return nil, 0
+	}
 	if p.Loss > 0 && lossRoll < p.Loss {
+		n.stats.Dropped++
+		return nil, 0
+	}
+	if p.BurstLoss > 0 && lossRoll < p.Loss+p.BurstLoss {
+		// Start a burst: this packet and the next BurstLen-1 on the link
+		// all drop. Reusing the roll already drawn keeps every node's RNG
+		// sequence identical to a burst-free run with the same seed, so
+		// old schedules replay unchanged.
+		if p.BurstLen > 1 {
+			n.burst[lk] = p.BurstLen - 1
+		}
 		n.stats.Dropped++
 		return nil, 0
 	}

@@ -203,6 +203,106 @@ func TestPartition(t *testing.T) {
 	}
 }
 
+func TestPartitionOneWay(t *testing.T) {
+	net, chans := newTestNet(t, Config{Profile: Perfect()}, 2)
+	net.PartitionOneWay(1, 2, true)
+	net.Node(1).Send(2, []byte("lost"))
+	select {
+	case <-chans[1]:
+		t.Fatal("packet crossed a one-way cut")
+	case <-time.After(50 * time.Millisecond):
+	}
+	// The reverse direction keeps working: that asymmetry is the point.
+	net.Node(2).Send(1, []byte("back"))
+	if got := recvWithin(t, chans[0], time.Second); string(got) != "back" {
+		t.Fatalf("reverse direction got %q", got)
+	}
+	net.PartitionOneWay(1, 2, false)
+	net.Node(1).Send(2, []byte("healed"))
+	if got := recvWithin(t, chans[1], time.Second); string(got) != "healed" {
+		t.Fatalf("got %q after heal", got)
+	}
+}
+
+func TestBurstLossDropsConsecutivePackets(t *testing.T) {
+	// BurstLoss=1 means the very first packet starts a burst; with
+	// BurstLen=4 the first four packets vanish and the fifth starts a new
+	// burst, so nothing is ever delivered — but the drop accounting shows
+	// the burst countdown (not blackholes or independent loss).
+	net := New(Config{Profile: Perfect().Bursty(1, 4), Seed: 7})
+	a, _ := net.AddNode(1)
+	b, _ := net.AddNode(2)
+	var mu sync.Mutex
+	delivered := 0
+	b.SetReceiver(func(NodeID, []byte) { mu.Lock(); delivered++; mu.Unlock() })
+	for i := 0; i < 8; i++ {
+		a.Send(2, []byte{byte(i)})
+	}
+	time.Sleep(20 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if delivered != 0 {
+		t.Fatalf("delivered %d packets through a saturating burst", delivered)
+	}
+	if st := net.Stats(); st.Dropped != 8 {
+		t.Fatalf("dropped = %d, want 8", st.Dropped)
+	}
+}
+
+func TestBurstLossIsPerLink(t *testing.T) {
+	// A burst on 1→2 must not swallow packets on 1→3: the countdown is a
+	// property of the directed link, not the sender.
+	net := New(Config{Profile: Perfect()})
+	a, _ := net.AddNode(1)
+	var mu sync.Mutex
+	got := map[NodeID]int{}
+	for _, id := range []NodeID{2, 3} {
+		id := id
+		n, _ := net.AddNode(id)
+		n.SetReceiver(func(NodeID, []byte) { mu.Lock(); got[id]++; mu.Unlock() })
+	}
+	net.SetLinkProfile(1, 2, Perfect().Bursty(1, 100))
+	for i := 0; i < 5; i++ {
+		a.Send(2, []byte{byte(i)})
+		a.Send(3, []byte{byte(i)})
+	}
+	time.Sleep(20 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if got[2] != 0 {
+		t.Fatalf("bursty link delivered %d packets", got[2])
+	}
+	if got[3] != 5 {
+		t.Fatalf("clean link delivered %d/5 packets", got[3])
+	}
+}
+
+func TestBurstLossZeroPreservesIndependentLoss(t *testing.T) {
+	// With BurstLoss left at zero, the loss decision consumes exactly the
+	// same roll as before the burst machinery existed, so a seeded run's
+	// delivery pattern is byte-for-byte identical to the old behavior.
+	run := func(p Profile) (delivered int64) {
+		net := New(Config{Profile: p, Seed: 42})
+		a, _ := net.AddNode(1)
+		b, _ := net.AddNode(2)
+		var mu sync.Mutex
+		b.SetReceiver(func(NodeID, []byte) { mu.Lock(); delivered++; mu.Unlock() })
+		for i := 0; i < 200; i++ {
+			a.Send(2, []byte{byte(i)})
+		}
+		time.Sleep(50 * time.Millisecond)
+		net.Close()
+		mu.Lock()
+		defer mu.Unlock()
+		return delivered
+	}
+	plain := run(Perfect().Lossy(0.5))
+	withBurstField := run(Profile{Loss: 0.5, BurstLen: 4}) // BurstLoss = 0
+	if plain != withBurstField {
+		t.Fatalf("BurstLen without BurstLoss changed delivery: %d vs %d", plain, withBurstField)
+	}
+}
+
 func TestKill(t *testing.T) {
 	net, chans := newTestNet(t, Config{Profile: Perfect()}, 2)
 	net.Node(2).Kill()

@@ -20,6 +20,16 @@ type Profile struct {
 	BytesPerSecond int64
 	// Loss is the independent per-packet drop probability in [0,1).
 	Loss float64
+	// BurstLoss is the per-packet probability of starting a correlated
+	// loss burst on the link: the triggering packet and the next
+	// BurstLen-1 packets routed over the same directed link all drop.
+	// Bursts model congestion-window collapse and route flaps, whose
+	// back-to-back losses defeat retransmission strategies that tolerate
+	// the same average rate of independent loss.
+	BurstLoss float64
+	// BurstLen is how many consecutive packets (including the trigger) a
+	// burst drops. Values below 2 behave like independent loss.
+	BurstLen int
 	// HeaderBytes is the per-packet wire overhead (UDP/IP framing) added
 	// to the payload when computing serialization delay.
 	HeaderBytes int
@@ -104,5 +114,16 @@ func (p Profile) Lossy(rate float64) Profile {
 	q := p
 	q.Loss = rate
 	q.Name = p.Name + "-lossy"
+	return q
+}
+
+// Bursty returns a copy of the profile that additionally starts a
+// correlated loss burst with probability rate per packet, each burst
+// dropping length consecutive packets on the affected directed link.
+func (p Profile) Bursty(rate float64, length int) Profile {
+	q := p
+	q.BurstLoss = rate
+	q.BurstLen = length
+	q.Name = p.Name + "-bursty"
 	return q
 }
