@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt-check vet build test race fuzz-smoke explore cover bench-fanout bench-delta bench-sync bench-obs bench-load bench-tree bench-home
+.PHONY: check fmt-check vet build test race fuzz-smoke crash-smoke explore cover bench-fanout bench-delta bench-sync bench-obs bench-load bench-tree bench-home bench-store
 
 # check is the full CI gate: formatting, static analysis, build, the
 # complete test suite, the race detector over the concurrency-heavy
-# packages, and a short fuzz pass over the wire decoder.
-check: fmt-check vet build test race fuzz-smoke
+# packages, short fuzz passes over the wire and WAL-record decoders, and
+# the kill -9 crash-recovery smoke over the durable store.
+check: fmt-check vet build test race fuzz-smoke crash-smoke
 
 # fmt-check fails if any Go file is not gofmt-clean.
 fmt-check:
@@ -38,6 +39,13 @@ race:
 # everything the corpus has already discovered.
 fuzz-smoke:
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzUnmarshal -fuzztime 5s
+	$(GO) test ./internal/store -run '^$$' -fuzz FuzzWALRecord -fuzztime 5s
+
+# crash-smoke SIGKILLs a child process running a store-backed daemon
+# mid-load and asserts the reopened store recovers a clean, committed
+# prefix of what the child persisted.
+crash-smoke:
+	$(GO) test ./internal/store -run 'TestCrashRestartSmoke$$' -count=1 -v
 
 # explore runs a time-budgeted coverage-guided fault-exploration session
 # (default 60s; override with EXPLORE_BUDGET). It honors MOCHA_TEST_SEED
@@ -53,7 +61,7 @@ explore:
 # gate without every refactor tripping it.
 cover:
 	@set -e; \
-	for spec in "./internal/core 80" "./internal/wire 90" "./internal/check 85" "./internal/obs 85" "./internal/mnet 80" "./internal/netsim 80" "./internal/overlay 80" "./internal/placement 80" "./internal/transport 70"; do \
+	for spec in "./internal/core 80" "./internal/wire 90" "./internal/check 85" "./internal/obs 85" "./internal/mnet 80" "./internal/netsim 80" "./internal/overlay 80" "./internal/placement 80" "./internal/transport 70" "./internal/store 80"; do \
 		pkg="$${spec% *}"; floor="$${spec#* }"; \
 		line="$$($(GO) test -cover $$pkg | tail -1)"; \
 		echo "$$line"; \
@@ -100,3 +108,13 @@ bench-tree:
 # BENCH_home.json.
 bench-home:
 	$(GO) run ./cmd/benchmocha -exp ablate-home -json
+
+# bench-store kills and restarts a worker site under both replica-store
+# backends: the paper's in-memory baseline loses everything and refetches
+# every lock, while the durable store replays its WAL and re-joins at the
+# persisted versions with zero transfers. A third leg runs the durable
+# store under a memory cap below the working set (eviction + refault).
+# The online monitor and history checker run on the restart legs. Emits
+# BENCH_store.json.
+bench-store:
+	$(GO) run ./cmd/benchmocha -exp ablate-store -json

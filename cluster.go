@@ -3,6 +3,7 @@ package mocha
 import (
 	"fmt"
 	"io"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -221,6 +222,13 @@ func newSite(sc siteConfig) (*Site, error) {
 	ep := mnet.NewEndpoint(sc.stack.Datagram(), mnetCfg)
 
 	logger := eventlog.New(1 << 14)
+	storeDir := ""
+	if sc.opts.storeDir != "" {
+		// Each site persists under its own subdirectory, so one cluster
+		// root can host every site's log — and a single-site process
+		// restarted on the same root finds its own state.
+		storeDir = filepath.Join(sc.opts.storeDir, fmt.Sprintf("site-%d", sc.id))
+	}
 	node, err := core.NewNode(core.Config{
 		Site:                wire.SiteID(sc.id),
 		Endpoint:            ep,
@@ -242,6 +250,8 @@ func newSite(sc siteConfig) (*Site, error) {
 		Log:                 logger,
 		History:             sc.opts.history,
 		Metrics:             sc.opts.metrics,
+		StoreDir:            storeDir,
+		StoreMemLimit:       sc.opts.storeLimit,
 	})
 	if err != nil {
 		return nil, err

@@ -47,6 +47,9 @@ func run() int {
 
 		homeSites = flag.Int("home-sites", 0, "home experiment: cluster/ring size (default 6)")
 		homeLocks = flag.Int("home-locks", 0, "home experiment: lock population (default 8)")
+
+		storeSites = flag.Int("store-sites", 0, "store experiment: cluster size (default 3)")
+		storeLocks = flag.Int("store-locks", 0, "store experiment: lock population (default 6)")
 	)
 	flag.Parse()
 
@@ -84,6 +87,7 @@ func run() int {
 		LoadSites: *loadSites, LoadLocks: *loadLocks, LoadRate: *loadRate, LoadDuration: *loadDur,
 		TreeSites: *treeSites, TreeRegions: *treeRegions,
 		HomeSites: *homeSites, HomeLocks: *homeLocks,
+		StoreSites: *storeSites, StoreLocks: *storeLocks,
 	}
 	fmt.Printf("mocha benchmark harness: scale=%.3f trials=%d max-sites=%d\n\n", *scale, *trials, *sites)
 	failed := 0

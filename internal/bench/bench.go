@@ -59,6 +59,13 @@ type Config struct {
 	// locks).
 	HomeSites int
 	HomeLocks int
+
+	// StoreSites and StoreLocks shape the durable-store ablation
+	// ("ablate-store"): cluster size and the lock population the restarted
+	// site owns. Zero values take the experiment's defaults (3 sites, 6
+	// locks).
+	StoreSites int
+	StoreLocks int
 }
 
 // WithDefaults fills unset fields.
@@ -134,6 +141,7 @@ func All() []Experiment {
 		{ID: "load", Title: "Open-loop load at 100s of sites: serial vs batched I/O + timer wheel", Run: AblateLoad},
 		{ID: "ablate-tree", Title: "Ablation: locality-aware dissemination relay tree", Run: AblateTree},
 		{ID: "ablate-home", Title: "Ablation: consistent-hash lock homes with standby failover", Run: AblateHome},
+		{ID: "ablate-store", Title: "Ablation: durable replica store — crash recovery vs in-memory", Run: AblateStore},
 	}
 }
 

@@ -16,7 +16,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 		"app", "smallmsg", "ur", "cablemodem",
 		"ablate-marshal", "ablate-adaptive", "ablate-reuse", "ablate-fanout",
 		"ablate-delta", "ablate-syncstall", "ablate-obs", "load", "ablate-tree",
-		"ablate-home",
+		"ablate-home", "ablate-store",
 	}
 	all := All()
 	if len(all) != len(want) {

@@ -39,6 +39,10 @@ var (
 	// prefix of the run and any verdict or coverage signature computed
 	// from it is unsound.
 	ErrTruncatedHistory = errors.New("check: history overflowed the recorder")
+	// ErrFenceRegress: a grant carried a fencing token at or below one
+	// already issued for the lock — a fenced resource could no longer tell
+	// a live holder from a stale one.
+	ErrFenceRegress = errors.New("check: fencing token did not advance")
 )
 
 // Violation reports the first invariant breach found in a history.
@@ -76,13 +80,22 @@ type hold struct {
 	// revised grant at that version marks the later same-version release
 	// as the commit of an already-adopted version, not a regress.
 	revisedAt uint64
+	// fence is the fencing token the hold's most recent grant carried.
+	// Revised re-issues must never hand this hold a smaller token.
+	fence uint64
 }
 
 // lockState replays one lock's protocol state.
 type lockState struct {
 	committed uint64
-	holder    *hold
-	readers   map[wire.ThreadID]*hold
+	// fence is the highest fencing token any grant has carried for this
+	// lock. Unlike committed it is never rewound by recovery: tokens must
+	// stay monotonic across handoff and standby promotion, or a fenced
+	// resource could mistake a stale holder for the live one.
+	fence   uint64
+	fenceEv wire.HistoryEvent
+	holder  *hold
+	readers map[wire.ThreadID]*hold
 	// pending maps queued threads to their acquire event.
 	pending map[wire.ThreadID]wire.HistoryEvent
 	// knownAt[v] is the set of sites that have held version v's bytes
@@ -369,6 +382,23 @@ func (c *checker) onGrant(ev wire.HistoryEvent) *Violation {
 				fmt.Sprintf("revised grant of lock %d to thread %d, which holds nothing", ev.Lock, ev.Thread), ev)
 		}
 		h.revisedAt = ev.Version
+		// A revised grant re-carries the hold's own token (which may trail
+		// the lock's max: a reader re-issued after a later hold minted) or a
+		// fresh, larger one (a promotion re-minting under a new epoch). It
+		// may never shrink the hold's token.
+		if ev.AuxVersion > 0 {
+			if ev.AuxVersion < h.fence {
+				return violate(ErrFenceRegress,
+					fmt.Sprintf("revised grant of lock %d carries fence %d, below the hold's token %d",
+						ev.Lock, ev.AuxVersion, h.fence),
+					h.grant, ev)
+			}
+			h.fence = ev.AuxVersion
+			if ev.AuxVersion > ls.fence {
+				ls.fence = ev.AuxVersion
+				ls.fenceEv = ev
+			}
+		}
 	} else {
 		acq, ok := ls.pending[ev.Thread]
 		if !ok {
@@ -395,11 +425,25 @@ func (c *checker) onGrant(ev wire.HistoryEvent) *Violation {
 					r.grant, ev)
 			}
 		}
-		h := &hold{thread: ev.Thread, site: ev.Site, grant: ev}
+		// AuxVersion carries the grant's fencing token (0 on histories
+		// recorded before fencing existed — those skip the check). A fresh
+		// grant must mint a token strictly above every token previously
+		// issued for the lock, across handoffs and promotions.
+		if ev.AuxVersion > 0 && ev.AuxVersion <= ls.fence {
+			return violate(ErrFenceRegress,
+				fmt.Sprintf("grant of lock %d carries fence %d, but fence %d was already issued",
+					ev.Lock, ev.AuxVersion, ls.fence),
+				ls.fenceEv, ev)
+		}
+		h := &hold{thread: ev.Thread, site: ev.Site, grant: ev, fence: ev.AuxVersion}
 		if ev.Shared {
 			ls.readers[ev.Thread] = h
 		} else {
 			ls.holder = h
+		}
+		if ev.AuxVersion > ls.fence {
+			ls.fence = ev.AuxVersion
+			ls.fenceEv = ev
 		}
 	}
 

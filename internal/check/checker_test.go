@@ -147,6 +147,46 @@ func TestCheckGrantVersion(t *testing.T) {
 	expectViolation(t, evs, ErrGrantVersion)
 }
 
+func TestCheckFenceRegress(t *testing.T) {
+	// A fresh grant reusing an already-issued token is flagged.
+	evs := []wire.HistoryEvent{
+		{Kind: wire.HistAcquire, Site: 1, Thread: tA, Lock: 9},
+		{Kind: wire.HistGrant, Site: 1, Thread: tA, Lock: 9, AuxVersion: 7},
+		{Kind: wire.HistRelease, Site: 1, Thread: tA, Lock: 9, Aborted: true},
+		{Kind: wire.HistAcquire, Site: 2, Thread: tB, Lock: 9},
+		{Kind: wire.HistGrant, Site: 2, Thread: tB, Lock: 9, AuxVersion: 7},
+	}
+	expectViolation(t, evs, ErrFenceRegress)
+
+	// A revised grant shrinking its own hold's token is flagged.
+	evs = []wire.HistoryEvent{
+		{Kind: wire.HistAcquire, Site: 1, Thread: tA, Lock: 9},
+		{Kind: wire.HistGrant, Site: 1, Thread: tA, Lock: 9, AuxVersion: 7},
+		{Kind: wire.HistGrant, Site: 1, Thread: tA, Lock: 9, AuxVersion: 6, Revised: true},
+	}
+	expectViolation(t, evs, ErrFenceRegress)
+}
+
+func TestCheckFenceMonotoneAllowed(t *testing.T) {
+	// Reader A re-issued (revised) with its own older token after reader B
+	// minted a newer one is legitimate; so is a promotion-era jump.
+	evs := []wire.HistoryEvent{
+		{Kind: wire.HistAcquire, Site: 1, Thread: tA, Lock: 9, Shared: true},
+		{Kind: wire.HistGrant, Site: 1, Thread: tA, Lock: 9, Shared: true, AuxVersion: 5},
+		{Kind: wire.HistAcquire, Site: 2, Thread: tB, Lock: 9, Shared: true},
+		{Kind: wire.HistGrant, Site: 2, Thread: tB, Lock: 9, Shared: true, AuxVersion: 6},
+		{Kind: wire.HistGrant, Site: 1, Thread: tA, Lock: 9, Shared: true, AuxVersion: 5, Revised: true},
+		{Kind: wire.HistGrant, Site: 1, Thread: tA, Lock: 9, Shared: true, AuxVersion: 1 << 32, Revised: true},
+		{Kind: wire.HistRelease, Site: 1, Thread: tA, Lock: 9, Shared: true},
+		{Kind: wire.HistRelease, Site: 2, Thread: tB, Lock: 9, Shared: true},
+		{Kind: wire.HistAcquire, Site: 3, Thread: tC, Lock: 9},
+		{Kind: wire.HistGrant, Site: 3, Thread: tC, Lock: 9, AuxVersion: 1<<32 | 1},
+	}
+	if v := Check(seq(evs)); v != nil {
+		t.Fatalf("monotone fence history flagged: %v", v)
+	}
+}
+
 func TestCheckStaleRead(t *testing.T) {
 	// Site 3 installs v2 bytes that differ from what the release published.
 	evs := append(cleanPrefix(),

@@ -27,6 +27,7 @@ import (
 	"mocha/internal/netsim"
 	"mocha/internal/obs"
 	"mocha/internal/placement"
+	"mocha/internal/store"
 	"mocha/internal/transport"
 	"mocha/internal/wire"
 )
@@ -194,6 +195,18 @@ type Config struct {
 	// FaultHook, when non-nil, is consulted at every registered FaultPoint
 	// and may fail or delay the operation there. Test-only.
 	FaultHook FaultHook
+	// StoreDir, when non-empty, backs replica state with the log-structured
+	// durable store rooted at that directory: every install, patch, and
+	// commit is written through to a write-ahead log, and a restarted node
+	// replays it to re-join the protocol at the persisted version instead
+	// of refetching everything. Empty (the default) keeps the paper's
+	// in-memory baseline — nothing survives a restart.
+	StoreDir string
+	// StoreMemLimit caps the payload bytes the durable store keeps cached
+	// in memory; past it, cold replicas are evicted least-recently-used
+	// and refault from the log. 0 means unlimited. Ignored without
+	// StoreDir.
+	StoreMemLimit int
 }
 
 func (c Config) withDefaults() Config {
@@ -281,6 +294,11 @@ type Node struct {
 	xfer   *transferService
 	sync   *syncThread // nil unless home or surrogate
 
+	// store is the replica-state store behind the daemon: the in-memory
+	// baseline by default, the durable write-ahead log when StoreDir is
+	// set (see internal/store).
+	store store.Store
+
 	done chan struct{}
 
 	// ring partitions the lock namespace across manager sites when home
@@ -357,6 +375,12 @@ func NewNode(cfg Config) (*Node, error) {
 		n.homeOverrides = make(map[wire.LockID]homeOverride)
 	}
 
+	// The store opens — and replays its log — before the daemon starts, so
+	// a version poll can never observe a half-recovered site.
+	if err := n.openStore(); err != nil {
+		return nil, err
+	}
+
 	var err error
 	if n.daemon, err = newDaemon(n); err != nil {
 		return nil, fmt.Errorf("core: start daemon: %w", err)
@@ -410,7 +434,15 @@ func (n *Node) Close() error {
 		s.stop()
 	}
 	n.xfer.close()
-	return n.ep.Close()
+	err := n.ep.Close()
+	if n.store != nil {
+		// After the endpoint: no protocol goroutine appends once sends and
+		// arrivals are dead, and Close fsyncs the tail.
+		if serr := n.store.Close(); err == nil {
+			err = serr
+		}
+	}
+	return err
 }
 
 // isClosed reports whether Close has run.

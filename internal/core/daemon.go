@@ -154,7 +154,7 @@ func (n *Node) applyPayloads(lock wire.LockID, version uint64, payloads []wire.R
 		}
 		return
 	}
-	if n.applyBlobsLocked(st, lock, version, payloads, how, from) {
+	if n.applyBlobsLocked(st, lock, version, payloads, how, from, nil) {
 		n.obs().Inc(obs.CApplies)
 		n.obs().Observe(obs.HApply, time.Since(applyStart))
 	}
@@ -164,8 +164,10 @@ func (n *Node) applyPayloads(lock wire.LockID, version uint64, payloads []wire.R
 // version: unmarshal into the associated replicas (holding unknown names
 // as pending), record the version step in the delta log, advance the
 // version, and wake waiters. Caller holds st.mu and has already rejected
-// stale versions. Reports whether the version was installed.
-func (n *Node) applyBlobsLocked(st *lockLocal, lock wire.LockID, version uint64, payloads []wire.ReplicaPayload, how string, from wire.SiteID) bool {
+// stale versions. delta, when non-nil, is the S29 delta the blobs were
+// patched from, so the store can log the patch instead of the full bytes.
+// Reports whether the version was installed.
+func (n *Node) applyBlobsLocked(st *lockLocal, lock wire.LockID, version uint64, payloads []wire.ReplicaPayload, how string, from wire.SiteID, delta *wire.ReplicaDelta) bool {
 	// Recorded against the outgoing version's cache, so it must run before
 	// the unmarshal loop replaces the content.
 	st.recordIncomingStepLocked(version, payloads)
@@ -199,6 +201,9 @@ func (n *Node) applyBlobsLocked(st *lockLocal, lock wire.LockID, version uint64,
 		// hold the flag must stand — the holder keeps mutating in place.
 		st.uncommitted = false
 	}
+	// Applied bytes are poll-adoptable (recovery can rebase on a pushed
+	// version), so they persist as committed state.
+	n.persistReplicasLocked(st, version, false, payloads, delta)
 	if st.dlog != nil {
 		// Keep the arriving blobs as this version's marshaled cache so
 		// this site can serve deltas (and diff the next incoming step)
@@ -293,7 +298,7 @@ func (n *Node) applyDelta(rd *wire.ReplicaDelta) error {
 	if rd.Push {
 		how = "delta push"
 	}
-	if !n.applyBlobsLocked(st, rd.Lock, rd.Version, blobs, how, rd.From) {
+	if !n.applyBlobsLocked(st, rd.Lock, rd.Version, blobs, how, rd.From, rd) {
 		return fmt.Errorf("apply patched blobs of lock %d v%d failed", rd.Lock, rd.Version)
 	}
 	n.obs().Inc(obs.CApplies)

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"mocha/internal/store"
+	"mocha/internal/wire"
+)
+
+// This file is the seam between the protocol and the pluggable replica
+// store (internal/store). The store is a write-behind record of the
+// daemon's replica state: every full install, delta patch, and commit is
+// written through, and on restart the write-ahead log is replayed to
+// pre-load the site at its persisted versions. A persist failure degrades
+// durability, never correctness — the protocol's in-memory state remains
+// the operational truth, so errors are logged and the operation proceeds.
+
+// openStore builds the node's store backend and installs any recovered
+// records. Called from NewNode before the daemon starts, so a version
+// poll can never observe a half-recovered site.
+func (n *Node) openStore() error {
+	if n.cfg.StoreDir == "" {
+		n.store = store.NewMemory()
+		return nil
+	}
+	hook := func(point string, lock wire.LockID, version uint64) bool {
+		return n.fireFault(FaultContext{Point: FaultPoint(point), Lock: lock, Version: version}).Drop
+	}
+	fs, err := store.Open(n.cfg.StoreDir, store.Options{
+		MemLimit:  n.cfg.StoreMemLimit,
+		FaultHook: hook,
+	})
+	if err != nil {
+		return fmt.Errorf("core: open durable store: %w", err)
+	}
+	n.store = fs
+	recs, err := fs.Recover()
+	if err != nil {
+		return fmt.Errorf("core: recover durable store: %w", err)
+	}
+	for _, rec := range recs {
+		n.installRecovered(rec)
+	}
+	if len(recs) > 0 && n.log.On() {
+		n.log.Logf("store", "recovered %d replica records from %s", len(recs), n.cfg.StoreDir)
+	}
+	return nil
+}
+
+// Store exposes the node's replica store (for harness assertions).
+func (n *Node) Store() store.Store { return n.store }
+
+// durableStore reports whether persisted records survive a restart — the
+// signal for paths that only marshal payloads when someone will keep them.
+func (n *Node) durableStore() bool { return n.store != nil && n.store.Durable() }
+
+// installRecovered pre-loads one recovered record into the lock's local
+// state. The marshaled payloads go into the pending table — the same path
+// a payload arriving before its replica is associated takes — and flow
+// into live content when the application re-attaches its replicas. A
+// record persisted dirty reads as dirty here too: its release never
+// committed durably, so the daemon must not advertise the version to
+// recovery polls, and committed bytes must arrive to clear it. The
+// version itself re-enters the protocol through the existing
+// PollVersion/VersionFloor machinery.
+func (n *Node) installRecovered(rec store.Record) {
+	st := n.getLockLocal(rec.Lock)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.version = rec.Version
+	st.uncommitted = rec.Dirty
+	st.fence = rec.Fence
+	for _, p := range rec.Replicas {
+		st.pending[p.Name] = pendingPayload{version: rec.Version, data: p.Data}
+	}
+}
+
+// persistReplicasLocked writes one replica-state change through to the
+// store: a delta append when the S29 delta machinery produced one, a full
+// put otherwise. Caller holds st.mu; payloads are the marshaled blobs at
+// version (treated as immutable by the store).
+func (n *Node) persistReplicasLocked(st *lockLocal, version uint64, dirty bool, payloads []wire.ReplicaPayload, delta *wire.ReplicaDelta) {
+	if n.store == nil {
+		return
+	}
+	rec := store.Record{Lock: st.id, Version: version, Dirty: dirty, Fence: st.fence, Replicas: payloads}
+	if delta != nil {
+		err := n.store.AppendDelta(delta.FromVersion, rec, delta.Replicas)
+		if err == nil {
+			return
+		}
+		if err != store.ErrBadDeltaBase && n.log.On() {
+			n.log.Logf("store", "delta append of lock %d v%d failed: %v", st.id, version, err)
+		}
+		// Fall through to a full put: the store's base diverged (it may
+		// have been behind a fault injection) and a checkpoint resyncs it.
+	}
+	if err := n.store.Put(rec); err != nil && n.log.On() {
+		n.log.Logf("store", "persist of lock %d v%d failed: %v", st.id, version, err)
+	}
+}
+
+// persistCommitLocked marks a persisted version committed. Caller holds
+// st.mu.
+func (n *Node) persistCommitLocked(st *lockLocal, version uint64) {
+	if n.store == nil {
+		return
+	}
+	if err := n.store.Commit(st.id, version); err != nil && err != store.ErrUnknownLock && n.log.On() {
+		n.log.Logf("store", "commit of lock %d v%d failed: %v", st.id, version, err)
+	}
+}

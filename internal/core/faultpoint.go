@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"mocha/internal/store"
 	"mocha/internal/wire"
 )
 
@@ -58,6 +59,16 @@ const (
 	// lock frozen (requests queue behind it); Drop aborts the migration
 	// and the old home unfreezes and keeps serving.
 	FPDelayHandoff FaultPoint = "delay-handoff"
+	// FPCrashBeforeFsync fires in the durable store as a WAL record is
+	// about to be appended. Drop loses the record as if the site died
+	// after the protocol action but before the log write reached disk —
+	// recovery must come up at the previous durable state and re-join
+	// from there. The names match internal/store's fault constants.
+	FPCrashBeforeFsync FaultPoint = FaultPoint(store.FaultCrashBeforeFsync)
+	// FPTornWALTail fires in the durable store as a WAL record is framed.
+	// Drop writes only a prefix of the frame — the torn tail a mid-write
+	// power cut leaves — and recovery must truncate it cleanly.
+	FPTornWALTail FaultPoint = FaultPoint(store.FaultTornWALTail)
 )
 
 // FaultPoints lists the registry in a stable order.
@@ -71,6 +82,8 @@ func FaultPoints() []FaultPoint {
 		FPDropRelayFan,
 		FPKillLockHome,
 		FPDelayHandoff,
+		FPCrashBeforeFsync,
+		FPTornWALTail,
 	}
 }
 

@@ -1,0 +1,34 @@
+package core
+
+import "testing"
+
+// TestFenceTokensAdvancePerHold exercises the public fencing-token
+// surface: each exclusive hold observes a token strictly above the
+// previous hold's, so an external resource comparing tokens can order
+// holders even across manager failover.
+func TestFenceTokensAdvancePerHold(t *testing.T) {
+	tc := newTestCluster(t, 2, defaultOpts())
+	ctx := tctx(t)
+
+	hc := tc.node(1).NewHandle("creator")
+	rlC, _ := mustCreate(t, hc, 71, "fenced", []int32{0}, 2)
+	hw := tc.node(2).NewHandle("worker")
+	rlW, _ := mustAttach(t, hw, 71, "fenced")
+	settle()
+
+	var last uint64
+	for hold, rl := range []*ReplicaLock{rlC, rlW, rlC} {
+		if err := rl.Lock(ctx); err != nil {
+			t.Fatalf("hold %d: %v", hold, err)
+		}
+		token := rl.Fence()
+		if token <= last {
+			t.Fatalf("hold %d observed fence %d, not above the previous hold's %d",
+				hold, token, last)
+		}
+		last = token
+		if err := rl.Unlock(ctx); err != nil {
+			t.Fatalf("release %d: %v", hold, err)
+		}
+	}
+}

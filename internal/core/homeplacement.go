@@ -794,6 +794,7 @@ func snapshotRecordLocked(l *syncLock, now time.Time) wire.LockRecord {
 		Version:   l.version,
 		HighWater: l.highWater,
 		LastOwner: l.lastOwner,
+		Fence:     l.fence,
 		UpToDate:  l.upToDate.Clone(),
 		Dirty:     l.dirty.Clone(),
 		Sharers:   l.sharers.Clone(),
@@ -832,6 +833,9 @@ func (s *syncThread) installRecordLocked(l *syncLock, rec *wire.LockRecord, home
 		l.highWater = l.version
 	}
 	l.lastOwner = rec.LastOwner
+	if rec.Fence > l.fence {
+		l.fence = rec.Fence
+	}
 	l.upToDate = rec.UpToDate.Clone()
 	l.dirty = rec.Dirty.Clone()
 	l.sharers = rec.Sharers.Clone()
@@ -861,9 +865,14 @@ func (s *syncThread) installRecordLocked(l *syncLock, rec *wire.LockRecord, home
 	}
 	if rec.HasHolder {
 		l.holder = restored(&rec.Holder)
+		// The original token travelled with the grant the holder already
+		// has; mint a fresh one under the new epoch so any revised grant
+		// issued from here carries a strictly larger fence.
+		l.holder.fence = s.mintFenceLocked(l)
 	}
 	for i := range rec.Readers {
 		h := restored(&rec.Readers[i])
+		h.fence = s.mintFenceLocked(l)
 		l.readers[h.thread] = h
 	}
 }

@@ -120,6 +120,11 @@ type lockLocal struct {
 	// die without running any local code (a killed thread) are covered by
 	// the synchronization thread's per-lock dirty-site set instead.
 	uncommitted bool
+	// fence is the highest fencing token a grant has carried to this site
+	// for the lock. Persisted with durable-store records so a recovered
+	// site can prove how far its last hold was fenced; the authoritative
+	// counter lives at the home.
+	fence uint64
 	// waiters are version watchers (threads waiting for transferred data).
 	waiters []*versionWaiter
 }
@@ -520,6 +525,18 @@ func (rl *ReplicaLock) Version() uint64 {
 	return rl.st.version
 }
 
+// Fence returns the highest fencing token a grant has carried to this
+// site for the lock. Read under Lock it identifies the current hold:
+// tokens are minted monotonically by the lock's manager and survive
+// manager failover, so an external resource that remembers the highest
+// token it has seen can reject writes from a holder the manager has
+// since fenced off.
+func (rl *ReplicaLock) Fence() uint64 {
+	rl.st.mu.Lock()
+	defer rl.st.mu.Unlock()
+	return rl.st.fence
+}
+
 // Lock acquires the lock exclusively. When it returns nil, the associated
 // replicas are consistent with the most recent update and may be accessed
 // and modified until Unlock.
@@ -569,6 +586,11 @@ func (rl *ReplicaLock) lock(ctx context.Context, shared bool) error {
 
 	rl.st.mu.Lock()
 	have := rl.st.version
+	if rl.st.uncommitted {
+		// An uncommitted copy cannot serve as a delta base (the bytes are
+		// untrusted), so don't advertise its version to the sender.
+		have = 0
+	}
 	rl.st.mu.Unlock()
 	req := &wire.AcquireLock{
 		Lock:        rl.id,
@@ -655,6 +677,9 @@ func (rl *ReplicaLock) lock(ctx context.Context, shared bool) error {
 	rl.st.holder = rl.h.id
 	rl.st.heldGrant = grant
 	rl.st.heldShared = shared
+	if grant.Fence > rl.st.fence {
+		rl.st.fence = grant.Fence
+	}
 	if grant.Version > rl.st.version && grant.Flag == wire.VersionOK {
 		// VERSIONOK with a newer version means the synchronization thread
 		// believes our copy is current (we are in the up-to-date set from
@@ -741,15 +766,23 @@ func (rl *ReplicaLock) Unlock(ctx context.Context) error {
 		var payloads []wire.ReplicaPayload
 		var pushDeltaMsg *wire.ReplicaDelta
 		var err error
-		if ur > 1 {
+		if ur > 1 || rl.node.durableStore() {
 			// Marshal only when disseminating: with UR = 1 the new value
-			// stays here until another site's acquisition pulls it.
+			// stays here until another site's acquisition pulls it. A
+			// durable store marshals regardless — the write-ahead log needs
+			// the bytes now, crash or no crash.
 			payloads, err = rl.marshalReplicasLocked()
 			if err == nil {
 				// A push delta only has to bridge the single step from the
 				// version every up-to-date sharer already holds.
 				pushDeltaMsg = rl.st.buildDeltaLocked(rl.node.cfg.Site, grant.Version, newVersion, payloads, 0, true)
 			}
+		}
+		if err == nil && payloads != nil {
+			// Persisted dirty: the version is published locally but its
+			// release is not yet acknowledged. A crash between here and the
+			// release recovers the bytes as dirty, never as committed.
+			rl.node.persistReplicasLocked(rl.st, newVersion, true, payloads, pushDeltaMsg)
 		}
 		if err == nil && rl.node.histEnabled() {
 			// The release's bytes define the new version; recorded before
@@ -788,10 +821,16 @@ func (rl *ReplicaLock) Unlock(ctx context.Context) error {
 		NewVersion: newVersion,
 		UpToDate:   upToDate,
 		Shared:     shared,
+		Fence:      grant.Fence,
 	}
 	err := rl.node.client.sendToSync(ctx, rel)
 
 	rl.st.mu.Lock()
+	if err == nil && !shared {
+		// The release reached the synchronization thread: the published
+		// version is committed, and the persisted record can say so.
+		rl.node.persistCommitLocked(rl.st, newVersion)
+	}
 	rl.st.holder = 0
 	rl.st.heldGrant = nil
 	rl.st.mu.Unlock()
@@ -821,6 +860,7 @@ func (rl *ReplicaLock) releaseAborted(grant *wire.Grant, shared bool) {
 		UpToDate:   wire.SiteSet{},
 		Shared:     shared,
 		Aborted:    true,
+		Fence:      grant.Fence,
 	}
 	if err := rl.node.client.sendToSync(ctx, rel); err != nil {
 		if rl.node.log.On() {

@@ -94,6 +94,12 @@ type syncLock struct {
 	dirty   wire.SiteSet
 	sharers wire.SiteSet
 	names   map[string]bool
+	// fence is the fencing-token counter: the highest token ever minted
+	// for this lock. Tokens compose the manager epoch (high 32 bits) with
+	// a per-epoch sequence, so a promotion or handoff — whose shadow of
+	// this counter may be stale — mints under its strictly larger epoch
+	// and can never re-issue or regress a token the old home handed out.
+	fence uint64
 
 	holder  *holderInfo
 	readers map[wire.ThreadID]*holderInfo
@@ -137,6 +143,9 @@ type holderInfo struct {
 	// into the dead home; if the same thread re-acquires, the stale hold
 	// is broken instead of deadlocking the queue behind a ghost.
 	restored bool
+	// fence is the fencing token minted for this hold; a revised grant
+	// re-issuing the hold carries the same token.
+	fence uint64
 }
 
 type lockRequest struct {
@@ -350,11 +359,16 @@ func (s *syncThread) onAcquire(msg *wire.AcquireLock) {
 	// grant the first copy will get (same delivery key at the client).
 	if h := s.holdOfLocked(l, msg.Thread); h != nil {
 		req := &lockRequest{site: msg.Requester, thread: msg.Thread, shared: h.shared, have: msg.HaveVersion, lease: h.lease}
+		if msg.HaveVersion < l.version && l.upToDate.Contains(msg.Requester) {
+			// Same demotion as tryGrantLocked: the requester knows its
+			// own replicas better than our bookkeeping does.
+			l.upToDate.Remove(msg.Requester)
+		}
 		flag := wire.VersionOK
 		if l.version > 0 && !l.upToDate.Contains(msg.Requester) {
 			flag = wire.NeedNewVersion
 		}
-		g := s.buildGrantLocked(l, req, l.version, flag, true)
+		g := s.buildGrantLocked(l, req, l.version, flag, true, h.fence)
 		s.recordGrant(l, g, msg.Requester)
 		l.mu.Unlock()
 		if s.node.log.On() {
@@ -606,11 +620,21 @@ func (s *syncThread) tryGrantLocked(l *syncLock) []func() {
 		h := &holderInfo{
 			site: head.site, thread: head.thread,
 			grantedAt: time.Now(), lease: head.lease, shared: head.shared,
+			fence: s.mintFenceLocked(l),
 		}
 		if head.shared {
 			l.readers[head.thread] = h
 		} else {
 			l.holder = h
+		}
+		if head.have < l.version && l.upToDate.Contains(head.site) {
+			// The requester reports an older version than the bookkeeping
+			// credits it with: it restarted and lost (some of) its state,
+			// or its uncommitted copy disqualified itself (have=0). The
+			// requester is authoritative about its own replicas — stale
+			// up-to-date entries otherwise grant VERSIONOK to an empty
+			// site, which would read bytes that are not the version's.
+			l.upToDate.Remove(head.site)
 		}
 		flag := wire.VersionOK
 		if l.version > 0 && !l.upToDate.Contains(head.site) {
@@ -620,7 +644,7 @@ func (s *syncThread) tryGrantLocked(l *syncLock) []func() {
 			// the last owner.
 			flag = wire.NeedNewVersion
 		}
-		g := s.buildGrantLocked(l, head, l.version, flag, false)
+		g := s.buildGrantLocked(l, head, l.version, flag, false, h.fence)
 		s.recordRequest(l.id, head)
 		s.recordGrant(l, g, head.site)
 		req := head
@@ -634,23 +658,46 @@ func (s *syncThread) tryGrantLocked(l *syncLock) []func() {
 
 // recordGrant adds a GRANT to the history; the caller holds l.mu, so the
 // event sits exactly where the hold was installed in the lock's timeline.
+// AuxVersion carries the fencing token so the checker can enforce that
+// tokens never regress across grants, handoffs, and promotions.
 func (s *syncThread) recordGrant(l *syncLock, g *wire.Grant, site wire.SiteID) {
 	s.node.recordHist(wire.HistoryEvent{
-		Kind:    wire.HistGrant,
-		Site:    site,
-		Thread:  g.Thread,
-		Lock:    l.id,
-		Version: g.Version,
-		Flag:    g.Flag,
-		Shared:  g.Shared,
-		Revised: g.Revised,
-		Sites:   g.UpToDate,
+		Kind:       wire.HistGrant,
+		Site:       site,
+		Thread:     g.Thread,
+		Lock:       l.id,
+		Version:    g.Version,
+		AuxVersion: g.Fence,
+		Flag:       g.Flag,
+		Shared:     g.Shared,
+		Revised:    g.Revised,
+		Sites:      g.UpToDate,
 	})
 }
 
+// mintFenceLocked issues the lock's next fencing token: the manager epoch
+// in the high 32 bits, a per-epoch sequence below. Within one epoch the
+// counter increments; after a handoff or standby promotion the strictly
+// larger epoch jumps the token past everything the old home could have
+// minted — even when the promoted standby's shadow of the counter was
+// stale. The caller holds l.mu.
+func (s *syncThread) mintFenceLocked(l *syncLock) uint64 {
+	epoch := uint64(s.epoch)
+	if uint64(l.homeEpoch) > epoch {
+		epoch = uint64(l.homeEpoch)
+	}
+	next := l.fence + 1
+	if floor := epoch<<32 | 1; next < floor {
+		next = floor
+	}
+	l.fence = next
+	return next
+}
+
 // buildGrantLocked assembles a GRANT from the lock's current state; the
-// caller holds l.mu.
-func (s *syncThread) buildGrantLocked(l *syncLock, req *lockRequest, version uint64, flag wire.VersionFlag, revised bool) *wire.Grant {
+// caller holds l.mu. fence is the hold's fencing token: freshly minted for
+// a new hold, the hold's existing token for a revised re-issue.
+func (s *syncThread) buildGrantLocked(l *syncLock, req *lockRequest, version uint64, flag wire.VersionFlag, revised bool, fence uint64) *wire.Grant {
 	return &wire.Grant{
 		Lock:         l.id,
 		Thread:       req.thread,
@@ -662,6 +709,7 @@ func (s *syncThread) buildGrantLocked(l *syncLock, req *lockRequest, version uin
 		UpToDate:     l.upToDate.Clone(),
 		Revised:      revised,
 		VersionFloor: l.highWater,
+		Fence:        fence,
 	}
 }
 

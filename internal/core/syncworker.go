@@ -150,7 +150,7 @@ func (s *syncThread) recoverTransfer(l *syncLock, req *lockRequest, h *holderInf
 		// whatever it has.
 		l.lastOwner = req.site
 		l.upToDate = wire.NewSiteSet(req.site)
-		g := s.buildGrantLocked(l, req, l.version, wire.VersionOK, true)
+		g := s.buildGrantLocked(l, req, l.version, wire.VersionOK, true, h.fence)
 		s.node.recordHist(wire.HistoryEvent{
 			Kind: wire.HistRecover, Site: req.site, Lock: l.id, Version: l.version, Note: "weakened-local",
 		})
@@ -178,13 +178,13 @@ func (s *syncThread) recoverTransfer(l *syncLock, req *lockRequest, h *holderInf
 
 	if best.Site == req.site {
 		// The grantee itself holds the best surviving copy.
-		g := s.buildGrantLocked(l, req, best.Version, wire.VersionOK, true)
+		g := s.buildGrantLocked(l, req, best.Version, wire.VersionOK, true, h.fence)
 		s.recordGrant(l, g, req.site)
 		l.mu.Unlock()
 		s.sendToClient(req.site, g)
 		return
 	}
-	g := s.buildGrantLocked(l, req, best.Version, wire.NeedNewVersion, true)
+	g := s.buildGrantLocked(l, req, best.Version, wire.NeedNewVersion, true, h.fence)
 	s.recordGrant(l, g, req.site)
 	l.mu.Unlock()
 	s.sendToClient(req.site, g)

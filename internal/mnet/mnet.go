@@ -166,6 +166,13 @@ type Endpoint struct {
 	fl     *flusher
 	gapJob netsim.WheelTimer
 
+	// boot is this endpoint's incarnation, stamped on every data packet.
+	// A peer that sees it change knows the endpoint restarted (its
+	// sequence numbers and message IDs began anew) and resets its receive
+	// state for this sender instead of shadowing the reborn endpoint with
+	// its predecessor's ordering.
+	boot uint32
+
 	nextMsg atomic.Uint64
 	stats   atomicStats
 
@@ -178,12 +185,27 @@ type Endpoint struct {
 	sweepWG sync.WaitGroup
 }
 
+// bootSeq distinguishes endpoint incarnations created in one process; the
+// time term distinguishes incarnations across process restarts.
+var bootSeq atomic.Uint32
+
+// newBoot derives a fresh endpoint incarnation, never zero (zero marks
+// "no incarnation seen yet" in peer state).
+func newBoot() uint32 {
+	b := uint32(time.Now().UnixNano())*2654435761 + bootSeq.Add(1)
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
 // NewEndpoint wraps a datagram endpoint. The Endpoint takes ownership and
 // closes the datagram on Close.
 func NewEndpoint(dg transport.Datagram, cfg Config) *Endpoint {
 	e := &Endpoint{
 		cfg:     cfg.withDefaults(),
 		dg:      dg,
+		boot:    newBoot(),
 		ports:   make(map[uint16]*Port),
 		peers:   make(map[string]*peer),
 		outMsgs: make(map[uint64]*outMsg),
@@ -294,6 +316,10 @@ type peer struct {
 	mu sync.Mutex
 	// nextSeq assigns outbound sequence numbers per destination port.
 	nextSeq map[uint16]uint64
+	// rxBoot is the sender incarnation the peer's data packets last
+	// carried; zero until the first packet. A change means the remote
+	// endpoint restarted and its receive-side state below is void.
+	rxBoot uint32
 	// order restores inbound per-source-port sequence order.
 	order map[uint16]*ordering
 	// reasm holds partially received messages by msgID.

@@ -85,6 +85,45 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+func TestEndpointRestartNotShadowed(t *testing.T) {
+	// An endpoint that restarts at the same address begins its sequence
+	// numbers and message IDs anew. Without the boot incarnation in the
+	// data header, the surviving peer would ack the reborn endpoint's
+	// packets (so its sends "succeed") while silently discarding them as
+	// stale duplicates of the previous incarnation — the worst failure
+	// mode a rebooted site could hit.
+	e1, e2, sn := pair(t)
+	ch, _ := collect(t, e2, 5)
+	sender, _ := e1.OpenPort(9)
+	for i := 0; i < 5; i++ {
+		sendOK(t, sender, e2.PortAddr(5), []byte(fmt.Sprintf("pre-%d", i)))
+	}
+	for i := 0; i < 5; i++ {
+		<-ch
+	}
+
+	// Reboot site 1: close the endpoint, restart the machine at the same
+	// address, and build a fresh endpoint on the new stack.
+	_ = e1.Close()
+	s1, err := sn.Restart(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1b := NewEndpoint(s1.Datagram(), Config{})
+	t.Cleanup(func() { _ = e1b.Close() })
+	sender2, _ := e1b.OpenPort(9)
+
+	sendOK(t, sender2, e2.PortAddr(5), []byte("post-restart"))
+	select {
+	case m := <-ch:
+		if string(m.Data) != "post-restart" {
+			t.Fatalf("data %q", m.Data)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("restarted endpoint's message never delivered (shadowed by its predecessor's sequence state)")
+	}
+}
+
 func TestReplyUsingFromAddress(t *testing.T) {
 	e1, e2, _ := pair(t)
 	replies, client := collect(t, e1, 4)
@@ -468,17 +507,17 @@ func TestQuickSplitReassembles(t *testing.T) {
 func TestPacketCodecRoundTrip(t *testing.T) {
 	keys := [][]byte{nil, []byte("k")}
 	for _, key := range keys {
-		p := dataPacket{srcPort: 3, dstPort: 9, msgID: 77, seq: 5, fragIdx: 2, fragCount: 4, payload: []byte("abc")}
+		p := dataPacket{srcPort: 3, dstPort: 9, msgID: 77, seq: 5, fragIdx: 2, fragCount: 4, boot: 11, payload: []byte("abc")}
 		got, err := decodeData(*encodeData(p, key), key)
 		if err != nil {
 			t.Fatalf("key=%q decode: %v", key, err)
 		}
-		if got.srcPort != 3 || got.dstPort != 9 || got.msgID != 77 || got.seq != 5 || got.fragIdx != 2 || got.fragCount != 4 || string(got.payload) != "abc" {
+		if got.srcPort != 3 || got.dstPort != 9 || got.msgID != 77 || got.seq != 5 || got.fragIdx != 2 || got.fragCount != 4 || got.boot != 11 || string(got.payload) != "abc" {
 			t.Fatalf("key=%q round trip mismatch: %+v", key, got)
 		}
-		id, idx, err := decodeAck(*encodeAck(42, 7, key), key)
-		if err != nil || id != 42 || idx != 7 {
-			t.Fatalf("key=%q ack round trip: id=%d idx=%d err=%v", key, id, idx, err)
+		id, idx, boot, err := decodeAck(*encodeAck(42, 7, 11, key), key)
+		if err != nil || id != 42 || idx != 7 || boot != 11 {
+			t.Fatalf("key=%q ack round trip: id=%d idx=%d boot=%d err=%v", key, id, idx, boot, err)
 		}
 	}
 	// Tampered packet with MAC must be rejected.

@@ -26,20 +26,24 @@ const (
 //	off 14 seq       u64   per (destination, dstPort) delivery sequence
 //	off 22 fragIdx   u32
 //	off 26 fragCount u32
-//	off 30 payload...
+//	off 30 boot      u32   sender incarnation; a change resets peer RX state
+//	off 34 payload...
 //
-// Ack packets:
+// Ack packets (boot echoes the acknowledged data packet's incarnation, so
+// an ack surviving from before a sender restarted cannot confirm one of
+// the restarted sender's messages):
 //
 //	off 0  type    u8
 //	off 1  flags   u8
 //	off 2  msgID   u64
 //	off 10 fragIdx u32
+//	off 14 boot    u32
 //
 // When the endpoint is configured with an authentication key, every packet
 // carries a truncated HMAC-SHA256 trailer.
 const (
-	dataHeaderLen = 30
-	ackLen        = 14
+	dataHeaderLen = 34
+	ackLen        = 18
 	macLen        = 8
 )
 
@@ -73,6 +77,7 @@ type dataPacket struct {
 	seq       uint64
 	fragIdx   uint32
 	fragCount uint32
+	boot      uint32
 	payload   []byte
 }
 
@@ -88,6 +93,7 @@ func writeDataHeader(buf []byte, p dataPacket) {
 	binary.BigEndian.PutUint64(buf[14:22], p.seq)
 	binary.BigEndian.PutUint32(buf[22:26], p.fragIdx)
 	binary.BigEndian.PutUint32(buf[26:30], p.fragCount)
+	binary.BigEndian.PutUint32(buf[30:34], p.boot)
 }
 
 // encodeData builds a data packet in a pooled buffer, appending the MAC
@@ -119,6 +125,7 @@ func decodeData(b []byte, key []byte) (dataPacket, error) {
 		seq:       binary.BigEndian.Uint64(body[14:22]),
 		fragIdx:   binary.BigEndian.Uint32(body[22:26]),
 		fragCount: binary.BigEndian.Uint32(body[26:30]),
+		boot:      binary.BigEndian.Uint32(body[30:34]),
 	}
 	if p.fragCount == 0 || p.fragIdx >= p.fragCount {
 		return dataPacket{}, fmt.Errorf("%w: fragment %d/%d", errBadPacket, p.fragIdx, p.fragCount)
@@ -129,28 +136,31 @@ func decodeData(b []byte, key []byte) (dataPacket, error) {
 }
 
 // encodeAck builds an ack packet for one received fragment in a pooled
-// buffer; release with putPktBuf after handing it to the transport.
-func encodeAck(msgID uint64, fragIdx uint32, key []byte) *[]byte {
+// buffer; release with putPktBuf after handing it to the transport. boot
+// echoes the acknowledged data packet's sender incarnation.
+func encodeAck(msgID uint64, fragIdx uint32, boot uint32, key []byte) *[]byte {
 	bp := getPktBuf(ackLen + macSize(key))
 	buf := (*bp)[:ackLen]
 	buf[0] = ptAck
 	buf[1] = 0 // flags; pooled buffers arrive dirty
 	binary.BigEndian.PutUint64(buf[2:10], msgID)
 	binary.BigEndian.PutUint32(buf[10:14], fragIdx)
+	binary.BigEndian.PutUint32(buf[14:18], boot)
 	*bp = appendMAC(buf, key)
 	return bp
 }
 
 // decodeAck parses and authenticates an ack packet.
-func decodeAck(b []byte, key []byte) (msgID uint64, fragIdx uint32, err error) {
+func decodeAck(b []byte, key []byte) (msgID uint64, fragIdx uint32, boot uint32, err error) {
 	body, err := verifyMAC(b, key)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	if len(body) < ackLen || body[0] != ptAck {
-		return 0, 0, errBadPacket
+		return 0, 0, 0, errBadPacket
 	}
-	return binary.BigEndian.Uint64(body[2:10]), binary.BigEndian.Uint32(body[10:14]), nil
+	return binary.BigEndian.Uint64(body[2:10]), binary.BigEndian.Uint32(body[10:14]),
+		binary.BigEndian.Uint32(body[14:18]), nil
 }
 
 // appendMAC appends a truncated HMAC-SHA256 trailer when key is non-empty.

@@ -41,7 +41,7 @@ func (e *Endpoint) handleData(from string, pkt []byte) {
 	// the buffer and coalesces same-peer acks into one transport batch);
 	// the serial path sends inline — the transport copies synchronously,
 	// so the pooled buffer goes straight back.
-	ack := encodeAck(p.msgID, p.fragIdx, e.cfg.Key)
+	ack := encodeAck(p.msgID, p.fragIdx, p.boot, e.cfg.Key)
 	if e.fl != nil {
 		e.fl.enqueue(from, ack)
 	} else {
@@ -54,6 +54,20 @@ func (e *Endpoint) handleData(from string, pkt []byte) {
 	pr := e.getPeer(from)
 	pr.mu.Lock()
 	defer pr.mu.Unlock()
+
+	if pr.rxBoot != p.boot {
+		if pr.rxBoot != 0 {
+			// The sender restarted: its sequence numbers and message IDs
+			// begin anew. Keep only our transmit state toward it; the old
+			// incarnation's ordering, reassembly, and duplicate memory
+			// would silently swallow everything the reborn endpoint says.
+			pr.order = make(map[uint16]*ordering)
+			pr.reasm = make(map[uint64]*reassembly)
+			pr.delivered = make(map[uint64]struct{})
+			pr.deliveredRing = nil
+		}
+		pr.rxBoot = p.boot
+	}
 
 	if _, dup := pr.delivered[p.msgID]; dup {
 		e.countDuplicate()

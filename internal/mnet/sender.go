@@ -173,6 +173,7 @@ func (p *Port) sendMsg(ctx context.Context, to string, data []byte, app Appender
 		msgID:     id,
 		seq:       seq,
 		fragCount: 1,
+		boot:      e.boot,
 	}
 
 	// pre is the single-fragment packet encoded in place by an Appender;
@@ -489,11 +490,17 @@ func (e *Endpoint) msgTimeout(m *outMsg) {
 	}
 }
 
-// handleAck processes an acknowledgment packet.
+// handleAck processes an acknowledgment packet. An ack echoing another
+// incarnation's boot was earned by a predecessor endpoint's packet — a
+// delayed duplicate from before a restart — and must not confirm one of
+// this incarnation's messages that happens to reuse the message ID.
 func (e *Endpoint) handleAck(pkt []byte) {
-	msgID, fragIdx, err := decodeAck(pkt, e.cfg.Key)
+	msgID, fragIdx, boot, err := decodeAck(pkt, e.cfg.Key)
 	if err != nil {
 		e.stats.badPackets.Add(1)
+		return
+	}
+	if boot != e.boot {
 		return
 	}
 	e.mu.Lock()

@@ -274,13 +274,24 @@ func (nd *Node) SetReceiver(r Receiver) {
 	nd.recv = r
 }
 
-// Kill silences the node permanently: everything addressed to it
-// disappears, modelling the fail-stop site failures of Section 4 (a
-// remote machine reboot or an owner terminating the site manager).
+// Kill silences the node: everything addressed to it disappears,
+// modelling the fail-stop site failures of Section 4 (a remote machine
+// reboot or an owner terminating the site manager). Revive undoes it —
+// until then the silence is absolute.
 func (nd *Node) Kill() {
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
 	nd.dead = true
+}
+
+// Revive brings a killed node back: the machine rebooted at the same
+// address. Packets dropped while it was dead stay dropped; the receiver
+// installed before the kill keeps serving unless replaced, so callers
+// restarting a process on the node should SetReceiver first.
+func (nd *Node) Revive() {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	nd.dead = false
 }
 
 // Alive reports whether the node has not been killed.

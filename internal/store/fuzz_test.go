@@ -1,0 +1,107 @@
+package store
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mocha/internal/wire"
+)
+
+// walFrame frames one WALRecord exactly as appendFrameLocked does, for
+// building fuzz seeds.
+func walFrame(rec *wire.WALRecord) []byte {
+	body := wire.Marshal(rec)
+	frame := make([]byte, frameHeader+len(body))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(body))
+	copy(frame[frameHeader:], body)
+	return frame
+}
+
+// FuzzWALRecord feeds arbitrary bytes to the store's segment replay as a
+// WAL file. Whatever the bytes — torn tails, bit flips, wild length
+// fields, valid prefixes followed by garbage — replay must terminate with
+// a clean truncation, never panic, and never install silently bad bytes:
+// the store that opens must itself reopen cleanly with the same records.
+// fuzzWALSeeds builds the seed segment images: a lone put, a full
+// put+delta+commit chain, a torn tail, a bit flip, a wild length field.
+// They seed the fuzzer and double as the checked-in corpus under
+// testdata/fuzz/FuzzWALRecord.
+func fuzzWALSeeds() [][]byte {
+	put := walFrame(&wire.WALRecord{Op: wire.WALPut, Lock: 1, Version: 1, Fence: 1,
+		Replicas: []wire.DeltaPayload{{Name: "a", Full: true, Data: []byte("seed blob")}}})
+	delta := walFrame(&wire.WALRecord{Op: wire.WALDelta, Lock: 1, FromVersion: 1, Version: 2,
+		Dirty: true, Fence: 2, Replicas: []wire.DeltaPayload{{Name: "a", NewLen: 2,
+			Checksum: crc32.ChecksumIEEE([]byte("vv")), Ops: []wire.PatchOp{{Off: 0, Data: []byte("vv")}}}}})
+	commit := walFrame(&wire.WALRecord{Op: wire.WALCommit, Lock: 1, Version: 2})
+	flipped := append([]byte{}, put...)
+	flipped[frameHeader+3] ^= 0x40 // bit flip inside the body
+	wild := append([]byte{}, put...)
+	binary.BigEndian.PutUint32(wild[0:4], 0xFFFFFFF0) // wild length field
+	return [][]byte{
+		{},
+		put,
+		append(append(append([]byte{}, put...), delta...), commit...),
+		append(append([]byte{}, put...), delta[:len(delta)/2]...), // torn tail
+		flipped,
+		wild,
+	}
+}
+
+func FuzzWALRecord(f *testing.F) {
+	for _, seed := range fuzzWALSeeds() {
+		f.Add(seed)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "wal-00000001.log"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fs, err := Open(dir, Options{FsyncInterval: -1})
+		if err != nil {
+			t.Fatalf("open must tolerate arbitrary segment bytes: %v", err)
+		}
+		recs, err := fs.Recover()
+		if err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		// Every recovered record must refault to exactly the bytes replay
+		// installed (chain consistency survives eviction).
+		for _, r := range recs {
+			if err := fs.Evict(r.Lock); err != nil {
+				continue // dirty records pin their bytes; nothing to check
+			}
+			got, ok, err := fs.Get(r.Lock)
+			if err != nil || !ok {
+				t.Fatalf("refault of recovered lock %d: ok=%v err=%v", r.Lock, ok, err)
+			}
+			if len(got.Replicas) != len(r.Replicas) {
+				t.Fatalf("refault of lock %d changed payload count", r.Lock)
+			}
+			for i := range got.Replicas {
+				if got.Replicas[i].Name != r.Replicas[i].Name || string(got.Replicas[i].Data) != string(r.Replicas[i].Data) {
+					t.Fatalf("refault of lock %d changed payload %q", r.Lock, got.Replicas[i].Name)
+				}
+			}
+		}
+		fs.Close()
+		// A store that replayed (and truncated) once must reopen with the
+		// identical record set: truncation is idempotent.
+		fs2, err := Open(dir, Options{FsyncInterval: -1})
+		if err != nil {
+			t.Fatalf("reopen after truncation: %v", err)
+		}
+		recs2, _ := fs2.Recover()
+		if len(recs2) != len(recs) {
+			t.Fatalf("reopen recovered %d records, first pass %d", len(recs2), len(recs))
+		}
+		if st := fs2.Stats(); st.TruncatedTails != 0 {
+			t.Fatalf("second replay still truncating (%d): first truncation was not clean", st.TruncatedTails)
+		}
+		fs2.Close()
+	})
+}

@@ -71,6 +71,38 @@ func (sn *SimNetwork) Kill(id netsim.NodeID) {
 	}
 }
 
+// Restart models the machine at id rebooting at the same address: the old
+// stack (whose process died with the machine) is closed and detached, the
+// node revived, and a fresh stack installed for the restarted process.
+// Directory entries pointing at the address stay valid across the reboot.
+func (sn *SimNetwork) Restart(id netsim.NodeID) (*SimStack, error) {
+	node := sn.net.Node(id)
+	if node == nil {
+		return nil, fmt.Errorf("transport: restart of unknown sim node %d", id)
+	}
+	sn.mu.Lock()
+	old := sn.stacks[id]
+	delete(sn.stacks, id)
+	sn.mu.Unlock()
+	if old != nil {
+		_ = old.Close()
+	}
+	s := &SimStack{
+		sim:       sn,
+		node:      node,
+		addr:      strconv.FormatUint(uint64(id), 10),
+		listeners: make(map[uint32]*simListener),
+		conns:     make(map[uint32]*simConn),
+	}
+	s.dg = &simDatagram{stack: s}
+	node.SetReceiver(s.receive)
+	node.Revive()
+	sn.mu.Lock()
+	sn.stacks[id] = s
+	sn.mu.Unlock()
+	return s, nil
+}
+
 // Close shuts the whole simulated network down.
 func (sn *SimNetwork) Close() error {
 	sn.mu.Lock()

@@ -126,7 +126,7 @@ type HistoryEvent struct {
 	// Version is the event's primary version (grant version, release's new
 	// version, applied version, ...). AuxVersion carries a secondary one:
 	// the grant version for HistObserve, the destination's version for
-	// HistTransferSend.
+	// HistTransferSend, the fencing token for HistGrant.
 	Version    uint64
 	AuxVersion uint64
 

@@ -23,9 +23,9 @@ func fuzzSeeds() [][]byte {
 			HaveVersion: 41, LeaseMillis: 500},
 		&Grant{Lock: 7, Thread: MakeThreadID(3, 9), Version: 42, Flag: NeedNewVersion,
 			Shared: true, Epoch: 2, Sharers: NewSiteSet(2, 4), UpToDate: NewSiteSet(1, 2),
-			Revised: true, VersionFloor: 45},
+			Revised: true, VersionFloor: 45, Fence: 6},
 		&ReleaseLock{Lock: 7, Releaser: 3, Thread: MakeThreadID(3, 9), NewVersion: 43,
-			UpToDate: NewSiteSet(1, 3), Aborted: true},
+			UpToDate: NewSiteSet(1, 3), Aborted: true, Fence: 6},
 		&ReplicaData{Lock: 7, From: 2, Version: 42, Replicas: []ReplicaPayload{
 			{Name: "table", Data: []byte{1, 2, 3, 4}},
 			{Name: "", Data: nil},
@@ -37,6 +37,11 @@ func fuzzSeeds() [][]byte {
 				{Name: "whole", Full: true, Data: []byte{5, 6, 7}},
 			}},
 		&LockNack{Lock: 7, Code: NackNotHome, Home: 4, HomeEpoch: 3, Reason: "moved"},
+		&WALRecord{Op: WALDelta, Lock: 7, FromVersion: 41, Version: 42, Dirty: true,
+			Fence: 6, Replicas: []DeltaPayload{
+				{Name: "table", NewLen: 8, Checksum: 0xfeedface,
+					Ops: []PatchOp{{Off: 2, Data: []byte{3, 4}}}},
+			}},
 	}
 	for _, p := range populated {
 		seeds = append(seeds, Marshal(p))

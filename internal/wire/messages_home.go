@@ -56,6 +56,10 @@ type LockRecord struct {
 	HasHolder bool
 	Holder    HeldLease
 	Readers   []HeldLease
+	// Fence is the lock's fencing-token counter: the highest token the
+	// record's home has minted. Carried so handoff and standby promotion
+	// keep minting strictly above every token ever issued for the lock.
+	Fence uint64
 }
 
 func (rec *LockRecord) encode(w *Writer) {
@@ -78,6 +82,7 @@ func (rec *LockRecord) encode(w *Writer) {
 	for i := range rec.Readers {
 		rec.Readers[i].encode(w)
 	}
+	w.U64(rec.Fence)
 }
 
 func (rec *LockRecord) decode(r *Reader) {
@@ -106,6 +111,7 @@ func (rec *LockRecord) decode(r *Reader) {
 			rec.Readers = append(rec.Readers, h)
 		}
 	}
+	rec.Fence = r.U64()
 }
 
 // HomeHint tells a site where a lock's manager now lives. Sent by an old

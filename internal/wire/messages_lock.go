@@ -79,6 +79,13 @@ type Grant struct {
 	// this mark; an exclusive releaser must still publish strictly above
 	// it so a version number is never reused for different bytes.
 	VersionFloor uint64
+	// Fence is the monotonic fencing token minted by the lock's home for
+	// this hold. Tokens strictly increase per lock across grants, home
+	// handoffs and standby promotions (the record carries the counter), so
+	// downstream systems can reject writes stamped with the token of a
+	// lease-broken ex-holder. A revised grant re-carries the hold's
+	// original token. Zero means fencing predates this grant's encoder.
+	Fence uint64
 }
 
 // Kind implements Payload.
@@ -95,6 +102,7 @@ func (m *Grant) encode(w *Writer) {
 	m.UpToDate.encode(w)
 	w.Bool(m.Revised)
 	w.U64(m.VersionFloor)
+	w.U64(m.Fence)
 }
 
 func (m *Grant) decode(r *Reader) error {
@@ -108,6 +116,7 @@ func (m *Grant) decode(r *Reader) error {
 	m.UpToDate = decodeSiteSet(r)
 	m.Revised = r.Bool()
 	m.VersionFloor = r.U64()
+	m.Fence = r.U64()
 	return r.Err()
 }
 
@@ -187,6 +196,10 @@ type ReleaseLock struct {
 	// (it gave up waiting for the transfer); the synchronization thread
 	// keeps its version and last-owner bookkeeping unchanged.
 	Aborted bool
+	// Fence echoes the fencing token the matching Grant carried, so
+	// downstream consumers of the release can correlate the commit with
+	// the hold's token. Zero when the grant predates fencing.
+	Fence uint64
 }
 
 // Kind implements Payload.
@@ -200,6 +213,7 @@ func (m *ReleaseLock) encode(w *Writer) {
 	m.UpToDate.encode(w)
 	w.Bool(m.Shared)
 	w.Bool(m.Aborted)
+	w.U64(m.Fence)
 }
 
 func (m *ReleaseLock) decode(r *Reader) error {
@@ -210,6 +224,7 @@ func (m *ReleaseLock) decode(r *Reader) error {
 	m.UpToDate = decodeSiteSet(r)
 	m.Shared = r.Bool()
 	m.Aborted = r.Bool()
+	m.Fence = r.U64()
 	return r.Err()
 }
 

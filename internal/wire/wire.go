@@ -79,6 +79,11 @@ const (
 	KindStandbyUpdate
 	KindHomeMoved
 
+	// Durable store write-ahead log record (appended so earlier kind values
+	// stay stable). Never sent over the network: the store frames it on
+	// disk, reusing the wire codec so torn tails decode as ErrTruncated.
+	KindWALRecord
+
 	kindSentinel // keep last
 )
 
@@ -119,6 +124,7 @@ var kindNames = map[Kind]string{
 	KindHandoffAck:        "HANDOFFACK",
 	KindStandbyUpdate:     "STANDBYUPDATE",
 	KindHomeMoved:         "HOMEMOVED",
+	KindWALRecord:         "WALRECORD",
 }
 
 // String returns the protocol name of the kind, matching the names used in
@@ -346,6 +352,8 @@ func newPayload(k Kind) Payload {
 		return &StandbyUpdate{}
 	case KindHomeMoved:
 		return &HomeMoved{}
+	case KindWALRecord:
+		return &WALRecord{}
 	default:
 		return nil
 	}

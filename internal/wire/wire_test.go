@@ -16,8 +16,8 @@ import (
 func allMessages() []Payload {
 	return []Payload{
 		&AcquireLock{Lock: 7, Requester: 3, Thread: MakeThreadID(3, 9), Shared: true, LeaseMillis: 1500, HaveVersion: 41},
-		&Grant{Lock: 7, Thread: MakeThreadID(3, 9), Version: 42, Flag: NeedNewVersion, Shared: true, Epoch: 2, Sharers: NewSiteSet(2, 4), UpToDate: NewSiteSet(1, 2), Revised: true, VersionFloor: 45},
-		&ReleaseLock{Lock: 7, Releaser: 3, Thread: MakeThreadID(3, 9), NewVersion: 43, UpToDate: NewSiteSet(1, 3, 5), Shared: false, Aborted: true},
+		&Grant{Lock: 7, Thread: MakeThreadID(3, 9), Version: 42, Flag: NeedNewVersion, Shared: true, Epoch: 2, Sharers: NewSiteSet(2, 4), UpToDate: NewSiteSet(1, 2), Revised: true, VersionFloor: 45, Fence: 11},
+		&ReleaseLock{Lock: 7, Releaser: 3, Thread: MakeThreadID(3, 9), NewVersion: 43, UpToDate: NewSiteSet(1, 3, 5), Shared: false, Aborted: true, Fence: 11},
 		&TransferReplica{Lock: 7, Dest: 4, Version: 43, RequestID: 99, DestVersion: 41},
 		&RegisterReplica{Lock: 7, Site: 4, Names: []string{"flatwareIndex", "plateIndex"}, Creator: true},
 		&ReplicaData{Lock: 7, From: 2, Version: 43, RequestID: 99, Replicas: []ReplicaPayload{{Name: "a", Data: []byte{1, 2, 3}}, {Name: "b", Data: nil}}},
@@ -58,6 +58,7 @@ func allMessages() []Payload {
 			Lock: 7, Version: 44, HighWater: 46, LastOwner: 3,
 			UpToDate: NewSiteSet(1, 3), Dirty: NewSiteSet(5), Sharers: NewSiteSet(3, 4),
 			Names:     []string{"flatwareIndex", "plateIndex"},
+			Fence:     11,
 			HasHolder: true,
 			Holder:    HeldLease{Thread: MakeThreadID(3, 9), Site: 3, Shared: false, RemainingMillis: 800},
 			Readers: []HeldLease{
@@ -71,6 +72,10 @@ func allMessages() []Payload {
 			UpToDate: NewSiteSet(2), Dirty: NewSiteSet(9), Sharers: NewSiteSet(2, 9),
 		}},
 		&HomeMoved{From: 2, To: 3, Epoch: 7, Locks: []LockID{7, 9, 13}},
+		&WALRecord{Op: WALDelta, Lock: 7, FromVersion: 43, Version: 44, Dirty: true, Fence: 12, Replicas: []DeltaPayload{
+			{Name: "a", NewLen: 9, Checksum: 0xDEADBEEF, Ops: []PatchOp{{Off: 5, Data: []byte{1, 2}}}},
+			{Name: "b", Full: true, Data: []byte("whole blob")},
+		}},
 	}
 }
 

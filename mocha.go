@@ -261,6 +261,8 @@ type options struct {
 	history     core.HistorySink
 	metrics     *obs.Registry
 	noMetrics   bool
+	storeDir    string
+	storeLimit  int
 }
 
 // optWriter keeps io out of the options struct zero value.
@@ -359,6 +361,27 @@ func WithDisseminationTree() Option { return func(o *options) { o.tree = true } 
 // floors, and dirty sets intact — if the home dies. Off by default (the
 // paper's single fixed home).
 func WithHomePlacement() Option { return func(o *options) { o.placement = true } }
+
+// WithDurableStore backs every site's replica state with a log-structured
+// file store rooted at dir (each site writes under its own subdirectory).
+// Replica versions, payloads, and fencing tokens append to a segmented
+// write-ahead log — delta-encoded records reusing the transfer encoding,
+// crc32-framed, fsync-batched — and a site restarted on the same directory
+// replays the log, re-installs its replicas at their persisted versions,
+// and rejoins via the version-poll protocol instead of refetching
+// everything. Off by default: the paper's replicas live in memory only and
+// a crashed site returns empty.
+func WithDurableStore(dir string) Option {
+	return func(o *options) { o.storeDir = dir }
+}
+
+// WithStoreMemLimit caps the bytes of replica payloads the durable store
+// keeps cached in memory; cold replicas above the cap are evicted (their
+// bytes remain in the log) and transparently refaulted on next access.
+// Zero (the default) means no cap. Only meaningful with WithDurableStore.
+func WithStoreMemLimit(bytes int) Option {
+	return func(o *options) { o.storeLimit = bytes }
+}
 
 // WithResolver sets the conflict resolver for the sites' session stores
 // (default last-writer-wins). The resolver must be deterministic and
