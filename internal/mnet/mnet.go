@@ -317,9 +317,13 @@ type peer struct {
 	// nextSeq assigns outbound sequence numbers per destination port.
 	nextSeq map[uint16]uint64
 	// rxBoot is the sender incarnation the peer's data packets last
-	// carried; zero until the first packet. A change means the remote
-	// endpoint restarted and its receive-side state below is void.
-	rxBoot uint32
+	// carried; zero until the first packet. A previously unseen boot means
+	// the remote endpoint restarted and its receive-side state below is
+	// void; superseded boots are kept in staleBoots so a delayed packet
+	// from a dead incarnation is dropped rather than mistaken for yet
+	// another restart (which would wipe the live incarnation's state).
+	rxBoot     uint32
+	staleBoots []uint32
 	// order restores inbound per-source-port sequence order.
 	order map[uint16]*ordering
 	// reasm holds partially received messages by msgID.

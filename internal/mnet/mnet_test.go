@@ -124,6 +124,65 @@ func TestEndpointRestartNotShadowed(t *testing.T) {
 	}
 }
 
+func TestDelayedPredecessorPacketDoesNotResetPeerState(t *testing.T) {
+	// A packet from a sender's previous incarnation can arrive after the
+	// receiver has already switched to the restarted incarnation (it sat
+	// in a queue or took the slow path). It must be dropped: if it were
+	// treated as "the sender restarted again", the receiver would wipe
+	// the live incarnation's ordering and duplicate state, restart
+	// ordering.next at 0 while the live sender is past it, and park all
+	// subsequent messages in pending — a permanent delivery stall, since
+	// the fragments were already acked and will never be retransmitted.
+	e1, e2, _ := pair(t)
+	ch, _ := collect(t, e2, 5)
+	from := e1.Addr()
+	inject := func(boot uint32, msgID, seq uint64, payload string) {
+		bp := encodeData(dataPacket{
+			srcPort: 9, dstPort: 5, msgID: msgID, seq: seq,
+			fragIdx: 0, fragCount: 1, boot: boot, payload: []byte(payload),
+		}, nil)
+		e2.receive(from, *bp)
+		putPktBuf(bp)
+	}
+	recv := func(want string) {
+		t.Helper()
+		select {
+		case m := <-ch:
+			if string(m.Data) != want {
+				t.Fatalf("delivered %q, want %q", m.Data, want)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("%q never delivered", want)
+		}
+	}
+
+	const oldBoot, newBoot = 111, 222
+	inject(oldBoot, 1, 0, "pre-restart")
+	recv("pre-restart")
+
+	// The sender restarts: new boot, sequence numbers and msgIDs anew.
+	inject(newBoot, 1, 0, "post-0")
+	inject(newBoot, 2, 1, "post-1")
+	recv("post-0")
+	recv("post-1")
+
+	// A delayed packet from the dead incarnation surfaces. It must not be
+	// delivered and must not reset the live incarnation's receive state.
+	inject(oldBoot, 2, 1, "stale-straggler")
+
+	// The live sender continues at its current sequence position; the
+	// message must be delivered promptly, not parked behind a phantom gap
+	// until the gap timeout fires.
+	inject(newBoot, 3, 2, "post-2")
+	recv("post-2")
+
+	select {
+	case m := <-ch:
+		t.Fatalf("stale incarnation's packet delivered: %q", m.Data)
+	default:
+	}
+}
+
 func TestReplyUsingFromAddress(t *testing.T) {
 	e1, e2, _ := pair(t)
 	replies, client := collect(t, e1, 4)

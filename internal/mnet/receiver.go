@@ -56,11 +56,23 @@ func (e *Endpoint) handleData(from string, pkt []byte) {
 	defer pr.mu.Unlock()
 
 	if pr.rxBoot != p.boot {
+		if pr.staleBoot(p.boot) {
+			// A delayed packet from a superseded incarnation. Dropping it
+			// is the point of remembering old boots: treating it as "the
+			// sender restarted" would wipe the live incarnation's ordering
+			// and duplicate state — ordering.next would restart at 0 while
+			// the live sender (whose fragments were already acked) is at
+			// seq N, parking its messages in pending forever, and the
+			// cleared delivered map would re-admit old duplicates.
+			e.countDuplicate()
+			return
+		}
 		if pr.rxBoot != 0 {
 			// The sender restarted: its sequence numbers and message IDs
 			// begin anew. Keep only our transmit state toward it; the old
 			// incarnation's ordering, reassembly, and duplicate memory
 			// would silently swallow everything the reborn endpoint says.
+			pr.rememberStaleBoot(pr.rxBoot)
 			pr.order = make(map[uint16]*ordering)
 			pr.reasm = make(map[uint64]*reassembly)
 			pr.delivered = make(map[uint64]struct{})
@@ -129,6 +141,34 @@ func (e *Endpoint) handleData(from string, pkt []byte) {
 // countDuplicate increments the duplicate counter.
 func (e *Endpoint) countDuplicate() {
 	e.stats.duplicates.Add(1)
+}
+
+// staleBootsCap bounds how many superseded sender incarnations a peer
+// remembers. Delayed packets from an incarnation older than the cap's
+// reach would reset receive state spuriously, but that needs more than
+// staleBootsCap restarts of one sender while such a packet is in flight.
+const staleBootsCap = 4
+
+// staleBoot reports whether b is a superseded incarnation of this sender.
+// Caller holds pr.mu.
+func (pr *peer) staleBoot(b uint32) bool {
+	for _, s := range pr.staleBoots {
+		if s == b {
+			return true
+		}
+	}
+	return false
+}
+
+// rememberStaleBoot records a superseded incarnation so its delayed
+// packets are dropped instead of mistaken for yet another restart. Caller
+// holds pr.mu.
+func (pr *peer) rememberStaleBoot(b uint32) {
+	if len(pr.staleBoots) >= staleBootsCap {
+		copy(pr.staleBoots, pr.staleBoots[1:])
+		pr.staleBoots = pr.staleBoots[:staleBootsCap-1]
+	}
+	pr.staleBoots = append(pr.staleBoots, b)
 }
 
 // markDelivered records a completed msgID, evicting the oldest once the

@@ -98,6 +98,9 @@ type FileStore struct {
 	cached int
 	segs   map[uint64]*segment
 	active *segment
+	// compact is the in-progress incremental compaction sweep, nil when
+	// idle. Appends advance it a bounded step at a time.
+	compact *compactState
 	// unsynced marks buffered appends the flusher has not fsynced yet.
 	unsynced  bool
 	stats     Stats
@@ -552,15 +555,19 @@ func (fs *FileStore) AppendDelta(fromVersion uint64, rec Record, deltas []wire.D
 	if !ok || e.rec.Version != fromVersion {
 		return ErrBadDeltaBase
 	}
-	// Patch the cached copy first (when resident) so a bad delta is
-	// rejected before it reaches the log.
-	var patched []wire.ReplicaPayload
-	if e.rec.Replicas != nil {
-		var err error
-		patched, err = applyDeltaSet(e.rec.Replicas, deltas)
-		if err != nil {
+	// Validate the delta against the record's bytes before it reaches the
+	// log — refaulting an evicted record first. An invalid delta appended
+	// unvalidated would extend the frame chain with a frame replay can
+	// never apply, poisoning every later refault and compaction of the
+	// record.
+	if e.rec.Replicas == nil {
+		if err := fs.refaultLocked(e); err != nil {
 			return err
 		}
+	}
+	patched, err := applyDeltaSet(e.rec.Replicas, deltas)
+	if err != nil {
+		return err
 	}
 	frame, err := fs.appendFrameLocked(&wire.WALRecord{
 		Op: wire.WALDelta, Lock: rec.Lock, FromVersion: fromVersion, Version: rec.Version,
@@ -600,7 +607,10 @@ func (fs *FileStore) Commit(lock wire.LockID, version uint64) error {
 	}
 	e.rec.Dirty = false
 	fs.touchLocked(e)
-	return nil
+	// Commit appends a frame like the other write paths, so it must also
+	// drive compaction: a commit-heavy stretch would otherwise grow the
+	// active segment arbitrarily past SegmentBytes.
+	return fs.maybeCompactLocked()
 }
 
 // Evict implements Store.
@@ -646,32 +656,80 @@ func (fs *FileStore) Stats() Stats {
 	return s
 }
 
+// compactStepBudget bounds how many records a single append checkpoints
+// during an incremental compaction sweep. The rewrite of the whole store
+// is amortized across appends instead of stalling one release/apply path
+// (the daemon calls Put/AppendDelta holding the lock's st.mu) with an
+// O(store size) burst of refaults, rewrites, and an fsync.
+const compactStepBudget = 4
+
+// compactState is one in-progress incremental compaction sweep: the
+// segments being retired and the locks whose frame chains may still
+// reference them.
+type compactState struct {
+	old   map[uint64]*segment
+	queue []wire.LockID
+}
+
+// chainTouches reports whether any frame of the chain lives in one of the
+// retiring segments.
+func chainTouches(chain []frameRef, old map[uint64]*segment) bool {
+	for _, fr := range chain {
+		if _, ok := old[fr.seq]; ok {
+			return true
+		}
+	}
+	return false
+}
+
 // maybeCompactLocked rotates to a fresh segment once the active one grows
-// past the configured size, checkpointing every live record into it and
-// deleting the old segments: the log never retains bytes below the
-// committed horizon longer than one segment's worth of appends. Caller
-// holds fs.mu.
+// past the configured size, then incrementally checkpoints live records
+// into it — a bounded number per append — and deletes the retired
+// segments once no chain references them: the log never retains bytes
+// below the committed horizon longer than one sweep's worth of appends.
+// Caller holds fs.mu.
 func (fs *FileStore) maybeCompactLocked() error {
-	if fs.active == nil || fs.active.size < int64(fs.opts.SegmentBytes) {
-		return nil
+	if fs.compact == nil {
+		if fs.active == nil || fs.active.size < int64(fs.opts.SegmentBytes) {
+			return nil
+		}
+		old := make(map[uint64]*segment, len(fs.segs))
+		for seq, seg := range fs.segs {
+			old[seq] = seg
+		}
+		if err := fs.openSegment(fs.active.seq + 1); err != nil {
+			return err
+		}
+		// Snapshot the locks to sweep. Records put after the rotation land
+		// in the new segment chain-and-all, so the snapshot is complete.
+		locks := make([]wire.LockID, 0, len(fs.entries))
+		for id := range fs.entries {
+			locks = append(locks, id)
+		}
+		sort.Slice(locks, func(i, j int) bool { return locks[i] < locks[j] })
+		fs.compact = &compactState{old: old, queue: locks}
 	}
-	old := make([]*segment, 0, len(fs.segs))
-	for _, seg := range fs.segs {
-		old = append(old, seg)
-	}
-	if err := fs.openSegment(fs.active.seq + 1); err != nil {
-		return err
-	}
-	// Checkpoint each record as one full WALPut. Evicted records are
-	// replayed from the old segments transiently — the checkpoint must not
-	// grow the cache past the cap.
-	locks := make([]wire.LockID, 0, len(fs.entries))
-	for id := range fs.entries {
-		locks = append(locks, id)
-	}
-	sort.Slice(locks, func(i, j int) bool { return locks[i] < locks[j] })
-	for _, id := range locks {
-		e := fs.entries[id]
+	return fs.compactStepLocked()
+}
+
+// compactStepLocked advances the sweep: checkpoints up to
+// compactStepBudget records, and on the last one fsyncs the new segment
+// and reclaims the retired ones. A failed record stays at the head of the
+// queue — retired segments are never removed while a chain still points
+// into them. Caller holds fs.mu.
+func (fs *FileStore) compactStepLocked() error {
+	cs := fs.compact
+	for n := 0; n < compactStepBudget && len(cs.queue) > 0; {
+		id := cs.queue[0]
+		e, ok := fs.entries[id]
+		if !ok || !chainTouches(e.chain, cs.old) {
+			// Gone, or a later Put already rewrote it into the new segment.
+			cs.queue = cs.queue[1:]
+			continue
+		}
+		// Checkpoint the record as one full WALPut. Evicted records are
+		// replayed from the retiring segments transiently — the checkpoint
+		// must not grow the cache past the cap.
 		payloads := e.rec.Replicas
 		evicted := payloads == nil
 		if evicted {
@@ -684,26 +742,35 @@ func (fs *FileStore) maybeCompactLocked() error {
 			Op: wire.WALPut, Lock: id, Version: e.rec.Version,
 			Dirty: e.rec.Dirty, Fence: e.rec.Fence, Replicas: fullsToDeltas(payloads),
 		})
+		if evicted {
+			fs.evictLocked(e)
+		}
 		if err != nil {
 			return fmt.Errorf("store: compact checkpoint: %w", err)
 		}
 		e.chain = []frameRef{frame}
-		if evicted {
-			fs.evictLocked(e)
-		}
+		cs.queue = cs.queue[1:]
+		n++
+	}
+	if len(cs.queue) > 0 {
+		return nil
 	}
 	fs.stats.Fsyncs++
 	if err := fs.active.f.Sync(); err != nil {
 		return fmt.Errorf("store: compact fsync: %w", err)
 	}
 	fs.unsynced = false
-	for _, seg := range old {
+	for _, seg := range cs.old {
+		if seg == fs.active {
+			continue
+		}
 		seg.f.Close()
 		delete(fs.segs, seg.seq)
 		if err := os.Remove(fs.segPath(seg.seq)); err != nil {
 			return fmt.Errorf("store: compact remove: %w", err)
 		}
 	}
+	fs.compact = nil
 	fs.stats.Compactions++
 	return nil
 }

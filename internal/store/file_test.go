@@ -356,6 +356,80 @@ func TestRefaultRacesIncomingDelta(t *testing.T) {
 	wg.Wait()
 }
 
+func TestAppendDeltaToEvictedRecordValidatesAgainstRefault(t *testing.T) {
+	dir := t.TempDir()
+	fs := openT(t, dir, Options{})
+	defer fs.Close()
+	if err := fs.Put(rec(3, 1, false, 1, pay("x", []byte("base")))); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := fs.Evict(3); err != nil {
+		t.Fatalf("evict: %v", err)
+	}
+
+	// An invalid delta (corrupt checksum) against the evicted record must
+	// be rejected before it reaches the log: appended unvalidated it would
+	// extend the frame chain with a frame replay can never apply, failing
+	// every later refault and compaction of the record.
+	bad := patchTo("x", []byte("next"))
+	bad.Checksum++
+	if err := fs.AppendDelta(1, rec(3, 2, false, 1), []wire.DeltaPayload{bad}); err == nil {
+		t.Fatal("invalid delta against evicted record accepted")
+	}
+	got, ok, err := fs.Get(3)
+	if err != nil || !ok || got.Version != 1 {
+		t.Fatalf("after rejected delta: %+v ok=%v err=%v", got, ok, err)
+	}
+	wantPayload(t, got, "x", []byte("base"))
+
+	// A valid delta against an evicted record refaults and applies.
+	if err := fs.Evict(3); err != nil {
+		t.Fatalf("re-evict: %v", err)
+	}
+	if err := fs.AppendDelta(1, rec(3, 2, false, 2), []wire.DeltaPayload{patchTo("x", []byte("next"))}); err != nil {
+		t.Fatalf("valid delta against evicted record: %v", err)
+	}
+	got, _, _ = fs.Get(3)
+	if got.Version != 2 {
+		t.Fatalf("after delta: %+v", got)
+	}
+	wantPayload(t, got, "x", []byte("next"))
+}
+
+func TestCommitHeavyStretchStillCompacts(t *testing.T) {
+	// Commit appends WALCommit frames like every other write path, so a
+	// commit-heavy stretch must rotate and compact the log too, not grow
+	// the active segment without bound.
+	dir := t.TempDir()
+	fs := openT(t, dir, Options{SegmentBytes: 2048})
+	defer fs.Close()
+	if err := fs.Put(rec(1, 1, true, 1, pay("x", []byte("data")))); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := fs.Commit(1, 1); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	st := fs.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compaction after %d appends via Commit: %+v", st.Appends, st)
+	}
+	var size int64
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range ents {
+		if info, err := de.Info(); err == nil {
+			size += info.Size()
+		}
+	}
+	if size > 2*2048 {
+		t.Fatalf("log grew to %dB under commit-only load (SegmentBytes 2048)", size)
+	}
+}
+
 func TestCompactionCollapsesSegments(t *testing.T) {
 	dir := t.TempDir()
 	fs := openT(t, dir, Options{SegmentBytes: 2048, MemLimit: 1500})

@@ -84,7 +84,8 @@ type Grant struct {
 	// handoffs and standby promotions (the record carries the counter), so
 	// downstream systems can reject writes stamped with the token of a
 	// lease-broken ex-holder. A revised grant re-carries the hold's
-	// original token. Zero means fencing predates this grant's encoder.
+	// original token. The field is unconditionally on the wire — adding
+	// it changed the Grant format — and a minted token is never zero.
 	Fence uint64
 }
 
@@ -198,7 +199,8 @@ type ReleaseLock struct {
 	Aborted bool
 	// Fence echoes the fencing token the matching Grant carried, so
 	// downstream consumers of the release can correlate the commit with
-	// the hold's token. Zero when the grant predates fencing.
+	// the hold's token. Like Grant.Fence, the field is unconditionally on
+	// the wire.
 	Fence uint64
 }
 
